@@ -1,0 +1,13 @@
+"""Bench a1_rule_ablation: Ablation A1: the full rule x source grid of section 4.
+
+Prints the reproduced table and asserts the paper's qualitative
+claims; timings measure the full scenario build + measurement.
+"""
+
+from repro.bench.experiments_rules import run_a1_rule_ablation
+
+from conftest import run_and_report
+
+
+def test_a1_rule_ablation(benchmark):
+    run_and_report(benchmark, run_a1_rule_ablation, seed=0)

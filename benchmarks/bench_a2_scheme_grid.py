@@ -1,0 +1,13 @@
+"""Bench a2_scheme_grid: Ablation A2: all schemes on one comparable workload.
+
+Prints the reproduced table and asserts the paper's qualitative
+claims; timings measure the full scenario build + measurement.
+"""
+
+from repro.bench.experiments_schemes import run_a2_scheme_grid
+
+from conftest import run_and_report
+
+
+def test_a2_scheme_grid(benchmark):
+    run_and_report(benchmark, run_a2_scheme_grid, seed=0)

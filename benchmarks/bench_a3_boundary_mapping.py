@@ -1,0 +1,14 @@
+"""Bench a3_boundary_mapping: the §6 'implemented by mapping' device
+measured with gateways on and off over Newcastle and a federation.
+
+Prints the reproduced table and asserts the qualitative claims;
+timings measure the full scenario build + two-substrate sweep.
+"""
+
+from repro.bench.experiments_boundary import run_a3_boundary_mapping
+
+from conftest import run_and_report
+
+
+def test_a3_boundary_mapping(benchmark):
+    run_and_report(benchmark, run_a3_boundary_mapping, seed=0)

@@ -1,0 +1,14 @@
+"""Bench a4_resolution_cost: the section-5 coherence/coupling
+trade-off — resolution messages, latency and central-server load for
+the single tree vs the shared graph vs per-process namespaces.
+
+Prints the reproduced table and asserts the qualitative claims.
+"""
+
+from repro.bench.experiments_cost import run_a4_resolution_cost
+
+from conftest import run_and_report
+
+
+def test_a4_resolution_cost(benchmark):
+    run_and_report(benchmark, run_a4_resolution_cost, seed=0)

@@ -1,0 +1,13 @@
+"""Bench a5_cache_coherence: cached bindings as an incoherence source —
+no-cache vs TTL vs invalidation over a service-registry workload.
+
+Prints the reproduced table and asserts the qualitative claims.
+"""
+
+from repro.bench.experiments_cache import run_a5_cache_coherence
+
+from conftest import run_and_report
+
+
+def test_a5_cache_coherence(benchmark):
+    run_and_report(benchmark, run_a5_cache_coherence, seed=0)

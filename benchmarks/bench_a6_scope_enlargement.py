@@ -1,0 +1,13 @@
+"""Bench a6_scope_enlargement: §7's closing advice quantified —
+federated scopes vs one enlarged scope under an identical workload.
+
+Prints the reproduced table and asserts the qualitative claims.
+"""
+
+from repro.bench.experiments_scope_size import run_a6_scope_enlargement
+
+from conftest import run_and_report
+
+
+def test_a6_scope_enlargement(benchmark):
+    run_and_report(benchmark, run_a6_scope_enlargement, seed=0)

@@ -1,0 +1,13 @@
+"""Bench e10_algol_scope: Figure 6: embedded names under Algol scope rules.
+
+Prints the reproduced table and asserts the paper's qualitative
+claims; timings measure the full scenario build + measurement.
+"""
+
+from repro.bench.experiments_solutions import run_e10_algol_scope
+
+from conftest import run_and_report
+
+
+def test_e10_algol_scope(benchmark):
+    run_and_report(benchmark, run_e10_algol_scope, seed=0)

@@ -1,0 +1,13 @@
+"""Bench e11_perprocess: Section 6-II: per-process naming and remote execution.
+
+Prints the reproduced table and asserts the paper's qualitative
+claims; timings measure the full scenario build + measurement.
+"""
+
+from repro.bench.experiments_solutions import run_e11_perprocess
+
+from conftest import run_and_report
+
+
+def test_e11_perprocess(benchmark):
+    run_and_report(benchmark, run_e11_perprocess, seed=0)

@@ -1,0 +1,13 @@
+"""Bench e12_federation: Section 7: shared name spaces in limited scopes.
+
+Prints the reproduced table and asserts the paper's qualitative
+claims; timings measure the full scenario build + measurement.
+"""
+
+from repro.bench.experiments_federation import run_e12_federation
+
+from conftest import run_and_report
+
+
+def test_e12_federation(benchmark):
+    run_and_report(benchmark, run_e12_federation, seed=0)

@@ -1,0 +1,13 @@
+"""Bench e1_sources: Figure 1: the three sources of names under a per-source rule table.
+
+Prints the reproduced table and asserts the paper's qualitative
+claims; timings measure the full scenario build + measurement.
+"""
+
+from repro.bench.experiments_rules import run_e1_sources
+
+from conftest import run_and_report
+
+
+def test_e1_sources(benchmark):
+    run_and_report(benchmark, run_e1_sources, seed=0)

@@ -1,0 +1,13 @@
+"""Bench e2_exchange_rules: Figure 2a: exchanged names under R(sender) vs R(receiver).
+
+Prints the reproduced table and asserts the paper's qualitative
+claims; timings measure the full scenario build + measurement.
+"""
+
+from repro.bench.experiments_rules import run_e2_exchange_rules
+
+from conftest import run_and_report
+
+
+def test_e2_exchange_rules(benchmark):
+    run_and_report(benchmark, run_e2_exchange_rules, seed=0)

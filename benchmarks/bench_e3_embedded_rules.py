@@ -1,0 +1,13 @@
+"""Bench e3_embedded_rules: Figure 2b: embedded names under R(object) vs R(activity).
+
+Prints the reproduced table and asserts the paper's qualitative
+claims; timings measure the full scenario build + measurement.
+"""
+
+from repro.bench.experiments_rules import run_e3_embedded_rules
+
+from conftest import run_and_report
+
+
+def test_e3_embedded_rules(benchmark):
+    run_and_report(benchmark, run_e3_embedded_rules, seed=0)

@@ -1,0 +1,13 @@
+"""Bench e4_unix: Section 5.1: Unix file names (roots, forks, cwd, chroot).
+
+Prints the reproduced table and asserts the paper's qualitative
+claims; timings measure the full scenario build + measurement.
+"""
+
+from repro.bench.experiments_schemes import run_e4_unix
+
+from conftest import run_and_report
+
+
+def test_e4_unix(benchmark):
+    run_and_report(benchmark, run_e4_unix, seed=0)

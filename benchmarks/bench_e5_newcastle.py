@@ -1,0 +1,13 @@
+"""Bench e5_newcastle: Figure 3: the Newcastle Connection.
+
+Prints the reproduced table and asserts the paper's qualitative
+claims; timings measure the full scenario build + measurement.
+"""
+
+from repro.bench.experiments_schemes import run_e5_newcastle
+
+from conftest import run_and_report
+
+
+def test_e5_newcastle(benchmark):
+    run_and_report(benchmark, run_e5_newcastle, seed=0)

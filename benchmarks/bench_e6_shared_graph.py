@@ -1,0 +1,13 @@
+"""Bench e6_shared_graph: Figure 4: the shared naming graph approach (Andrew).
+
+Prints the reproduced table and asserts the paper's qualitative
+claims; timings measure the full scenario build + measurement.
+"""
+
+from repro.bench.experiments_schemes import run_e6_shared_graph
+
+from conftest import run_and_report
+
+
+def test_e6_shared_graph(benchmark):
+    run_and_report(benchmark, run_e6_shared_graph, seed=0)

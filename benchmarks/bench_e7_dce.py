@@ -1,0 +1,13 @@
+"""Bench e7_dce: Section 5.2: OSF DCE cells (/... and /.:).
+
+Prints the reproduced table and asserts the paper's qualitative
+claims; timings measure the full scenario build + measurement.
+"""
+
+from repro.bench.experiments_schemes import run_e7_dce
+
+from conftest import run_and_report
+
+
+def test_e7_dce(benchmark):
+    run_and_report(benchmark, run_e7_dce, seed=0)

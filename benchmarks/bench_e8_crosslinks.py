@@ -1,0 +1,13 @@
+"""Bench e8_crosslinks: Figure 5: cross-links between autonomous systems.
+
+Prints the reproduced table and asserts the paper's qualitative
+claims; timings measure the full scenario build + measurement.
+"""
+
+from repro.bench.experiments_schemes import run_e8_crosslinks
+
+from conftest import run_and_report
+
+
+def test_e8_crosslinks(benchmark):
+    run_and_report(benchmark, run_e8_crosslinks, seed=0)

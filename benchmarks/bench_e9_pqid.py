@@ -1,0 +1,13 @@
+"""Bench e9_pqid: Section 6 Example 1: partially qualified identifiers.
+
+Prints the reproduced table and asserts the paper's qualitative
+claims; timings measure the full scenario build + measurement.
+"""
+
+from repro.bench.experiments_solutions import run_e9_pqid
+
+from conftest import run_and_report
+
+
+def test_e9_pqid(benchmark):
+    run_and_report(benchmark, run_e9_pqid, seed=0)

@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark suite.
+
+Each bench runs one experiment from the DESIGN.md index under
+pytest-benchmark, prints the experiment's table (the figure/section
+reproduction), and asserts every shape check — so `pytest benchmarks/
+--benchmark-only` both times the experiments and regenerates the
+paper's qualitative results.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import ExperimentResult
+
+
+def run_and_report(benchmark, runner, **kwargs) -> ExperimentResult:
+    """Benchmark *runner*, print its table, assert its shape checks."""
+    result: ExperimentResult = benchmark(runner, **kwargs)
+    print()
+    print(result.render())
+    assert result.all_checks_pass(), result.failed_checks()
+    return result

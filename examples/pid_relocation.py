@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Partially qualified identifiers under reconfiguration (§6 Ex. 1).
+
+A two-network system exchanges process identifiers, then a machine and
+a whole network are renumbered mid-run.  The demo contrasts:
+
+  * partially qualified pids + the R(sender) mapping (the paper's
+    solution): every exchange coherent, internal connections survive;
+  * fully qualified pids: fine until the renumbering, then broken;
+  * unmapped pids resolved by the receiver: wrong from the start.
+
+Run:  python examples/pid_relocation.py
+"""
+
+import random
+
+from repro.coherence import format_table
+from repro.pqid import (
+    PidPolicy,
+    ReferenceTable,
+    exchange_outcome,
+    fully_qualify,
+    qualify,
+    send_pid,
+)
+from repro.sim import FailureInjector
+from repro.workloads import build_pqid_population
+
+
+def exchange_phase(population, rng, exchanges=60):
+    rows = []
+    for policy in (PidPolicy.MAPPED, PidPolicy.RAW, PidPolicy.FULL):
+        done = []
+        for _ in range(exchanges):
+            sender, receiver = population.random_pair(rng)
+            target = rng.choice(population.processes)
+            done.append(send_pid(sender, receiver, target, policy))
+        population.simulator.run()
+        outcomes = [exchange_outcome(exchange) for exchange in done]
+        rows.append([str(policy),
+                     outcomes.count("coherent"),
+                     outcomes.count("incoherent"),
+                     outcomes.count("unresolved"),
+                     outcomes.count("coherent") / len(outcomes)])
+    return rows
+
+
+def main() -> None:
+    population = build_pqid_population(seed=2026, n_networks=2,
+                                       machines_per_network=3,
+                                       processes_per_machine=3)
+    rng = random.Random(2026)
+
+    print(format_table(
+        ["policy", "coherent", "incoherent", "unresolved", "rate"],
+        exchange_phase(population, rng),
+        title="Phase 1 — pid exchange (stable addresses)"))
+
+    # Long-lived references inside network 0 (a subsystem's internal
+    # connections), held both ways.
+    net = population.networks[0]
+    inside = [p for m in net.machines() for p in m.processes()]
+    partially = ReferenceTable()
+    fully = ReferenceTable()
+    for holder in inside:
+        for target in inside:
+            if holder is not target:
+                partially.add(holder, qualify(target, holder), target)
+                fully.add(holder, fully_qualify(target), target)
+
+    injector = FailureInjector(population.simulator)
+    injector.renumber_machine(net.machines()[0], 90)
+    injector.renumber_network(net, 95)
+
+    print()
+    print(format_table(
+        ["pid kind", "valid", "dangling", "misdirected", "survival"],
+        [["partially qualified", *partially.counts().values(),
+          partially.survival()],
+         ["fully qualified", *fully.counts().values(),
+          fully.survival()]],
+        title="Phase 2 — internal connections after machine + network "
+              "renumbering"))
+
+    print("\nThe renamed subsystem 'maintains its internal connections "
+          "and does not have\nto be shut down' — exactly when its pids "
+          "are only qualified as far as necessary.")
+
+    rows = exchange_phase(population, rng)
+    print()
+    print(format_table(
+        ["policy", "coherent", "incoherent", "unresolved", "rate"],
+        rows,
+        title="Phase 3 — pid exchange again (post-renumbering; mapping "
+              "still perfect)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Remote execution across three naming designs (§5.1, §5.2, §6-II).
+
+The same task everywhere: a parent process on one machine launches a
+child on another and passes it three file names.  How many arguments
+still denote what the parent meant?
+
+Compared designs:
+  * Newcastle Connection, target-root and invoker-root variants;
+  * Andrew-style shared naming graph (only /vice names survive);
+  * per-process namespaces (the paper's §6-II facility): everything
+    survives, without global names, and the child still sees its
+    local machine.
+
+Run:  python examples/remote_execution.py
+"""
+
+from repro.coherence import format_table
+from repro.namespaces import (
+    NewcastleSystem,
+    PerProcessSystem,
+    RemoteRootPolicy,
+    SharedGraphSystem,
+)
+from repro.remote import evaluate_remote_exec
+
+
+def newcastle_rows():
+    nc = NewcastleSystem()
+    for machine in ("alpha", "beta"):
+        nc.add_machine(machine)
+    nc.machine_tree("alpha").mkfile("home/u/in.txt")
+    nc.machine_tree("alpha").mkfile("home/u/cfg")
+    nc.machine_tree("alpha").mkfile("lib/tool")
+    arguments = ["/home/u/in.txt", "/home/u/cfg", "/lib/tool"]
+    parent = nc.spawn("alpha", "parent")
+    rows = []
+    for policy in (RemoteRootPolicy.TARGET, RemoteRootPolicy.INVOKER):
+        child = nc.remote_spawn(parent, "beta", f"child-{policy.value}",
+                                policy)
+        report = evaluate_remote_exec(nc.registry, parent, child,
+                                      arguments,
+                                      f"newcastle/{policy.value}-root")
+        rows.append(report.row())
+    return rows
+
+
+def andrew_rows():
+    campus = SharedGraphSystem()
+    campus.shared.mkfile("proj/in.txt")
+    home = campus.add_client("home-ws")
+    campus.add_client("exec-server")
+    home.tree.mkfile("tmp/cfg")
+    home.tree.mkfile("tmp/tool")
+    parent = home.spawn("parent")
+    child = campus.remote_spawn(parent, "exec-server", "child")
+    arguments = ["/vice/proj/in.txt", "/tmp/cfg", "/tmp/tool"]
+    report = evaluate_remote_exec(campus.registry, parent, child,
+                                  arguments, "andrew/shared-graph")
+    return [report.row()]
+
+
+def perprocess_rows():
+    port = PerProcessSystem()
+    for machine in ("workstation", "server"):
+        port.add_machine(machine)
+    port.machine_tree("workstation").mkfile("u/in.txt")
+    port.machine_tree("workstation").mkfile("u/cfg")
+    port.machine_tree("workstation").mkfile("u/tool")
+    port.machine_tree("server").mkfile("scratch/space")
+    parent = port.spawn("workstation", "parent",
+                        mounts=[("home", "workstation")])
+    child = port.remote_spawn(parent, "server", "child")
+    arguments = ["/home/u/in.txt", "/home/u/cfg", "/home/u/tool"]
+    report = evaluate_remote_exec(port.registry, parent, child,
+                                  arguments, "per-process/import")
+    local = port.resolve_for(child, "/local/scratch/space").is_defined()
+    row = report.row()
+    row.append("yes" if local else "no")
+    return [row]
+
+
+def main() -> None:
+    rows = []
+    for row in newcastle_rows() + andrew_rows():
+        rows.append(list(row) + ["-"])
+    rows.extend(perprocess_rows())
+    print(format_table(
+        ["design", "args", "coherent", "incoherent", "unresolved",
+         "rate", "child sees local fs"],
+        rows,
+        title="Remote execution: argument coherence by naming design"))
+    print("\nThe §6-II per-process facility is the only design that "
+          "passes every argument\nAND gives the child local access — "
+          "without any global names.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Cached name bindings: staleness is incoherence (extension demo).
+
+A service registry (a context object hosted on one machine) maps
+service names to endpoints.  Client machines cache the bindings.  When
+a service is re-deployed (its name rebound), a stale cache entry makes
+the same name denote *different* entities on different machines — the
+paper's incoherence, produced by an everyday mechanism.
+
+The demo contrasts the three policies of `repro.nameservice.cache`:
+no caching, TTL expiry, and server-driven invalidation.
+
+Run:  python examples/service_registry_caching.py
+"""
+
+from repro.coherence import format_table
+from repro.model import ObjectEntity, context_object
+from repro.nameservice import (
+    CachePolicy,
+    CachingDirectoryService,
+    DirectoryPlacement,
+)
+from repro.sim import Simulator
+
+
+def scenario(policy: CachePolicy):
+    simulator = Simulator(seed=0)
+    network = simulator.network("dc")
+    registry_machine = simulator.machine(network, "registry")
+    app_machine = simulator.machine(network, "app")
+    registry = context_object("services")
+    simulator.sigma.add(registry)
+    v1 = ObjectEntity("db-v1")
+    simulator.sigma.add(v1)
+    registry.state.bind("db", v1)
+    placement = DirectoryPlacement()
+    placement.place(registry, registry_machine)
+    service = CachingDirectoryService(simulator, placement,
+                                      policy=policy, ttl=50.0)
+
+    # The app resolves 'db' (filling its cache), the operator
+    # re-deploys, and the app resolves again.
+    first = service.lookup(app_machine, registry, "db")
+    v2 = ObjectEntity("db-v2")
+    simulator.sigma.add(v2)
+    service.rebind(registry, "db", v2)
+    second = service.lookup(app_machine, registry, "db")
+    stats = service.stats()
+    return [str(policy), first.label, second.label,
+            "STALE" if second is not v2 else "fresh",
+            stats["remote_reads"], stats["invalidation_messages"]]
+
+
+def main() -> None:
+    rows = [scenario(policy) for policy in CachePolicy]
+    print(format_table(
+        ["policy", "before redeploy", "after redeploy", "coherence",
+         "remote reads", "invalidations"],
+        rows,
+        title="Service registry: what the app sees across a redeploy"))
+    print(
+        "\nA stale cached binding is the paper's incoherence produced "
+        "by a modern\nmechanism: the name 'db' denotes db-v2 at the "
+        "registry but still db-v1 at the\napp.  Invalidation restores "
+        "coherence by construction; TTL merely bounds the\nwindow.  "
+        "Run `python -m repro.bench A5` for the full measured "
+        "trade-off.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network, so
+PEP 660 editable installs (which build a wheel) are unavailable.  This
+shim lets ``pip install -e . --no-use-pep517`` fall back to
+``setup.py develop``.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,97 @@
+"""repro — a reproduction of Radia & Pachl, *Coherence in Naming in
+Distributed Computing Environments* (ICDCS 1993).
+
+The library implements the paper's formal naming model, its closure
+mechanisms (resolution rules), the coherence definitions and metrics,
+every naming scheme the paper analyses (Unix trees, single global
+trees, the Newcastle Connection, Andrew-style shared naming graphs,
+OSF DCE cells, federated cross-links, per-process namespaces), both of
+its solution mechanisms (partially qualified identifiers resolved with
+``R(sender)``; embedded names resolved with Algol-scoped ``R(file)``),
+and a deterministic message-passing simulator to host the experiments.
+
+Quickstart::
+
+    from repro import context_object, resolve
+    root = context_object("root")
+    motd = context_object("motd")
+    root.state.bind("motd", motd)
+    assert resolve(root.state, "motd") is motd
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+per-figure experiment index.
+"""
+
+from repro.closure import (
+    ContextRegistry,
+    NameSource,
+    PerSourceRule,
+    RActivity,
+    RObject,
+    RReceiver,
+    RScoped,
+    RSender,
+    ResolutionEvent,
+    ResolutionRule,
+    rule_resolve,
+)
+from repro.coherence import (
+    CoherenceAuditor,
+    CoherenceDegree,
+    Verdict,
+    coherent,
+    is_global_name,
+    measure_degree,
+    weakly_coherent,
+)
+from repro.model import (
+    Activity,
+    CompoundName,
+    Context,
+    Entity,
+    GlobalState,
+    NamingGraph,
+    Obj,
+    ObjectEntity,
+    UNDEFINED_ENTITY,
+    context_object,
+    name,
+    resolve,
+    resolve_traced,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Activity",
+    "CoherenceAuditor",
+    "CoherenceDegree",
+    "CompoundName",
+    "Context",
+    "ContextRegistry",
+    "Entity",
+    "GlobalState",
+    "NameSource",
+    "NamingGraph",
+    "Obj",
+    "ObjectEntity",
+    "PerSourceRule",
+    "RActivity",
+    "RObject",
+    "RReceiver",
+    "RScoped",
+    "RSender",
+    "ResolutionEvent",
+    "ResolutionRule",
+    "UNDEFINED_ENTITY",
+    "Verdict",
+    "coherent",
+    "context_object",
+    "is_global_name",
+    "measure_degree",
+    "name",
+    "resolve",
+    "resolve_traced",
+    "rule_resolve",
+    "weakly_coherent",
+]

@@ -1,0 +1,89 @@
+"""The experiment suite: one runnable experiment per paper figure /
+analysis section (see DESIGN.md §4 for the index).
+
+Each ``run_*`` function builds its scenario, measures it, and returns
+an :class:`~repro.bench.harness.ExperimentResult` whose shape checks
+encode the paper's qualitative claims.  ``ALL_EXPERIMENTS`` maps
+experiment ids to runners; :func:`run_all` executes the full suite.
+"""
+
+from collections.abc import Callable
+
+from repro.bench.harness import ExperimentResult
+from repro.bench.experiments_rules import (
+    run_a1_rule_ablation,
+    run_e1_sources,
+    run_e2_exchange_rules,
+    run_e3_embedded_rules,
+)
+from repro.bench.experiments_schemes import (
+    run_a2_scheme_grid,
+    run_e4_unix,
+    run_e5_newcastle,
+    run_e6_shared_graph,
+    run_e7_dce,
+    run_e8_crosslinks,
+)
+from repro.bench.experiments_solutions import (
+    run_e10_algol_scope,
+    run_e11_perprocess,
+    run_e9_pqid,
+)
+from repro.bench.experiments_boundary import run_a3_boundary_mapping
+from repro.bench.experiments_cache import run_a5_cache_coherence
+from repro.bench.experiments_cost import run_a4_resolution_cost
+from repro.bench.experiments_federation import run_e12_federation
+from repro.bench.experiments_scope_size import run_a6_scope_enlargement
+
+#: Experiment id → runner, in paper order.
+ALL_EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "E1": run_e1_sources,
+    "E2": run_e2_exchange_rules,
+    "E3": run_e3_embedded_rules,
+    "E4": run_e4_unix,
+    "E5": run_e5_newcastle,
+    "E6": run_e6_shared_graph,
+    "E7": run_e7_dce,
+    "E8": run_e8_crosslinks,
+    "E9": run_e9_pqid,
+    "E10": run_e10_algol_scope,
+    "E11": run_e11_perprocess,
+    "E12": run_e12_federation,
+    "A1": run_a1_rule_ablation,
+    "A2": run_a2_scheme_grid,
+    "A3": run_a3_boundary_mapping,
+    "A4": run_a4_resolution_cost,
+    "A5": run_a5_cache_coherence,
+    "A6": run_a6_scope_enlargement,
+}
+
+
+def run_all(seed: int = 0) -> dict[str, ExperimentResult]:
+    """Run every experiment; returns id → result, in paper order."""
+    return {exp_id: runner(seed=seed)
+            for exp_id, runner in ALL_EXPERIMENTS.items()}
+
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentResult",
+    "run_a1_rule_ablation",
+    "run_a2_scheme_grid",
+    "run_a3_boundary_mapping",
+    "run_a4_resolution_cost",
+    "run_a5_cache_coherence",
+    "run_a6_scope_enlargement",
+    "run_all",
+    "run_e10_algol_scope",
+    "run_e11_perprocess",
+    "run_e12_federation",
+    "run_e1_sources",
+    "run_e2_exchange_rules",
+    "run_e3_embedded_rules",
+    "run_e4_unix",
+    "run_e5_newcastle",
+    "run_e6_shared_graph",
+    "run_e7_dce",
+    "run_e8_crosslinks",
+    "run_e9_pqid",
+]

@@ -1,0 +1,67 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.bench                 # run everything, print tables
+    python -m repro.bench E2 E9 A1        # a subset
+    python -m repro.bench --seed 7 --list
+
+Exit status is nonzero if any shape check fails, so the module doubles
+as a reproduction smoke test in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import ALL_EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run the paper-reproduction experiment suite.")
+    parser.add_argument("experiments", nargs="*", metavar="ID",
+                        help="experiment ids (default: all); see --list")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="workload seed (default 0)")
+    parser.add_argument("--list", action="store_true",
+                        help="list experiment ids and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for exp_id, runner in ALL_EXPERIMENTS.items():
+            doc = (runner.__doc__ or "").strip().splitlines()[0]
+            print(f"{exp_id:4} {doc}")
+        return 0
+
+    selected = args.experiments or list(ALL_EXPERIMENTS)
+    unknown = [e for e in selected if e not in ALL_EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment ids: {', '.join(unknown)} "
+                     f"(use --list)")
+
+    failures = []
+    for exp_id in selected:
+        result = ALL_EXPERIMENTS[exp_id](seed=args.seed)
+        print(result.render())
+        print()
+        if not result.all_checks_pass():
+            failures.append(exp_id)
+
+    if failures:
+        print(f"SHAPE MISMATCH in: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    print(f"all {len(selected)} experiments reproduced "
+          f"(seed={args.seed})")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        sys.exit(0)  # output piped into head/less and closed
+

@@ -1,0 +1,125 @@
+"""Ablation A5 (extension): cached bindings and coherence maintenance.
+
+A binding cache copies part of a context onto another machine — so a
+stale cache entry *is* incoherence in the paper's sense: the same name
+denoting different entities in different parts of the system.  A5
+drives a lookup workload with occasional rebinds under the three
+policies of :mod:`repro.nameservice.cache` and measures the classic
+trade-off:
+
+* ``NONE``   — never stale, every remote lookup pays a round trip;
+* ``TTL``    — cheap reads, stale reads inside the expiry window;
+* ``INVALIDATE`` — cheap reads AND never stale after delivery, paying
+  one invalidation message per cached copy on each rebind.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bench.harness import ExperimentResult
+from repro.model.context import context_object
+from repro.model.entities import ObjectEntity
+from repro.nameservice.cache import CachePolicy, CachingDirectoryService
+from repro.nameservice.placement import DirectoryPlacement
+from repro.sim.kernel import Simulator
+
+__all__ = ["run_a5_cache_coherence"]
+
+_NAMES = [f"svc{i}" for i in range(6)]
+
+
+def _run_policy(policy: CachePolicy, seed: int, operations: int,
+                rebind_every: int, ttl: float) -> dict[str, float]:
+    simulator = Simulator(seed=seed)
+    network = simulator.network("lan")
+    server_machine = simulator.machine(network, "registry")
+    client_machines = [simulator.machine(network, f"client{i}")
+                       for i in range(3)]
+    directory = context_object("services")
+    simulator.sigma.add(directory)
+    versions: dict[str, ObjectEntity] = {}
+    for name_ in _NAMES:
+        versions[name_] = ObjectEntity(f"{name_}-v1")
+        simulator.sigma.add(versions[name_])
+        directory.state.bind(name_, versions[name_])
+    placement = DirectoryPlacement()
+    placement.place(directory, server_machine)
+    service = CachingDirectoryService(simulator, placement,
+                                      policy=policy, ttl=ttl)
+    rng = random.Random(seed)
+    stale = 0
+    reads = 0
+    version_counter = {name_: 1 for name_ in _NAMES}
+    for op_index in range(operations):
+        # Virtual time advances steadily so TTL windows are meaningful.
+        simulator.schedule(1.0, lambda: None, note="tick")
+        simulator.run()
+        if rebind_every and op_index and op_index % rebind_every == 0:
+            name_ = rng.choice(_NAMES)
+            version_counter[name_] += 1
+            fresh = ObjectEntity(
+                f"{name_}-v{version_counter[name_]}")
+            simulator.sigma.add(fresh)
+            service.rebind(directory, name_, fresh)
+            versions[name_] = fresh
+            continue
+        client = rng.choice(client_machines)
+        name_ = rng.choice(_NAMES)
+        seen = service.lookup(client, directory, name_)
+        reads += 1
+        if seen is not versions[name_]:
+            stale += 1
+    stats = service.stats()
+    return {
+        "stale_rate": stale / reads if reads else 0.0,
+        "remote_reads_per_lookup": stats["remote_reads"] / reads,
+        "invalidation_messages": float(stats["invalidation_messages"]),
+        "hit_rate": (stats["hits"] / (stats["hits"] + stats["misses"])
+                     if stats["hits"] + stats["misses"] else 0.0),
+    }
+
+
+def run_a5_cache_coherence(seed: int = 0, operations: int = 400,
+                           rebind_every: int = 25,
+                           ttl: float = 40.0) -> ExperimentResult:
+    """A5: staleness vs message cost for the three cache policies."""
+    measurements = {policy: _run_policy(policy, seed, operations,
+                                        rebind_every, ttl)
+                    for policy in CachePolicy}
+    result = ExperimentResult(
+        exp_id="A5",
+        title="Cache-coherence ablation (extension: cached bindings)",
+        headers=["policy", "stale-read rate", "remote reads / lookup",
+                 "cache hit rate", "invalidation msgs"])
+    for policy in CachePolicy:
+        m = measurements[policy]
+        result.rows.append([str(policy), m["stale_rate"],
+                            m["remote_reads_per_lookup"],
+                            m["hit_rate"],
+                            int(m["invalidation_messages"])])
+
+    none, ttl_m, inv = (measurements[CachePolicy.NONE],
+                        measurements[CachePolicy.TTL],
+                        measurements[CachePolicy.INVALIDATE])
+    result.check("no caching: never stale",
+                 none["stale_rate"] == 0.0)
+    result.check("no caching: every lookup pays a remote read",
+                 none["remote_reads_per_lookup"] == 1.0)
+    result.check("TTL caching: cheaper reads but stale windows",
+                 ttl_m["remote_reads_per_lookup"]
+                 < none["remote_reads_per_lookup"]
+                 and ttl_m["stale_rate"] > 0.0)
+    result.check("invalidation: cheap reads and never stale",
+                 inv["remote_reads_per_lookup"]
+                 < none["remote_reads_per_lookup"]
+                 and inv["stale_rate"] == 0.0)
+    result.check("invalidation pays its coherence in messages",
+                 inv["invalidation_messages"] > 0)
+    result.notes.append(
+        f"seed={seed} operations={operations} "
+        f"rebind_every={rebind_every} ttl={ttl}")
+    result.figures = {f"{p}|stale": m["stale_rate"]
+                      for p, m in ((str(k), v)
+                                   for k, v in measurements.items())}
+    return result

@@ -1,0 +1,123 @@
+"""Experiment E12: the section-7 architecture — shared name spaces in
+limited scopes, human prefix-mapping at scope boundaries, and the
+section-6 solutions restoring coherence across scopes.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bench.harness import ExperimentResult
+from repro.closure.rules import RActivity, RReceiver, RSender
+from repro.coherence.auditor import CoherenceAuditor
+from repro.coherence.metrics import measure_degree
+from repro.embedded.documents import flatten
+from repro.embedded.objects import StructuredContent, structured_object
+from repro.embedded.scoping import scope_rule
+from repro.federation.mapping import PrefixMapping, mapping_burden
+from repro.workloads.generators import exchange_events
+from repro.workloads.organizations import OrgSpec, build_federation
+
+__all__ = ["run_e12_federation"]
+
+
+def run_e12_federation(seed: int = 0, count: int = 400,
+                       ) -> ExperimentResult:
+    """E12 (§7): shared name spaces in scopes."""
+    rng = random.Random(seed)
+    env, orgs = build_federation(
+        [OrgSpec("org1", divisions=2, users_per_division=2, services=2),
+         OrgSpec("org2", divisions=2, users_per_division=2, services=2)],
+        seed=seed)
+    org1, org2 = orgs
+
+    result = ExperimentResult(
+        exp_id="E12",
+        title="Shared name spaces in limited scopes (section 7)",
+        headers=["measurement", "population", "value"])
+
+    # 1. Coherence within each scope for its shared spaces.
+    probes1 = org1.user_names + org1.service_names
+    within1 = measure_degree(org1.activities, probes1, env.registry)
+    result.rows.append(["/users and /services names", "within org1",
+                        within1.coherent_fraction])
+    result.check("name spaces shared under a common name give coherence "
+                 "within the scope", within1.coherent_fraction == 1.0)
+
+    # 2. Across organizations, those names are incoherent.
+    both = org1.activities + org2.activities
+    across = measure_degree(both, probes1, env.registry)
+    result.rows.append(["org1 /users names", "across both orgs",
+                        across.coherent_fraction])
+    result.check("crossing scope boundaries: common-name attachment is "
+                 "not possible, incoherence arises",
+                 across.coherent_fraction < 1.0)
+
+    # 3. The human mapping: attach foreign spaces under /org2 and
+    #    rewrite names with the prefix.
+    env.import_foreign(org1.scope, org2.scope, "org2")
+    mapping = PrefixMapping("org2", "org1", "org2")
+    sample = org2.user_names[:3]
+    mapped_ok = all(
+        env.resolve_for(org1.activities[0], mapping.apply(name_))
+        is env.resolve_for(org2.activities[0], name_)
+        for name_ in sample)
+    result.rows.append(["prefix-mapped /org2/users names resolve",
+                        "org1 → org2", mapped_ok])
+    result.check("humans map names by adding the prefix /org2",
+                 mapped_ok)
+
+    # 4. Mapping burden: how often the workload crosses the boundary.
+    events = exchange_events(env.registry, both,
+                             probes1 + org2.user_names, rng, count)
+    crossing = [e for e in events
+                if (env.scope_of(e.sender).chain()[-1]
+                    is not env.scope_of(e.resolver).chain()[-1])]
+    burden = mapping_burden(crossing, len(events))
+    result.rows.append(["mapping burden (boundary-crossing uses)",
+                        f"{int(burden['crossing'])}/{int(burden['total'])}",
+                        burden["burden"]])
+    result.check("interaction across scope boundaries creates mapping "
+                 "work", 0.0 < burden["burden"] < 1.0)
+
+    # 5. Exchanged names across scopes: R(receiver) breaks on homonyms,
+    #    R(sender) (a section-6 solution) restores coherence.
+    receiver_rate = (CoherenceAuditor(RReceiver(env.registry))
+                     .observe_all(events).summary.coherence_rate())
+    sender_rate = (CoherenceAuditor(RSender(env.registry))
+                   .observe_all(events).summary.coherence_rate())
+    result.rows.append(["exchanged names, R(receiver)", "both orgs",
+                        receiver_rate])
+    result.rows.append(["exchanged names, R(sender)", "both orgs",
+                        sender_rate])
+    result.check("one cannot rely on humans for exchanged names — "
+                 "R(receiver) is incoherent across scopes",
+                 receiver_rate < 1.0)
+    result.check("the section-6 solution (R(sender)) restores coherence "
+                 "for exchanged names", sender_rate == 1.0)
+
+    # 6. Embedded names across scopes: a structured object in org2's
+    #    /users tree, read from org1 via the /org2 prefix.  Under
+    #    R(activity) the embedded name breaks; under Figure-6 R(file)
+    #    it resolves inside org2's subtree.
+    users2 = org2.scope.space("users")
+    notes = users2.mkfile("bob/notes")
+    notes.state = "BOB-NOTES"
+    report = users2.add("bob/report", structured_object(
+        "report", StructuredContent().text("{").include("bob/notes")
+        .text("}"), sigma=env.sigma))
+    reader = org1.activities[0]
+    via_activity = flatten(report, reader, RActivity(env.registry))
+    via_scope = flatten(report, reader, scope_rule(env.sigma))
+    result.rows.append(["embedded name via R(activity)", reader.label,
+                        via_activity])
+    result.rows.append(["embedded name via R(file)", reader.label,
+                        via_scope])
+    result.check("embedded names crossing scopes are incoherent under "
+                 "R(activity)", "⊥" in via_activity)
+    result.check("the embedded-names solution restores coherence across "
+                 "scopes", via_scope == "{BOB-NOTES}")
+    result.notes.append(f"seed={seed} events={count}")
+    result.figures["burden"] = burden["burden"]
+    result.figures["receiver_rate"] = receiver_rate
+    return result

@@ -1,0 +1,426 @@
+"""Experiments E4–E8 and ablation A2: the section-5 naming schemes.
+
+One experiment per analysed scheme — Unix trees, the Newcastle
+Connection (Figure 3), the Andrew-style shared naming graph
+(Figure 4), OSF DCE cells, and federated cross-links (Figure 5) —
+each reproducing the paper's qualitative claims about who is coherent
+with whom, for which names.  A2 puts all schemes on one comparable
+grid.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import ExperimentResult
+from repro.coherence.definitions import coherent, is_global_name
+from repro.coherence.metrics import measure_degree
+from repro.model.names import CompoundName
+from repro.namespaces.crosslink import FederatedSystems
+from repro.namespaces.dce import DCESystem
+from repro.namespaces.newcastle import NewcastleSystem, RemoteRootPolicy
+from repro.namespaces.perprocess import PerProcessSystem
+from repro.namespaces.shared_graph import SharedGraphSystem
+from repro.namespaces.single_tree import SingleTreeSystem
+from repro.namespaces.unix import UnixSystem
+from repro.remote.execution import evaluate_remote_exec
+from repro.replication.weak import classify_names, replica_equivalence
+from repro.workloads.organizations import build_campus
+
+__all__ = ["run_e4_unix", "run_e5_newcastle", "run_e6_shared_graph",
+           "run_e7_dce", "run_e8_crosslinks", "run_a2_scheme_grid"]
+
+
+def run_e4_unix(seed: int = 0) -> ExperimentResult:
+    """E4 (§5.1): Unix file names — root sharing, fork inheritance,
+    working directories, chroot."""
+    unix = UnixSystem("wombat")
+    for path in ("etc/passwd", "usr/bin/cc", "home/alice/notes",
+                 "home/alice/paper", "home/bob/todo"):
+        unix.tree.mkfile(path)
+    init = unix.spawn("init")
+    shell = unix.fork(init, "shell")
+    editor = unix.fork(shell, "editor")
+    rooted_probes = unix.probe_names()
+    relative_probes = [p.relative() for p in rooted_probes]
+    all_probes = rooted_probes + relative_probes
+    same_root = [init, shell, editor]
+
+    result = ExperimentResult(
+        exp_id="E4", title="Unix file names (section 5.1)",
+        headers=["population", "probe set", "coherent fraction"])
+
+    degree_rooted = measure_degree(same_root, rooted_probes, unix.registry)
+    result.rows.append(["same-root processes", "rooted /…",
+                        degree_rooted.coherent_fraction])
+    result.check("coherence for names starting with '/' among "
+                 "same-root processes",
+                 degree_rooted.coherent_fraction == 1.0)
+
+    degree_fork = measure_degree([shell, editor], all_probes, unix.registry)
+    result.rows.append(["parent+fresh fork child", "all names",
+                        degree_fork.coherent_fraction])
+    result.check("parent and child coherent for ALL names after fork",
+                 degree_fork.coherent_fraction == 1.0)
+
+    unix.chdir(editor, "/home/alice")
+    degree_after = measure_degree([shell, editor], relative_probes,
+                                  unix.registry)
+    degree_after_rooted = measure_degree([shell, editor], rooted_probes,
+                                         unix.registry)
+    result.rows.append(["parent+child after chdir", "relative names",
+                        degree_after.coherent_fraction])
+    result.rows.append(["parent+child after chdir", "rooted /…",
+                        degree_after_rooted.coherent_fraction])
+    result.check("context modification (chdir) breaks relative-name "
+                 "coherence",
+                 degree_after.coherent_fraction < 1.0)
+    result.check("rooted names stay coherent through chdir",
+                 degree_after_rooted.coherent_fraction == 1.0)
+
+    jail = unix.spawn("jailed")
+    unix.chroot(jail, "/home")
+    degree_jail = measure_degree(same_root + [jail], rooted_probes,
+                                 unix.registry)
+    result.rows.append(["population incl. chroot'd process", "rooted /…",
+                        degree_jail.coherent_fraction])
+    result.check("coherence only among processes with the same root "
+                 "binding (chroot breaks it)",
+                 degree_jail.coherent_fraction < 1.0)
+    result.figures["rooted_same_root"] = degree_rooted.coherent_fraction
+    result.figures["rooted_with_jail"] = degree_jail.coherent_fraction
+    return result
+
+
+def _newcastle_fixture() -> tuple[NewcastleSystem, dict[str, list]]:
+    nc = NewcastleSystem()
+    for machine in ("unix1", "unix2", "unix3"):
+        tree = nc.add_machine(machine)
+        tree.mkfile("usr/spool/mail")          # homonym on every machine
+        tree.mkfile(f"usr/{machine}-data")     # machine-specific file
+    processes = {m: [nc.spawn(m, f"{m}-p{i}") for i in range(2)]
+                 for m in nc.machines()}
+    return nc, processes
+
+
+def run_e5_newcastle(seed: int = 0) -> ExperimentResult:
+    """E5 (Figure 3): the Newcastle Connection — three machines, one
+    tree, per-machine roots."""
+    nc, processes = _newcastle_fixture()
+    result = ExperimentResult(
+        exp_id="E5", title="Newcastle Connection (Figure 3)",
+        headers=["measurement", "value"])
+
+    local_probe = CompoundName.parse("/usr/unix1-data")
+    homonym_probe = CompoundName.parse("/usr/spool/mail")
+    same_machine = processes["unix1"]
+    cross = [processes["unix1"][0], processes["unix2"][0]]
+
+    same_ok = coherent(local_probe, same_machine, nc.registry)
+    result.rows.append(["same-machine coherence for /usr/unix1-data",
+                        same_ok])
+    result.check("processes with the same root binding have coherence "
+                 "for '/' names", same_ok)
+
+    cross_ok = coherent(homonym_probe, cross, nc.registry)
+    result.rows.append(["cross-machine coherence for /usr/spool/mail",
+                        cross_ok])
+    result.check("incoherence across machine boundaries", not cross_ok)
+
+    globals_ok = is_global_name(homonym_probe, nc.activities(),
+                                nc.registry)
+    result.rows.append(["/usr/spool/mail is a global name", globals_ok])
+    result.check("a shared naming tree does not imply global names",
+                 not globals_ok)
+
+    mapped = nc.map_name(local_probe, "unix1", "unix2")
+    p1, p2 = cross
+    map_ok = (nc.resolve_for(p2, mapped)
+              is nc.resolve_for(p1, local_probe))
+    result.rows.append([f"mapping rule {local_probe} → {mapped}", map_ok])
+    result.check("the simple ../machine mapping rule maps names across "
+                 "machines", map_ok)
+
+    arguments = [local_probe, homonym_probe,
+                 CompoundName.parse("/usr/spool")]
+    child_invoker = nc.remote_spawn(p1, "unix2", "rc-invoker",
+                                    RemoteRootPolicy.INVOKER)
+    child_target = nc.remote_spawn(p1, "unix2", "rc-target",
+                                   RemoteRootPolicy.TARGET)
+    report_invoker = evaluate_remote_exec(nc.registry, p1, child_invoker,
+                                          arguments, "invoker-root")
+    report_target = evaluate_remote_exec(nc.registry, p1, child_target,
+                                         arguments, "target-root")
+    result.rows.append(["remote exec, invoker-root arg coherence",
+                        report_invoker.coherence_rate])
+    result.rows.append(["remote exec, target-root arg coherence",
+                        report_target.coherence_rate])
+    result.check("invoker-root remote execution provides coherence for "
+                 "parameters", report_invoker.coherence_rate == 1.0)
+    result.check("target-root remote execution does not",
+                 report_target.coherence_rate < 1.0)
+
+    local_access = nc.resolve_for(child_target,
+                                  "/usr/unix2-data").is_defined()
+    result.rows.append(["target-root child accesses local objects",
+                        local_access])
+    result.check("target-root child can access objects local to the "
+                 "remote machine", local_access)
+    result.figures["invoker_rate"] = report_invoker.coherence_rate
+    result.figures["target_rate"] = report_target.coherence_rate
+    return result
+
+
+def run_e6_shared_graph(seed: int = 0) -> ExperimentResult:
+    """E6 (Figure 4): the shared naming graph approach (Andrew)."""
+    campus = build_campus(clients=3, local_files_per_client=2,
+                          shared_files=4, replicated_commands=2,
+                          processes_per_client=2, seed=seed)
+    activities = campus.activities()
+    classes = classify_names(campus.probe_names(), activities,
+                             campus.registry, campus.replicas)
+
+    result = ExperimentResult(
+        exp_id="E6", title="Shared naming graph / Andrew (Figure 4)",
+        headers=["name class", "count", "example"])
+    for klass in ("strong", "weak", "incoherent"):
+        names = sorted(classes[klass])
+        result.rows.append([klass, len(names),
+                            str(names[0]) if names else "-"])
+
+    shared_prefix = campus.shared_prefix.as_rooted()
+    strong_all_shared = all(n.starts_with(shared_prefix)
+                            for n in classes["strong"])
+    shared_all_strong = all(n in classes["strong"]
+                            for n in campus.shared_probe_names())
+    result.check("all /vice names are coherent among all processes",
+                 shared_all_strong)
+    result.check("only shared-graph names are strongly coherent "
+                 "system-wide", strong_all_shared)
+
+    replicated = [n for n in classes["weak"]]
+    result.check("replicated commands (/bin/...) are weakly coherent",
+                 len(replicated) > 0 and all(
+                     str(n).startswith("/bin/") for n in replicated))
+
+    client0 = campus.client("ws0")
+    local_probes = [p.as_rooted() for p in client0.tree.all_paths()
+                    if not p.starts_with(campus.shared_prefix)]
+    within = measure_degree(
+        [a for a in activities
+         if a.label.startswith("ws0")], local_probes, campus.registry)
+    result.rows.append(["ws0 local names within ws0", within.probes,
+                        f"{within.coherent_fraction:.3f}"])
+    result.check("local names are coherent within a client subsystem",
+                 within.coherent_fraction == 1.0)
+
+    parent = [a for a in activities if a.label.startswith("ws0")][0]
+    child = campus.remote_spawn(parent, "ws1", "rc")
+    shared_args = campus.shared_probe_names()[:3]
+    local_args = local_probes[:2]
+    report_shared = evaluate_remote_exec(
+        campus.registry, parent, child, shared_args, "shared args",
+        equivalence=replica_equivalence(campus.replicas))
+    report_local = evaluate_remote_exec(
+        campus.registry, parent, child, local_args, "local args",
+        equivalence=replica_equivalence(campus.replicas))
+    result.rows.append(["remote exec: shared-graph args coherent",
+                        report_shared.total,
+                        f"{report_shared.coherence_rate:.3f}"])
+    result.rows.append(["remote exec: home-subsystem args coherent",
+                        report_local.total,
+                        f"{report_local.coherence_rate:.3f}"])
+    result.check("only entities in the shared naming graph can be "
+                 "passed as arguments",
+                 report_shared.coherence_rate == 1.0
+                 and report_local.coherence_rate < 1.0)
+    result.check("passable() predicts argument coherence",
+                 all(campus.passable(n) for n in shared_args)
+                 and not any(campus.passable(n) for n in local_args))
+    return result
+
+
+def run_e7_dce(seed: int = 0) -> ExperimentResult:
+    """E7 (§5.2): OSF DCE — /... global directory and /.: cells."""
+    dce = DCESystem()
+    for cell in ("research", "sales"):
+        tree = dce.add_cell(cell)
+        tree.mkfile("services/login")          # homonym across cells
+        tree.mkfile(f"services/{cell}-db")     # cell-specific
+    machines = [dce.add_machine("ws1", "research"),
+                dce.add_machine("ws2", "research"),
+                dce.add_machine("ws3", "sales")]
+    processes = [m.spawn(f"{m.label}-p") for m in machines]
+
+    result = ExperimentResult(
+        exp_id="E7", title="OSF DCE cells (section 5.2)",
+        headers=["probe set", "population", "coherent fraction"])
+
+    globals_degree = measure_degree(processes, dce.global_probe_names(),
+                                    dce.registry)
+    result.rows.append(["/... global names", "all machines",
+                        globals_degree.coherent_fraction])
+    result.check("global directory names (/...) are coherent everywhere",
+                 globals_degree.coherent_fraction == 1.0)
+
+    cell_probe = dce.cell_relative_name("services/login")
+    same_cell = processes[:2]
+    cross_cell = [processes[0], processes[2]]
+    same_ok = coherent(cell_probe, same_cell, dce.registry)
+    cross_ok = coherent(cell_probe, cross_cell, dce.registry)
+    result.rows.append([str(cell_probe), "same cell", float(same_ok)])
+    result.rows.append([str(cell_probe), "across cells", float(cross_ok)])
+    result.check("cell-relative names are coherent within a cell",
+                 same_ok)
+    result.check("incoherence arises for names relative to the cell "
+                 "context", not cross_ok)
+
+    cell_degree = measure_degree(processes, dce.cell_probe_names(),
+                                 dce.registry,
+                                 groups={"research": same_cell})
+    result.rows.append(["/.: names", "all machines",
+                        cell_degree.coherent_fraction])
+    result.check("a machine knows only one local cell → /.: names are "
+                 "not global", cell_degree.global_fraction < 1.0)
+    result.figures["global_rate"] = globals_degree.coherent_fraction
+    result.figures["cell_rate"] = cell_degree.coherent_fraction
+    return result
+
+
+def run_e8_crosslinks(seed: int = 0) -> ExperimentResult:
+    """E8 (Figure 5): cross-links between autonomous systems."""
+    fed = FederatedSystems()
+    sys1 = fed.add_system("sys1")
+    sys2 = fed.add_system("sys2")
+    sys1.mkfile("users/amy/todo")
+    sys2.mkfile("projects/apollo/plan")
+    # A jointly maintained entity that HAPPENS to be bound under the
+    # same prefix in both systems (§5.3's coincidence case).
+    joint = sys1.mkfile("well-known/rfc")
+    sys2.add("well-known/rfc", joint)
+    # Homonyms: same textual path, different entity.
+    sys1.mkfile("etc/motd")
+    sys2.mkfile("etc/motd")
+
+    fed.add_link("sys1", "org2", "sys2")
+    p1 = fed.spawn("sys1", "p1")
+    p2 = fed.spawn("sys2", "p2")
+
+    result = ExperimentResult(
+        exp_id="E8", title="Cross-links between autonomous systems "
+                           "(Figure 5)",
+        headers=["measurement", "value"])
+
+    remote_entity = fed.resolve_for(p2, "/projects/apollo/plan")
+    access_ok = (fed.resolve_for(p1, "/org2/projects/apollo/plan")
+                 is remote_entity)
+    result.rows.append(["cross-link extends access to remote graph",
+                        access_ok])
+    result.check("the context of each activity is extended to allow "
+                 "access to the remote naming graph", access_ok)
+
+    coincidental = fed.coincidental_global_names()
+    result.rows.append(["coincidental global names",
+                        ", ".join(str(n) for n in coincidental) or "-"])
+    result.check("no global names between systems unless the same "
+                 "prefix happens to be used for a shared entity",
+                 coincidental == [CompoundName.parse("/well-known/rfc")])
+
+    exchanged_ok = coherent("/projects/apollo/plan", [p1, p2],
+                            fed.registry)
+    homonym_ok = coherent("/etc/motd", [p1, p2], fed.registry)
+    result.rows.append(["exchanged name /projects/apollo/plan coherent",
+                        exchanged_ok])
+    result.rows.append(["homonym /etc/motd coherent", homonym_ok])
+    result.check("incoherence when names are exchanged across system "
+                 "boundaries", not exchanged_ok and not homonym_ok)
+
+    child = fed.spawn("sys2", "remote-child")
+    report = evaluate_remote_exec(
+        fed.registry, p1, child,
+        ["/users/amy/todo", "/etc/motd", "/well-known/rfc"],
+        "cross-system remote exec")
+    result.rows.append(["remote exec arg coherence across systems",
+                        f"{report.coherence_rate:.3f}"])
+    result.check("remote execution across systems suffers name "
+                 "conflicts", report.coherence_rate < 1.0)
+    return result
+
+
+def run_a2_scheme_grid(seed: int = 0) -> ExperimentResult:
+    """A2: all schemes under a comparable two-site workload.
+
+    Each scheme hosts two sites, each with one site-local file of the
+    *same* textual path (a homonym) plus a shared corpus reachable by
+    every activity; the measured coherent fraction over each scheme's
+    own probe population orders the approaches the way section 5 does.
+    """
+    rows: dict[str, float] = {}
+
+    single = SingleTreeSystem()
+    for site in ("site1", "site2"):
+        single.add_machine(site)
+        single.machine_tree(site).mkfile("tmp/scratch")
+    single.tree.mkfile("shared/corpus")
+    for site in ("site1", "site2"):
+        for index in range(2):
+            single.spawn(site, f"{site}-p{index}")
+    rows["single-tree"] = single.measure().coherent_fraction
+
+    andrew = SharedGraphSystem()
+    andrew.shared.mkfile("corpus")
+    for site in ("site1", "site2"):
+        client = andrew.add_client(site)
+        client.tree.mkfile("tmp/scratch")
+        for index in range(2):
+            client.spawn(f"{site}-p{index}")
+    rows["shared-graph"] = andrew.measure().coherent_fraction
+
+    nc = NewcastleSystem()
+    for site in ("site1", "site2"):
+        tree = nc.add_machine(site)
+        tree.mkfile("tmp/scratch")
+    nc.machine_tree("site1").mkfile("shared/corpus")
+    for site in ("site1", "site2"):
+        for index in range(2):
+            nc.spawn(site, f"{site}-p{index}")
+    rows["newcastle"] = nc.measure().coherent_fraction
+
+    fed = FederatedSystems()
+    for site in ("site1", "site2"):
+        tree = fed.add_system(site)
+        tree.mkfile("tmp/scratch")
+    fed.tree("site1").mkfile("shared/corpus")
+    fed.add_link("site2", "remote/site1", "site1")
+    for site in ("site1", "site2"):
+        for index in range(2):
+            fed.spawn(site, f"{site}-p{index}")
+    rows["cross-links"] = fed.measure().coherent_fraction
+
+    port = PerProcessSystem()
+    for site in ("site1", "site2"):
+        port.add_machine(site)
+        port.machine_tree(site).mkfile("tmp/scratch")
+    port.add_machine("fileserver")
+    port.machine_tree("fileserver").mkfile("corpus")
+    for site in ("site1", "site2"):
+        for index in range(2):
+            port.spawn(site, f"{site}-p{index}",
+                       mounts=[("local", site), ("shared", "fileserver")])
+    rows["per-process"] = port.measure().coherent_fraction
+
+    result = ExperimentResult(
+        exp_id="A2", title="Scheme comparison grid (section 5)",
+        headers=["scheme", "coherent fraction of probe names"])
+    for scheme_label in ("single-tree", "shared-graph", "per-process",
+                         "newcastle", "cross-links"):
+        result.rows.append([scheme_label, rows[scheme_label]])
+
+    result.check("the single naming tree has the highest degree of "
+                 "coherence",
+                 rows["single-tree"] == max(rows.values()))
+    result.check("single tree >= shared graph",
+                 rows["single-tree"] >= rows["shared-graph"])
+    result.check("shared graph >= per-machine-root approaches",
+                 rows["shared-graph"] >= rows["newcastle"]
+                 and rows["shared-graph"] >= rows["cross-links"])
+    result.figures.update(rows)
+    return result

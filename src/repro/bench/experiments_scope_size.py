@@ -1,0 +1,125 @@
+"""Ablation A6: enlarging the scope (§7's final advice).
+
+"If the interaction across scope boundaries is high, then mapping
+names can become a hindrance and enlarging the scope may be
+necessary."  A6 quantifies that advice: the *same* population of users
+and services is arranged two ways —
+
+* **federated**: two organizations, each sharing its own ``/users``
+  and ``/services``; cross-org interaction requires prefix mapping;
+* **enlarged**: one organization-pair-wide scope sharing a single
+  merged ``/users`` / ``/services``.
+
+An identical exchange workload is then measured for R(receiver)
+coherence and human-mapping burden.  Expected shape: enlarging the
+scope removes both the burden and the exchanged-name incoherence —
+at the price the paper spends its whole introduction on (a bigger
+shared name space that every participant must agree on).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bench.harness import ExperimentResult
+from repro.closure.rules import RReceiver
+from repro.coherence.auditor import CoherenceAuditor
+from repro.federation.mapping import mapping_burden
+from repro.federation.scopes import FederationEnvironment
+from repro.model.names import CompoundName
+
+__all__ = ["run_a6_scope_enlargement"]
+
+_ORGS = ("acme", "globex")
+_USERS_PER_ORG = 4
+_ACTIVITIES_PER_ORG = 3
+
+
+def _user_names(org: str) -> list[str]:
+    return [f"{org}-u{i}" for i in range(_USERS_PER_ORG)]
+
+
+def _build_federated():
+    env = FederationEnvironment()
+    activities = []
+    probes: list[CompoundName] = []
+    for org_label in _ORGS:
+        scope = env.add_scope(org_label)
+        users = scope.publish("users")
+        for user in _user_names(org_label):
+            users.mkfile(f"{user}/plan")
+            probes.append(CompoundName.parse(f"/users/{user}/plan"))
+        for index in range(_ACTIVITIES_PER_ORG):
+            activities.append(env.spawn(scope,
+                                        f"{org_label}-p{index}"))
+    return env, activities, probes
+
+
+def _build_enlarged():
+    env = FederationEnvironment()
+    merged = env.add_scope("consortium")
+    users = merged.publish("users")
+    activities = []
+    probes: list[CompoundName] = []
+    for org_label in _ORGS:
+        for user in _user_names(org_label):
+            users.mkfile(f"{user}/plan")
+            probes.append(CompoundName.parse(f"/users/{user}/plan"))
+        for index in range(_ACTIVITIES_PER_ORG):
+            # Same population; now every activity lives in one scope.
+            activities.append(env.spawn(merged,
+                                        f"{org_label}-p{index}"))
+    return env, activities, probes
+
+
+def _measure(env, activities, probes, rng, count):
+    from repro.workloads.generators import exchange_events
+
+    events = exchange_events(env.registry, activities, probes, rng,
+                             count)
+    crossing = [e for e in events
+                if env.scope_of(e.sender).chain()[-1]
+                is not env.scope_of(e.resolver).chain()[-1]]
+    burden = mapping_burden(crossing, len(events))
+    rate = (CoherenceAuditor(RReceiver(env.registry))
+            .observe_all(events).summary.coherence_rate())
+    return rate, burden["burden"]
+
+
+def run_a6_scope_enlargement(seed: int = 0,
+                             count: int = 400) -> ExperimentResult:
+    """A6: federated scopes vs one enlarged scope, same workload."""
+    rng = random.Random(seed)
+    fed_env, fed_acts, fed_probes = _build_federated()
+    big_env, big_acts, big_probes = _build_enlarged()
+    fed_rate, fed_burden = _measure(fed_env, fed_acts, fed_probes,
+                                    rng, count)
+    big_rate, big_burden = _measure(big_env, big_acts, big_probes,
+                                    rng, count)
+
+    result = ExperimentResult(
+        exp_id="A6",
+        title="Scope enlargement (section 7: 'enlarging the scope may "
+              "be necessary')",
+        headers=["configuration", "R(receiver) coherence",
+                 "mapping burden", "shared spaces to govern"])
+    result.rows.append(["two federated orgs", fed_rate, fed_burden,
+                        len(_ORGS)])
+    result.rows.append(["one enlarged scope", big_rate, big_burden, 1])
+
+    result.check("high cross-boundary interaction makes the federated "
+                 "configuration incoherent under R(receiver)",
+                 fed_rate < 1.0)
+    result.check("federated interaction carries a mapping burden",
+                 fed_burden > 0.0)
+    result.check("enlarging the scope removes the incoherence",
+                 big_rate == 1.0)
+    result.check("enlarging the scope removes the mapping burden",
+                 big_burden == 0.0)
+    result.notes.append(f"seed={seed} events={count} "
+                        f"({_USERS_PER_ORG} users x {len(_ORGS)} orgs, "
+                        f"{_ACTIVITIES_PER_ORG} activities each)")
+    result.figures = {"federated_rate": fed_rate,
+                      "enlarged_rate": big_rate,
+                      "federated_burden": fed_burden}
+    return result

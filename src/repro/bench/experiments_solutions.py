@@ -1,0 +1,290 @@
+"""Experiments E9–E11: the paper's section-6 solutions.
+
+* E9 — partially qualified identifiers with the R(sender) mapping
+  (§6-I Example 1): exchange coherence and survival of connections
+  under machine/network renumbering, against fully-qualified and
+  unmapped baselines.
+* E10 — embedded names under Algol-scope R(file) (§6-I Example 2,
+  Figure 6): invariance under relocation, copying, simultaneous
+  attachment and combination of structured objects.
+* E11 — per-process namespaces and the remote-execution facility
+  (§6-II): coherence for names passed parent → remote child without
+  global names.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bench.harness import ExperimentResult
+from repro.closure.rules import RActivity
+from repro.coherence.definitions import is_global_name
+from repro.embedded.documents import assembly_equal, flatten
+from repro.embedded.objects import StructuredContent, structured_object
+from repro.embedded.relocate import (
+    copy_structured_subtree,
+    move_subtree,
+    multi_attach,
+)
+from repro.embedded.scoping import scope_rule
+from repro.model.entities import Activity
+from repro.model.state import GlobalState
+from repro.namespaces.perprocess import PerProcessSystem
+from repro.namespaces.tree import NamingTree
+from repro.pqid.mapping import fully_qualify, qualify
+from repro.pqid.relocation import ReferenceTable
+from repro.pqid.transport import PidPolicy, exchange_outcome, send_pid
+from repro.remote.execution import evaluate_remote_exec
+from repro.sim.failures import FailureInjector
+from repro.workloads.scenarios import build_pqid_population
+
+__all__ = ["run_e9_pqid", "run_e10_algol_scope", "run_e11_perprocess"]
+
+
+def run_e9_pqid(seed: int = 0, exchanges: int = 120,
+                references: int = 150) -> ExperimentResult:
+    """E9: partially qualified identifiers (§6-I Example 1)."""
+    rng = random.Random(seed)
+    population = build_pqid_population(seed=seed)
+    simulator = population.simulator
+
+    result = ExperimentResult(
+        exp_id="E9",
+        title="Partially qualified identifiers (section 6, Example 1)",
+        headers=["phase", "policy", "population", "rate"])
+
+    # Phase 1: pid exchange under the three wire policies.
+    rates: dict[PidPolicy, float] = {}
+    for policy in (PidPolicy.MAPPED, PidPolicy.RAW, PidPolicy.FULL):
+        done = []
+        for _ in range(exchanges):
+            sender, receiver = population.random_pair(rng)
+            target = rng.choice(population.processes)
+            done.append(send_pid(sender, receiver, target, policy))
+        simulator.run()
+        coherent_count = sum(
+            1 for ex in done if exchange_outcome(ex) == "coherent")
+        rates[policy] = coherent_count / len(done)
+        result.rows.append(["exchange", str(policy), "all pairs",
+                            rates[policy]])
+    result.check("R(sender) mapping: coherence for all exchanged pids",
+                 rates[PidPolicy.MAPPED] == 1.0)
+    result.check("unmapped (R(receiver)) exchange is incoherent for "
+                 "non-global pids", rates[PidPolicy.RAW] < 1.0)
+    result.check("fully qualified pids work while addresses are stable",
+                 rates[PidPolicy.FULL] == 1.0)
+
+    # Phase 2: long-lived references, partially vs fully qualified.
+    tables = {"pqid": ReferenceTable(), "full": ReferenceTable()}
+    for _ in range(references):
+        holder, target = population.random_pair(rng)
+        if holder.machine is target.machine:
+            note = "intra-machine"
+        elif holder.same_network(target):
+            note = "intra-network"
+        else:
+            note = "inter-network"
+        tables["pqid"].add(holder, qualify(target, holder), target, note)
+        tables["full"].add(holder, fully_qualify(target), target, note)
+
+    # Phase 3: renumber one machine, then one network.
+    injector = FailureInjector(simulator)
+    renamed_machine = population.machines[0]
+    injector.renumber_machine(renamed_machine, 90)
+
+    def survival(kind: str, note: str) -> float:
+        return tables[kind].subset(note).survival()
+
+    for kind in ("pqid", "full"):
+        for note in ("intra-machine", "intra-network", "inter-network"):
+            result.rows.append([f"after machine renumber", kind, note,
+                                survival(kind, note)])
+    result.check("pids of local processes within the renamed machine "
+                 "remain valid (intra-machine survival = 1)",
+                 survival("pqid", "intra-machine") == 1.0)
+    result.check("fully qualified pids referencing the renamed machine "
+                 "break",
+                 survival("full", "intra-machine") < 1.0)
+
+    # Phase 3b: fresh references (taken after the machine renumber,
+    # so they reflect current addresses), then renumber a network.
+    # The §6 claim is about the renumbering in isolation: connections
+    # inside the renamed network survive with partially qualified
+    # pids and break with fully qualified ones.
+    fresh = {"pqid": ReferenceTable(), "full": ReferenceTable()}
+    renamed_network = population.networks[0]
+    inside = [p for p in population.processes
+              if p.machine.network is renamed_network]
+    for _ in range(references // 2):
+        holder, target = rng.sample(inside, 2)
+        note = ("intra-machine" if holder.machine is target.machine
+                else "intra-network")
+        fresh["pqid"].add(holder, qualify(target, holder), target, note)
+        fresh["full"].add(holder, fully_qualify(target), target, note)
+    injector.renumber_network(renamed_network, 95)
+
+    for kind in ("pqid", "full"):
+        for note in ("intra-machine", "intra-network"):
+            result.rows.append([f"after network renumber (fresh refs "
+                                f"inside renamed net)", kind, note,
+                                fresh[kind].subset(note).survival()])
+    result.check("connections within the renamed network survive with "
+                 "partially qualified pids",
+                 fresh["pqid"].survival() == 1.0)
+    result.check("fully qualified pids break under network renumbering",
+                 fresh["full"].survival() < 1.0)
+    stale_pqid = survival("pqid", "intra-machine")
+    result.rows.append(["after both renumberings", "pqid",
+                        "intra-machine (original refs)", stale_pqid])
+    result.check("original intra-machine pqid connections survive both "
+                 "renumberings", stale_pqid == 1.0)
+    result.notes.append(
+        f"seed={seed} exchanges={exchanges} references={references}")
+    result.figures["mapped_rate"] = rates[PidPolicy.MAPPED]
+    result.figures["raw_rate"] = rates[PidPolicy.RAW]
+    return result
+
+
+def run_e10_algol_scope(seed: int = 0) -> ExperimentResult:
+    """E10 (Figure 6): embedded file names under Algol scope rules."""
+    sigma = GlobalState()
+    tree = NamingTree("env", sigma=sigma, parent_links=True)
+    rule = scope_rule(sigma)
+    readers = [Activity(f"reader{i}") for i in range(3)]
+    for reader in readers:
+        sigma.add(reader)
+
+    # Figure 6's shape: subtree `proj` with a binding for `a` at an
+    # ancestor (n'), an embedded name a/p in node n, denoting n''.
+    part = tree.mkfile("proj/a/p", label="component")
+    part.state = "COMPONENT-TEXT"
+    document = tree.add("proj/src/n", structured_object(
+        "n", StructuredContent().text("[").include("a/p").text("]"),
+        sigma=sigma))
+    expected = "[COMPONENT-TEXT]"
+
+    result = ExperimentResult(
+        exp_id="E10",
+        title="Embedded names, Algol scope rules (Figure 6)",
+        headers=["operation", "assembly stable", "same for all readers"])
+
+    def measure(op: str) -> tuple[bool, bool]:
+        stable = flatten(document, readers[0], rule) == expected
+        same = assembly_equal(document, readers, rule, reference=expected)
+        result.rows.append([op, stable, same])
+        return stable, same
+
+    baseline = measure("baseline")
+    result.check("the embedded name denotes n'' via the closest "
+                 "ancestor binding", all(baseline))
+
+    proj = move_subtree(tree, "proj", "archive/2026/proj")
+    moved = measure("relocate subtree")
+    result.check("relocation does not change the meaning of embedded "
+                 "names", all(moved))
+
+    other = NamingTree("other-site", sigma=sigma, parent_links=True)
+    multi_attach(proj, [(other, "mnt/a"), (other, "mnt/b")])
+    attached = measure("simultaneous attach (2 places)")
+    result.check("the subtree can be simultaneously attached in "
+                 "different parts of the environment", all(attached))
+
+    copy_structured_subtree(tree, "archive/2026/proj", "copies/proj")
+    copied_doc = tree.lookup("copies/proj/src/n")
+    copy_ok = (copied_doc is not document
+               and flatten(copied_doc, readers[1], rule) == expected)
+    result.rows.append(["copy subtree", copy_ok, copy_ok])
+    result.check("copying does not change the meaning of embedded names",
+                 copy_ok)
+
+    # Combine two structured objects with CLASHING internal names.
+    tree2 = NamingTree("pkg", sigma=sigma, parent_links=True)
+    for package in ("alpha", "beta"):
+        piece = tree2.mkfile(f"{package}/a/p", label=f"{package}-piece")
+        piece.state = f"{package.upper()}-DATA"
+        tree2.add(f"{package}/main", structured_object(
+            f"{package}-main",
+            StructuredContent().include("a/p"), sigma=sigma))
+    alpha_text = flatten(tree2.lookup("alpha/main"), readers[0], rule)
+    beta_text = flatten(tree2.lookup("beta/main"), readers[0], rule)
+    combine_ok = (alpha_text == "ALPHA-DATA" and beta_text == "BETA-DATA")
+    result.rows.append(["combine structured objects (clashing names)",
+                        combine_ok, combine_ok])
+    result.check("several structured objects can be combined without "
+                 "name conflicts", combine_ok)
+
+    # Contrast: under R(activity) the embedded name breaks for readers
+    # whose context lacks an `a` binding.
+    from repro.closure.meta import ContextRegistry
+    from repro.model.context import Context
+
+    activity_registry = ContextRegistry(
+        default=Context(label="empty"), label="R(a)")
+    broken = flatten(document, readers[0],
+                     RActivity(activity_registry))
+    result.rows.append(["R(activity) contrast renders unresolved",
+                        "⊥" in broken, "-"])
+    result.check("under R(activity) the embedded name does not resolve "
+                 "for an unrelated activity", "⊥" in broken)
+    return result
+
+
+def run_e11_perprocess(seed: int = 0) -> ExperimentResult:
+    """E11 (§6-II): per-process namespaces and remote execution."""
+    port = PerProcessSystem()
+    for machine in ("workstation", "server", "fileserver"):
+        port.add_machine(machine)
+    port.machine_tree("workstation").mkfile("src/prog.c")
+    port.machine_tree("workstation").mkfile("src/prog.h")
+    port.machine_tree("server").mkfile("data/results")
+    port.machine_tree("fileserver").mkfile("lib/libc")
+
+    parent = port.spawn("workstation", "make",
+                        mounts=[("home", "workstation"),
+                                ("lib", "fileserver")])
+    arguments = ["/home/src/prog.c", "/home/src/prog.h", "/lib/lib/libc"]
+
+    result = ExperimentResult(
+        exp_id="E11",
+        title="Per-process naming and remote execution (section 6-II)",
+        headers=["variant", "arg coherence", "local access"])
+
+    child = port.remote_spawn(parent, "server", "cc-remote")
+    report = evaluate_remote_exec(port.registry, parent, child,
+                                  arguments, "namespace import")
+    local_ok = port.resolve_for(child, "/local/data/results").is_defined()
+    result.rows.append(["import parent namespace",
+                        report.coherence_rate, local_ok])
+    result.check("coherence for names passed from parent to remote "
+                 "child", report.coherence_rate == 1.0)
+    result.check("the remote child can access files on its local "
+                 "machine too", local_ok)
+
+    bare = port.remote_spawn(parent, "server", "cc-bare",
+                             import_namespace=False)
+    report_bare = evaluate_remote_exec(port.registry, parent, bare,
+                                       arguments, "no import")
+    result.rows.append(["machine context only (no import)",
+                        report_bare.coherence_rate,
+                        port.resolve_for(
+                            bare, "/local/data/results").is_defined()])
+    result.check("without the per-process import the parameters are "
+                 "incoherent", report_bare.coherence_rate < 1.0)
+
+    # "In spite of not having global names": the passed names are not
+    # global over the whole population.
+    bystander = port.spawn("fileserver", "unrelated")
+    not_global = not any(
+        is_global_name(arg, port.activities(), port.registry)
+        for arg in arguments)
+    result.rows.append(["arguments are global names", not not_global, "-"])
+    result.check("coherence achieved without global names", not_global)
+
+    sibling = port.fork(parent, "make-child")
+    report_fork = evaluate_remote_exec(port.registry, parent, sibling,
+                                       arguments, "fork")
+    result.rows.append(["local fork (mount-table copy)",
+                        report_fork.coherence_rate, "-"])
+    result.check("fork children inherit the namespace coherently",
+                 report_fork.coherence_rate == 1.0)
+    return result

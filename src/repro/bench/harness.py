@@ -1,0 +1,87 @@
+"""Experiment harness: structured, printable, assertable results.
+
+Every experiment (one per paper figure / analysis section; see
+DESIGN.md §4) is a function returning an :class:`ExperimentResult`:
+a titled table of measured rows plus named *shape checks* — boolean
+assertions encoding the paper's qualitative claims ("R(sender) gives
+coherence for all sent names", "only /vice names are coherent across
+clients", ...).  Benches print the table and assert every check;
+EXPERIMENTS.md records the claim-vs-measured correspondence.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.coherence.report import format_table
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of one experiment run."""
+
+    exp_id: str
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence[Any]] = field(default_factory=list)
+    #: Named shape checks: claim → did the measurement satisfy it.
+    checks: dict[str, bool] = field(default_factory=dict)
+    #: Free-form notes (parameters, seeds) printed under the table.
+    notes: list[str] = field(default_factory=list)
+    #: Machine-readable key figures for cross-experiment comparison.
+    figures: dict[str, float] = field(default_factory=dict)
+
+    def check(self, claim: str, ok: bool) -> bool:
+        """Record a named shape check; returns *ok* for chaining."""
+        self.checks[claim] = bool(ok)
+        return bool(ok)
+
+    def all_checks_pass(self) -> bool:
+        """True if every recorded shape check held."""
+        return all(self.checks.values())
+
+    def failed_checks(self) -> list[str]:
+        """Names of failed checks (empty when the shape reproduced)."""
+        return [claim for claim, ok in self.checks.items() if not ok]
+
+    def table(self) -> str:
+        """The experiment's printable table."""
+        return format_table(self.headers, self.rows,
+                            title=f"{self.exp_id}: {self.title}")
+
+    def to_dict(self) -> dict:
+        """A JSON-serialisable record of the run (rows stringified).
+
+        Machine-readable counterpart of :meth:`render`; the
+        ``tools/run_all_json.py`` script aggregates these across the
+        suite so downstream analysis never has to scrape tables.
+        """
+        return {
+            "exp_id": self.exp_id,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [[cell if isinstance(cell, (int, float, bool))
+                      else str(cell) for cell in row]
+                     for row in self.rows],
+            "checks": dict(self.checks),
+            "all_checks_pass": self.all_checks_pass(),
+            "notes": list(self.notes),
+            "figures": {str(k): v for k, v in self.figures.items()},
+        }
+
+    def render(self) -> str:
+        """Table + check list + notes, ready to print."""
+        lines = [self.table(), ""]
+        for claim, ok in self.checks.items():
+            lines.append(f"  [{'PASS' if ok else 'FAIL'}] {claim}")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        status = "ok" if self.all_checks_pass() else "SHAPE MISMATCH"
+        return f"<{self.exp_id} {len(self.rows)} rows, {status}>"

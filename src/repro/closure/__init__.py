@@ -1,0 +1,47 @@
+"""Closure mechanisms: implicit rules that select resolution contexts.
+
+Implements section 3 of the paper: the meta-context ``M`` (circumstances
+of a name's occurrence), per-entity context registries, and the
+resolution-rule hierarchy ``R(activity)``, ``R(sender)``,
+``R(receiver)``, ``R(object)``, ``R(file)`` and per-source rule tables.
+"""
+
+from repro.closure.boundary import (
+    BoundaryGateway,
+    NameMapper,
+    mapper_from_scheme_rule,
+    resolution_mapper,
+)
+from repro.closure.meta import ContextRegistry, NameSource, ResolutionEvent
+from repro.closure.rules import (
+    PerSourceRule,
+    RFirstApplicable,
+    RActivity,
+    RObject,
+    RReceiver,
+    RScoped,
+    RSender,
+    ResolutionRule,
+    rule_resolve,
+    rule_resolve_traced,
+)
+
+__all__ = [
+    "BoundaryGateway",
+    "ContextRegistry",
+    "NameMapper",
+    "mapper_from_scheme_rule",
+    "resolution_mapper",
+    "NameSource",
+    "PerSourceRule",
+    "RActivity",
+    "RFirstApplicable",
+    "RObject",
+    "RReceiver",
+    "RScoped",
+    "RSender",
+    "ResolutionEvent",
+    "ResolutionRule",
+    "rule_resolve",
+    "rule_resolve_traced",
+]

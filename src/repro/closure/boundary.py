@@ -1,0 +1,158 @@
+"""Boundary mapping: implementing ``R(sender)`` in the transport.
+
+The paper's solution I is a *resolution rule*, but its §6 realization
+is an engineering device: "The resolution rule is implemented by
+mapping the embedded pid" — the identifier is rewritten at the
+sender→receiver boundary so that the receiver's ordinary
+``R(receiver)`` resolution yields what the sender meant.  The same
+device appears in §5.1 for the Newcastle Connection: "a simple rule
+can be used to map names across machines" (prefix ``../<machine>``).
+
+This module makes boundary mapping a first-class, scheme-pluggable
+mechanism:
+
+* :class:`NameMapper` — the rewriting rule: given (sender, receiver,
+  name), produce the name the receiver should see;
+* :class:`BoundaryGateway` — installs into the simulator kernel and
+  rewrites every message's name attachments at delivery time;
+* :func:`resolution_mapper` — the universal mapper: resolve in the
+  sender's context, find a name for the result in the receiver's
+  context (exact ``R(sender)`` semantics, usable by any scheme that
+  can enumerate receiver-side names);
+* scheme-specific fast mappers are provided by the schemes themselves
+  (e.g. :meth:`repro.namespaces.newcastle.NewcastleSystem.map_name`)
+  and adapted with :func:`mapper_from_scheme_rule`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol
+
+from repro.closure.meta import ContextRegistry
+from repro.model.entities import Activity, Entity
+from repro.model.names import CompoundName
+from repro.model.resolution import resolve
+from repro.sim.messages import Message, NameAttachment
+
+__all__ = [
+    "NameMapper",
+    "BoundaryGateway",
+    "mapper_from_scheme_rule",
+    "resolution_mapper",
+]
+
+
+class NameMapper(Protocol):
+    """A boundary rewriting rule.
+
+    Returns the rewritten name, or ``None`` when the mapper cannot
+    translate (the attachment is then delivered unmodified and the
+    incoherence becomes measurable — exactly what an un-gatewayed
+    system would exhibit).
+    """
+
+    def __call__(self, sender: Activity, receiver: Activity,
+                 name_: CompoundName) -> Optional[CompoundName]:
+        ...  # pragma: no cover - protocol
+
+
+def mapper_from_scheme_rule(
+        translate: Callable[[CompoundName, Activity, Activity],
+                            Optional[CompoundName]]) -> NameMapper:
+    """Adapt a scheme-level translation function into a NameMapper."""
+
+    def mapper(sender: Activity, receiver: Activity,
+               name_: CompoundName) -> Optional[CompoundName]:
+        return translate(name_, sender, receiver)
+
+    return mapper
+
+
+def resolution_mapper(registry: ContextRegistry,
+                      candidate_names: Callable[[Activity],
+                                                list[CompoundName]],
+                      ) -> NameMapper:
+    """The universal (slow) mapper realizing exact R(sender) semantics.
+
+    Resolves the name in the *sender's* context, then searches the
+    receiver's candidate names for one denoting the same entity.  Any
+    scheme that can enumerate a receiver's meaningful names gets
+    boundary mapping for free; schemes with an algebraic rule
+    (Newcastle's ``../machine`` prefix, pqid re-qualification) should
+    prefer their own :class:`NameMapper` for clarity and speed.
+    """
+
+    def mapper(sender: Activity, receiver: Activity,
+               name_: CompoundName) -> Optional[CompoundName]:
+        target: Entity = resolve(registry.context_of(sender), name_)
+        if not target.is_defined():
+            return None
+        receiver_context = registry.context_of(receiver)
+        for candidate in candidate_names(receiver):
+            if resolve(receiver_context, candidate) is target:
+                return candidate
+        return None
+
+    return mapper
+
+
+class BoundaryGateway:
+    """Rewrites message name attachments at delivery boundaries.
+
+    Install into a simulator with :meth:`install`; every delivered
+    message's attachments are rewritten with the gateway's mapper
+    before the receiver sees them.  Attachments whose sender and
+    receiver the *scope* predicate excludes (e.g. same-machine
+    traffic) pass through untouched, as do names the mapper returns
+    ``None`` for.
+
+    Statistics (`mapped`, `passed`, `untranslatable`) make the mapping
+    burden measurable, echoing §7's concern that heavy boundary
+    traffic turns mapping into a hindrance.
+    """
+
+    def __init__(self, mapper: NameMapper,
+                 scope: Optional[Callable[[Activity, Activity],
+                                          bool]] = None,
+                 label: str = "gateway"):
+        self._mapper = mapper
+        self._scope = scope
+        self.label = label
+        self.mapped = 0
+        self.passed = 0
+        self.untranslatable = 0
+
+    def install(self, simulator) -> "BoundaryGateway":
+        """Register with a :class:`repro.sim.kernel.Simulator`."""
+        simulator.add_gateway(self)
+        return self
+
+    def process(self, message: Message) -> None:
+        """Rewrite *message*'s attachments in place (kernel hook)."""
+        sender, receiver = message.sender, message.receiver
+        if self._scope is not None and not self._scope(sender, receiver):
+            self.passed += len(message.attachments)
+            return
+        rewritten: list[NameAttachment] = []
+        for attachment in message.attachments:
+            mapped = self._mapper(sender, receiver, attachment.name)
+            if mapped is None:
+                self.untranslatable += 1
+                rewritten.append(attachment)
+            elif mapped == attachment.name:
+                self.passed += 1
+                rewritten.append(attachment)
+            else:
+                self.mapped += 1
+                rewritten.append(attachment.rewritten(mapped))
+        message.attachments = rewritten
+
+    def stats(self) -> dict[str, int]:
+        """Counters: mapped / passed / untranslatable attachments."""
+        return {"mapped": self.mapped, "passed": self.passed,
+                "untranslatable": self.untranslatable}
+
+    def __repr__(self) -> str:
+        return (f"<BoundaryGateway {self.label!r} mapped={self.mapped} "
+                f"passed={self.passed} "
+                f"untranslatable={self.untranslatable}>")

@@ -1,0 +1,159 @@
+"""The meta-context ``M``: circumstances of a name's occurrence (§3).
+
+A closure mechanism is an implicit rule that selects the context in
+which a name is resolved.  The paper models it as a *resolution rule*
+``R ∈ [M → C]``: a function from the circumstances in which the name
+occurs (the *meta-context* ``M``) to a context.
+
+This module defines the executable meta-context:
+
+* :class:`NameSource` — the three sources of names of Figure 1:
+  generated internally within an activity, received from another
+  activity in a message, or obtained from an object that contains it;
+* :class:`ResolutionEvent` — one occurrence of a name, carrying every
+  factor a rule may consult (the resolving activity, the sender, the
+  object the name was embedded in, ...);
+* :class:`ContextRegistry` — the system's store of per-entity contexts,
+  the thing the paper means by "the system maintains a context R(a) for
+  each activity a" (and likewise ``R(o)`` for objects).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Union
+
+from repro.errors import ResolutionRuleError
+from repro.model.context import Context
+from repro.model.entities import Activity, Entity, ObjectEntity
+from repro.model.names import CompoundName
+
+__all__ = ["NameSource", "ResolutionEvent", "ContextRegistry"]
+
+
+class NameSource(enum.Enum):
+    """The three sources of names during a computation (Figure 1).
+
+    ``INTERNAL`` also covers names obtained from a human user: the
+    paper models user input as the user-interface activity generating
+    the name internally (§4, source 1).
+    """
+
+    INTERNAL = "internal"
+    MESSAGE = "message"
+    OBJECT = "object"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+_event_ids = itertools.count(1)
+
+
+@dataclass
+class ResolutionEvent:
+    """One occurrence of a name to be resolved — an element of ``M``.
+
+    Attributes:
+        name: The (compound) name being resolved.
+        source: Which of the three sources produced the name.
+        resolver: The activity performing the resolution (the paper's
+            ``a``; for ``MESSAGE`` events this is the *receiver*).
+        sender: For ``MESSAGE`` events, the activity that sent the name.
+        source_object: For ``OBJECT`` events, the object the name was
+            obtained from (e.g. the file it was embedded in).
+        intended: The entity the name's producer meant it to denote,
+            when known.  Not consulted by any rule — it is ground truth
+            recorded by workloads so the coherence auditor can score
+            resolutions (§4's "refer to the same entity").
+        time: Simulation time of the occurrence, if the event came from
+            the discrete-event substrate.
+        event_id: Monotonic id, for deterministic ordering of reports.
+    """
+
+    name: CompoundName
+    source: NameSource
+    resolver: Activity
+    sender: Optional[Activity] = None
+    source_object: Optional[ObjectEntity] = None
+    intended: Optional[Entity] = None
+    time: Optional[float] = None
+    event_id: int = field(default_factory=lambda: next(_event_ids))
+
+    def __post_init__(self) -> None:
+        self.name = CompoundName.coerce(self.name)
+        if self.source is NameSource.MESSAGE and self.sender is None:
+            raise ResolutionRuleError(
+                "a MESSAGE event must record the sender activity")
+        if self.source is NameSource.OBJECT and self.source_object is None:
+            raise ResolutionRuleError(
+                "an OBJECT event must record the source object")
+
+    def __repr__(self) -> str:
+        return (f"<event#{self.event_id} {self.source} {self.name} "
+                f"by {self.resolver.label}>")
+
+
+#: A context provider: either a context, or a zero-argument callable
+#: evaluated at lookup time (used for scheme-computed contexts).
+ContextProvider = Union[Context, Callable[[], Context]]
+
+
+class ContextRegistry:
+    """Per-entity contexts: the store behind ``R(a)`` and ``R(o)``.
+
+    The paper notes that maintaining "a context R(a) for each activity"
+    does not require storing one context per activity — in the extreme
+    of a single global context, one stored context is shared by all.
+    The registry supports exactly that: several entities may be
+    registered with the *same* :class:`Context` instance, and a
+    *default* context may stand in for every unregistered entity.
+
+    Providers may be callables, evaluated at each lookup; naming schemes
+    use this for contexts derived from mutable scheme state (e.g. a
+    per-process namespace assembled from attach points).
+    """
+
+    def __init__(self, default: Optional[ContextProvider] = None,
+                 label: str = ""):
+        self._providers: dict[int, ContextProvider] = {}
+        self._default = default
+        self.label = label
+
+    def register(self, entity: Entity, provider: ContextProvider) -> None:
+        """Associate *entity* with a context (or context provider)."""
+        self._providers[entity.uid] = provider
+
+    def unregister(self, entity: Entity) -> None:
+        """Remove *entity*'s association (no error if absent)."""
+        self._providers.pop(entity.uid, None)
+
+    def is_registered(self, entity: Entity) -> bool:
+        """True if *entity* has its own (non-default) provider."""
+        return entity.uid in self._providers
+
+    def context_of(self, entity: Entity) -> Context:
+        """Return the context associated with *entity*.
+
+        Falls back to the registry default; raises
+        :class:`~repro.errors.ResolutionRuleError` if there is none.
+        """
+        provider = self._providers.get(entity.uid, self._default)
+        if provider is None:
+            raise ResolutionRuleError(
+                f"no context registered for {entity!r}"
+                + (f" in registry {self.label!r}" if self.label else ""))
+        if isinstance(provider, Context):
+            return provider
+        return provider()
+
+    def entities_registered(self) -> int:
+        """Number of entities with their own provider."""
+        return len(self._providers)
+
+    def __repr__(self) -> str:
+        tag = f" {self.label!r}" if self.label else ""
+        return (f"<ContextRegistry{tag} {len(self._providers)} entities"
+                f"{' +default' if self._default is not None else ''}>")

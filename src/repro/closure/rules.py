@@ -1,0 +1,316 @@
+"""Resolution rules — executable closure mechanisms (§3, §4).
+
+A resolution rule selects, from the many contexts stored in the system,
+the one in which a given occurrence of a name is resolved:
+``R(arguments) ∈ C``, applied as ``R(arguments)(name)``.  The arguments
+describe the circumstances of the occurrence — here, a
+:class:`~repro.closure.meta.ResolutionEvent`.
+
+The rules the paper discusses:
+
+* ``R(a)`` (:class:`RActivity`) — resolve in the context of the activity
+  performing the resolution, regardless of where the name came from.
+  The common operating-system rule.  For names received in messages
+  this is the *receiver's* context, so :class:`RReceiver` is the same
+  selection restated for MESSAGE events.
+* ``R(sender)`` (:class:`RSender`) — resolve a name received in a
+  message in the *sender's* context.  Gives coherence between sender
+  and receiver for *all* names sent (§4 case 2).
+* ``R(o)`` (:class:`RObject`) — resolve a name obtained from an object
+  in the context associated with that object.  Gives coherence among
+  all activities for names embedded in the object (§4 case 3).
+* ``R(file)`` under Algol scope rules is :class:`RScoped`, which defers
+  context construction to a scope function (see
+  :mod:`repro.embedded.scoping` for the Figure-6 implementation).
+* :class:`PerSourceRule` — a rule table indexed by name source, the
+  shape an overall naming design takes (§7): one rule per source.
+
+Each rule also states, via :meth:`ResolutionRule.coherence_prediction`,
+the paper's §4 claim about which names it keeps coherent; experiment A1
+checks the predictions against measurements.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Mapping, Optional
+
+from repro.errors import ResolutionRuleError
+from repro.model.context import Context
+from repro.model.entities import Entity
+from repro.model.names import CompoundName
+from repro.model.resolution import ResolutionTrace, resolve_traced
+from repro.closure.meta import ContextRegistry, NameSource, ResolutionEvent
+
+__all__ = [
+    "ResolutionRule",
+    "RActivity",
+    "RReceiver",
+    "RSender",
+    "RObject",
+    "RScoped",
+    "PerSourceRule",
+    "RFirstApplicable",
+    "rule_resolve",
+    "rule_resolve_traced",
+]
+
+
+class ResolutionRule(ABC):
+    """A closure mechanism: selects a context for a resolution event."""
+
+    #: Short formula name used in reports, e.g. ``"R(sender)"``.
+    formula: str = "R(?)"
+
+    @abstractmethod
+    def select_context(self, event: ResolutionEvent) -> Context:
+        """Return the context in which *event*'s name is resolved.
+
+        Raises:
+            ResolutionRuleError: if the event lacks a factor this rule
+                needs (e.g. ``R(sender)`` on an event with no sender).
+        """
+
+    def applicable(self, event: ResolutionEvent) -> bool:
+        """True if this rule can select a context for *event*."""
+        try:
+            self.select_context(event)
+        except ResolutionRuleError:
+            return False
+        return True
+
+    def coherence_prediction(self, source: NameSource) -> str:
+        """The paper's §4 claim for names from *source* under this rule.
+
+        One of ``"all"`` (coherence for every name from this source),
+        ``"global-only"`` (coherence only for global names), or
+        ``"n/a"`` (the rule does not apply to this source).
+        """
+        return "global-only"
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.formula}>"
+
+
+class RActivity(ResolutionRule):
+    """``R(a)``: the context of the activity doing the resolution.
+
+    With this rule, only *global names* — names denoting the same
+    entity in every activity's context — can serve as common references
+    (§4): they alone survive internal generation, message exchange and
+    embedding.
+    """
+
+    formula = "R(activity)"
+
+    def __init__(self, registry: ContextRegistry):
+        self._registry = registry
+
+    def select_context(self, event: ResolutionEvent) -> Context:
+        return self._registry.context_of(event.resolver)
+
+    def coherence_prediction(self, source: NameSource) -> str:
+        return "global-only"
+
+
+class RReceiver(RActivity):
+    """``R(receiver)``: for names exchanged in messages, the receiver's
+    context — the same selection as ``R(a)``, named from the exchange's
+    point of view (Figure 2a, left).  Coherent only for global names.
+    """
+
+    formula = "R(receiver)"
+
+    def select_context(self, event: ResolutionEvent) -> Context:
+        if event.source is NameSource.MESSAGE and event.sender is None:
+            raise ResolutionRuleError("message event without participants")
+        return super().select_context(event)
+
+
+class RSender(ResolutionRule):
+    """``R(sender)``: resolve a received name in the sender's context.
+
+    There is then coherence between sender and receiver for *all* names
+    sent by the sender (§4 case 2).  Useful for activities that
+    exchange names; realized in practice by mapping embedded
+    identifiers at the boundary (see :mod:`repro.pqid`).
+    """
+
+    formula = "R(sender)"
+
+    def __init__(self, registry: ContextRegistry):
+        self._registry = registry
+
+    def select_context(self, event: ResolutionEvent) -> Context:
+        if event.sender is None:
+            raise ResolutionRuleError(
+                f"{self.formula} needs a sender; event {event!r} has none")
+        return self._registry.context_of(event.sender)
+
+    def coherence_prediction(self, source: NameSource) -> str:
+        return "all" if source is NameSource.MESSAGE else "n/a"
+
+
+class RObject(ResolutionRule):
+    """``R(o)``: resolve a name obtained from an object in the context
+    associated with that object.
+
+    There is then coherence among *all* activities for the names
+    embedded in the object (§4 case 3).  Programming languages often
+    provide this (a name's meaning depends on the defining block);
+    operating systems rarely do.
+    """
+
+    formula = "R(object)"
+
+    def __init__(self, registry: ContextRegistry):
+        self._registry = registry
+
+    def select_context(self, event: ResolutionEvent) -> Context:
+        if event.source_object is None:
+            raise ResolutionRuleError(
+                f"{self.formula} needs a source object; "
+                f"event {event!r} has none")
+        return self._registry.context_of(event.source_object)
+
+    def coherence_prediction(self, source: NameSource) -> str:
+        return "all" if source is NameSource.OBJECT else "n/a"
+
+
+class RScoped(ResolutionRule):
+    """``R(file)`` computed by a scope function (§6, Example 2).
+
+    The context for a name embedded in an object is *derived* — e.g. by
+    the Algol-style upward search of Figure 6 — rather than stored.
+    The scope function receives the source object and returns the
+    context to use; :mod:`repro.embedded.scoping` supplies the Figure-6
+    implementation.
+    """
+
+    formula = "R(file)"
+
+    def __init__(self, scope_function: Callable[[Entity], Context],
+                 formula: str = "R(file)"):
+        self._scope_function = scope_function
+        self.formula = formula
+
+    def select_context(self, event: ResolutionEvent) -> Context:
+        if event.source_object is None:
+            raise ResolutionRuleError(
+                f"{self.formula} needs a source object; "
+                f"event {event!r} has none")
+        return self._scope_function(event.source_object)
+
+    def coherence_prediction(self, source: NameSource) -> str:
+        return "all" if source is NameSource.OBJECT else "n/a"
+
+
+class PerSourceRule(ResolutionRule):
+    """A rule table: one sub-rule per name source.
+
+    This is the shape of an overall naming design (§7): internal names
+    resolved with ``R(a)`` against shared name spaces, exchanged names
+    with ``R(sender)``, embedded names with ``R(object)``/``R(file)``.
+
+    Args:
+        rules: Mapping from :class:`NameSource` to the sub-rule used
+            for events of that source.
+        fallback: Rule for sources absent from *rules* (optional).
+    """
+
+    formula = "R(per-source)"
+
+    def __init__(self, rules: Mapping[NameSource, ResolutionRule],
+                 fallback: Optional[ResolutionRule] = None):
+        self._rules = dict(rules)
+        self._fallback = fallback
+
+    def rule_for(self, source: NameSource) -> ResolutionRule:
+        """The sub-rule handling *source* events."""
+        rule = self._rules.get(source, self._fallback)
+        if rule is None:
+            raise ResolutionRuleError(f"no rule for source {source}")
+        return rule
+
+    def select_context(self, event: ResolutionEvent) -> Context:
+        return self.rule_for(event.source).select_context(event)
+
+    def coherence_prediction(self, source: NameSource) -> str:
+        try:
+            return self.rule_for(source).coherence_prediction(source)
+        except ResolutionRuleError:
+            return "n/a"
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{s}:{r.formula}"
+                          for s, r in sorted(self._rules.items(),
+                                             key=lambda kv: kv[0].value))
+        return f"<PerSourceRule {{{inner}}}>"
+
+
+class RFirstApplicable(ResolutionRule):
+    """A multi-factor rule like the paper's ``R(receiver, sender)``.
+
+    §4 notes that rules consulting several factors are conceivable —
+    "It is also possible to conceive of more complex rules of the form
+    R(receiver, sender).  However, we have found no instances of, and
+    no justification for, such rules." — and likewise
+    ``R(activity, object)``.  This combinator realizes the natural
+    reading (try each factor's context in order, first applicable one
+    that *defines* the name wins) so the dismissal can be measured:
+    tests and A1-style runs show it never beats the single best factor
+    and inherits the worse factor's incoherence on homonyms.
+    """
+
+    def __init__(self, rules: list[ResolutionRule], formula: str = ""):
+        if not rules:
+            raise ResolutionRuleError("RFirstApplicable needs sub-rules")
+        self._rules = list(rules)
+        self.formula = formula or "R({})".format(
+            ", ".join(r.formula[2:-1] for r in rules))
+
+    def select_context(self, event: ResolutionEvent) -> Context:
+        """The first sub-rule's context that *defines* the event's
+        first name component; falls back to the first applicable."""
+        first_applicable: Optional[Context] = None
+        component = event.name.parts[0] if len(event.name) else None
+        for rule in self._rules:
+            try:
+                context = rule.select_context(event)
+            except ResolutionRuleError:
+                continue
+            if first_applicable is None:
+                first_applicable = context
+            if component is not None and context(component).is_defined():
+                return context
+        if first_applicable is None:
+            raise ResolutionRuleError(
+                f"{self.formula}: no sub-rule applicable to {event!r}")
+        return first_applicable
+
+    def coherence_prediction(self, source: NameSource) -> str:
+        """No better than its best sub-rule (the paper's "benefits
+        doubtful"): predict the weakest claim among applicable ones."""
+        predictions = {r.coherence_prediction(source)
+                       for r in self._rules}
+        predictions.discard("n/a")
+        if not predictions:
+            return "n/a"
+        return "global-only" if "global-only" in predictions else "all"
+
+
+def rule_resolve_traced(rule: ResolutionRule,
+                        event: ResolutionEvent) -> ResolutionTrace:
+    """Resolve *event*'s name in the context selected by *rule*,
+    returning the full resolution trace."""
+    context = rule.select_context(event)
+    return resolve_traced(context, event.name)
+
+
+def rule_resolve(rule: ResolutionRule, event: ResolutionEvent) -> Entity:
+    """Resolve *event*'s name in the context selected by *rule*.
+
+    This composes the two halves of the paper's formula
+    ``R(arguments)(name)``.
+    """
+    return rule_resolve_traced(rule, event).result

@@ -1,0 +1,64 @@
+"""Coherence in naming — the paper's primary contribution (§4, §5).
+
+Static definitions (compare the per-activity contexts ``R(a)``),
+quantitative degree-of-coherence metrics, the dynamic auditor that
+scores actual resolution events under a closure rule, and report
+formatting.
+"""
+
+from repro.coherence.auditor import (
+    AuditRecord,
+    AuditSummary,
+    CoherenceAuditor,
+    Verdict,
+)
+from repro.coherence.explain import Divergence, explain_incoherence
+from repro.coherence.definitions import (
+    EntityEquivalence,
+    coherent,
+    coherent_name_set,
+    denotations,
+    global_name_set,
+    is_global_name,
+    strict_identity,
+    weakly_coherent,
+)
+from repro.coherence.metrics import (
+    CoherenceDegree,
+    agreement_fraction,
+    group_coherence,
+    measure_degree,
+    pairwise_matrix,
+)
+from repro.coherence.report import (
+    format_degree,
+    format_matrix,
+    format_summary,
+    format_table,
+)
+
+__all__ = [
+    "AuditRecord",
+    "AuditSummary",
+    "CoherenceAuditor",
+    "CoherenceDegree",
+    "Divergence",
+    "EntityEquivalence",
+    "Verdict",
+    "agreement_fraction",
+    "coherent",
+    "coherent_name_set",
+    "denotations",
+    "explain_incoherence",
+    "format_degree",
+    "format_matrix",
+    "format_summary",
+    "format_table",
+    "global_name_set",
+    "group_coherence",
+    "is_global_name",
+    "measure_degree",
+    "pairwise_matrix",
+    "strict_identity",
+    "weakly_coherent",
+]

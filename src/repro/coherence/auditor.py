@@ -1,0 +1,183 @@
+"""Dynamic coherence auditing: score resolution events under a rule.
+
+The static definitions (:mod:`repro.coherence.definitions`) compare
+contexts; the auditor instead watches *actual uses of names* — the
+resolution events a workload produces — and classifies each as
+coherent or incoherent under a chosen resolution rule.
+
+A use is **coherent** when the consumer, resolving the name under the
+rule, obtains the entity the producer intended (recorded as
+``event.intended`` by the workload).  This operationalises §4: "an
+activity sends a message containing a name denoting an entity to
+another activity which then uses the name to refer to *the same
+entity*".  With a replica equivalence it scores **weak coherence**.
+An event with no recorded intent is scored only for *definedness*
+(did the name resolve at all).
+
+The auditor is the measurement instrument behind every experiment
+table in :mod:`repro.bench`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from repro.closure.meta import NameSource, ResolutionEvent
+from repro.closure.rules import ResolutionRule, rule_resolve_traced
+from repro.coherence.definitions import EntityEquivalence, strict_identity
+from repro.errors import ResolutionRuleError
+from repro.model.entities import Entity, UNDEFINED_ENTITY
+
+__all__ = ["Verdict", "AuditRecord", "AuditSummary", "CoherenceAuditor"]
+
+
+class Verdict(Enum):
+    """Classification of one audited resolution event."""
+
+    COHERENT = "coherent"          #: resolved to the intended entity
+    WEAKLY_COHERENT = "weak"       #: resolved to a replica of it
+    INCOHERENT = "incoherent"      #: resolved to a different entity
+    UNRESOLVED = "unresolved"      #: resolved to ⊥E
+    INAPPLICABLE = "inapplicable"  #: the rule could not select a context
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass
+class AuditRecord:
+    """Outcome of auditing a single resolution event."""
+
+    event: ResolutionEvent
+    verdict: Verdict
+    resolved: Entity = UNDEFINED_ENTITY
+
+    @property
+    def ok(self) -> bool:
+        """True for coherent or weakly coherent outcomes."""
+        return self.verdict in (Verdict.COHERENT, Verdict.WEAKLY_COHERENT)
+
+    def __repr__(self) -> str:
+        return (f"<audit {self.event.source} {self.event.name} "
+                f"→ {self.resolved.label}: {self.verdict}>")
+
+
+@dataclass
+class AuditSummary:
+    """Aggregate of audit records, overall and per name source."""
+
+    total: int = 0
+    counts: dict[Verdict, int] = field(default_factory=dict)
+    by_source: dict[NameSource, dict[Verdict, int]] = field(
+        default_factory=dict)
+
+    def add(self, record: AuditRecord) -> None:
+        self.total += 1
+        self.counts[record.verdict] = self.counts.get(record.verdict, 0) + 1
+        per = self.by_source.setdefault(record.event.source, {})
+        per[record.verdict] = per.get(record.verdict, 0) + 1
+
+    def count(self, verdict: Verdict,
+              source: Optional[NameSource] = None) -> int:
+        """Number of records with *verdict* (optionally per source)."""
+        if source is None:
+            return self.counts.get(verdict, 0)
+        return self.by_source.get(source, {}).get(verdict, 0)
+
+    def rate(self, verdict: Verdict,
+             source: Optional[NameSource] = None) -> float:
+        """Fraction of records with *verdict* (optionally per source)."""
+        if source is None:
+            denom = self.total
+        else:
+            denom = sum(self.by_source.get(source, {}).values())
+        if denom == 0:
+            return 0.0
+        return self.count(verdict, source) / denom
+
+    def coherence_rate(self, source: Optional[NameSource] = None) -> float:
+        """Fraction of events that were coherent or weakly coherent."""
+        return (self.rate(Verdict.COHERENT, source)
+                + self.rate(Verdict.WEAKLY_COHERENT, source))
+
+    def source_total(self, source: NameSource) -> int:
+        """Number of audited events with the given source."""
+        return sum(self.by_source.get(source, {}).values())
+
+    def __str__(self) -> str:
+        parts = [f"{v}:{c}" for v, c in sorted(
+            self.counts.items(), key=lambda kv: kv[0].value)]
+        return f"<{self.total} events {' '.join(parts)}>"
+
+
+class CoherenceAuditor:
+    """Audits resolution events against a resolution rule.
+
+    Args:
+        rule: The closure mechanism under test.
+        equivalence: Entity "sameness".  With :func:`strict_identity`
+            only exact matches count as coherent; with a replica
+            relation, replica matches are classified
+            :attr:`Verdict.WEAKLY_COHERENT`.
+
+    Usage::
+
+        auditor = CoherenceAuditor(RSender(registry))
+        for event in workload.events():
+            auditor.observe(event)
+        print(auditor.summary.coherence_rate(NameSource.MESSAGE))
+    """
+
+    def __init__(self, rule: ResolutionRule, *,
+                 equivalence: EntityEquivalence = strict_identity):
+        self.rule = rule
+        self.equivalence = equivalence
+        self.records: list[AuditRecord] = []
+        self.summary = AuditSummary()
+
+    def observe(self, event: ResolutionEvent) -> AuditRecord:
+        """Resolve *event* under the rule and record the verdict."""
+        try:
+            trace = rule_resolve_traced(self.rule, event)
+        except ResolutionRuleError:
+            record = AuditRecord(event, Verdict.INAPPLICABLE)
+            self._store(record)
+            return record
+        resolved = trace.result
+        record = AuditRecord(event, self._classify(event, resolved), resolved)
+        self._store(record)
+        return record
+
+    def observe_all(self, events: Iterable[ResolutionEvent],
+                    ) -> "CoherenceAuditor":
+        """Audit every event in *events*; returns self for chaining."""
+        for event in events:
+            self.observe(event)
+        return self
+
+    def _classify(self, event: ResolutionEvent, resolved: Entity) -> Verdict:
+        if not resolved.is_defined():
+            return Verdict.UNRESOLVED
+        if event.intended is None:
+            return Verdict.COHERENT
+        if resolved is event.intended:
+            return Verdict.COHERENT
+        if self.equivalence(resolved, event.intended):
+            return Verdict.WEAKLY_COHERENT
+        return Verdict.INCOHERENT
+
+    def _store(self, record: AuditRecord) -> None:
+        self.records.append(record)
+        self.summary.add(record)
+
+    def incoherent_records(self) -> list[AuditRecord]:
+        """Records whose verdict was INCOHERENT (for failure reports)."""
+        return [r for r in self.records if r.verdict is Verdict.INCOHERENT]
+
+    def reset(self) -> None:
+        """Clear all records and the summary."""
+        self.records.clear()
+        self.summary = AuditSummary()

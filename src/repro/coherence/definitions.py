@@ -1,0 +1,149 @@
+"""Coherence in naming — the paper's central definitions (§4, §5).
+
+*Coherence* for a name ``n`` across a set of activities means the
+entity denoted by ``n`` is the same for each of them: for all
+activities ``a1, a2`` in the set, ``R(a1)(n) = R(a2)(n)``.  A *global
+name* is a name that denotes the same entity in the context of *every*
+activity of the system.
+
+*Weak coherence* (§5) relaxes "the same entity" to "replicas of the
+same replicated object": when objects ``o1 ... og`` satisfy
+``σ(o1) = ... = σ(og)`` in every legal state, it does not matter which
+replica a name denotes.  Weak coherence is parameterised here by an
+*equivalence* predicate on entities, supplied by
+:mod:`repro.replication` (identity is the default, giving strong
+coherence).
+
+These definitions are *static*: they compare the per-activity contexts
+``R(a)`` directly, which is how §5 analyses naming schemes ("the degree
+of coherence can be determined by comparing the contexts R(a)").  The
+*dynamic* counterpart — scoring actual resolution events produced by a
+workload under a resolution rule — is :mod:`repro.coherence.auditor`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from typing import Callable, Optional
+
+from repro.closure.meta import ContextRegistry
+from repro.model.entities import Activity, Entity, UNDEFINED_ENTITY
+from repro.model.names import CompoundName, NameLike
+from repro.model.resolution import resolve
+
+__all__ = [
+    "EntityEquivalence",
+    "strict_identity",
+    "coherent",
+    "weakly_coherent",
+    "denotations",
+    "is_global_name",
+    "coherent_name_set",
+    "global_name_set",
+]
+
+#: An equivalence predicate on entities.  Strong coherence uses
+#: :func:`strict_identity`; weak coherence uses a replica relation
+#: (see :func:`repro.replication.weak.replica_equivalence`).
+EntityEquivalence = Callable[[Entity, Entity], bool]
+
+
+def strict_identity(first: Entity, second: Entity) -> bool:
+    """The strong-coherence equivalence: the very same entity."""
+    return first is second
+
+
+def denotations(name_: NameLike, activities: Sequence[Activity],
+                registry: ContextRegistry) -> list[Entity]:
+    """``[R(a)(n) for a in activities]`` — what the name denotes to each.
+
+    Compound names are resolved with the section-2 recursion, so the
+    comparison covers multi-component path names, not just atomic ones.
+    """
+    name_ = CompoundName.coerce(name_)
+    return [resolve(registry.context_of(a), name_) for a in activities]
+
+
+def _all_equivalent(entities: Iterable[Entity],
+                    equivalence: EntityEquivalence,
+                    require_defined: bool) -> bool:
+    entities = list(entities)
+    if not entities:
+        return True
+    first = entities[0]
+    if require_defined and not first.is_defined():
+        return False
+    for other in entities[1:]:
+        if require_defined and not other.is_defined():
+            return False
+        if not equivalence(first, other):
+            return False
+    return True
+
+
+def coherent(name_: NameLike, activities: Sequence[Activity],
+             registry: ContextRegistry, *,
+             equivalence: EntityEquivalence = strict_identity,
+             require_defined: bool = True) -> bool:
+    """True if *name_* denotes the same entity for every activity.
+
+    Args:
+        name_: The name to test (atomic or compound).
+        activities: The activities among which coherence is asked.
+        registry: The store of per-activity contexts ``R(a)``.
+        equivalence: "Sameness" of denoted entities; pass a replica
+            relation for weak coherence.
+        require_defined: When True (default), a name that is unbound
+            for some activity is *not* coherent — there is no common
+            reference.  Pass False to treat "undefined everywhere the
+            same way" as vacuous agreement (useful when analysing
+            which unbound names would be safe to introduce).
+
+    With fewer than two activities the question is vacuous: True.
+    """
+    if len(activities) < 2:
+        return True
+    return _all_equivalent(denotations(name_, activities, registry),
+                           equivalence, require_defined)
+
+
+def weakly_coherent(name_: NameLike, activities: Sequence[Activity],
+                    registry: ContextRegistry,
+                    equivalence: EntityEquivalence) -> bool:
+    """True if *name_* denotes replicas of the same replicated object
+    (or the same entity) for every activity (§5's weak coherence)."""
+    return coherent(name_, activities, registry, equivalence=equivalence)
+
+
+def is_global_name(name_: NameLike, activities: Sequence[Activity],
+                   registry: ContextRegistry, *,
+                   equivalence: EntityEquivalence = strict_identity) -> bool:
+    """True if *name_* is a global name over *activities*.
+
+    A global name denotes the same (defined) entity in the context of
+    each activity.  "Global" is always relative to a population: the
+    paper stresses that names may be global only in limited scopes.
+    """
+    if not activities:
+        return False
+    values = denotations(name_, activities, registry)
+    return _all_equivalent(values, equivalence, require_defined=True)
+
+
+def coherent_name_set(candidates: Iterable[NameLike],
+                      activities: Sequence[Activity],
+                      registry: ContextRegistry, *,
+                      equivalence: EntityEquivalence = strict_identity,
+                      ) -> set[CompoundName]:
+    """The subset of *candidates* coherent across *activities*."""
+    return {CompoundName.coerce(n) for n in candidates
+            if coherent(n, activities, registry, equivalence=equivalence)}
+
+
+def global_name_set(candidates: Iterable[NameLike],
+                    activities: Sequence[Activity],
+                    registry: ContextRegistry) -> set[CompoundName]:
+    """The subset of *candidates* that are global names over
+    *activities*."""
+    return {CompoundName.coerce(n) for n in candidates
+            if is_global_name(n, activities, registry)}

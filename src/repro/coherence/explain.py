@@ -1,0 +1,116 @@
+"""Explaining incoherence: where two resolutions diverge.
+
+`coherent()` answers *whether* a name means the same thing to two
+activities; :func:`explain_incoherence` answers *why not* — it walks
+both resolution traces side by side and reports the first component at
+which they part ways (different directory reached, or one side
+unbound).  This is the debugging view of §5's "comparing the contexts
+R(a)", and the experiments' failure output uses it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.closure.meta import ContextRegistry
+from repro.model.entities import Activity, Entity
+from repro.model.names import ROOT_NAME, CompoundName, NameLike
+from repro.model.resolution import ResolutionTrace, resolve_traced
+
+__all__ = ["Divergence", "explain_incoherence"]
+
+
+@dataclass
+class Divergence:
+    """Where and how two activities' resolutions of a name part ways.
+
+    Attributes:
+        name: The probed name.
+        first: The first activity (and its trace).
+        second: The second activity (and its trace).
+        component: The component at which the walks diverge, or None
+            when the resolutions agree (no divergence).
+        index: Position of that component in the walk (the root
+            binding counts as position 0 for rooted names).
+        reason: Human-readable one-liner.
+    """
+
+    name: CompoundName
+    first: Activity
+    second: Activity
+    first_trace: ResolutionTrace
+    second_trace: ResolutionTrace
+    component: Optional[str] = None
+    index: Optional[int] = None
+    reason: str = "resolutions agree"
+
+    @property
+    def diverged(self) -> bool:
+        return self.component is not None
+
+    def render(self) -> str:
+        """A short report block."""
+        lines = [f"{self.name} for {self.first.label} vs "
+                 f"{self.second.label}:"]
+        lines.append(f"  {self.first.label}: → "
+                     f"{self.first_trace.result.label}")
+        lines.append(f"  {self.second.label}: → "
+                     f"{self.second_trace.result.label}")
+        lines.append(f"  {self.reason}")
+        return "\n".join(lines)
+
+
+def _step_labels(trace: ResolutionTrace) -> list[tuple[str, Entity]]:
+    return [(step.component, step.result) for step in trace.steps]
+
+
+def explain_incoherence(name_: NameLike, first: Activity,
+                        second: Activity,
+                        registry: ContextRegistry) -> Divergence:
+    """Compare two activities' resolutions of *name_* step by step."""
+    name_ = CompoundName.coerce(name_)
+    first_trace = resolve_traced(registry.context_of(first), name_)
+    second_trace = resolve_traced(registry.context_of(second), name_)
+    divergence = Divergence(name=name_, first=first, second=second,
+                            first_trace=first_trace,
+                            second_trace=second_trace)
+    if first_trace.result is second_trace.result and \
+            first_trace.result.is_defined():
+        return divergence
+
+    steps_a = _step_labels(first_trace)
+    steps_b = _step_labels(second_trace)
+    for index, ((comp_a, ent_a), (comp_b, ent_b)) in enumerate(
+            zip(steps_a, steps_b)):
+        if ent_a is not ent_b:
+            divergence.component = comp_a
+            divergence.index = index
+            where = ("the root binding" if comp_a == ROOT_NAME
+                     else f"component {comp_a!r}")
+            if not ent_a.is_defined() or not ent_b.is_defined():
+                unbound = first.label if not ent_a.is_defined() \
+                    else second.label
+                divergence.reason = (f"diverges at {where}: unbound "
+                                     f"for {unbound}")
+            else:
+                divergence.reason = (
+                    f"diverges at {where}: {first.label} reaches "
+                    f"{ent_a.label}, {second.label} reaches "
+                    f"{ent_b.label}")
+            return divergence
+    # Same walk prefix but one trace is shorter (stuck earlier), or
+    # both reached the same undefined result.
+    if len(steps_a) != len(steps_b):
+        shorter = first if len(steps_a) < len(steps_b) else second
+        index = min(len(steps_a), len(steps_b))
+        divergence.component = name_.parts[min(index,
+                                               len(name_.parts) - 1)]
+        divergence.index = index
+        divergence.reason = (f"{shorter.label}'s walk ends early at "
+                             f"step {index}")
+    elif not first_trace.result.is_defined():
+        divergence.component = steps_a[-1][0] if steps_a else None
+        divergence.index = len(steps_a) - 1 if steps_a else None
+        divergence.reason = "unbound for both (no common reference)"
+    return divergence

@@ -1,0 +1,167 @@
+"""Degree-of-coherence metrics (§5: "the degree of coherence can be
+determined by comparing the contexts R(a)").
+
+The paper speaks qualitatively of a naming scheme's *degree of
+coherence* — which activities agree, for which names.  This module
+makes the notion quantitative so the experiments can print comparable
+numbers:
+
+* :func:`pairwise_matrix` — for each pair of activities, the fraction
+  of probe names on which their contexts agree;
+* :class:`CoherenceDegree` — a summary over a probe-name population:
+  the coherent fraction, the global-name fraction, and the coherent
+  fraction per activity group (e.g. per machine, per client subsystem);
+* :func:`group_coherence` — coherence restricted to activity groups,
+  matching statements like "there is coherence only among processes on
+  the same machine" (§5.1, Newcastle).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.closure.meta import ContextRegistry
+from repro.coherence.definitions import (
+    EntityEquivalence,
+    coherent,
+    denotations,
+    is_global_name,
+    strict_identity,
+)
+from repro.model.entities import Activity
+from repro.model.names import CompoundName, NameLike
+
+__all__ = [
+    "CoherenceDegree",
+    "measure_degree",
+    "pairwise_matrix",
+    "group_coherence",
+    "agreement_fraction",
+]
+
+
+def agreement_fraction(first: Activity, second: Activity,
+                       probes: Sequence[CompoundName],
+                       registry: ContextRegistry, *,
+                       equivalence: EntityEquivalence = strict_identity,
+                       ) -> float:
+    """The fraction of *probes* on which two activities' contexts agree
+    (with both denotations defined).  1.0 for an empty probe set."""
+    if not probes:
+        return 1.0
+    agreeing = sum(
+        1 for n in probes
+        if coherent(n, [first, second], registry, equivalence=equivalence))
+    return agreeing / len(probes)
+
+
+def pairwise_matrix(activities: Sequence[Activity],
+                    probes: Sequence[NameLike],
+                    registry: ContextRegistry, *,
+                    equivalence: EntityEquivalence = strict_identity,
+                    ) -> dict[tuple[str, str], float]:
+    """Agreement fraction for every unordered pair of activities.
+
+    Keys are ``(label_i, label_j)`` with ``i < j`` in input order.
+    """
+    probes = [CompoundName.coerce(n) for n in probes]
+    matrix: dict[tuple[str, str], float] = {}
+    for i, first in enumerate(activities):
+        for second in activities[i + 1:]:
+            matrix[(first.label, second.label)] = agreement_fraction(
+                first, second, probes, registry, equivalence=equivalence)
+    return matrix
+
+
+@dataclass
+class CoherenceDegree:
+    """Summary of a scheme's degree of coherence over a probe set.
+
+    Attributes:
+        probes: Number of probe names measured.
+        coherent_fraction: Fraction of probes coherent across *all*
+            activities.
+        global_fraction: Fraction of probes that are global names
+            (defined and identical everywhere) — always ≤
+            ``coherent_fraction`` when ``require_defined`` semantics
+            match, since global names are exactly the defined-coherent
+            ones.
+        mean_pairwise: Mean pairwise agreement fraction.
+        per_group: Coherent fraction within each named activity group.
+        coherent_names: The probes coherent across all activities.
+    """
+
+    probes: int
+    coherent_fraction: float
+    global_fraction: float
+    mean_pairwise: float
+    per_group: dict[str, float] = field(default_factory=dict)
+    coherent_names: set[CompoundName] = field(default_factory=set)
+
+    def __str__(self) -> str:
+        groups = ", ".join(f"{g}={v:.2f}" for g, v in
+                           sorted(self.per_group.items()))
+        return (f"coherent={self.coherent_fraction:.2f} "
+                f"global={self.global_fraction:.2f} "
+                f"pairwise={self.mean_pairwise:.2f}"
+                + (f" [{groups}]" if groups else ""))
+
+
+def group_coherence(groups: Mapping[str, Sequence[Activity]],
+                    probes: Sequence[CompoundName],
+                    registry: ContextRegistry, *,
+                    equivalence: EntityEquivalence = strict_identity,
+                    ) -> dict[str, float]:
+    """Coherent fraction of *probes* within each activity group.
+
+    A group with fewer than two activities is trivially 1.0.
+    """
+    out: dict[str, float] = {}
+    for label, members in groups.items():
+        if not probes or len(members) < 2:
+            out[label] = 1.0
+            continue
+        hits = sum(1 for n in probes
+                   if coherent(n, list(members), registry,
+                               equivalence=equivalence))
+        out[label] = hits / len(probes)
+    return out
+
+
+def measure_degree(activities: Sequence[Activity],
+                   probes: Iterable[NameLike],
+                   registry: ContextRegistry, *,
+                   groups: Mapping[str, Sequence[Activity]] | None = None,
+                   equivalence: EntityEquivalence = strict_identity,
+                   ) -> CoherenceDegree:
+    """Measure a scheme's degree of coherence over a probe-name set.
+
+    This is the workhorse behind the §5 scheme analyses: give it the
+    scheme's activities, its per-activity context registry, and a
+    population of probe names; optionally group activities (per
+    machine, per subsystem) to reproduce the paper's "coherence only
+    within ..." statements.
+    """
+    probe_list = [CompoundName.coerce(n) for n in probes]
+    coherent_names = {
+        n for n in probe_list
+        if coherent(n, list(activities), registry, equivalence=equivalence)}
+    global_names = {
+        n for n in probe_list
+        if is_global_name(n, list(activities), registry,
+                          equivalence=equivalence)}
+    matrix = pairwise_matrix(list(activities), probe_list, registry,
+                             equivalence=equivalence)
+    mean_pairwise = (sum(matrix.values()) / len(matrix)) if matrix else 1.0
+    per_group = group_coherence(groups or {}, probe_list, registry,
+                                equivalence=equivalence)
+    total = len(probe_list)
+    return CoherenceDegree(
+        probes=total,
+        coherent_fraction=(len(coherent_names) / total) if total else 1.0,
+        global_fraction=(len(global_names) / total) if total else 1.0,
+        mean_pairwise=mean_pairwise,
+        per_group=per_group,
+        coherent_names=coherent_names,
+    )

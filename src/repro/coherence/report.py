@@ -1,0 +1,89 @@
+"""Plain-text report formatting for coherence measurements.
+
+Every experiment in :mod:`repro.bench` ends by printing a small table;
+this module renders them uniformly (monospace, deterministic ordering)
+so the benchmark output can be compared run-to-run and against
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+from repro.closure.meta import NameSource
+from repro.coherence.auditor import AuditSummary, Verdict
+from repro.coherence.metrics import CoherenceDegree
+
+__all__ = ["format_table", "format_degree", "format_summary",
+           "format_matrix"]
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[Any]],
+                 title: str = "") -> str:
+    """Render an aligned monospace table.
+
+    >>> print(format_table(["rule", "rate"], [["R(sender)", 1.0]]))
+    rule       rate
+    ---------  -----
+    R(sender)  1.000
+    """
+    cells = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, text in enumerate(row):
+            widths[i] = max(widths[i], len(text))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(t.ljust(w) for t, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_degree(label: str, degree: CoherenceDegree) -> str:
+    """One-scheme degree-of-coherence block."""
+    rows: list[Sequence[Any]] = [
+        ["probes", degree.probes],
+        ["coherent fraction", degree.coherent_fraction],
+        ["global-name fraction", degree.global_fraction],
+        ["mean pairwise agreement", degree.mean_pairwise],
+    ]
+    for group, value in sorted(degree.per_group.items()):
+        rows.append([f"coherent within {group}", value])
+    return format_table(["metric", "value"], rows, title=label)
+
+
+def format_summary(label: str, summary: AuditSummary) -> str:
+    """Audit-summary block: verdict counts overall and per source."""
+    rows: list[Sequence[Any]] = []
+    for verdict in Verdict:
+        if summary.count(verdict):
+            rows.append(["(all)", str(verdict), summary.count(verdict),
+                         summary.rate(verdict)])
+    for source in NameSource:
+        for verdict in Verdict:
+            if summary.count(verdict, source):
+                rows.append([str(source), str(verdict),
+                             summary.count(verdict, source),
+                             summary.rate(verdict, source)])
+    return format_table(["source", "verdict", "count", "rate"],
+                        rows, title=label)
+
+
+def format_matrix(label: str,
+                  matrix: Mapping[tuple[str, str], float]) -> str:
+    """Pairwise agreement matrix as rows of (a, b, agreement)."""
+    rows = [[a, b, v] for (a, b), v in sorted(matrix.items())]
+    return format_table(["activity a", "activity b", "agreement"],
+                        rows, title=label)

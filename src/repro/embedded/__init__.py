@@ -1,0 +1,37 @@
+"""Embedded names and structured objects (§6 Example 2, Figure 6)."""
+
+from repro.embedded.documents import assembly_equal, flatten, resolve_embedded
+from repro.embedded.objects import (
+    EmbeddedName,
+    StructuredContent,
+    embedded_names,
+    structured_object,
+)
+from repro.embedded.relocate import (
+    copy_structured_subtree,
+    move_subtree,
+    multi_attach,
+)
+from repro.embedded.scoping import (
+    UpwardScopeContext,
+    parent_directory_of,
+    scope_context_for,
+    scope_rule,
+)
+
+__all__ = [
+    "EmbeddedName",
+    "StructuredContent",
+    "UpwardScopeContext",
+    "assembly_equal",
+    "copy_structured_subtree",
+    "embedded_names",
+    "flatten",
+    "move_subtree",
+    "multi_attach",
+    "parent_directory_of",
+    "resolve_embedded",
+    "scope_context_for",
+    "scope_rule",
+    "structured_object",
+]

@@ -1,0 +1,100 @@
+"""Document assembly: evaluating a structured object's meaning.
+
+"The meaning of a structured object depends on the meanings of the
+embedded names, that is, on the objects denoted by the embedded
+names."  :func:`flatten` computes that meaning operationally — the
+fully assembled text, following includes recursively, resolving every
+embedded name under a chosen resolution rule on behalf of a chosen
+activity.  Two activities for which :func:`flatten` returns the same
+assembly *see the same structured object*; experiment E3/E10 compare
+assemblies across activities and rules.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.closure.meta import NameSource, ResolutionEvent
+from repro.closure.rules import ResolutionRule, rule_resolve
+from repro.embedded.objects import (
+    EmbeddedName,
+    StructuredContent,
+    embedded_names,
+)
+from repro.errors import SchemeError
+from repro.model.entities import Activity, Entity, ObjectEntity
+
+__all__ = ["flatten", "resolve_embedded", "assembly_equal"]
+
+#: Bound on include depth (an include cycle is a user error surfaced
+#: as a SchemeError rather than a RecursionError).
+_MAX_DEPTH = 64
+
+
+def resolve_embedded(obj: ObjectEntity, reader: Activity,
+                     rule: ResolutionRule) -> list[tuple[str, Entity]]:
+    """Resolve each name embedded in *obj* under *rule* for *reader*.
+
+    Returns ``[(textual name, resolved entity), ...]`` in occurrence
+    order; unresolved names map to the undefined entity.
+    """
+    out: list[tuple[str, Entity]] = []
+    for name_ in embedded_names(obj):
+        event = ResolutionEvent(name=name_, source=NameSource.OBJECT,
+                                resolver=reader, source_object=obj)
+        out.append((str(name_), rule_resolve(rule, event)))
+    return out
+
+
+def flatten(obj: ObjectEntity, reader: Activity, rule: ResolutionRule,
+            _depth: int = 0) -> str:
+    """Assemble the full text of structured object *obj* for *reader*.
+
+    Embedded names are resolved under *rule*; included objects are
+    flattened recursively.  An unresolved include renders as
+    ``⟨name:⊥⟩`` (so incoherence is *visible* in the assembly instead
+    of raising), and including a non-structured object renders its
+    state as text.
+
+    Raises:
+        SchemeError: on include cycles deeper than the bound.
+    """
+    if _depth > _MAX_DEPTH:
+        raise SchemeError(f"include depth exceeded flattening {obj.label!r} "
+                          f"(include cycle?)")
+    state = obj.state
+    if not isinstance(state, StructuredContent):
+        return "" if state is None else str(state)
+    parts: list[str] = []
+    for segment in state.segments:
+        if isinstance(segment, EmbeddedName):
+            event = ResolutionEvent(name=segment.name,
+                                    source=NameSource.OBJECT,
+                                    resolver=reader, source_object=obj)
+            target = rule_resolve(rule, event)
+            if not target.is_defined():
+                parts.append(f"⟨{segment.name}:⊥⟩")
+            elif isinstance(target, ObjectEntity):
+                parts.append(flatten(target, reader, rule,
+                                     _depth=_depth + 1))
+            else:
+                parts.append(f"⟨{segment.name}:{target.label}⟩")
+        else:
+            parts.append(segment)
+    return "".join(parts)
+
+
+def assembly_equal(obj: ObjectEntity, readers: list[Activity],
+                   rule: ResolutionRule,
+                   reference: Optional[str] = None) -> bool:
+    """True if *obj* flattens identically for every reader.
+
+    This is "the meaning of the structured object is the same for each
+    activity" made checkable.  With *reference*, assemblies must also
+    equal that expected text.
+    """
+    assemblies = [flatten(obj, reader, rule) for reader in readers]
+    if not assemblies:
+        return True
+    expected = reference if reference is not None else assemblies[0]
+    return all(assembly == expected for assembly in assemblies)

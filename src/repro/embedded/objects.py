@@ -1,0 +1,96 @@
+"""Structured objects: names embedded in objects (Figure 1 source 3).
+
+"Names can be embedded in objects to build structured objects" — a
+LaTeX document including chapter files, a C source including headers,
+an executable split over several files.  "The meaning of a structured
+object depends on the meanings of the embedded names."
+
+A structured object is an ordinary
+:class:`~repro.model.entities.ObjectEntity` whose state is a
+:class:`StructuredContent`: an ordered mix of literal text segments
+and :class:`EmbeddedName` references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.model.entities import ObjectEntity
+from repro.model.names import CompoundName, NameLike
+from repro.model.state import GlobalState
+
+__all__ = ["EmbeddedName", "StructuredContent", "structured_object",
+           "embedded_names"]
+
+
+@dataclass(frozen=True)
+class EmbeddedName:
+    """One embedded name reference inside a structured object."""
+
+    name: CompoundName
+
+    def __str__(self) -> str:
+        return f"⟨{self.name}⟩"
+
+
+#: A content segment: literal text or an embedded name.
+Segment = Union[str, EmbeddedName]
+
+
+class StructuredContent:
+    """The state of a structured object: ordered segments.
+
+    >>> content = StructuredContent(["preamble ", "chapters/intro",
+    ...                              " postamble"], embed_odd=False)
+    >>> [str(s) for s in content.segments]
+    ['preamble ', 'chapters/intro', ' postamble']
+    """
+
+    def __init__(self, segments: list[Segment] | None = None,
+                 embed_odd: bool = True):
+        # embed_odd is accepted for symmetry with builders but unused;
+        # callers pass explicit EmbeddedName objects or use include().
+        self.segments: list[Segment] = list(segments or [])
+
+    def text(self, text_segment: str) -> "StructuredContent":
+        """Append a literal text segment (chainable)."""
+        self.segments.append(text_segment)
+        return self
+
+    def include(self, name_: NameLike) -> "StructuredContent":
+        """Append an embedded name reference (chainable)."""
+        self.segments.append(EmbeddedName(CompoundName.coerce(name_)))
+        return self
+
+    def embedded(self) -> list[CompoundName]:
+        """The embedded names, in order of occurrence."""
+        return [segment.name for segment in self.segments
+                if isinstance(segment, EmbeddedName)]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, StructuredContent):
+            return self.segments == other.segments
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"<StructuredContent {len(self.segments)} segments>"
+
+
+def structured_object(label: str,
+                      content: StructuredContent | None = None,
+                      sigma: GlobalState | None = None) -> ObjectEntity:
+    """Create an object whose state is structured content."""
+    obj = ObjectEntity(label)
+    obj.state = content if content is not None else StructuredContent()
+    if sigma is not None:
+        sigma.add(obj)
+    return obj
+
+
+def embedded_names(obj: ObjectEntity) -> list[CompoundName]:
+    """The names embedded in *obj* (empty for unstructured objects)."""
+    state = obj.state
+    if isinstance(state, StructuredContent):
+        return state.embedded()
+    return []

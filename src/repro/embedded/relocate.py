@@ -1,0 +1,76 @@
+"""Subtree relocation, copying, and multi-attach (§6 Example 2).
+
+"The subtree containing the structured object can be simultaneously
+attached in different parts of the distributed environment, and also
+relocated or copied without changing the meaning of the embedded
+names.  Furthermore several structured objects (stored in subtrees)
+can be combined to form a larger structured object."
+
+These helpers perform the three operations over
+:class:`~repro.namespaces.tree.NamingTree` and are paired in the test
+suite with assertions that Figure-6 scope resolution is invariant
+under them.
+"""
+
+from __future__ import annotations
+
+from repro.embedded.objects import StructuredContent
+from repro.errors import SchemeError
+from repro.model.entities import ObjectEntity
+from repro.model.names import CompoundName, NameLike
+from repro.namespaces.tree import NamingTree
+
+__all__ = ["move_subtree", "copy_structured_subtree", "multi_attach"]
+
+
+def move_subtree(tree: NamingTree, source: NameLike,
+                 destination: NameLike) -> ObjectEntity:
+    """Relocate the subtree at *source* to *destination*.
+
+    The subtree's internal structure — including the ``..`` bindings
+    its scope resolution depends on below its root — is untouched; the
+    subtree root's own ``..`` is rebound to the new parent.
+    """
+    node = tree.detach(source)
+    if not node.is_context_object():
+        raise SchemeError(f"{CompoundName.coerce(source)} is not a subtree")
+    tree.attach(destination, node, set_parent=True)
+    return node  # type: ignore[return-value]
+
+
+def copy_structured_subtree(tree: NamingTree, source: NameLike,
+                            destination: NameLike) -> ObjectEntity:
+    """Deep-copy the subtree at *source* to *destination*.
+
+    Structured leaf objects are cloned with their content (so the copy
+    is an independent structured object whose embedded names resolve
+    inside the *copy*); unstructured leaves are shared.
+    """
+    node = tree.lookup(source)
+    if not node.is_defined() or not node.is_context_object():
+        raise SchemeError(f"{CompoundName.coerce(source)} is not a subtree")
+
+    def clone_leaf(leaf: ObjectEntity) -> ObjectEntity:
+        if isinstance(leaf.state, StructuredContent):
+            fresh = ObjectEntity(leaf.label)
+            fresh.state = StructuredContent(list(leaf.state.segments))
+            return fresh
+        return leaf
+
+    copy = tree.copy_subtree(node, copy_leaf=clone_leaf)
+    tree.attach(destination, copy, set_parent=True)
+    return copy
+
+
+def multi_attach(subtree_root: ObjectEntity,
+                 placements: list[tuple[NamingTree, NameLike]]) -> None:
+    """Attach one subtree simultaneously at several places.
+
+    ``set_parent=False`` everywhere: the subtree's internal ``..``
+    chain is left alone, so Figure-6 upward search behaves identically
+    through every attachment point (for bindings inside the subtree).
+    """
+    if not subtree_root.is_context_object():
+        raise SchemeError(f"{subtree_root!r} is not a subtree root")
+    for tree, path in placements:
+        tree.attach(path, subtree_root, set_parent=False)

@@ -1,0 +1,140 @@
+"""Algol-style scope resolution for embedded names (§6 Ex. 2, Fig. 6).
+
+"The context R(file) is determined using the Algol scope rules;
+instead of nested blocks, there are nested subtrees.  A name embedded
+in a node n is resolved using a matching binding at the closest
+ancestor in the tree.  The binding is found by searching up the tree,
+from node n to the root of the tree, for a directory node that has a
+binding matching the first component of the name."
+
+Resulting properties (all exercised by experiment E10):
+
+* the name has the same meaning regardless of the process accessing
+  the file and its site of execution;
+* the subtree can be simultaneously attached in different parts of the
+  environment, relocated, or copied, without changing the meaning of
+  its embedded names;
+* several structured objects can be combined, and used concurrently,
+  without name conflicts.
+
+:class:`UpwardScopeContext` performs the upward search lazily at each
+lookup; :func:`scope_rule` packages it as the ``R(file)`` resolution
+rule for the closure machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.closure.rules import RScoped
+from repro.errors import SchemeError
+from repro.model.context import Context
+from repro.model.entities import Entity, ObjectEntity, UNDEFINED_ENTITY
+from repro.model.names import PARENT
+from repro.model.state import GlobalState
+
+__all__ = ["UpwardScopeContext", "parent_directory_of", "scope_context_for",
+           "scope_rule"]
+
+#: Safety bound on upward searches (a ``..`` cycle would otherwise
+#: loop; trees built by :class:`~repro.namespaces.tree.NamingTree`
+#: terminate at a self-parented root long before this).
+_MAX_ASCENT = 256
+
+
+class UpwardScopeContext(Context):
+    """A derived context: lookups search up the ``..`` chain.
+
+    The context binds nothing itself; an atomic lookup walks from the
+    *start* directory toward the root, returning the first matching
+    binding (``..`` itself is looked up only at the start directory —
+    an embedded name may legitimately begin with ``..``).
+    """
+
+    __slots__ = ("_start",)
+
+    def __init__(self, start: ObjectEntity, label: str = ""):
+        if not start.is_context_object():
+            raise SchemeError(f"scope start must be a directory: {start!r}")
+        super().__init__(label=label or f"scope:{start.label}")
+        self._start = start
+
+    @property
+    def start(self) -> ObjectEntity:
+        """The directory the upward search starts from."""
+        return self._start
+
+    def __call__(self, name_: str) -> Entity:
+        node: Entity = self._start
+        for _ in range(_MAX_ASCENT):
+            if not node.is_context_object():
+                return UNDEFINED_ENTITY
+            context: Context = node.state
+            if name_ == PARENT:
+                return context(PARENT)
+            if context.binds(name_):
+                return context(name_)
+            parent = context(PARENT)
+            if not parent.is_defined() or parent is node:
+                return UNDEFINED_ENTITY
+            node = parent
+        return UNDEFINED_ENTITY
+
+    def copy(self, label: str = "") -> "UpwardScopeContext":
+        """A scope context over the same start directory (overrides
+        the base copy, which would lose the derived behaviour)."""
+        return UpwardScopeContext(self._start,
+                                  label=label or self.label)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, UpwardScopeContext):
+            return self._start is other._start
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"<UpwardScopeContext from {self._start.label!r}>"
+
+
+def parent_directory_of(obj: Entity, sigma: GlobalState,
+                        ) -> Optional[ObjectEntity]:
+    """Find the directory containing *obj*.
+
+    Directories carry their own ``..``; for leaf objects the directory
+    is found by scanning σ's context objects (deterministically, by
+    uid) for a binding to *obj*.  Returns the first container, or
+    None.  An object bound in several directories (hard links) uses
+    the earliest-created container, a deterministic choice.
+    """
+    if obj.is_context_object():
+        parent = obj.state(PARENT)
+        return parent if parent.is_defined() else None  # type: ignore
+    for directory in sorted(sigma.context_objects(), key=lambda d: d.uid):
+        context: Context = directory.state
+        for name_ in context.names():
+            if name_ != PARENT and context(name_) is obj:
+                return directory  # type: ignore[return-value]
+    return None
+
+
+def scope_context_for(obj: Entity, sigma: GlobalState) -> Context:
+    """The ``R(file)`` context of *obj*: upward search from the node
+    the object is embedded in.
+
+    For a directory the search starts at the directory itself (names
+    embedded in a directory-like object see its own bindings first);
+    for a leaf the search starts at its containing directory.
+    """
+    if obj.is_context_object():
+        return UpwardScopeContext(obj)  # type: ignore[arg-type]
+    parent = parent_directory_of(obj, sigma)
+    if parent is None:
+        raise SchemeError(
+            f"{obj!r} is not bound in any directory; R(file) needs the "
+            f"containing subtree")
+    return UpwardScopeContext(parent)
+
+
+def scope_rule(sigma: GlobalState) -> RScoped:
+    """The ``R(file)`` resolution rule over a system state σ."""
+    return RScoped(lambda obj: scope_context_for(obj, sigma),
+                   formula="R(file)")

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the ``repro`` library.
+
+The formal naming model of Radia & Pachl (ICDCS'93, section 2) is total:
+resolving an unbound name yields the *undefined entity* rather than an
+error.  Exceptions in this library therefore signal *misuse of the API*
+(malformed names, binding to a dead entity, wiring mistakes) rather than
+ordinary resolution failures, which are values
+(:data:`repro.model.entities.UNDEFINED_ENTITY`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class NameSyntaxError(ReproError, ValueError):
+    """A string could not be parsed as an atomic or compound name."""
+
+
+class BindingError(ReproError):
+    """An invalid binding operation on a context (e.g. empty name)."""
+
+
+class EntityError(ReproError):
+    """An operation was applied to an entity of the wrong kind."""
+
+
+class ResolutionRuleError(ReproError):
+    """A resolution rule was invoked with an incomplete meta-context.
+
+    For example, applying the ``R(sender)`` rule to a resolution event
+    that has no sender recorded.
+    """
+
+
+class SchemeError(ReproError):
+    """A naming-scheme operation violated the scheme's structural rules.
+
+    For example, attaching a machine tree twice in a Newcastle system,
+    or asking an Andrew client for another client's local graph.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was driven into an invalid state."""
+
+
+class AddressError(ReproError):
+    """A partially-qualified identifier operation received an invalid
+    address or an out-of-scope qualification level."""
+
+
+class FederationError(ReproError):
+    """A federation/scope operation violated scope rules (section 7)."""

@@ -1,0 +1,12 @@
+"""The §7 architecture: shared name spaces in nested scopes, with
+human prefix-mapping at scope boundaries."""
+
+from repro.federation.mapping import PrefixMapping, mapping_burden
+from repro.federation.scopes import FederationEnvironment, Scope
+
+__all__ = [
+    "FederationEnvironment",
+    "PrefixMapping",
+    "Scope",
+    "mapping_burden",
+]

@@ -1,0 +1,71 @@
+"""Human prefix-mapping across scope boundaries (§7).
+
+"When the first organization needs to refer to the home directories of
+users in the second organization, it may have to attach the home
+directories under the name /org2/users.  In such situations, one has
+to rely on humans to map names by adding the prefix /org2.  ... The
+mapping 'solution' can be viewed as a closure mechanism used by humans
+to address incoherence."
+
+:class:`PrefixMapping` is that human closure made explicit: a rule
+that rewrites a foreign scope's names by adding an alias prefix.
+:func:`mapping_burden` quantifies when the solution stops being
+acceptable — "if the interaction across scope boundaries is high, then
+mapping names can become a hindrance".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.model.names import CompoundName, NameLike
+
+__all__ = ["PrefixMapping", "mapping_burden"]
+
+
+@dataclass(frozen=True)
+class PrefixMapping:
+    """A human mapping rule: names from *from_scope* are valid in
+    *to_scope* after prefixing with *alias* (e.g. ``org2``)."""
+
+    from_scope: str
+    to_scope: str
+    alias: str
+
+    def apply(self, name_: NameLike) -> CompoundName:
+        """``/users/alice`` → ``/org2/users/alice``."""
+        name_ = CompoundName.coerce(name_)
+        return CompoundName((self.alias,) + name_.parts,
+                            rooted=name_.rooted)
+
+    def unapply(self, name_: NameLike) -> CompoundName:
+        """Strip the alias prefix (the inverse direction)."""
+        name_ = CompoundName.coerce(name_)
+        if not name_.parts or name_.parts[0] != self.alias:
+            return name_
+        return CompoundName(name_.parts[1:], rooted=name_.rooted)
+
+    def __str__(self) -> str:
+        return (f"{self.from_scope}→{self.to_scope}: "
+                f"add prefix /{self.alias}")
+
+
+def mapping_burden(names_crossing: Iterable[NameLike],
+                   total_uses: int) -> dict[str, float]:
+    """Quantify the §7 trade-off for a workload.
+
+    Args:
+        names_crossing: Name uses that crossed a scope boundary (and
+            therefore needed a human mapping).
+        total_uses: All name uses in the workload.
+
+    Returns:
+        ``{"crossing": n, "total": N, "burden": n/N}`` — the fraction
+        of uses a human had to rewrite.  When the burden is high the
+        paper's advice is to enlarge the scope.
+    """
+    crossing = sum(1 for _ in names_crossing)
+    burden = (crossing / total_uses) if total_uses else 0.0
+    return {"crossing": float(crossing), "total": float(total_uses),
+            "burden": burden}

@@ -1,0 +1,247 @@
+"""Shared name spaces in limited scopes (§7).
+
+"It is sufficient to share name spaces in a limited scope among
+activities that have a high degree of interaction. ... Such a shared
+name space should be attached by a common name to the contexts of
+activities in the scope.  There may be several shared name spaces.
+For example, the name space of home directories of different users in
+an organization may be attached under the name /users, and the name
+space of services may be attached under /services.  Some name spaces
+may be shared under a common name within a group in an organization,
+some in the entire organization itself, and some may be shared in even
+larger scopes that cross organization boundaries."
+
+:class:`Scope` models one scope (group ⊂ division ⊂ organization ⊂
+inter-org): each publishes shared name spaces under common names.  An
+activity spawned in a scope gets a private root with every shared
+space of its scope *chain* attached under the space's common name —
+inner scopes shadow outer ones on a name clash.
+
+Crossing scope boundaries requires attaching a foreign name space
+under a *different* name (``/org2/users``) — the human prefix-mapping
+closure of :mod:`repro.federation.mapping`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import FederationError
+from repro.model.context import context_object
+from repro.model.entities import Activity, ObjectEntity
+from repro.model.names import CompoundName, NameLike, check_atomic_name
+from repro.model.state import GlobalState
+from repro.namespaces.base import NamingScheme, ProcessContext
+from repro.namespaces.tree import NamingTree
+
+__all__ = ["Scope", "FederationEnvironment"]
+
+
+class Scope:
+    """One naming scope: a label, an optional parent, shared spaces."""
+
+    def __init__(self, environment: "FederationEnvironment", label: str,
+                 parent: Optional["Scope"] = None):
+        self.environment = environment
+        self.label = label
+        self.parent = parent
+        self.shared: dict[str, NamingTree] = {}
+
+    def publish(self, common_name: str,
+                tree: Optional[NamingTree] = None) -> NamingTree:
+        """Publish a shared name space under *common_name* in this
+        scope: every activity in scope sees it as ``/<common_name>``.
+        """
+        check_atomic_name(common_name)
+        if common_name in self.shared:
+            raise FederationError(
+                f"scope {self.label!r} already shares {common_name!r}")
+        if tree is None:
+            tree = NamingTree(label=f"{self.label}:{common_name}",
+                              sigma=self.environment.sigma,
+                              parent_links=True)
+        self.shared[common_name] = tree
+        return tree
+
+    def space(self, common_name: str) -> NamingTree:
+        """The shared space published here under *common_name*."""
+        try:
+            return self.shared[common_name]
+        except KeyError:
+            raise FederationError(
+                f"scope {self.label!r} shares no {common_name!r}") from None
+
+    def chain(self) -> list["Scope"]:
+        """This scope and its ancestors, innermost first."""
+        out: list[Scope] = []
+        scope: Optional[Scope] = self
+        while scope is not None:
+            out.append(scope)
+            scope = scope.parent
+        return out
+
+    def visible_spaces(self) -> dict[str, NamingTree]:
+        """Common name → space, over the whole chain (inner shadows
+        outer)."""
+        spaces: dict[str, NamingTree] = {}
+        for scope in reversed(self.chain()):  # outermost first
+            spaces.update(scope.shared)
+        return spaces
+
+    def __repr__(self) -> str:
+        lineage = "/".join(s.label for s in reversed(self.chain()))
+        return f"<Scope {lineage}>"
+
+
+class FederationEnvironment(NamingScheme):
+    """A federated environment of nested scopes (§7 architecture).
+
+    >>> env = FederationEnvironment()
+    >>> org = env.add_scope("org1")
+    >>> _ = org.publish("users").mkfile("alice/plan")
+    >>> p = env.spawn(org, "shell")
+    >>> env.resolve_for(p, "/users/alice/plan").label
+    'plan'
+    """
+
+    scheme_name = "federation"
+
+    def __init__(self, sigma: Optional[GlobalState] = None):
+        super().__init__(sigma)
+        self._scopes: dict[str, Scope] = {}
+        self._scope_of: dict[int, Scope] = {}
+        self._roots: dict[int, ObjectEntity] = {}
+        # Foreign imports replayed into future spawns of a scope:
+        # scope label -> list of (alias prefix, foreign scope).
+        self._imports: dict[str, list[tuple[str, Scope]]] = {}
+
+    # -- scopes -----------------------------------------------------------
+
+    def add_scope(self, label: str,
+                  parent: Optional[Scope] = None) -> Scope:
+        """Create a scope (a group, division, organization, ...)."""
+        if label in self._scopes:
+            raise FederationError(f"scope {label!r} already exists")
+        scope = Scope(self, label, parent)
+        self._scopes[label] = scope
+        return scope
+
+    def scope(self, label: str) -> Scope:
+        try:
+            return self._scopes[label]
+        except KeyError:
+            raise FederationError(f"unknown scope {label!r}") from None
+
+    def scopes(self) -> list[Scope]:
+        return [self._scopes[k] for k in sorted(self._scopes)]
+
+    # -- activities -----------------------------------------------------------
+
+    def spawn(self, scope: Scope, label: str,
+              activity: Optional[Activity] = None) -> Activity:
+        """Create an activity in *scope*: its context root has every
+        in-scope shared space attached under its common name, plus any
+        foreign imports registered for the scope."""
+        root = context_object(f"ns:{label}")
+        self.sigma.add(root)
+        for common_name, tree in sorted(scope.visible_spaces().items()):
+            root.state.bind(common_name, tree.root)
+        for chain_scope in reversed(scope.chain()):  # outermost first
+            for alias, foreign in self._imports.get(chain_scope.label, []):
+                self._attach_foreign(root, alias, foreign)
+        context = ProcessContext(root, label=f"ctx:{label}")
+        target = activity if activity is not None else Activity(label)
+        adopted = self.adopt_activity(target, context, group=scope.label)
+        self._scope_of[adopted.uid] = scope
+        self._roots[adopted.uid] = root
+        return adopted
+
+    def scope_of(self, activity: Activity) -> Scope:
+        try:
+            return self._scope_of[activity.uid]
+        except KeyError:
+            raise FederationError(
+                f"{activity.label} was not spawned in a scope") from None
+
+    # -- crossing scope boundaries ----------------------------------------------
+
+    def import_foreign(self, scope: Scope, foreign: Scope,
+                       alias: str) -> None:
+        """Make *foreign*'s shared spaces visible in *scope* under
+        ``/<alias>/<common_name>`` — §7's ``/org2/users`` attachment.
+
+        Applies to existing and future activities of *scope* and of
+        every scope nested inside it.
+        """
+        check_atomic_name(alias)
+        if alias in scope.visible_spaces():
+            raise FederationError(
+                f"alias {alias!r} collides with a shared space in "
+                f"{scope.label!r}")
+        self._imports.setdefault(scope.label, []).append((alias, foreign))
+        for activity in self._activities:
+            activity_scope = self._scope_of.get(activity.uid)
+            if activity_scope is not None and scope in activity_scope.chain():
+                self._attach_foreign(self._roots[activity.uid],
+                                     alias, foreign)
+
+    def _attach_foreign(self, root: ObjectEntity, alias: str,
+                        foreign: Scope) -> None:
+        alias_dir = root.state(alias)
+        if not alias_dir.is_defined():
+            alias_dir = context_object(alias)
+            self.sigma.add(alias_dir)
+            root.state.bind(alias, alias_dir)
+        for common_name, tree in sorted(foreign.visible_spaces().items()):
+            alias_dir.state.bind(common_name, tree.root)
+
+    # -- boundary mapping ---------------------------------------------------------
+
+    def boundary_mapper(self):
+        """A :class:`~repro.closure.boundary.NameMapper` automating the
+        §7 human prefix mapping for names exchanged across top-level
+        scopes.
+
+        For a name whose first component is a shared space of the
+        sender's top-level scope, the mapper prepends the alias under
+        which the receiver's scope imported that foreign scope (the
+        ``/org2`` of §7).  Same-top-scope traffic, non-shared names,
+        and missing imports pass through (``None`` — untranslatable).
+        """
+
+        def mapper(sender: Activity, receiver: Activity,
+                   name_: CompoundName) -> Optional[CompoundName]:
+            try:
+                sender_top = self.scope_of(sender).chain()[-1]
+                receiver_scope = self.scope_of(receiver)
+            except FederationError:
+                return None
+            if sender_top is receiver_scope.chain()[-1]:
+                return name_
+            if len(name_) == 0 or \
+                    name_.parts[0] not in sender_top.visible_spaces():
+                return None
+            for chain_scope in receiver_scope.chain():
+                for alias, foreign in self._imports.get(
+                        chain_scope.label, []):
+                    if foreign.chain()[-1] is sender_top:
+                        return CompoundName((alias,) + name_.parts,
+                                            rooted=name_.rooted)
+            return None
+
+        return mapper
+
+    # -- probes --------------------------------------------------------------------
+
+    def probe_names(self) -> list[CompoundName]:
+        """``/<common>/…`` names over every scope's own shared spaces
+        (textual dedup — two orgs' ``/users/…`` are the same *name*)."""
+        unique: dict[CompoundName, None] = {}
+        for scope in self.scopes():
+            for common_name, tree in sorted(scope.shared.items()):
+                unique.setdefault(CompoundName([common_name], rooted=True))
+                for path in tree.all_paths():
+                    unique.setdefault(
+                        CompoundName((common_name,) + path.parts,
+                                     rooted=True))
+        return list(unique)

@@ -1,0 +1,67 @@
+"""The formal naming model of Radia & Pachl, section 2.
+
+Exports the model's vocabulary: names and compound names, entities
+(activities, objects, the undefined entity), states and the global
+state σ, contexts, compound-name resolution, and the naming graph.
+"""
+
+from repro.model.context import Context, context_object
+from repro.model.entities import (
+    Activity,
+    Entity,
+    Obj,
+    ObjectEntity,
+    UNDEFINED_ENTITY,
+    require_activity,
+    require_object,
+)
+from repro.model.graph import NamingGraph
+from repro.model.names import (
+    PARENT,
+    ROOT_NAME,
+    SELF,
+    SEPARATOR,
+    CompoundName,
+    NameLike,
+    check_atomic_name,
+    is_atomic_name,
+    name,
+)
+from repro.model.resolution import (
+    ResolutionStep,
+    ResolutionTrace,
+    resolve,
+    resolve_traced,
+)
+from repro.model.serialize import dump_state, load_state
+from repro.model.state import GlobalState, UNDEFINED_STATE
+
+__all__ = [
+    "Activity",
+    "CompoundName",
+    "Context",
+    "Entity",
+    "GlobalState",
+    "NameLike",
+    "NamingGraph",
+    "Obj",
+    "ObjectEntity",
+    "PARENT",
+    "ROOT_NAME",
+    "ResolutionStep",
+    "ResolutionTrace",
+    "SELF",
+    "SEPARATOR",
+    "UNDEFINED_ENTITY",
+    "UNDEFINED_STATE",
+    "check_atomic_name",
+    "context_object",
+    "dump_state",
+    "is_atomic_name",
+    "load_state",
+    "name",
+    "require_activity",
+    "require_object",
+    "resolve",
+    "resolve_traced",
+]

@@ -1,0 +1,126 @@
+"""Entity states and the global state function σ (section 2).
+
+The paper's model gives every entity a state drawn from::
+
+    S = S_A ∪ S_O ∪ {⊥S}
+
+where ``S_A`` (activity states) and ``S_O`` (object states) are disjoint
+and ``⊥S`` is the undefined state.  The global state of the system is
+the function ``σ : E → S``.
+
+In this library states are ordinary Python values stored on the entity
+(``entity.state``); contexts (:class:`repro.model.context.Context`) are
+legal object states, which is what makes an object a *context object*.
+:class:`GlobalState` is a thin, explicit view implementing σ over a
+collection of entities, convenient for snapshotting and for stating the
+replicated-object property of section 5 (``σ(o1) = ... = σ(og)``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from typing import Any, Optional
+
+from repro.model.entities import Entity, UNDEFINED_ENTITY
+
+
+class _UndefinedState:
+    """The undefined state ``⊥S`` — a unique falsy sentinel."""
+
+    _instance: Optional["_UndefinedState"] = None
+    __slots__ = ()
+
+    def __new__(cls) -> "_UndefinedState":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "UNDEFINED_STATE"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: The undefined state ``⊥S``.
+UNDEFINED_STATE = _UndefinedState()
+
+
+class GlobalState:
+    """The global state function ``σ : E → S`` over a set of entities.
+
+    The view is *live*: it reads ``entity.state`` at lookup time.  Use
+    :meth:`snapshot` to capture an immutable picture (used by the
+    coherence auditor to compare states at distinct instants).
+
+    >>> from repro.model.entities import ObjectEntity
+    >>> o = ObjectEntity("f")
+    >>> o.state = "hello"
+    >>> sigma = GlobalState([o])
+    >>> sigma(o)
+    'hello'
+    """
+
+    def __init__(self, entities: Iterable[Entity] = ()):
+        self._entities: dict[int, Entity] = {}
+        for entity in entities:
+            self.add(entity)
+
+    def add(self, entity: Entity) -> Entity:
+        """Register *entity* in this global state's domain."""
+        if entity is not UNDEFINED_ENTITY:
+            self._entities[entity.uid] = entity
+        return entity
+
+    def discard(self, entity: Entity) -> None:
+        """Remove *entity* from the domain (no error if absent)."""
+        self._entities.pop(entity.uid, None)
+
+    def __call__(self, entity: Entity) -> Any:
+        """Return ``σ(entity)``.
+
+        Entities outside the registered domain — including the undefined
+        entity — map to ``⊥S``, keeping σ total as in the paper.
+        """
+        if entity.uid in self._entities:
+            return entity.state
+        if entity is UNDEFINED_ENTITY:
+            return UNDEFINED_STATE
+        return UNDEFINED_STATE
+
+    def __contains__(self, entity: Entity) -> bool:
+        return entity.uid in self._entities
+
+    def __iter__(self) -> Iterator[Entity]:
+        return iter(self._entities.values())
+
+    def __len__(self) -> int:
+        return len(self._entities)
+
+    def activities(self) -> list[Entity]:
+        """All registered activities (the set ``A`` of this system)."""
+        return [e for e in self if e.is_activity()]
+
+    def objects(self) -> list[Entity]:
+        """All registered objects (the set ``O`` of this system)."""
+        return [e for e in self if e.is_object()]
+
+    def context_objects(self) -> list[Entity]:
+        """All registered context objects (directories)."""
+        return [e for e in self if e.is_context_object()]
+
+    def snapshot(self) -> dict[int, Any]:
+        """An immutable-ish picture: uid → state at this instant.
+
+        Context states are copied so later binds do not alter the
+        snapshot; other states are captured by reference.
+        """
+        from repro.model.context import Context
+
+        picture: dict[int, Any] = {}
+        for uid, entity in self._entities.items():
+            state = entity.state
+            if isinstance(state, Context):
+                state = state.copy()
+            picture[uid] = state
+        return picture

@@ -1,0 +1,41 @@
+"""Distributed name service: placed directories, measured resolution.
+
+Extends the formal model with the operational layer a distributed
+environment adds — directories hosted on machines, resolution traffic
+through the simulator — so the *cost* of each section-5 design is
+measurable alongside its coherence (experiment A4).
+"""
+
+from repro.nameservice.cache import (
+    BindingCache,
+    CacheEntry,
+    CachePolicy,
+    CachingDirectoryService,
+)
+from repro.nameservice.placement import DirectoryPlacement
+from repro.nameservice.protocol import (
+    AsyncNameClient,
+    LookupOutcome,
+    NameLookupServer,
+)
+from repro.nameservice.resolver import (
+    DistributedResolver,
+    ResolutionCost,
+    ResolutionStyle,
+    check_semantics_preserved,
+)
+
+__all__ = [
+    "AsyncNameClient",
+    "BindingCache",
+    "CacheEntry",
+    "CachePolicy",
+    "CachingDirectoryService",
+    "DirectoryPlacement",
+    "DistributedResolver",
+    "LookupOutcome",
+    "NameLookupServer",
+    "ResolutionCost",
+    "ResolutionStyle",
+    "check_semantics_preserved",
+]

@@ -1,0 +1,243 @@
+"""Cached bindings and cache-coherence policies (extension).
+
+A binding cache copies entries of remote directories onto a client's
+machine.  The copy is *part of a context living in another part of the
+system* — so cache staleness is literally the paper's incoherence: the
+same name, resolved at two places, denoting different entities.  The
+paper predates this engineering (its §1 cites the general problem);
+this module adds the operational layer the calibration note calls
+"coherent naming in practice" (DNS/ZooKeeper-style caching), as a
+clearly-marked extension measured by ablation A5.
+
+Three policies:
+
+* ``NONE`` — no caching; every remote step pays messages, nothing can
+  go stale;
+* ``TTL`` — entries expire after a virtual-time window; rebinds become
+  visible only when the entry times out (bounded staleness);
+* ``INVALIDATE`` — the directory service tracks which machines cached
+  each entry and sends invalidations on rebind (no staleness after
+  the invalidation is delivered, at the cost of extra messages).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import SchemeError
+from repro.model.context import Context
+from repro.model.entities import Entity, ObjectEntity
+from repro.nameservice.placement import DirectoryPlacement
+from repro.sim.kernel import Simulator
+from repro.sim.network import Machine
+
+__all__ = ["CachePolicy", "CacheEntry", "BindingCache",
+           "CachingDirectoryService"]
+
+
+class CachePolicy(enum.Enum):
+    """How cached bindings are kept coherent."""
+
+    NONE = "none"
+    TTL = "ttl"
+    INVALIDATE = "invalidate"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass
+class CacheEntry:
+    """One cached binding: (directory, name) → entity."""
+
+    entity: Entity
+    cached_at: float
+    expires_at: Optional[float] = None  # None = no expiry (INVALIDATE)
+
+    def live(self, now: float) -> bool:
+        return self.expires_at is None or now < self.expires_at
+
+
+class BindingCache:
+    """A per-machine cache of remote directory bindings."""
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        self._entries: dict[tuple[int, str], CacheEntry] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.expirations = 0
+
+    def lookup(self, directory: ObjectEntity, name_: str,
+               now: float) -> Optional[Entity]:
+        """The cached entity, or None on miss/expiry."""
+        key = (directory.uid, name_)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        if not entry.live(now):
+            del self._entries[key]
+            self.expirations += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry.entity
+
+    def fill(self, directory: ObjectEntity, name_: str, entity: Entity,
+             now: float, ttl: Optional[float]) -> None:
+        """Install a binding copy."""
+        expires = None if ttl is None else now + ttl
+        self._entries[(directory.uid, name_)] = CacheEntry(
+            entity, cached_at=now, expires_at=expires)
+
+    def invalidate(self, directory: ObjectEntity, name_: str) -> None:
+        """Drop a cached binding (invalidation protocol)."""
+        if self._entries.pop((directory.uid, name_), None) is not None:
+            self.invalidations += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "invalidations": self.invalidations,
+                "expirations": self.expirations}
+
+
+class CachingDirectoryService:
+    """Directory reads/writes with per-machine binding caches.
+
+    All binding *writes* go through :meth:`rebind`, which is what lets
+    the INVALIDATE policy know whom to notify — the same discipline a
+    ReplicaRegistry imposes on replica state.
+
+    Reads (:meth:`lookup`) consult the client machine's cache first;
+    a miss on a remotely-hosted directory costs one round-trip (two
+    messages) through the kernel and fills the cache per policy.
+    """
+
+    def __init__(self, simulator: Simulator,
+                 placement: DirectoryPlacement,
+                 policy: CachePolicy = CachePolicy.NONE,
+                 ttl: float = 10.0, latency: float = 1.0):
+        self._sim = simulator
+        self._placement = placement
+        self.policy = policy
+        self.ttl = ttl
+        self._latency = latency
+        self._caches: dict[int, BindingCache] = {}
+        # (directory uid, name) -> machines holding a cached copy.
+        self._copies: dict[tuple[int, str], set[int]] = {}
+        self._machines_by_id: dict[int, Machine] = {}
+        self._agents: dict[int, object] = {}
+        self.remote_reads = 0
+        self.invalidation_messages = 0
+
+    # -- cache plumbing -----------------------------------------------------
+
+    def cache_of(self, machine: Machine) -> BindingCache:
+        cache = self._caches.get(id(machine))
+        if cache is None:
+            cache = BindingCache(machine)
+            self._caches[id(machine)] = cache
+            self._machines_by_id[id(machine)] = machine
+        return cache
+
+    def _agent(self, machine: Machine):
+        """A per-machine process carrying cache/invalidation traffic."""
+        agent = self._agents.get(id(machine))
+        if agent is None:
+            agent = self._sim.spawn(machine,
+                                    label=f"cacheagent@{machine.label}")
+            self._agents[id(machine)] = agent
+        return agent
+
+    def _round_trip(self, client: Machine, server: Machine) -> None:
+        if client is server:
+            return
+        sender = self._agent(client)
+        receiver = self._agent(server)
+        sender.send(receiver, payload={"cache": "read"},
+                    latency=self._latency)
+        self._sim.run()
+        receiver.send(sender, payload={"cache": "reply"},
+                      latency=self._latency)
+        self._sim.run()
+        self.remote_reads += 1
+
+    # -- reads ------------------------------------------------------------------
+
+    def lookup(self, client_machine: Machine, directory: ObjectEntity,
+               name_: str) -> Entity:
+        """Read ``σ(directory)(name_)`` from *client_machine*.
+
+        Locally-hosted (or unplaced) directories are read directly;
+        remote ones go through the cache.
+        """
+        if not directory.is_context_object():
+            raise SchemeError(f"not a directory: {directory!r}")
+        host = self._placement.host_of(directory)
+        context: Context = directory.state
+        if host is None or host is client_machine:
+            return context(name_)
+        if self.policy is not CachePolicy.NONE:
+            cache = self.cache_of(client_machine)
+            cached = cache.lookup(directory, name_, self._sim.clock.now)
+            if cached is not None:
+                return cached
+        # Miss: fetch from the hosting server.
+        self._round_trip(client_machine, host)
+        entity = context(name_)
+        if self.policy is not CachePolicy.NONE and entity.is_defined():
+            ttl = self.ttl if self.policy is CachePolicy.TTL else None
+            self.cache_of(client_machine).fill(
+                directory, name_, entity, self._sim.clock.now, ttl)
+            if self.policy is CachePolicy.INVALIDATE:
+                self._copies.setdefault(
+                    (directory.uid, name_), set()).add(id(client_machine))
+        return entity
+
+    # -- writes --------------------------------------------------------------------
+
+    def rebind(self, directory: ObjectEntity, name_: str,
+               entity: Entity) -> None:
+        """Change a binding; under INVALIDATE, notify cached copies.
+
+        Invalidations are messages (one per caching machine) sent from
+        the hosting server's agent; they are delivered before this
+        call returns (the kernel runs to quiescence), modelling a
+        synchronous invalidation protocol.  Under TTL, stale copies
+        simply live out their window.
+        """
+        context: Context = directory.state
+        context.bind(name_, entity)
+        if self.policy is not CachePolicy.INVALIDATE:
+            return
+        host = self._placement.host_of(directory)
+        holders = self._copies.pop((directory.uid, name_), set())
+        for machine_id in holders:
+            machine = self._machines_by_id[machine_id]
+            if host is not None and machine is not host:
+                self._agent(host).send(
+                    self._agent(machine),
+                    payload={"cache": "invalidate"},
+                    latency=self._latency)
+                self.invalidation_messages += 1
+            self._caches[machine_id].invalidate(directory, name_)
+        self._sim.run()
+
+    # -- reporting --------------------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        totals = {"remote_reads": self.remote_reads,
+                  "invalidation_messages": self.invalidation_messages,
+                  "hits": 0, "misses": 0, "invalidations": 0,
+                  "expirations": 0}
+        for cache in self._caches.values():
+            for key, value in cache.stats().items():
+                totals[key] += value
+        return totals

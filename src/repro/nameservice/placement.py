@@ -1,0 +1,92 @@
+"""Directory placement: which machine serves which context object.
+
+Section 2's model is location-free — a context object is just an
+object whose state is a context.  In a *distributed computing
+environment* those directories live somewhere: each machine runs a
+directory server holding some of the system's context objects, and a
+resolution that steps into a directory hosted elsewhere costs a
+message round-trip.  (This is the operational reality behind §5's
+remark that the shared-naming-graph approach "leads to more
+loosely-coupled distributed systems than the single naming graph
+approach".)
+
+:class:`DirectoryPlacement` records the hosting machine of every
+directory, with helpers to place whole subtrees at once.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SchemeError
+from repro.model.context import Context
+from repro.model.entities import Entity, ObjectEntity
+from repro.model.names import PARENT
+from repro.sim.network import Machine
+
+__all__ = ["DirectoryPlacement"]
+
+
+class DirectoryPlacement:
+    """Maps directories (context objects) to hosting machines."""
+
+    def __init__(self) -> None:
+        self._host_of: dict[int, Machine] = {}
+
+    def place(self, directory: Entity, machine: Machine) -> None:
+        """Host *directory* on *machine* (replacing any previous
+        placement)."""
+        if not directory.is_context_object():
+            raise SchemeError(
+                f"only directories are placed on servers: {directory!r}")
+        self._host_of[directory.uid] = machine
+
+    def place_subtree(self, root: ObjectEntity, machine: Machine,
+                      follow_parent: bool = False) -> int:
+        """Host *root* and every directory below it on *machine*.
+
+        Stops at directories already placed elsewhere (so a mounted
+        foreign subtree keeps its own placement).  Returns the number
+        of directories placed.
+        """
+        if not root.is_context_object():
+            raise SchemeError(f"not a directory: {root!r}")
+        placed = 0
+        stack: list[ObjectEntity] = [root]
+        seen: set[int] = set()
+        while stack:
+            node = stack.pop()
+            if node.uid in seen:
+                continue
+            seen.add(node.uid)
+            if node.uid in self._host_of and \
+                    self._host_of[node.uid] is not machine:
+                continue
+            self._host_of[node.uid] = machine
+            placed += 1
+            context: Context = node.state
+            for name_ in context.names():
+                if name_ == PARENT and not follow_parent:
+                    continue
+                child = context(name_)
+                if child.is_context_object():
+                    stack.append(child)  # type: ignore[arg-type]
+        return placed
+
+    def host_of(self, directory: Entity) -> Optional[Machine]:
+        """The hosting machine, or None if unplaced."""
+        return self._host_of.get(directory.uid)
+
+    def require_host(self, directory: Entity) -> Machine:
+        host = self._host_of.get(directory.uid)
+        if host is None:
+            raise SchemeError(
+                f"directory {directory.label!r} has no hosting machine")
+        return host
+
+    def placed_count(self) -> int:
+        """Number of directories with a placement."""
+        return len(self._host_of)
+
+    def __repr__(self) -> str:
+        return f"<DirectoryPlacement {len(self._host_of)} directories>"

@@ -1,0 +1,279 @@
+"""An asynchronous name-lookup protocol over the simulator.
+
+:class:`DistributedResolver` walks synchronously (it drives the kernel
+itself); this module is the *protocol* version: clients and servers
+are plain simulator processes exchanging request/reply messages
+through their ``on_message`` handlers, with request ids, per-step
+timeouts and bounded retries.  Nothing here runs the kernel — the
+caller pumps :meth:`Simulator.run`, so lookups interleave naturally
+with any other traffic, and failures (crashed servers, partitions)
+surface as timeouts rather than hangs.
+
+Correctness property (tested): with no failures, an async lookup
+completes with exactly the entity the section-2 recursion yields
+locally.  Under a crashed server or a partition, the lookup fails
+cleanly after its retries instead of returning a wrong entity —
+incoherence is never silently introduced by the transport.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import SchemeError
+from repro.model.context import Context
+from repro.model.entities import Entity, ObjectEntity, UNDEFINED_ENTITY
+from repro.model.names import ROOT_NAME, CompoundName, NameLike
+from repro.nameservice.placement import DirectoryPlacement
+from repro.sim.events import ScheduledEvent
+from repro.sim.kernel import Simulator
+from repro.sim.messages import Message
+from repro.sim.network import Machine
+from repro.sim.process import SimProcess
+
+__all__ = ["LookupOutcome", "NameLookupServer", "AsyncNameClient"]
+
+#: Callback invoked at completion: (outcome).
+Completion = Callable[["LookupOutcome"], None]
+
+
+@dataclass
+class LookupOutcome:
+    """Result of one asynchronous lookup."""
+
+    name: CompoundName
+    entity: Entity = UNDEFINED_ENTITY
+    failed: bool = False
+    reason: str = ""
+    steps: int = 0
+    retries: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed and self.entity.is_defined()
+
+
+class NameLookupServer:
+    """A directory server: answers single-step lookup requests.
+
+    One per machine; installs an ``on_message`` handler on a dedicated
+    server process.  A request carries the directory object and the
+    component to look up; the reply carries the resulting entity (or
+    ``None``) plus whether it is a further directory.
+    """
+
+    def __init__(self, simulator: Simulator, machine: Machine,
+                 label: str = ""):
+        self.simulator = simulator
+        self.machine = machine
+        self.process = simulator.spawn(
+            machine, label or f"lookupd@{machine.label}")
+        self.process.on_message(self._handle)
+        self.requests_served = 0
+
+    def _handle(self, _process: SimProcess, message: Message) -> None:
+        payload = message.payload
+        if not isinstance(payload, dict) or "lookup" not in payload:
+            return
+        request = payload["lookup"]
+        directory: ObjectEntity = request["directory"]
+        component: str = request["component"]
+        self.requests_served += 1
+        entity: Entity = UNDEFINED_ENTITY
+        if directory.is_context_object():
+            context: Context = directory.state
+            entity = context(component)
+        self.process.send(message.sender, payload={"reply": {
+            "request_id": request["request_id"],
+            "seq": request.get("seq", 0),
+            "entity": entity if entity.is_defined() else None,
+        }}, latency=request.get("latency", 1.0))
+
+
+@dataclass
+class _Pending:
+    request_id: int
+    name: CompoundName
+    remaining: list[str]
+    current: Context
+    completion: Completion
+    outcome: LookupOutcome
+    server: Optional[SimProcess] = None
+    directory: Optional[ObjectEntity] = None
+    component: str = ""
+    attempts: int = 0
+    timer: Optional[ScheduledEvent] = None
+
+
+class AsyncNameClient:
+    """The client half: non-blocking compound-name resolution.
+
+    Args:
+        simulator: The shared kernel (never run by the client).
+        placement: Directory placements (who to ask for which step).
+        servers: machine id → :class:`NameLookupServer` (share one
+            mapping between all clients).
+        process: The client's own simulator process (handler installed).
+        timeout: Virtual time to wait for each step's reply.
+        max_retries: Re-sends per step before failing the lookup.
+    """
+
+    def __init__(self, simulator: Simulator,
+                 placement: DirectoryPlacement,
+                 servers: dict[int, NameLookupServer],
+                 process: SimProcess,
+                 timeout: float = 5.0, max_retries: int = 2,
+                 latency: float = 1.0):
+        self.simulator = simulator
+        self.placement = placement
+        self.servers = servers
+        self.process = process
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.latency = latency
+        self._pending: dict[int, _Pending] = {}
+        self._ids = itertools.count(1)
+        process.on_message(self._on_message)
+
+    # -- API ---------------------------------------------------------------
+
+    def resolve(self, context: Context, name_: NameLike,
+                completion: Completion) -> int:
+        """Begin resolving *name_* in *context*; returns a request id.
+
+        *completion* fires (from the kernel's event loop) exactly once
+        with the final :class:`LookupOutcome`.
+        """
+        name_ = CompoundName.coerce(name_)
+        request_id = next(self._ids)
+        parts = list(name_.parts)
+        current = context
+        outcome = LookupOutcome(name=name_)
+        pending = _Pending(request_id=request_id, name=name_,
+                           remaining=parts, current=current,
+                           completion=completion, outcome=outcome)
+        self._pending[request_id] = pending
+        if name_.rooted:
+            root = current(ROOT_NAME)
+            outcome.steps += 1
+            if not root.is_defined() or not isinstance(
+                    root.state, Context):
+                if not parts and root.is_defined():
+                    self._finish(pending, root)
+                else:
+                    self._fail(pending, "no root binding")
+                return request_id
+            if not parts:
+                self._finish(pending, root)
+                return request_id
+            pending.current = root.state
+            pending.directory = root  # type: ignore[assignment]
+        self._advance(pending)
+        return request_id
+
+    # -- the walk ------------------------------------------------------------
+
+    def _advance(self, pending: _Pending) -> None:
+        """Consume locally-resolvable steps; go remote when needed."""
+        while pending.remaining:
+            component = pending.remaining[0]
+            directory = pending.directory
+            host = (self.placement.host_of(directory)
+                    if directory is not None else None)
+            if host is not None and host is not self.process.machine:
+                self._send_request(pending, directory, component, host)
+                return
+            entity = pending.current(component)
+            self._consume(pending, entity)
+            if pending.request_id not in self._pending:
+                return  # finished or failed inside _consume
+        # remaining exhausted inside _consume paths
+
+    def _consume(self, pending: _Pending, entity: Entity) -> None:
+        """Account one resolved component and step into it."""
+        pending.outcome.steps += 1
+        pending.remaining.pop(0)
+        if not entity.is_defined():
+            self._finish(pending, UNDEFINED_ENTITY)
+            return
+        if not pending.remaining:
+            self._finish(pending, entity)
+            return
+        state = entity.state
+        if not isinstance(state, Context):
+            self._finish(pending, UNDEFINED_ENTITY)
+            return
+        pending.current = state
+        pending.directory = entity  # type: ignore[assignment]
+
+    # -- remote steps -------------------------------------------------------------
+
+    def _send_request(self, pending: _Pending,
+                      directory: ObjectEntity, component: str,
+                      host: Machine) -> None:
+        server = self.servers.get(id(host))
+        if server is None:
+            raise SchemeError(f"no lookup server on {host.label}")
+        pending.server = server.process
+        pending.component = component
+        pending.attempts += 1
+        self.process.send(server.process, payload={"lookup": {
+            "request_id": pending.request_id,
+            "seq": pending.attempts,
+            "directory": directory,
+            "component": component,
+            "latency": self.latency,
+        }}, latency=self.latency)
+        pending.timer = self.simulator.schedule(
+            self.timeout, lambda: self._on_timeout(pending.request_id),
+            note=f"lookup-timeout req#{pending.request_id}")
+
+    def _on_message(self, _process: SimProcess,
+                    message: Message) -> None:
+        payload = message.payload
+        if not isinstance(payload, dict) or "reply" not in payload:
+            return
+        reply = payload["reply"]
+        pending = self._pending.get(reply["request_id"])
+        if pending is None:
+            return  # late reply after timeout-failure — ignored
+        if reply.get("seq") != pending.attempts:
+            return  # stale duplicate from a retried attempt — ignored
+        if pending.timer is not None:
+            pending.timer.cancel()
+        entity = reply["entity"]
+        self._consume(pending,
+                      entity if entity is not None else UNDEFINED_ENTITY)
+        if pending.request_id in self._pending:
+            self._advance(pending)
+
+    def _on_timeout(self, request_id: int) -> None:
+        pending = self._pending.get(request_id)
+        if pending is None:
+            return
+        pending.outcome.retries += 1
+        if pending.attempts > self.max_retries:
+            self._fail(pending, "timeout")
+            return
+        host = self.placement.host_of(pending.directory)
+        self._send_request(pending, pending.directory,  # type: ignore
+                           pending.component, host)     # type: ignore
+
+    # -- completion ------------------------------------------------------------------
+
+    def _finish(self, pending: _Pending, entity: Entity) -> None:
+        pending.outcome.entity = entity
+        del self._pending[pending.request_id]
+        pending.completion(pending.outcome)
+
+    def _fail(self, pending: _Pending, reason: str) -> None:
+        pending.outcome.failed = True
+        pending.outcome.reason = reason
+        del self._pending[pending.request_id]
+        pending.completion(pending.outcome)
+
+    def outstanding(self) -> int:
+        """Number of lookups still in flight."""
+        return len(self._pending)

@@ -1,0 +1,210 @@
+"""Distributed compound-name resolution with measured cost.
+
+:class:`DistributedResolver` performs the section-2 recursion over
+*placed* directories: each step whose directory is hosted on a machine
+other than where the previous step ran costs a message round-trip
+through the simulator kernel (so latencies, traces and server load are
+all observable).  Two classic interaction styles are supported:
+
+* ``ITERATIVE`` — the client asks each directory's server in turn
+  (every remote step is a client↔server round trip);
+* ``RECURSIVE`` — the request is forwarded server-to-server and only
+  the final answer returns to the client (one hop per transfer plus
+  one reply).
+
+The resolver is semantics-preserving: its result is always identical
+to :func:`repro.model.resolution.resolve` on the same context — the
+distribution changes *cost*, never *meaning*.  (Property-tested.)
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import SchemeError
+from repro.model.context import Context
+from repro.model.entities import Entity, UNDEFINED_ENTITY
+from repro.model.names import ROOT_NAME, CompoundName, NameLike
+from repro.nameservice.placement import DirectoryPlacement
+from repro.sim.kernel import Simulator
+from repro.sim.network import Machine
+from repro.sim.process import SimProcess
+
+__all__ = ["ResolutionStyle", "ResolutionCost", "DistributedResolver"]
+
+
+class ResolutionStyle(enum.Enum):
+    """Who chases the referrals."""
+
+    ITERATIVE = "iterative"
+    RECURSIVE = "recursive"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass
+class ResolutionCost:
+    """Measured cost of one distributed resolution."""
+
+    steps: int = 0            #: components consumed
+    local_steps: int = 0      #: steps served on the current machine
+    remote_steps: int = 0     #: steps that needed another machine
+    messages: int = 0         #: simulator messages exchanged
+    latency: float = 0.0      #: virtual time spent
+    servers_touched: set[str] = field(default_factory=set)
+
+    def __str__(self) -> str:
+        return (f"steps={self.steps} remote={self.remote_steps} "
+                f"messages={self.messages} latency={self.latency:g}")
+
+
+class DistributedResolver:
+    """Resolves names against placed directories, through the kernel.
+
+    Args:
+        simulator: The kernel carrying the resolution traffic.
+        placement: Directory → machine placement.
+        latency: One-way message latency for server hops.
+    """
+
+    def __init__(self, simulator: Simulator,
+                 placement: DirectoryPlacement,
+                 latency: float = 1.0):
+        self._sim = simulator
+        self._placement = placement
+        self._latency = latency
+        self._servers: dict[int, SimProcess] = {}
+        self.load: dict[str, int] = {}
+
+    def server_for(self, machine: Machine) -> SimProcess:
+        """The (lazily spawned) directory-server process of a machine."""
+        server = self._servers.get(id(machine))
+        if server is None:
+            server = self._sim.spawn(machine,
+                                     label=f"dirserver@{machine.label}")
+            self._servers[id(machine)] = server
+        return server
+
+    def _hop(self, sender: SimProcess, receiver: SimProcess,
+             cost: ResolutionCost, what: str) -> None:
+        """One message leg, executed through the kernel."""
+        if sender is receiver:
+            return
+        before = self._sim.clock.now
+        sender.send(receiver, payload={"ns": what},
+                    latency=self._latency)
+        self._sim.run()
+        cost.messages += 1
+        cost.latency += self._sim.clock.now - before
+
+    def resolve(self, client: SimProcess, context: Context,
+                name_: NameLike,
+                style: ResolutionStyle = ResolutionStyle.ITERATIVE,
+                ) -> tuple[Entity, ResolutionCost]:
+        """Resolve *name_* in *context* on behalf of *client*.
+
+        The context's own bindings (including the root binding) are
+        consulted locally — a process's context is kernel state on its
+        own machine; only steps into *placed* directories can be
+        remote.
+        """
+        name_ = CompoundName.coerce(name_)
+        cost = ResolutionCost()
+        client_server = self.server_for(client.machine)
+        at: SimProcess = client_server  # where the walk currently runs
+
+        def step_into(directory: Entity) -> SimProcess:
+            host = self._placement.host_of(directory)
+            if host is None:
+                # Unplaced directories (e.g. per-process private
+                # roots) are wherever the walk already is.
+                return at
+            server = self.server_for(host)
+            self.load[server.label] = self.load.get(server.label, 0) + 1
+            return server
+
+        current: Context = context
+        parts = list(name_.parts)
+        if name_.rooted:
+            root = current(ROOT_NAME)
+            if not root.is_defined():
+                return UNDEFINED_ENTITY, cost
+            state = root.state
+            if not isinstance(state, Context):
+                return UNDEFINED_ENTITY, cost
+            at = self._walk_to(client_server, at, step_into(root), cost,
+                               style)
+            cost.steps += 1
+            self._count_locality(client_server, at, cost)
+            current = state
+            if not parts:
+                self._return_home(client_server, at, cost, style)
+                return root, cost
+
+        result: Entity = UNDEFINED_ENTITY
+        for index, component in enumerate(parts):
+            entity = current(component)
+            cost.steps += 1
+            if not entity.is_defined():
+                result = UNDEFINED_ENTITY
+                break
+            if index == len(parts) - 1:
+                result = entity
+                break
+            state = entity.state
+            if not isinstance(state, Context):
+                result = UNDEFINED_ENTITY
+                break
+            at = self._walk_to(client_server, at, step_into(entity),
+                               cost, style)
+            self._count_locality(client_server, at, cost)
+            current = state
+        self._return_home(client_server, at, cost, style)
+        return result, cost
+
+    # -- helpers -----------------------------------------------------------
+
+    def _walk_to(self, client_server: SimProcess, at: SimProcess,
+                 target: SimProcess, cost: ResolutionCost,
+                 style: ResolutionStyle) -> SimProcess:
+        if target is at:
+            return at
+        cost.servers_touched.add(target.label)
+        if style is ResolutionStyle.ITERATIVE:
+            # Referral back to the client, then query the next server.
+            self._hop(at, client_server, cost, "referral")
+            self._hop(client_server, target, cost, "query")
+        else:
+            self._hop(at, target, cost, "forward")
+        return target
+
+    def _return_home(self, client_server: SimProcess, at: SimProcess,
+                     cost: ResolutionCost,
+                     style: ResolutionStyle) -> None:
+        if at is not client_server:
+            self._hop(at, client_server, cost, "answer")
+
+    @staticmethod
+    def _count_locality(client_server: SimProcess, at: SimProcess,
+                        cost: ResolutionCost) -> None:
+        if at is client_server:
+            cost.local_steps += 1
+        else:
+            cost.remote_steps += 1
+
+    def reset_load(self) -> None:
+        """Clear the per-server load counters."""
+        self.load.clear()
+
+
+def check_semantics_preserved(resolver: DistributedResolver,
+                              client: SimProcess, context: Context,
+                              name_: NameLike) -> bool:
+    """True if the distributed walk returns exactly what the local
+    section-2 recursion returns (used by tests)."""
+    from repro.model.resolution import resolve as local_resolve
+
+    distributed, _cost = resolver.resolve(client, context, name_)
+    return distributed is local_resolve(context, name_)

@@ -1,0 +1,47 @@
+"""The naming schemes of section 5 and the tree substrate they share.
+
+One module per scheme the paper analyses: Unix trees (§5.1), the
+single global tree of Locus/V (§5.1), the Newcastle Connection (§5.1,
+Figure 3), the Andrew-style shared naming graph (§5.2, Figure 4), OSF
+DCE cells (§5.2), federated cross-links (§5.3, Figure 5), and the
+per-process view of naming (§6-II).
+"""
+
+from repro.namespaces.base import CWD_NAME, NamingScheme, ProcessContext
+from repro.namespaces.crosslink import CrossLink, FederatedSystems
+from repro.namespaces.dce import (
+    CELL_NAME,
+    DCEMachine,
+    DCESystem,
+    GLOBAL_ROOT_NAME,
+)
+from repro.namespaces.newcastle import NewcastleSystem, RemoteRootPolicy
+from repro.namespaces.perprocess import PerProcessNamespace, PerProcessSystem
+from repro.namespaces.shared_graph import ClientSubsystem, SharedGraphSystem
+from repro.namespaces.single_tree import SingleTreeSystem
+from repro.namespaces.tree import NamingTree
+from repro.namespaces.union import UnionContext, union_directory
+from repro.namespaces.unix import UnixSystem
+
+__all__ = [
+    "CELL_NAME",
+    "CWD_NAME",
+    "ClientSubsystem",
+    "CrossLink",
+    "DCEMachine",
+    "DCESystem",
+    "FederatedSystems",
+    "GLOBAL_ROOT_NAME",
+    "NamingScheme",
+    "NamingTree",
+    "NewcastleSystem",
+    "PerProcessNamespace",
+    "PerProcessSystem",
+    "ProcessContext",
+    "RemoteRootPolicy",
+    "SharedGraphSystem",
+    "SingleTreeSystem",
+    "UnionContext",
+    "UnixSystem",
+    "union_directory",
+]

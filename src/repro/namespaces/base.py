@@ -1,0 +1,192 @@
+"""Common machinery for the section-5 naming schemes.
+
+Every scheme the paper analyses boils down to *how the per-activity
+context ``R(a)`` is constructed* over one or more naming trees ("The
+resolution rule is R(a) in all three approaches ... the degree of
+coherence can be determined by comparing the contexts R(a)", §5).
+This module provides:
+
+* :class:`ProcessContext` — the two-binding context of §5.1: a *root
+  directory* binding (consulted for rooted names, ``R(p)(/)``) and a
+  *working directory* binding (relative names delegate to it);
+* :class:`NamingScheme` — the base class that owns the scheme's
+  :class:`~repro.closure.meta.ContextRegistry`, its activity
+  population and groups, and the shared measurement entry points used
+  by every experiment.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from typing import Optional
+
+from repro.closure.meta import ContextRegistry
+from repro.coherence.definitions import EntityEquivalence, strict_identity
+from repro.coherence.metrics import CoherenceDegree, measure_degree
+from repro.errors import SchemeError
+from repro.model.context import Context
+from repro.model.entities import Activity, Entity, ObjectEntity
+from repro.model.names import ROOT_NAME, SELF, CompoundName, NameLike
+from repro.model.resolution import resolve
+from repro.model.state import GlobalState
+
+__all__ = ["ProcessContext", "NamingScheme", "CWD_NAME"]
+
+#: The binding name under which a process context stores its working
+#: directory.  ``.`` components are elided from compound names during
+#: parsing, so the binding never collides with path components.
+CWD_NAME = SELF
+
+
+class ProcessContext(Context):
+    """The §5.1 process context: root + working-directory bindings.
+
+    ``R(p)`` "has two bindings: one for the root directory, and the
+    other for the working directory".  Rooted names (``/a/b``) resolve
+    through the root binding (handled generically by
+    :func:`repro.model.resolution.resolve_traced`); relative names
+    (``a/b``) delegate their first lookup to the working directory's
+    context.
+
+    Extensional identity of a process context is its pair of bindings,
+    which is exactly how §5 compares the contexts ``R(a)``.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, root_dir: ObjectEntity,
+                 cwd: Optional[ObjectEntity] = None, label: str = ""):
+        super().__init__(label=label)
+        self.set_root(root_dir)
+        self.set_cwd(cwd if cwd is not None else root_dir)
+
+    # -- the two bindings ------------------------------------------------
+
+    @property
+    def root_dir(self) -> ObjectEntity:
+        """The root-directory binding, ``R(p)(/)``."""
+        return self(ROOT_NAME)  # type: ignore[return-value]
+
+    @property
+    def cwd(self) -> ObjectEntity:
+        """The working-directory binding."""
+        return self._bindings[CWD_NAME]  # type: ignore[return-value]
+
+    def set_root(self, root_dir: ObjectEntity) -> None:
+        """Rebind the root directory (e.g. ``chroot``)."""
+        if not root_dir.is_context_object():
+            raise SchemeError(f"root must be a directory: {root_dir!r}")
+        self.bind(ROOT_NAME, root_dir)
+
+    def set_cwd(self, cwd: ObjectEntity) -> None:
+        """Rebind the working directory (``chdir``)."""
+        if not cwd.is_context_object():
+            raise SchemeError(f"cwd must be a directory: {cwd!r}")
+        self.bind(CWD_NAME, cwd)
+
+    # -- lookup delegation --------------------------------------------------
+
+    def __call__(self, name_: str) -> Entity:
+        """Explicit bindings first; other atomic names delegate to the
+        working directory's context (so ``a/b`` means ``./a/b``)."""
+        if name_ in self._bindings:
+            return self._bindings[name_]
+        cwd = self._bindings.get(CWD_NAME)
+        if cwd is not None and cwd.is_context_object():
+            return cwd.state(name_)
+        from repro.model.entities import UNDEFINED_ENTITY
+
+        return UNDEFINED_ENTITY
+
+    def copy(self, label: str = "") -> "ProcessContext":
+        """An independent context with the same two bindings — Unix
+        ``fork`` inheritance (§5.1): parent and child stay coherent for
+        *all* names until one of them rebinds."""
+        return ProcessContext(self.root_dir, self.cwd,
+                              label=label or self.label)
+
+
+class NamingScheme:
+    """Base class for the section-5 naming schemes.
+
+    A scheme owns:
+
+    * ``sigma`` — the global state its entities live in;
+    * ``registry`` — per-activity contexts, the scheme's ``R(a)``;
+    * an ordered activity population, partitioned into named *groups*
+      (per machine, per client subsystem, ...), matching the paper's
+      "coherence only among activities in the same ..." statements.
+    """
+
+    #: Scheme name used in reports (overridden by subclasses).
+    scheme_name = "abstract"
+
+    def __init__(self, sigma: Optional[GlobalState] = None):
+        self.sigma = sigma if sigma is not None else GlobalState()
+        self.registry = ContextRegistry(label=self.scheme_name)
+        self._activities: list[Activity] = []
+        self._groups: dict[str, list[Activity]] = {}
+
+    # -- population ---------------------------------------------------------
+
+    def adopt_activity(self, activity: Activity, context: Context,
+                       group: str = "") -> Activity:
+        """Register *activity* with its context ``R(a)`` (and group)."""
+        self.sigma.add(activity)
+        self.registry.register(activity, context)
+        self._activities.append(activity)
+        if group:
+            self._groups.setdefault(group, []).append(activity)
+        return activity
+
+    def new_activity(self, label: str, context: Context,
+                     group: str = "") -> Activity:
+        """Create and adopt a fresh plain activity."""
+        return self.adopt_activity(Activity(label), context, group=group)
+
+    def activities(self) -> list[Activity]:
+        """The scheme's activity population, in adoption order."""
+        return list(self._activities)
+
+    def groups(self) -> dict[str, list[Activity]]:
+        """Named activity groups (per machine / subsystem / system)."""
+        return {k: list(v) for k, v in self._groups.items()}
+
+    def context_of(self, activity: Activity) -> Context:
+        """The scheme's ``R(a)`` for *activity*."""
+        return self.registry.context_of(activity)
+
+    # -- resolution & measurement ---------------------------------------------
+
+    def resolve_for(self, activity: Activity, name_: NameLike) -> Entity:
+        """``R(a)(n)``: resolve *name_* in *activity*'s context."""
+        return resolve(self.context_of(activity), name_)
+
+    def probe_names(self) -> list[CompoundName]:
+        """A default probe-name population for coherence measurement.
+
+        Subclasses override this to enumerate the names their trees
+        make meaningful; the base returns an empty list.
+        """
+        return []
+
+    def measure(self, probes: Optional[Iterable[NameLike]] = None,
+                activities: Optional[Sequence[Activity]] = None, *,
+                equivalence: EntityEquivalence = strict_identity,
+                ) -> CoherenceDegree:
+        """Measure the scheme's degree of coherence.
+
+        Defaults: all adopted activities, the scheme's
+        :meth:`probe_names`, the scheme's groups.
+        """
+        return measure_degree(
+            list(activities if activities is not None else self._activities),
+            list(probes) if probes is not None else self.probe_names(),
+            self.registry,
+            groups=self._groups,
+            equivalence=equivalence,
+        )
+
+    def __repr__(self) -> str:
+        return (f"<{type(self).__name__} {self.scheme_name!r} "
+                f"{len(self._activities)} activities>")

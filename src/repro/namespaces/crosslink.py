@@ -1,0 +1,159 @@
+"""Cross-links between autonomous systems (§5.3, Figure 5).
+
+"Often it is necessary to extend the naming schemes to support limited
+interactions between autonomous systems in a federated environment.
+Cross-links can be added to extend the naming graphs of the systems
+... The context of each activity is still based on its local system,
+but has been extended to allow access to the remote naming graph.
+There are no global names between systems unless they happen to use
+the same prefix name for a shared entity."
+
+A :class:`FederatedPair` (generalised to any number of systems) wires
+existing autonomous systems — any :class:`NamingTree`-rooted schemes —
+with cross-link bindings, and answers the §5.3 questions: what can be
+accessed remotely, which names happen to be coherent, and where
+exchanged/embedded names break.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import SchemeError
+from repro.model.entities import Activity, Entity
+from repro.model.names import CompoundName, NameLike
+from repro.model.state import GlobalState
+from repro.namespaces.base import NamingScheme, ProcessContext
+from repro.namespaces.tree import NamingTree
+
+__all__ = ["CrossLink", "FederatedSystems"]
+
+
+@dataclass(frozen=True)
+class CrossLink:
+    """One cross-link: *path* in *from_system* binds a node of
+    *to_system* (located by *target_path* in that system's tree)."""
+
+    from_system: str
+    path: CompoundName
+    to_system: str
+    target_path: CompoundName
+
+
+class FederatedSystems(NamingScheme):
+    """Autonomous systems, each with its own tree, joined by
+    cross-links.
+
+    >>> fed = FederatedSystems()
+    >>> _ = fed.add_system("sys1")
+    >>> _ = fed.add_system("sys2")
+    >>> _ = fed.tree("sys2").mkfile("projects/apollo/plan")
+    >>> fed.add_link("sys1", "remote/sys2", "sys2", "projects")
+    >>> p = fed.spawn("sys1", "p")
+    >>> fed.resolve_for(p, "/remote/sys2/apollo/plan").label
+    'plan'
+    """
+
+    scheme_name = "cross-links"
+
+    def __init__(self, sigma: Optional[GlobalState] = None):
+        super().__init__(sigma)
+        self._trees: dict[str, NamingTree] = {}
+        self._links: list[CrossLink] = []
+
+    # -- systems -----------------------------------------------------------
+
+    def add_system(self, label: str) -> NamingTree:
+        """Create an autonomous system (its own naming tree)."""
+        if label in self._trees:
+            raise SchemeError(f"system {label!r} already exists")
+        tree = NamingTree(label=f"{label}:/", sigma=self.sigma,
+                          parent_links=True)
+        self._trees[label] = tree
+        return tree
+
+    def tree(self, label: str) -> NamingTree:
+        try:
+            return self._trees[label]
+        except KeyError:
+            raise SchemeError(f"unknown system {label!r}") from None
+
+    def systems(self) -> list[str]:
+        return sorted(self._trees)
+
+    # -- cross-links ----------------------------------------------------------
+
+    def add_link(self, from_system: str, path: NameLike,
+                 to_system: str, target_path: NameLike = ()) -> CrossLink:
+        """Extend *from_system*'s naming graph with a cross-link.
+
+        The node at *target_path* in *to_system* (its root when the
+        path is empty) becomes visible at *path* in *from_system*.
+        The remote subtree's own ``..`` is untouched: the remote
+        system stays autonomous.
+        """
+        source = self.tree(from_system)
+        target_tree = self.tree(to_system)
+        target_path = CompoundName.coerce(target_path).relative()
+        node = (target_tree.root if len(target_path) == 0
+                else target_tree.lookup(target_path))
+        if not node.is_defined():
+            raise SchemeError(
+                f"{target_path} does not exist in {to_system!r}")
+        path = CompoundName.coerce(path).relative().require_nonempty()
+        source.attach(path, node, set_parent=False)
+        link = CrossLink(from_system, path, to_system, target_path)
+        self._links.append(link)
+        return link
+
+    def links(self) -> list[CrossLink]:
+        return list(self._links)
+
+    # -- processes ----------------------------------------------------------------
+
+    def spawn(self, system_label: str, label: str,
+              activity: Optional[Activity] = None) -> Activity:
+        """Create a process in an autonomous system; its context is
+        based on its local system (root = local tree root)."""
+        tree = self.tree(system_label)
+        context = ProcessContext(tree.root, label=f"ctx:{label}")
+        target = activity if activity is not None else Activity(label)
+        return self.adopt_activity(target, context, group=system_label)
+
+    # -- analysis --------------------------------------------------------------------
+
+    def accessible(self, process: Activity, entity: Entity) -> bool:
+        """True if *entity* is reachable from the process's root via
+        any directed path (including cross-links)."""
+        from repro.model.graph import NamingGraph
+
+        context = self.context_of(process)
+        if not isinstance(context, ProcessContext):
+            raise SchemeError(f"{process.label} has no process context")
+        graph = NamingGraph(self.sigma)
+        return entity in graph.reachable_from(context.root_dir)
+
+    def coincidental_global_names(self) -> list[CompoundName]:
+        """Names that happen to denote the same entity in *every*
+        system — the §5.3 "unless they happen to use the same prefix
+        name for a shared entity" case."""
+        from repro.coherence.definitions import is_global_name
+
+        activities = self.activities()
+        if len(activities) < 2:
+            return []
+        out = []
+        for probe in self.probe_names():
+            if is_global_name(probe, activities, self.registry):
+                out.append(probe)
+        return out
+
+    def probe_names(self) -> list[CompoundName]:
+        """Rooted paths drawn from every system's tree (textual dedup),
+        including paths through cross-links."""
+        unique: dict[CompoundName, None] = {}
+        for label in self.systems():
+            for path in self._trees[label].all_paths(max_depth=16):
+                unique.setdefault(path.as_rooted())
+        return list(unique)

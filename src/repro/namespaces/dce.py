@@ -1,0 +1,185 @@
+"""OSF DCE naming (§5.2): the global directory at ``/...`` and the
+cell context at ``/.:``.
+
+"In the OSF DCE environment, the shared naming tree (called the Global
+Directory Service) is attached in the local naming tree under '/...'.
+DCE allows an additional local context called a cell which is accessed
+via the name '/.:'.  The cell is an organizational unit ...
+Incoherence arises for names that are relative to the cell context.
+An organization can have several cells, but a machine is allowed to
+know of only one local cell."
+
+This module reproduces that structure: a global directory tree holding
+cells, machines that each mount the global tree at ``/...`` and bind
+``/.:`` to their one local cell.  The paper's criticism — that a single
+local context is not sufficient, and names relative to the cell are
+incoherent across machines in different cells — falls out of the
+measurements.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SchemeError
+from repro.model.entities import Activity, ObjectEntity
+from repro.model.names import CompoundName, NameLike
+from repro.model.state import GlobalState
+from repro.namespaces.base import NamingScheme, ProcessContext
+from repro.namespaces.tree import NamingTree
+
+__all__ = ["DCESystem", "DCEMachine", "GLOBAL_ROOT_NAME", "CELL_NAME"]
+
+#: The name under which the Global Directory Service is attached.
+GLOBAL_ROOT_NAME = "..."
+
+#: The name of the cell context binding.
+CELL_NAME = ".:"
+
+
+class DCEMachine:
+    """A DCE machine: local tree + ``/...`` mount + one ``/.:`` cell."""
+
+    def __init__(self, system: "DCESystem", label: str, cell: str):
+        if cell not in system.cells():
+            raise SchemeError(f"unknown cell {cell!r}")
+        self.system = system
+        self.label = label
+        self.cell = cell
+        self.tree = NamingTree(label=f"{label}:/", sigma=system.sigma,
+                               parent_links=True)
+        self.tree.attach(CompoundName([GLOBAL_ROOT_NAME]),
+                         system.global_tree.root, set_parent=False)
+        self.tree.attach(CompoundName([CELL_NAME]),
+                         system.cell_directory(cell), set_parent=False)
+
+    def add_local_context(self, name_: str, cell: str,
+                          path: NameLike = ()) -> None:
+        """Attach an additional local context under ``/<name_>``.
+
+        The paper criticises DCE for allowing only one local context:
+        "A single local context such as the cell is not going to be
+        sufficient; it is useful to be able to use names relative to
+        several local contexts such as those of the divisions,
+        departments, and projects within an organization."  This
+        extension lets a machine bind extra global-directory subtrees
+        (e.g. a division's area) under short local names, at the cost
+        of more non-global names — the incoherence the paper predicts
+        is then measurable.
+        """
+        subtree = self.system.cell_tree(cell)
+        path = CompoundName.coerce(path).relative()
+        node = (subtree.root if len(path) == 0
+                else subtree.directory(path))
+        self.tree.attach(CompoundName([name_]), node, set_parent=False)
+
+    def spawn(self, label: str,
+              activity: Optional[Activity] = None) -> Activity:
+        """Create a process on this machine; root = machine root."""
+        context = ProcessContext(self.tree.root, label=f"ctx:{label}")
+        target = activity if activity is not None else Activity(label)
+        return self.system.adopt_activity(target, context,
+                                          group=f"cell:{self.cell}")
+
+    def __repr__(self) -> str:
+        return f"<DCEMachine {self.label!r} cell={self.cell!r}>"
+
+
+class DCESystem(NamingScheme):
+    """A DCE environment: global directory, cells, machines.
+
+    >>> dce = DCESystem()
+    >>> _ = dce.add_cell("research")
+    >>> _ = dce.cell_tree("research").mkfile("services/db")
+    >>> m = dce.add_machine("ws1", cell="research")
+    >>> p = m.spawn("client")
+    >>> dce.resolve_for(p, "/.:/services/db").label
+    'db'
+    >>> dce.resolve_for(p, "/.../research/services/db").label
+    'db'
+    """
+
+    scheme_name = "dce"
+
+    def __init__(self, label: str = "dce",
+                 sigma: Optional[GlobalState] = None):
+        super().__init__(sigma)
+        self.label = label
+        self.global_tree = NamingTree(label=f"{label}:gds",
+                                      sigma=self.sigma, parent_links=True)
+        self._cell_trees: dict[str, NamingTree] = {}
+        self._machines: dict[str, DCEMachine] = {}
+
+    # -- cells ---------------------------------------------------------------
+
+    def add_cell(self, cell: str) -> NamingTree:
+        """Create a cell: a subtree of the global directory."""
+        if cell in self._cell_trees:
+            raise SchemeError(f"cell {cell!r} already exists")
+        tree = NamingTree(label=f"cell:{cell}", sigma=self.sigma,
+                          parent_links=True)
+        self.global_tree.attach(CompoundName([cell]), tree.root)
+        self._cell_trees[cell] = tree
+        return tree
+
+    def cell_tree(self, cell: str) -> NamingTree:
+        try:
+            return self._cell_trees[cell]
+        except KeyError:
+            raise SchemeError(f"unknown cell {cell!r}") from None
+
+    def cell_directory(self, cell: str) -> ObjectEntity:
+        return self.cell_tree(cell).root
+
+    def cells(self) -> list[str]:
+        return sorted(self._cell_trees)
+
+    # -- machines ---------------------------------------------------------------
+
+    def add_machine(self, label: str, cell: str) -> DCEMachine:
+        """Add a machine knowing exactly one local cell."""
+        if label in self._machines:
+            raise SchemeError(f"machine {label!r} already exists")
+        machine = DCEMachine(self, label, cell)
+        self._machines[label] = machine
+        return machine
+
+    def machine(self, label: str) -> DCEMachine:
+        try:
+            return self._machines[label]
+        except KeyError:
+            raise SchemeError(f"unknown machine {label!r}") from None
+
+    def machines(self) -> list[DCEMachine]:
+        return [self._machines[k] for k in sorted(self._machines)]
+
+    # -- name forms -------------------------------------------------------------------
+
+    def global_name(self, cell: str, path: NameLike) -> CompoundName:
+        """The ``/.../<cell>/<path>`` form of a cell-relative name."""
+        path = CompoundName.coerce(path).relative()
+        return CompoundName((GLOBAL_ROOT_NAME, cell) + path.parts,
+                            rooted=True)
+
+    def cell_relative_name(self, path: NameLike) -> CompoundName:
+        """The ``/.:/<path>`` form of a cell-relative name."""
+        path = CompoundName.coerce(path).relative()
+        return CompoundName((CELL_NAME,) + path.parts, rooted=True)
+
+    # -- probes -----------------------------------------------------------------------
+
+    def global_probe_names(self) -> list[CompoundName]:
+        """All ``/.../…`` names of the global directory."""
+        return [CompoundName((GLOBAL_ROOT_NAME,) + p.parts, rooted=True)
+                for p in self.global_tree.all_paths()]
+
+    def cell_probe_names(self) -> list[CompoundName]:
+        """``/.:/…`` names drawn from every cell (textual dedup)."""
+        unique: dict[CompoundName, None] = {}
+        for cell in self.cells():
+            for path in self._cell_trees[cell].all_paths():
+                unique.setdefault(self.cell_relative_name(path))
+        return list(unique)
+
+    def probe_names(self) -> list[CompoundName]:
+        return self.global_probe_names() + self.cell_probe_names()

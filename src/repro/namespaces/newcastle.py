@@ -1,0 +1,249 @@
+"""The Newcastle Connection (§5.1, Figure 3).
+
+The Newcastle Connection creates a single naming tree from the
+individual trees of several machines — "by attaching the naming tree
+of one machine to another, or by creating a new root node and
+attaching the trees of two or more machines" — but, unlike Locus/V,
+processes on different machines keep *different* root bindings:
+typically ``R(p)(/)`` is the root of the machine on which ``p``
+executes.  The Unix ``..`` notation refers to nodes above a machine's
+root.
+
+Consequences reproduced here:
+
+* only processes with the same root binding (typically: on the same
+  machine) have coherence for ``/``-rooted names;
+* a shared naming tree does **not** imply global names — whether names
+  are global depends on the relationship between the contexts
+  ``R(a)``;
+* a simple rule maps names across machines: prefix ``../<machine>``
+  (:meth:`NewcastleSystem.map_name`);
+* remote execution has two root-binding variants (§5.1): bind the
+  child's root to the **invoker**'s machine root (coherence for passed
+  names) or to the **target**'s machine root (access to local objects,
+  no coherence for parameters).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.errors import SchemeError
+from repro.model.context import context_object
+from repro.model.entities import Activity, ObjectEntity
+from repro.model.names import PARENT, CompoundName, NameLike
+from repro.model.state import GlobalState
+from repro.namespaces.base import NamingScheme, ProcessContext
+from repro.namespaces.tree import NamingTree
+
+__all__ = ["NewcastleSystem", "RemoteRootPolicy"]
+
+
+class RemoteRootPolicy(enum.Enum):
+    """Root binding of a remotely executed child (§5.1).
+
+    ``INVOKER``: the child's root is bound to the root of the machine
+    where execution was *invoked* — provides coherence, names can be
+    passed as parameters.
+
+    ``TARGET``: the child's root is the root of the machine where it
+    executes — no coherence for parameters, but the program can access
+    local objects on that machine.
+    """
+
+    INVOKER = "invoker"
+    TARGET = "target"
+
+
+class NewcastleSystem(NamingScheme):
+    """A Newcastle Connection: machine trees under a created super-root.
+
+    >>> nc = NewcastleSystem()
+    >>> for m in ("unix1", "unix2", "unix3"):
+    ...     _ = nc.add_machine(m)
+    >>> _ = nc.machine_tree("unix2").mkfile("usr/data")
+    >>> p = nc.spawn("unix1", "client")
+    >>> nc.resolve_for(p, "../unix2/usr/data").label
+    'data'
+    """
+
+    scheme_name = "newcastle"
+
+    def __init__(self, label: str = "newcastle",
+                 sigma: Optional[GlobalState] = None):
+        super().__init__(sigma)
+        self.label = label
+        # The created super-root node joining the machine trees.
+        self.super_root = context_object(f"{label}:super-root")
+        self.sigma.add(self.super_root)
+        self.super_root.state.bind(PARENT, self.super_root)
+        self._machine_trees: dict[str, NamingTree] = {}
+
+    # -- machines ------------------------------------------------------------
+
+    def add_machine(self, machine_label: str) -> NamingTree:
+        """Attach a new machine's naming tree under the super-root.
+
+        The machine root's ``..`` is bound to the super-root, giving
+        the Newcastle ``'..'`` notation its meaning.
+        """
+        if machine_label in self._machine_trees:
+            raise SchemeError(f"machine {machine_label!r} already attached")
+        tree = NamingTree(label=f"{machine_label}:/", sigma=self.sigma,
+                          parent_links=True)
+        self.super_root.state.bind(machine_label, tree.root)
+        tree.root.state.bind(PARENT, self.super_root)
+        self._machine_trees[machine_label] = tree
+        return tree
+
+    def machine_tree(self, machine_label: str) -> NamingTree:
+        """A machine's own naming tree."""
+        try:
+            return self._machine_trees[machine_label]
+        except KeyError:
+            raise SchemeError(f"unknown machine {machine_label!r}") from None
+
+    def machines(self) -> list[str]:
+        """Labels of attached machines, sorted."""
+        return sorted(self._machine_trees)
+
+    def machine_of(self, process: Activity) -> str:
+        """The machine whose root is the process's root binding."""
+        context = self.context_of(process)
+        if isinstance(context, ProcessContext):
+            for label, tree in self._machine_trees.items():
+                if context.root_dir is tree.root:
+                    return label
+        raise SchemeError(f"{process.label} has no machine root binding")
+
+    # -- processes --------------------------------------------------------------
+
+    def spawn(self, machine_label: str, label: str,
+              activity: Optional[Activity] = None) -> Activity:
+        """Create a process whose root is its *own machine's* root —
+        the typical Newcastle binding."""
+        tree = self.machine_tree(machine_label)
+        context = ProcessContext(tree.root, label=f"ctx:{label}")
+        target = activity if activity is not None else Activity(label)
+        return self.adopt_activity(target, context, group=machine_label)
+
+    def remote_spawn(self, parent: Activity, target_machine: str,
+                     label: str,
+                     policy: RemoteRootPolicy = RemoteRootPolicy.TARGET,
+                     activity: Optional[Activity] = None) -> Activity:
+        """Remote execution with one of the two §5.1 root policies."""
+        parent_context = self.context_of(parent)
+        if not isinstance(parent_context, ProcessContext):
+            raise SchemeError(f"{parent.label} has no process context")
+        if policy is RemoteRootPolicy.INVOKER:
+            root = parent_context.root_dir
+        else:
+            root = self.machine_tree(target_machine).root
+        context = ProcessContext(root, label=f"ctx:{label}")
+        target = activity if activity is not None else Activity(label)
+        return self.adopt_activity(target, context, group=target_machine)
+
+    # -- the cross-machine mapping rule ------------------------------------------
+
+    def map_name(self, name_: NameLike, from_machine: str,
+                 to_machine: str) -> CompoundName:
+        """Map a rooted name valid on *from_machine* so it denotes the
+        same entity when resolved on *to_machine*.
+
+        The "simple rule" of §5.1: a name ``/x`` on machine ``A``
+        becomes ``/../A/x`` on machine ``B`` (up to the super-root,
+        down into ``A``'s tree).  Names that are already relative are
+        returned unchanged.
+        """
+        name_ = CompoundName.coerce(name_)
+        if not name_.rooted:
+            return name_
+        if from_machine not in self._machine_trees:
+            raise SchemeError(f"unknown machine {from_machine!r}")
+        if to_machine not in self._machine_trees:
+            raise SchemeError(f"unknown machine {to_machine!r}")
+        if from_machine == to_machine:
+            return name_
+        return CompoundName((PARENT, from_machine) + name_.parts,
+                            rooted=True)
+
+    # -- recursive extension (§5.3) ------------------------------------------
+
+    def connect_system(self, other: "NewcastleSystem",
+                       label: str) -> None:
+        """Attach another Newcastle system under this one's super-root.
+
+        §5.3: "The Newcastle Connection is a distributed system that
+        can be extended recursively because each extended system is
+        still a Unix system with a single tree."  The other system's
+        super-root becomes a child named *label*; its ``..`` now leads
+        here, so its processes can reach this system via longer
+        ``..``-prefixed names (and vice versa).
+
+        The other system's machines and activities remain registered
+        with *their* scheme object; use :meth:`absorb` to fold its
+        population into this one for joint measurement.
+        """
+        if self.super_root.state(label).is_defined():
+            raise SchemeError(f"{label!r} already bound at the "
+                              f"super-root")
+        self.super_root.state.bind(label, other.super_root)
+        other.super_root.state.bind(PARENT, self.super_root)
+
+    def absorb(self, other: "NewcastleSystem", label: str) -> None:
+        """Connect *other* (see :meth:`connect_system`) and fold its
+        machines and activity population into this scheme so combined
+        coherence can be measured with one registry.
+
+        Machine trees are re-keyed as ``<label>/<machine>``; groups
+        likewise.
+        """
+        self.connect_system(other, label)
+        for machine_label, tree in other._machine_trees.items():
+            self._machine_trees[f"{label}/{machine_label}"] = tree
+        for group, members in other.groups().items():
+            for activity in members:
+                self.adopt_activity(activity,
+                                    other.registry.context_of(activity),
+                                    group=f"{label}/{group}")
+
+    def boundary_mapper(self):
+        """A :class:`~repro.closure.boundary.NameMapper` applying
+        :meth:`map_name` between the sender's and receiver's machines.
+
+        Installed in a gateway, this automates §5.1's "simple rule" so
+        rooted names exchanged across machine boundaries keep their
+        sender-side meaning.  Relative names and names between
+        same-machine processes pass through unchanged.
+        """
+
+        def mapper(sender: Activity, receiver: Activity,
+                   name_: CompoundName) -> Optional[CompoundName]:
+            try:
+                from_machine = self.machine_of(sender)
+                to_machine = self.machine_of(receiver)
+            except SchemeError:
+                return None
+            return self.map_name(name_, from_machine, to_machine)
+
+        return mapper
+
+    # -- probes --------------------------------------------------------------------
+
+    def probe_names(self) -> list[CompoundName]:
+        """Rooted paths drawn from every machine's own tree.
+
+        Each probe reads as ``/…`` — resolved against each process's
+        own root binding, which is precisely where Newcastle
+        incoherence shows up.
+        """
+        probes: list[CompoundName] = []
+        for label in self.machines():
+            probes.extend(p.as_rooted()
+                          for p in self._machine_trees[label].all_paths())
+        # Deduplicate textual forms: /usr on two machines is ONE name.
+        unique: dict[CompoundName, None] = {}
+        for probe in probes:
+            unique.setdefault(probe)
+        return list(unique)

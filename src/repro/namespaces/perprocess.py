@@ -1,0 +1,282 @@
+"""The per-process view of naming (§6-II — Plan 9, extended Port).
+
+"Each process has its own individual root node to which the naming
+trees of subsystems known to the process are attached.  The
+per-process view of naming decouples a process from the underlying
+context of its execution site: a process executing on a subsystem may
+use the context of another subsystem. ... this yields a flexible
+naming environment which is used to construct a powerful remote
+execution facility.  The remotely executing process can access files
+on both its local and its parent's machines.  Thus, in spite of not
+having global names, the approach allows us to provide coherence for
+names passed as parameters from a parent process to its remote child."
+
+A process's namespace is modelled as a *mount table*: a private root
+directory plus an ordered list of attachments of subsystem trees.
+Forking or importing a namespace replays the mount table into fresh
+private directories — the attached subsystem trees themselves are
+shared, so the copy resolves every attached name to the same entities
+(coherence), while later attach/detach operations stay private.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SchemeError
+from repro.model.context import Context, context_object
+from repro.model.entities import Activity, Entity, ObjectEntity
+from repro.model.names import CompoundName, NameLike
+from repro.model.state import GlobalState
+from repro.namespaces.base import NamingScheme, ProcessContext
+from repro.namespaces.tree import NamingTree
+
+__all__ = ["PerProcessNamespace", "PerProcessSystem"]
+
+
+class PerProcessNamespace:
+    """A private root directory plus an ordered mount table."""
+
+    def __init__(self, sigma: GlobalState, label: str):
+        self._sigma = sigma
+        self.label = label
+        self.root: ObjectEntity = context_object(f"ns:{label}")
+        sigma.add(self.root)
+        self._attachments: list[tuple[CompoundName, Entity]] = []
+        # Directories owned by this namespace (the root and the
+        # intermediates it creates); attach may only descend these.
+        self._private: set[int] = {self.root.uid}
+
+    def attach(self, path: NameLike, node: Entity) -> None:
+        """Attach a subsystem tree node at *path* in this namespace.
+
+        Intermediate directories along *path* are private to the
+        namespace; attaching inside an attached subsystem is rejected
+        (mutate the subsystem's own tree instead).
+        """
+        path = CompoundName.coerce(path).relative().require_nonempty()
+        directory = self.root
+        for component in path.parent.parts:
+            context: Context = directory.state
+            child = context(component)
+            if not child.is_defined():
+                child = context_object(component)
+                self._sigma.add(child)
+                self._private.add(child.uid)
+                context.bind(component, child)
+            elif (not child.is_context_object()
+                  or child.uid not in self._private):
+                raise SchemeError(
+                    f"{component!r} along {path} is not a private "
+                    f"directory of namespace {self.label}; mount points "
+                    f"inside attached subsystems are not allowed")
+            directory = child
+        if directory.state(path.last).is_defined() and \
+                directory.state(path.last).uid not in self._private:
+            raise SchemeError(
+                f"{path} is already an attachment in namespace "
+                f"{self.label}; detach it first")
+        directory.state.bind(path.last, node)
+        self._attachments.append((path, node))
+
+    def detach(self, path: NameLike) -> Entity:
+        """Remove the attachment at *path*."""
+        path = CompoundName.coerce(path).relative().require_nonempty()
+        for index, (mounted, node) in enumerate(self._attachments):
+            if mounted == path:
+                directory = self.root
+                for component in path.parent.parts:
+                    directory = directory.state(component)
+                directory.state.unbind(path.last)
+                del self._attachments[index]
+                return node
+        raise SchemeError(f"nothing attached at {path} in {self.label}")
+
+    def attachments(self) -> list[tuple[CompoundName, Entity]]:
+        """The mount table, in attach order."""
+        return list(self._attachments)
+
+    def copy(self, label: str) -> "PerProcessNamespace":
+        """A fresh namespace with the same mount table.
+
+        Private directories are re-created; attached subsystem nodes
+        are shared — so the copy is coherent with the original for all
+        attached names, until one of them changes its mount table.
+        """
+        clone = PerProcessNamespace(self._sigma, label)
+        for path, node in self._attachments:
+            clone.attach(path, node)
+        return clone
+
+    def __repr__(self) -> str:
+        return (f"<PerProcessNamespace {self.label!r} "
+                f"{len(self._attachments)} mounts>")
+
+
+class PerProcessSystem(NamingScheme):
+    """A distributed system with per-process naming.
+
+    >>> port = PerProcessSystem()
+    >>> _ = port.add_machine("m1")
+    >>> _ = port.add_machine("m2")
+    >>> _ = port.machine_tree("m1").mkfile("src/prog.c")
+    >>> p = port.spawn("m1", "dev", mounts=[("home", "m1")])
+    >>> port.resolve_for(p, "/home/src/prog.c").label
+    'prog.c'
+    """
+
+    scheme_name = "per-process"
+
+    def __init__(self, label: str = "port",
+                 sigma: Optional[GlobalState] = None):
+        super().__init__(sigma)
+        self.label = label
+        self._machine_trees: dict[str, NamingTree] = {}
+        self._namespaces: dict[int, PerProcessNamespace] = {}
+        self._machine_of: dict[int, str] = {}
+
+    # -- machines -----------------------------------------------------------
+
+    def add_machine(self, machine_label: str) -> NamingTree:
+        """Add a machine (a subsystem with its own naming tree)."""
+        if machine_label in self._machine_trees:
+            raise SchemeError(f"machine {machine_label!r} already added")
+        tree = NamingTree(label=f"{machine_label}:/", sigma=self.sigma,
+                          parent_links=True)
+        self._machine_trees[machine_label] = tree
+        return tree
+
+    def machine_tree(self, machine_label: str) -> NamingTree:
+        try:
+            return self._machine_trees[machine_label]
+        except KeyError:
+            raise SchemeError(
+                f"unknown machine {machine_label!r}") from None
+
+    def machines(self) -> list[str]:
+        return sorted(self._machine_trees)
+
+    # -- processes ---------------------------------------------------------------
+
+    def spawn(self, machine_label: str, label: str,
+              mounts: Optional[list[tuple[NameLike, str]]] = None,
+              activity: Optional[Activity] = None) -> Activity:
+        """Create a process with its own individual root node.
+
+        Args:
+            machine_label: Execution site (a metric group only — the
+                namespace is decoupled from it).
+            mounts: Initial mount table entries ``(path, machine)``
+                attaching machines' trees.
+        """
+        if machine_label not in self._machine_trees:
+            raise SchemeError(f"unknown machine {machine_label!r}")
+        namespace = PerProcessNamespace(self.sigma, f"{label}")
+        for path, mounted_machine in (mounts or []):
+            namespace.attach(path, self.machine_tree(mounted_machine).root)
+        return self._adopt(namespace, machine_label, label, activity)
+
+    def fork(self, parent: Activity, label: str,
+             activity: Optional[Activity] = None) -> Activity:
+        """Fork: the child starts with a copy of the parent's mount
+        table (same execution site)."""
+        namespace = self.namespace_of(parent).copy(label)
+        machine_label = self._machine_of[parent.uid]
+        return self._adopt(namespace, machine_label, label, activity)
+
+    def remote_spawn(self, parent: Activity, target_machine: str,
+                     label: str, *,
+                     import_namespace: bool = True,
+                     local_mount: Optional[NameLike] = "local",
+                     activity: Optional[Activity] = None) -> Activity:
+        """The §6-II remote-execution facility.
+
+        The remote child *imports the parent's namespace* (a mount-
+        table copy), so every name the parent can pass resolves to the
+        same entity for the child — coherence for parameters without
+        global names.  With *local_mount*, the target machine's tree is
+        additionally attached, so the child "can access files on both
+        its local and its parent's machines".
+        """
+        if target_machine not in self._machine_trees:
+            raise SchemeError(f"unknown machine {target_machine!r}")
+        if import_namespace:
+            namespace = self.namespace_of(parent).copy(label)
+        else:
+            namespace = PerProcessNamespace(self.sigma, label)
+        if local_mount is not None:
+            mount_path = CompoundName.coerce(local_mount)
+            namespace.attach(mount_path,
+                             self.machine_tree(target_machine).root)
+        return self._adopt(namespace, target_machine, label, activity)
+
+    # -- namespace access -----------------------------------------------------------
+
+    def namespace_of(self, process: Activity) -> PerProcessNamespace:
+        """The process's private namespace."""
+        try:
+            return self._namespaces[process.uid]
+        except KeyError:
+            raise SchemeError(
+                f"{process.label} has no per-process namespace") from None
+
+    def attach(self, process: Activity, path: NameLike,
+               machine_label: str) -> None:
+        """Attach a machine's tree into one process's namespace."""
+        self.namespace_of(process).attach(
+            path, self.machine_tree(machine_label).root)
+
+    def attach_union(self, process: Activity, path: NameLike,
+                     sources: list[tuple[str, NameLike]]) -> Entity:
+        """Attach a Plan 9-style union directory into a namespace.
+
+        Args:
+            sources: ``(machine, subpath)`` pairs; each contributes the
+                directory at *subpath* in that machine's tree, searched
+                in the given order (earlier shadows later).
+
+        Two processes attaching unions built from the same sources in
+        the same order are coherent for every name the union serves.
+        """
+        from repro.namespaces.union import union_directory
+
+        members = []
+        for machine_label, subpath in sources:
+            tree = self.machine_tree(machine_label)
+            node = tree.directory(subpath)
+            members.append(node)
+        union = union_directory(
+            f"union:{CompoundName.coerce(path)}", members,
+            sigma=self.sigma)
+        self.namespace_of(process).attach(path, union)
+        return union
+
+    # -- probes ------------------------------------------------------------------------
+
+    def probe_names(self) -> list[CompoundName]:
+        """Rooted names through every process's mount table (dedup)."""
+        unique: dict[CompoundName, None] = {}
+        for process in self.activities():
+            namespace = self._namespaces.get(process.uid)
+            if namespace is None:
+                continue
+            for mount_path, node in namespace.attachments():
+                unique.setdefault(mount_path.as_rooted())
+                if node.is_context_object():
+                    for label, tree in self._machine_trees.items():
+                        if node is tree.root:
+                            for sub in tree.all_paths():
+                                unique.setdefault(
+                                    mount_path.join(sub).as_rooted())
+        return list(unique)
+
+    # -- helpers --------------------------------------------------------------------------
+
+    def _adopt(self, namespace: PerProcessNamespace, machine_label: str,
+               label: str, activity: Optional[Activity]) -> Activity:
+        context = ProcessContext(namespace.root, label=f"ctx:{label}")
+        target = activity if activity is not None else Activity(label)
+        adopted = self.adopt_activity(target, context, group=machine_label)
+        self._namespaces[adopted.uid] = namespace
+        self._machine_of[adopted.uid] = machine_label
+        return adopted

@@ -1,0 +1,176 @@
+"""The shared naming graph approach (§5.2, Figure 4 — Andrew, Port).
+
+Numerous *client subsystems* share one naming graph while keeping
+their own private naming graphs.  Activities in a client subsystem see
+the local graph *and* the shared graph — but not other clients' local
+graphs.  In Andrew each client machine attaches the shared tree in its
+local tree under ``/vice``; only files in the shared graph have global
+names (those prefixed with ``/vice``).
+
+Reproduced claims:
+
+* coherence among **all** processes for ``/vice``-prefixed names;
+* coherence for local names only **within** a client subsystem;
+* *weak* coherence for replicated commands and libraries (``/bin``,
+  ``/usr/bin``, ...) — each client has bindings mapping these names to
+  local instances (see :meth:`SharedGraphSystem.replicate_command`);
+* on cross-client remote execution only entities in the shared graph
+  can be passed as arguments (the Andrew rule: the child ignores the
+  client's home subsystem) — :meth:`SharedGraphSystem.passable`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SchemeError
+from repro.model.entities import Activity, ObjectEntity
+from repro.model.names import CompoundName, NameLike
+from repro.model.state import GlobalState
+from repro.namespaces.base import NamingScheme, ProcessContext
+from repro.namespaces.tree import NamingTree
+from repro.replication.replica import ReplicaRegistry
+
+__all__ = ["ClientSubsystem", "SharedGraphSystem"]
+
+
+class ClientSubsystem:
+    """One client subsystem: a private tree with the shared tree
+    mounted at the system's shared prefix."""
+
+    def __init__(self, system: "SharedGraphSystem", label: str):
+        self.system = system
+        self.label = label
+        self.tree = NamingTree(label=f"{label}:/", sigma=system.sigma,
+                               parent_links=True)
+        # Mount the shared tree; its ``..`` stays inside the shared
+        # graph (set_parent=False) because *every* client mounts it.
+        self.tree.attach(system.shared_prefix, system.shared.root,
+                         set_parent=False)
+
+    def spawn(self, label: str,
+              activity: Optional[Activity] = None) -> Activity:
+        """Create a process on this client: root = the client's root."""
+        context = ProcessContext(self.tree.root, label=f"ctx:{label}")
+        target = activity if activity is not None else Activity(label)
+        return self.system.adopt_activity(target, context, group=self.label)
+
+    def __repr__(self) -> str:
+        return f"<ClientSubsystem {self.label!r}>"
+
+
+class SharedGraphSystem(NamingScheme):
+    """An Andrew-style system: one shared tree, many client subsystems.
+
+    >>> andrew = SharedGraphSystem()
+    >>> _ = andrew.shared.mkfile("usr/alice/thesis")
+    >>> c1, c2 = andrew.add_client("ws1"), andrew.add_client("ws2")
+    >>> p1, p2 = c1.spawn("p1"), c2.spawn("p2")
+    >>> a = andrew.resolve_for(p1, "/vice/usr/alice/thesis")
+    >>> b = andrew.resolve_for(p2, "/vice/usr/alice/thesis")
+    >>> a is b
+    True
+    """
+
+    scheme_name = "shared-graph"
+
+    def __init__(self, label: str = "andrew",
+                 shared_prefix: NameLike = "vice",
+                 sigma: Optional[GlobalState] = None):
+        super().__init__(sigma)
+        self.label = label
+        self.shared_prefix = CompoundName.coerce(shared_prefix)
+        self.shared_prefix.require_nonempty()
+        self.shared = NamingTree(label=f"{label}:shared",
+                                 sigma=self.sigma, parent_links=True)
+        self.replicas = ReplicaRegistry()
+        self._clients: dict[str, ClientSubsystem] = {}
+
+    # -- clients ---------------------------------------------------------
+
+    def add_client(self, label: str) -> ClientSubsystem:
+        """Create a client subsystem (mounting the shared tree)."""
+        if label in self._clients:
+            raise SchemeError(f"client {label!r} already exists")
+        client = ClientSubsystem(self, label)
+        self._clients[label] = client
+        return client
+
+    def client(self, label: str) -> ClientSubsystem:
+        try:
+            return self._clients[label]
+        except KeyError:
+            raise SchemeError(f"unknown client {label!r}") from None
+
+    def clients(self) -> list[ClientSubsystem]:
+        return [self._clients[k] for k in sorted(self._clients)]
+
+    # -- replicated commands (§5.2) -----------------------------------------
+
+    def replicate_command(self, path: NameLike, content: object = None,
+                          ) -> int:
+        """Install a replicated command: one instance per client, all
+        bound at the *same* local path, registered as a replica set.
+
+        E.g. ``replicate_command("bin/ls")`` gives every client a
+        ``/bin/ls`` whose denotation is machine-local but weakly
+        coherent across the system.
+        """
+        path = CompoundName.coerce(path).relative().require_nonempty()
+        if not self._clients:
+            raise SchemeError("add clients before replicating commands")
+        members: list[ObjectEntity] = []
+        for client in self.clients():
+            instance = client.tree.mkfile(path,
+                                          label=f"{path.last}@{client.label}")
+            members.append(instance)
+        return self.replicas.create_set(
+            members, content=content if content is not None
+            else f"binary:{path}")
+
+    # -- remote execution / argument passing ------------------------------------
+
+    def passable(self, name_: NameLike) -> bool:
+        """True if *name_* can be passed as an argument across client
+        subsystems — i.e. it is rooted in the shared graph.
+
+        Andrew "ignores all files in the client's home subsystem", so
+        only shared-prefix names survive a cross-client hop.
+        """
+        name_ = CompoundName.coerce(name_)
+        return name_.rooted and name_.starts_with(
+            self.shared_prefix.as_rooted())
+
+    def remote_spawn(self, parent: Activity, target_client: str,
+                     label: str,
+                     activity: Optional[Activity] = None) -> Activity:
+        """Remote execution onto another client subsystem.
+
+        The child runs with the *target* client's root (the Andrew
+        approach); coherence with the parent holds exactly for shared-
+        graph names, which is why only those are :meth:`passable`.
+        """
+        client = self.client(target_client)
+        return client.spawn(label, activity=activity)
+
+    # -- probes ---------------------------------------------------------------------
+
+    def shared_probe_names(self) -> list[CompoundName]:
+        """All ``/<shared_prefix>/…`` names."""
+        return [CompoundName(self.shared_prefix.parts + p.parts, rooted=True)
+                for p in self.shared.all_paths()]
+
+    def local_probe_names(self) -> list[CompoundName]:
+        """Rooted local names drawn from every client's private tree
+        (shared mount excluded), textual duplicates merged."""
+        unique: dict[CompoundName, None] = {}
+        for client in self.clients():
+            for path in client.tree.all_paths():
+                if path.starts_with(self.shared_prefix):
+                    continue
+                unique.setdefault(path.as_rooted())
+        return list(unique)
+
+    def probe_names(self) -> list[CompoundName]:
+        """Shared and local probes together."""
+        return self.shared_probe_names() + self.local_probe_names()

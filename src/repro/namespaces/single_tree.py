@@ -1,0 +1,102 @@
+"""The single naming graph approach — global tree (§5.1, Locus / V).
+
+"The V system and distributed versions of Unix, such as Locus, combine
+subtrees in different parts of the distributed system to form a single
+naming tree.  These systems follow the tradition of binding the root
+directory of each process to the root of the naming tree."
+
+With the root binding shared by *every* process on *every* machine,
+there is a high degree of coherence: every rooted name is global.
+This scheme is the paper's baseline "early distributed system" design
+(and the thing it argues is unrealistic at world scale).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SchemeError
+from repro.model.entities import Activity, ObjectEntity
+from repro.model.names import CompoundName, NameLike
+from repro.model.state import GlobalState
+from repro.namespaces.base import NamingScheme, ProcessContext
+from repro.namespaces.tree import NamingTree
+
+__all__ = ["SingleTreeSystem"]
+
+
+class SingleTreeSystem(NamingScheme):
+    """Locus/V-style: one tree; every process's root is the tree root.
+
+    Machines contribute subtrees (mounted under a name of the
+    integrator's choosing) but do not get their own root bindings.
+
+    >>> system = SingleTreeSystem()
+    >>> m = system.add_machine("vax1")
+    >>> _ = system.machine_tree("vax1").mkfile("tmp/scratch")
+    >>> p = system.spawn("vax1", "editor")
+    >>> system.resolve_for(p, "/vax1/tmp/scratch").label
+    'scratch'
+    """
+
+    scheme_name = "single-tree"
+
+    def __init__(self, label: str = "locus",
+                 sigma: Optional[GlobalState] = None):
+        super().__init__(sigma)
+        self.label = label
+        self.tree = NamingTree(label=f"{label}:/", sigma=self.sigma,
+                               parent_links=True)
+        self._machine_trees: dict[str, NamingTree] = {}
+
+    # -- machines -----------------------------------------------------------
+
+    def add_machine(self, machine_label: str,
+                    mount_at: Optional[NameLike] = None) -> NamingTree:
+        """Add a machine: its subtree is combined into the single tree.
+
+        Args:
+            machine_label: Name of the machine (also the default mount
+                point directly under the root).
+            mount_at: Where in the global tree to mount the machine's
+                subtree (default: ``/<machine_label>``).
+        """
+        if machine_label in self._machine_trees:
+            raise SchemeError(f"machine {machine_label!r} already added")
+        subtree = NamingTree(label=f"{machine_label}:/", sigma=self.sigma,
+                             parent_links=True)
+        self.tree.attach(
+            CompoundName.coerce(mount_at) if mount_at is not None
+            else CompoundName([machine_label]),
+            subtree.root)
+        self._machine_trees[machine_label] = subtree
+        return subtree
+
+    def machine_tree(self, machine_label: str) -> NamingTree:
+        """The subtree a machine contributed."""
+        try:
+            return self._machine_trees[machine_label]
+        except KeyError:
+            raise SchemeError(f"unknown machine {machine_label!r}") from None
+
+    def machines(self) -> list[str]:
+        """Labels of the machines combined into the tree."""
+        return sorted(self._machine_trees)
+
+    # -- processes --------------------------------------------------------------
+
+    def spawn(self, machine_label: str, label: str,
+              activity: Optional[Activity] = None) -> Activity:
+        """Create a process on a machine.  Its root binding is the
+        *global* root — the defining property of this approach."""
+        if machine_label not in self._machine_trees:
+            raise SchemeError(f"unknown machine {machine_label!r}")
+        context = ProcessContext(self.tree.root, label=f"ctx:{label}")
+        target = activity if activity is not None else Activity(label)
+        return self.adopt_activity(target, context, group=machine_label)
+
+    # -- probes -----------------------------------------------------------------
+
+    def probe_names(self) -> list[CompoundName]:
+        """All rooted paths of the combined tree."""
+        return [path.as_rooted() for path in self.tree.all_paths()]

@@ -1,0 +1,267 @@
+"""Naming trees: the substrate every section-5 scheme is wired from.
+
+A :class:`NamingTree` manages a tree of context objects (directories)
+and leaf objects (files), with the operations the paper's scheme
+analyses need:
+
+* building paths (``mkdir``, ``mkfile``, ``add``);
+* lookups relative to the tree root;
+* **attach** (mount) — binding another tree's node into this tree,
+  which is how Locus/V combine machine subtrees, how the Newcastle
+  Connection hangs machine trees under a super-root, how Andrew mounts
+  the shared tree at ``/vice``, and how per-process namespaces attach
+  subsystem trees (§5, §6-II);
+* optional parent links: a ``..`` binding from each directory to its
+  parent, which gives the Newcastle ``'..'`` notation meaning;
+* subtree copy — used by the embedded-names experiments ("relocated or
+  copied without changing the meaning of the embedded names", §6).
+
+Trees do not own per-activity contexts; naming schemes build those in
+:mod:`repro.namespaces.base` on top of trees.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterator
+from typing import Callable, Optional
+
+from repro.errors import SchemeError
+from repro.model.context import Context, context_object
+from repro.model.entities import Entity, ObjectEntity, UNDEFINED_ENTITY
+from repro.model.names import PARENT, CompoundName, NameLike
+from repro.model.resolution import resolve
+from repro.model.state import GlobalState
+
+__all__ = ["NamingTree"]
+
+
+class NamingTree:
+    """A tree of directories (context objects) and leaf objects.
+
+    Args:
+        label: Label of the root directory object.
+        sigma: Optional :class:`GlobalState` in which every created
+            entity is registered (pass the simulator's σ to make the
+            tree visible in the system's naming graph).
+        parent_links: When True, every directory gets a ``..`` binding
+            to its parent (and the root to itself unless reattached),
+            enabling Newcastle-style upward traversal.
+    """
+
+    def __init__(self, label: str = "root",
+                 sigma: Optional[GlobalState] = None,
+                 parent_links: bool = False):
+        self._sigma = sigma
+        self.parent_links = parent_links
+        self.root = self._new_directory(label)
+        if parent_links:
+            self.root.state.bind(PARENT, self.root)
+
+    # -- creation -----------------------------------------------------
+
+    def _register(self, entity: ObjectEntity) -> ObjectEntity:
+        if self._sigma is not None:
+            self._sigma.add(entity)
+        return entity
+
+    def _new_directory(self, label: str) -> ObjectEntity:
+        return self._register(context_object(label))
+
+    def _new_file(self, label: str) -> ObjectEntity:
+        obj = ObjectEntity(label)
+        return self._register(obj)
+
+    def mkdir(self, path: NameLike) -> ObjectEntity:
+        """Create (or return) the directory at *path*, making every
+        missing intermediate directory along the way."""
+        path = CompoundName.coerce(path)
+        node = self.root
+        for component in path.parts:
+            context: Context = node.state
+            child = context(component)
+            if not child.is_defined():
+                child = self._new_directory(component)
+                context.bind(component, child)
+                if self.parent_links:
+                    child.state.bind(PARENT, node)
+            elif not child.is_context_object():
+                raise SchemeError(
+                    f"{component!r} along {path} is not a directory")
+            node = child
+        return node
+
+    def mkfile(self, path: NameLike, label: str = "") -> ObjectEntity:
+        """Create a leaf object at *path* (intermediate dirs created).
+
+        Raises:
+            SchemeError: if *path* is already bound.
+        """
+        path = CompoundName.coerce(path).require_nonempty()
+        parent = self.mkdir(path.parent.relative())
+        context: Context = parent.state
+        if context(path.last).is_defined():
+            raise SchemeError(f"{path} is already bound in the tree")
+        leaf = self._new_file(label or path.last)
+        context.bind(path.last, leaf)
+        return leaf
+
+    def add(self, path: NameLike, entity: Entity) -> Entity:
+        """Bind an existing *entity* at *path* (intermediate dirs
+        created); rebinding an existing name is allowed."""
+        path = CompoundName.coerce(path).require_nonempty()
+        parent = self.mkdir(path.parent.relative())
+        parent.state.bind(path.last, entity)
+        if (self.parent_links and entity.is_context_object()
+                and not entity.state.binds(PARENT)):
+            entity.state.bind(PARENT, parent)
+        if self._sigma is not None and isinstance(entity, ObjectEntity):
+            self._sigma.add(entity)
+        return entity
+
+    # -- lookup ---------------------------------------------------------
+
+    def lookup(self, path: NameLike) -> Entity:
+        """Resolve *path* relative to the tree root (``⊥E`` if absent).
+
+        A rooted path (``/a/b``) is treated the same as a relative one:
+        "rooted at *this* tree" — per-activity root bindings are a
+        scheme concern.
+        """
+        path = CompoundName.coerce(path).relative()
+        if len(path) == 0:
+            return self.root
+        return resolve(self.root.state, path)
+
+    def directory(self, path: NameLike) -> ObjectEntity:
+        """Resolve *path* and require a directory (context object)."""
+        node = self.lookup(path)
+        if not node.is_defined() or not node.is_context_object():
+            raise SchemeError(f"{CompoundName.coerce(path)} is not a "
+                              f"directory in this tree")
+        return node  # type: ignore[return-value]
+
+    def exists(self, path: NameLike) -> bool:
+        """True if *path* resolves to a defined entity."""
+        return self.lookup(path).is_defined()
+
+    def entries(self, path: NameLike = ()) -> list[str]:
+        """Sorted entry names of the directory at *path*
+        (``..`` omitted)."""
+        node = self.directory(path)
+        return [n for n in node.state.names() if n != PARENT]
+
+    # -- structure edits ---------------------------------------------------
+
+    def attach(self, path: NameLike, node: Entity,
+               set_parent: bool = True) -> None:
+        """Mount *node* (e.g. another tree's directory) at *path*.
+
+        With ``parent_links`` and *set_parent*, the mounted directory's
+        ``..`` is rebound to its new parent — the Newcastle behaviour
+        where a machine root's parent becomes the super-root.  Pass
+        ``set_parent=False`` to attach without touching the mounted
+        subtree (multi-attach of a shared subtree, §6 Example 2).
+        """
+        path = CompoundName.coerce(path).require_nonempty()
+        parent = self.mkdir(path.parent.relative())
+        parent.state.bind(path.last, node)
+        if (self.parent_links and set_parent
+                and node.is_context_object()):
+            node.state.bind(PARENT, parent)
+        if self._sigma is not None and isinstance(node, ObjectEntity):
+            self._sigma.add(node)
+
+    def detach(self, path: NameLike) -> Entity:
+        """Unbind the entry at *path*; returns the detached entity."""
+        path = CompoundName.coerce(path).require_nonempty()
+        parent = self.directory(path.parent.relative())
+        node = parent.state(path.last)
+        if not node.is_defined():
+            raise SchemeError(f"nothing attached at {path}")
+        parent.state.unbind(path.last)
+        return node
+
+    # -- traversal -----------------------------------------------------------
+
+    def walk(self, max_depth: int = 64,
+             ) -> Iterator[tuple[CompoundName, Entity]]:
+        """Yield ``(path, entity)`` for every entity reachable from the
+        root, in deterministic (BFS, name-sorted) order.  ``..`` edges
+        are not followed.  Shared nodes reachable by several paths are
+        yielded once per path; cycles are cut by *max_depth*.
+        """
+        frontier: deque[tuple[CompoundName, Entity, int]] = deque(
+            [(CompoundName(), self.root, 0)])
+        visited_on_path: set[tuple[int, tuple[str, ...]]] = set()
+        while frontier:
+            path, node, depth = frontier.popleft()
+            key = (node.uid, path.parts)
+            if key in visited_on_path or depth > max_depth:
+                continue
+            visited_on_path.add(key)
+            if len(path) > 0:
+                yield path, node
+            if node.is_context_object():
+                context: Context = node.state
+                for name_ in context.names():
+                    if name_ == PARENT:
+                        continue
+                    frontier.append(
+                        (path.child(name_), context(name_), depth + 1))
+
+    def all_paths(self, max_depth: int = 64) -> list[CompoundName]:
+        """Every path produced by :meth:`walk` (deterministic order)."""
+        return [path for path, _entity in self.walk(max_depth=max_depth)]
+
+    def leaf_paths(self, max_depth: int = 64) -> list[CompoundName]:
+        """Paths of non-directory entities."""
+        return [path for path, entity in self.walk(max_depth=max_depth)
+                if not entity.is_context_object()]
+
+    def path_of(self, target: Entity,
+                max_depth: int = 64) -> Optional[CompoundName]:
+        """The first path (walk order) that reaches *target*, or None."""
+        for path, entity in self.walk(max_depth=max_depth):
+            if entity is target:
+                return path
+        return None
+
+    # -- copying ------------------------------------------------------------
+
+    def copy_subtree(self, source: ObjectEntity, *,
+                     copy_leaf: Optional[Callable[[ObjectEntity],
+                                                  ObjectEntity]] = None,
+                     ) -> ObjectEntity:
+        """Deep-copy the directory *source* (and its subdirectories).
+
+        Leaf objects are copied by *copy_leaf* when given (used by the
+        embedded-names experiments to clone structured objects), else
+        shared between original and copy.  ``..`` bindings are rebuilt
+        inside the copy, not carried over.
+        """
+        if not source.is_context_object():
+            raise SchemeError("copy_subtree needs a directory")
+
+        def clone(node: ObjectEntity,
+                  new_parent: Optional[ObjectEntity]) -> ObjectEntity:
+            fresh = self._new_directory(node.label)
+            if self.parent_links and new_parent is not None:
+                fresh.state.bind(PARENT, new_parent)
+            context: Context = node.state
+            for name_ in context.names():
+                if name_ == PARENT:
+                    continue
+                child = context(name_)
+                if child.is_context_object():
+                    fresh.state.bind(name_, clone(child, fresh))
+                elif copy_leaf is not None and isinstance(child, ObjectEntity):
+                    fresh.state.bind(name_, self._register(copy_leaf(child)))
+                else:
+                    fresh.state.bind(name_, child)
+            return fresh
+
+        return clone(source, None)
+
+    def __repr__(self) -> str:
+        return f"<NamingTree root={self.root.label!r}>"

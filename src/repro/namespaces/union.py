@@ -1,0 +1,132 @@
+"""Union directories (Plan 9-style; extension of §6-II).
+
+The per-process systems the paper points to (Plan 9, the extended
+Waterloo Port) attach name spaces directly into a process's context.
+Plan 9's characteristic refinement is the *union directory*: one mount
+point backed by an ordered list of directories, searched first-match.
+A process can build its ``/bin`` from several subsystems' binaries
+without global names, and two processes that assemble the same union
+are coherent for every name it serves.
+
+A union directory is an ordinary context object whose state is a
+:class:`UnionContext` — so the section-2 resolution recursion, the
+naming graph, and every coherence definition work on it unchanged.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.errors import SchemeError
+from repro.model.context import Context
+from repro.model.entities import Entity, ObjectEntity, UNDEFINED_ENTITY
+from repro.model.names import PARENT
+from repro.model.state import GlobalState
+
+__all__ = ["UnionContext", "union_directory"]
+
+
+class UnionContext(Context):
+    """A context searching an ordered list of member directories.
+
+    Lookup returns the first member's binding for the name; members
+    earlier in the list shadow later ones (Plan 9's ``bind -b``
+    semantics, with the list order encoding before/after).  Explicit
+    bindings made directly on the union (including ``..``) take
+    precedence over all members.
+    """
+
+    __slots__ = ("_members",)
+
+    def __init__(self, members: list[ObjectEntity] | None = None,
+                 label: str = ""):
+        super().__init__(label=label)
+        self._members: list[ObjectEntity] = []
+        for member in (members or []):
+            self.add_member(member)
+
+    # -- membership ---------------------------------------------------
+
+    def add_member(self, directory: ObjectEntity,
+                   first: bool = False) -> None:
+        """Append (or prepend, with ``first=True``) a member."""
+        if not directory.is_context_object():
+            raise SchemeError(
+                f"union members must be directories: {directory!r}")
+        if first:
+            self._members.insert(0, directory)
+        else:
+            self._members.append(directory)
+
+    def remove_member(self, directory: ObjectEntity) -> None:
+        """Remove a member (no error if absent)."""
+        self._members = [m for m in self._members if m is not directory]
+
+    def members(self) -> list[ObjectEntity]:
+        """The member directories, search order."""
+        return list(self._members)
+
+    # -- the function ----------------------------------------------------
+
+    def __call__(self, name_: str) -> Entity:
+        if name_ in self._bindings:
+            return self._bindings[name_]
+        if name_ == PARENT:
+            return UNDEFINED_ENTITY  # unions don't inherit members' ..
+        for member in self._members:
+            context: Context = member.state
+            found = context(name_)
+            if found.is_defined():
+                return found
+        return UNDEFINED_ENTITY
+
+    def names(self) -> list[str]:
+        """All names the union serves (explicit + members), sorted."""
+        served: set[str] = set(self._bindings)
+        for member in self._members:
+            served.update(n for n in member.state.names()
+                          if n != PARENT)
+        return sorted(served)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def copy(self, label: str = "") -> "UnionContext":
+        """An independent union with the same members and explicit
+        bindings (overrides the base copy, which would lose members)."""
+        clone = UnionContext(list(self._members),
+                             label=label or self.label)
+        clone._bindings = dict(self._bindings)
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, UnionContext):
+            return (self._bindings == other._bindings
+                    and len(self._members) == len(other._members)
+                    and all(a is b for a, b in zip(self._members,
+                                                   other._members)))
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        inner = " + ".join(m.label for m in self._members)
+        return f"<UnionContext [{inner}]>"
+
+
+def union_directory(label: str,
+                    members: list[ObjectEntity] | None = None,
+                    sigma: GlobalState | None = None) -> ObjectEntity:
+    """Create a union directory object.
+
+    >>> from repro.model.context import context_object
+    >>> from repro.model.entities import ObjectEntity
+    >>> a = context_object("bin-a")
+    >>> a.state.bind("ls", ObjectEntity("ls"))
+    >>> u = union_directory("bin", [a])
+    >>> u.state("ls").label
+    'ls'
+    """
+    directory = ObjectEntity(label)
+    directory.state = UnionContext(members, label=label)
+    if sigma is not None:
+        sigma.add(directory)
+    return directory

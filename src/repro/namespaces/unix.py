@@ -1,0 +1,149 @@
+"""The Unix naming scheme (§5.1, "Unix File Names").
+
+Unix names files in a single naming tree per system.  The context
+``R(p)`` of a process ``p`` has two bindings — root directory and
+working directory.  The paper's observations, all reproducible with
+this module:
+
+* in a typical system ``R(p)(/)`` is the tree root for all processes,
+  so there is coherence for the set of compound names starting with
+  ``/``;
+* the working directory adds flexibility, and the resulting
+  restriction of coherence (relative names) is acceptable;
+* processes need *not* all have the same root (``chroot``), and then
+  there is coherence only among processes with the same root binding;
+* a child inherits (a copy of) its parent's context, so parent and
+  child have coherence for **all** names until one of them modifies
+  its context — which is why a parent can pass any file name to a
+  child.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SchemeError
+from repro.model.entities import Activity, ObjectEntity
+from repro.model.names import CompoundName, NameLike
+from repro.model.state import GlobalState
+from repro.namespaces.base import NamingScheme, ProcessContext
+from repro.namespaces.tree import NamingTree
+
+__all__ = ["UnixSystem"]
+
+
+class UnixSystem(NamingScheme):
+    """A single Unix machine: one naming tree, per-process contexts.
+
+    >>> unix = UnixSystem("wombat")
+    >>> _ = unix.tree.mkfile("etc/passwd")
+    >>> init = unix.spawn("init")
+    >>> child = unix.fork(init, "login")
+    >>> unix.resolve_for(child, "/etc/passwd").label
+    'passwd'
+    """
+
+    scheme_name = "unix"
+
+    def __init__(self, label: str = "unix",
+                 sigma: Optional[GlobalState] = None,
+                 parent_links: bool = True):
+        super().__init__(sigma)
+        self.label = label
+        self.tree = NamingTree(label=f"{label}:/", sigma=self.sigma,
+                               parent_links=parent_links)
+
+    # -- processes ------------------------------------------------------
+
+    def spawn(self, label: str,
+              root: Optional[ObjectEntity] = None,
+              cwd: NameLike = "",
+              activity: Optional[Activity] = None,
+              group: str = "") -> Activity:
+        """Create a process with its own :class:`ProcessContext`.
+
+        Args:
+            label: Process label (ignored when *activity* is passed).
+            root: Root-directory binding; defaults to the tree root.
+            cwd: Working directory *path* (resolved in the tree).
+            activity: An existing activity (e.g. a
+                :class:`~repro.sim.process.SimProcess`) to adopt
+                instead of creating a plain one.
+            group: Metric group; defaults to the system label.
+        """
+        root_dir = root if root is not None else self.tree.root
+        cwd_dir = self._directory_at(root_dir, cwd) if cwd else root_dir
+        context = ProcessContext(root_dir, cwd_dir, label=f"ctx:{label}")
+        target = activity if activity is not None else Activity(label)
+        return self.adopt_activity(target, context,
+                                   group=group or self.label)
+
+    def fork(self, parent: Activity, label: str,
+             activity: Optional[Activity] = None,
+             group: str = "") -> Activity:
+        """Fork: the child starts with a *copy* of the parent's context
+        (coherent with the parent for all names until either rebinds).
+        """
+        parent_context = self.context_of(parent)
+        if not isinstance(parent_context, ProcessContext):
+            raise SchemeError(f"{parent.label} has no process context")
+        child_context = parent_context.copy(label=f"ctx:{label}")
+        target = activity if activity is not None else Activity(label)
+        return self.adopt_activity(target, child_context,
+                                   group=group or self.label)
+
+    # -- context mutation ----------------------------------------------------
+
+    def chdir(self, process: Activity, path: NameLike) -> None:
+        """Change the process's working directory to *path*.
+
+        The path is resolved in the process's own context (so ``/``-
+        rooted and relative paths both work, honouring any chroot).
+        """
+        context = self._process_context(process)
+        node = self.resolve_for(process, path)
+        if not node.is_defined() or not node.is_context_object():
+            raise SchemeError(f"chdir: {CompoundName.coerce(path)} is not "
+                              f"a directory for {process.label}")
+        context.set_cwd(node)  # type: ignore[arg-type]
+
+    def chroot(self, process: Activity, path: NameLike) -> None:
+        """Rebind the process's root directory to *path*.
+
+        After a chroot the process generally loses coherence with
+        processes keeping the original root (§5.1: "in general, there
+        is coherence only among processes that have the same binding
+        for the root directory").
+        """
+        context = self._process_context(process)
+        node = self.resolve_for(process, path)
+        if not node.is_defined() or not node.is_context_object():
+            raise SchemeError(f"chroot: {CompoundName.coerce(path)} is not "
+                              f"a directory for {process.label}")
+        context.set_root(node)  # type: ignore[arg-type]
+        context.set_cwd(node)   # type: ignore[arg-type]
+
+    # -- probes ---------------------------------------------------------------
+
+    def probe_names(self) -> list[CompoundName]:
+        """All rooted paths of the tree — the ``/…`` name population
+        §5.1's coherence claim quantifies over."""
+        return [path.as_rooted() for path in self.tree.all_paths()]
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _process_context(self, process: Activity) -> ProcessContext:
+        context = self.context_of(process)
+        if not isinstance(context, ProcessContext):
+            raise SchemeError(f"{process.label} has no process context")
+        return context
+
+    def _directory_at(self, root_dir: ObjectEntity,
+                      path: NameLike) -> ObjectEntity:
+        from repro.model.resolution import resolve
+
+        node = resolve(ProcessContext(root_dir),
+                       CompoundName.coerce(path).as_rooted())
+        if not node.is_defined() or not node.is_context_object():
+            raise SchemeError(f"not a directory: {CompoundName.coerce(path)}")
+        return node  # type: ignore[return-value]

@@ -1,0 +1,28 @@
+"""Partially qualified identifiers (§6 Example 1): pids, resolution,
+the R(sender) mapping, wire policies, and relocation survival."""
+
+from repro.pqid.mapping import fully_qualify, map_pid, qualify, resolve_pid
+from repro.pqid.pid import Pid, Qualification, SELF_PID
+from repro.pqid.relocation import PidReference, ReferenceTable
+from repro.pqid.transport import (
+    PidExchange,
+    PidPolicy,
+    exchange_outcome,
+    send_pid,
+)
+
+__all__ = [
+    "Pid",
+    "PidExchange",
+    "PidPolicy",
+    "PidReference",
+    "Qualification",
+    "ReferenceTable",
+    "SELF_PID",
+    "exchange_outcome",
+    "fully_qualify",
+    "map_pid",
+    "qualify",
+    "resolve_pid",
+    "send_pid",
+]

@@ -1,0 +1,98 @@
+"""Pid resolution, qualification, and the ``R(sender)`` mapping.
+
+A pid is resolved *relative to a holder*: unqualified components are
+filled in from the holder's current position (its machine and
+network).  This makes the holder's position the pid's implicit
+context, and the resolution rule for pids embedded in messages is
+``R(sender)`` — "use the context of the sender process that sent the
+embedded pid.  The resolution rule is implemented by **mapping** the
+embedded pid" (§6, Example 1).
+
+:func:`map_pid` is that mapping: resolve the pid in the sender's
+context, then re-qualify the result minimally relative to the
+receiver.  The key invariant (property-tested in the suite)::
+
+    resolve_pid(map_pid(p, s, r), r)  is  resolve_pid(p, s)
+
+whenever the pid resolves for the sender.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.pqid.pid import Pid, Qualification, SELF_PID
+from repro.sim.process import SimProcess
+
+__all__ = ["resolve_pid", "qualify", "fully_qualify", "map_pid"]
+
+
+def resolve_pid(pid: Pid, holder: SimProcess) -> Optional[SimProcess]:
+    """Resolve *pid* relative to *holder*'s current position.
+
+    Returns the denoted live process, or ``None`` when the pid does
+    not currently resolve (dangling address — e.g. after a renumbering
+    made a stale qualified component point nowhere).  Resolution uses
+    *current* addresses only, exactly like a real transport would.
+    """
+    level = pid.qualification
+    if level is Qualification.SELF:
+        return holder if holder.alive else None
+    if level is Qualification.MACHINE:
+        machine = holder.machine
+    elif level is Qualification.NETWORK:
+        machine_ = holder.machine.network.by_maddr(pid.maddr)
+        if machine_ is None:
+            return None
+        machine = machine_
+    else:  # FULL
+        network = holder.machine.network.internet.by_naddr(pid.naddr)
+        if network is None:
+            return None
+        machine_ = network.by_maddr(pid.maddr)
+        if machine_ is None:
+            return None
+        machine = machine_
+    process = machine.by_laddr(pid.laddr)
+    if process is None or not process.alive:
+        return None
+    return process
+
+
+def qualify(target: SimProcess, holder: SimProcess) -> Pid:
+    """The minimal pid by which *holder* can refer to *target*.
+
+    "Pids are qualified only as far as necessary": self → (0,0,0),
+    same machine → (0,0,l), same network → (0,m,l), else (n,m,l).
+    """
+    if target is holder:
+        return SELF_PID
+    if target.machine is holder.machine:
+        return Pid(0, 0, target.laddr)
+    if target.machine.network is holder.machine.network:
+        return Pid(0, target.machine.maddr, target.laddr)
+    return fully_qualify(target)
+
+
+def fully_qualify(target: SimProcess) -> Pid:
+    """The conventional fully qualified pid (n,m,l) — the baseline the
+    paper argues against.  Captures *current* addresses, so it goes
+    stale under renumbering."""
+    naddr, maddr, laddr = target.full_address
+    return Pid(naddr, maddr, laddr)
+
+
+def map_pid(pid: Pid, sender: SimProcess,
+            receiver: SimProcess) -> Optional[Pid]:
+    """Map an embedded pid across a sender→receiver hop (R(sender)).
+
+    The pid is resolved in the sender's context and re-qualified
+    minimally relative to the receiver, so the receiver's later
+    resolutions denote the entity the *sender* meant.  Returns ``None``
+    when the pid does not resolve for the sender (nothing meaningful
+    can be mapped — the transport would reject the message).
+    """
+    target = resolve_pid(pid, sender)
+    if target is None:
+        return None
+    return qualify(target, receiver)

@@ -1,0 +1,109 @@
+"""Partially qualified process identifiers (§6, Example 1; [10, 11]).
+
+"Pids have the form p = (p.naddr, p.maddr, p.laddr).  A process with
+local address l on machine m and network n has the following pids
+depending on the context of reference: (0,0,0), (0,0,l), (0,m,l), and
+(n,m,l).  The pid (0,0,0) can be used by any process to refer to
+itself."
+
+A zero component means *unqualified at that level*: the referent is
+found relative to the holder's own position.  The advantage over fully
+qualified pids: when a machine or network is renumbered, pids of local
+processes within it remain valid, so the subsystem keeps its internal
+connections.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import AddressError
+
+__all__ = ["Pid", "Qualification", "SELF_PID"]
+
+
+class Qualification(enum.IntEnum):
+    """How far a pid is qualified.  Higher = more absolute."""
+
+    SELF = 0      #: (0,0,0) — the referring process itself
+    MACHINE = 1   #: (0,0,l) — within the holder's machine
+    NETWORK = 2   #: (0,m,l) — within the holder's network
+    FULL = 3      #: (n,m,l) — absolute in the internetwork
+
+
+@dataclass(frozen=True, order=True)
+class Pid:
+    """An immutable (naddr, maddr, laddr) process identifier.
+
+    Valid shapes are exactly the paper's four: all-zero, laddr only,
+    maddr+laddr, or all three.  (A pid like ``(n, 0, l)`` — network
+    qualified but machine unqualified — is malformed.)
+    """
+
+    naddr: int
+    maddr: int
+    laddr: int
+
+    def __post_init__(self) -> None:
+        if min(self.naddr, self.maddr, self.laddr) < 0:
+            raise AddressError(f"pid components must be >= 0: {self}")
+        if self.naddr and not self.maddr:
+            raise AddressError(
+                f"network-qualified pid must also be machine-qualified: "
+                f"{self}")
+        if self.maddr and not self.laddr:
+            raise AddressError(
+                f"machine-qualified pid must also be locally qualified: "
+                f"{self}")
+
+    @property
+    def qualification(self) -> Qualification:
+        """The qualification level of this pid."""
+        if self.naddr:
+            return Qualification.FULL
+        if self.maddr:
+            return Qualification.NETWORK
+        if self.laddr:
+            return Qualification.MACHINE
+        return Qualification.SELF
+
+    def is_self(self) -> bool:
+        """True for the self pid (0,0,0)."""
+        return self.qualification is Qualification.SELF
+
+    def is_fully_qualified(self) -> bool:
+        """True for an (n,m,l) pid."""
+        return self.qualification is Qualification.FULL
+
+    def as_tuple(self) -> tuple[int, int, int]:
+        return (self.naddr, self.maddr, self.laddr)
+
+    @classmethod
+    def parse(cls, text: str) -> "Pid":
+        """Parse the textual form ``(n,m,l)`` (whitespace tolerated).
+
+        >>> Pid.parse("(0, 3, 5)")
+        Pid(naddr=0, maddr=3, laddr=5)
+
+        Raises:
+            AddressError: on malformed text or an invalid shape.
+        """
+        if not isinstance(text, str):
+            raise AddressError(f"expected str, got {type(text).__name__}")
+        stripped = text.strip()
+        if stripped.startswith("(") and stripped.endswith(")"):
+            stripped = stripped[1:-1]
+        parts = [p.strip() for p in stripped.split(",")]
+        if len(parts) != 3 or not all(
+                p.lstrip("-").isdigit() for p in parts):
+            raise AddressError(f"not a pid: {text!r}")
+        naddr, maddr, laddr = (int(p) for p in parts)
+        return cls(naddr, maddr, laddr)
+
+    def __str__(self) -> str:
+        return f"({self.naddr},{self.maddr},{self.laddr})"
+
+
+#: The pid any process may use to refer to itself.
+SELF_PID = Pid(0, 0, 0)

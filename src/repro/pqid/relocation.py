@@ -1,0 +1,88 @@
+"""Pid validity under relocation and reconfiguration.
+
+The paper's motivating property: "when the address of a machine or a
+network is changed as part of relocation or reconfiguration, pids of
+local processes within the renamed machine or network remain valid and
+therefore the subsystem maintains its internal connections and does
+not have to be shut down."
+
+A :class:`ReferenceTable` holds long-lived pid references ("open
+connections"), each recorded with the process the holder intends the
+pid to denote.  After reconfigurations, :meth:`ReferenceTable.survival`
+reports how many references still resolve to their intended targets —
+the measurement behind experiment E9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.pqid.mapping import resolve_pid
+from repro.pqid.pid import Pid
+from repro.sim.process import SimProcess
+
+__all__ = ["PidReference", "ReferenceTable"]
+
+
+@dataclass(frozen=True)
+class PidReference:
+    """A stored pid: *holder* refers to *intended* by *pid*."""
+
+    holder: SimProcess
+    pid: Pid
+    intended: SimProcess
+    note: str = ""
+
+    def is_valid(self) -> bool:
+        """True if the pid still resolves to the intended process."""
+        return resolve_pid(self.pid, self.holder) is self.intended
+
+    def is_dangling(self) -> bool:
+        """True if the pid resolves to nothing at all."""
+        return resolve_pid(self.pid, self.holder) is None
+
+    def is_misdirected(self) -> bool:
+        """True if the pid now resolves to a *different* process —
+        the dangerous post-renumbering failure mode."""
+        resolved = resolve_pid(self.pid, self.holder)
+        return resolved is not None and resolved is not self.intended
+
+
+@dataclass
+class ReferenceTable:
+    """A population of long-lived pid references."""
+
+    references: list[PidReference] = field(default_factory=list)
+
+    def add(self, holder: SimProcess, pid: Pid, intended: SimProcess,
+            note: str = "") -> PidReference:
+        reference = PidReference(holder, pid, intended, note)
+        self.references.append(reference)
+        return reference
+
+    def survival(self) -> float:
+        """Fraction of references that still resolve correctly."""
+        if not self.references:
+            return 1.0
+        valid = sum(1 for r in self.references if r.is_valid())
+        return valid / len(self.references)
+
+    def counts(self) -> dict[str, int]:
+        """Breakdown: valid / dangling / misdirected."""
+        out = {"valid": 0, "dangling": 0, "misdirected": 0}
+        for reference in self.references:
+            if reference.is_valid():
+                out["valid"] += 1
+            elif reference.is_dangling():
+                out["dangling"] += 1
+            else:
+                out["misdirected"] += 1
+        return out
+
+    def subset(self, note: str) -> "ReferenceTable":
+        """References whose note equals *note* (e.g. "intra-machine")."""
+        return ReferenceTable(
+            [r for r in self.references if r.note == note])
+
+    def __len__(self) -> int:
+        return len(self.references)

@@ -1,0 +1,97 @@
+"""Pid exchange over the simulator — mapped vs unmapped transports.
+
+The experiments compare three pid-exchange policies:
+
+* ``MAPPED`` — partially qualified pids, mapped at the hop
+  (``R(sender)``, the paper's solution);
+* ``RAW`` — partially qualified pids sent verbatim and resolved in the
+  receiver's context (``R(receiver)`` — the broken default the paper
+  analyses);
+* ``FULL`` — conventional fully qualified pids sent verbatim (no
+  mapping needed while addresses are stable, brittle under
+  renumbering).
+
+:func:`send_pid` performs one exchange under a policy and returns a
+:class:`PidExchange` record; :func:`exchange_outcome` scores it the
+way the coherence auditor scores name resolutions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.pqid.mapping import fully_qualify, map_pid, qualify, resolve_pid
+from repro.pqid.pid import Pid
+from repro.sim.messages import Message
+from repro.sim.process import SimProcess
+
+__all__ = ["PidPolicy", "PidExchange", "send_pid", "exchange_outcome"]
+
+
+class PidPolicy(enum.Enum):
+    """How a pid is prepared for the wire."""
+
+    MAPPED = "mapped"
+    RAW = "raw"
+    FULL = "full"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass
+class PidExchange:
+    """One pid handed from *sender* to *receiver*.
+
+    Attributes:
+        intended: The process the sender meant the pid to denote.
+        sent: The pid as the sender wrote it (minimal qualification
+            for MAPPED/RAW, fully qualified for FULL).
+        wire: The pid as delivered (rewritten for MAPPED).
+        message: The carrying simulator message.
+    """
+
+    sender: SimProcess
+    receiver: SimProcess
+    intended: SimProcess
+    policy: PidPolicy
+    sent: Pid
+    wire: Optional[Pid]
+    message: Message
+
+
+def send_pid(sender: SimProcess, receiver: SimProcess,
+             target: SimProcess, policy: PidPolicy = PidPolicy.MAPPED,
+             latency: Optional[float] = None) -> PidExchange:
+    """Send a pid denoting *target* from *sender* to *receiver*."""
+    if policy is PidPolicy.FULL:
+        sent = fully_qualify(target)
+        wire: Optional[Pid] = sent
+    else:
+        sent = qualify(target, sender)
+        wire = (map_pid(sent, sender, receiver)
+                if policy is PidPolicy.MAPPED else sent)
+    message = sender.send(receiver, payload={"pid": wire}, latency=latency)
+    return PidExchange(sender=sender, receiver=receiver, intended=target,
+                       policy=policy, sent=sent, wire=wire, message=message)
+
+
+def exchange_outcome(exchange: PidExchange) -> str:
+    """Score a delivered exchange: ``"coherent"``, ``"incoherent"``
+    (resolved to a *different* process), or ``"unresolved"``.
+
+    The receiver resolves the wire pid in its *own* context — which is
+    correct for MAPPED (the mapping moved the sender's meaning into
+    the receiver's context) and is exactly the R(receiver) failure
+    mode for RAW.
+    """
+    if exchange.wire is None:
+        return "unresolved"
+    resolved = resolve_pid(exchange.wire, exchange.receiver)
+    if resolved is None:
+        return "unresolved"
+    if resolved is exchange.intended:
+        return "coherent"
+    return "incoherent"

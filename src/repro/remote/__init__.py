@@ -1,0 +1,19 @@
+"""Remote execution: argument passing, the uniform evaluator, and the
+wire-protocol facility of section 6-II."""
+
+from repro.remote.arguments import argument_events
+from repro.remote.execution import RemoteExecReport, evaluate_remote_exec
+from repro.remote.facility import (
+    ExecOutcome,
+    ExecServer,
+    RemoteExecFacility,
+)
+
+__all__ = [
+    "ExecOutcome",
+    "ExecServer",
+    "RemoteExecFacility",
+    "RemoteExecReport",
+    "argument_events",
+    "evaluate_remote_exec",
+]

@@ -1,0 +1,49 @@
+"""Passing names as arguments between activities.
+
+"Systems such as Unix and Thoth execute a command by creating a new
+process and passing arguments to it; the arguments can be names of
+entities" (§4).  Whether the child sees what the parent meant is the
+coherence question for the MESSAGE source.
+
+:func:`argument_events` turns an argument list into resolution events
+(sender = parent, resolver = child, intended = the parent's
+denotation), ready for the :class:`~repro.coherence.auditor
+.CoherenceAuditor` under any rule.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.closure.meta import ContextRegistry, NameSource, ResolutionEvent
+from repro.model.entities import Activity
+from repro.model.names import CompoundName, NameLike
+from repro.model.resolution import resolve
+
+__all__ = ["argument_events"]
+
+
+def argument_events(registry: ContextRegistry, parent: Activity,
+                    child: Activity, names: Iterable[NameLike],
+                    ) -> list[ResolutionEvent]:
+    """Build MESSAGE resolution events for arguments passed
+    parent→child.
+
+    Each event's *intended* entity is the parent's own denotation of
+    the name (the paper's "a name denoting an entity"); arguments the
+    parent itself cannot resolve get no intent and are audited only
+    for definedness.
+    """
+    parent_context = registry.context_of(parent)
+    events: list[ResolutionEvent] = []
+    for name_ in names:
+        name_ = CompoundName.coerce(name_)
+        intended = resolve(parent_context, name_)
+        events.append(ResolutionEvent(
+            name=name_,
+            source=NameSource.MESSAGE,
+            resolver=child,
+            sender=parent,
+            intended=intended if intended.is_defined() else None,
+        ))
+    return events

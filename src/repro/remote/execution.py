@@ -1,0 +1,83 @@
+"""A uniform evaluator for remote-execution scenarios.
+
+Every scheme in the paper faces the same test (§5.1, §5.2, §6-II): a
+parent invokes a child on another machine/subsystem and passes names
+as arguments — does each argument denote, for the child, what the
+parent meant?  :func:`evaluate_remote_exec` runs that test for any
+scheme (the scheme decides how the child's context was built) and
+returns a comparable report; the E5/E6/E11 benches print one report
+per scheme/policy.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.closure.meta import ContextRegistry
+from repro.closure.rules import RReceiver
+from repro.coherence.auditor import CoherenceAuditor, Verdict
+from repro.coherence.definitions import EntityEquivalence, strict_identity
+from repro.model.entities import Activity
+from repro.model.names import NameLike
+from repro.remote.arguments import argument_events
+
+__all__ = ["RemoteExecReport", "evaluate_remote_exec"]
+
+
+@dataclass
+class RemoteExecReport:
+    """Outcome of one remote-execution argument-passing test."""
+
+    label: str
+    total: int
+    coherent: int
+    weakly_coherent: int
+    incoherent: int
+    unresolved: int
+
+    @property
+    def coherence_rate(self) -> float:
+        """Fraction of arguments that reached the intended entity
+        (strongly or weakly)."""
+        if self.total == 0:
+            return 1.0
+        return (self.coherent + self.weakly_coherent) / self.total
+
+    def row(self) -> list[object]:
+        """A report row: label, total, coherent, incoherent,
+        unresolved, rate."""
+        return [self.label, self.total, self.coherent, self.incoherent,
+                self.unresolved, self.coherence_rate]
+
+    def __str__(self) -> str:
+        return (f"{self.label}: {self.coherent}/{self.total} coherent "
+                f"({self.coherence_rate:.2f})")
+
+
+def evaluate_remote_exec(registry: ContextRegistry, parent: Activity,
+                         child: Activity, arguments: Iterable[NameLike],
+                         label: str = "", *,
+                         equivalence: EntityEquivalence = strict_identity,
+                         ) -> RemoteExecReport:
+    """Score argument passing from *parent* to an already-spawned
+    remote *child*.
+
+    Arguments are resolved in the child's own context — the
+    ``R(receiver)`` rule, which is what every §5 scheme actually does;
+    the *scheme's* job was to arrange the child's context so this
+    works (invoker-root Newcastle, shared-graph prefixes, imported
+    per-process namespaces...).
+    """
+    events = argument_events(registry, parent, child, arguments)
+    auditor = CoherenceAuditor(RReceiver(registry), equivalence=equivalence)
+    auditor.observe_all(events)
+    summary = auditor.summary
+    return RemoteExecReport(
+        label=label or f"{parent.label}→{child.label}",
+        total=summary.total,
+        coherent=summary.count(Verdict.COHERENT),
+        weakly_coherent=summary.count(Verdict.WEAKLY_COHERENT),
+        incoherent=summary.count(Verdict.INCOHERENT),
+        unresolved=summary.count(Verdict.UNRESOLVED),
+    )

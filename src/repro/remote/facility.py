@@ -1,0 +1,229 @@
+"""The remote-execution facility as a wire protocol (§6-II).
+
+The scheme-level ``PerProcessSystem.remote_spawn`` creates the child
+directly; this module is the *distributed* version the paper's phrase
+"a powerful remote execution facility" implies: every machine runs an
+:class:`ExecServer` process, and a parent requests execution by
+sending it a message carrying
+
+* the command label,
+* the parent's **namespace recipe** — its mount table, by reference —
+  which the server replays into the child's fresh namespace (the
+  §6-II import that makes parameters coherent), and
+* the argument names, which the child resolves on arrival (scored by
+  the usual auditor machinery).
+
+Requests, replies and argument resolutions all travel through the
+simulator kernel, so exec latency is visible, a crashed target machine
+surfaces as a timeout, and the whole flow interleaves with other
+traffic.  Correctness property (tested): the child created over the
+wire resolves every argument to exactly what
+``PerProcessSystem.remote_spawn`` would have given it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import SchemeError
+from repro.model.entities import Activity, Entity, UNDEFINED_ENTITY
+from repro.model.names import CompoundName, NameLike
+from repro.namespaces.perprocess import PerProcessSystem
+from repro.sim.events import ScheduledEvent
+from repro.sim.kernel import Simulator
+from repro.sim.messages import Message
+from repro.sim.network import Machine
+from repro.sim.process import SimProcess
+
+__all__ = ["ExecOutcome", "ExecServer", "RemoteExecFacility"]
+
+
+@dataclass
+class ExecOutcome:
+    """Result of one remote-exec request."""
+
+    label: str
+    child: Optional[Activity] = None
+    #: Argument name → entity the child resolved it to (⊥E allowed).
+    resolved_arguments: dict[str, Entity] = field(default_factory=dict)
+    failed: bool = False
+    reason: str = ""
+    request_time: float = 0.0
+    completed_time: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed and self.child is not None
+
+    @property
+    def latency(self) -> float:
+        return self.completed_time - self.request_time
+
+
+class ExecServer:
+    """One machine's execution server: spawns children on request.
+
+    The server is itself a simulator process; a request's child is
+    created on the *server's* machine with a namespace assembled from
+    the recipe in the message (mount-table replay plus the local
+    mount), exactly the §6-II construction.
+    """
+
+    def __init__(self, facility: "RemoteExecFacility", machine: Machine):
+        self.facility = facility
+        self.machine = machine
+        self.process = facility.simulator.spawn(
+            machine, f"execd@{machine.label}")
+        self.process.on_message(self._handle)
+        self.requests_served = 0
+
+    def _handle(self, _process: SimProcess, message: Message) -> None:
+        payload = message.payload
+        if not isinstance(payload, dict) or "exec" not in payload:
+            return
+        request = payload["exec"]
+        self.requests_served += 1
+        child = self.facility.spawn_child(
+            machine=self.machine,
+            label=request["label"],
+            mounts=request["mounts"],
+            local_mount=request["local_mount"],
+        )
+        resolved = {
+            str(name_): self.facility.system.resolve_for(child, name_)
+            for name_ in request["arguments"]}
+        self.process.send(message.sender, payload={"exec-reply": {
+            "request_id": request["request_id"],
+            "child": child,
+            "resolved": resolved,
+        }}, latency=self.facility.latency)
+
+
+class RemoteExecFacility:
+    """Client/server remote execution over a :class:`PerProcessSystem`.
+
+    Args:
+        simulator: Kernel carrying the protocol (machines used for
+            exec must exist in it).
+        system: The per-process naming scheme children are created in.
+        timeout: Virtual time before an un-answered request fails.
+    """
+
+    def __init__(self, simulator: Simulator, system: PerProcessSystem,
+                 latency: float = 1.0, timeout: float = 10.0):
+        self.simulator = simulator
+        self.system = system
+        self.latency = latency
+        self.timeout = timeout
+        self._servers: dict[int, ExecServer] = {}
+        #: machine label in the scheme → simulator Machine.
+        self._machine_map: dict[str, Machine] = {}
+        self._pending: dict[int, tuple[ExecOutcome,
+                                       Callable[[ExecOutcome], None],
+                                       ScheduledEvent]] = {}
+        self._ids = itertools.count(1)
+        self._clients: set[int] = set()
+
+    # -- wiring ----------------------------------------------------------
+
+    def host_machine(self, scheme_label: str,
+                     machine: Machine) -> ExecServer:
+        """Associate a scheme machine label with a simulator machine
+        and start (or return) its exec server."""
+        self._machine_map[scheme_label] = machine
+        server = self._servers.get(id(machine))
+        if server is None:
+            server = ExecServer(self, machine)
+            self._servers[id(machine)] = server
+        return server
+
+    def spawn_child(self, machine: Machine, label: str,
+                    mounts: list[tuple[CompoundName, Entity]],
+                    local_mount: Optional[str]) -> Activity:
+        """Create the child (server side): fresh sim process adopted
+        into the scheme with the replayed namespace."""
+        scheme_label = next(
+            (name for name, m in self._machine_map.items()
+             if m is machine), None)
+        if scheme_label is None:
+            raise SchemeError(f"{machine.label} is not hosted")
+        sim_child = self.simulator.spawn(machine, label)
+        child = self.system.spawn(scheme_label, label,
+                                  activity=sim_child)
+        namespace = self.system.namespace_of(child)
+        for path, node in mounts:
+            namespace.attach(path, node)
+        if local_mount is not None:
+            namespace.attach(CompoundName.coerce(local_mount),
+                             self.system.machine_tree(scheme_label).root)
+        return child
+
+    # -- client side ----------------------------------------------------------
+
+    def request(self, parent: Activity, parent_process: SimProcess,
+                target_scheme_machine: str, label: str,
+                arguments: list[NameLike],
+                completion: Callable[[ExecOutcome], None],
+                local_mount: Optional[str] = "local") -> int:
+        """Ask *target*'s exec server to run *label* with *arguments*.
+
+        The parent's mount table is shipped in the request (the
+        namespace import).  Returns the request id; *completion* fires
+        once, from the kernel, with the :class:`ExecOutcome`.
+        """
+        machine = self._machine_map.get(target_scheme_machine)
+        if machine is None:
+            raise SchemeError(
+                f"no exec server hosted for {target_scheme_machine!r}")
+        server = self._servers[id(machine)]
+        if parent_process.uid not in self._clients:
+            parent_process.on_message(self._on_reply)
+            self._clients.add(parent_process.uid)
+        request_id = next(self._ids)
+        outcome = ExecOutcome(label=label,
+                              request_time=self.simulator.clock.now)
+        mounts = self.system.namespace_of(parent).attachments()
+        parent_process.send(server.process, payload={"exec": {
+            "request_id": request_id,
+            "label": label,
+            "mounts": mounts,
+            "local_mount": local_mount,
+            "arguments": [CompoundName.coerce(a) for a in arguments],
+        }}, latency=self.latency)
+        timer = self.simulator.schedule(
+            self.timeout, lambda: self._on_timeout(request_id),
+            note=f"exec-timeout req#{request_id}")
+        self._pending[request_id] = (outcome, completion, timer)
+        return request_id
+
+    def _on_reply(self, _process: SimProcess, message: Message) -> None:
+        payload = message.payload
+        if not isinstance(payload, dict) or "exec-reply" not in payload:
+            return
+        reply = payload["exec-reply"]
+        entry = self._pending.pop(reply["request_id"], None)
+        if entry is None:
+            return  # reply after timeout — the child exists but the
+            # parent already gave up; nothing to corrupt.
+        outcome, completion, timer = entry
+        timer.cancel()
+        outcome.child = reply["child"]
+        outcome.resolved_arguments = dict(reply["resolved"])
+        outcome.completed_time = self.simulator.clock.now
+        completion(outcome)
+
+    def _on_timeout(self, request_id: int) -> None:
+        entry = self._pending.pop(request_id, None)
+        if entry is None:
+            return
+        outcome, completion, _timer = entry
+        outcome.failed = True
+        outcome.reason = "timeout"
+        outcome.completed_time = self.simulator.clock.now
+        completion(outcome)
+
+    def outstanding(self) -> int:
+        """Requests still waiting for a reply."""
+        return len(self._pending)

@@ -1,0 +1,15 @@
+"""Replicated objects and weak coherence (§5)."""
+
+from repro.replication.replica import ReplicaRegistry
+from repro.replication.weak import (
+    classify_names,
+    replica_equivalence,
+    weakly_coherent_name,
+)
+
+__all__ = [
+    "ReplicaRegistry",
+    "classify_names",
+    "replica_equivalence",
+    "weakly_coherent_name",
+]

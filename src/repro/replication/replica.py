@@ -1,0 +1,122 @@
+"""Replicated objects (§5).
+
+"Some important objects in distributed systems (for example,
+executable code for commands) are replicated.  In terms of our naming
+model this means that several objects ``o1 ... og`` ('replicas of a
+replicated object') satisfy ``σ(o1) = ... = σ(og)`` for every legal
+state σ of the system."
+
+:class:`ReplicaRegistry` groups objects into replica sets and enforces
+the state-equality invariant: replica states are written through the
+registry, which propagates to the whole set.  The registry's
+equivalence predicate is what :func:`repro.coherence.definitions
+.weakly_coherent` is parameterised by.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable
+from typing import Any, Optional
+
+from repro.errors import EntityError
+from repro.model.entities import Entity, ObjectEntity
+
+__all__ = ["ReplicaRegistry"]
+
+
+class ReplicaRegistry:
+    """Groups objects into replica sets with write-through state.
+
+    >>> registry = ReplicaRegistry()
+    >>> a, b = ObjectEntity("ls@m1"), ObjectEntity("ls@m2")
+    >>> rid = registry.create_set([a, b], content="ls-binary-v1")
+    >>> registry.equivalent(a, b)
+    True
+    >>> registry.write(a, "ls-binary-v2")
+    >>> b.state
+    'ls-binary-v2'
+    """
+
+    def __init__(self) -> None:
+        self._set_of: dict[int, int] = {}          # object uid -> set id
+        self._members: dict[int, list[ObjectEntity]] = {}
+        self._ids = itertools.count(1)
+
+    def create_set(self, replicas: Iterable[ObjectEntity],
+                   content: Any = None) -> int:
+        """Create a replica set; all members get the same state.
+
+        Raises:
+            EntityError: if a member is a directory (context objects
+                hold live bindings and are not replicated this way) or
+                is already in another set.
+        """
+        members = list(replicas)
+        if not members:
+            raise EntityError("a replica set needs at least one member")
+        for obj in members:
+            if not isinstance(obj, ObjectEntity):
+                raise EntityError(f"replicas must be objects: {obj!r}")
+            if obj.is_context_object():
+                raise EntityError(
+                    f"directories cannot be replica members: {obj!r}")
+            if obj.uid in self._set_of:
+                raise EntityError(f"{obj!r} is already in a replica set")
+        set_id = next(self._ids)
+        for obj in members:
+            self._set_of[obj.uid] = set_id
+            obj.state = content
+        self._members[set_id] = members
+        return set_id
+
+    def add_replica(self, set_id: int, obj: ObjectEntity) -> None:
+        """Add a new replica to an existing set (state synchronised)."""
+        members = self._members.get(set_id)
+        if members is None:
+            raise EntityError(f"no replica set {set_id}")
+        if obj.uid in self._set_of:
+            raise EntityError(f"{obj!r} is already in a replica set")
+        obj.state = members[0].state
+        self._set_of[obj.uid] = set_id
+        members.append(obj)
+
+    def set_of(self, obj: Entity) -> Optional[int]:
+        """The replica-set id of *obj*, or None."""
+        return self._set_of.get(obj.uid)
+
+    def members(self, set_id: int) -> list[ObjectEntity]:
+        """The members of a replica set, in insertion order."""
+        try:
+            return list(self._members[set_id])
+        except KeyError:
+            raise EntityError(f"no replica set {set_id}") from None
+
+    def write(self, obj: ObjectEntity, content: Any) -> None:
+        """Write through a replica: every member of its set gets the
+        state, preserving ``σ(o1) = ... = σ(og)``."""
+        set_id = self._set_of.get(obj.uid)
+        if set_id is None:
+            obj.state = content
+            return
+        for member in self._members[set_id]:
+            member.state = content
+
+    def equivalent(self, first: Entity, second: Entity) -> bool:
+        """The weak-coherence equivalence: the same entity, or replicas
+        of the same replicated object."""
+        if first is second:
+            return True
+        set_a = self._set_of.get(first.uid)
+        return set_a is not None and set_a == self._set_of.get(second.uid)
+
+    def check_invariant(self) -> bool:
+        """True if every replica set currently has equal member states."""
+        for members in self._members.values():
+            states = [m.state for m in members]
+            if any(s != states[0] for s in states[1:]):
+                return False
+        return True
+
+    def __len__(self) -> int:
+        return len(self._members)

@@ -1,0 +1,72 @@
+"""Weak coherence (§5).
+
+"Weak coherence for a name ``n`` means that ``n`` denotes replicas of
+the same replicated object in different activities in the system" —
+sufficient whenever the denoted objects are state-equal replicas, as
+with the executable code of commands (``/bin``, ``/usr/bin``, ...).
+
+The checkers here combine the generic definitions of
+:mod:`repro.coherence.definitions` with a
+:class:`~repro.replication.replica.ReplicaRegistry`'s equivalence.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.closure.meta import ContextRegistry
+from repro.coherence.definitions import (
+    EntityEquivalence,
+    coherent,
+    weakly_coherent,
+)
+from repro.model.entities import Activity
+from repro.model.names import CompoundName, NameLike
+from repro.replication.replica import ReplicaRegistry
+
+__all__ = [
+    "replica_equivalence",
+    "weakly_coherent_name",
+    "classify_names",
+]
+
+
+def replica_equivalence(registry: ReplicaRegistry) -> EntityEquivalence:
+    """An :data:`~repro.coherence.definitions.EntityEquivalence` that
+    treats replicas of the same replicated object as "the same"."""
+    return registry.equivalent
+
+
+def weakly_coherent_name(name_: NameLike, activities: Sequence[Activity],
+                         contexts: ContextRegistry,
+                         replicas: ReplicaRegistry) -> bool:
+    """True if *name_* is weakly coherent across *activities*."""
+    return weakly_coherent(name_, activities, contexts,
+                           replica_equivalence(replicas))
+
+
+def classify_names(candidates: Iterable[NameLike],
+                   activities: Sequence[Activity],
+                   contexts: ContextRegistry,
+                   replicas: ReplicaRegistry,
+                   ) -> dict[str, set[CompoundName]]:
+    """Partition *candidates* into strong / weak-only / incoherent.
+
+    Returns a dict with keys ``"strong"`` (coherent with identity),
+    ``"weak"`` (weakly but not strongly coherent — the §5 replicated
+    commands), and ``"incoherent"``.
+    """
+    strong: set[CompoundName] = set()
+    weak: set[CompoundName] = set()
+    incoherent: set[CompoundName] = set()
+    equivalence = replica_equivalence(replicas)
+    for candidate in candidates:
+        candidate = CompoundName.coerce(candidate)
+        if coherent(candidate, activities, contexts):
+            strong.add(candidate)
+        elif coherent(candidate, activities, contexts,
+                      equivalence=equivalence):
+            weak.add(candidate)
+        else:
+            incoherent.add(candidate)
+    return {"strong": strong, "weak": weak, "incoherent": incoherent}

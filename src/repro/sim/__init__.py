@@ -1,0 +1,32 @@
+"""Deterministic discrete-event message-passing simulator.
+
+The distributed-system substrate hosting the paper's experiments:
+virtual time, an event queue, networks/machines/processes with the
+three-level address hierarchy of §6 Example 1, messages that carry
+name attachments, traces, and failure/reconfiguration injection.
+"""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.events import EventQueue, ScheduledEvent
+from repro.sim.failures import FailureInjector
+from repro.sim.kernel import Simulator
+from repro.sim.messages import Message, NameAttachment
+from repro.sim.network import Internetwork, Machine, Network
+from repro.sim.process import SimProcess
+from repro.sim.trace import TraceEntry, TraceLog
+
+__all__ = [
+    "EventQueue",
+    "FailureInjector",
+    "Internetwork",
+    "Machine",
+    "Message",
+    "NameAttachment",
+    "Network",
+    "ScheduledEvent",
+    "SimProcess",
+    "Simulator",
+    "TraceEntry",
+    "TraceLog",
+    "VirtualClock",
+]

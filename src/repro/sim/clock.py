@@ -1,0 +1,49 @@
+"""Virtual time for the discrete-event simulator.
+
+The simulator is entirely deterministic: time is a float that only
+advances when the kernel dequeues an event.  Nothing in the library
+reads wall-clock time.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+__all__ = ["VirtualClock"]
+
+
+class VirtualClock:
+    """Monotonic virtual time.
+
+    >>> clock = VirtualClock()
+    >>> clock.now
+    0.0
+    >>> clock.advance_to(2.5)
+    >>> clock.now
+    2.5
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """The current virtual time."""
+        return self._now
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward to *time*.
+
+        Raises:
+            SimulationError: if *time* is in the past — the event queue
+                must never deliver events out of order.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"clock cannot move backwards: {time} < {self._now}")
+        self._now = float(time)
+
+    def __repr__(self) -> str:
+        return f"<VirtualClock t={self._now}>"

@@ -1,0 +1,74 @@
+"""The discrete-event queue.
+
+Events are (time, sequence, action) triples kept in a binary heap.  The
+sequence number breaks ties between events scheduled for the same
+instant in *scheduling order*, which — together with the seeded RNG in
+the kernel — makes every simulation run bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+__all__ = ["ScheduledEvent", "EventQueue"]
+
+#: An event action: a zero-argument callable run at the event's time.
+Action = Callable[[], None]
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """One pending event, ordered by (time, seq)."""
+
+    time: float
+    seq: int
+    action: Action = field(compare=False)
+    note: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it when dequeued."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:
+        flag = " cancelled" if self.cancelled else ""
+        return f"<event t={self.time} #{self.seq} {self.note!r}{flag}>"
+
+
+class EventQueue:
+    """A deterministic priority queue of scheduled events."""
+
+    def __init__(self) -> None:
+        self._heap: list[ScheduledEvent] = []
+        self._seq = itertools.count()
+
+    def push(self, time: float, action: Action,
+             note: str = "") -> ScheduledEvent:
+        """Schedule *action* at absolute virtual time *time*."""
+        event = ScheduledEvent(time, next(self._seq), action, note)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[ScheduledEvent]:
+        """Remove and return the earliest non-cancelled event, or None
+        when the queue is exhausted."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """The time of the next non-cancelled event, or None."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def __bool__(self) -> bool:
+        return self.peek_time() is not None

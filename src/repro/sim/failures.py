@@ -1,0 +1,74 @@
+"""Failure and reconfiguration injection.
+
+The paper's §6 Example 1 motivates partially qualified identifiers by
+*reconfiguration*: "when the address of a machine or a network is
+changed as part of relocation or reconfiguration, pids of local
+processes within the renamed machine or network remain valid".  The
+injector provides exactly those reconfigurations — machine and network
+renumbering — plus the ordinary failure vocabulary (crash, restart,
+partition, heal) used by robustness tests.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Simulator
+from repro.sim.network import Machine, Network
+
+__all__ = ["FailureInjector"]
+
+
+class FailureInjector:
+    """Injects failures and reconfigurations into a simulation."""
+
+    def __init__(self, simulator: Simulator):
+        self._sim = simulator
+
+    # -- reconfiguration (the §6 Example 1 events) -----------------------
+
+    def renumber_machine(self, machine: Machine, new_maddr: int) -> None:
+        """Change a machine's address on its network.
+
+        Processes on the machine keep running and keep their local
+        addresses; only the machine component of fully qualified
+        addresses changes.
+        """
+        old = machine.maddr
+        machine.network.renumber_machine(machine, new_maddr)
+        self._sim.trace.record(self._sim.clock.now, "renumber",
+                               f"machine {machine.label}: "
+                               f"maddr {old} → {new_maddr}")
+
+    def renumber_network(self, network: Network, new_naddr: int) -> None:
+        """Change a network's address in the internetwork."""
+        old = network.naddr
+        self._sim.internet.renumber(network, new_naddr)
+        self._sim.trace.record(self._sim.clock.now, "renumber",
+                               f"network {network.label}: "
+                               f"naddr {old} → {new_naddr}")
+
+    # -- failures -----------------------------------------------------------
+
+    def crash_machine(self, machine: Machine) -> None:
+        """Take a machine down: its processes die, messages to it drop."""
+        if not machine.alive:
+            raise SimulationError(f"{machine.label} is already down")
+        machine.alive = False
+        for process in machine.processes():
+            process.alive = False
+        self._sim.trace.record(self._sim.clock.now, "failure",
+                               f"crash {machine.label}")
+
+    def restart_machine(self, machine: Machine) -> None:
+        """Bring a machine back up (dead processes stay dead)."""
+        machine.alive = True
+        self._sim.trace.record(self._sim.clock.now, "repair",
+                               f"restart {machine.label}")
+
+    def partition(self, first: Network, second: Network) -> None:
+        """Partition two networks (delegates to the kernel)."""
+        self._sim.partition(first, second)
+
+    def heal(self, first: Network, second: Network) -> None:
+        """Heal a partition (delegates to the kernel)."""
+        self._sim.heal(first, second)

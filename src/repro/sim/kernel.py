@@ -1,0 +1,232 @@
+"""The simulator kernel: deterministic discrete-event execution.
+
+:class:`Simulator` owns the clock, the event queue, the topology
+(:class:`~repro.sim.network.Internetwork`), the global state σ of all
+simulated entities, a seeded RNG, and the trace log.  It provides the
+few primitives every experiment builds on: create networks/machines,
+spawn processes, send messages with (deterministic) latency, schedule
+arbitrary actions, and run.
+
+Message delivery honours the failure state maintained by
+:class:`~repro.sim.failures.FailureInjector` (crashed machines,
+network partitions).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.model.state import GlobalState
+from repro.sim.clock import VirtualClock
+from repro.sim.events import EventQueue, ScheduledEvent
+from repro.sim.messages import Message
+from repro.sim.network import Internetwork, Machine, Network
+from repro.sim.process import SimProcess
+from repro.sim.trace import TraceLog
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """A deterministic message-passing distributed-system simulator.
+
+    Args:
+        seed: Seed for the kernel RNG; identical seeds yield identical
+            runs (event order, latencies, workload draws).
+        default_latency: Message latency when the sender passes none.
+
+    >>> sim = Simulator(seed=7)
+    >>> net = sim.network("lan")
+    >>> a = sim.spawn(sim.machine(net, label="alpha"), label="client")
+    >>> b = sim.spawn(sim.machine(net, label="beta"), label="server")
+    >>> _ = a.send(b, payload="ping")
+    >>> sim.run()
+    >>> b.receive().payload
+    'ping'
+    """
+
+    def __init__(self, seed: int = 0, default_latency: float = 1.0):
+        self.clock = VirtualClock()
+        self.queue = EventQueue()
+        self.rng = random.Random(seed)
+        self.sigma = GlobalState()
+        self.internet = Internetwork()
+        self.trace = TraceLog()
+        self.default_latency = float(default_latency)
+        self._partitions: set[frozenset[int]] = set()
+        # Per-simulator message ids keep traces reproducible run-to-run.
+        self._message_ids = itertools.count(1)
+        # Boundary gateways (see repro.closure.boundary): each gets to
+        # rewrite a message's name attachments at delivery time.
+        self._gateways: list[Any] = []
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+
+    # -- topology --------------------------------------------------------
+
+    def network(self, label: str = "",
+                naddr: Optional[int] = None) -> Network:
+        """Create a network."""
+        network = Network(self.internet, naddr=naddr, label=label)
+        self.trace.record(self.clock.now, "topology",
+                          f"network {network.label} naddr={network.naddr}")
+        return network
+
+    def machine(self, network: Network, label: str = "",
+                maddr: Optional[int] = None) -> Machine:
+        """Create a machine on *network*."""
+        machine = Machine(network, maddr=maddr, label=label)
+        self.trace.record(self.clock.now, "topology",
+                          f"machine {machine.label} maddr={machine.maddr}")
+        return machine
+
+    def spawn(self, machine: Machine, label: str = "",
+              parent: Optional[SimProcess] = None) -> SimProcess:
+        """Create a process on *machine*, registered in σ."""
+        if not machine.alive:
+            raise SimulationError(f"machine {machine.label} is down")
+        process = SimProcess(self, machine, label=label, parent=parent)
+        self.sigma.add(process)
+        self.trace.record(self.clock.now, "spawn",
+                          f"{process.label} @{process.full_address}"
+                          + (f" child-of {parent.label}" if parent else ""))
+        return process
+
+    # -- partitions (used by FailureInjector) ------------------------------
+
+    def partition(self, first: Network, second: Network) -> None:
+        """Sever message delivery between two networks."""
+        self._partitions.add(frozenset((id(first), id(second))))
+        self.trace.record(self.clock.now, "failure",
+                          f"partition {first.label} ⇹ {second.label}")
+
+    def heal(self, first: Network, second: Network) -> None:
+        """Restore delivery between two networks."""
+        self._partitions.discard(frozenset((id(first), id(second))))
+        self.trace.record(self.clock.now, "repair",
+                          f"heal {first.label} ⇄ {second.label}")
+
+    def partitioned(self, first: Network, second: Network) -> bool:
+        """True if the two networks are currently partitioned."""
+        return frozenset((id(first), id(second))) in self._partitions
+
+    # -- messaging ---------------------------------------------------------
+
+    def send(self, sender: SimProcess, receiver: SimProcess,
+             payload: Any = None,
+             latency: Optional[float] = None) -> Message:
+        """Enqueue a message for delivery after *latency* time units.
+
+        The message object is returned immediately so callers can add
+        name attachments; the kernel captures the attachment list only
+        at delivery time, so attachments added before :meth:`run` are
+        carried.
+        """
+        if latency is None:
+            latency = self.default_latency
+        if latency < 0:
+            raise SimulationError("latency must be nonnegative")
+        now = self.clock.now
+        message = Message(sender=sender, receiver=receiver, payload=payload,
+                          send_time=now, deliver_time=now + latency,
+                          msg_id=next(self._message_ids))
+        self.messages_sent += 1
+        self.queue.push(message.deliver_time,
+                        lambda: self._deliver(message),
+                        note=f"deliver msg#{message.msg_id}")
+        self.trace.record(now, "send",
+                          f"{sender.label} → {receiver.label} "
+                          f"msg#{message.msg_id}")
+        return message
+
+    def _deliver(self, message: Message) -> None:
+        sender_net = message.sender.machine.network
+        receiver_net = message.receiver.machine.network
+        if not message.receiver.machine.alive:
+            message.dropped = True
+            message.drop_reason = "receiver machine down"
+        elif self.partitioned(sender_net, receiver_net):
+            message.dropped = True
+            message.drop_reason = "network partition"
+        if message.dropped:
+            self.messages_dropped += 1
+            self.trace.record(self.clock.now, "drop",
+                              f"msg#{message.msg_id}: {message.drop_reason}")
+            return
+        self.messages_delivered += 1
+        for gateway in self._gateways:
+            gateway.process(message)
+        self.trace.record(self.clock.now, "deliver",
+                          f"msg#{message.msg_id} at {message.receiver.label}")
+        message.receiver.deliver(message)
+
+    def add_gateway(self, gateway: Any) -> None:
+        """Install a boundary gateway; its ``process(message)`` hook
+        runs on every delivered message, in installation order (see
+        :class:`repro.closure.boundary.BoundaryGateway`)."""
+        self._gateways.append(gateway)
+        self.trace.record(self.clock.now, "topology",
+                          f"gateway {getattr(gateway, 'label', '?')} "
+                          f"installed")
+
+    def remove_gateway(self, gateway: Any) -> None:
+        """Uninstall a boundary gateway (no error if absent)."""
+        if gateway in self._gateways:
+            self._gateways.remove(gateway)
+
+    # -- scheduling ----------------------------------------------------------
+
+    def schedule(self, delay: float, action: Callable[[], None],
+                 note: str = "") -> ScheduledEvent:
+        """Run *action* after *delay* time units."""
+        if delay < 0:
+            raise SimulationError("cannot schedule in the past")
+        return self.queue.push(self.clock.now + delay, action, note=note)
+
+    def latency_jitter(self, base: float = 1.0, spread: float = 0.5) -> float:
+        """A deterministic (seeded) latency draw in [base, base+spread]."""
+        return base + self.rng.random() * spread
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None,
+            max_events: int = 1_000_000) -> int:
+        """Process events until the queue empties (or bounds are hit).
+
+        Args:
+            until: Stop before events later than this time (they stay
+                queued).
+            max_events: Safety bound on processed events.
+
+        Returns:
+            The number of events processed.
+        """
+        processed = 0
+        while processed < max_events:
+            next_time = self.queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                break
+            event = self.queue.pop()
+            if event is None:  # pragma: no cover - peek guaranteed one
+                break
+            self.clock.advance_to(event.time)
+            event.action()
+            processed += 1
+        else:
+            raise SimulationError(
+                f"run exceeded max_events={max_events}; likely a livelock")
+        if until is not None and self.clock.now < until:
+            self.clock.advance_to(until)
+        return processed
+
+    def __repr__(self) -> str:
+        return (f"<Simulator t={self.clock.now:g} "
+                f"sent={self.messages_sent} "
+                f"delivered={self.messages_delivered} "
+                f"dropped={self.messages_dropped}>")

@@ -1,0 +1,95 @@
+"""Messages: how activities exchange names (Figure 1, source 2).
+
+A message carries an arbitrary payload plus a list of *name
+attachments*: names the sender embeds for the receiver to use.  Each
+attachment records the entity the sender *intends* the name to denote
+(resolved in the sender's context at send time), which is the ground
+truth the coherence auditor scores receivers against.
+
+Attachments may be rewritten in flight by a boundary mapper — this is
+how the ``R(sender)`` rule is implemented in practice ("the resolution
+rule is implemented by mapping the embedded pid", §6 Example 1); see
+:mod:`repro.pqid.transport`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.model.entities import Entity
+from repro.model.names import CompoundName, NameLike
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.process import SimProcess
+
+__all__ = ["NameAttachment", "Message"]
+
+_message_ids = itertools.count(1)
+
+
+@dataclass
+class NameAttachment:
+    """A name embedded in a message.
+
+    Attributes:
+        name: The name as it currently reads (possibly rewritten by a
+            boundary mapper in flight).
+        intended: The entity the *sender* meant the name to denote
+            (``None`` if the sender did not resolve it).
+        original: The name exactly as the sender wrote it.
+    """
+
+    name: CompoundName
+    intended: Optional[Entity] = None
+    original: Optional[CompoundName] = None
+
+    def __post_init__(self) -> None:
+        self.name = CompoundName.coerce(self.name)
+        if self.original is None:
+            self.original = self.name
+
+    def rewritten(self, new_name: NameLike) -> "NameAttachment":
+        """A copy with the on-the-wire name replaced (mapping step)."""
+        return NameAttachment(CompoundName.coerce(new_name),
+                              intended=self.intended,
+                              original=self.original)
+
+    def __repr__(self) -> str:
+        target = self.intended.label if self.intended else "?"
+        return f"<attachment {self.name} ⇒ {target}>"
+
+
+@dataclass
+class Message:
+    """One message in flight between two processes."""
+
+    sender: "SimProcess"
+    receiver: "SimProcess"
+    payload: Any = None
+    attachments: list[NameAttachment] = field(default_factory=list)
+    send_time: float = 0.0
+    deliver_time: float = 0.0
+    msg_id: int = field(default_factory=lambda: next(_message_ids))
+    dropped: bool = False
+    drop_reason: str = ""
+
+    def attach(self, name_: NameLike,
+               intended: Optional[Entity] = None) -> NameAttachment:
+        """Attach a name (with the sender's intended denotation)."""
+        attachment = NameAttachment(CompoundName.coerce(name_), intended)
+        self.attachments.append(attachment)
+        return attachment
+
+    def crosses_machines(self) -> bool:
+        """True if sender and receiver are on different machines."""
+        return self.sender.machine is not self.receiver.machine
+
+    def crosses_networks(self) -> bool:
+        """True if sender and receiver are on different networks."""
+        return self.sender.machine.network is not self.receiver.machine.network
+
+    def __repr__(self) -> str:
+        return (f"<msg#{self.msg_id} {self.sender.label}→"
+                f"{self.receiver.label} {len(self.attachments)} names>")

@@ -1,0 +1,193 @@
+"""Networks and machines — the topology substrate.
+
+The paper's partially-qualified-identifier example (§6, Example 1)
+assumes a three-level address hierarchy: a process has a *local
+address* on a *machine* on a *network*.  This module provides exactly
+that topology, with the operation the example turns on: **renumbering**
+— changing a machine's or network's address "as part of relocation or
+reconfiguration" — under which partially qualified identifiers stay
+valid while fully qualified ones break.
+
+Addresses are positive integers; 0 is reserved as the *unqualified*
+marker in pids (:mod:`repro.pqid.pid`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import AddressError, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.process import SimProcess
+
+__all__ = ["Network", "Machine", "Internetwork"]
+
+
+class Internetwork:
+    """The collection of networks in a simulation, keyed by address.
+
+    Tracks current network addresses so renumbering can re-key lookups
+    atomically.
+    """
+
+    def __init__(self) -> None:
+        self._networks: dict[int, Network] = {}
+        self._next_naddr = 1
+
+    def allocate_naddr(self) -> int:
+        """Allocate a fresh, never-used network address."""
+        naddr = self._next_naddr
+        self._next_naddr += 1
+        return naddr
+
+    def add(self, network: "Network") -> None:
+        if network.naddr in self._networks:
+            raise AddressError(f"network address {network.naddr} in use")
+        self._networks[network.naddr] = network
+        self._next_naddr = max(self._next_naddr, network.naddr + 1)
+
+    def by_naddr(self, naddr: int) -> Optional["Network"]:
+        """The network currently holding address *naddr*, or None."""
+        return self._networks.get(naddr)
+
+    def renumber(self, network: "Network", new_naddr: int) -> None:
+        """Give *network* the address *new_naddr* (reconfiguration)."""
+        if new_naddr <= 0:
+            raise AddressError("network addresses must be positive")
+        if self._networks.get(new_naddr) not in (None, network):
+            raise AddressError(f"network address {new_naddr} in use")
+        del self._networks[network.naddr]
+        network._naddr = new_naddr
+        self._networks[new_naddr] = network
+        self._next_naddr = max(self._next_naddr, new_naddr + 1)
+
+    def networks(self) -> list["Network"]:
+        """All networks, ordered by current address."""
+        return [self._networks[k] for k in sorted(self._networks)]
+
+    def __len__(self) -> int:
+        return len(self._networks)
+
+
+class Network:
+    """A network: an address and a set of machines.
+
+    Args:
+        internet: The owning :class:`Internetwork`.
+        naddr: Explicit address, or None to auto-allocate.
+        label: Human-readable label for traces.
+    """
+
+    def __init__(self, internet: Internetwork,
+                 naddr: Optional[int] = None, label: str = ""):
+        if naddr is not None and naddr <= 0:
+            raise AddressError("network addresses must be positive")
+        self._internet = internet
+        self._naddr = naddr if naddr is not None else internet.allocate_naddr()
+        self.label = label or f"net-{self._naddr}"
+        self._machines: dict[int, Machine] = {}
+        self._next_maddr = 1
+        internet.add(self)
+
+    @property
+    def naddr(self) -> int:
+        """The network's *current* address (may change on renumber)."""
+        return self._naddr
+
+    @property
+    def internet(self) -> Internetwork:
+        return self._internet
+
+    def allocate_maddr(self) -> int:
+        maddr = self._next_maddr
+        self._next_maddr += 1
+        return maddr
+
+    def add_machine(self, machine: "Machine") -> None:
+        if machine.maddr in self._machines:
+            raise AddressError(
+                f"machine address {machine.maddr} in use on {self.label}")
+        self._machines[machine.maddr] = machine
+        self._next_maddr = max(self._next_maddr, machine.maddr + 1)
+
+    def by_maddr(self, maddr: int) -> Optional["Machine"]:
+        """The machine currently holding *maddr* on this network."""
+        return self._machines.get(maddr)
+
+    def renumber_machine(self, machine: "Machine", new_maddr: int) -> None:
+        """Give *machine* the address *new_maddr* on this network."""
+        if new_maddr <= 0:
+            raise AddressError("machine addresses must be positive")
+        if machine.network is not self:
+            raise SimulationError(f"{machine!r} is not on {self.label}")
+        if self._machines.get(new_maddr) not in (None, machine):
+            raise AddressError(f"machine address {new_maddr} in use")
+        del self._machines[machine.maddr]
+        machine._maddr = new_maddr
+        self._machines[new_maddr] = machine
+        self._next_maddr = max(self._next_maddr, new_maddr + 1)
+
+    def machines(self) -> list["Machine"]:
+        """All machines, ordered by current address."""
+        return [self._machines[k] for k in sorted(self._machines)]
+
+    def __repr__(self) -> str:
+        return f"<Network {self.label!r} naddr={self._naddr}>"
+
+
+class Machine:
+    """A machine: an address on a network and a set of processes.
+
+    Machines also serve as the *location* that location-dependent
+    closure mechanisms key on ("a node in the graph depending on the
+    location of the activity", §5.1).
+    """
+
+    def __init__(self, network: Network,
+                 maddr: Optional[int] = None, label: str = ""):
+        if maddr is not None and maddr <= 0:
+            raise AddressError("machine addresses must be positive")
+        self.network = network
+        self._maddr = maddr if maddr is not None else network.allocate_maddr()
+        self.label = label or f"{network.label}/m{self._maddr}"
+        self._processes: dict[int, "SimProcess"] = {}
+        self._next_laddr = 1
+        self.alive = True
+        network.add_machine(self)
+
+    @property
+    def maddr(self) -> int:
+        """The machine's *current* address (may change on renumber)."""
+        return self._maddr
+
+    @property
+    def naddr(self) -> int:
+        """The current address of the machine's network."""
+        return self.network.naddr
+
+    def allocate_laddr(self) -> int:
+        laddr = self._next_laddr
+        self._next_laddr += 1
+        return laddr
+
+    def add_process(self, process: "SimProcess") -> None:
+        if process.laddr in self._processes:
+            raise AddressError(
+                f"local address {process.laddr} in use on {self.label}")
+        self._processes[process.laddr] = process
+
+    def remove_process(self, process: "SimProcess") -> None:
+        self._processes.pop(process.laddr, None)
+
+    def by_laddr(self, laddr: int) -> Optional["SimProcess"]:
+        """The process currently holding *laddr* on this machine."""
+        return self._processes.get(laddr)
+
+    def processes(self) -> list["SimProcess"]:
+        """All live processes, ordered by local address."""
+        return [self._processes[k] for k in sorted(self._processes)]
+
+    def __repr__(self) -> str:
+        return (f"<Machine {self.label!r} "
+                f"addr=({self.naddr},{self._maddr})>")

@@ -1,0 +1,53 @@
+"""Simulation traces: a deterministic record of what happened.
+
+Experiments use traces two ways: to assert causality in tests (message
+m was delivered after it was sent, renumbering happened between sends)
+and to print run digests in benchmark output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["TraceEntry", "TraceLog"]
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One trace record: (time, kind, detail)."""
+
+    time: float
+    kind: str
+    detail: str
+    data: Any = None
+
+    def __repr__(self) -> str:
+        return f"[t={self.time:g}] {self.kind}: {self.detail}"
+
+
+@dataclass
+class TraceLog:
+    """An append-only log of :class:`TraceEntry` records."""
+
+    entries: list[TraceEntry] = field(default_factory=list)
+
+    def record(self, time: float, kind: str, detail: str,
+               data: Any = None) -> TraceEntry:
+        entry = TraceEntry(time, kind, detail, data)
+        self.entries.append(entry)
+        return entry
+
+    def of_kind(self, kind: str) -> list[TraceEntry]:
+        """All entries with the given kind, in order."""
+        return [e for e in self.entries if e.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def tail(self, count: int = 10) -> list[TraceEntry]:
+        """The most recent *count* entries."""
+        return self.entries[-count:]

@@ -1,0 +1,157 @@
+"""Deterministic workload generators for the three name sources.
+
+A workload is a sequence of
+:class:`~repro.closure.meta.ResolutionEvent` objects — occurrences of
+names with their ground-truth intent — drawn with a seeded RNG so
+every experiment is reproducible.
+
+One generator per Figure-1 source:
+
+* :func:`internal_events` — names generated internally (including
+  user-typed names): some activity *uses* a well-known name; the
+  intent is the denotation of the name for a designated *author*
+  (e.g. the user-interface activity that coined it);
+* :func:`exchange_events` — names sent in messages: the intent is the
+  *sender's* denotation at send time;
+* :func:`embedded_events` — names read from objects: the intent was
+  recorded when the structured object was authored.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.closure.meta import ContextRegistry, NameSource, ResolutionEvent
+from repro.errors import SimulationError
+from repro.model.entities import Activity, Entity, ObjectEntity
+from repro.model.names import CompoundName, NameLike
+from repro.model.resolution import resolve
+
+__all__ = [
+    "EmbeddedUse",
+    "internal_events",
+    "exchange_events",
+    "embedded_events",
+    "mixed_workload",
+]
+
+
+@dataclass(frozen=True)
+class EmbeddedUse:
+    """One embedded-name occurrence prepared by an authoring step:
+    *name* embedded in *container*, meant to denote *intended*."""
+
+    container: ObjectEntity
+    name: CompoundName
+    intended: Optional[Entity]
+
+
+def _intent(registry: ContextRegistry, activity: Activity,
+            name_: CompoundName) -> Optional[Entity]:
+    denoted = resolve(registry.context_of(activity), name_)
+    return denoted if denoted.is_defined() else None
+
+
+def internal_events(registry: ContextRegistry,
+                    activities: Sequence[Activity],
+                    names: Sequence[NameLike],
+                    rng: random.Random,
+                    count: int,
+                    author: Optional[Activity] = None,
+                    ) -> list[ResolutionEvent]:
+    """INTERNAL-source events: a random activity uses a random
+    well-known name.
+
+    The ground-truth intent is the denotation for *author* (default:
+    the first activity), modelling §4 case 1: the population wants a
+    common reference to the entity the name's introducer meant.
+    """
+    if not activities or not names:
+        raise SimulationError("internal_events needs activities and names")
+    reference = author if author is not None else activities[0]
+    probe_names = [CompoundName.coerce(n) for n in names]
+    events = []
+    for _ in range(count):
+        name_ = rng.choice(probe_names)
+        resolver = rng.choice(list(activities))
+        events.append(ResolutionEvent(
+            name=name_, source=NameSource.INTERNAL, resolver=resolver,
+            intended=_intent(registry, reference, name_)))
+    return events
+
+
+def exchange_events(registry: ContextRegistry,
+                    activities: Sequence[Activity],
+                    names: Sequence[NameLike],
+                    rng: random.Random,
+                    count: int,
+                    ) -> list[ResolutionEvent]:
+    """MESSAGE-source events: a random sender sends a random name to a
+    random (distinct) receiver; intent = the sender's denotation."""
+    if len(activities) < 2 or not names:
+        raise SimulationError(
+            "exchange_events needs >= 2 activities and names")
+    probe_names = [CompoundName.coerce(n) for n in names]
+    population = list(activities)
+    events = []
+    for _ in range(count):
+        sender, receiver = rng.sample(population, 2)
+        name_ = rng.choice(probe_names)
+        events.append(ResolutionEvent(
+            name=name_, source=NameSource.MESSAGE, resolver=receiver,
+            sender=sender, intended=_intent(registry, sender, name_)))
+    return events
+
+
+def embedded_events(readers: Sequence[Activity],
+                    uses: Sequence[EmbeddedUse],
+                    rng: random.Random,
+                    count: int,
+                    ) -> list[ResolutionEvent]:
+    """OBJECT-source events: a random reader encounters a prepared
+    embedded-name occurrence."""
+    if not readers or not uses:
+        raise SimulationError("embedded_events needs readers and uses")
+    events = []
+    for _ in range(count):
+        use = rng.choice(list(uses))
+        reader = rng.choice(list(readers))
+        events.append(ResolutionEvent(
+            name=use.name, source=NameSource.OBJECT, resolver=reader,
+            source_object=use.container, intended=use.intended))
+    return events
+
+
+def mixed_workload(registry: ContextRegistry,
+                   activities: Sequence[Activity],
+                   names: Sequence[NameLike],
+                   uses: Sequence[EmbeddedUse],
+                   rng: random.Random,
+                   count: int,
+                   proportions: tuple[float, float, float] = (1.0, 1.0, 1.0),
+                   ) -> list[ResolutionEvent]:
+    """A shuffled mixture of all three sources.
+
+    Args:
+        proportions: Relative weights (internal, message, object).
+    """
+    weights_total = sum(proportions)
+    if weights_total <= 0:
+        raise SimulationError("proportions must have positive sum")
+    n_internal = round(count * proportions[0] / weights_total)
+    n_message = round(count * proportions[1] / weights_total)
+    n_object = max(0, count - n_internal - n_message)
+    events = []
+    if n_internal:
+        events += internal_events(registry, activities, names, rng,
+                                  n_internal)
+    if n_message:
+        events += exchange_events(registry, activities, names, rng,
+                                  n_message)
+    if n_object and uses:
+        events += embedded_events(activities, uses, rng, n_object)
+    rng.shuffle(events)
+    return events

@@ -1,0 +1,112 @@
+"""Organization-shaped population builders (§7-scale scenarios).
+
+Builders that assemble realistic multi-organization environments —
+divisions, user home directories under ``/users``, services under
+``/services`` — on top of the scheme implementations.  Used by the
+federation experiments (E12), the examples, and the scale tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.federation.scopes import FederationEnvironment, Scope
+from repro.model.entities import Activity
+from repro.model.names import CompoundName
+from repro.namespaces.shared_graph import SharedGraphSystem
+
+__all__ = ["OrgSpec", "BuiltOrg", "build_federation", "build_campus"]
+
+
+@dataclass(frozen=True)
+class OrgSpec:
+    """Shape of one organization."""
+
+    label: str
+    divisions: int = 2
+    users_per_division: int = 3
+    services: int = 2
+    activities_per_division: int = 2
+
+
+@dataclass
+class BuiltOrg:
+    """One constructed organization inside a federation."""
+
+    spec: OrgSpec
+    scope: Scope
+    division_scopes: list[Scope] = field(default_factory=list)
+    activities: list[Activity] = field(default_factory=list)
+    user_names: list[CompoundName] = field(default_factory=list)
+    service_names: list[CompoundName] = field(default_factory=list)
+
+
+def build_federation(specs: list[OrgSpec], seed: int = 0,
+                     ) -> tuple[FederationEnvironment, list[BuiltOrg]]:
+    """Build a federation of organizations per the §7 architecture.
+
+    Each org publishes ``/users`` (home directories of its users,
+    one ``plan`` file per user) and ``/services`` at org scope; each
+    division is a child scope publishing ``/division`` with a divisional
+    notes file; activities are spawned per division.
+    """
+    rng = random.Random(seed)
+    env = FederationEnvironment()
+    built: list[BuiltOrg] = []
+    for spec in specs:
+        org_scope = env.add_scope(spec.label)
+        users_tree = org_scope.publish("users")
+        services_tree = org_scope.publish("services")
+        record = BuiltOrg(spec=spec, scope=org_scope)
+        for service_index in range(spec.services):
+            service = f"svc{service_index}"
+            services_tree.mkfile(f"{service}/endpoint")
+            record.service_names.append(
+                CompoundName.parse(f"/services/{service}/endpoint"))
+        for division_index in range(spec.divisions):
+            division_label = f"{spec.label}-div{division_index}"
+            division_scope = env.add_scope(division_label,
+                                           parent=org_scope)
+            division_tree = division_scope.publish("division")
+            division_tree.mkfile("notes")
+            record.division_scopes.append(division_scope)
+            for user_index in range(spec.users_per_division):
+                user = f"u{division_index}x{user_index}"
+                users_tree.mkfile(f"{user}/plan")
+                record.user_names.append(
+                    CompoundName.parse(f"/users/{user}/plan"))
+            for activity_index in range(spec.activities_per_division):
+                record.activities.append(env.spawn(
+                    division_scope,
+                    f"{division_label}-p{activity_index}"))
+        rng.shuffle(record.user_names)
+        built.append(record)
+    return env, built
+
+
+def build_campus(clients: int = 4, local_files_per_client: int = 3,
+                 shared_files: int = 6, replicated_commands: int = 3,
+                 processes_per_client: int = 2, seed: int = 0,
+                 ) -> SharedGraphSystem:
+    """Build an Andrew-style campus: shared ``/vice`` tree, client
+    workstations with private files and replicated ``/bin`` commands,
+    and a process population.
+    """
+    rng = random.Random(seed)
+    campus = SharedGraphSystem(label="campus")
+    for file_index in range(shared_files):
+        owner = f"user{file_index % max(1, shared_files // 2)}"
+        campus.shared.mkfile(f"usr/{owner}/f{file_index}")
+    for client_index in range(clients):
+        client = campus.add_client(f"ws{client_index}")
+        for file_index in range(local_files_per_client):
+            client.tree.mkfile(f"tmp/local{file_index}")
+        for process_index in range(processes_per_client):
+            client.spawn(f"ws{client_index}-p{process_index}")
+    for command_index in range(replicated_commands):
+        campus.replicate_command(f"bin/cmd{command_index}")
+    # A deterministic shuffle keeps downstream sampling honest without
+    # affecting the structures built above.
+    _ = rng.random()
+    return campus

@@ -1,0 +1,156 @@
+"""Packaged scenario builders shared by tests, benches and examples.
+
+Two scenarios recur across the suite:
+
+* :func:`build_rule_scenario` — a population of activities with
+  per-activity contexts mixing *global* names (bound to the same
+  entity everywhere) and *homonyms* (the same textual name bound to a
+  different entity per activity), plus authored structured objects.
+  This is the §4 setting in which the resolution-rule matrix is
+  measured (E2, E3, A1).
+
+* :func:`build_pqid_population` — a multi-network, multi-machine
+  simulator population for the §6 Example-1 experiments (E9).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.closure.meta import ContextRegistry
+from repro.model.context import Context, context_object
+from repro.model.entities import Activity, ObjectEntity
+from repro.model.names import CompoundName
+from repro.model.state import GlobalState
+from repro.embedded.objects import StructuredContent, structured_object
+from repro.sim.kernel import Simulator
+from repro.sim.network import Machine, Network
+from repro.sim.process import SimProcess
+from repro.workloads.generators import EmbeddedUse
+
+__all__ = ["RuleScenario", "build_rule_scenario",
+           "PqidPopulation", "build_pqid_population"]
+
+
+@dataclass
+class RuleScenario:
+    """The §4 measurement setting."""
+
+    sigma: GlobalState
+    #: Per-activity contexts: the operating-system ``R(a)`` store.
+    activity_registry: ContextRegistry
+    #: Per-object contexts: the ``R(o)`` store (each object's context
+    #: is its author's context).
+    object_registry: ContextRegistry
+    activities: list[Activity] = field(default_factory=list)
+    #: Names bound to the same entity in every context.
+    global_names: list[CompoundName] = field(default_factory=list)
+    #: Names bound to a different entity per activity.
+    homonym_names: list[CompoundName] = field(default_factory=list)
+    #: Authored embedded-name occurrences with ground-truth intents.
+    embedded_uses: list[EmbeddedUse] = field(default_factory=list)
+
+    @property
+    def all_names(self) -> list[CompoundName]:
+        return self.global_names + self.homonym_names
+
+
+def build_rule_scenario(seed: int = 0, n_activities: int = 4,
+                        n_global: int = 3, n_homonym: int = 3,
+                        n_objects: int = 3) -> RuleScenario:
+    """Build the §4 setting.
+
+    Every activity's context binds ``shared<i>`` to one common entity
+    (global names) and ``local<j>`` to its *own* entity (homonyms —
+    think per-machine ``/tmp/paper``).  Each structured object is
+    authored by one activity and embeds a mix of both name kinds; the
+    object's ``R(o)`` context is its author's context and the recorded
+    intent is the author's denotation.
+    """
+    rng = random.Random(seed)
+    sigma = GlobalState()
+    scenario = RuleScenario(sigma=sigma,
+                            activity_registry=ContextRegistry(label="R(a)"),
+                            object_registry=ContextRegistry(label="R(o)"))
+
+    shared_entities = []
+    for index in range(n_global):
+        entity = ObjectEntity(f"shared-entity-{index}")
+        sigma.add(entity)
+        shared_entities.append(entity)
+        scenario.global_names.append(CompoundName([f"shared{index}"]))
+    for index in range(n_homonym):
+        scenario.homonym_names.append(CompoundName([f"local{index}"]))
+
+    for a_index in range(n_activities):
+        activity = Activity(f"act{a_index}")
+        sigma.add(activity)
+        context = Context(label=f"ctx:act{a_index}")
+        for index, entity in enumerate(shared_entities):
+            context.bind(f"shared{index}", entity)
+        for index in range(n_homonym):
+            own = ObjectEntity(f"local{index}@act{a_index}")
+            sigma.add(own)
+            context.bind(f"local{index}", own)
+        scenario.activity_registry.register(activity, context)
+        scenario.activities.append(activity)
+
+    for o_index in range(n_objects):
+        author = scenario.activities[o_index % n_activities]
+        author_context = scenario.activity_registry.context_of(author)
+        content = StructuredContent()
+        names_in_object = []
+        if scenario.global_names:
+            names_in_object.append(rng.choice(scenario.global_names))
+        if scenario.homonym_names:
+            names_in_object.append(rng.choice(scenario.homonym_names))
+        for name_ in names_in_object:
+            content.include(name_)
+        obj = structured_object(f"obj{o_index}@{author.label}", content,
+                                sigma=sigma)
+        scenario.object_registry.register(obj, author_context)
+        for name_ in names_in_object:
+            intended = author_context(name_.first)
+            scenario.embedded_uses.append(EmbeddedUse(
+                container=obj, name=name_,
+                intended=intended if intended.is_defined() else None))
+    return scenario
+
+
+@dataclass
+class PqidPopulation:
+    """A simulator population for the pid experiments."""
+
+    simulator: Simulator
+    networks: list[Network] = field(default_factory=list)
+    machines: list[Machine] = field(default_factory=list)
+    processes: list[SimProcess] = field(default_factory=list)
+
+    def random_pair(self, rng: random.Random,
+                    ) -> tuple[SimProcess, SimProcess]:
+        """A random ordered pair of distinct live processes."""
+        first, second = rng.sample(
+            [p for p in self.processes if p.alive], 2)
+        return first, second
+
+
+def build_pqid_population(seed: int = 0, n_networks: int = 2,
+                          machines_per_network: int = 3,
+                          processes_per_machine: int = 3,
+                          ) -> PqidPopulation:
+    """Build the §6 Example-1 topology: networks of machines of
+    processes, all live, addresses dense from 1."""
+    simulator = Simulator(seed=seed)
+    population = PqidPopulation(simulator=simulator)
+    for n_index in range(n_networks):
+        network = simulator.network(f"net{n_index}")
+        population.networks.append(network)
+        for m_index in range(machines_per_network):
+            machine = simulator.machine(network,
+                                        label=f"n{n_index}m{m_index}")
+            population.machines.append(machine)
+            for p_index in range(processes_per_machine):
+                population.processes.append(simulator.spawn(
+                    machine, label=f"n{n_index}m{m_index}p{p_index}"))
+    return population

@@ -1,0 +1,142 @@
+"""A scripted user shell: names from a human, operationally (§4).
+
+"We also include in this category names obtained from a user; this is
+modelled by the user-interface activity generating the name."  The
+:class:`UserShell` is that user-interface activity made concrete: it
+executes a deterministic script of commands against a Unix-style
+scheme, emitting the resolution events each command implies —
+
+* ``open <name>``   — an INTERNAL use of a user-typed name;
+* ``cd <path>``     — a context modification (working directory);
+* ``run <label> <name> ...`` — fork a child and pass the names as
+  arguments (MESSAGE uses, child resolving);
+* ``cat <name>``    — read a structured object; its embedded names
+  become OBJECT uses for the shell.
+
+The emitted events carry ground-truth intents (what the name denoted
+to the shell when the command ran), so a
+:class:`~repro.coherence.auditor.CoherenceAuditor` can score any
+closure rule against a realistic mixed workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.closure.meta import NameSource, ResolutionEvent
+from repro.embedded.objects import embedded_names
+from repro.errors import SchemeError
+from repro.model.entities import Activity, Entity
+from repro.model.names import CompoundName
+from repro.namespaces.unix import UnixSystem
+
+__all__ = ["ShellResult", "UserShell"]
+
+
+@dataclass
+class ShellResult:
+    """What a script execution produced."""
+
+    events: list[ResolutionEvent] = field(default_factory=list)
+    children: list[Activity] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)
+
+    def by_source(self, source: NameSource) -> list[ResolutionEvent]:
+        return [e for e in self.events if e.source is source]
+
+
+class UserShell:
+    """A user's shell process on a Unix-style system.
+
+    >>> unix = UnixSystem("box")
+    >>> _ = unix.tree.mkfile("etc/passwd")
+    >>> shell = UserShell(unix)
+    >>> result = shell.execute(["open /etc/passwd"])
+    >>> result.events[0].source
+    <NameSource.INTERNAL: 'internal'>
+    """
+
+    def __init__(self, system: UnixSystem, label: str = "shell"):
+        self.system = system
+        self.process = system.spawn(label)
+        self._child_counter = 0
+
+    # -- commands --------------------------------------------------------
+
+    def execute(self, script: list[str]) -> ShellResult:
+        """Run a command script; unknown commands are recorded as
+        errors, not raised (a shell keeps going)."""
+        result = ShellResult()
+        for line in script:
+            parts = line.split()
+            if not parts:
+                continue
+            command, arguments = parts[0], parts[1:]
+            handler = getattr(self, f"_cmd_{command}", None)
+            if handler is None:
+                result.errors.append(f"unknown command: {line}")
+                continue
+            try:
+                handler(arguments, result)
+            except SchemeError as error:
+                result.errors.append(f"{line}: {error}")
+        return result
+
+    def _intent(self, name_: CompoundName) -> Entity | None:
+        denoted = self.system.resolve_for(self.process, name_)
+        return denoted if denoted.is_defined() else None
+
+    def _cmd_open(self, arguments: list[str],
+                  result: ShellResult) -> None:
+        """``open <name>`` — the user types a name; the shell uses it."""
+        for text in arguments:
+            name_ = CompoundName.parse(text)
+            result.events.append(ResolutionEvent(
+                name=name_, source=NameSource.INTERNAL,
+                resolver=self.process, intended=self._intent(name_)))
+
+    def _cmd_cd(self, arguments: list[str],
+                result: ShellResult) -> None:
+        """``cd <path>`` — modify the shell's working directory."""
+        if len(arguments) != 1:
+            raise SchemeError("cd takes exactly one path")
+        self.system.chdir(self.process, arguments[0])
+
+    def _cmd_run(self, arguments: list[str],
+                 result: ShellResult) -> None:
+        """``run <label> <name>...`` — fork a child, pass name args.
+
+        The child resolves each argument in its own context (Unix
+        behaviour); intents are the *shell's* denotations at exec
+        time, per §4 case 2.
+        """
+        if not arguments:
+            raise SchemeError("run needs a command label")
+        label, names = arguments[0], arguments[1:]
+        self._child_counter += 1
+        child = self.system.fork(self.process,
+                                 f"{label}-{self._child_counter}")
+        result.children.append(child)
+        for text in names:
+            name_ = CompoundName.parse(text)
+            result.events.append(ResolutionEvent(
+                name=name_, source=NameSource.MESSAGE,
+                resolver=child, sender=self.process,
+                intended=self._intent(name_)))
+
+    def _cmd_cat(self, arguments: list[str],
+                 result: ShellResult) -> None:
+        """``cat <name>`` — read an object; embedded names become
+        OBJECT-source uses (intents resolved relative to the shell,
+        the authoring convention of the rule scenario)."""
+        if len(arguments) != 1:
+            raise SchemeError("cat takes exactly one name")
+        name_ = CompoundName.parse(arguments[0])
+        obj = self.system.resolve_for(self.process, name_)
+        if not obj.is_defined() or obj.is_activity():
+            raise SchemeError(f"cannot cat {name_}")
+        for inner in embedded_names(obj):  # type: ignore[arg-type]
+            result.events.append(ResolutionEvent(
+                name=inner, source=NameSource.OBJECT,
+                resolver=self.process, source_object=obj,
+                intended=self._intent(inner)))

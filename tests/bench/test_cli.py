@@ -1,0 +1,36 @@
+"""Tests for the `python -m repro.bench` CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+class TestCli:
+    def test_run_subset(self, capsys):
+        assert main(["E2"]) == 0
+        out = capsys.readouterr().out
+        assert "R(sender)" in out
+        assert "all 1 experiments reproduced" in out
+
+    def test_run_with_seed(self, capsys):
+        assert main(["E4", "--seed", "3"]) == 0
+        assert "seed=3" in capsys.readouterr().out
+
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in ("E1", "E12", "A1", "A4"):
+            assert exp_id in out
+
+    def test_unknown_id_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["E99"])
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_multiple_ids(self, capsys):
+        assert main(["E10", "A3"]) == 0
+        out = capsys.readouterr().out
+        assert "E10" in out and "A3" in out
+        assert "all 2 experiments reproduced" in out

@@ -1,0 +1,124 @@
+"""Tests demonstrating §4's dismissal of multi-factor rules.
+
+"It is also possible to conceive of more complex rules of the form
+R(receiver, sender).  However, we have found no instances of, and no
+justification for, such rules."  The tests show the combinator works
+mechanically, and that it offers no coherence benefit over the single
+appropriate factor — while introducing a capture hazard.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.closure.meta import NameSource, ResolutionEvent
+from repro.closure.rules import (
+    RFirstApplicable,
+    RObject,
+    RReceiver,
+    RSender,
+)
+from repro.coherence.auditor import CoherenceAuditor
+from repro.errors import ResolutionRuleError
+from repro.model.entities import ObjectEntity
+from repro.workloads.generators import exchange_events
+from repro.workloads.scenarios import build_rule_scenario
+
+
+@pytest.fixture
+def scenario():
+    return build_rule_scenario(seed=13)
+
+
+class TestMechanics:
+    def test_formula_derived_from_parts(self, scenario):
+        rule = RFirstApplicable([RReceiver(scenario.activity_registry),
+                                 RSender(scenario.activity_registry)])
+        assert rule.formula == "R(receiver, sender)"
+
+    def test_needs_at_least_one_rule(self):
+        with pytest.raises(ResolutionRuleError):
+            RFirstApplicable([])
+
+    def test_falls_back_when_first_factor_lacks_binding(self, scenario):
+        registry = scenario.activity_registry
+        rule = RFirstApplicable([RObject(scenario.object_registry),
+                                 RReceiver(registry)])
+        # An internal event has no object; receiver context is used.
+        event = ResolutionEvent(name=scenario.global_names[0],
+                                source=NameSource.INTERNAL,
+                                resolver=scenario.activities[0])
+        context = rule.select_context(event)
+        assert context is registry.context_of(scenario.activities[0])
+
+    def test_raises_when_nothing_applicable(self, scenario):
+        rule = RFirstApplicable([RSender(scenario.activity_registry)])
+        event = ResolutionEvent(name="x", source=NameSource.INTERNAL,
+                                resolver=scenario.activities[0])
+        with pytest.raises(ResolutionRuleError):
+            rule.select_context(event)
+
+    def test_first_defining_context_wins(self, scenario):
+        registry = scenario.activity_registry
+        sender, receiver = scenario.activities[0], scenario.activities[1]
+        event = ResolutionEvent(name=scenario.homonym_names[0],
+                                source=NameSource.MESSAGE,
+                                resolver=receiver, sender=sender)
+        rule = RFirstApplicable([RSender(registry), RReceiver(registry)])
+        assert rule.select_context(event) is registry.context_of(sender)
+
+
+class TestNoJustification:
+    """The paper's point, measured: the complex rule never beats the
+    single appropriate factor."""
+
+    def _rates(self, scenario, rule, events):
+        return (CoherenceAuditor(rule).observe_all(events)
+                .summary.coherence_rate())
+
+    def test_receiver_sender_never_beats_plain_sender(self, scenario):
+        registry = scenario.activity_registry
+        rng = random.Random(13)
+        events = exchange_events(registry, scenario.activities,
+                                 scenario.all_names, rng, 300)
+        plain = self._rates(scenario, RSender(registry), events)
+        complex_rule = RFirstApplicable([RReceiver(registry),
+                                         RSender(registry)])
+        combined = self._rates(scenario, complex_rule, events)
+        assert plain == 1.0
+        assert combined <= plain
+
+    def test_receiver_first_captures_homonyms(self, scenario):
+        # The hazard: with the receiver tried first, a homonym bound
+        # in the receiver's context CAPTURES the lookup — resolving to
+        # the wrong entity, exactly like plain R(receiver).
+        registry = scenario.activity_registry
+        rng = random.Random(14)
+        events = exchange_events(registry, scenario.activities,
+                                 scenario.homonym_names, rng, 200)
+        complex_rule = RFirstApplicable([RReceiver(registry),
+                                         RSender(registry)])
+        assert self._rates(scenario, complex_rule, events) == 0.0
+
+    def test_sender_first_is_just_sender(self, scenario):
+        registry = scenario.activity_registry
+        rng = random.Random(15)
+        events = exchange_events(registry, scenario.activities,
+                                 scenario.all_names, rng, 200)
+        complex_rule = RFirstApplicable([RSender(registry),
+                                         RReceiver(registry)])
+        assert self._rates(scenario, complex_rule, events) == \
+            self._rates(scenario, RSender(registry), events) == 1.0
+
+    def test_prediction_is_weakest_factor(self, scenario):
+        registry = scenario.activity_registry
+        rule = RFirstApplicable([RReceiver(registry), RSender(registry)])
+        assert rule.coherence_prediction(NameSource.MESSAGE) == \
+            "global-only"
+        sender_only = RFirstApplicable([RSender(registry)])
+        assert sender_only.coherence_prediction(NameSource.MESSAGE) == \
+            "all"
+        assert sender_only.coherence_prediction(NameSource.INTERNAL) == \
+            "n/a"

@@ -1,0 +1,131 @@
+"""Tests for the meta-context: events, sources, context registries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.closure.meta import ContextRegistry, NameSource, ResolutionEvent
+from repro.errors import ResolutionRuleError
+from repro.model.context import Context
+from repro.model.entities import Activity, ObjectEntity
+
+
+@pytest.fixture
+def actors():
+    return Activity("resolver"), Activity("sender"), ObjectEntity("file")
+
+
+class TestResolutionEvent:
+    def test_internal_event(self, actors):
+        resolver, _, _ = actors
+        event = ResolutionEvent(name="x", source=NameSource.INTERNAL,
+                                resolver=resolver)
+        assert event.name.parts == ("x",)
+        assert event.sender is None
+
+    def test_message_event_requires_sender(self, actors):
+        resolver, _, _ = actors
+        with pytest.raises(ResolutionRuleError):
+            ResolutionEvent(name="x", source=NameSource.MESSAGE,
+                            resolver=resolver)
+
+    def test_object_event_requires_source_object(self, actors):
+        resolver, _, _ = actors
+        with pytest.raises(ResolutionRuleError):
+            ResolutionEvent(name="x", source=NameSource.OBJECT,
+                            resolver=resolver)
+
+    def test_name_is_coerced(self, actors):
+        resolver, sender, _ = actors
+        event = ResolutionEvent(name="a/b", source=NameSource.MESSAGE,
+                                resolver=resolver, sender=sender)
+        assert len(event.name) == 2
+
+    def test_event_ids_are_monotonic(self, actors):
+        resolver, _, _ = actors
+        first = ResolutionEvent(name="x", source=NameSource.INTERNAL,
+                                resolver=resolver)
+        second = ResolutionEvent(name="x", source=NameSource.INTERNAL,
+                                 resolver=resolver)
+        assert first.event_id < second.event_id
+
+    def test_source_str(self):
+        assert str(NameSource.MESSAGE) == "message"
+
+    def test_repr(self, actors):
+        resolver, _, _ = actors
+        event = ResolutionEvent(name="x", source=NameSource.INTERNAL,
+                                resolver=resolver)
+        assert "resolver" in repr(event)
+
+
+class TestContextRegistry:
+    def test_register_and_lookup(self, actors):
+        resolver, _, _ = actors
+        registry = ContextRegistry()
+        context = Context()
+        registry.register(resolver, context)
+        assert registry.context_of(resolver) is context
+        assert registry.is_registered(resolver)
+
+    def test_missing_without_default_raises(self, actors):
+        resolver, _, _ = actors
+        with pytest.raises(ResolutionRuleError):
+            ContextRegistry().context_of(resolver)
+
+    def test_default_covers_unregistered(self, actors):
+        resolver, _, _ = actors
+        shared = Context(label="global")
+        registry = ContextRegistry(default=shared)
+        assert registry.context_of(resolver) is shared
+
+    def test_shared_context_instance(self, actors):
+        # "In the extreme case of a single global context only one
+        # context is stored, and is shared by all activities."
+        resolver, sender, _ = actors
+        shared = Context()
+        registry = ContextRegistry()
+        registry.register(resolver, shared)
+        registry.register(sender, shared)
+        assert registry.context_of(resolver) is registry.context_of(sender)
+
+    def test_callable_provider_evaluated_each_time(self, actors):
+        resolver, _, _ = actors
+        calls = []
+
+        def provider():
+            context = Context()
+            calls.append(context)
+            return context
+
+        registry = ContextRegistry()
+        registry.register(resolver, provider)
+        registry.context_of(resolver)
+        registry.context_of(resolver)
+        assert len(calls) == 2
+
+    def test_unregister(self, actors):
+        resolver, _, _ = actors
+        registry = ContextRegistry()
+        registry.register(resolver, Context())
+        registry.unregister(resolver)
+        assert not registry.is_registered(resolver)
+        registry.unregister(resolver)  # idempotent
+
+    def test_entities_registered_count(self, actors):
+        resolver, sender, _ = actors
+        registry = ContextRegistry()
+        registry.register(resolver, Context())
+        registry.register(sender, Context())
+        assert registry.entities_registered() == 2
+
+    def test_objects_can_have_contexts_too(self, actors):
+        # R(o): "the system maintains a context R(o) for each object o".
+        _, _, file_obj = actors
+        registry = ContextRegistry()
+        context = Context()
+        registry.register(file_obj, context)
+        assert registry.context_of(file_obj) is context
+
+    def test_repr(self):
+        assert "0 entities" in repr(ContextRegistry(label="r"))

@@ -1,0 +1,192 @@
+"""Tests for resolution rules — the closure mechanisms of §3/§4."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.closure.meta import ContextRegistry, NameSource, ResolutionEvent
+from repro.closure.rules import (
+    PerSourceRule,
+    RActivity,
+    RObject,
+    RReceiver,
+    RScoped,
+    RSender,
+    rule_resolve,
+    rule_resolve_traced,
+)
+from repro.errors import ResolutionRuleError
+from repro.model.context import Context
+from repro.model.entities import Activity, ObjectEntity, UNDEFINED_ENTITY
+
+
+@pytest.fixture
+def setting():
+    """Sender and receiver with different bindings for 'n'; an object
+    with its own context binding 'n' a third way."""
+    sender, receiver = Activity("sender"), Activity("receiver")
+    file_obj = ObjectEntity("file")
+    sender_target = ObjectEntity("sender-target")
+    receiver_target = ObjectEntity("receiver-target")
+    object_target = ObjectEntity("object-target")
+    registry = ContextRegistry()
+    registry.register(sender, Context({"n": sender_target}))
+    registry.register(receiver, Context({"n": receiver_target}))
+    object_registry = ContextRegistry()
+    object_registry.register(file_obj, Context({"n": object_target}))
+    return {
+        "sender": sender, "receiver": receiver, "file": file_obj,
+        "registry": registry, "object_registry": object_registry,
+        "targets": (sender_target, receiver_target, object_target),
+    }
+
+
+def message_event(setting, name_="n"):
+    return ResolutionEvent(name=name_, source=NameSource.MESSAGE,
+                           resolver=setting["receiver"],
+                           sender=setting["sender"])
+
+
+def object_event(setting, name_="n"):
+    return ResolutionEvent(name=name_, source=NameSource.OBJECT,
+                           resolver=setting["receiver"],
+                           source_object=setting["file"])
+
+
+def internal_event(setting, name_="n"):
+    return ResolutionEvent(name=name_, source=NameSource.INTERNAL,
+                           resolver=setting["receiver"])
+
+
+class TestRActivity:
+    def test_selects_resolver_context(self, setting):
+        rule = RActivity(setting["registry"])
+        _, receiver_target, _ = setting["targets"]
+        assert rule_resolve(rule, message_event(setting)) is receiver_target
+
+    def test_applies_to_all_sources(self, setting):
+        rule = RActivity(setting["registry"])
+        assert rule.applicable(internal_event(setting))
+        assert rule.applicable(message_event(setting))
+        assert rule.applicable(object_event(setting))
+
+    def test_prediction_is_global_only(self, setting):
+        rule = RActivity(setting["registry"])
+        assert rule.coherence_prediction(NameSource.INTERNAL) == \
+            "global-only"
+
+
+class TestRSender:
+    def test_selects_sender_context(self, setting):
+        rule = RSender(setting["registry"])
+        sender_target, _, _ = setting["targets"]
+        assert rule_resolve(rule, message_event(setting)) is sender_target
+
+    def test_needs_a_sender(self, setting):
+        rule = RSender(setting["registry"])
+        with pytest.raises(ResolutionRuleError):
+            rule.select_context(internal_event(setting))
+        assert not rule.applicable(internal_event(setting))
+
+    def test_prediction(self, setting):
+        rule = RSender(setting["registry"])
+        assert rule.coherence_prediction(NameSource.MESSAGE) == "all"
+        assert rule.coherence_prediction(NameSource.INTERNAL) == "n/a"
+
+
+class TestRReceiver:
+    def test_same_selection_as_ractivity(self, setting):
+        receiver_rule = RReceiver(setting["registry"])
+        activity_rule = RActivity(setting["registry"])
+        event = message_event(setting)
+        assert (receiver_rule.select_context(event)
+                is activity_rule.select_context(event))
+
+
+class TestRObject:
+    def test_selects_object_context(self, setting):
+        rule = RObject(setting["object_registry"])
+        *_, object_target = setting["targets"]
+        assert rule_resolve(rule, object_event(setting)) is object_target
+
+    def test_needs_source_object(self, setting):
+        rule = RObject(setting["object_registry"])
+        assert not rule.applicable(message_event(setting))
+
+    def test_prediction(self, setting):
+        rule = RObject(setting["object_registry"])
+        assert rule.coherence_prediction(NameSource.OBJECT) == "all"
+        assert rule.coherence_prediction(NameSource.MESSAGE) == "n/a"
+
+
+class TestRScoped:
+    def test_delegates_to_scope_function(self, setting):
+        *_, object_target = setting["targets"]
+        derived = Context({"n": object_target})
+        rule = RScoped(lambda obj: derived, formula="R(test)")
+        assert rule_resolve(rule, object_event(setting)) is object_target
+        assert rule.formula == "R(test)"
+
+    def test_needs_source_object(self, setting):
+        rule = RScoped(lambda obj: Context())
+        assert not rule.applicable(internal_event(setting))
+
+
+class TestPerSourceRule:
+    def test_dispatches_by_source(self, setting):
+        rule = PerSourceRule({
+            NameSource.MESSAGE: RSender(setting["registry"]),
+            NameSource.OBJECT: RObject(setting["object_registry"]),
+            NameSource.INTERNAL: RActivity(setting["registry"]),
+        })
+        sender_target, receiver_target, object_target = setting["targets"]
+        assert rule_resolve(rule, message_event(setting)) is sender_target
+        assert rule_resolve(rule, object_event(setting)) is object_target
+        assert rule_resolve(rule,
+                            internal_event(setting)) is receiver_target
+
+    def test_fallback(self, setting):
+        rule = PerSourceRule({}, fallback=RActivity(setting["registry"]))
+        _, receiver_target, _ = setting["targets"]
+        assert rule_resolve(rule, internal_event(setting)) is receiver_target
+
+    def test_missing_source_raises(self, setting):
+        rule = PerSourceRule({})
+        with pytest.raises(ResolutionRuleError):
+            rule.select_context(internal_event(setting))
+
+    def test_prediction_delegates(self, setting):
+        rule = PerSourceRule({NameSource.MESSAGE:
+                              RSender(setting["registry"])})
+        assert rule.coherence_prediction(NameSource.MESSAGE) == "all"
+        assert rule.coherence_prediction(NameSource.INTERNAL) == "n/a"
+
+    def test_repr_lists_rules(self, setting):
+        rule = PerSourceRule({NameSource.MESSAGE:
+                              RSender(setting["registry"])})
+        assert "R(sender)" in repr(rule)
+
+
+class TestRuleResolve:
+    def test_unbound_resolves_to_undefined(self, setting):
+        rule = RActivity(setting["registry"])
+        assert rule_resolve(rule, internal_event(setting, "missing")) \
+            is UNDEFINED_ENTITY
+
+    def test_traced_variant_returns_trace(self, setting):
+        rule = RSender(setting["registry"])
+        trace = rule_resolve_traced(rule, message_event(setting))
+        assert trace.succeeded
+        assert trace.steps[0].component == "n"
+
+    def test_compound_names_resolve_through_rules(self, setting):
+        # Bind a directory in the sender's context and resolve a
+        # compound name through the selected context.
+        from repro.model.context import context_object
+
+        deep = ObjectEntity("deep")
+        directory = context_object("dir", {"deep": deep})
+        setting["registry"].context_of(setting["sender"]).bind(
+            "d", directory)
+        rule = RSender(setting["registry"])
+        assert rule_resolve(rule, message_event(setting, "d/deep")) is deep

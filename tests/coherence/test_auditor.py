@@ -1,0 +1,139 @@
+"""Tests for the dynamic coherence auditor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.closure.meta import ContextRegistry, NameSource, ResolutionEvent
+from repro.closure.rules import RReceiver, RSender
+from repro.coherence.auditor import CoherenceAuditor, Verdict
+from repro.model.context import Context
+from repro.model.entities import Activity, ObjectEntity
+
+
+@pytest.fixture
+def setting():
+    sender, receiver = Activity("s"), Activity("r")
+    shared = ObjectEntity("shared")
+    mine = ObjectEntity("mine")
+    yours = ObjectEntity("yours")
+    registry = ContextRegistry()
+    registry.register(sender, Context({"g": shared, "n": mine}))
+    registry.register(receiver, Context({"g": shared, "n": yours}))
+    return sender, receiver, registry, (shared, mine, yours)
+
+
+def event(setting, name_, intended=None):
+    sender, receiver, _, _ = setting
+    return ResolutionEvent(name=name_, source=NameSource.MESSAGE,
+                           resolver=receiver, sender=sender,
+                           intended=intended)
+
+
+class TestVerdicts:
+    def test_coherent_when_intended_reached(self, setting):
+        _, _, registry, (shared, *_ ) = setting
+        auditor = CoherenceAuditor(RReceiver(registry))
+        record = auditor.observe(event(setting, "g", intended=shared))
+        assert record.verdict is Verdict.COHERENT
+        assert record.ok
+
+    def test_incoherent_when_other_entity(self, setting):
+        _, _, registry, (_, mine, _) = setting
+        auditor = CoherenceAuditor(RReceiver(registry))
+        record = auditor.observe(event(setting, "n", intended=mine))
+        assert record.verdict is Verdict.INCOHERENT
+        assert not record.ok
+
+    def test_sender_rule_fixes_it(self, setting):
+        _, _, registry, (_, mine, _) = setting
+        auditor = CoherenceAuditor(RSender(registry))
+        record = auditor.observe(event(setting, "n", intended=mine))
+        assert record.verdict is Verdict.COHERENT
+
+    def test_unresolved(self, setting):
+        _, _, registry, _ = setting
+        auditor = CoherenceAuditor(RReceiver(registry))
+        record = auditor.observe(event(setting, "missing"))
+        assert record.verdict is Verdict.UNRESOLVED
+
+    def test_no_intent_scores_definedness_only(self, setting):
+        _, _, registry, _ = setting
+        auditor = CoherenceAuditor(RReceiver(registry))
+        record = auditor.observe(event(setting, "n", intended=None))
+        assert record.verdict is Verdict.COHERENT
+
+    def test_inapplicable(self, setting):
+        sender, receiver, registry, _ = setting
+        internal = ResolutionEvent(name="n", source=NameSource.INTERNAL,
+                                   resolver=receiver)
+        auditor = CoherenceAuditor(RSender(registry))
+        record = auditor.observe(internal)
+        assert record.verdict is Verdict.INAPPLICABLE
+
+    def test_weak_coherence_with_equivalence(self, setting):
+        _, _, registry, (_, mine, yours) = setting
+        replicas = {mine.uid, yours.uid}
+        auditor = CoherenceAuditor(
+            RReceiver(registry),
+            equivalence=lambda x, y: (x is y or
+                                      {x.uid, y.uid} <= replicas))
+        record = auditor.observe(event(setting, "n", intended=mine))
+        assert record.verdict is Verdict.WEAKLY_COHERENT
+        assert record.ok
+
+
+class TestSummary:
+    def test_counts_and_rates(self, setting):
+        _, _, registry, (shared, mine, _) = setting
+        auditor = CoherenceAuditor(RReceiver(registry))
+        auditor.observe_all([
+            event(setting, "g", intended=shared),
+            event(setting, "n", intended=mine),
+            event(setting, "missing"),
+        ])
+        summary = auditor.summary
+        assert summary.total == 3
+        assert summary.count(Verdict.COHERENT) == 1
+        assert summary.count(Verdict.INCOHERENT) == 1
+        assert summary.count(Verdict.UNRESOLVED) == 1
+        assert summary.rate(Verdict.COHERENT) == pytest.approx(1 / 3)
+        assert summary.coherence_rate() == pytest.approx(1 / 3)
+
+    def test_per_source_breakdown(self, setting):
+        sender, receiver, registry, (shared, *_ ) = setting
+        auditor = CoherenceAuditor(RReceiver(registry))
+        auditor.observe(event(setting, "g", intended=shared))
+        auditor.observe(ResolutionEvent(
+            name="g", source=NameSource.INTERNAL, resolver=receiver,
+            intended=shared))
+        summary = auditor.summary
+        assert summary.source_total(NameSource.MESSAGE) == 1
+        assert summary.source_total(NameSource.INTERNAL) == 1
+        assert summary.coherence_rate(NameSource.MESSAGE) == 1.0
+
+    def test_rate_of_empty_source_is_zero(self, setting):
+        _, _, registry, _ = setting
+        auditor = CoherenceAuditor(RReceiver(registry))
+        assert auditor.summary.rate(Verdict.COHERENT,
+                                    NameSource.OBJECT) == 0.0
+
+    def test_incoherent_records_listing(self, setting):
+        _, _, registry, (_, mine, _) = setting
+        auditor = CoherenceAuditor(RReceiver(registry))
+        auditor.observe(event(setting, "n", intended=mine))
+        assert len(auditor.incoherent_records()) == 1
+
+    def test_reset(self, setting):
+        _, _, registry, (shared, *_ ) = setting
+        auditor = CoherenceAuditor(RReceiver(registry))
+        auditor.observe(event(setting, "g", intended=shared))
+        auditor.reset()
+        assert auditor.summary.total == 0
+        assert auditor.records == []
+
+    def test_str(self, setting):
+        _, _, registry, (shared, *_ ) = setting
+        auditor = CoherenceAuditor(RReceiver(registry))
+        auditor.observe(event(setting, "g", intended=shared))
+        assert "1 events" in str(auditor.summary)

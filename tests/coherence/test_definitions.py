@@ -1,0 +1,133 @@
+"""Tests for the coherence definitions (§4, §5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.closure.meta import ContextRegistry
+from repro.coherence.definitions import (
+    coherent,
+    coherent_name_set,
+    denotations,
+    global_name_set,
+    is_global_name,
+    strict_identity,
+    weakly_coherent,
+)
+from repro.model.context import Context
+from repro.model.entities import Activity, ObjectEntity, UNDEFINED_ENTITY
+from repro.model.names import CompoundName
+
+
+@pytest.fixture
+def population():
+    """Three activities: a and b share bindings; c diverges on 'n'
+    and lacks 'only-ab' entirely."""
+    a, b, c = Activity("a"), Activity("b"), Activity("c")
+    shared = ObjectEntity("shared")
+    c_own = ObjectEntity("c-own")
+    ab_only = ObjectEntity("ab-only")
+    registry = ContextRegistry()
+    registry.register(a, Context({"n": shared, "only-ab": ab_only}))
+    registry.register(b, Context({"n": shared, "only-ab": ab_only}))
+    registry.register(c, Context({"n": c_own}))
+    return (a, b, c), registry, (shared, c_own, ab_only)
+
+
+class TestCoherent:
+    def test_coherent_when_same_entity(self, population):
+        (a, b, c), registry, _ = population
+        assert coherent("n", [a, b], registry)
+
+    def test_incoherent_when_different_entity(self, population):
+        (a, b, c), registry, _ = population
+        assert not coherent("n", [a, b, c], registry)
+
+    def test_undefined_somewhere_is_not_coherent(self, population):
+        (a, b, c), registry, _ = population
+        assert not coherent("only-ab", [a, b, c], registry)
+
+    def test_require_defined_false_counts_mutual_absence(self, population):
+        (a, b, c), registry, _ = population
+        assert coherent("absent-everywhere", [a, b, c], registry,
+                        require_defined=False)
+        assert not coherent("only-ab", [a, b, c], registry,
+                            require_defined=False)
+
+    def test_vacuous_for_small_populations(self, population):
+        (a, _, _), registry, _ = population
+        assert coherent("anything", [a], registry)
+        assert coherent("anything", [], registry)
+
+    def test_compound_names(self, population):
+        (a, b, _), registry, _ = population
+        from repro.model.context import context_object
+
+        inner = ObjectEntity("inner")
+        directory = context_object("d", {"inner": inner})
+        registry.context_of(a).bind("d", directory)
+        registry.context_of(b).bind("d", directory)
+        assert coherent("d/inner", [a, b], registry)
+
+
+class TestWeakCoherence:
+    def test_custom_equivalence(self, population):
+        (a, b, c), registry, (shared, c_own, _) = population
+        replicas = {shared.uid, c_own.uid}
+
+        def same_replica_set(first, second):
+            return (first is second
+                    or (first.uid in replicas and second.uid in replicas))
+
+        assert not coherent("n", [a, b, c], registry)
+        assert weakly_coherent("n", [a, b, c], registry, same_replica_set)
+
+
+class TestGlobalNames:
+    def test_global_name(self, population):
+        (a, b, _), registry, _ = population
+        assert is_global_name("n", [a, b], registry)
+
+    def test_not_global_across_divergent_population(self, population):
+        (a, b, c), registry, _ = population
+        assert not is_global_name("n", [a, b, c], registry)
+
+    def test_undefined_name_is_not_global(self, population):
+        (a, b, _), registry, _ = population
+        assert not is_global_name("missing", [a, b], registry)
+
+    def test_empty_population_has_no_global_names(self, population):
+        _, registry, _ = population
+        assert not is_global_name("n", [], registry)
+
+
+class TestSets:
+    def test_coherent_name_set(self, population):
+        (a, b, c), registry, _ = population
+        names = ["n", "only-ab", "missing"]
+        assert coherent_name_set(names, [a, b], registry) == {
+            CompoundName(["n"]), CompoundName(["only-ab"])}
+        assert coherent_name_set(names, [a, b, c], registry) == set()
+
+    def test_global_name_set(self, population):
+        (a, b, _), registry, _ = population
+        names = ["n", "only-ab", "missing"]
+        assert global_name_set(names, [a, b], registry) == {
+            CompoundName(["n"]), CompoundName(["only-ab"])}
+
+
+class TestDenotations:
+    def test_denotation_vector(self, population):
+        (a, b, c), registry, (shared, c_own, _) = population
+        values = denotations("n", [a, b, c], registry)
+        assert values == [shared, shared, c_own]
+
+    def test_undefined_denotations(self, population):
+        (a, b, c), registry, _ = population
+        values = denotations("only-ab", [c], registry)
+        assert values == [UNDEFINED_ENTITY]
+
+    def test_strict_identity(self):
+        entity = ObjectEntity("e")
+        assert strict_identity(entity, entity)
+        assert not strict_identity(entity, ObjectEntity("e"))

@@ -1,0 +1,83 @@
+"""Tests for the incoherence explainer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coherence.explain import explain_incoherence
+from repro.namespaces.unix import UnixSystem
+
+
+@pytest.fixture
+def unix():
+    system = UnixSystem("box")
+    system.tree.mkfile("etc/passwd")
+    system.tree.mkfile("home/alice/notes")
+    system.tree.mkfile("home/bob/notes")
+    return system
+
+
+class TestAgreement:
+    def test_agreeing_resolutions_report_no_divergence(self, unix):
+        a, b = unix.spawn("a"), unix.spawn("b")
+        divergence = explain_incoherence("/etc/passwd", a, b,
+                                         unix.registry)
+        assert not divergence.diverged
+        assert divergence.reason == "resolutions agree"
+        assert "passwd" in divergence.render()
+
+
+class TestDivergence:
+    def test_chroot_diverges_at_root_binding(self, unix):
+        normal, jailed = unix.spawn("normal"), unix.spawn("jailed")
+        unix.chroot(jailed, "/home")
+        divergence = explain_incoherence("/etc/passwd", normal, jailed,
+                                         unix.registry)
+        assert divergence.diverged
+        assert divergence.index == 0
+        assert "root binding" in divergence.reason
+
+    def test_cwd_divergence_names_the_component(self, unix):
+        alice = unix.spawn("alice", cwd="home/alice")
+        bob = unix.spawn("bob", cwd="home/bob")
+        divergence = explain_incoherence("notes", alice, bob,
+                                         unix.registry)
+        assert divergence.diverged
+        assert divergence.component == "notes"
+        assert "alice" in divergence.reason or "notes" in divergence.reason
+
+    def test_unbound_for_one_side(self, unix):
+        alice = unix.spawn("alice", cwd="home/alice")
+        rootward = unix.spawn("rootward")
+        divergence = explain_incoherence("notes", alice, rootward,
+                                         unix.registry)
+        assert divergence.diverged
+        assert "unbound for rootward" in divergence.reason
+
+    def test_unbound_for_both(self, unix):
+        a, b = unix.spawn("a"), unix.spawn("b")
+        divergence = explain_incoherence("/no/such", a, b,
+                                         unix.registry)
+        assert divergence.diverged or \
+            "no common reference" in divergence.reason
+        # Identical walks to ⊥: explained as mutual absence.
+        assert "unbound for both" in divergence.reason or \
+            divergence.diverged
+
+    def test_short_walk_explained(self, unix):
+        # alice resolves home/alice/notes fully; for jailed-at-/etc the
+        # walk dies at the first component.
+        normal = unix.spawn("normal")
+        jailed = unix.spawn("jailed")
+        unix.chroot(jailed, "/etc")
+        divergence = explain_incoherence("/home/alice/notes", normal,
+                                         jailed, unix.registry)
+        assert divergence.diverged
+
+    def test_render_contains_both_results(self, unix):
+        alice = unix.spawn("alice", cwd="home/alice")
+        bob = unix.spawn("bob", cwd="home/bob")
+        text = explain_incoherence("notes", alice, bob,
+                                   unix.registry).render()
+        assert "alice" in text and "bob" in text
+        assert "diverges" in text

@@ -1,0 +1,143 @@
+"""Property-based laws of the coherence definitions and metrics.
+
+These are the algebraic sanity conditions any reading of §4/§5 must
+satisfy: global ⊆ coherent, monotonicity under population growth,
+agreement symmetry, and boundedness of every fraction.
+"""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.closure.meta import ContextRegistry
+from repro.coherence.definitions import (
+    coherent,
+    coherent_name_set,
+    global_name_set,
+    is_global_name,
+)
+from repro.coherence.metrics import (
+    agreement_fraction,
+    measure_degree,
+    pairwise_matrix,
+)
+from repro.model.context import Context
+from repro.model.entities import Activity, ObjectEntity
+from repro.model.names import CompoundName
+
+atoms = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=3)
+
+
+@st.composite
+def populations(draw):
+    """A random population: up to 5 activities, up to 6 names, each
+    activity binding each name to one of 3 shared entities or its own
+    private entity (or leaving it unbound)."""
+    n_names = draw(st.integers(1, 6))
+    n_activities = draw(st.integers(2, 5))
+    names = [f"n{i}" for i in range(n_names)]
+    shared = [ObjectEntity(f"shared{i}") for i in range(3)]
+    registry = ContextRegistry()
+    activities = []
+    for a_index in range(n_activities):
+        activity = Activity(f"a{a_index}")
+        context = Context()
+        for name_ in names:
+            choice = draw(st.integers(0, 4))
+            if choice < 3:
+                context.bind(name_, shared[choice])
+            elif choice == 3:
+                context.bind(name_, ObjectEntity(f"{name_}@{a_index}"))
+            # choice == 4: leave unbound
+        registry.register(activity, context)
+        activities.append(activity)
+    return registry, activities, [CompoundName([n]) for n in names]
+
+
+class TestDefinitionLaws:
+    @settings(max_examples=60)
+    @given(populations())
+    def test_global_names_are_coherent(self, population):
+        registry, activities, names = population
+        global_set = global_name_set(names, activities, registry)
+        coherent_set = coherent_name_set(names, activities, registry)
+        assert global_set <= coherent_set
+
+    @settings(max_examples=60)
+    @given(populations())
+    def test_defined_coherence_equals_globality(self, population):
+        # With require_defined=True, a coherent name IS a global name
+        # over that population (the denotations are defined and equal).
+        registry, activities, names = population
+        for name_ in names:
+            assert coherent(name_, activities, registry) == \
+                is_global_name(name_, activities, registry)
+
+    @settings(max_examples=60)
+    @given(populations())
+    def test_coherence_monotone_under_population_growth(self, population):
+        registry, activities, names = population
+        smaller = coherent_name_set(names, activities[:-1], registry)
+        larger = coherent_name_set(names, activities, registry)
+        if len(activities) > 2:
+            assert larger <= smaller
+
+    @settings(max_examples=60)
+    @given(populations())
+    def test_subpopulation_pairs_agree_with_pairwise(self, population):
+        registry, activities, names = population
+        first, second = activities[0], activities[1]
+        fraction = agreement_fraction(first, second, names, registry)
+        per_name = [coherent(n, [first, second], registry) for n in names]
+        assert fraction == sum(per_name) / len(names)
+
+
+class TestMetricLaws:
+    @settings(max_examples=60)
+    @given(populations())
+    def test_fractions_are_bounded(self, population):
+        registry, activities, names = population
+        degree = measure_degree(activities, names, registry)
+        for value in (degree.coherent_fraction, degree.global_fraction,
+                      degree.mean_pairwise):
+            assert 0.0 <= value <= 1.0
+
+    @settings(max_examples=60)
+    @given(populations())
+    def test_global_fraction_le_coherent_fraction(self, population):
+        registry, activities, names = population
+        degree = measure_degree(activities, names, registry)
+        assert degree.global_fraction <= degree.coherent_fraction
+
+    @settings(max_examples=60)
+    @given(populations())
+    def test_full_coherence_implies_full_pairwise(self, population):
+        registry, activities, names = population
+        degree = measure_degree(activities, names, registry)
+        if degree.coherent_fraction == 1.0:
+            assert degree.mean_pairwise == 1.0
+
+    @settings(max_examples=60)
+    @given(populations())
+    def test_pairwise_matrix_is_symmetric_in_meaning(self, population):
+        registry, activities, names = population
+        matrix = pairwise_matrix(activities, names, registry)
+        for (a, b), value in matrix.items():
+            first = next(x for x in activities if x.label == a)
+            second = next(x for x in activities if x.label == b)
+            assert agreement_fraction(second, first, names,
+                                      registry) == value
+
+    @settings(max_examples=60)
+    @given(populations())
+    def test_coherent_fraction_le_min_pairwise(self, population):
+        # A name coherent across ALL is coherent for every pair, so
+        # the all-coherent fraction cannot exceed any pair's agreement.
+        registry, activities, names = population
+        degree = measure_degree(activities, names, registry)
+        matrix = pairwise_matrix(activities, names, registry)
+        if matrix:
+            assert degree.coherent_fraction <= min(matrix.values()) + 1e-9

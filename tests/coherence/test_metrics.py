@@ -1,0 +1,113 @@
+"""Tests for degree-of-coherence metrics (§5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.closure.meta import ContextRegistry
+from repro.coherence.metrics import (
+    agreement_fraction,
+    group_coherence,
+    measure_degree,
+    pairwise_matrix,
+)
+from repro.model.context import Context
+from repro.model.entities import Activity, ObjectEntity
+from repro.model.names import CompoundName
+
+
+@pytest.fixture
+def population():
+    """Four activities in two groups; 'shared' global; 'local' homonym
+    per group."""
+    shared = ObjectEntity("shared")
+    locals_ = {"g1": ObjectEntity("local@g1"),
+               "g2": ObjectEntity("local@g2")}
+    registry = ContextRegistry()
+    groups: dict[str, list[Activity]] = {"g1": [], "g2": []}
+    activities = []
+    for group in ("g1", "g2"):
+        for index in range(2):
+            activity = Activity(f"{group}-p{index}")
+            registry.register(activity, Context(
+                {"shared": shared, "local": locals_[group]}))
+            groups[group].append(activity)
+            activities.append(activity)
+    probes = [CompoundName(["shared"]), CompoundName(["local"])]
+    return activities, groups, registry, probes
+
+
+class TestAgreementFraction:
+    def test_full_agreement(self, population):
+        activities, groups, registry, probes = population
+        a, b = groups["g1"]
+        assert agreement_fraction(a, b, probes, registry) == 1.0
+
+    def test_partial_agreement(self, population):
+        activities, groups, registry, probes = population
+        a = groups["g1"][0]
+        c = groups["g2"][0]
+        assert agreement_fraction(a, c, probes, registry) == 0.5
+
+    def test_empty_probes(self, population):
+        activities, groups, registry, _ = population
+        a, b = groups["g1"]
+        assert agreement_fraction(a, b, [], registry) == 1.0
+
+
+class TestPairwiseMatrix:
+    def test_all_pairs_present(self, population):
+        activities, _, registry, probes = population
+        matrix = pairwise_matrix(activities, probes, registry)
+        assert len(matrix) == 6  # C(4,2)
+
+    def test_matrix_values(self, population):
+        activities, groups, registry, probes = population
+        matrix = pairwise_matrix(activities, probes, registry)
+        same = matrix[("g1-p0", "g1-p1")]
+        cross = matrix[("g1-p0", "g2-p0")]
+        assert same == 1.0 and cross == 0.5
+
+
+class TestGroupCoherence:
+    def test_within_group_full(self, population):
+        _, groups, registry, probes = population
+        rates = group_coherence(groups, probes, registry)
+        assert rates == {"g1": 1.0, "g2": 1.0}
+
+    def test_single_member_group_trivially_coherent(self, population):
+        _, groups, registry, probes = population
+        rates = group_coherence({"solo": groups["g1"][:1]}, probes,
+                                registry)
+        assert rates["solo"] == 1.0
+
+
+class TestMeasureDegree:
+    def test_summary_values(self, population):
+        activities, groups, registry, probes = population
+        degree = measure_degree(activities, probes, registry,
+                                groups=groups)
+        assert degree.probes == 2
+        assert degree.coherent_fraction == 0.5   # only 'shared'
+        assert degree.global_fraction == 0.5
+        assert degree.per_group == {"g1": 1.0, "g2": 1.0}
+        assert degree.coherent_names == {CompoundName(["shared"])}
+
+    def test_mean_pairwise(self, population):
+        activities, _, registry, probes = population
+        degree = measure_degree(activities, probes, registry)
+        # 2 within-group pairs at 1.0, 4 cross pairs at 0.5.
+        assert degree.mean_pairwise == pytest.approx((2 * 1.0 + 4 * 0.5) / 6)
+
+    def test_empty_probe_population(self, population):
+        activities, _, registry, _ = population
+        degree = measure_degree(activities, [], registry)
+        assert degree.coherent_fraction == 1.0
+        assert degree.probes == 0
+
+    def test_str_rendering(self, population):
+        activities, groups, registry, probes = population
+        degree = measure_degree(activities, probes, registry,
+                                groups=groups)
+        text = str(degree)
+        assert "coherent=0.50" in text and "g1=1.00" in text

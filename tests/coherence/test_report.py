@@ -1,0 +1,76 @@
+"""Tests for report formatting."""
+
+from __future__ import annotations
+
+from repro.closure.meta import ContextRegistry, NameSource, ResolutionEvent
+from repro.closure.rules import RReceiver
+from repro.coherence.auditor import CoherenceAuditor
+from repro.coherence.metrics import measure_degree
+from repro.coherence.report import (
+    format_degree,
+    format_matrix,
+    format_summary,
+    format_table,
+)
+from repro.model.context import Context
+from repro.model.entities import Activity, ObjectEntity
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["rule", "rate"], [["R(sender)", 1.0],
+                                               ["R", 0.25]])
+        lines = text.splitlines()
+        assert lines[0].startswith("rule")
+        assert "1.000" in lines[2]
+        assert "0.250" in lines[3]
+
+    def test_title_underline(self):
+        text = format_table(["a"], [], title="My Table")
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert lines[1] == "=" * len("My Table")
+
+    def test_wide_cells_extend_columns(self):
+        text = format_table(["x"], [["a-very-long-cell-value"]])
+        assert "a-very-long-cell-value" in text
+
+    def test_non_float_cells(self):
+        text = format_table(["k", "v"], [["n", 3], ["b", True]])
+        assert "3" in text and "True" in text
+
+
+class TestFormatBlocks:
+    def _population(self):
+        shared = ObjectEntity("shared")
+        registry = ContextRegistry()
+        activities = []
+        for index in range(2):
+            activity = Activity(f"p{index}")
+            registry.register(activity, Context({"g": shared}))
+            activities.append(activity)
+        return activities, registry
+
+    def test_format_degree(self):
+        activities, registry = self._population()
+        degree = measure_degree(activities, ["g"], registry,
+                                groups={"all": activities})
+        text = format_degree("scheme X", degree)
+        assert "scheme X" in text
+        assert "coherent fraction" in text
+        assert "coherent within all" in text
+
+    def test_format_summary(self):
+        activities, registry = self._population()
+        auditor = CoherenceAuditor(RReceiver(registry))
+        auditor.observe(ResolutionEvent(
+            name="g", source=NameSource.MESSAGE,
+            resolver=activities[0], sender=activities[1]))
+        text = format_summary("audit", auditor.summary)
+        assert "coherent" in text
+        assert "message" in text
+
+    def test_format_matrix(self):
+        text = format_matrix("pairs", {("a", "b"): 0.5})
+        assert "0.500" in text
+        assert "activity a" in text

@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.context import Context, context_object
+from repro.model.entities import Activity, ObjectEntity
+from repro.model.state import GlobalState
+from repro.namespaces.tree import NamingTree
+from repro.namespaces.unix import UnixSystem
+from repro.workloads.scenarios import (
+    build_pqid_population,
+    build_rule_scenario,
+)
+
+
+@pytest.fixture
+def sigma() -> GlobalState:
+    return GlobalState()
+
+
+@pytest.fixture
+def small_tree(sigma: GlobalState) -> NamingTree:
+    """A small naming tree:
+
+    root ── etc ── passwd
+         ├─ usr ── bin ── cc
+         └─ home ── alice ── notes
+    """
+    tree = NamingTree("root", sigma=sigma, parent_links=True)
+    tree.mkfile("etc/passwd")
+    tree.mkfile("usr/bin/cc")
+    tree.mkfile("home/alice/notes")
+    return tree
+
+
+@pytest.fixture
+def unix_system() -> UnixSystem:
+    unix = UnixSystem("testbox")
+    unix.tree.mkfile("etc/passwd")
+    unix.tree.mkfile("usr/bin/cc")
+    unix.tree.mkfile("home/alice/notes")
+    unix.tree.mkfile("home/bob/todo")
+    return unix
+
+
+@pytest.fixture
+def rule_scenario():
+    return build_rule_scenario(seed=7)
+
+
+@pytest.fixture
+def pqid_population():
+    return build_pqid_population(seed=7)

@@ -1,0 +1,144 @@
+"""Tests for structured objects and document assembly (§6 Ex. 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.closure.meta import ContextRegistry
+from repro.closure.rules import RObject
+from repro.embedded.documents import (
+    assembly_equal,
+    flatten,
+    resolve_embedded,
+)
+from repro.embedded.objects import (
+    EmbeddedName,
+    StructuredContent,
+    embedded_names,
+    structured_object,
+)
+from repro.errors import SchemeError
+from repro.model.context import Context
+from repro.model.entities import Activity, ObjectEntity
+from repro.model.names import CompoundName
+from repro.model.state import GlobalState
+
+
+class TestStructuredContent:
+    def test_builder_chaining(self):
+        content = StructuredContent().text("a ").include("x/y").text(" b")
+        assert len(content.segments) == 3
+        assert content.embedded() == [CompoundName.parse("x/y")]
+
+    def test_equality(self):
+        first = StructuredContent().text("a").include("x")
+        second = StructuredContent().text("a").include("x")
+        assert first == second
+        assert first != StructuredContent().text("a").include("y")
+
+    def test_embedded_name_str(self):
+        assert str(EmbeddedName(CompoundName.parse("a/b"))) == "⟨a/b⟩"
+
+    def test_structured_object_helper(self):
+        sigma = GlobalState()
+        obj = structured_object("doc", StructuredContent().text("x"),
+                                sigma=sigma)
+        assert obj in sigma
+        assert isinstance(obj.state, StructuredContent)
+
+    def test_embedded_names_of_plain_object(self):
+        plain = ObjectEntity("f")
+        plain.state = "just text"
+        assert embedded_names(plain) == []
+
+
+@pytest.fixture
+def publishing():
+    """An author's context binding 'chapter' to a chapter file; a
+    document including it; an R(object) registry for the document."""
+    chapter = ObjectEntity("chapter")
+    chapter.state = "CHAPTER-TEXT"
+    author_context = Context({"chapter": chapter})
+    document = structured_object(
+        "book", StructuredContent().text("<").include("chapter").text(">"))
+    registry = ContextRegistry()
+    registry.register(document, author_context)
+    reader = Activity("reader")
+    return document, chapter, registry, reader
+
+
+class TestResolveEmbedded:
+    def test_resolution_under_robject(self, publishing):
+        document, chapter, registry, reader = publishing
+        resolved = resolve_embedded(document, reader, RObject(registry))
+        assert resolved == [("chapter", chapter)]
+
+    def test_unresolved_shows_undefined(self, publishing):
+        document, _, registry, reader = publishing
+        document.state.include("missing")
+        resolved = resolve_embedded(document, reader, RObject(registry))
+        assert not resolved[1][1].is_defined()
+
+
+class TestFlatten:
+    def test_assembles_text(self, publishing):
+        document, _, registry, reader = publishing
+        assert flatten(document, reader, RObject(registry)) == \
+            "<CHAPTER-TEXT>"
+
+    def test_unresolved_include_is_visible(self, publishing):
+        document, _, registry, reader = publishing
+        document.state.include("missing")
+        text = flatten(document, reader, RObject(registry))
+        assert "⟨missing:⊥⟩" in text
+
+    def test_nested_includes(self, publishing):
+        document, chapter, registry, reader = publishing
+        # Make the chapter itself structured, including a section.
+        section = ObjectEntity("section")
+        section.state = "SECTION"
+        chapter.state = StructuredContent().text("[").include(
+            "section").text("]")
+        registry.register(chapter, Context({"section": section}))
+        assert flatten(document, reader, RObject(registry)) == \
+            "<[SECTION]>"
+
+    def test_include_of_activity_renders_label(self, publishing):
+        document, _, registry, reader = publishing
+        server = Activity("print-server")
+        registry.context_of(document).bind("server", server)
+        document.state.include("server")
+        text = flatten(document, reader, RObject(registry))
+        assert "print-server" in text
+
+    def test_cycle_detection(self, publishing):
+        document, chapter, registry, reader = publishing
+        chapter.state = StructuredContent().include("book")
+        registry.register(chapter, Context({"book": document}))
+        with pytest.raises(SchemeError):
+            flatten(document, reader, RObject(registry))
+
+    def test_flatten_plain_object(self, publishing):
+        _, chapter, registry, reader = publishing
+        chapter.state = 42
+        assert flatten(chapter, reader, RObject(registry)) == "42"
+        chapter.state = None
+        assert flatten(chapter, reader, RObject(registry)) == ""
+
+
+class TestAssemblyEqual:
+    def test_equal_for_all_readers_under_robject(self, publishing):
+        document, _, registry, _ = publishing
+        readers = [Activity(f"r{i}") for i in range(3)]
+        assert assembly_equal(document, readers, RObject(registry))
+
+    def test_reference_text(self, publishing):
+        document, _, registry, reader = publishing
+        assert assembly_equal(document, [reader], RObject(registry),
+                              reference="<CHAPTER-TEXT>")
+        assert not assembly_equal(document, [reader], RObject(registry),
+                                  reference="something else")
+
+    def test_empty_reader_list(self, publishing):
+        document, _, registry, _ = publishing
+        assert assembly_equal(document, [], RObject(registry))

@@ -1,0 +1,107 @@
+"""Tests for relocation/copy/multi-attach invariance (§6 Ex. 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.embedded.documents import flatten
+from repro.embedded.objects import StructuredContent, structured_object
+from repro.embedded.relocate import (
+    copy_structured_subtree,
+    move_subtree,
+    multi_attach,
+)
+from repro.embedded.scoping import scope_rule
+from repro.errors import SchemeError
+from repro.model.entities import Activity
+from repro.model.state import GlobalState
+from repro.namespaces.tree import NamingTree
+
+
+@pytest.fixture
+def world():
+    sigma = GlobalState()
+    tree = NamingTree("root", sigma=sigma, parent_links=True)
+    part = tree.mkfile("proj/a/p")
+    part.state = "PART"
+    doc = tree.add("proj/src/n", structured_object(
+        "n", StructuredContent().include("a/p"), sigma=sigma))
+    reader = Activity("reader")
+    sigma.add(reader)
+    rule = scope_rule(sigma)
+    return sigma, tree, doc, part, reader, rule
+
+
+class TestMove:
+    def test_move_preserves_meaning(self, world):
+        sigma, tree, doc, part, reader, rule = world
+        move_subtree(tree, "proj", "archive/proj")
+        assert flatten(doc, reader, rule) == "PART"
+        assert tree.lookup("archive/proj/src/n") is doc
+        assert not tree.exists("proj")
+
+    def test_repeated_moves(self, world):
+        sigma, tree, doc, part, reader, rule = world
+        move_subtree(tree, "proj", "a1/proj")
+        move_subtree(tree, "a1/proj", "b2/deep/proj")
+        assert flatten(doc, reader, rule) == "PART"
+
+    def test_move_of_file_rejected(self, world):
+        sigma, tree, *_ = world
+        tree.mkfile("loose")
+        with pytest.raises(SchemeError):
+            move_subtree(tree, "loose", "elsewhere/loose")
+
+
+class TestCopy:
+    def test_copy_clones_structured_leaves(self, world):
+        sigma, tree, doc, part, reader, rule = world
+        copy_structured_subtree(tree, "proj", "copies/proj")
+        clone = tree.lookup("copies/proj/src/n")
+        assert clone is not doc
+        assert flatten(clone, reader, rule) == "PART"
+
+    def test_copy_shares_unstructured_leaves(self, world):
+        sigma, tree, doc, part, reader, rule = world
+        copy_structured_subtree(tree, "proj", "copies/proj")
+        assert tree.lookup("copies/proj/a/p") is part
+
+    def test_copies_diverge_independently(self, world):
+        sigma, tree, doc, part, reader, rule = world
+        copy_structured_subtree(tree, "proj", "copies/proj")
+        clone = tree.lookup("copies/proj/src/n")
+        clone.state.text("!extra")
+        assert flatten(doc, reader, rule) == "PART"
+        assert flatten(clone, reader, rule) == "PART!extra"
+
+    def test_copy_of_missing_source_rejected(self, world):
+        sigma, tree, *_ = world
+        with pytest.raises(SchemeError):
+            copy_structured_subtree(tree, "no/such", "x")
+
+
+class TestMultiAttach:
+    def test_same_meaning_through_every_attachment(self, world):
+        sigma, tree, doc, part, reader, rule = world
+        proj = tree.directory("proj")
+        site1 = NamingTree("site1", sigma=sigma, parent_links=True)
+        site2 = NamingTree("site2", sigma=sigma, parent_links=True)
+        multi_attach(proj, [(site1, "mnt/proj"), (site2, "import/proj")])
+        assert site1.lookup("mnt/proj/src/n") is doc
+        assert site2.lookup("import/proj/src/n") is doc
+        assert flatten(doc, reader, rule) == "PART"
+
+    def test_attachment_does_not_disturb_original(self, world):
+        sigma, tree, doc, part, reader, rule = world
+        proj = tree.directory("proj")
+        original_parent = proj.state("..")
+        other = NamingTree("other", sigma=sigma, parent_links=True)
+        multi_attach(proj, [(other, "m/p")])
+        assert proj.state("..") is original_parent
+
+    def test_multi_attach_of_file_rejected(self, world):
+        sigma, tree, *_ = world
+        leaf = tree.mkfile("plain")
+        other = NamingTree("other", sigma=sigma)
+        with pytest.raises(SchemeError):
+            multi_attach(leaf, [(other, "x")])

@@ -1,0 +1,150 @@
+"""Tests for Algol-scope resolution of embedded names (Figure 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.embedded.objects import StructuredContent, structured_object
+from repro.embedded.scoping import (
+    UpwardScopeContext,
+    parent_directory_of,
+    scope_context_for,
+    scope_rule,
+)
+from repro.errors import SchemeError
+from repro.model.entities import Activity, ObjectEntity
+from repro.model.names import PARENT
+from repro.model.resolution import resolve
+from repro.model.state import GlobalState
+from repro.namespaces.tree import NamingTree
+
+
+@pytest.fixture
+def figure6():
+    """The Figure-6 shape:
+
+    root ── proj(n-prime has binding a) ── a ── p(n'')
+                                        └─ src ── n (embeds a/p)
+    """
+    sigma = GlobalState()
+    tree = NamingTree("root", sigma=sigma, parent_links=True)
+    target = tree.mkfile("proj/a/p")
+    node = tree.add("proj/src/n", structured_object(
+        "n", StructuredContent().include("a/p"), sigma=sigma))
+    return sigma, tree, node, target
+
+
+class TestUpwardScopeContext:
+    def test_finds_binding_at_closest_ancestor(self, figure6):
+        sigma, tree, node, target = figure6
+        context = UpwardScopeContext(tree.directory("proj/src"))
+        assert resolve(context, "a/p") is target
+
+    def test_closest_ancestor_wins(self, figure6):
+        sigma, tree, node, target = figure6
+        # A nearer `a` shadows the farther one.
+        nearer = tree.mkfile("proj/src/a/p2")
+        context = UpwardScopeContext(tree.directory("proj/src"))
+        assert resolve(context, "a/p2") is nearer
+        assert not resolve(context, "a/p").is_defined()
+
+    def test_unbound_name_is_undefined(self, figure6):
+        sigma, tree, *_ = figure6
+        context = UpwardScopeContext(tree.directory("proj/src"))
+        assert not resolve(context, "zzz").is_defined()
+
+    def test_search_stops_at_self_parented_root(self, figure6):
+        sigma, tree, *_ = figure6
+        context = UpwardScopeContext(tree.directory("proj/src"))
+        assert not context("unbound-anywhere").is_defined()
+
+    def test_dotdot_resolves_at_start_only(self, figure6):
+        sigma, tree, *_ = figure6
+        start = tree.directory("proj/src")
+        context = UpwardScopeContext(start)
+        assert context(PARENT) is tree.directory("proj")
+
+    def test_requires_directory(self):
+        with pytest.raises(SchemeError):
+            UpwardScopeContext(ObjectEntity("file"))
+
+    def test_equality_by_start(self, figure6):
+        sigma, tree, *_ = figure6
+        start = tree.directory("proj/src")
+        assert UpwardScopeContext(start) == UpwardScopeContext(start)
+        assert UpwardScopeContext(start) != UpwardScopeContext(tree.root)
+
+    def test_detached_chain_terminates(self):
+        # A directory with no `..` at all: search just stops.
+        from repro.model.context import context_object
+
+        orphan = context_object("orphan")
+        context = UpwardScopeContext(orphan)
+        assert not context("x").is_defined()
+
+
+class TestParentDirectoryOf:
+    def test_leaf_parent_found_via_sigma(self, figure6):
+        sigma, tree, node, target = figure6
+        assert parent_directory_of(target, sigma) is \
+            tree.directory("proj/a")
+
+    def test_directory_parent_from_dotdot(self, figure6):
+        sigma, tree, *_ = figure6
+        assert parent_directory_of(tree.directory("proj/src"), sigma) is \
+            tree.directory("proj")
+
+    def test_unbound_object_has_no_parent(self, figure6):
+        sigma, *_ = figure6
+        stray = ObjectEntity("stray")
+        sigma.add(stray)
+        assert parent_directory_of(stray, sigma) is None
+
+
+class TestScopeContextAndRule:
+    def test_context_for_leaf_starts_at_container(self, figure6):
+        sigma, tree, node, target = figure6
+        context = scope_context_for(node, sigma)
+        assert resolve(context, "a/p") is target
+
+    def test_context_for_unbound_leaf_rejected(self, figure6):
+        sigma, *_ = figure6
+        stray = ObjectEntity("stray")
+        sigma.add(stray)
+        with pytest.raises(SchemeError):
+            scope_context_for(stray, sigma)
+
+    def test_context_for_directory_starts_at_itself(self, figure6):
+        sigma, tree, *_ = figure6
+        context = scope_context_for(tree.directory("proj"), sigma)
+        assert resolve(context, "a/p").is_defined()
+
+    def test_rule_resolves_embedded_names(self, figure6):
+        sigma, tree, node, target = figure6
+        from repro.closure.meta import NameSource, ResolutionEvent
+        from repro.closure.rules import rule_resolve
+
+        reader = Activity("reader")
+        sigma.add(reader)
+        event = ResolutionEvent(name="a/p", source=NameSource.OBJECT,
+                                resolver=reader, source_object=node)
+        assert rule_resolve(scope_rule(sigma), event) is target
+
+    def test_meaning_independent_of_reader(self, figure6):
+        sigma, tree, node, target = figure6
+        rule = scope_rule(sigma)
+        from repro.embedded.documents import resolve_embedded
+
+        for label in ("r1", "r2", "r3"):
+            reader = Activity(label)
+            sigma.add(reader)
+            assert resolve_embedded(node, reader, rule) == [("a/p", target)]
+
+
+class TestScopeContextCopy:
+    def test_copy_keeps_upward_search(self, figure6):
+        sigma, tree, node, target = figure6
+        context = UpwardScopeContext(tree.directory("proj/src"))
+        clone = context.copy()
+        assert clone == context
+        assert resolve(clone, "a/p") is target

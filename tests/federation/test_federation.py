@@ -1,0 +1,168 @@
+"""Tests for the §7 architecture: scopes and prefix mapping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coherence.definitions import coherent, is_global_name
+from repro.errors import FederationError
+from repro.federation.mapping import PrefixMapping, mapping_burden
+from repro.federation.scopes import FederationEnvironment
+from repro.model.names import CompoundName
+
+
+@pytest.fixture
+def environment():
+    env = FederationEnvironment()
+    org1 = env.add_scope("org1")
+    org2 = env.add_scope("org2")
+    org1.publish("users").mkfile("alice/plan")
+    org1.publish("services").mkfile("mail/endpoint")
+    org2.publish("users").mkfile("bob/notes")
+    return env, org1, org2
+
+
+class TestScopes:
+    def test_publish_and_resolve(self, environment):
+        env, org1, _ = environment
+        process = env.spawn(org1, "p")
+        assert env.resolve_for(process, "/users/alice/plan").is_defined()
+        assert env.resolve_for(process,
+                               "/services/mail/endpoint").is_defined()
+
+    def test_duplicate_scope_rejected(self, environment):
+        env, *_ = environment
+        with pytest.raises(FederationError):
+            env.add_scope("org1")
+
+    def test_duplicate_common_name_rejected(self, environment):
+        env, org1, _ = environment
+        with pytest.raises(FederationError):
+            org1.publish("users")
+
+    def test_unknown_space_rejected(self, environment):
+        env, org1, _ = environment
+        with pytest.raises(FederationError):
+            org1.space("nothing")
+
+    def test_nested_scope_sees_outer_spaces(self, environment):
+        env, org1, _ = environment
+        division = env.add_scope("org1-dev", parent=org1)
+        division.publish("tools").mkfile("lint")
+        process = env.spawn(division, "p")
+        assert env.resolve_for(process, "/users/alice/plan").is_defined()
+        assert env.resolve_for(process, "/tools/lint").is_defined()
+
+    def test_inner_scope_shadows_outer(self, environment):
+        env, org1, _ = environment
+        division = env.add_scope("org1-dev", parent=org1)
+        division.publish("users").mkfile("dev-only/plan")
+        process = env.spawn(division, "p")
+        assert env.resolve_for(process,
+                               "/users/dev-only/plan").is_defined()
+        assert not env.resolve_for(process,
+                                   "/users/alice/plan").is_defined()
+
+    def test_outer_scope_does_not_see_inner(self, environment):
+        env, org1, _ = environment
+        division = env.add_scope("org1-dev", parent=org1)
+        division.publish("tools").mkfile("lint")
+        outer = env.spawn(org1, "outer")
+        assert not env.resolve_for(outer, "/tools/lint").is_defined()
+
+    def test_scope_of(self, environment):
+        env, org1, _ = environment
+        process = env.spawn(org1, "p")
+        assert env.scope_of(process) is org1
+        from repro.model.entities import Activity
+
+        with pytest.raises(FederationError):
+            env.scope_of(Activity("stranger"))
+
+    def test_chain_and_repr(self, environment):
+        env, org1, _ = environment
+        division = env.add_scope("d", parent=org1)
+        assert division.chain() == [division, org1]
+        assert "org1/d" in repr(division)
+
+
+class TestCoherenceAcrossScopes:
+    def test_within_scope_coherent(self, environment):
+        env, org1, _ = environment
+        processes = [env.spawn(org1, f"p{i}") for i in range(3)]
+        assert is_global_name("/users/alice/plan", processes,
+                              env.registry)
+
+    def test_across_orgs_incoherent(self, environment):
+        env, org1, org2 = environment
+        p1, p2 = env.spawn(org1, "p1"), env.spawn(org2, "p2")
+        assert not coherent("/users/alice/plan", [p1, p2], env.registry)
+        # /users itself is a homonym: both orgs bind it differently.
+        assert not coherent("/users", [p1, p2], env.registry)
+
+
+class TestForeignImports:
+    def test_import_makes_foreign_space_visible(self, environment):
+        env, org1, org2 = environment
+        process = env.spawn(org1, "p")
+        env.import_foreign(org1, org2, "org2")
+        assert env.resolve_for(process,
+                               "/org2/users/bob/notes").is_defined()
+
+    def test_import_applies_to_future_spawns(self, environment):
+        env, org1, org2 = environment
+        env.import_foreign(org1, org2, "org2")
+        late = env.spawn(org1, "late")
+        assert env.resolve_for(late, "/org2/users/bob/notes").is_defined()
+
+    def test_import_applies_to_nested_scopes(self, environment):
+        env, org1, org2 = environment
+        division = env.add_scope("org1-dev", parent=org1)
+        env.import_foreign(org1, org2, "org2")
+        process = env.spawn(division, "p")
+        assert env.resolve_for(process,
+                               "/org2/users/bob/notes").is_defined()
+
+    def test_alias_collision_rejected(self, environment):
+        env, org1, org2 = environment
+        with pytest.raises(FederationError):
+            env.import_foreign(org1, org2, "users")
+
+    def test_imported_names_agree_with_native_ones(self, environment):
+        env, org1, org2 = environment
+        env.import_foreign(org1, org2, "org2")
+        p1, p2 = env.spawn(org1, "p1"), env.spawn(org2, "p2")
+        assert env.resolve_for(p1, "/org2/users/bob/notes") is \
+            env.resolve_for(p2, "/users/bob/notes")
+
+
+class TestPrefixMapping:
+    def test_apply_and_unapply(self):
+        mapping = PrefixMapping("org2", "org1", "org2")
+        name_ = CompoundName.parse("/users/bob/notes")
+        mapped = mapping.apply(name_)
+        assert str(mapped) == "/org2/users/bob/notes"
+        assert mapping.unapply(mapped) == name_
+
+    def test_unapply_without_prefix_is_identity(self):
+        mapping = PrefixMapping("org2", "org1", "org2")
+        name_ = CompoundName.parse("/users/x")
+        assert mapping.unapply(name_) == name_
+
+    def test_str(self):
+        assert "add prefix /org2" in str(
+            PrefixMapping("org2", "org1", "org2"))
+
+    def test_mapping_burden(self):
+        report = mapping_burden(["a", "b"], 10)
+        assert report == {"crossing": 2.0, "total": 10.0, "burden": 0.2}
+        assert mapping_burden([], 0)["burden"] == 0.0
+
+
+class TestProbes:
+    def test_probe_names_deduplicate_across_orgs(self, environment):
+        env, *_ = environment
+        probes = [str(p) for p in env.probe_names()]
+        assert probes.count("/users") == 1
+        assert "/users/alice/plan" in probes
+        assert "/users/bob/notes" in probes

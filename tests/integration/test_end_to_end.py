@@ -1,0 +1,209 @@
+"""Integration tests: the simulator, schemes, closure rules and
+coherence auditing working together end-to-end."""
+
+from __future__ import annotations
+
+import random
+
+from repro.closure.meta import ContextRegistry, NameSource, ResolutionEvent
+from repro.closure.rules import PerSourceRule, RActivity, RObject, RSender
+from repro.coherence.auditor import CoherenceAuditor, Verdict
+from repro.coherence.definitions import coherent
+from repro.embedded.documents import flatten
+from repro.embedded.objects import StructuredContent, structured_object
+from repro.embedded.scoping import scope_rule
+from repro.model.graph import NamingGraph
+from repro.namespaces.newcastle import NewcastleSystem, RemoteRootPolicy
+from repro.namespaces.shared_graph import SharedGraphSystem
+from repro.namespaces.unix import UnixSystem
+from repro.pqid.mapping import qualify
+from repro.pqid.transport import PidPolicy, exchange_outcome, send_pid
+from repro.sim.failures import FailureInjector
+from repro.sim.kernel import Simulator
+from repro.workloads.scenarios import build_pqid_population
+
+
+class TestSimulatedUnixMachine:
+    """Simulator processes adopted as Unix-scheme activities."""
+
+    def test_sim_processes_with_unix_contexts(self):
+        simulator = Simulator(seed=0)
+        network = simulator.network("lan")
+        machine = simulator.machine(network, "box")
+        unix = UnixSystem("box", sigma=simulator.sigma)
+        unix.tree.mkfile("etc/passwd")
+        parent = unix.spawn("init",
+                            activity=simulator.spawn(machine, "init"))
+        child = unix.fork(parent,
+                          "sh", activity=simulator.spawn(machine, "sh"))
+        # The child receives a file name in a message and resolves it
+        # in its own context — coherent, because fork copied the
+        # parent's context.
+        message = parent.send(child, payload={"open": "/etc/passwd"})
+        simulator.run()
+        received = child.receive()
+        assert received.payload["open"] == "/etc/passwd"
+        resolved = unix.resolve_for(child, received.payload["open"])
+        assert resolved is unix.resolve_for(parent, "/etc/passwd")
+
+    def test_naming_graph_reflects_scheme_trees(self):
+        simulator = Simulator(seed=0)
+        unix = UnixSystem("box", sigma=simulator.sigma)
+        unix.tree.mkfile("usr/bin/cc")
+        graph = NamingGraph(simulator.sigma)
+        cc = unix.tree.lookup("usr/bin/cc")
+        assert cc in graph.reachable_from(unix.tree.root)
+
+
+class TestNewcastleRemoteExecutionStory:
+    """The full §5.1 story: remote execution across the Newcastle
+    Connection with both root policies, audited."""
+
+    def test_invoker_variant_supports_argument_passing(self):
+        nc = NewcastleSystem()
+        for machine in ("a", "b"):
+            nc.add_machine(machine).mkfile("usr/lib/shared")
+        nc.machine_tree("a").mkfile("home/user/input.txt")
+        parent = nc.spawn("a", "shell")
+        child = nc.remote_spawn(parent, "b", "job",
+                                RemoteRootPolicy.INVOKER)
+        auditor = CoherenceAuditor(RActivity(nc.registry))
+        events = [ResolutionEvent(
+            name="/home/user/input.txt", source=NameSource.MESSAGE,
+            resolver=child, sender=parent,
+            intended=nc.resolve_for(parent, "/home/user/input.txt"))]
+        auditor.observe_all(events)
+        assert auditor.summary.coherence_rate() == 1.0
+
+    def test_sender_rule_repairs_target_variant(self):
+        # Even with target-root binding, resolving received names in
+        # the SENDER's context (solution I) restores coherence.
+        nc = NewcastleSystem()
+        for machine in ("a", "b"):
+            nc.add_machine(machine).mkfile("data/file")
+        parent = nc.spawn("a", "shell")
+        child = nc.remote_spawn(parent, "b", "job",
+                                RemoteRootPolicy.TARGET)
+        event = ResolutionEvent(
+            name="/data/file", source=NameSource.MESSAGE,
+            resolver=child, sender=parent,
+            intended=nc.resolve_for(parent, "/data/file"))
+        receiver_audit = CoherenceAuditor(RActivity(nc.registry))
+        sender_audit = CoherenceAuditor(RSender(nc.registry))
+        assert receiver_audit.observe(event).verdict is Verdict.INCOHERENT
+        assert sender_audit.observe(event).verdict is Verdict.COHERENT
+
+
+class TestAndrewDocumentPipeline:
+    """Structured documents stored in the shared graph keep their
+    meaning for every client (§5.2 + §6 Example 2 combined)."""
+
+    def test_document_in_shared_graph(self):
+        campus = SharedGraphSystem()
+        chapter = campus.shared.mkfile("book/ch1")
+        chapter.state = "CHAPTER ONE"
+        campus.shared.add("book/main", structured_object(
+            "main", StructuredContent().include("ch1"),
+            sigma=campus.sigma))
+        for label in ("ws1", "ws2"):
+            campus.add_client(label)
+        readers = [campus.client(c).spawn(f"{c}-reader")
+                   for c in ("ws1", "ws2")]
+        main = campus.shared.lookup("book/main")
+        rule = scope_rule(campus.sigma)
+        texts = {flatten(main, reader, rule) for reader in readers}
+        assert texts == {"CHAPTER ONE"}
+
+    def test_document_in_local_tree_breaks_across_clients(self):
+        campus = SharedGraphSystem()
+        ws1 = campus.add_client("ws1")
+        ws2 = campus.add_client("ws2")
+        part = ws1.tree.mkfile("doc/part")
+        part.state = "PART"
+        ws1.tree.add("doc/main", structured_object(
+            "main", StructuredContent().include("part"),
+            sigma=campus.sigma))
+        readers = [ws1.spawn("r1"), ws2.spawn("r2")]
+        # Under R(activity), resolving the embedded name relative to
+        # each reader's own root: ws2's reader fails.
+        rule = RActivity(campus.registry)
+        main = ws1.tree.lookup("doc/main")
+        texts = [flatten(main, reader, rule) for reader in readers]
+        assert "⊥" in texts[0] or texts[0] != texts[1]
+        # Under the Figure-6 R(file) rule both agree.
+        fixed = scope_rule(campus.sigma)
+        assert len({flatten(main, r, fixed) for r in readers}) == 1
+
+
+class TestPidProtocolUnderChurn:
+    """Pid exchange stays coherent through renumbering when mapped."""
+
+    def test_mapped_exchange_after_renumbering(self):
+        population = build_pqid_population(seed=9)
+        simulator = population.simulator
+        injector = FailureInjector(simulator)
+        rng = random.Random(9)
+        injector.renumber_machine(population.machines[0], 71)
+        injector.renumber_network(population.networks[0], 72)
+        outcomes = set()
+        for _ in range(40):
+            sender, receiver = population.random_pair(rng)
+            target = rng.choice(population.processes)
+            exchange = send_pid(sender, receiver, target,
+                                PidPolicy.MAPPED)
+            simulator.run()
+            outcomes.add(exchange_outcome(exchange))
+        assert outcomes == {"coherent"}
+
+    def test_partition_drops_but_does_not_corrupt(self):
+        population = build_pqid_population(seed=4)
+        simulator = population.simulator
+        net1, net2 = population.networks
+        simulator.partition(net1, net2)
+        sender = net1.machines()[0].processes()[0]
+        receiver = net2.machines()[0].processes()[0]
+        target = sender.machine.processes()[1]
+        exchange = send_pid(sender, receiver, target, PidPolicy.MAPPED)
+        simulator.run()
+        assert exchange.message.dropped
+        # The mapped wire pid is still the correct one.
+        assert exchange.wire == qualify(target, receiver)
+
+
+class TestPerSourceDesign:
+    """The §7 overall design: a per-source rule table over a real
+    scheme keeps every source coherent except internal homonyms."""
+
+    def test_full_rule_table_over_unix(self):
+        unix = UnixSystem("box")
+        unix.tree.mkfile("etc/passwd")
+        report = unix.tree.mkfile("report/body")
+        report.state = "BODY"
+        doc = unix.tree.add("report/main", structured_object(
+            "main", StructuredContent().include("body"),
+            sigma=unix.sigma))
+        parent = unix.spawn("parent")
+        child = unix.fork(parent, "child")
+        object_registry = ContextRegistry(label="R(file)")
+        rule = PerSourceRule({
+            NameSource.INTERNAL: RActivity(unix.registry),
+            NameSource.MESSAGE: RSender(unix.registry),
+            NameSource.OBJECT: scope_rule(unix.sigma),
+        })
+        events = [
+            ResolutionEvent(name="/etc/passwd",
+                            source=NameSource.INTERNAL, resolver=child,
+                            intended=unix.resolve_for(parent,
+                                                      "/etc/passwd")),
+            ResolutionEvent(name="/etc/passwd",
+                            source=NameSource.MESSAGE, resolver=child,
+                            sender=parent,
+                            intended=unix.resolve_for(parent,
+                                                      "/etc/passwd")),
+            ResolutionEvent(name="body", source=NameSource.OBJECT,
+                            resolver=child, source_object=doc,
+                            intended=report),
+        ]
+        auditor = CoherenceAuditor(rule)
+        auditor.observe_all(events)
+        assert auditor.summary.coherence_rate() == 1.0

@@ -1,0 +1,99 @@
+"""Tests for the public API surface and the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name_ in repro.__all__:
+            assert hasattr(repro, name_), f"repro.{name_} missing"
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_readme_quickstart_works(self):
+        from repro import coherent, is_global_name
+        from repro.namespaces import UnixSystem
+
+        unix = UnixSystem("demo")
+        unix.tree.mkfile("etc/passwd")
+        init = unix.spawn("init")
+        shell = unix.fork(init, "shell")
+        jailed = unix.spawn("jailed")
+        unix.chroot(jailed, "/etc")
+        everyone = unix.activities()
+        assert coherent("/etc/passwd", [init, shell], unix.registry)
+        assert not coherent("/etc/passwd", everyone, unix.registry)
+        assert not is_global_name("/etc/passwd", everyone, unix.registry)
+
+    def test_subpackage_all_exports_resolve(self):
+        import repro.closure
+        import repro.coherence
+        import repro.embedded
+        import repro.federation
+        import repro.model
+        import repro.namespaces
+        import repro.nameservice
+        import repro.pqid
+        import repro.remote
+        import repro.replication
+        import repro.sim
+        import repro.workloads
+
+        for module in (repro.model, repro.closure, repro.coherence,
+                       repro.sim, repro.namespaces, repro.pqid,
+                       repro.embedded, repro.replication, repro.remote,
+                       repro.federation, repro.workloads,
+                       repro.nameservice):
+            for name_ in module.__all__:
+                assert hasattr(module, name_), \
+                    f"{module.__name__}.{name_} missing"
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for klass in (errors.NameSyntaxError, errors.BindingError,
+                      errors.EntityError, errors.ResolutionRuleError,
+                      errors.SchemeError, errors.SimulationError,
+                      errors.AddressError, errors.FederationError):
+            assert issubclass(klass, errors.ReproError)
+
+    def test_name_syntax_error_is_value_error(self):
+        assert issubclass(errors.NameSyntaxError, ValueError)
+
+    def test_catching_the_base_catches_everything(self):
+        from repro.model.names import CompoundName
+
+        with pytest.raises(errors.ReproError):
+            CompoundName.parse(None)  # type: ignore[arg-type]
+
+
+class TestDocstrings:
+    def test_every_public_module_has_a_docstring(self):
+        import importlib
+        import pkgutil
+
+        package = importlib.import_module("repro")
+        missing = []
+        for info in pkgutil.walk_packages(package.__path__, "repro."):
+            module = importlib.import_module(info.name)
+            if not (module.__doc__ or "").strip():
+                missing.append(info.name)
+        assert not missing, f"modules without docstrings: {missing}"
+
+    def test_public_classes_have_docstrings(self):
+        import inspect
+
+        from repro import coherence, closure, model
+
+        for module in (model, closure, coherence):
+            for name_ in module.__all__:
+                member = getattr(module, name_)
+                if inspect.isclass(member) or inspect.isfunction(member):
+                    assert (member.__doc__ or "").strip(), \
+                        f"{module.__name__}.{name_} lacks a docstring"

@@ -1,0 +1,97 @@
+"""Scale tests: the claims hold on larger-than-toy populations."""
+
+from __future__ import annotations
+
+import random
+
+from repro.closure.rules import RReceiver, RSender
+from repro.coherence.auditor import CoherenceAuditor
+from repro.coherence.definitions import coherent, is_global_name
+from repro.coherence.metrics import measure_degree
+from repro.workloads.generators import exchange_events
+from repro.workloads.organizations import (
+    OrgSpec,
+    build_campus,
+    build_federation,
+)
+from repro.workloads.scenarios import build_pqid_population
+
+
+class TestLargeCampus:
+    def test_ten_clients_full_shared_coherence(self):
+        campus = build_campus(clients=10, local_files_per_client=5,
+                              shared_files=20, replicated_commands=5,
+                              processes_per_client=3, seed=3)
+        activities = campus.activities()
+        assert len(activities) == 30
+        degree = measure_degree(activities, campus.shared_probe_names(),
+                                campus.registry)
+        assert degree.coherent_fraction == 1.0
+        assert degree.global_fraction == 1.0
+
+    def test_local_names_never_cross_clients(self):
+        campus = build_campus(clients=6, local_files_per_client=4,
+                              shared_files=4, replicated_commands=0,
+                              processes_per_client=2, seed=4)
+        degree = measure_degree(campus.activities(),
+                                campus.local_probe_names(),
+                                campus.registry)
+        assert degree.coherent_fraction == 0.0
+        for client in campus.clients():
+            members = [a for a in campus.activities()
+                       if a.label.startswith(client.label)]
+            local = [p.as_rooted() for p in client.tree.all_paths()
+                     if not p.starts_with(campus.shared_prefix)]
+            inner = measure_degree(members, local, campus.registry)
+            assert inner.coherent_fraction == 1.0
+
+
+class TestLargeFederation:
+    def test_five_orgs(self):
+        specs = [OrgSpec(f"org{i}", divisions=3, users_per_division=4,
+                         services=2, activities_per_division=2)
+                 for i in range(5)]
+        env, orgs = build_federation(specs, seed=5)
+        assert len(env.activities()) == 5 * 3 * 2
+        # Within each org: full coherence for its shared spaces.
+        for org in orgs:
+            degree = measure_degree(org.activities,
+                                    org.user_names + org.service_names,
+                                    env.registry)
+            assert degree.coherent_fraction == 1.0
+        # Across all orgs: /users itself never global.
+        everyone = [a for org in orgs for a in org.activities]
+        assert not is_global_name("/users", everyone, env.registry)
+
+    def test_sender_rule_scales(self):
+        specs = [OrgSpec(f"org{i}", divisions=2, users_per_division=3,
+                         services=1) for i in range(3)]
+        env, orgs = build_federation(specs, seed=6)
+        everyone = [a for org in orgs for a in org.activities]
+        names = [n for org in orgs for n in org.user_names]
+        rng = random.Random(6)
+        events = exchange_events(env.registry, everyone, names, rng, 600)
+        sender_rate = (CoherenceAuditor(RSender(env.registry))
+                       .observe_all(events).summary.coherence_rate())
+        receiver_rate = (CoherenceAuditor(RReceiver(env.registry))
+                         .observe_all(events).summary.coherence_rate())
+        assert sender_rate == 1.0
+        assert receiver_rate < 1.0
+
+
+class TestLargePidPopulation:
+    def test_minimality_over_hundreds_of_pairs(self):
+        from repro.pqid.mapping import map_pid, qualify, resolve_pid
+
+        population = build_pqid_population(seed=7, n_networks=4,
+                                           machines_per_network=4,
+                                           processes_per_machine=4)
+        assert len(population.processes) == 64
+        rng = random.Random(7)
+        for _ in range(300):
+            sender, receiver = population.random_pair(rng)
+            target = rng.choice(population.processes)
+            pid = qualify(target, sender)
+            mapped = map_pid(pid, sender, receiver)
+            assert resolve_pid(mapped, receiver) is target
+            assert mapped == qualify(target, receiver)

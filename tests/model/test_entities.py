@@ -1,0 +1,124 @@
+"""Tests for entities: activities, objects, ⊥E (paper section 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EntityError
+from repro.model.context import Context, context_object
+from repro.model.entities import (
+    Activity,
+    Entity,
+    Obj,
+    ObjectEntity,
+    UNDEFINED_ENTITY,
+    require_activity,
+    require_object,
+)
+from repro.model.state import UNDEFINED_STATE
+
+
+class TestEntityKinds:
+    def test_activity_is_activity(self):
+        activity = Activity("p")
+        assert activity.is_activity()
+        assert not activity.is_object()
+
+    def test_object_is_object(self):
+        obj = ObjectEntity("f")
+        assert obj.is_object()
+        assert not obj.is_activity()
+
+    def test_obj_alias(self):
+        assert Obj is ObjectEntity
+
+    def test_sets_are_disjoint(self):
+        # A ∩ O = ∅: no entity is both.
+        entities = [Activity("a"), ObjectEntity("o")]
+        assert not any(e.is_activity() and e.is_object() for e in entities)
+
+    def test_uids_are_unique_and_monotonic(self):
+        first, second = Activity("x"), ObjectEntity("y")
+        assert first.uid < second.uid
+
+    def test_default_labels(self):
+        assert Activity().label.startswith("activity-")
+        assert ObjectEntity().label.startswith("object-")
+
+    def test_repr_contains_label(self):
+        assert "motd" in repr(ObjectEntity("motd"))
+
+
+class TestContextObjects:
+    def test_plain_object_is_not_context_object(self):
+        assert not ObjectEntity("f").is_context_object()
+
+    def test_object_with_context_state_is_context_object(self):
+        directory = ObjectEntity("d")
+        directory.state = Context()
+        assert directory.is_context_object()
+
+    def test_context_object_helper(self):
+        directory = context_object("home")
+        assert directory.is_context_object()
+        assert directory.label == "home"
+
+    def test_activity_with_context_state_is_not_context_object(self):
+        # Context objects are objects by definition (C ⊆ S_O).
+        activity = Activity("a")
+        activity.state = Context()
+        assert not activity.is_context_object()
+
+
+class TestUndefinedEntity:
+    def test_is_singleton(self):
+        assert type(UNDEFINED_ENTITY)() is UNDEFINED_ENTITY
+
+    def test_not_in_a_or_o(self):
+        assert not UNDEFINED_ENTITY.is_activity()
+        assert not UNDEFINED_ENTITY.is_object()
+
+    def test_not_defined(self):
+        assert not UNDEFINED_ENTITY.is_defined()
+        assert Activity("a").is_defined()
+
+    def test_falsy(self):
+        assert not UNDEFINED_ENTITY
+
+    def test_state_is_undefined_state(self):
+        assert UNDEFINED_ENTITY.state is UNDEFINED_STATE
+
+    def test_state_is_immutable(self):
+        with pytest.raises(EntityError):
+            UNDEFINED_ENTITY.state = 42
+
+    def test_repr(self):
+        assert repr(UNDEFINED_ENTITY) == "UNDEFINED_ENTITY"
+
+
+class TestRequireHelpers:
+    def test_require_activity_passes(self):
+        activity = Activity("a")
+        assert require_activity(activity) is activity
+
+    def test_require_activity_rejects_object(self):
+        with pytest.raises(EntityError):
+            require_activity(ObjectEntity("o"))
+
+    def test_require_object_passes(self):
+        obj = ObjectEntity("o")
+        assert require_object(obj) is obj
+
+    def test_require_object_rejects_undefined(self):
+        with pytest.raises(EntityError):
+            require_object(UNDEFINED_ENTITY)
+
+
+class TestState:
+    def test_state_roundtrip(self):
+        obj = ObjectEntity("f")
+        obj.state = "content"
+        assert obj.state == "content"
+
+    def test_state_defaults_to_none(self):
+        assert ObjectEntity("f").state is None

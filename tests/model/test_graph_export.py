@@ -1,0 +1,74 @@
+"""Tests for the DOT export and Pid text parsing (small utilities)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AddressError
+from repro.model.context import context_object
+from repro.model.entities import Activity, ObjectEntity
+from repro.model.graph import NamingGraph
+from repro.model.state import GlobalState
+from repro.pqid.pid import Pid
+
+
+class TestToDot:
+    @pytest.fixture
+    def world(self):
+        sigma = GlobalState()
+        root = sigma.add(context_object("root"))
+        leaf = sigma.add(ObjectEntity("leaf"))
+        actor = sigma.add(Activity("proc"))
+        root.state.bind("leaf", leaf)
+        root.state.bind("..", root)
+        return sigma, root, leaf, actor
+
+    def test_shapes_by_kind(self, world):
+        sigma, root, leaf, actor = world
+        dot = NamingGraph(sigma).to_dot()
+        assert "shape=box" in dot        # directory
+        assert "shape=ellipse" in dot    # leaf object
+        assert "shape=diamond" in dot    # activity
+
+    def test_parent_edges_dashed(self, world):
+        sigma, *_ = world
+        dot = NamingGraph(sigma).to_dot()
+        assert "style=dashed" in dot
+
+    def test_highlight(self, world):
+        sigma, root, leaf, _ = world
+        dot = NamingGraph(sigma).to_dot(highlight=leaf)
+        assert "fillcolor=lightgrey" in dot
+
+    def test_valid_structure(self, world):
+        sigma, *_ = world
+        dot = NamingGraph(sigma).to_dot()
+        assert dot.startswith("digraph naming_graph {")
+        assert dot.endswith("}")
+        assert dot.count("->") == 2  # leaf edge + .. edge
+
+
+class TestPidParse:
+    def test_roundtrip(self):
+        for pid in (Pid(0, 0, 0), Pid(0, 0, 5), Pid(0, 3, 5),
+                    Pid(2, 3, 5)):
+            assert Pid.parse(str(pid)) == pid
+
+    def test_whitespace_tolerated(self):
+        assert Pid.parse(" ( 1 , 2 , 3 ) ") == Pid(1, 2, 3)
+
+    def test_bare_triple(self):
+        assert Pid.parse("1,2,3") == Pid(1, 2, 3)
+
+    def test_malformed_rejected(self):
+        for bad in ("", "(1,2)", "(a,b,c)", "(1,2,3,4)", "1;2;3"):
+            with pytest.raises(AddressError):
+                Pid.parse(bad)
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(AddressError):
+            Pid.parse("(1,0,5)")
+
+    def test_non_string_rejected(self):
+        with pytest.raises(AddressError):
+            Pid.parse(123)  # type: ignore[arg-type]

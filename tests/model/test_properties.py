@@ -1,0 +1,141 @@
+"""Property-based tests (hypothesis) for the model layer."""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.context import Context
+from repro.model.entities import ObjectEntity, UNDEFINED_ENTITY
+from repro.model.names import PARENT, CompoundName
+from repro.model.resolution import resolve
+
+# Atomic names: nonempty, no separator.  Keep the alphabet small so
+# collisions (and therefore interesting overwrites) actually occur.
+atoms = st.text(alphabet=string.ascii_lowercase + "._-", min_size=1,
+                max_size=6).filter(lambda s: s not in (".",))
+compounds = st.builds(CompoundName,
+                      st.lists(atoms, min_size=0, max_size=6),
+                      rooted=st.booleans())
+
+
+class TestNameProperties:
+    @given(compounds)
+    def test_str_parse_roundtrip(self, name_):
+        assert CompoundName.parse(str(name_)) == name_
+
+    @given(compounds, compounds)
+    def test_join_length(self, first, second):
+        joined = first.join(second)
+        if second.rooted:
+            assert joined == second
+        else:
+            assert joined.parts == first.parts + second.parts
+            assert joined.rooted == first.rooted
+
+    @given(compounds, compounds)
+    def test_prefix_strip_inverts_with_prefix(self, prefix, name_):
+        prefixed = name_.relative().with_prefix(prefix)
+        assert prefixed.starts_with(prefix)
+        assert prefixed.strip_prefix(prefix) == name_.relative()
+
+    @given(compounds)
+    def test_normalized_is_idempotent(self, name_):
+        once = name_.normalized()
+        assert once.normalized() == once
+
+    @given(compounds)
+    def test_normalized_rooted_has_no_leading_parent(self, name_):
+        normal = name_.normalized()
+        if normal.rooted and len(normal) > 0:
+            assert normal.parts[0] != PARENT
+
+    @given(compounds)
+    def test_ordering_consistent_with_equality(self, name_):
+        assert not (name_ < name_)
+
+    @given(st.lists(compounds, max_size=8))
+    def test_sort_is_stable_total_order(self, names):
+        ordered = sorted(names)
+        for first, second in zip(ordered, ordered[1:]):
+            assert first < second or first == second
+
+    @given(compounds, atoms)
+    def test_child_then_parent(self, name_, atom):
+        assert name_.child(atom).parent == name_
+
+    @given(compounds)
+    def test_rest_shrinks(self, name_):
+        if len(name_) > 0:
+            assert len(name_.rest) == len(name_) - 1
+
+
+class TestContextProperties:
+    @given(st.lists(st.tuples(atoms, st.integers(0, 3)), max_size=12))
+    def test_last_bind_wins(self, pairs):
+        pool = [ObjectEntity(f"e{i}") for i in range(4)]
+        context = Context()
+        expected: dict[str, ObjectEntity] = {}
+        for name_, index in pairs:
+            context.bind(name_, pool[index])
+            expected[name_] = pool[index]
+        for name_, entity in expected.items():
+            assert context(name_) is entity
+
+    @given(st.lists(atoms, max_size=8))
+    def test_unbound_names_are_undefined(self, names):
+        context = Context()
+        for name_ in names:
+            assert context(name_) is UNDEFINED_ENTITY
+
+    @given(st.lists(st.tuples(atoms, st.integers(0, 2)), max_size=10))
+    def test_copy_preserves_extension(self, pairs):
+        pool = [ObjectEntity(f"e{i}") for i in range(3)]
+        context = Context()
+        for name_, index in pairs:
+            context.bind(name_, pool[index])
+        assert context.copy() == context
+
+    @given(st.lists(st.tuples(atoms, st.integers(0, 2)), max_size=10),
+           st.lists(st.tuples(atoms, st.integers(0, 2)), max_size=10))
+    def test_agreement_disagreement_partition(self, first_pairs,
+                                              second_pairs):
+        pool = [ObjectEntity(f"e{i}") for i in range(3)]
+        first, second = Context(), Context()
+        for name_, index in first_pairs:
+            first.bind(name_, pool[index])
+        for name_, index in second_pairs:
+            second.bind(name_, pool[index])
+        agree = first.agreement(second)
+        disagree = first.disagreement(second)
+        assert not (agree & disagree)
+        support = set(first.names()) | set(second.names())
+        assert agree | disagree == support
+
+
+class TestResolutionProperties:
+    @settings(max_examples=60)
+    @given(st.lists(atoms, min_size=1, max_size=5), st.data())
+    def test_chain_resolution_matches_manual_walk(self, parts, data):
+        # Build a random directory chain binding the path, then check
+        # the recursion agrees with a manual walk.
+        from repro.model.context import context_object
+
+        root = context_object("root")
+        node = root
+        for part in parts[:-1]:
+            child = context_object(part)
+            node.state.bind(part, child)
+            node = child
+        leaf = ObjectEntity("leaf")
+        node.state.bind(parts[-1], leaf)
+        assert resolve(root.state, CompoundName(parts)) is leaf
+
+    @given(st.lists(atoms, min_size=1, max_size=5))
+    def test_resolution_of_unbuilt_path_is_undefined(self, parts):
+        from repro.model.context import context_object
+
+        root = context_object("root")
+        assert resolve(root.state, CompoundName(parts)) is UNDEFINED_ENTITY

@@ -1,0 +1,137 @@
+"""Tests for compound-name resolution — the section-2 recursion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.context import Context, context_object
+from repro.model.entities import ObjectEntity, UNDEFINED_ENTITY
+from repro.model.names import ROOT_NAME, CompoundName
+from repro.model.resolution import resolve, resolve_traced
+
+
+@pytest.fixture
+def world():
+    """root(dir) → usr(dir) → bin(dir) → cc(file); plus etc(dir)."""
+    root = context_object("root")
+    usr = context_object("usr")
+    bin_ = context_object("bin")
+    etc = context_object("etc")
+    cc = ObjectEntity("cc")
+    root.state.bind("usr", usr)
+    root.state.bind("etc", etc)
+    usr.state.bind("bin", bin_)
+    bin_.state.bind("cc", cc)
+    return root, usr, bin_, etc, cc
+
+
+class TestSimpleNames:
+    def test_single_component(self, world):
+        root, usr, *_ = world
+        assert resolve(root.state, "usr") is usr
+
+    def test_unbound_single_component(self, world):
+        root, *_ = world
+        assert resolve(root.state, "nope") is UNDEFINED_ENTITY
+
+
+class TestRecursion:
+    def test_two_components(self, world):
+        root, _, bin_, _, _ = world
+        assert resolve(root.state, "usr/bin") is bin_
+
+    def test_three_components(self, world):
+        root, *_, cc = world
+        assert resolve(root.state, "usr/bin/cc") is cc
+
+    def test_stuck_on_missing_intermediate(self, world):
+        root, *_ = world
+        assert resolve(root.state, "usr/nope/cc") is UNDEFINED_ENTITY
+
+    def test_stuck_on_non_context_intermediate(self, world):
+        # cc is a plain object: σ(c(n1)) ∉ C ⇒ ⊥E.
+        root, *_ = world
+        assert resolve(root.state, "usr/bin/cc/deeper") is UNDEFINED_ENTITY
+
+    def test_result_depends_on_context_object_state(self, world):
+        # Rebinding along the path changes the result (the paper: "the
+        # result depends on the state of the context objects along the
+        # resolution path").
+        root, usr, bin_, etc, cc = world
+        other = ObjectEntity("other-cc")
+        bin_.state.bind("cc", other)
+        assert resolve(root.state, "usr/bin/cc") is other
+
+    def test_empty_name_is_undefined(self, world):
+        root, *_ = world
+        assert resolve(root.state, CompoundName()) is UNDEFINED_ENTITY
+
+
+class TestRootedNames:
+    def test_rooted_name_uses_root_binding(self, world):
+        root, *_, cc = world
+        process_context = Context()
+        process_context.bind(ROOT_NAME, root)
+        assert resolve(process_context, "/usr/bin/cc") is cc
+
+    def test_bare_slash_resolves_to_root_object(self, world):
+        root, *_ = world
+        process_context = Context()
+        process_context.bind(ROOT_NAME, root)
+        assert resolve(process_context, "/") is root
+
+    def test_rooted_name_without_root_binding_is_undefined(self, world):
+        assert resolve(Context(), "/usr") is UNDEFINED_ENTITY
+
+    def test_rooted_name_with_non_directory_root(self):
+        context = Context()
+        context.bind(ROOT_NAME, ObjectEntity("not-a-dir"))
+        assert resolve(context, "/x") is UNDEFINED_ENTITY
+
+
+class TestTraces:
+    def test_trace_records_steps(self, world):
+        root, usr, bin_, _, cc = world
+        trace = resolve_traced(root.state, "usr/bin/cc")
+        assert trace.succeeded
+        assert [s.component for s in trace.steps] == ["usr", "bin", "cc"]
+        assert trace.path_entities() == [usr, bin_, cc]
+        assert trace.stuck_at is None
+
+    def test_trace_marks_stuck_component(self, world):
+        root, *_ = world
+        trace = resolve_traced(root.state, "usr/nope/cc")
+        assert not trace.succeeded
+        assert trace.stuck_at == 1
+
+    def test_trace_stuck_on_final_unbound(self, world):
+        root, *_ = world
+        trace = resolve_traced(root.state, "usr/bin/missing")
+        assert trace.stuck_at == 2
+
+    def test_rooted_trace_includes_root_step(self, world):
+        root, *_ = world
+        context = Context()
+        context.bind(ROOT_NAME, root)
+        trace = resolve_traced(context, "/usr")
+        assert trace.steps[0].component == ROOT_NAME
+        assert trace.steps[0].result is root
+
+    def test_empty_trace(self, world):
+        root, *_ = world
+        trace = resolve_traced(root.state, CompoundName())
+        assert trace.stuck_at == 0
+        assert not trace.succeeded
+
+    def test_repr(self, world):
+        root, *_ = world
+        assert "usr" in repr(resolve_traced(root.state, "usr"))
+
+
+class TestCycles:
+    def test_dotdot_cycles_are_just_bindings(self, world):
+        # The model follows `..` like any other edge; a bounded name
+        # always terminates.
+        root, usr, *_ = world
+        usr.state.bind("..", root)
+        assert resolve(root.state, "usr/../usr/../usr") is usr

@@ -1,0 +1,170 @@
+"""Tests for naming-state serialisation (dump/load round trips)."""
+
+from __future__ import annotations
+
+import json
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.model.graph import NamingGraph
+from repro.model.names import CompoundName
+from repro.model.serialize import dump_state, load_state
+from repro.model.state import GlobalState
+from repro.namespaces.base import ProcessContext
+from repro.namespaces.tree import NamingTree
+from repro.model.resolution import resolve
+
+
+def build_sample():
+    sigma = GlobalState()
+    tree = NamingTree("root", sigma=sigma, parent_links=True)
+    passwd = tree.mkfile("etc/passwd")
+    passwd.state = "root:x:0:0"
+    tree.mkfile("home/alice/notes")
+    return sigma, tree
+
+
+class TestDump:
+    def test_document_shape(self):
+        sigma, tree = build_sample()
+        document = dump_state(sigma)
+        assert document["format"] == "repro-naming-state-v1"
+        assert len(document["entities"]) == len(sigma)
+        assert document["bindings"]
+
+    def test_json_serialisable(self):
+        sigma, _ = build_sample()
+        encoded = json.dumps(dump_state(sigma))
+        assert "passwd" in encoded
+
+    def test_plain_states_preserved(self):
+        sigma, tree = build_sample()
+        document = dump_state(sigma)
+        passwd_record = next(r for r in document["entities"]
+                             if r["label"] == "passwd")
+        assert passwd_record["state"] == "root:x:0:0"
+
+    def test_bindings_to_outsiders_dropped(self):
+        from repro.model.context import context_object
+        from repro.model.entities import ObjectEntity
+
+        sigma = GlobalState()
+        directory = sigma.add(context_object("d"))
+        outsider = ObjectEntity("ghost")  # never added to sigma
+        directory.state.bind("ghost", outsider)
+        document = dump_state(sigma)
+        assert document["bindings"] == []
+
+
+class TestLoad:
+    def test_round_trip_resolution(self):
+        sigma, tree = build_sample()
+        fresh_sigma, mapping = load_state(dump_state(sigma))
+        fresh_root = mapping[tree.root.uid]
+        context = ProcessContext(fresh_root)  # type: ignore[arg-type]
+        resolved = resolve(context, "/etc/passwd")
+        assert resolved.is_defined()
+        assert resolved.label == "passwd"
+        assert resolved is mapping[tree.lookup("etc/passwd").uid]
+
+    def test_round_trip_graph_isomorphic(self):
+        sigma, tree = build_sample()
+        fresh_sigma, _ = load_state(dump_state(sigma))
+        original = {(o.label, n, e.label)
+                    for o, n, e in NamingGraph(sigma).edges()}
+        rebuilt = {(o.label, n, e.label)
+                   for o, n, e in NamingGraph(fresh_sigma).edges()}
+        assert original == rebuilt
+
+    def test_fresh_uids_allocated(self):
+        sigma, tree = build_sample()
+        _, mapping = load_state(dump_state(sigma))
+        assert all(original != fresh.uid
+                   for original, fresh in mapping.items())
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ReproError):
+            load_state({"format": "something-else"})
+
+    def test_dangling_binding_rejected(self):
+        with pytest.raises(ReproError):
+            load_state({"format": "repro-naming-state-v1",
+                        "entities": [],
+                        "bindings": [{"from": 1, "name": "x", "to": 2}]})
+
+    def test_activities_round_trip(self):
+        from repro.model.entities import Activity
+
+        sigma = GlobalState()
+        sigma.add(Activity("worker"))
+        fresh, _ = load_state(dump_state(sigma))
+        assert [a.label for a in fresh.activities()] == ["worker"]
+
+
+atoms = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=4)
+paths = st.lists(atoms, min_size=1, max_size=4).map(CompoundName)
+
+
+class TestRoundTripProperty:
+    @settings(max_examples=40)
+    @given(st.lists(paths, min_size=1, max_size=8, unique_by=str))
+    def test_every_resolvable_path_survives(self, file_paths):
+        sigma = GlobalState()
+        tree = NamingTree("root", sigma=sigma, parent_links=True)
+        built = []
+        for path in file_paths:
+            try:
+                if not tree.exists(path):
+                    tree.mkfile(path)
+                    built.append(path)
+            except Exception:
+                continue
+        fresh_sigma, mapping = load_state(dump_state(sigma))
+        fresh_root = mapping[tree.root.uid]
+        for path in built:
+            original = tree.lookup(path)
+            rebuilt = resolve(ProcessContext(fresh_root),  # type: ignore
+                              path.as_rooted())
+            assert rebuilt is mapping[original.uid]
+
+
+class TestSchemeSystemsRoundTrip:
+    """Whole scheme-built systems survive dump/load with isomorphic
+    naming graphs."""
+
+    def _edges(self, sigma):
+        return {(o.label, n, e.label)
+                for o, n, e in NamingGraph(sigma).edges()}
+
+    def test_andrew_campus(self):
+        from repro.workloads.organizations import build_campus
+
+        campus = build_campus(clients=3, seed=1)
+        fresh, _ = load_state(dump_state(campus.sigma))
+        assert self._edges(campus.sigma) == self._edges(fresh)
+
+    def test_newcastle(self):
+        from repro.namespaces.newcastle import NewcastleSystem
+
+        nc = NewcastleSystem()
+        for machine in ("a", "b"):
+            nc.add_machine(machine).mkfile("usr/data")
+        fresh, mapping = load_state(dump_state(nc.sigma))
+        assert self._edges(nc.sigma) == self._edges(fresh)
+        # `..` edges included: the super-root structure is preserved.
+        fresh_super = mapping[nc.super_root.uid]
+        assert fresh_super.state("a").is_defined()
+        assert fresh_super.state("a").state("..") is fresh_super
+
+    def test_perprocess_namespaces(self):
+        from repro.namespaces.perprocess import PerProcessSystem
+
+        port = PerProcessSystem()
+        port.add_machine("m1").mkfile("src/prog.c")
+        port.spawn("m1", "dev", mounts=[("home", "m1")])
+        fresh, _ = load_state(dump_state(port.sigma))
+        assert self._edges(port.sigma) == self._edges(fresh)

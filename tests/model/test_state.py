@@ -1,0 +1,90 @@
+"""Tests for states and the global state function σ (section 2)."""
+
+from __future__ import annotations
+
+from repro.model.context import Context, context_object
+from repro.model.entities import Activity, ObjectEntity, UNDEFINED_ENTITY
+from repro.model.state import GlobalState, UNDEFINED_STATE
+
+
+class TestUndefinedState:
+    def test_singleton(self):
+        assert type(UNDEFINED_STATE)() is UNDEFINED_STATE
+
+    def test_falsy(self):
+        assert not UNDEFINED_STATE
+
+    def test_repr(self):
+        assert repr(UNDEFINED_STATE) == "UNDEFINED_STATE"
+
+
+class TestSigma:
+    def test_reads_live_state(self):
+        obj = ObjectEntity("f")
+        sigma = GlobalState([obj])
+        obj.state = "v1"
+        assert sigma(obj) == "v1"
+        obj.state = "v2"
+        assert sigma(obj) == "v2"
+
+    def test_undefined_entity_maps_to_undefined_state(self):
+        sigma = GlobalState()
+        assert sigma(UNDEFINED_ENTITY) is UNDEFINED_STATE
+
+    def test_unregistered_entity_maps_to_undefined_state(self):
+        sigma = GlobalState()
+        assert sigma(ObjectEntity("ghost")) is UNDEFINED_STATE
+
+    def test_membership_and_len(self):
+        obj = ObjectEntity("f")
+        sigma = GlobalState([obj])
+        assert obj in sigma
+        assert len(sigma) == 1
+
+    def test_add_returns_entity(self):
+        sigma = GlobalState()
+        obj = ObjectEntity("f")
+        assert sigma.add(obj) is obj
+
+    def test_add_undefined_is_noop(self):
+        sigma = GlobalState()
+        sigma.add(UNDEFINED_ENTITY)
+        assert len(sigma) == 0
+
+    def test_discard(self):
+        obj = ObjectEntity("f")
+        sigma = GlobalState([obj])
+        sigma.discard(obj)
+        assert obj not in sigma
+        sigma.discard(obj)  # idempotent
+
+
+class TestPartitions:
+    def test_activities_and_objects(self):
+        activity = Activity("p")
+        obj = ObjectEntity("f")
+        directory = context_object("d")
+        sigma = GlobalState([activity, obj, directory])
+        assert sigma.activities() == [activity]
+        assert set(sigma.objects()) == {obj, directory}
+        assert sigma.context_objects() == [directory]
+
+
+class TestSnapshot:
+    def test_snapshot_captures_plain_states(self):
+        obj = ObjectEntity("f")
+        obj.state = "v1"
+        sigma = GlobalState([obj])
+        picture = sigma.snapshot()
+        obj.state = "v2"
+        assert picture[obj.uid] == "v1"
+
+    def test_snapshot_copies_contexts(self):
+        directory = context_object("d")
+        target = ObjectEntity("t")
+        directory.state.bind("t", target)
+        sigma = GlobalState([directory, target])
+        picture = sigma.snapshot()
+        directory.state.unbind("t")
+        assert isinstance(picture[directory.uid], Context)
+        assert picture[directory.uid]("t") is target

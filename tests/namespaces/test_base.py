@@ -1,0 +1,105 @@
+"""Tests for ProcessContext and the NamingScheme base."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemeError
+from repro.model.context import Context, context_object
+from repro.model.entities import Activity, ObjectEntity, UNDEFINED_ENTITY
+from repro.model.names import ROOT_NAME
+from repro.model.resolution import resolve
+from repro.namespaces.base import CWD_NAME, NamingScheme, ProcessContext
+from repro.namespaces.tree import NamingTree
+
+
+@pytest.fixture
+def tree():
+    tree = NamingTree("root", parent_links=True)
+    tree.mkfile("etc/passwd")
+    tree.mkfile("home/alice/notes")
+    return tree
+
+
+class TestProcessContext:
+    def test_two_bindings(self, tree):
+        context = ProcessContext(tree.root)
+        assert context.root_dir is tree.root
+        assert context.cwd is tree.root
+        assert set(context.names()) == {ROOT_NAME, CWD_NAME}
+
+    def test_rooted_resolution(self, tree):
+        context = ProcessContext(tree.root)
+        assert resolve(context, "/etc/passwd").label == "passwd"
+
+    def test_relative_resolution_via_cwd(self, tree):
+        home = tree.directory("home/alice")
+        context = ProcessContext(tree.root, cwd=home)
+        assert resolve(context, "notes").label == "notes"
+        assert resolve(context, "/etc/passwd").label == "passwd"
+
+    def test_unbound_relative_without_directory_cwd(self):
+        # A process context whose cwd binding was clobbered to a
+        # non-directory degrades to undefined lookups, not errors.
+        directory = context_object("d")
+        context = ProcessContext(directory)
+        context._bindings[CWD_NAME] = ObjectEntity("file")
+        assert context("x") is UNDEFINED_ENTITY
+
+    def test_set_root_requires_directory(self, tree):
+        context = ProcessContext(tree.root)
+        with pytest.raises(SchemeError):
+            context.set_root(ObjectEntity("file"))
+        with pytest.raises(SchemeError):
+            context.set_cwd(ObjectEntity("file"))
+
+    def test_copy_is_fork_semantics(self, tree):
+        parent = ProcessContext(tree.root)
+        child = parent.copy()
+        assert child == parent
+        child.set_cwd(tree.directory("home"))
+        assert child != parent
+        assert parent.cwd is tree.root
+
+    def test_extensional_equality(self, tree):
+        first = ProcessContext(tree.root)
+        second = ProcessContext(tree.root)
+        assert first == second
+        third = ProcessContext(tree.root, cwd=tree.directory("home"))
+        assert first != third
+
+
+class TestNamingScheme:
+    def test_adopt_and_groups(self, tree):
+        scheme = NamingScheme()
+        a = scheme.new_activity("a", ProcessContext(tree.root), group="g1")
+        b = scheme.new_activity("b", ProcessContext(tree.root), group="g2")
+        assert scheme.activities() == [a, b]
+        assert scheme.groups() == {"g1": [a], "g2": [b]}
+        assert a in scheme.sigma
+
+    def test_adopt_existing_activity(self, tree):
+        scheme = NamingScheme()
+        activity = Activity("existing")
+        adopted = scheme.adopt_activity(activity,
+                                        ProcessContext(tree.root))
+        assert adopted is activity
+
+    def test_resolve_for(self, tree):
+        scheme = NamingScheme()
+        a = scheme.new_activity("a", ProcessContext(tree.root))
+        assert scheme.resolve_for(a, "/etc/passwd").label == "passwd"
+
+    def test_measure_uses_defaults(self, tree):
+        scheme = NamingScheme()
+        scheme.new_activity("a", ProcessContext(tree.root))
+        scheme.new_activity("b", ProcessContext(tree.root))
+        degree = scheme.measure(probes=["/etc/passwd", "/missing"])
+        assert degree.coherent_fraction == 0.5
+
+    def test_default_probe_names_empty(self):
+        assert NamingScheme().probe_names() == []
+
+    def test_repr(self, tree):
+        scheme = NamingScheme()
+        assert "0 activities" in repr(scheme)

@@ -1,0 +1,182 @@
+"""Tests for DCE cells and federated cross-links (§5.2, §5.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coherence.definitions import coherent, is_global_name
+from repro.errors import SchemeError
+from repro.model.names import CompoundName
+from repro.namespaces.crosslink import FederatedSystems
+from repro.namespaces.dce import DCESystem
+
+
+@pytest.fixture
+def dce():
+    system = DCESystem()
+    for cell in ("research", "sales"):
+        tree = system.add_cell(cell)
+        tree.mkfile("services/login")
+        tree.mkfile(f"services/{cell}-db")
+    return system
+
+
+class TestDCEStructure:
+    def test_machine_needs_known_cell(self, dce):
+        with pytest.raises(SchemeError):
+            dce.add_machine("ws", cell="nonexistent")
+
+    def test_duplicate_cell_rejected(self, dce):
+        with pytest.raises(SchemeError):
+            dce.add_cell("research")
+
+    def test_duplicate_machine_rejected(self, dce):
+        dce.add_machine("ws1", "research")
+        with pytest.raises(SchemeError):
+            dce.add_machine("ws1", "sales")
+
+    def test_name_forms(self, dce):
+        assert str(dce.global_name("research", "services/login")) == \
+            "/.../research/services/login"
+        assert str(dce.cell_relative_name("services/login")) == \
+            "/.:/services/login"
+
+
+class TestDCECoherence:
+    def test_global_names_work_from_any_cell(self, dce):
+        p1 = dce.add_machine("ws1", "research").spawn("p1")
+        p2 = dce.add_machine("ws2", "sales").spawn("p2")
+        name_ = dce.global_name("research", "services/research-db")
+        assert is_global_name(name_, [p1, p2], dce.registry)
+
+    def test_cell_relative_names_equal_global_form_locally(self, dce):
+        p = dce.add_machine("ws1", "research").spawn("p")
+        via_cell = dce.resolve_for(p, "/.:/services/login")
+        via_global = dce.resolve_for(p, "/.../research/services/login")
+        assert via_cell is via_global
+
+    def test_cell_relative_incoherent_across_cells(self, dce):
+        p1 = dce.add_machine("ws1", "research").spawn("p1")
+        p2 = dce.add_machine("ws2", "sales").spawn("p2")
+        assert not coherent("/.:/services/login", [p1, p2], dce.registry)
+
+    def test_cell_relative_coherent_within_cell(self, dce):
+        p1 = dce.add_machine("ws1", "research").spawn("p1")
+        p2 = dce.add_machine("ws2", "research").spawn("p2")
+        assert coherent("/.:/services/login", [p1, p2], dce.registry)
+
+    def test_groups_are_cells(self, dce):
+        dce.add_machine("ws1", "research").spawn("p1")
+        dce.add_machine("ws2", "sales").spawn("p2")
+        assert set(dce.groups()) == {"cell:research", "cell:sales"}
+
+
+@pytest.fixture
+def federation():
+    fed = FederatedSystems()
+    sys1 = fed.add_system("sys1")
+    sys2 = fed.add_system("sys2")
+    sys1.mkfile("users/amy/todo")
+    sys2.mkfile("projects/apollo/plan")
+    return fed
+
+
+class TestCrossLinks:
+    def test_link_extends_naming_graph(self, federation):
+        federation.add_link("sys1", "org2", "sys2")
+        process = federation.spawn("sys1", "p")
+        assert federation.resolve_for(
+            process, "/org2/projects/apollo/plan").is_defined()
+
+    def test_link_to_subtree(self, federation):
+        federation.add_link("sys1", "apollo", "sys2", "projects/apollo")
+        process = federation.spawn("sys1", "p")
+        assert federation.resolve_for(process,
+                                      "/apollo/plan").is_defined()
+
+    def test_link_to_missing_target_rejected(self, federation):
+        with pytest.raises(SchemeError):
+            federation.add_link("sys1", "x", "sys2", "no/such")
+
+    def test_links_are_recorded(self, federation):
+        link = federation.add_link("sys1", "org2", "sys2")
+        assert federation.links() == [link]
+        assert link.from_system == "sys1"
+        assert link.path == CompoundName.parse("org2")
+
+    def test_context_still_based_on_local_system(self, federation):
+        federation.add_link("sys1", "org2", "sys2")
+        process = federation.spawn("sys1", "p")
+        assert federation.resolve_for(process,
+                                      "/users/amy/todo").is_defined()
+        assert not federation.resolve_for(
+            process, "/projects/apollo/plan").is_defined()
+
+    def test_accessibility_is_directional(self, federation):
+        federation.add_link("sys1", "org2", "sys2")
+        p1 = federation.spawn("sys1", "p1")
+        p2 = federation.spawn("sys2", "p2")
+        remote = federation.resolve_for(p2, "/projects/apollo/plan")
+        local = federation.resolve_for(p1, "/users/amy/todo")
+        assert federation.accessible(p1, remote)
+        assert not federation.accessible(p2, local)
+
+    def test_no_global_names_without_coincidence(self, federation):
+        federation.add_link("sys1", "org2", "sys2")
+        federation.spawn("sys1", "p1")
+        federation.spawn("sys2", "p2")
+        assert federation.coincidental_global_names() == []
+
+    def test_coincidental_global_name(self, federation):
+        shared = federation.tree("sys1").mkfile("well-known/spec")
+        federation.tree("sys2").add("well-known/spec", shared)
+        federation.spawn("sys1", "p1")
+        federation.spawn("sys2", "p2")
+        assert federation.coincidental_global_names() == [
+            CompoundName.parse("/well-known/spec")]
+
+    def test_unknown_system_rejected(self, federation):
+        with pytest.raises(SchemeError):
+            federation.spawn("sys9", "p")
+        with pytest.raises(SchemeError):
+            federation.add_system("sys1")
+
+
+class TestDCEMultipleLocalContexts:
+    """The paper's criticism, addressed by the extension: machines can
+    attach several local contexts — at a measurable coherence cost."""
+
+    def test_extra_local_context_resolves(self, dce):
+        dce.add_cell("divisionX")
+        dce.cell_tree("divisionX").mkfile("projects/apollo")
+        machine = dce.add_machine("ws1", "research")
+        machine.add_local_context("div", "divisionX")
+        process = machine.spawn("p")
+        assert dce.resolve_for(process,
+                               "/div/projects/apollo").is_defined()
+
+    def test_extra_context_of_subtree(self, dce):
+        dce.add_cell("divisionX")
+        dce.cell_tree("divisionX").mkfile("projects/apollo/plan")
+        machine = dce.add_machine("ws1", "research")
+        machine.add_local_context("proj", "divisionX",
+                                  "projects/apollo")
+        process = machine.spawn("p")
+        assert dce.resolve_for(process, "/proj/plan").is_defined()
+
+    def test_extra_contexts_add_incoherence(self, dce):
+        from repro.coherence.definitions import coherent
+
+        dce.add_cell("divisionX")
+        dce.cell_tree("divisionX").mkfile("projects/apollo")
+        m1 = dce.add_machine("ws1", "research")
+        m2 = dce.add_machine("ws2", "research")
+        m1.add_local_context("div", "divisionX")
+        p1, p2 = m1.spawn("p1"), m2.spawn("p2")
+        # /div works on ws1 only: more non-global names, as predicted.
+        assert dce.resolve_for(p1, "/div/projects/apollo").is_defined()
+        assert not coherent("/div/projects/apollo", [p1, p2],
+                            dce.registry)
+        # The global form remains coherent.
+        assert coherent("/.../divisionX/projects/apollo", [p1, p2],
+                        dce.registry)

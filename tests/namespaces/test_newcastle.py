@@ -1,0 +1,156 @@
+"""Tests for the Newcastle Connection (§5.1, Figure 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coherence.definitions import coherent, is_global_name
+from repro.errors import SchemeError
+from repro.model.graph import NamingGraph
+from repro.model.names import CompoundName
+from repro.namespaces.newcastle import NewcastleSystem, RemoteRootPolicy
+
+
+@pytest.fixture
+def newcastle():
+    system = NewcastleSystem()
+    for machine in ("unix1", "unix2", "unix3"):
+        tree = system.add_machine(machine)
+        tree.mkfile("usr/spool/mail")
+        tree.mkfile(f"usr/{machine}-only")
+    return system
+
+
+class TestStructure:
+    def test_three_machines_under_super_root(self, newcastle):
+        assert newcastle.machines() == ["unix1", "unix2", "unix3"]
+        for machine in newcastle.machines():
+            bound = newcastle.super_root.state(machine)
+            assert bound is newcastle.machine_tree(machine).root
+
+    def test_single_tree_formed(self, newcastle):
+        sigma = newcastle.sigma
+        graph = NamingGraph(sigma)
+        assert graph.is_tree(newcastle.super_root)
+
+    def test_machine_parent_is_super_root(self, newcastle):
+        tree = newcastle.machine_tree("unix1")
+        assert tree.root.state("..") is newcastle.super_root
+
+    def test_duplicate_machine_rejected(self, newcastle):
+        with pytest.raises(SchemeError):
+            newcastle.add_machine("unix1")
+
+    def test_unknown_machine_rejected(self, newcastle):
+        with pytest.raises(SchemeError):
+            newcastle.machine_tree("vax")
+
+
+class TestRootBindings:
+    def test_typical_binding_is_own_machine_root(self, newcastle):
+        process = newcastle.spawn("unix2", "p")
+        assert newcastle.machine_of(process) == "unix2"
+        assert newcastle.resolve_for(
+            process, "/usr/unix2-only").is_defined()
+
+    def test_dotdot_reaches_other_machines(self, newcastle):
+        process = newcastle.spawn("unix1", "p")
+        remote = newcastle.resolve_for(process, "../unix2/usr/unix2-only")
+        assert remote.is_defined()
+        assert remote is newcastle.machine_tree("unix2").lookup(
+            "usr/unix2-only")
+
+    def test_rooted_dotdot_notation(self, newcastle):
+        # "/.." climbs above the machine root (rooted form).
+        process = newcastle.spawn("unix1", "p")
+        assert newcastle.resolve_for(
+            process, "/../unix3/usr/unix3-only").is_defined()
+
+
+class TestCoherence:
+    def test_same_machine_processes_coherent(self, newcastle):
+        first = newcastle.spawn("unix1", "a")
+        second = newcastle.spawn("unix1", "b")
+        assert coherent("/usr/spool/mail", [first, second],
+                        newcastle.registry)
+
+    def test_cross_machine_incoherent(self, newcastle):
+        first = newcastle.spawn("unix1", "a")
+        other = newcastle.spawn("unix2", "b")
+        assert not coherent("/usr/spool/mail", [first, other],
+                            newcastle.registry)
+
+    def test_shared_tree_does_not_imply_global_names(self, newcastle):
+        processes = [newcastle.spawn(m, f"{m}-p")
+                     for m in newcastle.machines()]
+        assert not is_global_name("/usr/spool/mail", processes,
+                                  newcastle.registry)
+
+
+class TestNameMapping:
+    def test_map_name_preserves_denotation(self, newcastle):
+        p1 = newcastle.spawn("unix1", "p1")
+        p2 = newcastle.spawn("unix2", "p2")
+        original = CompoundName.parse("/usr/unix1-only")
+        mapped = newcastle.map_name(original, "unix1", "unix2")
+        assert newcastle.resolve_for(p2, mapped) is \
+            newcastle.resolve_for(p1, original)
+
+    def test_map_name_same_machine_is_identity(self, newcastle):
+        name_ = CompoundName.parse("/usr/spool")
+        assert newcastle.map_name(name_, "unix1", "unix1") == name_
+
+    def test_map_name_relative_untouched(self, newcastle):
+        name_ = CompoundName.parse("spool/mail")
+        assert newcastle.map_name(name_, "unix1", "unix2") == name_
+
+    def test_map_name_unknown_machine_rejected(self, newcastle):
+        with pytest.raises(SchemeError):
+            newcastle.map_name("/x", "vax", "unix1")
+        with pytest.raises(SchemeError):
+            newcastle.map_name("/x", "unix1", "vax")
+
+
+class TestRemoteExecution:
+    def test_invoker_policy_keeps_parent_root(self, newcastle):
+        parent = newcastle.spawn("unix1", "parent")
+        child = newcastle.remote_spawn(parent, "unix2", "child",
+                                       RemoteRootPolicy.INVOKER)
+        assert coherent("/usr/unix1-only", [parent, child],
+                        newcastle.registry)
+        # But the child cannot see the remote machine's local files
+        # by their local names.
+        assert not newcastle.resolve_for(
+            child, "/usr/unix2-only").is_defined()
+
+    def test_target_policy_gives_local_access(self, newcastle):
+        parent = newcastle.spawn("unix1", "parent")
+        child = newcastle.remote_spawn(parent, "unix2", "child",
+                                       RemoteRootPolicy.TARGET)
+        assert newcastle.resolve_for(
+            child, "/usr/unix2-only").is_defined()
+        assert not coherent("/usr/unix1-only", [parent, child],
+                            newcastle.registry)
+
+    def test_default_policy_is_target(self, newcastle):
+        parent = newcastle.spawn("unix1", "parent")
+        child = newcastle.remote_spawn(parent, "unix2", "child")
+        assert newcastle.machine_of(child) == "unix2"
+
+
+class TestProbes:
+    def test_probe_names_deduplicate_homonyms(self, newcastle):
+        probes = [str(p) for p in newcastle.probe_names()]
+        assert probes.count("/usr/spool/mail") == 1
+        assert "/usr/unix2-only" in probes
+
+    def test_measure_shows_per_machine_groups(self, newcastle):
+        for machine in newcastle.machines():
+            newcastle.spawn(machine, f"{machine}-x")
+            newcastle.spawn(machine, f"{machine}-y")
+        degree = newcastle.measure()
+        # Nothing is coherent across ALL machines...
+        assert degree.coherent_fraction == 0.0
+        # ...but within a machine, locally-defined names agree (the
+        # groups report is per-machine).
+        assert set(degree.per_group) == {"unix1", "unix2", "unix3"}

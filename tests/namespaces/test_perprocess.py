@@ -1,0 +1,137 @@
+"""Tests for the per-process view of naming (§6-II)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coherence.definitions import coherent, is_global_name
+from repro.errors import SchemeError
+from repro.namespaces.perprocess import PerProcessSystem
+
+
+@pytest.fixture
+def port():
+    system = PerProcessSystem()
+    for machine in ("m1", "m2", "fs"):
+        system.add_machine(machine)
+    system.machine_tree("m1").mkfile("src/prog.c")
+    system.machine_tree("m2").mkfile("data/results")
+    system.machine_tree("fs").mkfile("lib/libc")
+    return system
+
+
+class TestNamespaces:
+    def test_individual_root_per_process(self, port):
+        first = port.spawn("m1", "a", mounts=[("home", "m1")])
+        second = port.spawn("m1", "b")
+        ns_a = port.namespace_of(first)
+        ns_b = port.namespace_of(second)
+        assert ns_a.root is not ns_b.root
+        assert port.resolve_for(first, "/home/src/prog.c").is_defined()
+        assert not port.resolve_for(second, "/home/src/prog.c").is_defined()
+
+    def test_attach_later(self, port):
+        process = port.spawn("m1", "p")
+        port.attach(process, "libs", "fs")
+        assert port.resolve_for(process, "/libs/lib/libc").is_defined()
+
+    def test_nested_mount_paths(self, port):
+        process = port.spawn("m1", "p",
+                             mounts=[("n/deep/home", "m1")])
+        assert port.resolve_for(process,
+                                "/n/deep/home/src/prog.c").is_defined()
+
+    def test_attach_through_mounted_subsystem_rejected(self, port):
+        process = port.spawn("m1", "p", mounts=[("home", "m1")])
+        with pytest.raises(SchemeError):
+            port.namespace_of(process).attach("home/extra",
+                                              port.machine_tree("fs").root)
+
+    def test_detach(self, port):
+        process = port.spawn("m1", "p", mounts=[("home", "m1")])
+        namespace = port.namespace_of(process)
+        namespace.detach("home")
+        assert not port.resolve_for(process, "/home/src/prog.c").is_defined()
+        assert namespace.attachments() == []
+
+    def test_detach_missing_rejected(self, port):
+        process = port.spawn("m1", "p")
+        with pytest.raises(SchemeError):
+            port.namespace_of(process).detach("nothing")
+
+    def test_namespace_of_unknown_process(self, port):
+        from repro.model.entities import Activity
+
+        with pytest.raises(SchemeError):
+            port.namespace_of(Activity("stranger"))
+
+
+class TestDecoupling:
+    def test_process_may_use_another_subsystems_context(self, port):
+        # A process executing on m2 can attach and use m1's tree.
+        process = port.spawn("m2", "visitor", mounts=[("home", "m1")])
+        assert port.resolve_for(process, "/home/src/prog.c").is_defined()
+
+    def test_fork_copies_mount_table(self, port):
+        parent = port.spawn("m1", "parent", mounts=[("home", "m1")])
+        child = port.fork(parent, "child")
+        assert coherent("/home/src/prog.c", [parent, child],
+                        port.registry)
+        # Later attaches stay private.
+        port.attach(child, "libs", "fs")
+        assert not port.resolve_for(parent, "/libs/lib/libc").is_defined()
+        assert port.resolve_for(child, "/libs/lib/libc").is_defined()
+
+
+class TestRemoteExecution:
+    def test_import_gives_parameter_coherence(self, port):
+        parent = port.spawn("m1", "parent", mounts=[("home", "m1")])
+        child = port.remote_spawn(parent, "m2", "child")
+        assert coherent("/home/src/prog.c", [parent, child],
+                        port.registry)
+
+    def test_child_reaches_both_machines(self, port):
+        parent = port.spawn("m1", "parent", mounts=[("home", "m1")])
+        child = port.remote_spawn(parent, "m2", "child")
+        assert port.resolve_for(child, "/home/src/prog.c").is_defined()
+        assert port.resolve_for(child, "/local/data/results").is_defined()
+
+    def test_no_import_variant(self, port):
+        parent = port.spawn("m1", "parent", mounts=[("home", "m1")])
+        child = port.remote_spawn(parent, "m2", "bare",
+                                  import_namespace=False)
+        assert not port.resolve_for(child, "/home/src/prog.c").is_defined()
+        assert port.resolve_for(child, "/local/data/results").is_defined()
+
+    def test_no_local_mount_variant(self, port):
+        parent = port.spawn("m1", "parent", mounts=[("home", "m1")])
+        child = port.remote_spawn(parent, "m2", "pure",
+                                  local_mount=None)
+        assert port.resolve_for(child, "/home/src/prog.c").is_defined()
+        assert not port.resolve_for(child, "/local/data/results").is_defined()
+
+    def test_coherence_without_global_names(self, port):
+        parent = port.spawn("m1", "parent", mounts=[("home", "m1")])
+        child = port.remote_spawn(parent, "m2", "child")
+        bystander = port.spawn("fs", "bystander")
+        assert coherent("/home/src/prog.c", [parent, child],
+                        port.registry)
+        assert not is_global_name("/home/src/prog.c", port.activities(),
+                                  port.registry)
+
+    def test_unknown_target_machine_rejected(self, port):
+        parent = port.spawn("m1", "parent")
+        with pytest.raises(SchemeError):
+            port.remote_spawn(parent, "mars", "child")
+
+
+class TestProbes:
+    def test_probe_names_cover_mounts(self, port):
+        port.spawn("m1", "p", mounts=[("home", "m1")])
+        probes = {str(p) for p in port.probe_names()}
+        assert "/home" in probes
+        assert "/home/src/prog.c" in probes
+
+    def test_namespace_repr(self, port):
+        process = port.spawn("m1", "p", mounts=[("home", "m1")])
+        assert "1 mounts" in repr(port.namespace_of(process))

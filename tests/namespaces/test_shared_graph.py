@@ -1,0 +1,127 @@
+"""Tests for the shared naming graph approach (§5.2, Figure 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coherence.definitions import coherent, is_global_name
+from repro.errors import SchemeError
+from repro.namespaces.shared_graph import SharedGraphSystem
+from repro.replication.weak import replica_equivalence
+
+
+@pytest.fixture
+def andrew():
+    system = SharedGraphSystem()
+    system.shared.mkfile("usr/alice/thesis")
+    system.shared.mkfile("project/plan")
+    for label in ("ws1", "ws2"):
+        client = system.add_client(label)
+        client.tree.mkfile("tmp/scratch")
+    return system
+
+
+class TestStructure:
+    def test_clients_mount_shared_tree(self, andrew):
+        for client in andrew.clients():
+            mounted = client.tree.lookup("vice")
+            assert mounted is andrew.shared.root
+
+    def test_duplicate_client_rejected(self, andrew):
+        with pytest.raises(SchemeError):
+            andrew.add_client("ws1")
+
+    def test_unknown_client_rejected(self, andrew):
+        with pytest.raises(SchemeError):
+            andrew.client("ws9")
+
+    def test_custom_shared_prefix(self):
+        system = SharedGraphSystem(shared_prefix="afs")
+        system.shared.mkfile("f")
+        client = system.add_client("c")
+        process = client.spawn("p")
+        assert system.resolve_for(process, "/afs/f").is_defined()
+
+
+class TestCoherence:
+    def test_shared_names_globally_coherent(self, andrew):
+        processes = [andrew.client(c).spawn(f"{c}-p")
+                     for c in ("ws1", "ws2")]
+        assert is_global_name("/vice/usr/alice/thesis", processes,
+                              andrew.registry)
+
+    def test_local_names_coherent_within_client_only(self, andrew):
+        a1 = andrew.client("ws1").spawn("a1")
+        a2 = andrew.client("ws1").spawn("a2")
+        b1 = andrew.client("ws2").spawn("b1")
+        assert coherent("/tmp/scratch", [a1, a2], andrew.registry)
+        assert not coherent("/tmp/scratch", [a1, b1], andrew.registry)
+
+    def test_client_cannot_reach_other_clients_local_graph(self, andrew):
+        process = andrew.client("ws1").spawn("p")
+        # There is no name from ws1's root to ws2's local files.
+        from repro.model.graph import NamingGraph
+
+        ws2_scratch = andrew.client("ws2").tree.lookup("tmp/scratch")
+        graph = NamingGraph(andrew.sigma)
+        root = andrew.registry.context_of(process).root_dir  # type: ignore
+        assert ws2_scratch not in graph.reachable_from(root)
+
+
+class TestReplication:
+    def test_replicate_command_binds_everywhere(self, andrew):
+        andrew.replicate_command("bin/ls")
+        p1 = andrew.client("ws1").spawn("p1")
+        p2 = andrew.client("ws2").spawn("p2")
+        first = andrew.resolve_for(p1, "/bin/ls")
+        second = andrew.resolve_for(p2, "/bin/ls")
+        assert first.is_defined() and second.is_defined()
+        assert first is not second
+
+    def test_replicated_names_weakly_coherent(self, andrew):
+        andrew.replicate_command("bin/ls")
+        processes = [andrew.client(c).spawn(f"{c}-p")
+                     for c in ("ws1", "ws2")]
+        assert not coherent("/bin/ls", processes, andrew.registry)
+        assert coherent("/bin/ls", processes, andrew.registry,
+                        equivalence=replica_equivalence(andrew.replicas))
+
+    def test_replicate_before_clients_rejected(self):
+        system = SharedGraphSystem()
+        with pytest.raises(SchemeError):
+            system.replicate_command("bin/ls")
+
+    def test_replica_states_stay_equal(self, andrew):
+        set_id = andrew.replicate_command("bin/cc", content="cc-v1")
+        members = andrew.replicas.members(set_id)
+        andrew.replicas.write(members[0], "cc-v2")
+        assert all(m.state == "cc-v2" for m in members)
+        assert andrew.replicas.check_invariant()
+
+
+class TestArgumentPassing:
+    def test_passable_predicate(self, andrew):
+        assert andrew.passable("/vice/project/plan")
+        assert not andrew.passable("/tmp/scratch")
+        assert not andrew.passable("vice/project/plan")  # not rooted
+
+    def test_remote_spawn_runs_in_target_client(self, andrew):
+        parent = andrew.client("ws1").spawn("parent")
+        child = andrew.remote_spawn(parent, "ws2", "child")
+        assert coherent("/vice/project/plan", [parent, child],
+                        andrew.registry)
+        assert not coherent("/tmp/scratch", [parent, child],
+                            andrew.registry)
+
+
+class TestProbes:
+    def test_probe_partition(self, andrew):
+        shared = {str(p) for p in andrew.shared_probe_names()}
+        local = {str(p) for p in andrew.local_probe_names()}
+        assert "/vice/usr/alice/thesis" in shared
+        assert "/tmp/scratch" in local
+        assert not shared & local
+
+    def test_local_probes_exclude_shared_mount(self, andrew):
+        assert all(not p.starts_with("/vice")
+                   for p in andrew.local_probe_names())

@@ -1,0 +1,70 @@
+"""Tests for the single global tree (Locus / V, §5.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coherence.definitions import is_global_name
+from repro.errors import SchemeError
+from repro.namespaces.single_tree import SingleTreeSystem
+
+
+@pytest.fixture
+def locus():
+    system = SingleTreeSystem()
+    for machine in ("vax1", "vax2"):
+        system.add_machine(machine)
+        system.machine_tree(machine).mkfile("tmp/scratch")
+    return system
+
+
+class TestStructure:
+    def test_machines_mounted_under_root(self, locus):
+        assert locus.machines() == ["vax1", "vax2"]
+        assert locus.tree.lookup("vax1") is \
+            locus.machine_tree("vax1").root
+
+    def test_custom_mount_point(self):
+        system = SingleTreeSystem()
+        system.add_machine("vax1", mount_at="machines/vax1")
+        assert system.tree.lookup("machines/vax1").is_defined()
+
+    def test_duplicate_machine_rejected(self, locus):
+        with pytest.raises(SchemeError):
+            locus.add_machine("vax1")
+
+    def test_unknown_machine_rejected(self, locus):
+        with pytest.raises(SchemeError):
+            locus.machine_tree("vax9")
+        with pytest.raises(SchemeError):
+            locus.spawn("vax9", "p")
+
+
+class TestGlobalCoherence:
+    def test_all_roots_are_the_global_root(self, locus):
+        p1 = locus.spawn("vax1", "p1")
+        p2 = locus.spawn("vax2", "p2")
+        c1 = locus.registry.context_of(p1)
+        c2 = locus.registry.context_of(p2)
+        assert c1.root_dir is c2.root_dir is locus.tree.root
+
+    def test_every_rooted_name_is_global(self, locus):
+        processes = [locus.spawn("vax1", "a"), locus.spawn("vax2", "b")]
+        for probe in locus.probe_names():
+            assert is_global_name(probe, processes, locus.registry)
+
+    def test_high_degree_of_coherence(self, locus):
+        for machine in locus.machines():
+            locus.spawn(machine, f"{machine}-p")
+        degree = locus.measure()
+        assert degree.coherent_fraction == 1.0
+        assert degree.global_fraction == 1.0
+
+    def test_machine_locality_is_visible_in_names(self, locus):
+        # Each machine's /tmp gets a distinct global path — locality
+        # moved into the name, which is why a single tree scales badly.
+        p = locus.spawn("vax1", "p")
+        first = locus.resolve_for(p, "/vax1/tmp/scratch")
+        second = locus.resolve_for(p, "/vax2/tmp/scratch")
+        assert first.is_defined() and second.is_defined()
+        assert first is not second

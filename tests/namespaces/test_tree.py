@@ -1,0 +1,206 @@
+"""Tests for the naming-tree substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemeError
+from repro.model.entities import ObjectEntity
+from repro.model.names import PARENT, CompoundName
+from repro.model.state import GlobalState
+from repro.namespaces.tree import NamingTree
+
+
+@pytest.fixture
+def tree():
+    return NamingTree("root", parent_links=True)
+
+
+class TestBuilding:
+    def test_mkdir_creates_chain(self, tree):
+        node = tree.mkdir("a/b/c")
+        assert node.is_context_object()
+        assert tree.lookup("a/b/c") is node
+
+    def test_mkdir_is_idempotent(self, tree):
+        first = tree.mkdir("a/b")
+        second = tree.mkdir("a/b")
+        assert first is second
+
+    def test_mkdir_through_file_rejected(self, tree):
+        tree.mkfile("a/file")
+        with pytest.raises(SchemeError):
+            tree.mkdir("a/file/deeper")
+
+    def test_mkfile(self, tree):
+        leaf = tree.mkfile("etc/passwd")
+        assert not leaf.is_context_object()
+        assert tree.lookup("etc/passwd") is leaf
+        assert leaf.label == "passwd"
+
+    def test_mkfile_duplicate_rejected(self, tree):
+        tree.mkfile("etc/passwd")
+        with pytest.raises(SchemeError):
+            tree.mkfile("etc/passwd")
+
+    def test_add_binds_existing_entity(self, tree):
+        entity = ObjectEntity("external")
+        tree.add("place/external", entity)
+        assert tree.lookup("place/external") is entity
+
+    def test_sigma_registration(self):
+        sigma = GlobalState()
+        tree = NamingTree("root", sigma=sigma)
+        leaf = tree.mkfile("a/b")
+        assert leaf in sigma
+        assert tree.root in sigma
+
+
+class TestParentLinks:
+    def test_directories_have_parent_binding(self, tree):
+        child = tree.mkdir("a/b")
+        a = tree.directory("a")
+        assert child.state(PARENT) is a
+        assert a.state(PARENT) is tree.root
+
+    def test_root_is_own_parent(self, tree):
+        assert tree.root.state(PARENT) is tree.root
+
+    def test_no_parent_links_mode(self):
+        plain = NamingTree("root", parent_links=False)
+        child = plain.mkdir("a")
+        assert not child.state.binds(PARENT)
+
+    def test_dotdot_resolution(self, tree):
+        tree.mkfile("a/x")
+        tree.mkdir("b")
+        assert tree.lookup("b/../a/x").is_defined()
+
+
+class TestLookup:
+    def test_empty_path_is_root(self, tree):
+        assert tree.lookup("") is tree.root
+        assert tree.lookup(CompoundName()) is tree.root
+
+    def test_rooted_path_treated_as_tree_relative(self, tree):
+        leaf = tree.mkfile("etc/passwd")
+        assert tree.lookup("/etc/passwd") is leaf
+
+    def test_missing_path(self, tree):
+        assert not tree.lookup("no/such").is_defined()
+        assert not tree.exists("no/such")
+
+    def test_directory_accessor_requires_directory(self, tree):
+        tree.mkfile("f")
+        with pytest.raises(SchemeError):
+            tree.directory("f")
+        with pytest.raises(SchemeError):
+            tree.directory("missing")
+
+    def test_entries_sorted_without_parent(self, tree):
+        tree.mkfile("dir/zebra")
+        tree.mkfile("dir/apple")
+        assert tree.entries("dir") == ["apple", "zebra"]
+
+
+class TestAttachDetach:
+    def test_attach_other_tree(self, tree):
+        other = NamingTree("other", parent_links=True)
+        other.mkfile("data/results")
+        tree.attach("mnt/other", other.root)
+        assert tree.lookup("mnt/other/data/results").is_defined()
+
+    def test_attach_rebinds_parent(self, tree):
+        other = NamingTree("other", parent_links=True)
+        tree.attach("mnt/o", other.root)
+        assert other.root.state(PARENT) is tree.directory("mnt")
+
+    def test_attach_without_parent_rebinding(self, tree):
+        other = NamingTree("other", parent_links=True)
+        original_parent = other.root.state(PARENT)
+        tree.attach("mnt/o", other.root, set_parent=False)
+        assert other.root.state(PARENT) is original_parent
+
+    def test_detach(self, tree):
+        leaf = tree.mkfile("a/f")
+        detached = tree.detach("a/f")
+        assert detached is leaf
+        assert not tree.exists("a/f")
+
+    def test_detach_missing_rejected(self, tree):
+        with pytest.raises(SchemeError):
+            tree.detach("no/thing")
+
+
+class TestTraversal:
+    def test_walk_yields_all_paths(self, tree):
+        tree.mkfile("a/x")
+        tree.mkfile("b/y")
+        paths = {str(p) for p, _ in tree.walk()}
+        assert paths == {"a", "a/x", "b", "b/y"}
+
+    def test_walk_is_deterministic(self, tree):
+        tree.mkfile("b/y")
+        tree.mkfile("a/x")
+        assert tree.all_paths() == [p for p, _ in tree.walk()]
+        assert [str(p) for p in tree.all_paths()] == \
+            ["a", "b", "a/x", "b/y"]
+
+    def test_walk_skips_parent_edges(self, tree):
+        tree.mkdir("a")
+        assert all(PARENT not in p.parts for p in tree.all_paths())
+
+    def test_leaf_paths(self, tree):
+        tree.mkfile("a/x")
+        tree.mkdir("b")
+        assert [str(p) for p in tree.leaf_paths()] == ["a/x"]
+
+    def test_path_of(self, tree):
+        leaf = tree.mkfile("a/b/c")
+        assert str(tree.path_of(leaf)) == "a/b/c"
+        assert tree.path_of(ObjectEntity("ghost")) is None
+
+    def test_shared_node_yields_multiple_paths(self, tree):
+        leaf = tree.mkfile("a/f")
+        tree.add("b/link", leaf)
+        paths = {str(p) for p, e in tree.walk() if e is leaf}
+        assert paths == {"a/f", "b/link"}
+
+
+class TestCopySubtree:
+    def test_copy_shares_leaves_by_default(self, tree):
+        leaf = tree.mkfile("src/data")
+        copy = tree.copy_subtree(tree.directory("src"))
+        assert copy is not tree.directory("src")
+        assert copy.state("data") is leaf
+
+    def test_copy_clones_with_copy_leaf(self, tree):
+        leaf = tree.mkfile("src/data")
+        leaf.state = "payload"
+
+        def clone(obj):
+            fresh = ObjectEntity(obj.label)
+            fresh.state = obj.state
+            return fresh
+
+        copy = tree.copy_subtree(tree.directory("src"), copy_leaf=clone)
+        cloned = copy.state("data")
+        assert cloned is not leaf
+        assert cloned.state == "payload"
+
+    def test_copy_rebuilds_internal_parents(self, tree):
+        tree.mkdir("src/sub")
+        copy = tree.copy_subtree(tree.directory("src"))
+        sub_copy = copy.state("sub")
+        assert sub_copy.state(PARENT) is copy
+
+    def test_copy_of_leaf_rejected(self, tree):
+        leaf = tree.mkfile("f")
+        with pytest.raises(SchemeError):
+            tree.copy_subtree(leaf)
+
+    def test_copy_is_deep_for_directories(self, tree):
+        tree.mkfile("src/sub/deep")
+        copy = tree.copy_subtree(tree.directory("src"))
+        original_sub = tree.directory("src/sub")
+        assert copy.state("sub") is not original_sub

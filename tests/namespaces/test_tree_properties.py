@@ -1,0 +1,111 @@
+"""Property-based invariants of the naming-tree substrate and the
+Figure-6 scope resolution."""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.embedded.documents import flatten
+from repro.embedded.objects import StructuredContent, structured_object
+from repro.embedded.relocate import move_subtree
+from repro.embedded.scoping import scope_rule
+from repro.model.entities import Activity
+from repro.model.names import CompoundName
+from repro.model.resolution import resolve
+from repro.model.state import GlobalState
+from repro.namespaces.base import ProcessContext
+from repro.namespaces.tree import NamingTree
+
+atoms = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=4)
+paths = st.lists(atoms, min_size=1, max_size=4).map(CompoundName)
+
+
+class TestTreeResolutionCorrespondence:
+    @settings(max_examples=60)
+    @given(st.lists(paths, min_size=1, max_size=8, unique_by=str))
+    def test_walk_paths_resolve_to_their_entities(self, file_paths):
+        tree = NamingTree("root", parent_links=True)
+        for path in file_paths:
+            if not tree.exists(path):
+                try:
+                    tree.mkfile(path)
+                except Exception:
+                    # A prefix of this path is already a file; the
+                    # generator may produce such collisions — skip.
+                    continue
+        context = ProcessContext(tree.root)
+        for path, entity in tree.walk():
+            assert tree.lookup(path) is entity
+            assert resolve(context, path.as_rooted()) is entity
+
+    @settings(max_examples=60)
+    @given(st.lists(paths, min_size=1, max_size=8, unique_by=str))
+    def test_all_paths_deterministic(self, file_paths):
+        def build():
+            tree = NamingTree("root", parent_links=True)
+            for path in file_paths:
+                try:
+                    if not tree.exists(path):
+                        tree.mkfile(path)
+                except Exception:
+                    continue
+            return [str(p) for p in tree.all_paths()]
+
+        assert build() == build()
+
+    @settings(max_examples=40)
+    @given(st.lists(paths, min_size=1, max_size=6, unique_by=str),
+           st.data())
+    def test_detach_removes_exactly_the_subtree(self, file_paths, data):
+        tree = NamingTree("root", parent_links=True)
+        created = []
+        for path in file_paths:
+            try:
+                if not tree.exists(path):
+                    tree.mkfile(path)
+                    created.append(path)
+            except Exception:
+                continue
+        if not created:
+            return
+        victim = data.draw(st.sampled_from(created))
+        top = CompoundName(victim.parts[:1])
+        tree.detach(top)
+        assert not tree.exists(victim)
+        for other in created:
+            if not other.starts_with(top):
+                assert tree.exists(other)
+
+
+class TestScopeInvarianceProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(atoms, min_size=1, max_size=3),
+           st.lists(st.lists(atoms, min_size=1, max_size=2),
+                    min_size=1, max_size=3))
+    def test_meaning_invariant_under_random_relocations(
+            self, binding_dir, destinations):
+        """Figure-6 resolution survives any sequence of subtree moves."""
+        sigma = GlobalState()
+        tree = NamingTree("root", sigma=sigma, parent_links=True)
+        # Subtree `pkg` with an internal binding and a document.
+        target_path = CompoundName(["pkg"] + binding_dir).child("part")
+        part = tree.mkfile(target_path)
+        part.state = "DATA"
+        embedded = CompoundName(binding_dir).child("part")
+        document = tree.add("pkg/doc", structured_object(
+            "doc", StructuredContent().include(embedded), sigma=sigma))
+        reader = Activity("reader")
+        sigma.add(reader)
+        rule = scope_rule(sigma)
+        assert flatten(document, reader, rule) == "DATA"
+
+        location = CompoundName(["pkg"])
+        for index, destination in enumerate(destinations):
+            new_location = CompoundName(
+                [f"hop{index}"] + destination).child("pkg")
+            move_subtree(tree, location, new_location)
+            location = new_location
+            assert flatten(document, reader, rule) == "DATA"

@@ -1,0 +1,91 @@
+"""Stateful (rule-based) hypothesis test for the naming tree.
+
+Random interleavings of mkdir/mkfile/add/detach must preserve the
+substrate's invariants: every walked path resolves to its entity, the
+structure stays a tree, and parent links stay consistent.
+"""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.errors import SchemeError
+from repro.model.graph import NamingGraph
+from repro.model.names import PARENT, CompoundName
+from repro.model.state import GlobalState
+from repro.namespaces.tree import NamingTree
+
+atoms = st.sampled_from([c for c in string.ascii_lowercase[:6]])
+paths = st.lists(atoms, min_size=1, max_size=3).map(CompoundName)
+
+
+class NamingTreeMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.sigma = GlobalState()
+        self.tree = NamingTree("root", sigma=self.sigma,
+                               parent_links=True)
+        self.detached_anything = False
+
+    @rule(path=paths)
+    def mkdir(self, path):
+        try:
+            node = self.tree.mkdir(path)
+        except SchemeError:
+            return  # a file blocked the path — legal refusal
+        assert node.is_context_object()
+        assert self.tree.lookup(path) is node
+
+    @rule(path=paths)
+    def mkfile(self, path):
+        try:
+            leaf = self.tree.mkfile(path)
+        except SchemeError:
+            return  # occupied or blocked — legal refusal
+        assert self.tree.lookup(path) is leaf
+
+    @rule(path=paths)
+    def detach(self, path):
+        existed = self.tree.exists(path)
+        try:
+            self.tree.detach(path)
+        except SchemeError:
+            assert not existed or len(path) == 0
+            return
+        assert existed
+        assert not self.tree.exists(path)
+        self.detached_anything = True
+
+    @invariant()
+    def walk_paths_resolve(self):
+        for path, entity in self.tree.walk(max_depth=16):
+            assert self.tree.lookup(path) is entity
+
+    @invariant()
+    def structure_is_a_tree(self):
+        graph = NamingGraph(self.sigma)
+        assert graph.is_tree(self.tree.root)
+
+    @invariant()
+    def parent_links_consistent(self):
+        for path, entity in self.tree.walk(max_depth=16):
+            if entity.is_context_object():
+                parent = entity.state(PARENT)
+                # Reachable directories always carry a parent link
+                # pointing at a directory.
+                assert parent.is_defined()
+                assert parent.is_context_object()
+
+
+NamingTreeMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None)
+TestNamingTreeStateful = NamingTreeMachine.TestCase

@@ -1,0 +1,158 @@
+"""Tests for union directories (Plan 9-style, §6-II extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coherence.definitions import coherent
+from repro.errors import SchemeError
+from repro.model.context import context_object
+from repro.model.entities import ObjectEntity, UNDEFINED_ENTITY
+from repro.model.resolution import resolve
+from repro.namespaces.perprocess import PerProcessSystem
+from repro.namespaces.union import UnionContext, union_directory
+
+
+@pytest.fixture
+def bins():
+    """Two bin directories with one shadowing collision."""
+    local_bin = context_object("local-bin")
+    shared_bin = context_object("shared-bin")
+    local_ls = ObjectEntity("ls@local")
+    shared_ls = ObjectEntity("ls@shared")
+    shared_cc = ObjectEntity("cc@shared")
+    local_bin.state.bind("ls", local_ls)
+    shared_bin.state.bind("ls", shared_ls)
+    shared_bin.state.bind("cc", shared_cc)
+    return local_bin, shared_bin, local_ls, shared_ls, shared_cc
+
+
+class TestUnionContext:
+    def test_first_match_wins(self, bins):
+        local_bin, shared_bin, local_ls, shared_ls, _ = bins
+        union = UnionContext([local_bin, shared_bin])
+        assert union("ls") is local_ls
+
+    def test_later_members_fill_gaps(self, bins):
+        local_bin, shared_bin, *_, shared_cc = bins
+        union = UnionContext([local_bin, shared_bin])
+        assert union("cc") is shared_cc
+
+    def test_member_order_matters(self, bins):
+        local_bin, shared_bin, local_ls, shared_ls, _ = bins
+        assert UnionContext([shared_bin, local_bin])("ls") is shared_ls
+
+    def test_prepend_member(self, bins):
+        local_bin, shared_bin, local_ls, shared_ls, _ = bins
+        union = UnionContext([shared_bin])
+        union.add_member(local_bin, first=True)
+        assert union("ls") is local_ls
+
+    def test_remove_member(self, bins):
+        local_bin, shared_bin, local_ls, shared_ls, _ = bins
+        union = UnionContext([local_bin, shared_bin])
+        union.remove_member(local_bin)
+        assert union("ls") is shared_ls
+
+    def test_explicit_bindings_shadow_members(self, bins):
+        local_bin, shared_bin, *_ = bins
+        union = UnionContext([local_bin, shared_bin])
+        override = ObjectEntity("ls@override")
+        union.bind("ls", override)
+        assert union("ls") is override
+
+    def test_unbound_everywhere(self, bins):
+        local_bin, shared_bin, *_ = bins
+        union = UnionContext([local_bin, shared_bin])
+        assert union("nope") is UNDEFINED_ENTITY
+
+    def test_parent_not_inherited_from_members(self, bins):
+        local_bin, shared_bin, *_ = bins
+        root = context_object("root")
+        local_bin.state.bind("..", root)
+        union = UnionContext([local_bin])
+        assert union("..") is UNDEFINED_ENTITY
+
+    def test_names_merges_members(self, bins):
+        local_bin, shared_bin, *_ = bins
+        union = UnionContext([local_bin, shared_bin])
+        assert union.names() == ["cc", "ls"]
+        assert list(union) == ["cc", "ls"]
+
+    def test_member_must_be_directory(self):
+        with pytest.raises(SchemeError):
+            UnionContext([ObjectEntity("file")])  # type: ignore
+
+    def test_equality_by_members_and_bindings(self, bins):
+        local_bin, shared_bin, *_ = bins
+        first = UnionContext([local_bin, shared_bin])
+        second = UnionContext([local_bin, shared_bin])
+        third = UnionContext([shared_bin, local_bin])
+        assert first == second
+        assert first != third
+
+    def test_resolution_recursion_through_unions(self, bins):
+        # Compound names walk through union directories unchanged.
+        local_bin, shared_bin, *_, shared_cc = bins
+        union_obj = union_directory("bin", [local_bin, shared_bin])
+        root = context_object("root")
+        root.state.bind("bin", union_obj)
+        assert resolve(root.state, "bin/cc") is shared_cc
+
+
+class TestUnionInPerProcessNamespaces:
+    @pytest.fixture
+    def port(self):
+        system = PerProcessSystem()
+        for machine in ("ws", "fs"):
+            system.add_machine(machine)
+        system.machine_tree("ws").mkfile("bin/ls")
+        system.machine_tree("fs").mkfile("bin/ls")
+        system.machine_tree("fs").mkfile("bin/cc")
+        return system
+
+    def test_union_bin(self, port):
+        process = port.spawn("ws", "p")
+        port.attach_union(process, "bin",
+                          [("ws", "bin"), ("fs", "bin")])
+        ls = port.resolve_for(process, "/bin/ls")
+        cc = port.resolve_for(process, "/bin/cc")
+        assert ls is port.machine_tree("ws").lookup("bin/ls")
+        assert cc is port.machine_tree("fs").lookup("bin/cc")
+
+    def test_same_union_recipe_is_coherent(self, port):
+        recipe = [("ws", "bin"), ("fs", "bin")]
+        first = port.spawn("ws", "p1")
+        second = port.spawn("fs", "p2")
+        port.attach_union(first, "bin", recipe)
+        port.attach_union(second, "bin", recipe)
+        assert coherent("/bin/ls", [first, second], port.registry)
+        assert coherent("/bin/cc", [first, second], port.registry)
+
+    def test_different_order_diverges_on_collisions(self, port):
+        first = port.spawn("ws", "p1")
+        second = port.spawn("ws", "p2")
+        port.attach_union(first, "bin", [("ws", "bin"), ("fs", "bin")])
+        port.attach_union(second, "bin", [("fs", "bin"), ("ws", "bin")])
+        assert not coherent("/bin/ls", [first, second], port.registry)
+        assert coherent("/bin/cc", [first, second], port.registry)
+
+    def test_union_source_must_be_directory(self, port):
+        process = port.spawn("ws", "p")
+        with pytest.raises(SchemeError):
+            port.attach_union(process, "bin", [("ws", "bin/ls")])
+
+
+class TestUnionCopy:
+    def test_copy_preserves_members_and_bindings(self, bins):
+        local_bin, shared_bin, local_ls, *_ = bins
+        union = UnionContext([local_bin, shared_bin])
+        override = ObjectEntity("override")
+        union.bind("x", override)
+        clone = union.copy()
+        assert clone == union
+        assert clone("ls") is local_ls
+        assert clone("x") is override
+        # Independence: mutating the clone leaves the original alone.
+        clone.remove_member(local_bin)
+        assert union("ls") is local_ls

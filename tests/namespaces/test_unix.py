@@ -1,0 +1,140 @@
+"""Tests for the Unix scheme (§5.1): the paper's claims, executable."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coherence.definitions import coherent, is_global_name
+from repro.errors import SchemeError
+from repro.namespaces.unix import UnixSystem
+
+
+class TestSpawnAndResolve:
+    def test_default_root_is_tree_root(self, unix_system):
+        process = unix_system.spawn("p")
+        assert unix_system.resolve_for(process,
+                                       "/etc/passwd").label == "passwd"
+
+    def test_cwd_path_at_spawn(self, unix_system):
+        process = unix_system.spawn("p", cwd="home/alice")
+        assert unix_system.resolve_for(process, "notes").label == "notes"
+
+    def test_spawn_with_bad_cwd_rejected(self, unix_system):
+        with pytest.raises(SchemeError):
+            unix_system.spawn("p", cwd="etc/passwd")
+
+    def test_adopting_external_activity(self, unix_system):
+        from repro.model.entities import Activity
+
+        external = Activity("sim-process")
+        adopted = unix_system.spawn("ignored", activity=external)
+        assert adopted is external
+
+
+class TestRootedCoherence:
+    def test_rooted_names_coherent_across_processes(self, unix_system):
+        processes = [unix_system.spawn(f"p{i}") for i in range(3)]
+        for probe in ("/etc/passwd", "/usr/bin/cc", "/home/alice/notes"):
+            assert is_global_name(probe, processes, unix_system.registry)
+
+    def test_relative_names_diverge_with_cwd(self, unix_system):
+        at_root = unix_system.spawn("at-root")
+        in_home = unix_system.spawn("in-home", cwd="home/alice")
+        assert not coherent("notes", [at_root, in_home],
+                            unix_system.registry)
+
+
+class TestForkInheritance:
+    def test_child_inherits_everything(self, unix_system):
+        parent = unix_system.spawn("parent", cwd="home/alice")
+        child = unix_system.fork(parent, "child")
+        # Coherence for ALL names: rooted and relative.
+        assert coherent("/etc/passwd", [parent, child],
+                        unix_system.registry)
+        assert coherent("notes", [parent, child], unix_system.registry)
+
+    def test_coherence_until_context_modified(self, unix_system):
+        parent = unix_system.spawn("parent", cwd="home/alice")
+        child = unix_system.fork(parent, "child")
+        unix_system.chdir(child, "/home/bob")
+        assert not coherent("notes", [parent, child],
+                            unix_system.registry)
+        # Rooted names still agree (same root binding).
+        assert coherent("/home/alice/notes", [parent, child],
+                        unix_system.registry)
+
+    def test_parent_can_pass_any_file_name(self, unix_system):
+        from repro.remote.execution import evaluate_remote_exec
+
+        parent = unix_system.spawn("parent", cwd="home/alice")
+        child = unix_system.fork(parent, "child")
+        report = evaluate_remote_exec(
+            unix_system.registry, parent, child,
+            ["/etc/passwd", "notes", "/home/bob/todo"])
+        assert report.coherence_rate == 1.0
+
+    def test_fork_of_non_process_rejected(self, unix_system):
+        from repro.model.context import Context
+        from repro.model.entities import Activity
+
+        stranger = Activity("stranger")
+        unix_system.adopt_activity(stranger, Context())
+        with pytest.raises(SchemeError):
+            unix_system.fork(stranger, "child")
+
+
+class TestChdirChroot:
+    def test_chdir_moves_cwd(self, unix_system):
+        process = unix_system.spawn("p")
+        unix_system.chdir(process, "/home/alice")
+        assert unix_system.resolve_for(process, "notes").label == "notes"
+
+    def test_chdir_relative(self, unix_system):
+        process = unix_system.spawn("p")
+        unix_system.chdir(process, "home")
+        unix_system.chdir(process, "alice")
+        assert unix_system.resolve_for(process, "notes").label == "notes"
+
+    def test_chdir_to_file_rejected(self, unix_system):
+        process = unix_system.spawn("p")
+        with pytest.raises(SchemeError):
+            unix_system.chdir(process, "/etc/passwd")
+
+    def test_chroot_restricts_view(self, unix_system):
+        process = unix_system.spawn("p")
+        unix_system.chroot(process, "/home")
+        assert unix_system.resolve_for(process,
+                                       "/alice/notes").label == "notes"
+        assert not unix_system.resolve_for(process,
+                                           "/etc/passwd").is_defined()
+
+    def test_chroot_breaks_coherence(self, unix_system):
+        normal = unix_system.spawn("normal")
+        jailed = unix_system.spawn("jailed")
+        unix_system.chroot(jailed, "/home")
+        assert not coherent("/etc/passwd", [normal, jailed],
+                            unix_system.registry)
+
+    def test_same_chroot_restores_coherence(self, unix_system):
+        # "coherence only among processes that have the same binding
+        # for the root directory" — including non-default bindings.
+        first, second = unix_system.spawn("j1"), unix_system.spawn("j2")
+        unix_system.chroot(first, "/home")
+        unix_system.chroot(second, "/home")
+        assert coherent("/alice/notes", [first, second],
+                        unix_system.registry)
+
+
+class TestProbeNames:
+    def test_probe_names_are_rooted_tree_paths(self, unix_system):
+        probes = unix_system.probe_names()
+        assert all(p.rooted for p in probes)
+        texts = {str(p) for p in probes}
+        assert "/etc/passwd" in texts and "/home/alice" in texts
+
+    def test_measure_full_coherence_without_chroot(self, unix_system):
+        for index in range(3):
+            unix_system.spawn(f"p{index}")
+        degree = unix_system.measure()
+        assert degree.coherent_fraction == 1.0
+        assert degree.global_fraction == 1.0

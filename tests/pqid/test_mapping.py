@@ -1,0 +1,133 @@
+"""Tests (incl. hypothesis properties) for pid resolution & mapping."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pqid.mapping import fully_qualify, map_pid, qualify, resolve_pid
+from repro.pqid.pid import Pid, Qualification, SELF_PID
+from repro.workloads.scenarios import build_pqid_population
+
+
+@pytest.fixture
+def population():
+    return build_pqid_population(seed=11, n_networks=2,
+                                 machines_per_network=2,
+                                 processes_per_machine=2)
+
+
+class TestQualify:
+    def test_self(self, population):
+        process = population.processes[0]
+        assert qualify(process, process) == SELF_PID
+
+    def test_same_machine(self, population):
+        a, b = population.processes[0], population.processes[1]
+        assert a.machine is b.machine
+        pid = qualify(b, a)
+        assert pid.qualification is Qualification.MACHINE
+        assert pid.laddr == b.laddr
+
+    def test_same_network(self, population):
+        a = population.processes[0]
+        c = population.machines[1].processes()[0]
+        pid = qualify(c, a)
+        assert pid.qualification is Qualification.NETWORK
+
+    def test_cross_network(self, population):
+        a = population.processes[0]
+        d = population.networks[1].machines()[0].processes()[0]
+        pid = qualify(d, a)
+        assert pid.qualification is Qualification.FULL
+
+    def test_qualify_is_minimal(self, population):
+        # For every pair, no shorter qualification resolves correctly.
+        for holder in population.processes[:4]:
+            for target in population.processes:
+                pid = qualify(target, holder)
+                assert resolve_pid(pid, holder) is target
+
+
+class TestResolve:
+    def test_self_pid(self, population):
+        process = population.processes[0]
+        assert resolve_pid(SELF_PID, process) is process
+
+    def test_self_pid_of_dead_process(self, population):
+        process = population.processes[0]
+        process.exit()
+        assert resolve_pid(SELF_PID, process) is None
+
+    def test_dangling_machine_address(self, population):
+        holder = population.processes[0]
+        assert resolve_pid(Pid(0, 99, 1), holder) is None
+
+    def test_dangling_network_address(self, population):
+        holder = population.processes[0]
+        assert resolve_pid(Pid(99, 1, 1), holder) is None
+
+    def test_dangling_local_address(self, population):
+        holder = population.processes[0]
+        assert resolve_pid(Pid(0, 0, 99), holder) is None
+
+    def test_dead_target_resolves_to_none(self, population):
+        holder, target = population.processes[0], population.processes[1]
+        pid = qualify(target, holder)
+        target.exit()
+        assert resolve_pid(pid, holder) is None
+
+    def test_fully_qualify_reflects_current_address(self, population):
+        target = population.processes[0]
+        assert fully_qualify(target).as_tuple() == target.full_address
+
+
+class TestMapPid:
+    def test_mapping_preserves_denotation(self, population):
+        a = population.processes[0]
+        d = population.networks[1].machines()[0].processes()[0]
+        for target in population.processes:
+            pid = qualify(target, a)
+            mapped = map_pid(pid, a, d)
+            assert resolve_pid(mapped, d) is target
+
+    def test_mapping_self_pid(self, population):
+        a, b = population.processes[0], population.processes[2]
+        mapped = map_pid(SELF_PID, a, b)
+        assert resolve_pid(mapped, b) is a
+
+    def test_unresolvable_pid_maps_to_none(self, population):
+        a, b = population.processes[0], population.processes[1]
+        assert map_pid(Pid(0, 99, 1), a, b) is None
+
+    def test_mapping_minimises_for_receiver(self, population):
+        # A pid for the receiver's own neighbour comes out
+        # machine-qualified even if it arrived network-qualified.
+        a = population.processes[0]
+        c0, c1 = population.machines[1].processes()[:2]
+        pid = qualify(c1, a)                # network-level for a
+        mapped = map_pid(pid, a, c0)        # c0 is c1's machine-mate
+        assert mapped.qualification is Qualification.MACHINE
+
+
+class TestMappingProperty:
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 2**32), st.data())
+    def test_roundtrip_over_random_topologies(self, seed, data):
+        population = build_pqid_population(
+            seed=seed % 1000,
+            n_networks=data.draw(st.integers(1, 3)),
+            machines_per_network=data.draw(st.integers(1, 3)),
+            processes_per_machine=data.draw(st.integers(1, 3)))
+        processes = population.processes
+        indices = st.integers(0, len(processes) - 1)
+        sender = processes[data.draw(indices)]
+        receiver = processes[data.draw(indices)]
+        target = processes[data.draw(indices)]
+        pid = qualify(target, sender)
+        mapped = map_pid(pid, sender, receiver)
+        # The invariant: mapping preserves the denoted process.
+        assert resolve_pid(mapped, receiver) is target
+        # And the mapped pid is itself minimal for the receiver.
+        assert mapped == qualify(target, receiver)

@@ -1,0 +1,61 @@
+"""Tests for the Pid data type (§6 Example 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AddressError
+from repro.pqid.pid import Pid, Qualification, SELF_PID
+
+
+class TestShapes:
+    def test_the_four_paper_shapes(self):
+        # (0,0,0), (0,0,l), (0,m,l), (n,m,l)
+        assert Pid(0, 0, 0).qualification is Qualification.SELF
+        assert Pid(0, 0, 5).qualification is Qualification.MACHINE
+        assert Pid(0, 3, 5).qualification is Qualification.NETWORK
+        assert Pid(2, 3, 5).qualification is Qualification.FULL
+
+    def test_malformed_shapes_rejected(self):
+        with pytest.raises(AddressError):
+            Pid(1, 0, 5)   # network without machine
+        with pytest.raises(AddressError):
+            Pid(0, 3, 0)   # machine without local
+        with pytest.raises(AddressError):
+            Pid(1, 1, 0)
+
+    def test_negative_components_rejected(self):
+        with pytest.raises(AddressError):
+            Pid(-1, 0, 0)
+
+    def test_self_pid_constant(self):
+        assert SELF_PID == Pid(0, 0, 0)
+        assert SELF_PID.is_self()
+        assert not SELF_PID.is_fully_qualified()
+
+    def test_fully_qualified_predicate(self):
+        assert Pid(1, 1, 1).is_fully_qualified()
+        assert not Pid(0, 1, 1).is_fully_qualified()
+
+
+class TestValueSemantics:
+    def test_equality_and_hash(self):
+        assert Pid(0, 0, 5) == Pid(0, 0, 5)
+        assert len({Pid(0, 0, 5), Pid(0, 0, 5), Pid(0, 1, 5)}) == 2
+
+    def test_ordering_by_components(self):
+        assert Pid(0, 0, 1) < Pid(0, 0, 2) < Pid(0, 1, 1) < Pid(1, 1, 1)
+
+    def test_immutable(self):
+        pid = Pid(0, 0, 1)
+        with pytest.raises(AttributeError):
+            pid.laddr = 2  # type: ignore[misc]
+
+    def test_as_tuple_and_str(self):
+        pid = Pid(2, 3, 5)
+        assert pid.as_tuple() == (2, 3, 5)
+        assert str(pid) == "(2,3,5)"
+
+    def test_qualification_ordering(self):
+        assert Qualification.SELF < Qualification.MACHINE \
+            < Qualification.NETWORK < Qualification.FULL

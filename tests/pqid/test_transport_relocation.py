@@ -1,0 +1,162 @@
+"""Tests for pid wire policies and relocation survival (§6 Ex. 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pqid.mapping import fully_qualify, qualify
+from repro.pqid.relocation import PidReference, ReferenceTable
+from repro.pqid.transport import (
+    PidPolicy,
+    exchange_outcome,
+    send_pid,
+)
+from repro.sim.failures import FailureInjector
+from repro.workloads.scenarios import build_pqid_population
+
+
+@pytest.fixture
+def population():
+    return build_pqid_population(seed=3, n_networks=2,
+                                 machines_per_network=2,
+                                 processes_per_machine=2)
+
+
+def cross_network_pair(population):
+    sender = population.networks[0].machines()[0].processes()[0]
+    receiver = population.networks[1].machines()[0].processes()[0]
+    return sender, receiver
+
+
+class TestPolicies:
+    def test_mapped_exchange_is_coherent(self, population):
+        sender, receiver = cross_network_pair(population)
+        target = sender.machine.processes()[1]  # sender's neighbour
+        exchange = send_pid(sender, receiver, target, PidPolicy.MAPPED)
+        population.simulator.run()
+        assert exchange_outcome(exchange) == "coherent"
+
+    def test_raw_exchange_misinterprets(self, population):
+        # The sender's machine-local pid means someone else (or no one)
+        # in the receiver's context.
+        sender, receiver = cross_network_pair(population)
+        target = sender.machine.processes()[1]
+        exchange = send_pid(sender, receiver, target, PidPolicy.RAW)
+        population.simulator.run()
+        assert exchange_outcome(exchange) in ("incoherent", "unresolved")
+
+    def test_raw_misdirection_to_wrong_process(self, population):
+        # laddr 2 exists on the receiver's machine too → misdirected.
+        sender, receiver = cross_network_pair(population)
+        target = sender.machine.processes()[1]
+        exchange = send_pid(sender, receiver, target, PidPolicy.RAW)
+        population.simulator.run()
+        assert exchange_outcome(exchange) == "incoherent"
+
+    def test_full_exchange_works_with_stable_addresses(self, population):
+        sender, receiver = cross_network_pair(population)
+        target = sender.machine.processes()[1]
+        exchange = send_pid(sender, receiver, target, PidPolicy.FULL)
+        population.simulator.run()
+        assert exchange_outcome(exchange) == "coherent"
+
+    def test_wire_pid_recorded(self, population):
+        sender, receiver = cross_network_pair(population)
+        target = sender.machine.processes()[1]
+        exchange = send_pid(sender, receiver, target, PidPolicy.MAPPED)
+        assert exchange.sent == qualify(target, sender)
+        assert exchange.wire == qualify(target, receiver)
+
+    def test_exchange_carries_message_payload(self, population):
+        sender, receiver = cross_network_pair(population)
+        target = sender.machine.processes()[1]
+        exchange = send_pid(sender, receiver, target, PidPolicy.FULL)
+        population.simulator.run()
+        delivered = receiver.receive()
+        assert delivered.payload["pid"] == exchange.wire
+
+
+class TestReferenceTable:
+    def test_reference_validity(self, population):
+        holder = population.processes[0]
+        target = population.processes[1]
+        reference = PidReference(holder, qualify(target, holder), target)
+        assert reference.is_valid()
+        assert not reference.is_dangling()
+        assert not reference.is_misdirected()
+
+    def test_survival_of_empty_table(self):
+        assert ReferenceTable().survival() == 1.0
+
+    def test_counts_breakdown(self, population):
+        holder = population.processes[0]
+        neighbour = population.processes[1]
+        table = ReferenceTable()
+        table.add(holder, qualify(neighbour, holder), neighbour, "ok")
+        table.add(holder, fully_qualify(neighbour), neighbour, "full")
+        FailureInjector(population.simulator).renumber_machine(
+            holder.machine, 70)
+        counts = table.counts()
+        assert counts["valid"] == 1       # (0,0,l) still fine
+        assert counts["dangling"] == 1    # full pid went stale
+        assert table.survival() == 0.5
+
+    def test_misdirected_after_renumber_swap(self, population):
+        # Renumber m2 to m1's old address: full pids to m1 processes
+        # now reach same-laddr processes on m2 — misdirected.
+        injector = FailureInjector(population.simulator)
+        network = population.networks[0]
+        m1, m2 = network.machines()[:2]
+        observer = population.networks[1].machines()[0].processes()[0]
+        target = m1.processes()[0]
+        table = ReferenceTable()
+        table.add(observer, fully_qualify(target), target, "full")
+        old_maddr = m1.maddr
+        injector.renumber_machine(m1, 80)
+        injector.renumber_machine(m2, old_maddr)
+        counts = table.counts()
+        assert counts["misdirected"] == 1
+
+    def test_subset_by_note(self, population):
+        holder, target = population.processes[0], population.processes[1]
+        table = ReferenceTable()
+        table.add(holder, qualify(target, holder), target, "a")
+        table.add(holder, qualify(target, holder), target, "b")
+        assert len(table.subset("a")) == 1
+        assert len(table) == 2
+
+
+class TestRenumberingClaims:
+    def test_machine_renumber_preserves_internal_connections(
+            self, population):
+        """The paper's headline claim, in isolation."""
+        machine = population.machines[0]
+        first, second = machine.processes()[:2]
+        table = ReferenceTable()
+        table.add(first, qualify(second, first), second, "internal")
+        table.add(second, qualify(first, second), first, "internal")
+        FailureInjector(population.simulator).renumber_machine(machine, 60)
+        assert table.survival() == 1.0
+
+    def test_network_renumber_preserves_intranet_connections(
+            self, population):
+        network = population.networks[0]
+        processes = [p for m in network.machines()
+                     for p in m.processes()]
+        table = ReferenceTable()
+        for holder in processes:
+            for target in processes:
+                if holder is not target:
+                    table.add(holder, qualify(target, holder), target,
+                              "intranet")
+        FailureInjector(population.simulator).renumber_network(network, 77)
+        assert table.survival() == 1.0
+
+    def test_external_full_references_break(self, population):
+        network = population.networks[0]
+        outside = population.networks[1].machines()[0].processes()[0]
+        inside = network.machines()[0].processes()[0]
+        table = ReferenceTable()
+        table.add(outside, fully_qualify(inside), inside, "external")
+        FailureInjector(population.simulator).renumber_network(network, 78)
+        assert table.survival() == 0.0

@@ -1,0 +1,134 @@
+"""Tests for the wire-protocol remote-execution facility (§6-II)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemeError
+from repro.namespaces.perprocess import PerProcessSystem
+from repro.remote.facility import RemoteExecFacility
+from repro.sim.failures import FailureInjector
+from repro.sim.kernel import Simulator
+
+
+@pytest.fixture
+def world():
+    simulator = Simulator(seed=0)
+    network = simulator.network("lan")
+    system = PerProcessSystem(sigma=simulator.sigma)
+    machines = {}
+    for label in ("workstation", "server"):
+        system.add_machine(label)
+        machines[label] = simulator.machine(network, label)
+    system.machine_tree("workstation").mkfile("src/prog.c")
+    system.machine_tree("server").mkfile("data/results")
+    facility = RemoteExecFacility(simulator, system, timeout=10.0)
+    for label, machine in machines.items():
+        facility.host_machine(label, machine)
+    parent_process = simulator.spawn(machines["workstation"], "make")
+    parent = system.spawn("workstation", "make",
+                          mounts=[("home", "workstation")],
+                          activity=parent_process)
+    return simulator, system, facility, parent, parent_process, machines
+
+
+def run_request(simulator, facility, parent, parent_process,
+                target="server", arguments=("/home/src/prog.c",)):
+    outcomes = []
+    facility.request(parent, parent_process, target, "cc",
+                     list(arguments), outcomes.append)
+    simulator.run()
+    assert len(outcomes) == 1
+    return outcomes[0]
+
+
+class TestHappyPath:
+    def test_child_created_remotely(self, world):
+        simulator, system, facility, parent, process, machines = world
+        outcome = run_request(simulator, facility, parent, process)
+        assert outcome.ok
+        assert outcome.child.label == "cc"
+        assert system.namespace_of(outcome.child) is not None
+
+    def test_arguments_resolve_to_parent_meaning(self, world):
+        simulator, system, facility, parent, process, _ = world
+        outcome = run_request(simulator, facility, parent, process)
+        intended = system.resolve_for(parent, "/home/src/prog.c")
+        assert outcome.resolved_arguments["/home/src/prog.c"] is intended
+
+    def test_matches_scheme_level_remote_spawn(self, world):
+        simulator, system, facility, parent, process, _ = world
+        outcome = run_request(simulator, facility, parent, process)
+        reference = system.remote_spawn(parent, "server", "ref")
+        wire_child = outcome.child
+        for probe in ("/home/src/prog.c", "/local/data/results"):
+            assert system.resolve_for(wire_child, probe) is \
+                system.resolve_for(reference, probe)
+
+    def test_child_sees_local_machine(self, world):
+        simulator, system, facility, parent, process, _ = world
+        outcome = run_request(simulator, facility, parent, process)
+        assert system.resolve_for(outcome.child,
+                                  "/local/data/results").is_defined()
+
+    def test_latency_measured(self, world):
+        simulator, system, facility, parent, process, _ = world
+        outcome = run_request(simulator, facility, parent, process)
+        assert outcome.latency == 2.0  # request + reply at latency 1.0
+
+    def test_exec_on_own_machine(self, world):
+        simulator, system, facility, parent, process, _ = world
+        outcome = run_request(simulator, facility, parent, process,
+                              target="workstation")
+        assert outcome.ok
+        assert outcome.child is not parent
+
+    def test_multiple_concurrent_requests(self, world):
+        simulator, system, facility, parent, process, _ = world
+        outcomes = []
+        for _ in range(3):
+            facility.request(parent, process, "server", "job",
+                             ["/home/src/prog.c"], outcomes.append)
+        assert facility.outstanding() == 3
+        simulator.run()
+        assert len(outcomes) == 3
+        assert facility.outstanding() == 0
+        children = {o.child.uid for o in outcomes}
+        assert len(children) == 3
+
+    def test_later_namespace_changes_stay_private(self, world):
+        simulator, system, facility, parent, process, _ = world
+        outcome = run_request(simulator, facility, parent, process)
+        system.namespace_of(outcome.child).detach("home")
+        assert system.resolve_for(parent, "/home/src/prog.c").is_defined()
+
+
+class TestFailures:
+    def test_crashed_server_times_out(self, world):
+        simulator, system, facility, parent, process, machines = world
+        FailureInjector(simulator).crash_machine(machines["server"])
+        outcome = run_request(simulator, facility, parent, process)
+        assert outcome.failed
+        assert outcome.reason == "timeout"
+        assert outcome.child is None
+
+    def test_unhosted_machine_rejected(self, world):
+        simulator, system, facility, parent, process, _ = world
+        system.add_machine("mars")
+        with pytest.raises(SchemeError):
+            facility.request(parent, process, "mars", "x", [],
+                             lambda outcome: None)
+
+    def test_unresolvable_argument_reported_as_undefined(self, world):
+        simulator, system, facility, parent, process, _ = world
+        outcome = run_request(simulator, facility, parent, process,
+                              arguments=("/no/such/file",))
+        assert outcome.ok
+        assert not outcome.resolved_arguments["/no/such/file"].is_defined()
+
+    def test_server_ignores_junk(self, world):
+        simulator, system, facility, parent, process, machines = world
+        server = facility._servers[id(machines["server"])]
+        process.send(server.process, payload="junk")
+        simulator.run()
+        assert server.requests_served == 0

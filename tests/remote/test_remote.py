@@ -1,0 +1,92 @@
+"""Tests for argument passing and remote-execution evaluation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.closure.meta import ContextRegistry, NameSource
+from repro.model.context import Context
+from repro.model.entities import Activity, ObjectEntity
+from repro.remote.arguments import argument_events
+from repro.remote.execution import RemoteExecReport, evaluate_remote_exec
+
+
+@pytest.fixture
+def setting():
+    shared = ObjectEntity("shared")
+    parent_only = ObjectEntity("parent-only")
+    childs_own = ObjectEntity("childs-own")
+    registry = ContextRegistry()
+    parent, child = Activity("parent"), Activity("child")
+    registry.register(parent, Context({"shared": shared,
+                                       "n": parent_only}))
+    registry.register(child, Context({"shared": shared,
+                                      "n": childs_own}))
+    return registry, parent, child, (shared, parent_only, childs_own)
+
+
+class TestArgumentEvents:
+    def test_events_record_parent_intent(self, setting):
+        registry, parent, child, (shared, parent_only, _) = setting
+        events = argument_events(registry, parent, child, ["shared", "n"])
+        assert all(e.source is NameSource.MESSAGE for e in events)
+        assert all(e.sender is parent and e.resolver is child
+                   for e in events)
+        assert events[0].intended is shared
+        assert events[1].intended is parent_only
+
+    def test_unresolvable_argument_has_no_intent(self, setting):
+        registry, parent, child, _ = setting
+        events = argument_events(registry, parent, child, ["missing"])
+        assert events[0].intended is None
+
+
+class TestEvaluateRemoteExec:
+    def test_full_coherence(self, setting):
+        registry, parent, child, _ = setting
+        report = evaluate_remote_exec(registry, parent, child, ["shared"])
+        assert report.total == 1
+        assert report.coherent == 1
+        assert report.coherence_rate == 1.0
+
+    def test_conflicting_binding_counts_incoherent(self, setting):
+        registry, parent, child, _ = setting
+        report = evaluate_remote_exec(registry, parent, child,
+                                      ["shared", "n"])
+        assert report.coherent == 1
+        assert report.incoherent == 1
+        assert report.coherence_rate == 0.5
+
+    def test_unresolved_argument(self, setting):
+        registry, parent, child, _ = setting
+        report = evaluate_remote_exec(registry, parent, child,
+                                      ["missing"])
+        # The parent couldn't resolve it either: no intent, and the
+        # child's resolution comes up undefined.
+        assert report.unresolved == 1
+        assert report.coherence_rate == 0.0
+
+    def test_weak_equivalence(self, setting):
+        registry, parent, child, (_, parent_only, childs_own) = setting
+        replicas = {parent_only.uid, childs_own.uid}
+        report = evaluate_remote_exec(
+            registry, parent, child, ["n"],
+            equivalence=lambda x, y: (x is y
+                                      or {x.uid, y.uid} <= replicas))
+        assert report.weakly_coherent == 1
+        assert report.coherence_rate == 1.0
+
+    def test_empty_arguments(self, setting):
+        registry, parent, child, _ = setting
+        report = evaluate_remote_exec(registry, parent, child, [])
+        assert report.total == 0
+        assert report.coherence_rate == 1.0
+
+    def test_label_default_and_row(self, setting):
+        registry, parent, child, _ = setting
+        report = evaluate_remote_exec(registry, parent, child, ["shared"])
+        assert report.label == "parent→child"
+        row = report.row()
+        assert row[0] == "parent→child"
+        assert row[-1] == 1.0
+        assert "coherent" in str(report)

@@ -1,0 +1,139 @@
+"""Tests for replicated objects and weak coherence (§5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.closure.meta import ContextRegistry
+from repro.errors import EntityError
+from repro.model.context import Context, context_object
+from repro.model.entities import Activity, ObjectEntity
+from repro.model.names import CompoundName
+from repro.replication.replica import ReplicaRegistry
+from repro.replication.weak import (
+    classify_names,
+    replica_equivalence,
+    weakly_coherent_name,
+)
+
+
+class TestReplicaRegistry:
+    def test_create_set_synchronises_state(self):
+        registry = ReplicaRegistry()
+        a, b = ObjectEntity("ls@1"), ObjectEntity("ls@2")
+        set_id = registry.create_set([a, b], content="v1")
+        assert a.state == b.state == "v1"
+        assert registry.set_of(a) == registry.set_of(b) == set_id
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(EntityError):
+            ReplicaRegistry().create_set([])
+
+    def test_directory_member_rejected(self):
+        with pytest.raises(EntityError):
+            ReplicaRegistry().create_set([context_object("dir")])
+
+    def test_double_membership_rejected(self):
+        registry = ReplicaRegistry()
+        obj = ObjectEntity("x")
+        registry.create_set([obj])
+        with pytest.raises(EntityError):
+            registry.create_set([obj])
+
+    def test_non_object_rejected(self):
+        with pytest.raises(EntityError):
+            ReplicaRegistry().create_set([Activity("p")])  # type: ignore
+
+    def test_add_replica(self):
+        registry = ReplicaRegistry()
+        a = ObjectEntity("a")
+        set_id = registry.create_set([a], content="v1")
+        b = ObjectEntity("b")
+        registry.add_replica(set_id, b)
+        assert b.state == "v1"
+        assert registry.equivalent(a, b)
+
+    def test_add_replica_to_unknown_set(self):
+        with pytest.raises(EntityError):
+            ReplicaRegistry().add_replica(99, ObjectEntity("x"))
+
+    def test_write_through(self):
+        registry = ReplicaRegistry()
+        a, b = ObjectEntity("a"), ObjectEntity("b")
+        registry.create_set([a, b], content="v1")
+        registry.write(b, "v2")
+        assert a.state == "v2"
+        assert registry.check_invariant()
+
+    def test_write_to_unreplicated_object(self):
+        registry = ReplicaRegistry()
+        loner = ObjectEntity("loner")
+        registry.write(loner, "solo")
+        assert loner.state == "solo"
+
+    def test_invariant_detects_drift(self):
+        registry = ReplicaRegistry()
+        a, b = ObjectEntity("a"), ObjectEntity("b")
+        registry.create_set([a, b], content="v1")
+        b.state = "drifted"   # bypassing write() — the forbidden move
+        assert not registry.check_invariant()
+
+    def test_equivalence(self):
+        registry = ReplicaRegistry()
+        a, b = ObjectEntity("a"), ObjectEntity("b")
+        c = ObjectEntity("c")
+        registry.create_set([a, b])
+        registry.create_set([c])
+        assert registry.equivalent(a, b)
+        assert registry.equivalent(a, a)
+        assert not registry.equivalent(a, c)
+        assert not registry.equivalent(a, ObjectEntity("outsider"))
+
+    def test_members_listing(self):
+        registry = ReplicaRegistry()
+        a, b = ObjectEntity("a"), ObjectEntity("b")
+        set_id = registry.create_set([a, b])
+        assert registry.members(set_id) == [a, b]
+        with pytest.raises(EntityError):
+            registry.members(123)
+        assert len(registry) == 1
+
+
+class TestWeakCoherence:
+    @pytest.fixture
+    def setting(self):
+        """Two activities whose '/bin/ls'-style name binds different
+        replicas; 'doc' binds genuinely different objects."""
+        replicas = ReplicaRegistry()
+        ls1, ls2 = ObjectEntity("ls@1"), ObjectEntity("ls@2")
+        replicas.create_set([ls1, ls2], content="ls-binary")
+        doc1, doc2 = ObjectEntity("doc@1"), ObjectEntity("doc@2")
+        shared = ObjectEntity("shared")
+        contexts = ContextRegistry()
+        a, b = Activity("a"), Activity("b")
+        contexts.register(a, Context({"ls": ls1, "doc": doc1,
+                                      "shared": shared}))
+        contexts.register(b, Context({"ls": ls2, "doc": doc2,
+                                      "shared": shared}))
+        return replicas, contexts, (a, b)
+
+    def test_weakly_coherent_name(self, setting):
+        replicas, contexts, (a, b) = setting
+        assert weakly_coherent_name("ls", [a, b], contexts, replicas)
+        assert not weakly_coherent_name("doc", [a, b], contexts, replicas)
+
+    def test_equivalence_adapter(self, setting):
+        replicas, contexts, (a, b) = setting
+        equivalence = replica_equivalence(replicas)
+        ls1 = contexts.context_of(a)("ls")
+        ls2 = contexts.context_of(b)("ls")
+        assert equivalence(ls1, ls2)
+
+    def test_classify_names(self, setting):
+        replicas, contexts, (a, b) = setting
+        classes = classify_names(["shared", "ls", "doc", "missing"],
+                                 [a, b], contexts, replicas)
+        assert classes["strong"] == {CompoundName(["shared"])}
+        assert classes["weak"] == {CompoundName(["ls"])}
+        assert classes["incoherent"] == {CompoundName(["doc"]),
+                                         CompoundName(["missing"])}

@@ -1,0 +1,202 @@
+"""Tests for cached bindings and coherence-maintenance policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemeError
+from repro.model.context import context_object
+from repro.model.entities import ObjectEntity
+from repro.nameservice.cache import (
+    BindingCache,
+    CachePolicy,
+    CachingDirectoryService,
+)
+from repro.nameservice.placement import DirectoryPlacement
+from repro.sim.kernel import Simulator
+
+
+@pytest.fixture
+def deployment():
+    """A registry directory hosted remotely from two client machines."""
+    simulator = Simulator(seed=0)
+    network = simulator.network("lan")
+    server = simulator.machine(network, "server")
+    clients = [simulator.machine(network, f"c{i}") for i in range(2)]
+    directory = context_object("registry")
+    simulator.sigma.add(directory)
+    v1 = ObjectEntity("svc-v1")
+    simulator.sigma.add(v1)
+    directory.state.bind("svc", v1)
+    placement = DirectoryPlacement()
+    placement.place(directory, server)
+    return simulator, server, clients, directory, v1, placement
+
+
+def service_for(deployment, policy, ttl=10.0):
+    simulator, _, _, _, _, placement = deployment
+    return CachingDirectoryService(simulator, placement, policy=policy,
+                                   ttl=ttl)
+
+
+class TestBindingCache:
+    def test_fill_and_lookup(self):
+        simulator = Simulator()
+        machine = simulator.machine(simulator.network())
+        cache = BindingCache(machine)
+        directory = context_object("d")
+        entity = ObjectEntity("e")
+        cache.fill(directory, "n", entity, now=0.0, ttl=5.0)
+        assert cache.lookup(directory, "n", now=3.0) is entity
+        assert cache.hits == 1
+
+    def test_expiry(self):
+        simulator = Simulator()
+        machine = simulator.machine(simulator.network())
+        cache = BindingCache(machine)
+        directory = context_object("d")
+        cache.fill(directory, "n", ObjectEntity("e"), now=0.0, ttl=5.0)
+        assert cache.lookup(directory, "n", now=6.0) is None
+        assert cache.expirations == 1
+        assert len(cache) == 0
+
+    def test_no_ttl_never_expires(self):
+        simulator = Simulator()
+        machine = simulator.machine(simulator.network())
+        cache = BindingCache(machine)
+        directory = context_object("d")
+        entity = ObjectEntity("e")
+        cache.fill(directory, "n", entity, now=0.0, ttl=None)
+        assert cache.lookup(directory, "n", now=1e9) is entity
+
+    def test_invalidate(self):
+        simulator = Simulator()
+        machine = simulator.machine(simulator.network())
+        cache = BindingCache(machine)
+        directory = context_object("d")
+        cache.fill(directory, "n", ObjectEntity("e"), now=0.0, ttl=None)
+        cache.invalidate(directory, "n")
+        assert cache.lookup(directory, "n", now=0.0) is None
+        assert cache.invalidations == 1
+        cache.invalidate(directory, "n")  # idempotent
+        assert cache.invalidations == 1
+
+
+class TestNoCachePolicy:
+    def test_every_remote_lookup_costs_a_round_trip(self, deployment):
+        simulator, server, clients, directory, v1, _ = deployment
+        service = service_for(deployment, CachePolicy.NONE)
+        for _ in range(3):
+            assert service.lookup(clients[0], directory, "svc") is v1
+        assert service.remote_reads == 3
+
+    def test_local_directory_reads_are_free(self, deployment):
+        simulator, server, clients, directory, v1, _ = deployment
+        service = service_for(deployment, CachePolicy.NONE)
+        assert service.lookup(server, directory, "svc") is v1
+        assert service.remote_reads == 0
+
+    def test_rebind_is_immediately_visible(self, deployment):
+        simulator, server, clients, directory, v1, _ = deployment
+        service = service_for(deployment, CachePolicy.NONE)
+        v2 = ObjectEntity("svc-v2")
+        service.rebind(directory, "svc", v2)
+        assert service.lookup(clients[0], directory, "svc") is v2
+
+    def test_unplaced_directory_read_directly(self, deployment):
+        simulator, server, clients, *_ = deployment
+        service = service_for(deployment, CachePolicy.NONE)
+        loose = context_object("loose")
+        entity = ObjectEntity("x")
+        loose.state.bind("x", entity)
+        assert service.lookup(clients[0], loose, "x") is entity
+        assert service.remote_reads == 0
+
+    def test_non_directory_rejected(self, deployment):
+        simulator, server, clients, *_ = deployment
+        service = service_for(deployment, CachePolicy.NONE)
+        with pytest.raises(SchemeError):
+            service.lookup(clients[0], ObjectEntity("file"), "x")
+
+
+class TestTTLPolicy:
+    def test_second_lookup_hits_cache(self, deployment):
+        simulator, server, clients, directory, v1, _ = deployment
+        service = service_for(deployment, CachePolicy.TTL, ttl=100.0)
+        service.lookup(clients[0], directory, "svc")
+        service.lookup(clients[0], directory, "svc")
+        assert service.remote_reads == 1
+        assert service.stats()["hits"] == 1
+
+    def test_stale_read_inside_window(self, deployment):
+        simulator, server, clients, directory, v1, _ = deployment
+        service = service_for(deployment, CachePolicy.TTL, ttl=100.0)
+        service.lookup(clients[0], directory, "svc")
+        v2 = ObjectEntity("svc-v2")
+        service.rebind(directory, "svc", v2)
+        # Stale: the cached v1 is still served — incoherence.
+        assert service.lookup(clients[0], directory, "svc") is v1
+
+    def test_fresh_after_expiry(self, deployment):
+        simulator, server, clients, directory, v1, _ = deployment
+        service = service_for(deployment, CachePolicy.TTL, ttl=3.0)
+        service.lookup(clients[0], directory, "svc")
+        v2 = ObjectEntity("svc-v2")
+        service.rebind(directory, "svc", v2)
+        simulator.schedule(5.0, lambda: None)
+        simulator.run()
+        assert service.lookup(clients[0], directory, "svc") is v2
+
+    def test_caches_are_per_machine(self, deployment):
+        simulator, server, clients, directory, v1, _ = deployment
+        service = service_for(deployment, CachePolicy.TTL, ttl=100.0)
+        service.lookup(clients[0], directory, "svc")
+        service.lookup(clients[1], directory, "svc")
+        assert service.remote_reads == 2
+
+
+class TestInvalidatePolicy:
+    def test_never_stale_after_rebind(self, deployment):
+        simulator, server, clients, directory, v1, _ = deployment
+        service = service_for(deployment, CachePolicy.INVALIDATE)
+        service.lookup(clients[0], directory, "svc")
+        service.lookup(clients[1], directory, "svc")
+        v2 = ObjectEntity("svc-v2")
+        service.rebind(directory, "svc", v2)
+        assert service.lookup(clients[0], directory, "svc") is v2
+        assert service.lookup(clients[1], directory, "svc") is v2
+
+    def test_invalidation_message_per_cached_copy(self, deployment):
+        simulator, server, clients, directory, v1, _ = deployment
+        service = service_for(deployment, CachePolicy.INVALIDATE)
+        service.lookup(clients[0], directory, "svc")
+        service.lookup(clients[1], directory, "svc")
+        service.rebind(directory, "svc", ObjectEntity("svc-v2"))
+        assert service.invalidation_messages == 2
+
+    def test_no_message_for_uncached_binding(self, deployment):
+        simulator, server, clients, directory, v1, _ = deployment
+        service = service_for(deployment, CachePolicy.INVALIDATE)
+        service.rebind(directory, "svc", ObjectEntity("svc-v2"))
+        assert service.invalidation_messages == 0
+
+    def test_cache_refills_after_invalidation(self, deployment):
+        simulator, server, clients, directory, v1, _ = deployment
+        service = service_for(deployment, CachePolicy.INVALIDATE)
+        service.lookup(clients[0], directory, "svc")
+        v2 = ObjectEntity("svc-v2")
+        service.rebind(directory, "svc", v2)
+        service.lookup(clients[0], directory, "svc")   # refill
+        reads_before = service.remote_reads
+        assert service.lookup(clients[0], directory, "svc") is v2
+        assert service.remote_reads == reads_before   # hit
+
+    def test_stats_aggregate(self, deployment):
+        simulator, server, clients, directory, v1, _ = deployment
+        service = service_for(deployment, CachePolicy.INVALIDATE)
+        service.lookup(clients[0], directory, "svc")
+        service.lookup(clients[0], directory, "svc")
+        stats = service.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["remote_reads"] == 1

@@ -1,0 +1,117 @@
+"""Robustness under churn: crashes, partitions, renumbering mixed
+into live workloads."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pqid.mapping import qualify, resolve_pid
+from repro.pqid.transport import PidPolicy, exchange_outcome, send_pid
+from repro.sim.failures import FailureInjector
+from repro.workloads.scenarios import build_pqid_population
+
+
+class TestCrashSemantics:
+    def test_messages_to_crashed_machine_drop_forever(self):
+        population = build_pqid_population(seed=1)
+        simulator = population.simulator
+        injector = FailureInjector(simulator)
+        victim_machine = population.machines[-1]
+        victim = victim_machine.processes()[0]
+        sender = population.machines[0].processes()[0]
+        injector.crash_machine(victim_machine)
+        sender.send(victim)
+        simulator.run()
+        assert simulator.messages_dropped == 1
+        assert victim.receive() is None
+
+    def test_restart_accepts_new_traffic(self):
+        population = build_pqid_population(seed=1)
+        simulator = population.simulator
+        injector = FailureInjector(simulator)
+        machine = population.machines[-1]
+        injector.crash_machine(machine)
+        injector.restart_machine(machine)
+        fresh = simulator.spawn(machine, "fresh")
+        sender = population.machines[0].processes()[0]
+        sender.send(fresh, payload="hello")
+        simulator.run()
+        assert fresh.receive().payload == "hello"
+
+    def test_dead_processes_unresolvable_by_pid(self):
+        population = build_pqid_population(seed=1)
+        injector = FailureInjector(population.simulator)
+        victim_machine = population.machines[0]
+        holder = population.machines[1].processes()[0]
+        target = victim_machine.processes()[0]
+        pid = qualify(target, holder)
+        assert resolve_pid(pid, holder) is target
+        injector.crash_machine(victim_machine)
+        assert resolve_pid(pid, holder) is None
+
+
+class TestPartitionChurn:
+    def test_exchange_through_heal(self):
+        population = build_pqid_population(seed=2)
+        simulator = population.simulator
+        net1, net2 = population.networks
+        sender = net1.machines()[0].processes()[0]
+        receiver = net2.machines()[0].processes()[0]
+        target = sender.machine.processes()[1]
+        simulator.partition(net1, net2)
+        lost = send_pid(sender, receiver, target, PidPolicy.MAPPED)
+        simulator.run()
+        assert lost.message.dropped
+        simulator.heal(net1, net2)
+        retried = send_pid(sender, receiver, target, PidPolicy.MAPPED)
+        simulator.run()
+        assert not retried.message.dropped
+        assert exchange_outcome(retried) == "coherent"
+
+    def test_intra_network_unaffected_by_partition(self):
+        population = build_pqid_population(seed=2)
+        simulator = population.simulator
+        net1, net2 = population.networks
+        simulator.partition(net1, net2)
+        a, b = net1.machines()[0].processes()[0], \
+            net1.machines()[1].processes()[0]
+        a.send(b, payload="local")
+        simulator.run()
+        assert b.receive().payload == "local"
+
+
+class TestChurnProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000), st.lists(st.integers(0, 3),
+                                            min_size=1, max_size=8))
+    def test_mapped_exchange_between_live_reachable_parties_is_always_coherent(
+            self, seed, churn_ops):
+        """Whatever renumbering happens, a MAPPED pid exchange between
+        live, connected processes resolves to the intended target."""
+        population = build_pqid_population(seed=seed % 997,
+                                           n_networks=2,
+                                           machines_per_network=2,
+                                           processes_per_machine=2)
+        simulator = population.simulator
+        injector = FailureInjector(simulator)
+        rng = random.Random(seed)
+        next_addr = 100
+        for op in churn_ops:
+            next_addr += 1
+            if op in (0, 1):
+                injector.renumber_machine(
+                    rng.choice(population.machines), next_addr)
+            else:
+                injector.renumber_network(
+                    rng.choice(population.networks), next_addr)
+        for _ in range(5):
+            sender, receiver = population.random_pair(rng)
+            target = rng.choice(population.processes)
+            exchange = send_pid(sender, receiver, target,
+                                PidPolicy.MAPPED)
+            simulator.run()
+            assert exchange_outcome(exchange) == "coherent"

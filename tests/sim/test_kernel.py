@@ -1,0 +1,235 @@
+"""Tests for the simulator kernel: determinism, delivery, scheduling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Simulator
+
+
+def two_processes(simulator: Simulator):
+    network = simulator.network("lan")
+    sender = simulator.spawn(simulator.machine(network, "m1"), "sender")
+    receiver = simulator.spawn(simulator.machine(network, "m2"),
+                               "receiver")
+    return sender, receiver
+
+
+class TestMessaging:
+    def test_roundtrip(self):
+        simulator = Simulator()
+        sender, receiver = two_processes(simulator)
+        sender.send(receiver, payload="ping")
+        simulator.run()
+        message = receiver.receive()
+        assert message.payload == "ping"
+        assert simulator.messages_delivered == 1
+
+    def test_latency_orders_delivery(self):
+        simulator = Simulator()
+        sender, receiver = two_processes(simulator)
+        sender.send(receiver, payload="slow", latency=5.0)
+        sender.send(receiver, payload="fast", latency=1.0)
+        simulator.run()
+        assert receiver.receive().payload == "fast"
+        assert receiver.receive().payload == "slow"
+
+    def test_clock_advances_to_delivery_time(self):
+        simulator = Simulator()
+        sender, receiver = two_processes(simulator)
+        sender.send(receiver, latency=4.5)
+        simulator.run()
+        assert simulator.clock.now == 4.5
+
+    def test_handler_invoked_on_delivery(self):
+        simulator = Simulator()
+        sender, receiver = two_processes(simulator)
+        seen = []
+        receiver.on_message(lambda proc, msg: seen.append(msg.payload))
+        sender.send(receiver, payload=1)
+        simulator.run()
+        assert seen == [1]
+
+    def test_negative_latency_rejected(self):
+        simulator = Simulator()
+        sender, receiver = two_processes(simulator)
+        with pytest.raises(SimulationError):
+            sender.send(receiver, latency=-1.0)
+
+    def test_dead_sender_rejected(self):
+        simulator = Simulator()
+        sender, receiver = two_processes(simulator)
+        sender.exit()
+        with pytest.raises(SimulationError):
+            sender.send(receiver)
+
+    def test_message_to_dead_receiver_is_dropped(self):
+        simulator = Simulator()
+        sender, receiver = two_processes(simulator)
+        sender.send(receiver)
+        receiver.machine.alive = False
+        simulator.run()
+        assert simulator.messages_dropped == 1
+        assert receiver.receive() is None
+
+    def test_crossing_predicates(self):
+        simulator = Simulator()
+        net1, net2 = simulator.network(), simulator.network()
+        m1 = simulator.machine(net1)
+        a = simulator.spawn(m1)
+        b = simulator.spawn(m1)
+        c = simulator.spawn(simulator.machine(net2))
+        same = a.send(b)
+        cross = a.send(c)
+        assert not same.crosses_machines()
+        assert cross.crosses_machines() and cross.crosses_networks()
+
+
+class TestPartitions:
+    def test_partition_drops_cross_network_messages(self):
+        simulator = Simulator()
+        net1, net2 = simulator.network("n1"), simulator.network("n2")
+        a = simulator.spawn(simulator.machine(net1))
+        b = simulator.spawn(simulator.machine(net2))
+        simulator.partition(net1, net2)
+        a.send(b)
+        simulator.run()
+        assert simulator.messages_dropped == 1
+
+    def test_heal_restores_delivery(self):
+        simulator = Simulator()
+        net1, net2 = simulator.network(), simulator.network()
+        a = simulator.spawn(simulator.machine(net1))
+        b = simulator.spawn(simulator.machine(net2))
+        simulator.partition(net1, net2)
+        simulator.heal(net1, net2)
+        a.send(b)
+        simulator.run()
+        assert simulator.messages_delivered == 1
+
+    def test_partition_is_symmetric(self):
+        simulator = Simulator()
+        net1, net2 = simulator.network(), simulator.network()
+        simulator.partition(net1, net2)
+        assert simulator.partitioned(net2, net1)
+
+
+class TestScheduling:
+    def test_scheduled_action_runs_at_time(self):
+        simulator = Simulator()
+        ran_at = []
+        simulator.schedule(3.0, lambda: ran_at.append(simulator.clock.now))
+        simulator.run()
+        assert ran_at == [3.0]
+
+    def test_run_until_leaves_future_events(self):
+        simulator = Simulator()
+        ran = []
+        simulator.schedule(1.0, lambda: ran.append(1))
+        simulator.schedule(10.0, lambda: ran.append(10))
+        simulator.run(until=5.0)
+        assert ran == [1]
+        assert simulator.clock.now == 5.0
+        simulator.run()
+        assert ran == [1, 10]
+
+    def test_cannot_schedule_in_past(self):
+        simulator = Simulator()
+        with pytest.raises(SimulationError):
+            simulator.schedule(-1.0, lambda: None)
+
+    def test_max_events_guard(self):
+        simulator = Simulator()
+
+        def reschedule():
+            simulator.schedule(1.0, reschedule)
+
+        simulator.schedule(0.0, reschedule)
+        with pytest.raises(SimulationError):
+            simulator.run(max_events=10)
+
+    def test_run_returns_processed_count(self):
+        simulator = Simulator()
+        simulator.schedule(1.0, lambda: None)
+        simulator.schedule(2.0, lambda: None)
+        assert simulator.run() == 2
+
+
+class TestDeterminism:
+    def _digest(self, seed: int) -> list[str]:
+        simulator = Simulator(seed=seed)
+        network = simulator.network("lan")
+        processes = [simulator.spawn(simulator.machine(network), f"p{i}")
+                     for i in range(3)]
+        for index in range(20):
+            sender = processes[index % 3]
+            receiver = processes[(index + 1) % 3]
+            sender.send(receiver,
+                        latency=simulator.latency_jitter())
+        simulator.run()
+        return [entry.detail for entry in simulator.trace]
+
+    def test_same_seed_same_trace(self):
+        assert self._digest(5) == self._digest(5)
+
+    def test_different_seed_different_latencies(self):
+        first = Simulator(seed=1).latency_jitter()
+        second = Simulator(seed=2).latency_jitter()
+        assert first != second
+
+    def test_spawn_registers_in_sigma(self):
+        simulator = Simulator()
+        process = simulator.spawn(
+            simulator.machine(simulator.network()))
+        assert process in simulator.sigma
+
+    def test_spawn_on_dead_machine_rejected(self):
+        simulator = Simulator()
+        machine = simulator.machine(simulator.network())
+        machine.alive = False
+        with pytest.raises(SimulationError):
+            simulator.spawn(machine)
+
+    def test_repr(self):
+        assert "sent=0" in repr(Simulator())
+
+
+class TestOrderingProperties:
+    def test_fifo_per_pair_with_equal_latency(self):
+        """Messages between one sender/receiver pair with equal
+        latencies are delivered in send order."""
+        simulator = Simulator(seed=0)
+        machine = simulator.machine(simulator.network())
+        sender = simulator.spawn(machine, "s")
+        receiver = simulator.spawn(machine, "r")
+        for index in range(50):
+            sender.send(receiver, payload=index, latency=2.0)
+        simulator.run()
+        received = []
+        while (message := receiver.receive()) is not None:
+            received.append(message.payload)
+        assert received == list(range(50))
+
+    def test_handler_sends_are_processed_same_run(self):
+        """A handler that replies keeps the kernel draining until
+        quiescence in a single run() call."""
+        simulator = Simulator(seed=0)
+        machine = simulator.machine(simulator.network())
+        ping = simulator.spawn(machine, "ping")
+        pong = simulator.spawn(machine, "pong")
+        volleys = []
+
+        def pong_handler(process, message):
+            if message.payload < 3:
+                volleys.append(message.payload)
+                process.send(ping, payload=message.payload)
+
+        def ping_handler(process, message):
+            process.send(pong, payload=message.payload + 1)
+
+        pong.on_message(pong_handler)
+        ping.on_message(ping_handler)
+        ping.send(pong, payload=0)
+        simulator.run()
+        assert volleys == [0, 1, 2]

@@ -1,0 +1,131 @@
+"""Tests for the network/machine topology and renumbering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AddressError
+from repro.sim.kernel import Simulator
+from repro.sim.network import Internetwork, Machine, Network
+
+
+class TestAddressAllocation:
+    def test_network_addresses_are_dense(self):
+        internet = Internetwork()
+        first = Network(internet)
+        second = Network(internet)
+        assert (first.naddr, second.naddr) == (1, 2)
+
+    def test_explicit_network_address(self):
+        internet = Internetwork()
+        network = Network(internet, naddr=7)
+        assert network.naddr == 7
+        assert Network(internet).naddr == 8  # allocation continues past
+
+    def test_duplicate_network_address_rejected(self):
+        internet = Internetwork()
+        Network(internet, naddr=3)
+        with pytest.raises(AddressError):
+            Network(internet, naddr=3)
+
+    def test_nonpositive_addresses_rejected(self):
+        internet = Internetwork()
+        with pytest.raises(AddressError):
+            Network(internet, naddr=0)
+        network = Network(internet)
+        with pytest.raises(AddressError):
+            Machine(network, maddr=-1)
+
+    def test_machine_addresses_per_network(self):
+        internet = Internetwork()
+        network = Network(internet)
+        first, second = Machine(network), Machine(network)
+        assert (first.maddr, second.maddr) == (1, 2)
+
+    def test_lookup_by_address(self):
+        internet = Internetwork()
+        network = Network(internet)
+        machine = Machine(network)
+        assert internet.by_naddr(network.naddr) is network
+        assert network.by_maddr(machine.maddr) is machine
+        assert internet.by_naddr(999) is None
+        assert network.by_maddr(999) is None
+
+
+class TestRenumbering:
+    def test_network_renumber_rekeys_lookup(self):
+        internet = Internetwork()
+        network = Network(internet)
+        old = network.naddr
+        internet.renumber(network, 42)
+        assert network.naddr == 42
+        assert internet.by_naddr(42) is network
+        assert internet.by_naddr(old) is None
+
+    def test_network_renumber_to_used_address_rejected(self):
+        internet = Internetwork()
+        first, second = Network(internet), Network(internet)
+        with pytest.raises(AddressError):
+            internet.renumber(first, second.naddr)
+
+    def test_network_renumber_to_own_address_ok(self):
+        internet = Internetwork()
+        network = Network(internet)
+        internet.renumber(network, network.naddr)
+        assert internet.by_naddr(network.naddr) is network
+
+    def test_machine_renumber(self):
+        internet = Internetwork()
+        network = Network(internet)
+        machine = Machine(network)
+        old = machine.maddr
+        network.renumber_machine(machine, 9)
+        assert machine.maddr == 9
+        assert network.by_maddr(9) is machine
+        assert network.by_maddr(old) is None
+
+    def test_machine_renumber_wrong_network_rejected(self):
+        internet = Internetwork()
+        first, second = Network(internet), Network(internet)
+        machine = Machine(first)
+        with pytest.raises(Exception):
+            second.renumber_machine(machine, 5)
+
+    def test_processes_keep_laddrs_through_renumber(self):
+        simulator = Simulator()
+        network = simulator.network()
+        machine = simulator.machine(network)
+        process = simulator.spawn(machine)
+        old_laddr = process.laddr
+        network.renumber_machine(machine, 50)
+        assert process.laddr == old_laddr
+        assert machine.by_laddr(old_laddr) is process
+        assert process.full_address == (network.naddr, 50, old_laddr)
+
+
+class TestListings:
+    def test_networks_ordered_by_current_address(self):
+        internet = Internetwork()
+        first = Network(internet)
+        second = Network(internet)
+        internet.renumber(first, 99)
+        assert internet.networks() == [second, first]
+
+    def test_machines_ordered(self):
+        internet = Internetwork()
+        network = Network(internet)
+        first, second = Machine(network), Machine(network)
+        network.renumber_machine(first, 88)
+        assert network.machines() == [second, first]
+
+    def test_len(self):
+        internet = Internetwork()
+        Network(internet)
+        assert len(internet) == 1
+
+    def test_reprs(self):
+        internet = Internetwork()
+        network = Network(internet, label="lan")
+        machine = Machine(network, label="box")
+        assert "lan" in repr(network)
+        assert "box" in repr(machine)

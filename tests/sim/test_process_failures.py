@@ -1,0 +1,147 @@
+"""Tests for processes, traces, and failure injection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.failures import FailureInjector
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceLog
+
+
+@pytest.fixture
+def simulator():
+    return Simulator(seed=0)
+
+
+class TestProcessLifecycle:
+    def test_spawn_child_links_parent(self, simulator):
+        machine = simulator.machine(simulator.network())
+        parent = simulator.spawn(machine, "parent")
+        child = parent.spawn_child(label="child")
+        assert child.parent is parent
+        assert child in parent.children
+        assert child.machine is machine
+
+    def test_spawn_child_on_other_machine(self, simulator):
+        network = simulator.network()
+        m1, m2 = simulator.machine(network), simulator.machine(network)
+        parent = simulator.spawn(m1, "parent")
+        child = parent.spawn_child(machine=m2, label="remote-child")
+        assert child.machine is m2
+
+    def test_exit_frees_nothing_but_marks_dead(self, simulator):
+        machine = simulator.machine(simulator.network())
+        process = simulator.spawn(machine)
+        laddr = process.laddr
+        process.exit()
+        assert not process.alive
+        assert machine.by_laddr(laddr) is None
+        # Addresses are not reused.
+        successor = simulator.spawn(machine)
+        assert successor.laddr > laddr
+
+    def test_full_address(self, simulator):
+        network = simulator.network()
+        machine = simulator.machine(network)
+        process = simulator.spawn(machine)
+        assert process.full_address == (network.naddr, machine.maddr,
+                                        process.laddr)
+
+    def test_same_machine_network_predicates(self, simulator):
+        net1, net2 = simulator.network(), simulator.network()
+        m1 = simulator.machine(net1)
+        a, b = simulator.spawn(m1), simulator.spawn(m1)
+        c = simulator.spawn(simulator.machine(net1))
+        d = simulator.spawn(simulator.machine(net2))
+        assert a.same_machine(b)
+        assert not a.same_machine(c)
+        assert a.same_network(c)
+        assert not a.same_network(d)
+
+    def test_receive_empty_mailbox(self, simulator):
+        process = simulator.spawn(simulator.machine(simulator.network()))
+        assert process.receive() is None
+
+    def test_repr_shows_dead(self, simulator):
+        process = simulator.spawn(simulator.machine(simulator.network()))
+        process.exit()
+        assert "dead" in repr(process)
+
+
+class TestFailureInjector:
+    def test_crash_kills_processes(self, simulator):
+        machine = simulator.machine(simulator.network())
+        process = simulator.spawn(machine)
+        FailureInjector(simulator).crash_machine(machine)
+        assert not machine.alive
+        assert not process.alive
+
+    def test_crash_twice_rejected(self, simulator):
+        machine = simulator.machine(simulator.network())
+        injector = FailureInjector(simulator)
+        injector.crash_machine(machine)
+        with pytest.raises(SimulationError):
+            injector.crash_machine(machine)
+
+    def test_restart_allows_new_spawns(self, simulator):
+        machine = simulator.machine(simulator.network())
+        injector = FailureInjector(simulator)
+        injector.crash_machine(machine)
+        injector.restart_machine(machine)
+        fresh = simulator.spawn(machine)
+        assert fresh.alive
+
+    def test_renumber_machine_traced(self, simulator):
+        machine = simulator.machine(simulator.network())
+        FailureInjector(simulator).renumber_machine(machine, 33)
+        assert machine.maddr == 33
+        assert any("renumber" == e.kind for e in simulator.trace)
+
+    def test_renumber_network(self, simulator):
+        network = simulator.network()
+        FailureInjector(simulator).renumber_network(network, 44)
+        assert network.naddr == 44
+
+    def test_partition_delegation(self, simulator):
+        net1, net2 = simulator.network(), simulator.network()
+        injector = FailureInjector(simulator)
+        injector.partition(net1, net2)
+        assert simulator.partitioned(net1, net2)
+        injector.heal(net1, net2)
+        assert not simulator.partitioned(net1, net2)
+
+
+class TestTraceLog:
+    def test_record_and_filter(self):
+        log = TraceLog()
+        log.record(0.0, "send", "a → b")
+        log.record(1.0, "deliver", "b got it")
+        log.record(2.0, "send", "b → a")
+        assert len(log) == 3
+        assert [e.detail for e in log.of_kind("send")] == \
+            ["a → b", "b → a"]
+
+    def test_tail(self):
+        log = TraceLog()
+        for index in range(20):
+            log.record(float(index), "tick", str(index))
+        assert [e.detail for e in log.tail(3)] == ["17", "18", "19"]
+
+    def test_entry_repr(self):
+        log = TraceLog()
+        entry = log.record(1.5, "send", "hello")
+        assert "t=1.5" in repr(entry) and "hello" in repr(entry)
+
+    def test_kernel_traces_lifecycle(self):
+        simulator = Simulator()
+        network = simulator.network("lan")
+        machine = simulator.machine(network, "box")
+        sender = simulator.spawn(machine, "p")
+        receiver = simulator.spawn(machine, "q")
+        sender.send(receiver)
+        simulator.run()
+        kinds = [entry.kind for entry in simulator.trace]
+        assert kinds.count("topology") == 2
+        assert "spawn" in kinds and "send" in kinds and "deliver" in kinds

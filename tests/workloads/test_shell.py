@@ -1,0 +1,121 @@
+"""Tests for the scripted user shell workload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.closure.meta import NameSource
+from repro.closure.rules import RReceiver, RSender
+from repro.coherence.auditor import CoherenceAuditor
+from repro.embedded.objects import StructuredContent, structured_object
+from repro.namespaces.unix import UnixSystem
+from repro.workloads.shell import UserShell
+
+
+@pytest.fixture
+def unix():
+    system = UnixSystem("box")
+    system.tree.mkfile("etc/passwd")
+    system.tree.mkfile("home/alice/notes")
+    system.tree.mkfile("home/alice/paper")
+    return system
+
+
+@pytest.fixture
+def shell(unix):
+    return UserShell(unix)
+
+
+class TestCommands:
+    def test_open_emits_internal_events(self, unix, shell):
+        result = shell.execute(["open /etc/passwd /home/alice/notes"])
+        assert len(result.by_source(NameSource.INTERNAL)) == 2
+        assert result.events[0].intended is unix.tree.lookup("etc/passwd")
+
+    def test_open_unknown_name_has_no_intent(self, unix, shell):
+        result = shell.execute(["open /no/such"])
+        assert result.events[0].intended is None
+
+    def test_cd_changes_relative_resolution(self, unix, shell):
+        first = shell.execute(["cd /home/alice", "open notes"])
+        assert first.events[0].intended is \
+            unix.tree.lookup("home/alice/notes")
+
+    def test_cd_argument_count(self, unix, shell):
+        result = shell.execute(["cd"])
+        assert result.errors
+
+    def test_run_forks_and_passes_names(self, unix, shell):
+        result = shell.execute(
+            ["run editor /home/alice/notes /home/alice/paper"])
+        assert len(result.children) == 1
+        message_events = result.by_source(NameSource.MESSAGE)
+        assert len(message_events) == 2
+        assert all(e.sender is shell.process for e in message_events)
+        assert all(e.resolver is result.children[0]
+                   for e in message_events)
+
+    def test_cat_emits_object_events(self, unix, shell):
+        doc = structured_object(
+            "doc", StructuredContent().include("/etc/passwd"),
+            sigma=unix.sigma)
+        unix.tree.add("home/alice/doc", doc)
+        result = shell.execute(["cat /home/alice/doc"])
+        object_events = result.by_source(NameSource.OBJECT)
+        assert len(object_events) == 1
+        assert object_events[0].source_object is doc
+
+    def test_cat_of_missing_is_an_error(self, unix, shell):
+        result = shell.execute(["cat /nope"])
+        assert result.errors
+
+    def test_unknown_command_is_recorded(self, unix, shell):
+        result = shell.execute(["frobnicate /etc"])
+        assert result.errors == ["unknown command: frobnicate /etc"]
+
+    def test_blank_lines_ignored(self, unix, shell):
+        result = shell.execute(["", "   ", "open /etc/passwd"])
+        assert len(result.events) == 1
+
+
+class TestShellWorkloadCoherence:
+    def test_fresh_fork_children_see_what_the_user_meant(self, unix,
+                                                         shell):
+        result = shell.execute([
+            "cd /home/alice",
+            "run editor notes paper",
+            "open /etc/passwd",
+        ])
+        auditor = CoherenceAuditor(RReceiver(unix.registry))
+        auditor.observe_all(result.by_source(NameSource.MESSAGE))
+        # A fresh fork shares the parent's context: relative args work.
+        assert auditor.summary.coherence_rate() == 1.0
+
+    def test_chdired_child_breaks_relative_args_under_receiver_rule(
+            self, unix, shell):
+        result = shell.execute(["cd /home/alice", "run editor notes"])
+        child = result.children[0]
+        unix.chdir(child, "/etc")
+        receiver_rate = (CoherenceAuditor(RReceiver(unix.registry))
+                         .observe_all(result.events)
+                         .summary.coherence_rate())
+        sender_rate = (CoherenceAuditor(RSender(unix.registry))
+                       .observe_all(result.by_source(NameSource.MESSAGE))
+                       .summary.coherence_rate())
+        assert receiver_rate < 1.0
+        assert sender_rate == 1.0
+
+    def test_mixed_script_covers_all_three_sources(self, unix, shell):
+        doc = structured_object(
+            "doc", StructuredContent().include("/etc/passwd"),
+            sigma=unix.sigma)
+        unix.tree.add("home/doc", doc)
+        result = shell.execute([
+            "open /etc/passwd",
+            "run viewer /home/doc",
+            "cat /home/doc",
+        ])
+        assert result.by_source(NameSource.INTERNAL)
+        assert result.by_source(NameSource.MESSAGE)
+        assert result.by_source(NameSource.OBJECT)
+        assert not result.errors

@@ -1,0 +1,178 @@
+"""Tests for workload generators, org builders, scenarios."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.closure.meta import NameSource
+from repro.errors import SimulationError
+from repro.workloads.generators import (
+    EmbeddedUse,
+    embedded_events,
+    exchange_events,
+    internal_events,
+    mixed_workload,
+)
+from repro.workloads.organizations import (
+    OrgSpec,
+    build_campus,
+    build_federation,
+)
+from repro.workloads.scenarios import (
+    build_pqid_population,
+    build_rule_scenario,
+)
+
+
+@pytest.fixture
+def scenario():
+    return build_rule_scenario(seed=5)
+
+
+class TestGenerators:
+    def test_internal_events_shape(self, scenario):
+        rng = random.Random(0)
+        events = internal_events(scenario.activity_registry,
+                                 scenario.activities,
+                                 scenario.all_names, rng, 50)
+        assert len(events) == 50
+        assert all(e.source is NameSource.INTERNAL for e in events)
+        assert all(e.sender is None for e in events)
+
+    def test_internal_intent_is_author_denotation(self, scenario):
+        rng = random.Random(0)
+        author = scenario.activities[0]
+        events = internal_events(scenario.activity_registry,
+                                 scenario.activities,
+                                 scenario.global_names, rng, 20,
+                                 author=author)
+        author_context = scenario.activity_registry.context_of(author)
+        for event in events:
+            assert event.intended is author_context(event.name.first)
+
+    def test_exchange_events_distinct_parties(self, scenario):
+        rng = random.Random(0)
+        events = exchange_events(scenario.activity_registry,
+                                 scenario.activities,
+                                 scenario.all_names, rng, 50)
+        assert all(e.sender is not e.resolver for e in events)
+        assert all(e.source is NameSource.MESSAGE for e in events)
+
+    def test_embedded_events_use_prepared_intents(self, scenario):
+        rng = random.Random(0)
+        events = embedded_events(scenario.activities,
+                                 scenario.embedded_uses, rng, 30)
+        assert all(e.source is NameSource.OBJECT for e in events)
+        assert all(e.source_object is not None for e in events)
+
+    def test_generators_validate_inputs(self, scenario):
+        rng = random.Random(0)
+        with pytest.raises(SimulationError):
+            internal_events(scenario.activity_registry, [], ["x"], rng, 5)
+        with pytest.raises(SimulationError):
+            exchange_events(scenario.activity_registry,
+                            scenario.activities[:1], ["x"], rng, 5)
+        with pytest.raises(SimulationError):
+            embedded_events(scenario.activities, [], rng, 5)
+
+    def test_mixed_workload_proportions(self, scenario):
+        rng = random.Random(0)
+        events = mixed_workload(scenario.activity_registry,
+                                scenario.activities, scenario.all_names,
+                                scenario.embedded_uses, rng, 90,
+                                proportions=(1.0, 1.0, 1.0))
+        per_source = {source: sum(1 for e in events if e.source is source)
+                      for source in NameSource}
+        assert sum(per_source.values()) == 90
+        assert all(count > 20 for count in per_source.values())
+
+    def test_mixed_workload_bad_proportions(self, scenario):
+        rng = random.Random(0)
+        with pytest.raises(SimulationError):
+            mixed_workload(scenario.activity_registry,
+                           scenario.activities, scenario.all_names,
+                           scenario.embedded_uses, rng, 10,
+                           proportions=(0.0, 0.0, 0.0))
+
+    def test_determinism(self, scenario):
+        def digest(seed):
+            rng = random.Random(seed)
+            events = exchange_events(scenario.activity_registry,
+                                     scenario.activities,
+                                     scenario.all_names, rng, 40)
+            return [(str(e.name), e.resolver.label, e.sender.label)
+                    for e in events]
+
+        assert digest(3) == digest(3)
+        assert digest(3) != digest(4)
+
+
+class TestRuleScenario:
+    def test_population_shape(self, scenario):
+        assert len(scenario.activities) == 4
+        assert len(scenario.global_names) == 3
+        assert len(scenario.homonym_names) == 3
+        assert scenario.embedded_uses
+
+    def test_global_names_are_global(self, scenario):
+        from repro.coherence.definitions import is_global_name
+
+        for name_ in scenario.global_names:
+            assert is_global_name(name_, scenario.activities,
+                                  scenario.activity_registry)
+
+    def test_homonyms_are_not_coherent(self, scenario):
+        from repro.coherence.definitions import coherent
+
+        for name_ in scenario.homonym_names:
+            assert not coherent(name_, scenario.activities,
+                                scenario.activity_registry)
+
+    def test_embedded_intents_match_author(self, scenario):
+        for use in scenario.embedded_uses:
+            author_context = scenario.object_registry.context_of(
+                use.container)
+            assert use.intended is author_context(use.name.first)
+
+
+class TestBuilders:
+    def test_pqid_population_shape(self):
+        population = build_pqid_population(seed=0, n_networks=2,
+                                           machines_per_network=3,
+                                           processes_per_machine=2)
+        assert len(population.networks) == 2
+        assert len(population.machines) == 6
+        assert len(population.processes) == 12
+        assert all(p.alive for p in population.processes)
+
+    def test_random_pair_distinct(self):
+        population = build_pqid_population(seed=0)
+        rng = random.Random(1)
+        for _ in range(10):
+            first, second = population.random_pair(rng)
+            assert first is not second
+
+    def test_build_campus(self):
+        campus = build_campus(clients=3, local_files_per_client=2,
+                              shared_files=4, replicated_commands=2,
+                              processes_per_client=2, seed=0)
+        assert len(campus.clients()) == 3
+        assert len(campus.activities()) == 6
+        assert len(campus.replicas) == 2
+        assert len(campus.shared_probe_names()) >= 4
+
+    def test_build_federation(self):
+        env, orgs = build_federation(
+            [OrgSpec("alpha", divisions=2, users_per_division=2,
+                     services=1, activities_per_division=2)],
+            seed=0)
+        (org,) = orgs
+        assert len(org.division_scopes) == 2
+        assert len(org.activities) == 4
+        assert len(org.user_names) == 4
+        assert len(org.service_names) == 1
+        process = org.activities[0]
+        assert env.resolve_for(process, org.user_names[0]).is_defined()
+        assert env.resolve_for(process, "/division/notes").is_defined()

@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""Regenerate docs/figures.md: the paper's six figures, reproduced.
+
+Each section describes the figure, builds the corresponding structure
+with this library, and embeds the naming graph in Graphviz DOT (pipe
+any block through ``dot -Tsvg`` to draw it).
+
+Usage:  python tools/generate_figures.py > docs/figures.md
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.model.graph import NamingGraph
+from repro.model.state import GlobalState
+
+
+def figure1() -> tuple[str, str]:
+    """Three sources of names — shown as a tiny system where one
+    activity holds a generated name, receives one, and reads one."""
+    from repro.embedded.objects import StructuredContent, structured_object
+    from repro.model.context import context_object
+    from repro.model.entities import Activity
+
+    sigma = GlobalState()
+    activity = sigma.add(Activity("activity"))
+    peer = sigma.add(Activity("peer"))
+    container = structured_object(
+        "object-with-name", StructuredContent().include("embedded"),
+        sigma=sigma)
+    home = sigma.add(context_object("context"))
+    home.state.bind("generated", sigma.add(context_object("target")))
+    description = (
+        "An activity obtains names three ways: generating them "
+        "internally (or from a user), receiving them in messages from "
+        "other activities, and reading them out of objects.  In the "
+        "library these are `NameSource.INTERNAL`, `.MESSAGE` and "
+        "`.OBJECT` on every `ResolutionEvent`.")
+    return description, NamingGraph(sigma).to_dot()
+
+
+def figure2() -> tuple[str, str]:
+    """Context selection for exchanged / embedded names."""
+    from repro.model.context import context_object
+    from repro.model.entities import Activity, ObjectEntity
+
+    sigma = GlobalState()
+    sender_ctx = sigma.add(context_object("ctxOf(sender)"))
+    receiver_ctx = sigma.add(context_object("ctxOf(receiver)"))
+    object_ctx = sigma.add(context_object("ctxOf(object)"))
+    sigma.add(Activity("sender"))
+    sigma.add(Activity("receiver"))
+    sigma.add(ObjectEntity("object"))
+    meaning = sigma.add(ObjectEntity("entity"))
+    for ctx in (sender_ctx, receiver_ctx, object_ctx):
+        ctx.state.bind("n", meaning)
+    description = (
+        "A name exchanged in a message can be resolved in the "
+        "receiver's context (`RReceiver`) or the sender's "
+        "(`RSender`); a name obtained from an object in the reader's "
+        "context (`RActivity`) or the object's (`RObject`).  "
+        "Experiments E2/E3 measure all four cells.")
+    return description, NamingGraph(sigma).to_dot()
+
+
+def figure3() -> tuple[str, str]:
+    from repro.namespaces.newcastle import NewcastleSystem
+
+    nc = NewcastleSystem()
+    for machine in ("unix1", "unix2", "unix3"):
+        nc.add_machine(machine).mkfile("usr/f")
+    description = (
+        "Three machines' trees joined under a created super-root; "
+        "each machine root's `..` leads up, so `/../unix2/usr/f` "
+        "reaches another machine.  Built by `NewcastleSystem`; "
+        "experiment E5.")
+    return description, NamingGraph(nc.sigma).to_dot()
+
+
+def figure4() -> tuple[str, str]:
+    from repro.namespaces.shared_graph import SharedGraphSystem
+
+    campus = SharedGraphSystem()
+    campus.shared.mkfile("usr/shared-file")
+    for label in ("c1", "c2", "c3"):
+        campus.add_client(label).tree.mkfile("local-file")
+    description = (
+        "Client subsystems keep private naming graphs and all mount "
+        "one shared naming graph (at `/vice`).  Built by "
+        "`SharedGraphSystem`; experiment E6.")
+    return description, NamingGraph(campus.sigma).to_dot()
+
+
+def figure5() -> tuple[str, str]:
+    from repro.namespaces.crosslink import FederatedSystems
+
+    fed = FederatedSystems()
+    fed.add_system("system1").mkfile("users/amy/f")
+    fed.add_system("system2").mkfile("projects/p")
+    fed.add_link("system1", "org2", "system2")
+    fed.add_link("system2", "org1", "system1", "users")
+    description = (
+        "Two autonomous systems extended with cross-links into each "
+        "other's naming graphs — access without coherence.  Built by "
+        "`FederatedSystems.add_link`; experiment E8.")
+    return description, NamingGraph(fed.sigma).to_dot()
+
+
+def figure6() -> tuple[str, str]:
+    from repro.embedded.objects import StructuredContent, structured_object
+    from repro.namespaces.tree import NamingTree
+
+    sigma = GlobalState()
+    tree = NamingTree("root", sigma=sigma, parent_links=True)
+    tree.mkfile("n-prime/a/p")          # n'' under the binding at n'
+    tree.add("n-prime/src/n", structured_object(
+        "n-embeds-a-slash-p", StructuredContent().include("a/p"),
+        sigma=sigma))
+    description = (
+        "A name `a/p` embedded in node *n* is resolved by searching "
+        "up the tree for the closest ancestor (*n'*) with a binding "
+        "for `a`, denoting *n''* — Algol scope rules over nested "
+        "subtrees.  Implemented by `UpwardScopeContext`/`scope_rule`; "
+        "experiment E10.")
+    return description, NamingGraph(sigma).to_dot()
+
+
+FIGURES = [
+    ("Figure 1 — Three Sources of Names", figure1),
+    ("Figure 2 — Coherence and Resolution Rules", figure2),
+    ("Figure 3 — A Newcastle System with Three Machines", figure3),
+    ("Figure 4 — A Naming Graph Shared among Clients", figure4),
+    ("Figure 5 — Cross Links between Autonomous Systems", figure5),
+    ("Figure 6 — Examples of Embedded Names", figure6),
+]
+
+
+def main() -> int:
+    out = sys.stdout
+    out.write("# The paper's figures, reproduced\n\n")
+    out.write("Regenerate with `python tools/generate_figures.py > "
+              "docs/figures.md`.\nEach DOT block renders with "
+              "`dot -Tsvg` (dashed edges are `..` parent links).\n\n")
+    for title, builder in FIGURES:
+        description, dot = builder()
+        out.write(f"## {title}\n\n{description}\n\n")
+        out.write(f"```dot\n{dot}\n```\n\n")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        sys.exit(0)

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Render a built-in scenario's naming graph as Graphviz DOT.
+
+Usage::
+
+    python tools/render_graph.py newcastle > newcastle.dot
+    python tools/render_graph.py andrew | dot -Tsvg > andrew.svg
+
+Scenarios: unix, newcastle, andrew, dce, perprocess.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.model.graph import NamingGraph
+
+
+def build_unix():
+    from repro.namespaces.unix import UnixSystem
+
+    unix = UnixSystem("demo")
+    unix.tree.mkfile("etc/passwd")
+    unix.tree.mkfile("home/alice/notes")
+    unix.spawn("init")
+    return unix.sigma
+
+
+def build_newcastle():
+    from repro.namespaces.newcastle import NewcastleSystem
+
+    nc = NewcastleSystem()
+    for machine in ("unix1", "unix2", "unix3"):
+        nc.add_machine(machine).mkfile("usr/data")
+    return nc.sigma
+
+
+def build_andrew():
+    from repro.namespaces.shared_graph import SharedGraphSystem
+
+    campus = SharedGraphSystem()
+    campus.shared.mkfile("usr/alice/thesis")
+    for label in ("ws1", "ws2"):
+        campus.add_client(label).tree.mkfile("tmp/scratch")
+    return campus.sigma
+
+
+def build_dce():
+    from repro.namespaces.dce import DCESystem
+
+    dce = DCESystem()
+    dce.add_cell("research").mkfile("services/db")
+    dce.add_machine("ws1", "research")
+    return dce.sigma
+
+
+def build_perprocess():
+    from repro.namespaces.perprocess import PerProcessSystem
+
+    port = PerProcessSystem()
+    port.add_machine("m1").mkfile("src/prog.c")
+    port.add_machine("fs").mkfile("lib/libc")
+    port.spawn("m1", "dev", mounts=[("home", "m1"), ("lib", "fs")])
+    return port.sigma
+
+
+SCENARIOS = {
+    "unix": build_unix,
+    "newcastle": build_newcastle,
+    "andrew": build_andrew,
+    "dce": build_dce,
+    "perprocess": build_perprocess,
+}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("scenario", choices=sorted(SCENARIOS))
+    args = parser.parse_args()
+    sigma = SCENARIOS[args.scenario]()
+    sys.stdout.write(NamingGraph(sigma).to_dot())
+    sys.stdout.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        sys.exit(0)  # output piped into head/less and closed
+

@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Run the whole experiment suite and emit one JSON document.
+
+Usage:  python tools/run_all_json.py [--seed N] > results.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench import run_all
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    results = run_all(seed=args.seed)
+    document = {
+        "paper": "Radia & Pachl, Coherence in Naming in Distributed "
+                 "Computing Environments, ICDCS 1993",
+        "seed": args.seed,
+        "all_reproduced": all(r.all_checks_pass()
+                              for r in results.values()),
+        "experiments": {exp_id: result.to_dict()
+                        for exp_id, result in results.items()},
+    }
+    json.dump(document, sys.stdout, indent=2, ensure_ascii=False)
+    sys.stdout.write("\n")
+    return 0 if document["all_reproduced"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
