@@ -1,0 +1,15 @@
+"""Bench a7_batch_resolution: amortized resolution on a hot directory
+— the seed sequential/uncached path vs prefix-cached and batched
+resolution, with semantics checked in every style × policy cell
+(including a mid-workload rebind).
+
+Prints the reproduced table and asserts the qualitative claims.
+"""
+
+from repro.bench.experiments_batch import run_a7_batch_resolution
+
+from conftest import run_and_report
+
+
+def test_a7_batch_resolution(benchmark):
+    run_and_report(benchmark, run_a7_batch_resolution, seed=0)

@@ -29,6 +29,7 @@ from repro.bench.experiments_solutions import (
     run_e11_perprocess,
     run_e9_pqid,
 )
+from repro.bench.experiments_batch import run_a7_batch_resolution
 from repro.bench.experiments_boundary import run_a3_boundary_mapping
 from repro.bench.experiments_cache import run_a5_cache_coherence
 from repro.bench.experiments_cost import run_a4_resolution_cost
@@ -55,6 +56,7 @@ ALL_EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "A4": run_a4_resolution_cost,
     "A5": run_a5_cache_coherence,
     "A6": run_a6_scope_enlargement,
+    "A7": run_a7_batch_resolution,
 }
 
 
@@ -73,6 +75,7 @@ __all__ = [
     "run_a4_resolution_cost",
     "run_a5_cache_coherence",
     "run_a6_scope_enlargement",
+    "run_a7_batch_resolution",
     "run_all",
     "run_e10_algol_scope",
     "run_e11_perprocess",

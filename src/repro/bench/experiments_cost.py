@@ -27,7 +27,7 @@ from repro.namespaces.perprocess import PerProcessSystem
 from repro.namespaces.shared_graph import SharedGraphSystem
 from repro.namespaces.single_tree import SingleTreeSystem
 from repro.nameservice.placement import DirectoryPlacement
-from repro.nameservice.resolver import DistributedResolver
+from repro.nameservice.resolver import DistributedResolver, ResolutionCost
 from repro.sim.kernel import Simulator
 
 __all__ = ["run_a4_resolution_cost"]
@@ -152,10 +152,8 @@ def _deploy_perprocess(seed: int) -> _Deployment:
 
 def _run_workload(deployment: _Deployment, rng: random.Random,
                   resolutions: int) -> dict[str, float]:
-    total_messages = 0
-    total_latency = 0.0
-    local_messages = 0
-    local_count = 0
+    costs: list[ResolutionCost] = []
+    local_costs: list[ResolutionCost] = []
     failures = 0
     for _ in range(resolutions):
         client, context, locals_, shared = rng.choice(deployment.clients)
@@ -164,19 +162,21 @@ def _run_workload(deployment: _Deployment, rng: random.Random,
         entity, cost = deployment.resolver.resolve(client, context, name_)
         if not entity.is_defined():
             failures += 1
-        total_messages += cost.messages
-        total_latency += cost.latency
+        costs.append(cost)
         if is_local:
-            local_messages += cost.messages
-            local_count += 1
+            local_costs.append(cost)
+    total = ResolutionCost.merge(costs)
+    local_total = ResolutionCost.merge(local_costs)
+    # `load` aggregates by label (reporting view of the per-process
+    # counters); the central machine hosts exactly one server here.
     central = sum(
         count for label, count in deployment.resolver.load.items()
         if deployment.central_server_machine in label)
     return {
-        "mean_messages": total_messages / resolutions,
-        "mean_latency": total_latency / resolutions,
-        "local_mean_messages": (local_messages / local_count
-                                if local_count else 0.0),
+        "mean_messages": total.messages / resolutions,
+        "mean_latency": total.latency / resolutions,
+        "local_mean_messages": (local_total.messages / len(local_costs)
+                                if local_costs else 0.0),
         "central_load": float(central),
         "failures": float(failures),
     }

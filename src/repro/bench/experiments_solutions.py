@@ -273,7 +273,7 @@ def run_e11_perprocess(seed: int = 0) -> ExperimentResult:
 
     # "In spite of not having global names": the passed names are not
     # global over the whole population.
-    bystander = port.spawn("fileserver", "unrelated")
+    port.spawn("fileserver", "unrelated")
     not_global = not any(
         is_global_name(arg, port.activities(), port.registry)
         for arg in arguments)

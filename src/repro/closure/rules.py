@@ -38,7 +38,6 @@ from typing import Callable, Mapping, Optional
 from repro.errors import ResolutionRuleError
 from repro.model.context import Context
 from repro.model.entities import Entity
-from repro.model.names import CompoundName
 from repro.model.resolution import ResolutionTrace, resolve_traced
 from repro.closure.meta import ContextRegistry, NameSource, ResolutionEvent
 

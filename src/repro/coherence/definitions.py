@@ -24,10 +24,10 @@ workload under a resolution rule — is :mod:`repro.coherence.auditor`.
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
-from typing import Callable, Optional
+from typing import Callable
 
 from repro.closure.meta import ContextRegistry
-from repro.model.entities import Activity, Entity, UNDEFINED_ENTITY
+from repro.model.entities import Activity, Entity
 from repro.model.names import CompoundName, NameLike
 from repro.model.resolution import resolve
 

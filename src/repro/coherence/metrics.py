@@ -25,7 +25,6 @@ from repro.closure.meta import ContextRegistry
 from repro.coherence.definitions import (
     EntityEquivalence,
     coherent,
-    denotations,
     is_global_name,
     strict_identity,
 )

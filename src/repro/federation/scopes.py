@@ -29,7 +29,7 @@ from typing import Optional
 from repro.errors import FederationError
 from repro.model.context import context_object
 from repro.model.entities import Activity, ObjectEntity
-from repro.model.names import CompoundName, NameLike, check_atomic_name
+from repro.model.names import CompoundName, check_atomic_name
 from repro.model.state import GlobalState
 from repro.namespaces.base import NamingScheme, ProcessContext
 from repro.namespaces.tree import NamingTree

@@ -11,6 +11,8 @@ from repro.nameservice.cache import (
     CacheEntry,
     CachePolicy,
     CachingDirectoryService,
+    PrefixCache,
+    PrefixEntry,
 )
 from repro.nameservice.placement import DirectoryPlacement
 from repro.nameservice.protocol import (
@@ -35,6 +37,8 @@ __all__ = [
     "DistributedResolver",
     "LookupOutcome",
     "NameLookupServer",
+    "PrefixCache",
+    "PrefixEntry",
     "ResolutionCost",
     "ResolutionStyle",
     "check_semantics_preserved",

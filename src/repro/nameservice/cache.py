@@ -23,7 +23,7 @@ Three policies:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import SchemeError
@@ -34,7 +34,8 @@ from repro.sim.kernel import Simulator
 from repro.sim.network import Machine
 
 __all__ = ["CachePolicy", "CacheEntry", "BindingCache",
-           "CachingDirectoryService"]
+           "CachingDirectoryService", "PrefixEntry", "PrefixCache",
+           "binding_dep", "context_dep"]
 
 
 class CachePolicy(enum.Enum):
@@ -108,6 +109,158 @@ class BindingCache:
                 "expirations": self.expirations}
 
 
+# -- prefix caching ----------------------------------------------------------
+
+#: A dependency key: one binding a cached prefix walk consumed.  Either
+#: ``("d", directory_uid, component)`` for a step through a placed
+#: directory, or ``("c", id(context), component)`` for a step through a
+#: process's own (unplaced) starting context.
+DepKey = tuple[str, int, str]
+
+#: A cached-prefix key: ``(id(context), rooted, consumed components)``.
+#: For rooted names the consumed tuple begins with the root name ``/``.
+PrefixKey = tuple[int, bool, tuple[str, ...]]
+
+
+def binding_dep(directory: ObjectEntity, component: str) -> DepKey:
+    """The dependency key for one binding of a directory object."""
+    return ("d", directory.uid, component)
+
+
+def context_dep(context: Context, component: str) -> DepKey:
+    """The dependency key for a binding of a raw starting context."""
+    return ("c", id(context), component)
+
+
+@dataclass
+class PrefixEntry:
+    """One memoized prefix: the directory reached after consuming a
+    leading run of a compound name's components.
+
+    Attributes:
+        context: The starting context the prefix was resolved in (held
+            to pin identity — a recycled ``id()`` can never alias).
+        directory: The context object the prefix walk arrived at.
+        deps: Every binding the walk consumed, for invalidation.
+        cached_at / expires_at: As for :class:`CacheEntry`.
+        epoch: The placement epoch at fill time; entries from an older
+            epoch are dead (a re-placed directory would make the cached
+            hosting server wrong).
+    """
+
+    context: Context
+    directory: ObjectEntity
+    deps: tuple[DepKey, ...]
+    cached_at: float
+    expires_at: Optional[float] = None
+    epoch: int = 0
+
+    def live(self, now: float, epoch: int) -> bool:
+        return (self.epoch == epoch
+                and (self.expires_at is None or now < self.expires_at))
+
+
+class PrefixCache:
+    """A per-machine memo of resolved compound-name prefixes.
+
+    Where :class:`BindingCache` copies one binding, a prefix cache
+    memoizes a whole resolved *path prefix*
+    ``(context, n1 … ni) → directory`` — the DNS-resolver trick: a
+    repeated resolution skips straight to the deepest live prefix
+    instead of re-walking (and re-paying message hops) from the root.
+    Coherence is governed by the same :class:`CachePolicy` values as
+    the binding cache, and every entry records the bindings its walk
+    consumed so a ``rebind`` can invalidate exactly the prefixes that
+    pass through the changed binding.
+    """
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        self._entries: dict[PrefixKey, PrefixEntry] = {}
+        # Reverse index: consumed binding → prefix keys through it.
+        self._through: dict[DepKey, set[PrefixKey]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.expirations = 0
+
+    def lookup_longest(self, context: Context, rooted: bool,
+                       comps: list[str], now: float,
+                       epoch: int) -> Optional[tuple[int, PrefixEntry]]:
+        """The deepest live cached prefix of *comps*, or None.
+
+        Only proper prefixes are considered (the final component's
+        lookup is the resolution result itself, not a directory to
+        step into).  Returns ``(consumed, entry)`` where *consumed* is
+        the number of leading components the entry covers.
+        """
+        for length in range(len(comps) - 1, 0, -1):
+            key = (id(context), rooted, tuple(comps[:length]))
+            entry = self._entries.get(key)
+            if entry is None:
+                continue
+            if entry.context is not context:
+                continue  # stale id() alias — never served
+            if not entry.live(now, epoch):
+                self._drop(key, entry)
+                self.expirations += 1
+                continue
+            self.hits += 1
+            return length, entry
+        self.misses += 1
+        return None
+
+    def fill(self, context: Context, rooted: bool,
+             comps_prefix: tuple[str, ...], directory: ObjectEntity,
+             deps: tuple[DepKey, ...], now: float, ttl: Optional[float],
+             epoch: int) -> None:
+        """Memoize one resolved prefix."""
+        key = (id(context), rooted, comps_prefix)
+        old = self._entries.get(key)
+        if old is not None:
+            self._drop(key, old)
+        expires = None if ttl is None else now + ttl
+        entry = PrefixEntry(context=context, directory=directory,
+                            deps=deps, cached_at=now,
+                            expires_at=expires, epoch=epoch)
+        self._entries[key] = entry
+        for dep in deps:
+            self._through.setdefault(dep, set()).add(key)
+
+    def invalidate_through(self, dep: DepKey) -> int:
+        """Drop every prefix whose walk consumed *dep*; returns the
+        number of entries dropped (the invalidation protocol)."""
+        keys = self._through.pop(dep, set())
+        dropped = 0
+        for key in keys:
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                continue
+            for other in entry.deps:
+                if other != dep:
+                    self._through.get(other, set()).discard(key)
+            dropped += 1
+        self.invalidations += dropped
+        return dropped
+
+    def _drop(self, key: PrefixKey, entry: PrefixEntry) -> None:
+        self._entries.pop(key, None)
+        for dep in entry.deps:
+            self._through.get(dep, set()).discard(key)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._through.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "invalidations": self.invalidations,
+                "expirations": self.expirations}
+
+
 class CachingDirectoryService:
     """Directory reads/writes with per-machine binding caches.
 
@@ -136,6 +289,7 @@ class CachingDirectoryService:
         self._agents: dict[int, object] = {}
         self.remote_reads = 0
         self.invalidation_messages = 0
+        self.invalidation_latency = 0.0
 
     # -- cache plumbing -----------------------------------------------------
 
@@ -161,12 +315,12 @@ class CachingDirectoryService:
             return
         sender = self._agent(client)
         receiver = self._agent(server)
-        sender.send(receiver, payload={"cache": "read"},
-                    latency=self._latency)
-        self._sim.run()
-        receiver.send(sender, payload={"cache": "reply"},
-                      latency=self._latency)
-        self._sim.run()
+        request = sender.send(receiver, payload={"cache": "read"},
+                              latency=self._latency)
+        self._sim.run_until_settled(request)
+        reply = receiver.send(sender, payload={"cache": "reply"},
+                              latency=self._latency)
+        self._sim.run_until_settled(reply)
         self.remote_reads += 1
 
     # -- reads ------------------------------------------------------------------
@@ -208,10 +362,13 @@ class CachingDirectoryService:
         """Change a binding; under INVALIDATE, notify cached copies.
 
         Invalidations are messages (one per caching machine) sent from
-        the hosting server's agent; they are delivered before this
-        call returns (the kernel runs to quiescence), modelling a
-        synchronous invalidation protocol.  Under TTL, stale copies
-        simply live out their window.
+        the hosting server's agent as one batched fan-out: all sends
+        are enqueued first, then a single bounded drain delivers them
+        before this call returns, modelling a synchronous invalidation
+        protocol.  The drain's virtual time is accumulated in
+        :attr:`invalidation_latency`, so the INVALIDATE policy's write
+        cost is measured alongside its message count.  Under TTL,
+        stale copies simply live out their window.
         """
         context: Context = directory.state
         context.bind(name_, entity)
@@ -219,22 +376,27 @@ class CachingDirectoryService:
             return
         host = self._placement.host_of(directory)
         holders = self._copies.pop((directory.uid, name_), set())
+        fanout = []
         for machine_id in holders:
             machine = self._machines_by_id[machine_id]
             if host is not None and machine is not host:
-                self._agent(host).send(
+                fanout.append(self._agent(host).send(
                     self._agent(machine),
                     payload={"cache": "invalidate"},
-                    latency=self._latency)
+                    latency=self._latency))
                 self.invalidation_messages += 1
             self._caches[machine_id].invalidate(directory, name_)
-        self._sim.run()
+        if fanout:
+            before = self._sim.clock.now
+            self._sim.run_until_settled(fanout)
+            self.invalidation_latency += self._sim.clock.now - before
 
     # -- reporting --------------------------------------------------------------------
 
-    def stats(self) -> dict[str, int]:
+    def stats(self) -> dict[str, float]:
         totals = {"remote_reads": self.remote_reads,
                   "invalidation_messages": self.invalidation_messages,
+                  "invalidation_latency": self.invalidation_latency,
                   "hits": 0, "misses": 0, "invalidations": 0,
                   "expirations": 0}
         for cache in self._caches.values():

@@ -32,6 +32,19 @@ class DirectoryPlacement:
 
     def __init__(self) -> None:
         self._host_of: dict[int, Machine] = {}
+        self._epoch = 0
+
+    @property
+    def epoch(self) -> int:
+        """A counter bumped on every placement change.
+
+        Cached resolution state (e.g. prefix-cache entries, which
+        memoize *which server* hosts a directory) records the epoch it
+        was derived under and treats entries from an older epoch as
+        dead — re-placing a directory can never serve a lookup from
+        the wrong server.
+        """
+        return self._epoch
 
     def place(self, directory: Entity, machine: Machine) -> None:
         """Host *directory* on *machine* (replacing any previous
@@ -40,6 +53,7 @@ class DirectoryPlacement:
             raise SchemeError(
                 f"only directories are placed on servers: {directory!r}")
         self._host_of[directory.uid] = machine
+        self._epoch += 1
 
     def place_subtree(self, root: ObjectEntity, machine: Machine,
                       follow_parent: bool = False) -> int:
@@ -63,6 +77,7 @@ class DirectoryPlacement:
                     self._host_of[node.uid] is not machine:
                 continue
             self._host_of[node.uid] = machine
+            self._epoch += 1
             placed += 1
             context: Context = node.state
             for name_ in context.names():

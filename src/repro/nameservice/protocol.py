@@ -19,7 +19,7 @@ incoherence is never silently introduced by the transport.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.errors import SchemeError
@@ -172,6 +172,37 @@ class AsyncNameClient:
             pending.directory = root  # type: ignore[assignment]
         self._advance(pending)
         return request_id
+
+    def resolve_many(self, context: Context, names: list[NameLike],
+                     completion: Callable[[list[LookupOutcome]], None],
+                     ) -> list[int]:
+        """Begin resolving a batch of names concurrently.
+
+        All lookups are issued immediately, so their request/reply
+        traffic interleaves in the kernel and the batch completes in
+        roughly one lookup's latency instead of the sum.  *completion*
+        fires exactly once, with one :class:`LookupOutcome` per input
+        name in input order, after the last lookup settles.
+
+        Returns the request ids, in input order.
+        """
+        outcomes: list[Optional[LookupOutcome]] = [None] * len(names)
+        remaining = len(names)
+        if remaining == 0:
+            completion([])
+            return []
+
+        def finisher(index: int) -> Completion:
+            def finish(outcome: LookupOutcome) -> None:
+                nonlocal remaining
+                outcomes[index] = outcome
+                remaining -= 1
+                if remaining == 0:
+                    completion(outcomes)  # type: ignore[arg-type]
+            return finish
+
+        return [self.resolve(context, name_, finisher(index))
+                for index, name_ in enumerate(names)]
 
     # -- the walk ------------------------------------------------------------
 

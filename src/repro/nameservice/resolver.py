@@ -12,26 +12,48 @@ all observable).  Two classic interaction styles are supported:
   the final answer returns to the client (one hop per transfer plus
   one reply).
 
-The resolver is semantics-preserving: its result is always identical
-to :func:`repro.model.resolution.resolve` on the same context — the
-distribution changes *cost*, never *meaning*.  (Property-tested.)
+Two mechanisms make resolution cheap at scale (both extensions,
+DNS/AFS-style, measured by ablations A5 and A7):
+
+* a per-machine **prefix cache** (:class:`~repro.nameservice.cache.
+  PrefixCache`): repeated resolutions skip the walk up to the deepest
+  live cached prefix, under the same NONE/TTL/INVALIDATE coherence
+  policies as the binding cache, with :meth:`DistributedResolver.rebind`
+  as the write discipline that keeps INVALIDATE exact;
+* a **batch API** (:meth:`DistributedResolver.resolve_many`) that
+  sorts names by shared prefix, dedupes common steps within the batch,
+  and coalesces queries to the same server into one round trip.
+
+The resolver is semantics-preserving: with caching off its result is
+always identical to :func:`repro.model.resolution.resolve` on the same
+context — the distribution changes *cost*, never *meaning*.  With
+caching on, coherence is weakened only in the bounded way the cache
+policy allows (TTL staleness windows; nothing after an INVALIDATE
+delivery).  (Property-tested.)
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
 
-from repro.errors import SchemeError
 from repro.model.context import Context
-from repro.model.entities import Entity, UNDEFINED_ENTITY
+from repro.model.entities import Entity, ObjectEntity, UNDEFINED_ENTITY
 from repro.model.names import ROOT_NAME, CompoundName, NameLike
+from repro.nameservice.cache import (
+    CachePolicy,
+    PrefixCache,
+    binding_dep,
+    context_dep,
+)
 from repro.nameservice.placement import DirectoryPlacement
 from repro.sim.kernel import Simulator
 from repro.sim.network import Machine
 from repro.sim.process import SimProcess
 
-__all__ = ["ResolutionStyle", "ResolutionCost", "DistributedResolver"]
+__all__ = ["ResolutionStyle", "ResolutionCost", "DistributedResolver",
+           "check_semantics_preserved"]
 
 
 class ResolutionStyle(enum.Enum):
@@ -51,12 +73,45 @@ class ResolutionCost:
     steps: int = 0            #: components consumed
     local_steps: int = 0      #: steps served on the current machine
     remote_steps: int = 0     #: steps that needed another machine
+    cached_steps: int = 0     #: steps skipped via a cached/deduped prefix
     messages: int = 0         #: simulator messages exchanged
     latency: float = 0.0      #: virtual time spent
     servers_touched: set[str] = field(default_factory=set)
 
+    def __add__(self, other: "ResolutionCost") -> "ResolutionCost":
+        if not isinstance(other, ResolutionCost):
+            return NotImplemented
+        return ResolutionCost(
+            steps=self.steps + other.steps,
+            local_steps=self.local_steps + other.local_steps,
+            remote_steps=self.remote_steps + other.remote_steps,
+            cached_steps=self.cached_steps + other.cached_steps,
+            messages=self.messages + other.messages,
+            latency=self.latency + other.latency,
+            servers_touched=self.servers_touched | other.servers_touched)
+
+    def __radd__(self, other) -> "ResolutionCost":
+        if other == 0:  # so sum(costs) works without a start value
+            return self + ResolutionCost()
+        return NotImplemented
+
+    @classmethod
+    def merge(cls, costs: Iterable["ResolutionCost"]) -> "ResolutionCost":
+        """Aggregate many per-resolution costs into one report."""
+        total = cls()
+        for cost in costs:
+            total.steps += cost.steps
+            total.local_steps += cost.local_steps
+            total.remote_steps += cost.remote_steps
+            total.cached_steps += cost.cached_steps
+            total.messages += cost.messages
+            total.latency += cost.latency
+            total.servers_touched |= cost.servers_touched
+        return total
+
     def __str__(self) -> str:
         return (f"steps={self.steps} remote={self.remote_steps} "
+                f"cached={self.cached_steps} "
                 f"messages={self.messages} latency={self.latency:g}")
 
 
@@ -67,16 +122,34 @@ class DistributedResolver:
         simulator: The kernel carrying the resolution traffic.
         placement: Directory → machine placement.
         latency: One-way message latency for server hops.
+        cache_policy: Coherence policy for the per-machine prefix
+            caches (``NONE`` disables prefix caching entirely).
+        cache_ttl: Expiry window for ``TTL`` prefix entries, in
+            virtual time.
     """
 
     def __init__(self, simulator: Simulator,
                  placement: DirectoryPlacement,
-                 latency: float = 1.0):
+                 latency: float = 1.0,
+                 cache_policy: CachePolicy = CachePolicy.NONE,
+                 cache_ttl: float = 10.0):
         self._sim = simulator
         self._placement = placement
         self._latency = latency
         self._servers: dict[int, SimProcess] = {}
-        self.load: dict[str, int] = {}
+        self.cache_policy = cache_policy
+        self.cache_ttl = cache_ttl
+        self._prefix_caches: dict[int, PrefixCache] = {}
+        self._machines_by_id: dict[int, Machine] = {}
+        # INVALIDATE bookkeeping: consumed binding → caching machines.
+        self._holders: dict[tuple, set[int]] = {}
+        # Per-server load, keyed by process uid — labels are not
+        # identities (two machines may share one), so counters never
+        # collide; `load` aggregates by label for reporting only.
+        self._load: dict[int, int] = {}
+        self._server_labels: dict[int, str] = {}
+        self.invalidation_messages = 0
+        self.invalidation_latency = 0.0
 
     def server_for(self, machine: Machine) -> SimProcess:
         """The (lazily spawned) directory-server process of a machine."""
@@ -85,86 +158,69 @@ class DistributedResolver:
             server = self._sim.spawn(machine,
                                      label=f"dirserver@{machine.label}")
             self._servers[id(machine)] = server
+            self._server_labels[server.uid] = server.label
         return server
+
+    # -- load reporting ----------------------------------------------------
+
+    @property
+    def load(self) -> dict[str, int]:
+        """Per-server load report, keyed by server label.
+
+        Counters are kept per server *process* (labels are exposed
+        only here, in reporting); two servers that happen to share a
+        label have their counts summed in this view — use
+        :meth:`load_of` for exact per-server counts.
+        """
+        report: dict[str, int] = {}
+        for uid, count in self._load.items():
+            label = self._server_labels[uid]
+            report[label] = report.get(label, 0) + count
+        return report
+
+    def load_of(self, server: SimProcess) -> int:
+        """Steps served by one specific server process."""
+        return self._load.get(server.uid, 0)
+
+    def reset_load(self) -> None:
+        """Clear the per-server load counters."""
+        self._load.clear()
+
+    # -- prefix caching ----------------------------------------------------
+
+    def prefix_cache_of(self, machine: Machine) -> PrefixCache:
+        """The (lazily created) prefix cache of a client machine."""
+        cache = self._prefix_caches.get(id(machine))
+        if cache is None:
+            cache = PrefixCache(machine)
+            self._prefix_caches[id(machine)] = cache
+            self._machines_by_id[id(machine)] = machine
+        return cache
+
+    def cache_stats(self) -> dict[str, int]:
+        """Aggregate hit/miss/invalidation/expiry counts over every
+        machine's prefix cache."""
+        totals = {"hits": 0, "misses": 0, "invalidations": 0,
+                  "expirations": 0}
+        for cache in self._prefix_caches.values():
+            for key, value in cache.stats().items():
+                totals[key] += value
+        return totals
+
+    # -- messaging helpers -------------------------------------------------
 
     def _hop(self, sender: SimProcess, receiver: SimProcess,
              cost: ResolutionCost, what: str) -> None:
-        """One message leg, executed through the kernel."""
+        """One message leg, pumped through the kernel only as far as
+        its own delivery (a hop no longer drains unrelated events)."""
         if sender is receiver:
             return
         before = self._sim.clock.now
-        sender.send(receiver, payload={"ns": what},
-                    latency=self._latency)
-        self._sim.run()
+        message = sender.send(receiver, payload={"ns": what},
+                              latency=self._latency)
+        self._sim.run_until_settled(message)
         cost.messages += 1
         cost.latency += self._sim.clock.now - before
-
-    def resolve(self, client: SimProcess, context: Context,
-                name_: NameLike,
-                style: ResolutionStyle = ResolutionStyle.ITERATIVE,
-                ) -> tuple[Entity, ResolutionCost]:
-        """Resolve *name_* in *context* on behalf of *client*.
-
-        The context's own bindings (including the root binding) are
-        consulted locally — a process's context is kernel state on its
-        own machine; only steps into *placed* directories can be
-        remote.
-        """
-        name_ = CompoundName.coerce(name_)
-        cost = ResolutionCost()
-        client_server = self.server_for(client.machine)
-        at: SimProcess = client_server  # where the walk currently runs
-
-        def step_into(directory: Entity) -> SimProcess:
-            host = self._placement.host_of(directory)
-            if host is None:
-                # Unplaced directories (e.g. per-process private
-                # roots) are wherever the walk already is.
-                return at
-            server = self.server_for(host)
-            self.load[server.label] = self.load.get(server.label, 0) + 1
-            return server
-
-        current: Context = context
-        parts = list(name_.parts)
-        if name_.rooted:
-            root = current(ROOT_NAME)
-            if not root.is_defined():
-                return UNDEFINED_ENTITY, cost
-            state = root.state
-            if not isinstance(state, Context):
-                return UNDEFINED_ENTITY, cost
-            at = self._walk_to(client_server, at, step_into(root), cost,
-                               style)
-            cost.steps += 1
-            self._count_locality(client_server, at, cost)
-            current = state
-            if not parts:
-                self._return_home(client_server, at, cost, style)
-                return root, cost
-
-        result: Entity = UNDEFINED_ENTITY
-        for index, component in enumerate(parts):
-            entity = current(component)
-            cost.steps += 1
-            if not entity.is_defined():
-                result = UNDEFINED_ENTITY
-                break
-            if index == len(parts) - 1:
-                result = entity
-                break
-            state = entity.state
-            if not isinstance(state, Context):
-                result = UNDEFINED_ENTITY
-                break
-            at = self._walk_to(client_server, at, step_into(entity),
-                               cost, style)
-            self._count_locality(client_server, at, cost)
-            current = state
-        self._return_home(client_server, at, cost, style)
-        return result, cost
-
-    # -- helpers -----------------------------------------------------------
 
     def _walk_to(self, client_server: SimProcess, at: SimProcess,
                  target: SimProcess, cost: ResolutionCost,
@@ -194,17 +250,235 @@ class DistributedResolver:
         else:
             cost.remote_steps += 1
 
-    def reset_load(self) -> None:
-        """Clear the per-server load counters."""
-        self.load.clear()
+    def _step_into(self, directory: Entity, at: SimProcess) -> SimProcess:
+        host = self._placement.host_of(directory)
+        if host is None:
+            # Unplaced directories (e.g. per-process private roots)
+            # are wherever the walk already is.
+            return at
+        server = self.server_for(host)
+        self._load[server.uid] = self._load.get(server.uid, 0) + 1
+        return server
+
+    # -- the walk ----------------------------------------------------------
+
+    def _deepest_prefix(self, client_machine: Machine, context: Context,
+                        rooted: bool, comps: list[str],
+                        memo: Optional[dict]):
+        """The deepest usable memoized prefix of *comps*.
+
+        Batch-local memo entries (always coherent — nothing external
+        interleaves within one batch) and the machine's policy-gated
+        prefix cache are both consulted; the deeper wins.  Returns
+        ``(consumed, directory, deps)`` or None.
+        """
+        best = None
+        if memo is not None:
+            for length in range(len(comps) - 1, 0, -1):
+                hit = memo.get((id(context), rooted, tuple(comps[:length])))
+                if hit is not None:
+                    best = (length, hit[0], hit[1])
+                    break
+        if self.cache_policy is not CachePolicy.NONE:
+            cache = self.prefix_cache_of(client_machine)
+            found = cache.lookup_longest(context, rooted, comps,
+                                         self._sim.clock.now,
+                                         self._placement.epoch)
+            if found is not None and (best is None or found[0] > best[0]):
+                entry = found[1]
+                best = (found[0], entry.directory, entry.deps)
+        return best
+
+    def _remember_prefix(self, client_machine: Machine, context: Context,
+                         rooted: bool, consumed: tuple[str, ...],
+                         directory: ObjectEntity, deps: tuple,
+                         memo: Optional[dict]) -> None:
+        if memo is not None:
+            memo[(id(context), rooted, consumed)] = (directory, deps)
+        if self.cache_policy is CachePolicy.NONE:
+            return
+        if self._placement.host_of(directory) is None:
+            return  # local state — there is no walk to skip
+        cache = self.prefix_cache_of(client_machine)
+        ttl = self.cache_ttl if self.cache_policy is CachePolicy.TTL else None
+        cache.fill(context, rooted, consumed, directory, deps,
+                   self._sim.clock.now, ttl, self._placement.epoch)
+        if self.cache_policy is CachePolicy.INVALIDATE:
+            for dep in deps:
+                self._holders.setdefault(dep, set()).add(id(client_machine))
+
+    def _walk_one(self, client_server: SimProcess, context: Context,
+                  name_: CompoundName, style: ResolutionStyle,
+                  cost: ResolutionCost, at: SimProcess,
+                  memo: Optional[dict]) -> tuple[Entity, SimProcess]:
+        """Resolve one coerced name; mirrors the section-2 recursion of
+        :func:`repro.model.resolution.resolve_traced` exactly.
+
+        The final answer hop is *not* sent — the caller decides when
+        the walk returns home (once per resolution, or once per batch).
+        Returns ``(entity, server the walk parked at)``.
+        """
+        parts = list(name_.parts)
+        rooted = name_.rooted
+        # The root binding is one walk step like any other component.
+        comps = ([ROOT_NAME] + parts) if rooted else parts
+        if not comps:
+            return UNDEFINED_ENTITY, at
+
+        current: Context = context
+        entered: Optional[ObjectEntity] = None
+        deps: list = []
+        start = 0
+
+        hit = self._deepest_prefix(client_server.machine, context,
+                                   rooted, comps, memo)
+        if hit is not None:
+            start, directory, hit_deps = hit
+            cost.steps += start
+            cost.cached_steps += start
+            entered = directory
+            current = directory.state
+            deps = list(hit_deps)
+            at = self._walk_to(client_server, at,
+                               self._step_into(directory, at), cost, style)
+            self._count_locality(client_server, at, cost)
+
+        for index in range(start, len(comps)):
+            component = comps[index]
+            entity = current(component)
+            cost.steps += 1
+            if index == len(comps) - 1:
+                return entity, at
+            if not entity.is_defined():
+                return UNDEFINED_ENTITY, at
+            state = entity.state
+            if not isinstance(state, Context):
+                return UNDEFINED_ENTITY, at
+            deps.append(binding_dep(entered, component)
+                        if entered is not None
+                        else context_dep(context, component))
+            entered = entity  # type: ignore[assignment]
+            current = state
+            at = self._walk_to(client_server, at,
+                               self._step_into(entity, at), cost, style)
+            self._count_locality(client_server, at, cost)
+            self._remember_prefix(client_server.machine, context, rooted,
+                                  tuple(comps[:index + 1]), entered,
+                                  tuple(deps), memo)
+        return UNDEFINED_ENTITY, at  # pragma: no cover - loop returns
+
+    # -- API ---------------------------------------------------------------
+
+    def resolve(self, client: SimProcess, context: Context,
+                name_: NameLike,
+                style: ResolutionStyle = ResolutionStyle.ITERATIVE,
+                ) -> tuple[Entity, ResolutionCost]:
+        """Resolve *name_* in *context* on behalf of *client*.
+
+        The context's own bindings (including the root binding) are
+        consulted locally — a process's context is kernel state on its
+        own machine; only steps into *placed* directories can be
+        remote.  With a cache policy active, the walk starts at the
+        deepest live cached prefix instead of the root.
+        """
+        name_ = CompoundName.coerce(name_)
+        cost = ResolutionCost()
+        client_server = self.server_for(client.machine)
+        entity, at = self._walk_one(client_server, context, name_, style,
+                                    cost, client_server, None)
+        self._return_home(client_server, at, cost, style)
+        return entity, cost
+
+    def resolve_many(self, client: SimProcess, context: Context,
+                     names: Sequence[NameLike],
+                     style: ResolutionStyle = ResolutionStyle.ITERATIVE,
+                     ) -> list[tuple[Entity, ResolutionCost]]:
+        """Resolve a batch of names, amortizing shared work.
+
+        Names are processed sorted by shared prefix; every directory
+        step is paid at most once per batch (a batch-local memo layered
+        over the prefix cache), and consecutive queries served by the
+        same server are coalesced into its one visit — the walk parks
+        at each server instead of returning home between names, and a
+        single answer hop closes the batch.
+
+        Returns one ``(entity, cost)`` per input name, **in input
+        order**, entity-for-entity identical to what sequential
+        :meth:`resolve` calls would yield (property-tested).  Messages
+        are charged to the name that first needed them; aggregate with
+        :meth:`ResolutionCost.merge`.
+        """
+        coerced = [CompoundName.coerce(n) for n in names]
+        if not coerced:
+            return []
+        order = sorted(range(len(coerced)),
+                       key=lambda i: (not coerced[i].rooted,
+                                      coerced[i].parts, i))
+        client_server = self.server_for(client.machine)
+        results: list = [None] * len(coerced)
+        memo: dict = {}
+        at = client_server
+        for i in order:
+            cost = ResolutionCost()
+            entity, at = self._walk_one(client_server, context,
+                                        coerced[i], style, cost, at, memo)
+            results[i] = (entity, cost)
+        # One answer hop closes the whole batch, charged to the last
+        # name processed.
+        self._return_home(client_server, at, results[order[-1]][1], style)
+        return results
+
+    # -- writes ------------------------------------------------------------
+
+    def rebind(self, directory: ObjectEntity, name_: str,
+               entity: Entity) -> int:
+        """Change ``σ(directory)(name_)`` under the write discipline.
+
+        All binding writes to placed directories must come through
+        here for prefix caching to stay coherent: under INVALIDATE,
+        every prefix entry whose walk consumed the changed binding is
+        dropped on every caching machine, with the invalidation
+        messages sent as one batched fan-out and a single bounded
+        drain (latency accumulated in :attr:`invalidation_latency`).
+        Under TTL, stale prefixes live out their window; under NONE
+        there is nothing to keep coherent.
+
+        Returns the number of invalidation messages sent.
+        """
+        context: Context = directory.state
+        context.bind(name_, entity)
+        if self.cache_policy is not CachePolicy.INVALIDATE:
+            return 0
+        dep = binding_dep(directory, name_)
+        holders = self._holders.pop(dep, set())
+        host = self._placement.host_of(directory)
+        fanout = []
+        for machine_id in holders:
+            machine = self._machines_by_id[machine_id]
+            cache = self._prefix_caches.get(machine_id)
+            if cache is not None:
+                cache.invalidate_through(dep)
+            if host is not None and machine is not host:
+                fanout.append(self.server_for(host).send(
+                    self.server_for(machine),
+                    payload={"ns": "invalidate"},
+                    latency=self._latency))
+        self.invalidation_messages += len(fanout)
+        if fanout:
+            before = self._sim.clock.now
+            self._sim.run_until_settled(fanout)
+            self.invalidation_latency += self._sim.clock.now - before
+        return len(fanout)
 
 
 def check_semantics_preserved(resolver: DistributedResolver,
                               client: SimProcess, context: Context,
-                              name_: NameLike) -> bool:
+                              name_: NameLike,
+                              style: ResolutionStyle =
+                              ResolutionStyle.ITERATIVE) -> bool:
     """True if the distributed walk returns exactly what the local
     section-2 recursion returns (used by tests)."""
     from repro.model.resolution import resolve as local_resolve
 
-    distributed, _cost = resolver.resolve(client, context, name_)
+    distributed, _cost = resolver.resolve(client, context, name_, style)
     return distributed is local_resolve(context, name_)

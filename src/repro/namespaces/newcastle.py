@@ -31,7 +31,7 @@ from typing import Optional
 
 from repro.errors import SchemeError
 from repro.model.context import context_object
-from repro.model.entities import Activity, ObjectEntity
+from repro.model.entities import Activity
 from repro.model.names import PARENT, CompoundName, NameLike
 from repro.model.state import GlobalState
 from repro.namespaces.base import NamingScheme, ProcessContext

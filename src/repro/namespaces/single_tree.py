@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.errors import SchemeError
-from repro.model.entities import Activity, ObjectEntity
+from repro.model.entities import Activity
 from repro.model.names import CompoundName, NameLike
 from repro.model.state import GlobalState
 from repro.namespaces.base import NamingScheme, ProcessContext

@@ -28,7 +28,7 @@ from typing import Callable, Optional
 
 from repro.errors import SchemeError
 from repro.model.context import Context, context_object
-from repro.model.entities import Entity, ObjectEntity, UNDEFINED_ENTITY
+from repro.model.entities import Entity, ObjectEntity
 from repro.model.names import PARENT, CompoundName, NameLike
 from repro.model.resolution import resolve
 from repro.model.state import GlobalState

@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.errors import SchemeError
-from repro.model.entities import Activity, Entity, UNDEFINED_ENTITY
+from repro.model.entities import Activity, Entity
 from repro.model.names import CompoundName, NameLike
 from repro.namespaces.perprocess import PerProcessSystem
 from repro.sim.events import ScheduledEvent

@@ -158,6 +158,7 @@ class Simulator:
                               f"msg#{message.msg_id}: {message.drop_reason}")
             return
         self.messages_delivered += 1
+        message.delivered = True
         for gateway in self._gateways:
             gateway.process(message)
         self.trace.record(self.clock.now, "deliver",
@@ -192,6 +193,59 @@ class Simulator:
         return base + self.rng.random() * spread
 
     # -- execution -------------------------------------------------------------
+
+    def run_next(self) -> bool:
+        """Process exactly one pending event (the earliest), if any.
+
+        The bounded counterpart of :meth:`run`: callers that only need
+        the simulation to make *one* step of progress (e.g. a resolver
+        waiting on a single hop) can pump the kernel event-by-event
+        instead of draining the whole queue to quiescence.
+
+        Returns:
+            True if an event was processed, False if the queue was
+            empty.
+        """
+        event = self.queue.pop()
+        if event is None:
+            return False
+        self.clock.advance_to(event.time)
+        event.action()
+        return True
+
+    def run_until_settled(self, messages, max_events: int = 1_000_000) -> int:
+        """Pump events, in order, until given messages are delivered
+        or dropped.
+
+        This is the kernel fast path for request/reply protocols: a
+        sender waiting on its own message(s) no longer pays for
+        draining every other outstanding event in the system — only
+        events up to the settling of *messages* run, and anything
+        scheduled later stays queued.  Event order (and therefore
+        determinism) is identical to :meth:`run`; the pump merely
+        stops earlier.
+
+        Args:
+            messages: One :class:`~repro.sim.messages.Message` or an
+                iterable of them.
+            max_events: Safety bound on processed events.
+
+        Returns:
+            The number of events processed.
+        """
+        if isinstance(messages, Message):
+            messages = (messages,)
+        pending = list(messages)
+        processed = 0
+        while not all(message.settled for message in pending):
+            if processed >= max_events:
+                raise SimulationError(
+                    f"run_until_settled exceeded max_events="
+                    f"{max_events}; likely a livelock")
+            if not self.run_next():
+                break  # queue exhausted; undeliverable messages stay unsettled
+            processed += 1
+        return processed
 
     def run(self, until: Optional[float] = None,
             max_events: int = 1_000_000) -> int:

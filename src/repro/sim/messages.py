@@ -72,8 +72,14 @@ class Message:
     send_time: float = 0.0
     deliver_time: float = 0.0
     msg_id: int = field(default_factory=lambda: next(_message_ids))
+    delivered: bool = False
     dropped: bool = False
     drop_reason: str = ""
+
+    @property
+    def settled(self) -> bool:
+        """True once the kernel has delivered or dropped this message."""
+        return self.delivered or self.dropped
 
     def attach(self, name_: NameLike,
                intended: Optional[Entity] = None) -> NameAttachment:

@@ -19,7 +19,7 @@ import random
 from dataclasses import dataclass, field
 
 from repro.closure.meta import ContextRegistry
-from repro.model.context import Context, context_object
+from repro.model.context import Context
 from repro.model.entities import Activity, ObjectEntity
 from repro.model.names import CompoundName
 from repro.model.state import GlobalState

@@ -22,7 +22,6 @@ from repro.closure.rules import (
 )
 from repro.coherence.auditor import CoherenceAuditor
 from repro.errors import ResolutionRuleError
-from repro.model.entities import ObjectEntity
 from repro.workloads.generators import exchange_events
 from repro.workloads.scenarios import build_rule_scenario
 

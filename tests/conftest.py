@@ -4,8 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.model.context import Context, context_object
-from repro.model.entities import Activity, ObjectEntity
 from repro.model.state import GlobalState
 from repro.namespaces.tree import NamingTree
 from repro.namespaces.unix import UnixSystem

@@ -5,8 +5,8 @@ from __future__ import annotations
 
 import random
 
-from repro.closure.meta import ContextRegistry, NameSource, ResolutionEvent
-from repro.closure.rules import PerSourceRule, RActivity, RObject, RSender
+from repro.closure.meta import NameSource, ResolutionEvent
+from repro.closure.rules import PerSourceRule, RActivity, RSender
 from repro.coherence.auditor import CoherenceAuditor, Verdict
 from repro.coherence.definitions import coherent
 from repro.embedded.documents import flatten
@@ -39,7 +39,7 @@ class TestSimulatedUnixMachine:
         # The child receives a file name in a message and resolves it
         # in its own context — coherent, because fork copied the
         # parent's context.
-        message = parent.send(child, payload={"open": "/etc/passwd"})
+        parent.send(child, payload={"open": "/etc/passwd"})
         simulator.run()
         received = child.receive()
         assert received.payload["open"] == "/etc/passwd"
@@ -184,7 +184,6 @@ class TestPerSourceDesign:
             sigma=unix.sigma))
         parent = unix.spawn("parent")
         child = unix.fork(parent, "child")
-        object_registry = ContextRegistry(label="R(file)")
         rule = PerSourceRule({
             NameSource.INTERNAL: RActivity(unix.registry),
             NameSource.MESSAGE: RSender(unix.registry),

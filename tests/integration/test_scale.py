@@ -6,7 +6,7 @@ import random
 
 from repro.closure.rules import RReceiver, RSender
 from repro.coherence.auditor import CoherenceAuditor
-from repro.coherence.definitions import coherent, is_global_name
+from repro.coherence.definitions import is_global_name
 from repro.coherence.metrics import measure_degree
 from repro.workloads.generators import exchange_events
 from repro.workloads.organizations import (

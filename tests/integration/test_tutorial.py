@@ -9,7 +9,6 @@ from __future__ import annotations
 import re
 from pathlib import Path
 
-import pytest
 
 TUTORIAL = Path(__file__).resolve().parents[2] / "docs" / "tutorial.md"
 

@@ -8,7 +8,6 @@ from repro.errors import EntityError
 from repro.model.context import Context, context_object
 from repro.model.entities import (
     Activity,
-    Entity,
     Obj,
     ObjectEntity,
     UNDEFINED_ENTITY,

@@ -6,7 +6,6 @@ from repro.model.context import context_object
 from repro.model.entities import ObjectEntity
 from repro.model.graph import NamingGraph
 from repro.model.names import CompoundName
-from repro.model.resolution import resolve
 from repro.model.state import GlobalState
 
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import SchemeError
-from repro.model.context import Context, context_object
+from repro.model.context import context_object
 from repro.model.entities import Activity, ObjectEntity, UNDEFINED_ENTITY
 from repro.model.names import ROOT_NAME
 from repro.model.resolution import resolve

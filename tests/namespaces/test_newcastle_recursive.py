@@ -91,7 +91,7 @@ class TestAbsorb:
         sigma, site_a, site_b = two_sites
         p_b = site_b.spawn("b1", "pb")
         site_a.absorb(site_b, "siteB")
-        p_a = site_a.spawn("a1", "pa")
+        site_a.spawn("a1", "pa")
         # After absorption, map_name between native and absorbed
         # machines still preserves denotation *within site-a's tree*,
         # because the combined structure is a single tree... but the

@@ -6,7 +6,6 @@ import pytest
 
 from repro.coherence.definitions import coherent, is_global_name
 from repro.errors import SchemeError
-from repro.namespaces.unix import UnixSystem
 
 
 class TestSpawnAndResolve:

@@ -8,7 +8,7 @@ from repro.closure.meta import ContextRegistry, NameSource
 from repro.model.context import Context
 from repro.model.entities import Activity, ObjectEntity
 from repro.remote.arguments import argument_events
-from repro.remote.execution import RemoteExecReport, evaluate_remote_exec
+from repro.remote.execution import evaluate_remote_exec
 
 
 @pytest.fixture

@@ -191,6 +191,34 @@ class TestInvalidatePolicy:
         assert service.lookup(clients[0], directory, "svc") is v2
         assert service.remote_reads == reads_before   # hit
 
+    def test_invalidations_are_batched_and_latency_counted(self,
+                                                           deployment):
+        """The fan-out to N holders is sent as one batch and drained
+        once: the rebind pays one latency unit of virtual time, not N,
+        and the wait is accumulated in `invalidation_latency`."""
+        simulator, server, clients, directory, v1, _ = deployment
+        service = service_for(deployment, CachePolicy.INVALIDATE)
+        service.lookup(clients[0], directory, "svc")
+        service.lookup(clients[1], directory, "svc")
+        assert service.stats()["invalidation_latency"] == 0.0
+        before = simulator.clock.now
+        service.rebind(directory, "svc", ObjectEntity("svc-v2"))
+        elapsed = simulator.clock.now - before
+        assert service.invalidation_messages == 2
+        assert service.invalidation_latency == elapsed == 1.0
+
+    def test_rebind_drain_leaves_unrelated_events_queued(self,
+                                                         deployment):
+        simulator, server, clients, directory, v1, _ = deployment
+        service = service_for(deployment, CachePolicy.INVALIDATE)
+        service.lookup(clients[0], directory, "svc")
+        fired = []
+        simulator.schedule(1_000.0, lambda: fired.append(True))
+        service.rebind(directory, "svc", ObjectEntity("svc-v2"))
+        assert service.invalidation_messages == 1
+        assert not fired
+        assert len(simulator.queue) == 1
+
     def test_stats_aggregate(self, deployment):
         simulator, server, clients, directory, v1, _ = deployment
         service = service_for(deployment, CachePolicy.INVALIDATE)

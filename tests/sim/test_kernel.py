@@ -156,6 +156,111 @@ class TestScheduling:
         assert simulator.run() == 2
 
 
+class TestBoundedPump:
+    """run_next / run_until_settled: the kernel fast path."""
+
+    def test_run_next_processes_exactly_one_event(self):
+        simulator = Simulator()
+        ran = []
+        simulator.schedule(1.0, lambda: ran.append(1))
+        simulator.schedule(2.0, lambda: ran.append(2))
+        assert simulator.run_next() is True
+        assert ran == [1]
+        assert simulator.clock.now == 1.0
+        assert len(simulator.queue) == 1
+
+    def test_run_next_on_empty_queue(self):
+        simulator = Simulator()
+        assert simulator.run_next() is False
+        assert simulator.clock.now == 0.0
+
+    def test_settles_message_without_draining_future_events(self):
+        simulator = Simulator()
+        sender, receiver = two_processes(simulator)
+        fired = []
+        simulator.schedule(100.0, lambda: fired.append(True))
+        message = sender.send(receiver, payload="ping", latency=2.0)
+        processed = simulator.run_until_settled(message)
+        assert message.delivered and message.settled
+        assert processed == 1
+        assert not fired
+        assert len(simulator.queue) == 1
+        assert simulator.clock.now == 2.0
+        simulator.run()
+        assert fired == [True]
+
+    def test_runs_intervening_events_in_order(self):
+        """Events scheduled *before* the awaited delivery still run —
+        the pump stops early, it never reorders."""
+        simulator = Simulator()
+        sender, receiver = two_processes(simulator)
+        ran = []
+        simulator.schedule(1.0, lambda: ran.append("early"))
+        message = sender.send(receiver, latency=3.0)
+        simulator.run_until_settled(message)
+        assert ran == ["early"]
+
+    def test_accepts_an_iterable_of_messages(self):
+        simulator = Simulator()
+        sender, receiver = two_processes(simulator)
+        batch = [sender.send(receiver, payload=i, latency=float(i + 1))
+                 for i in range(3)]
+        simulator.run_until_settled(batch)
+        assert all(message.settled for message in batch)
+        assert simulator.messages_delivered == 3
+
+    def test_dropped_message_counts_as_settled(self):
+        simulator = Simulator()
+        sender, receiver = two_processes(simulator)
+        message = sender.send(receiver)
+        receiver.machine.alive = False
+        simulator.run_until_settled(message)
+        assert message.dropped and message.settled
+        assert not message.delivered
+
+    def test_exhausted_queue_ends_the_pump(self):
+        """An unsettleable message (nothing queued can deliver it)
+        returns instead of spinning."""
+        simulator = Simulator()
+        sender, receiver = two_processes(simulator)
+        ghost = sender.send(receiver)
+        simulator.queue.pop()  # lose the delivery event
+        assert simulator.run_until_settled(ghost) == 0
+        assert not ghost.settled
+
+    def test_max_events_guard(self):
+        simulator = Simulator()
+        sender, receiver = two_processes(simulator)
+
+        def reschedule():
+            simulator.schedule(0.5, reschedule)
+
+        simulator.schedule(0.0, reschedule)
+        message = sender.send(receiver, latency=1e9)
+        with pytest.raises(SimulationError):
+            simulator.run_until_settled(message, max_events=10)
+
+    def test_equivalent_order_to_full_run(self):
+        """Pumping bounded then draining gives the same trace as one
+        full run()."""
+
+        def build():
+            simulator = Simulator(seed=3)
+            sender, receiver = two_processes(simulator)
+            messages = [sender.send(receiver, payload=i,
+                                    latency=simulator.latency_jitter())
+                        for i in range(10)]
+            return simulator, messages
+
+        bounded, messages = build()
+        for message in messages:
+            bounded.run_until_settled(message)
+        full, _ = build()
+        full.run()
+        assert ([e.detail for e in bounded.trace]
+                == [e.detail for e in full.trace])
+
+
 class TestDeterminism:
     def _digest(self, seed: int) -> list[str]:
         simulator = Simulator(seed=seed)

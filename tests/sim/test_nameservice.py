@@ -6,7 +6,6 @@ import pytest
 
 from repro.errors import SchemeError
 from repro.model.entities import ObjectEntity
-from repro.model.names import CompoundName
 from repro.namespaces.base import ProcessContext
 from repro.namespaces.tree import NamingTree
 from repro.nameservice.placement import DirectoryPlacement

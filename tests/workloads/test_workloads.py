@@ -9,7 +9,6 @@ import pytest
 from repro.closure.meta import NameSource
 from repro.errors import SimulationError
 from repro.workloads.generators import (
-    EmbeddedUse,
     embedded_events,
     exchange_events,
     internal_events,
