@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.bench.harness import ExperimentResult
 from repro.model.context import Context, context_object
@@ -41,6 +42,7 @@ from repro.nameservice.resolver import (
     ResolutionStyle,
     check_semantics_preserved,
 )
+from repro.obs.instrument import Instrumentation
 from repro.sim.kernel import Simulator
 
 __all__ = ["run_a7_batch_resolution"]
@@ -64,11 +66,12 @@ class _Deployment:
     hot_v2: ObjectEntity
 
 
-def _deploy(seed: int, policy: CachePolicy, fanout: int) -> _Deployment:
+def _deploy(seed: int, policy: CachePolicy, fanout: int,
+            obs: Optional[Instrumentation] = None) -> _Deployment:
     """A client machine plus one server machine per prefix level; the
     hot directory holds *fanout* leaves and has a pre-placed alternate
     version (same leaf names, different entities) for rebind tests."""
-    simulator = Simulator(seed=seed)
+    simulator = Simulator(seed=seed, obs=obs)
     network = simulator.network("lan")
     client_machine = simulator.machine(network, "client-m")
     servers = [simulator.machine(network, f"server{i}")
@@ -245,6 +248,15 @@ def run_a7_batch_resolution(seed: int = 0, resolutions: int = 1000,
     result.notes.append(
         f"seed={seed} resolutions={resolutions} fanout={fanout} "
         f"prefix depth={len(_PREFIX)} ttl={_TTL}")
+    # One instrumented replay of the headline config captures a
+    # `repro.obs` snapshot for the JSON record; the timed measurements
+    # above stay un-instrumented so their figures are comparable.
+    obs = Instrumentation(max_spans=4096)
+    instrumented = _deploy(seed, CachePolicy.TTL, fanout, obs=obs)
+    _run_hot_workload(instrumented, min(resolutions, 200), True, seed)
+    result.metrics = obs.metrics.snapshot()
+    result.metrics["spans_recorded"] = len(obs.tracer)
+    result.metrics["spans_dropped"] = obs.tracer.dropped_spans
     result.figures = {
         "seed|messages": baseline["kernel_messages"],
         "batch_ttl|messages": batch_ttl["kernel_messages"],

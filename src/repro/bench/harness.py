@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.coherence.report import format_table
+from repro.obs.export import json_safe
 
 __all__ = ["ExperimentResult"]
 
@@ -34,6 +35,8 @@ class ExperimentResult:
     notes: list[str] = field(default_factory=list)
     #: Machine-readable key figures for cross-experiment comparison.
     figures: dict[str, float] = field(default_factory=dict)
+    #: Optional `repro.obs` metrics snapshot captured during the run.
+    metrics: dict[str, Any] = field(default_factory=dict)
 
     def check(self, claim: str, ok: bool) -> bool:
         """Record a named shape check; returns *ok* for chaining."""
@@ -71,6 +74,7 @@ class ExperimentResult:
             "all_checks_pass": self.all_checks_pass(),
             "notes": list(self.notes),
             "figures": {str(k): v for k, v in self.figures.items()},
+            "metrics": json_safe(self.metrics),
         }
 
     def render(self) -> str:

@@ -30,6 +30,7 @@ from repro.errors import SchemeError
 from repro.model.context import Context
 from repro.model.entities import Entity, ObjectEntity
 from repro.nameservice.placement import DirectoryPlacement
+from repro.obs.instrument import NO_OBS, Instrumentation
 from repro.sim.kernel import Simulator
 from repro.sim.network import Machine
 
@@ -174,8 +175,10 @@ class PrefixCache:
     pass through the changed binding.
     """
 
-    def __init__(self, machine: Machine):
+    def __init__(self, machine: Machine,
+                 obs: Optional[Instrumentation] = None):
         self.machine = machine
+        self._obs = obs if obs is not None else NO_OBS
         self._entries: dict[PrefixKey, PrefixEntry] = {}
         # Reverse index: consumed binding → prefix keys through it.
         self._through: dict[DepKey, set[PrefixKey]] = {}
@@ -183,6 +186,17 @@ class PrefixCache:
         self.misses = 0
         self.invalidations = 0
         self.expirations = 0
+        if self._obs.enabled:
+            labels = {"machine": machine.label}
+            metrics = self._obs.metrics
+            self._m_hits = metrics.counter(
+                "cache_prefix_hits_total", labels)
+            self._m_misses = metrics.counter(
+                "cache_prefix_misses_total", labels)
+            self._m_expirations = metrics.counter(
+                "cache_prefix_expirations_total", labels)
+            self._m_invalidations = metrics.counter(
+                "cache_prefix_invalidations_total", labels)
 
     def lookup_longest(self, context: Context, rooted: bool,
                        comps: list[str], now: float,
@@ -204,10 +218,20 @@ class PrefixCache:
             if not entry.live(now, epoch):
                 self._drop(key, entry)
                 self.expirations += 1
+                if self._obs.enabled:
+                    self._m_expirations.inc()
+                    self._obs.tracer.event(
+                        "cache", "prefix.expired", now,
+                        attrs={"machine": self.machine.label,
+                               "prefix": "/".join(key[2])})
                 continue
             self.hits += 1
+            if self._obs.enabled:
+                self._m_hits.inc()
             return length, entry
         self.misses += 1
+        if self._obs.enabled:
+            self._m_misses.inc()
         return None
 
     def fill(self, context: Context, rooted: bool,
@@ -241,6 +265,8 @@ class PrefixCache:
                     self._through.get(other, set()).discard(key)
             dropped += 1
         self.invalidations += dropped
+        if dropped and self._obs.enabled:
+            self._m_invalidations.inc(dropped)
         return dropped
 
     def _drop(self, key: PrefixKey, entry: PrefixEntry) -> None:

@@ -14,6 +14,13 @@ completes with exactly the entity the section-2 recursion yields
 locally.  Under a crashed server or a partition, the lookup fails
 cleanly after its retries instead of returning a wrong entity —
 incoherence is never silently introduced by the transport.
+
+On an instrumented simulator (`repro.obs`), each lookup is one
+``lookup`` span; its request and reply messages carry the span's
+trace context, so kernel deliveries/drops land in the right trace
+even though many lookups interleave.  Completions, failures and
+retries are counted in ``async_lookups_total{outcome=...}`` and
+``async_lookup_retries_total``.
 """
 
 from __future__ import annotations
@@ -72,6 +79,11 @@ class NameLookupServer:
             machine, label or f"lookupd@{machine.label}")
         self.process.on_message(self._handle)
         self.requests_served = 0
+        self._obs = simulator.obs
+        if self._obs.enabled:
+            self._m_requests = self._obs.metrics.counter(
+                "lookup_server_requests_total",
+                {"server": self.process.label})
 
     def _handle(self, _process: SimProcess, message: Message) -> None:
         payload = message.payload
@@ -81,15 +93,20 @@ class NameLookupServer:
         directory: ObjectEntity = request["directory"]
         component: str = request["component"]
         self.requests_served += 1
+        if self._obs.enabled:
+            self._m_requests.inc()
         entity: Entity = UNDEFINED_ENTITY
         if directory.is_context_object():
             context: Context = directory.state
             entity = context(component)
-        self.process.send(message.sender, payload={"reply": {
+        reply = self.process.send(message.sender, payload={"reply": {
             "request_id": request["request_id"],
             "seq": request.get("seq", 0),
             "entity": entity if entity.is_defined() else None,
         }}, latency=request.get("latency", 1.0))
+        # The reply continues the request's trace.
+        reply.trace_id = message.trace_id
+        reply.parent_span_id = message.parent_span_id
 
 
 @dataclass
@@ -105,6 +122,7 @@ class _Pending:
     component: str = ""
     attempts: int = 0
     timer: Optional[ScheduledEvent] = None
+    span: Optional[object] = None  #: the lookup's repro.obs span
 
 
 class AsyncNameClient:
@@ -135,6 +153,7 @@ class AsyncNameClient:
         self.latency = latency
         self._pending: dict[int, _Pending] = {}
         self._ids = itertools.count(1)
+        self._obs = simulator.obs
         process.on_message(self._on_message)
 
     # -- API ---------------------------------------------------------------
@@ -151,9 +170,18 @@ class AsyncNameClient:
         parts = list(name_.parts)
         current = context
         outcome = LookupOutcome(name=name_)
+        span = None
+        if self._obs.enabled:
+            # Not activated: many lookups interleave, so parenting by
+            # an activation stack would cross-wire their traces.
+            span = self._obs.tracer.begin(
+                "lookup", str(name_) or "<empty>",
+                self.simulator.clock.now, parent=None, activate=False,
+                attrs={"client": self.process.label})
         pending = _Pending(request_id=request_id, name=name_,
                            remaining=parts, current=current,
-                           completion=completion, outcome=outcome)
+                           completion=completion, outcome=outcome,
+                           span=span)
         self._pending[request_id] = pending
         if name_.rooted:
             root = current(ROOT_NAME)
@@ -250,13 +278,16 @@ class AsyncNameClient:
         pending.server = server.process
         pending.component = component
         pending.attempts += 1
-        self.process.send(server.process, payload={"lookup": {
+        request = self.process.send(server.process, payload={"lookup": {
             "request_id": pending.request_id,
             "seq": pending.attempts,
             "directory": directory,
             "component": component,
             "latency": self.latency,
         }}, latency=self.latency)
+        if pending.span is not None:
+            request.trace_id = pending.span.trace_id
+            request.parent_span_id = pending.span.span_id
         pending.timer = self.simulator.schedule(
             self.timeout, lambda: self._on_timeout(pending.request_id),
             note=f"lookup-timeout req#{pending.request_id}")
@@ -285,6 +316,8 @@ class AsyncNameClient:
         if pending is None:
             return
         pending.outcome.retries += 1
+        if self._obs.enabled:
+            self._obs.metrics.counter("async_lookup_retries_total").inc()
         if pending.attempts > self.max_retries:
             self._fail(pending, "timeout")
             return
@@ -297,13 +330,28 @@ class AsyncNameClient:
     def _finish(self, pending: _Pending, entity: Entity) -> None:
         pending.outcome.entity = entity
         del self._pending[pending.request_id]
+        self._observe_done(
+            pending, "ok" if entity.is_defined() else "undefined")
         pending.completion(pending.outcome)
 
     def _fail(self, pending: _Pending, reason: str) -> None:
         pending.outcome.failed = True
         pending.outcome.reason = reason
         del self._pending[pending.request_id]
+        if pending.span is not None:
+            pending.span.fail(reason)
+        self._observe_done(pending, "failed")
         pending.completion(pending.outcome)
+
+    def _observe_done(self, pending: _Pending, outcome: str) -> None:
+        if not self._obs.enabled:
+            return
+        if pending.span is not None:
+            pending.span.attrs.update(steps=pending.outcome.steps,
+                                      retries=pending.outcome.retries)
+            self._obs.tracer.end(pending.span, self.simulator.clock.now)
+        self._obs.metrics.counter("async_lookups_total",
+                                  {"outcome": outcome}).inc()
 
     def outstanding(self) -> int:
         """Number of lookups still in flight."""

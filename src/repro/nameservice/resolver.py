@@ -30,6 +30,16 @@ context — the distribution changes *cost*, never *meaning*.  With
 caching on, coherence is weakened only in the bounded way the cache
 policy allows (TTL staleness windows; nothing after an INVALIDATE
 delivery).  (Property-tested.)
+
+When the simulator carries an :class:`~repro.obs.Instrumentation`,
+every resolution becomes a typed span tree (`repro.obs`): a
+``resolution`` (or ``batch``) root, one ``hop`` span per message leg
+carrying trace context into the kernel, ``step`` instants per
+component consumed, ``cache`` instants per prefix probe, and
+``rebind`` spans whose invalidation fan-out parents the INVALIDATE
+deliveries.  Span message/step counts reconcile exactly with the
+returned :class:`ResolutionCost` (tested), so the trace *is* the cost
+accounting, hop by hop.
 """
 
 from __future__ import annotations
@@ -136,9 +146,20 @@ class DistributedResolver:
         self._sim = simulator
         self._placement = placement
         self._latency = latency
+        self._obs = simulator.obs
         self._servers: dict[int, SimProcess] = {}
         self.cache_policy = cache_policy
         self.cache_ttl = cache_ttl
+        if self._obs.enabled:
+            metrics = self._obs.metrics
+            self._m_messages = metrics.counter("resolver_messages_total")
+            self._m_invalidation_msgs = metrics.counter(
+                "resolver_invalidation_messages_total")
+            self._m_latency = metrics.histogram(
+                "resolver_resolution_latency")
+            self._m_res_messages = metrics.histogram(
+                "resolver_resolution_messages",
+                buckets=(0.0, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0))
         self._prefix_caches: dict[int, PrefixCache] = {}
         self._machines_by_id: dict[int, Machine] = {}
         # INVALIDATE bookkeeping: consumed binding → caching machines.
@@ -192,7 +213,7 @@ class DistributedResolver:
         """The (lazily created) prefix cache of a client machine."""
         cache = self._prefix_caches.get(id(machine))
         if cache is None:
-            cache = PrefixCache(machine)
+            cache = PrefixCache(machine, obs=self._obs)
             self._prefix_caches[id(machine)] = cache
             self._machines_by_id[id(machine)] = machine
         return cache
@@ -215,12 +236,47 @@ class DistributedResolver:
         its own delivery (a hop no longer drains unrelated events)."""
         if sender is receiver:
             return
+        obs = self._obs
         before = self._sim.clock.now
+        if not sender.alive:
+            # A downed server answers/refers nothing: no message ever
+            # leaves it, so the walk records a failed zero-message hop
+            # instead of raising out of the resolution.
+            if obs.enabled:
+                span = obs.tracer.begin(
+                    "hop", what, before,
+                    attrs={"from": sender.label, "to": receiver.label,
+                           "messages": 0})
+                span.fail(f"sender {sender.label} down")
+                obs.tracer.end(span, before)
+                if obs.tracer.current is not None:
+                    obs.tracer.current.fail(
+                        f"hop {what} lost: sender {sender.label} down")
+            return
+        span = None
+        if obs.enabled:
+            span = obs.tracer.begin(
+                "hop", what, before,
+                attrs={"from": sender.label, "to": receiver.label,
+                       "messages": 1})
         message = sender.send(receiver, payload={"ns": what},
                               latency=self._latency)
+        if span is not None:
+            message.trace_id = span.trace_id
+            message.parent_span_id = span.span_id
         self._sim.run_until_settled(message)
         cost.messages += 1
         cost.latency += self._sim.clock.now - before
+        if span is not None:
+            if message.dropped:
+                span.fail(message.drop_reason)
+            obs.tracer.end(span, self._sim.clock.now)
+            if message.dropped and obs.tracer.current is not None:
+                # The walk lost a leg — surface it on the enclosing
+                # resolution/batch span too.
+                obs.tracer.current.fail(
+                    f"hop {what} dropped: {message.drop_reason}")
+            self._m_messages.inc()
 
     def _walk_to(self, client_server: SimProcess, at: SimProcess,
                  target: SimProcess, cost: ResolutionCost,
@@ -258,6 +314,9 @@ class DistributedResolver:
             return at
         server = self.server_for(host)
         self._load[server.uid] = self._load.get(server.uid, 0) + 1
+        if self._obs.enabled:
+            self._obs.metrics.counter("resolver_server_load_total",
+                                      {"server": server.label}).inc()
         return server
 
     # -- the walk ----------------------------------------------------------
@@ -270,14 +329,15 @@ class DistributedResolver:
         Batch-local memo entries (always coherent — nothing external
         interleaves within one batch) and the machine's policy-gated
         prefix cache are both consulted; the deeper wins.  Returns
-        ``(consumed, directory, deps)`` or None.
+        ``(consumed, directory, deps, source)`` or None, where
+        *source* says which layer won (``"memo"`` or ``"cache"``).
         """
         best = None
         if memo is not None:
             for length in range(len(comps) - 1, 0, -1):
                 hit = memo.get((id(context), rooted, tuple(comps[:length])))
                 if hit is not None:
-                    best = (length, hit[0], hit[1])
+                    best = (length, hit[0], hit[1], "memo")
                     break
         if self.cache_policy is not CachePolicy.NONE:
             cache = self.prefix_cache_of(client_machine)
@@ -286,7 +346,7 @@ class DistributedResolver:
                                          self._placement.epoch)
             if found is not None and (best is None or found[0] > best[0]):
                 entry = found[1]
-                best = (found[0], entry.directory, entry.deps)
+                best = (found[0], entry.directory, entry.deps, "cache")
         return best
 
     def _remember_prefix(self, client_machine: Machine, context: Context,
@@ -329,11 +389,18 @@ class DistributedResolver:
         entered: Optional[ObjectEntity] = None
         deps: list = []
         start = 0
+        obs = self._obs
 
         hit = self._deepest_prefix(client_server.machine, context,
                                    rooted, comps, memo)
         if hit is not None:
-            start, directory, hit_deps = hit
+            start, directory, hit_deps, source = hit
+            if obs.enabled:
+                obs.tracer.event(
+                    "cache", "prefix.hit", self._sim.clock.now,
+                    attrs={"consumed": start, "source": source,
+                           "machine": client_server.machine.label,
+                           "prefix": "/".join(comps[:start])})
             cost.steps += start
             cost.cached_steps += start
             entered = directory
@@ -342,11 +409,24 @@ class DistributedResolver:
             at = self._walk_to(client_server, at,
                                self._step_into(directory, at), cost, style)
             self._count_locality(client_server, at, cost)
+        elif obs.enabled and (memo is not None
+                              or self.cache_policy is not CachePolicy.NONE):
+            obs.tracer.event(
+                "cache", "prefix.miss", self._sim.clock.now,
+                attrs={"machine": client_server.machine.label,
+                       "prefix": "/".join(comps[:-1])})
 
         for index in range(start, len(comps)):
             component = comps[index]
             entity = current(component)
             cost.steps += 1
+            if obs.enabled:
+                obs.tracer.event(
+                    "step", component, self._sim.clock.now,
+                    attrs={"index": index, "server": at.label,
+                           "directory": (entered.label
+                                         if entered is not None
+                                         else "<context>")})
             if index == len(comps) - 1:
                 return entity, at
             if not entity.is_defined():
@@ -367,6 +447,36 @@ class DistributedResolver:
                                   tuple(deps), memo)
         return UNDEFINED_ENTITY, at  # pragma: no cover - loop returns
 
+    # -- observability -----------------------------------------------------
+
+    def _begin_resolution(self, name_: CompoundName, style: ResolutionStyle,
+                          client: SimProcess, root: bool):
+        """Open one name's ``resolution`` span (instrumented runs)."""
+        return self._obs.tracer.begin(
+            "resolution", str(name_) or "<empty>", self._sim.clock.now,
+            **({"parent": None} if root else {}),
+            attrs={"style": str(style), "policy": str(self.cache_policy),
+                   "client": client.label})
+
+    def _finish_resolution(self, span, cost: ResolutionCost,
+                           entity: Entity, style: ResolutionStyle) -> None:
+        """Close a ``resolution`` span and publish its metrics."""
+        span.attrs.update(messages=cost.messages, steps=cost.steps,
+                          cached_steps=cost.cached_steps,
+                          resolved=entity.is_defined())
+        self._obs.tracer.end(span, self._sim.clock.now)
+        metrics = self._obs.metrics
+        metrics.counter("resolver_resolutions_total",
+                        {"style": str(style)}).inc()
+        self._m_latency.observe(cost.latency)
+        self._m_res_messages.observe(cost.messages)
+        for kind, amount in (("local", cost.local_steps),
+                             ("remote", cost.remote_steps),
+                             ("cached", cost.cached_steps)):
+            if amount:
+                metrics.counter("resolver_steps_total",
+                                {"kind": kind}).inc(amount)
+
     # -- API ---------------------------------------------------------------
 
     def resolve(self, client: SimProcess, context: Context,
@@ -384,9 +494,13 @@ class DistributedResolver:
         name_ = CompoundName.coerce(name_)
         cost = ResolutionCost()
         client_server = self.server_for(client.machine)
+        span = (self._begin_resolution(name_, style, client, root=True)
+                if self._obs.enabled else None)
         entity, at = self._walk_one(client_server, context, name_, style,
                                     cost, client_server, None)
         self._return_home(client_server, at, cost, style)
+        if span is not None:
+            self._finish_resolution(span, cost, entity, style)
         return entity, cost
 
     def resolve_many(self, client: SimProcess, context: Context,
@@ -415,17 +529,35 @@ class DistributedResolver:
                        key=lambda i: (not coerced[i].rooted,
                                       coerced[i].parts, i))
         client_server = self.server_for(client.machine)
+        obs = self._obs
+        batch_span = None
+        if obs.enabled:
+            batch_span = obs.tracer.begin(
+                "batch", f"resolve_many[{len(coerced)}]",
+                self._sim.clock.now, parent=None,
+                attrs={"names": len(coerced), "style": str(style),
+                       "policy": str(self.cache_policy),
+                       "client": client.label})
         results: list = [None] * len(coerced)
         memo: dict = {}
         at = client_server
         for i in order:
             cost = ResolutionCost()
+            span = (self._begin_resolution(coerced[i], style, client,
+                                           root=False)
+                    if obs.enabled else None)
             entity, at = self._walk_one(client_server, context,
                                         coerced[i], style, cost, at, memo)
             results[i] = (entity, cost)
+            if span is not None:
+                self._finish_resolution(span, cost, entity, style)
         # One answer hop closes the whole batch, charged to the last
-        # name processed.
+        # name processed (its span parents under the batch span).
         self._return_home(client_server, at, results[order[-1]][1], style)
+        if batch_span is not None:
+            batch_span.attrs["messages"] = sum(
+                cost.messages for _entity, cost in results)
+            obs.tracer.end(batch_span, self._sim.clock.now)
         return results
 
     # -- writes ------------------------------------------------------------
@@ -449,6 +581,14 @@ class DistributedResolver:
         context.bind(name_, entity)
         if self.cache_policy is not CachePolicy.INVALIDATE:
             return 0
+        obs = self._obs
+        span = None
+        if obs.enabled:
+            span = obs.tracer.begin(
+                "rebind", f"{directory.label}/{name_}",
+                self._sim.clock.now, parent=None,
+                attrs={"directory": directory.label,
+                       "component": name_})
         dep = binding_dep(directory, name_)
         holders = self._holders.pop(dep, set())
         host = self._placement.host_of(directory)
@@ -457,17 +597,31 @@ class DistributedResolver:
             machine = self._machines_by_id[machine_id]
             cache = self._prefix_caches.get(machine_id)
             if cache is not None:
-                cache.invalidate_through(dep)
+                dropped = cache.invalidate_through(dep)
+                if span is not None and dropped:
+                    obs.tracer.event(
+                        "cache", "prefix.invalidated",
+                        self._sim.clock.now,
+                        attrs={"machine": machine.label,
+                               "count": dropped})
             if host is not None and machine is not host:
-                fanout.append(self.server_for(host).send(
+                message = self.server_for(host).send(
                     self.server_for(machine),
                     payload={"ns": "invalidate"},
-                    latency=self._latency))
+                    latency=self._latency)
+                if span is not None:
+                    message.trace_id = span.trace_id
+                    message.parent_span_id = span.span_id
+                fanout.append(message)
         self.invalidation_messages += len(fanout)
         if fanout:
             before = self._sim.clock.now
             self._sim.run_until_settled(fanout)
             self.invalidation_latency += self._sim.clock.now - before
+        if span is not None:
+            self._m_invalidation_msgs.inc(len(fanout))
+            span.attrs["messages"] = len(fanout)
+            obs.tracer.end(span, self._sim.clock.now)
         return len(fanout)
 
 

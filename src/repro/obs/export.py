@@ -1,0 +1,226 @@
+"""Exporters: Chrome trace-event JSON, Prometheus text, run summaries.
+
+Three read-only views over one instrumented run:
+
+* :func:`to_chrome_trace` — the Chrome ``trace_event`` format
+  (a ``{"traceEvents": [...]}`` document loadable in Perfetto or
+  ``chrome://tracing``); spans become complete (``"X"``) events,
+  instants become ``"i"`` events, and each trace gets its own named
+  thread row so resolution trees render side by side;
+* :func:`to_prometheus_text` — the Prometheus exposition format for a
+  :class:`~repro.obs.metrics.MetricsRegistry`;
+* :func:`run_summary` — one JSON document tying spans, metrics and
+  (optionally) the kernel's :class:`~repro.sim.trace.TraceLog`
+  together, consumed by ``tools/inspect_run.py``.
+
+All exporters are **export-safe**: arbitrary attribute/payload values
+are passed through :func:`json_safe`, which summarizes anything not
+JSON-serialisable as a truncated ``repr`` instead of crashing the
+export (simulation payloads routinely hold entities and processes).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span
+
+__all__ = ["json_safe", "to_chrome_trace", "to_prometheus_text",
+           "run_summary"]
+
+#: Longest repr kept for a non-serialisable payload before truncation.
+_REPR_LIMIT = 120
+
+#: Virtual-time unit expressed in Chrome-trace microseconds: one unit
+#: of simulator time renders as one millisecond on the timeline.
+_TICK_US = 1000.0
+
+
+def json_safe(value: Any, _depth: int = 0) -> Any:
+    """*value* coerced to something ``json.dumps`` accepts.
+
+    Scalars pass through; mappings/sequences are converted
+    recursively (keys stringified); anything else — entities,
+    processes, exceptions — is summarized as a truncated ``repr``.
+    Depth is bounded so cyclic payloads cannot recurse forever.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if _depth >= 6:
+        return _truncated_repr(value)
+    if isinstance(value, dict):
+        return {str(key): json_safe(item, _depth + 1)
+                for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(item, _depth + 1) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(json_safe(item, _depth + 1) for item in value)
+    return _truncated_repr(value)
+
+
+def _truncated_repr(value: Any) -> str:
+    try:
+        text = repr(value)
+    except Exception:  # pragma: no cover - pathological __repr__
+        text = f"<unreprable {type(value).__name__}>"
+    if len(text) > _REPR_LIMIT:
+        text = text[:_REPR_LIMIT - 1] + "…"
+    return text
+
+
+# -- Chrome trace_event ------------------------------------------------------
+
+def to_chrome_trace(spans: Iterable[Span],
+                    label: str = "repro simulation") -> dict:
+    """Spans rendered as a Chrome ``trace_event`` JSON document.
+
+    Each distinct ``trace_id`` becomes one named thread (so a batch
+    and its resolutions share a row and nest by time containment);
+    durationless spans become instant events.  The result is a plain
+    dict — ``json.dump`` it to produce a file Perfetto loads directly.
+    """
+    spans = list(spans)
+    tids: dict[str, int] = {}
+    for span in spans:
+        tids.setdefault(span.trace_id, len(tids) + 1)
+
+    events: list[dict] = [{
+        "ph": "M", "name": "process_name", "pid": 1,
+        "args": {"name": label},
+    }]
+    for trace_id, tid in tids.items():
+        events.append({"ph": "M", "name": "thread_name", "pid": 1,
+                       "tid": tid,
+                       "args": {"name": f"trace {trace_id}"}})
+    for span in spans:
+        args = {key: json_safe(value)
+                for key, value in span.attrs.items()}
+        args["span_id"] = span.span_id
+        if span.parent_id:
+            args["parent_span_id"] = span.parent_id
+        args["status"] = span.status
+        if span.reason:
+            args["reason"] = span.reason
+        common = {
+            "name": span.name,
+            "cat": span.kind,
+            "pid": 1,
+            "tid": tids[span.trace_id],
+            "ts": span.start * _TICK_US,
+            "args": args,
+        }
+        if span.duration > 0:
+            events.append({**common, "ph": "X",
+                           "dur": span.duration * _TICK_US})
+        else:
+            events.append({**common, "ph": "i", "s": "t"})
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+# -- Prometheus text ---------------------------------------------------------
+
+def _prom_labels(labels) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{key}="{value}"' for key, value in labels)
+    return f"{{{inner}}}"
+
+
+def _prom_number(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def to_prometheus_text(registry: MetricsRegistry) -> str:
+    """The registry in the Prometheus text exposition format."""
+    lines: list[str] = []
+    seen_types: set[str] = set()
+
+    def typeline(name: str, kind: str) -> None:
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for counter in registry.counters():
+        typeline(counter.name, "counter")
+        lines.append(f"{counter.name}{_prom_labels(counter.labels)} "
+                     f"{_prom_number(counter.value)}")
+    for gauge in registry.gauges():
+        typeline(gauge.name, "gauge")
+        lines.append(f"{gauge.name}{_prom_labels(gauge.labels)} "
+                     f"{_prom_number(gauge.value)}")
+    for histogram in registry.histograms():
+        typeline(histogram.name, "histogram")
+        base = list(histogram.labels)
+        for bound, cumulative in histogram.cumulative():
+            labels = _prom_labels(base + [("le", _prom_number(bound))])
+            lines.append(f"{histogram.name}_bucket{labels} {cumulative}")
+        lines.append(f"{histogram.name}_sum{_prom_labels(histogram.labels)} "
+                     f"{_prom_number(histogram.total)}")
+        lines.append(f"{histogram.name}_count"
+                     f"{_prom_labels(histogram.labels)} {histogram.count}")
+    return "\n".join(lines) + "\n"
+
+
+# -- run summary -------------------------------------------------------------
+
+def span_to_dict(span: Span) -> dict:
+    """One span as a JSON-safe dict (the run-summary span schema)."""
+    return {
+        "trace_id": span.trace_id,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "kind": span.kind,
+        "name": span.name,
+        "start": span.start,
+        "end": span.end,
+        "duration": span.duration,
+        "status": span.status,
+        "reason": span.reason,
+        "attrs": {key: json_safe(value)
+                  for key, value in span.attrs.items()},
+    }
+
+
+def run_summary(spans: Iterable[Span],
+                registry: Optional[MetricsRegistry] = None,
+                trace_log=None, clock: Optional[float] = None,
+                notes: Optional[dict] = None) -> dict:
+    """One JSON document describing an instrumented run.
+
+    Args:
+        spans: The tracer's spans (grouped by trace in the output).
+        registry: Metrics to snapshot alongside, if any.
+        trace_log: An optional kernel
+            :class:`~repro.sim.trace.TraceLog` (duck-typed: iterable
+            of entries with time/kind/detail/data); payloads are made
+            export-safe.
+        clock: Final virtual time of the run.
+        notes: Free-form scenario parameters to carry along.
+    """
+    spans = list(spans)
+    traces: dict[str, list[dict]] = {}
+    failed = 0
+    for span in spans:
+        traces.setdefault(span.trace_id, []).append(span_to_dict(span))
+        if span.status != "ok":
+            failed += 1
+    document: dict[str, Any] = {
+        "clock": clock,
+        "span_count": len(spans),
+        "failed_span_count": failed,
+        "traces": traces,
+        "notes": json_safe(notes or {}),
+    }
+    if registry is not None:
+        document["metrics"] = registry.snapshot()
+    if trace_log is not None:
+        document["kernel_trace"] = [
+            {"time": entry.time, "kind": entry.kind,
+             "detail": entry.detail, "data": json_safe(entry.data)}
+            for entry in trace_log]
+    return document

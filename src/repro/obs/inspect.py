@@ -1,0 +1,136 @@
+"""Run inspection: hop trees and hot-spot rankings over spans.
+
+The analysis layer `tools/inspect_run.py` prints: reconstruct each
+trace's span tree (:func:`hop_tree`, :func:`format_hop_tree`) and rank
+the servers/directories a run leaned on hardest
+(:func:`hottest_servers`, :func:`hottest_directories`).  Everything
+here works on plain :class:`~repro.obs.trace.Span` lists, so it
+applies equally to a live tracer and to spans reloaded from a run
+summary.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+from typing import Iterable, Optional
+
+from repro.obs.trace import Span
+
+__all__ = ["hop_tree", "format_hop_tree", "hottest_servers",
+           "hottest_directories", "trace_roots"]
+
+
+def trace_roots(spans: Iterable[Span]) -> list[Span]:
+    """The root spans (no parent within their trace), in start order."""
+    spans = list(spans)
+    ids = {span.span_id for span in spans}
+    return [span for span in spans
+            if span.parent_id is None or span.parent_id not in ids]
+
+
+def hop_tree(spans: Iterable[Span]) -> list[dict]:
+    """Spans nested into trees: one dict per root, children inline.
+
+    Each node is ``{"span": Span, "children": [node, ...]}`` with
+    children in start order (ties broken by span id so the order is
+    deterministic).
+    """
+    spans = sorted(spans, key=lambda s: (s.start, _span_seq(s)))
+    nodes = {span.span_id: {"span": span, "children": []}
+             for span in spans}
+    roots: list[dict] = []
+    for span in spans:
+        node = nodes[span.span_id]
+        parent = nodes.get(span.parent_id) if span.parent_id else None
+        if parent is not None:
+            parent["children"].append(node)
+        else:
+            roots.append(node)
+    return roots
+
+
+def _span_seq(span: Span) -> int:
+    try:
+        return int(span.span_id.lstrip("s"))
+    except ValueError:  # pragma: no cover - foreign span ids
+        return 0
+
+
+_SHOWN_ATTRS = ("messages", "consumed", "steps", "cached_steps",
+                "server", "component", "style", "policy", "count")
+
+
+def _describe(span: Span) -> str:
+    bits = [f"{span.kind}:{span.name}"]
+    if span.duration > 0:
+        bits.append(f"t={span.start:g}..{span.end:g}")
+    else:
+        bits.append(f"t={span.start:g}")
+    for key in _SHOWN_ATTRS:
+        if key in span.attrs:
+            bits.append(f"{key}={span.attrs[key]}")
+    if span.status != "ok":
+        bits.append(f"FAILED({span.reason})")
+    return " ".join(bits)
+
+
+def format_hop_tree(spans: Iterable[Span],
+                    trace_id: Optional[str] = None) -> str:
+    """A printable tree of one trace (or of every trace when omitted).
+
+    >>> print(format_hop_tree(tracer.spans))   # doctest: +SKIP
+    trace t1
+    └─ resolution:/a/b/c/leaf t=0..8 messages=4
+       ├─ step:root t=0 server=dirserver@client-m
+       ...
+    """
+    spans = list(spans)
+    if trace_id is not None:
+        spans = [span for span in spans if span.trace_id == trace_id]
+    lines: list[str] = []
+    by_trace: dict[str, list[Span]] = {}
+    for span in spans:
+        by_trace.setdefault(span.trace_id, []).append(span)
+    for tid, trace_spans in by_trace.items():
+        lines.append(f"trace {tid}")
+        roots = hop_tree(trace_spans)
+        for index, root in enumerate(roots):
+            _render(root, "", index == len(roots) - 1, lines)
+    return "\n".join(lines)
+
+
+def _render(node: dict, prefix: str, last: bool,
+            lines: list[str]) -> None:
+    connector = "└─ " if last else "├─ "
+    lines.append(prefix + connector + _describe(node["span"]))
+    child_prefix = prefix + ("   " if last else "│  ")
+    children = node["children"]
+    for index, child in enumerate(children):
+        _render(child, child_prefix, index == len(children) - 1, lines)
+
+
+# -- hot spots ---------------------------------------------------------------
+
+def hottest_servers(spans: Iterable[Span],
+                    top: int = 5) -> list[tuple[str, int]]:
+    """Servers ranked by walk steps they served, busiest first.
+
+    Counts ``step`` instants by their ``server`` attribute — the same
+    accounting as :attr:`DistributedResolver.load`, but recoverable
+    from an exported trace alone.
+    """
+    tally: TallyCounter[str] = TallyCounter()
+    for span in spans:
+        if span.kind == "step" and "server" in span.attrs:
+            tally[span.attrs["server"]] += 1
+    return tally.most_common(top)
+
+
+def hottest_directories(spans: Iterable[Span],
+                        top: int = 5) -> list[tuple[str, int]]:
+    """Directories ranked by how often a walk read a binding in them."""
+    tally: TallyCounter[str] = TallyCounter()
+    for span in spans:
+        if span.kind == "step" and "directory" in span.attrs:
+            tally[span.attrs["directory"]] += 1
+    return tally.most_common(top)

@@ -1,0 +1,57 @@
+"""The instrumentation seam: one object components publish into.
+
+An :class:`Instrumentation` bundles a :class:`~repro.obs.trace.Tracer`
+and a :class:`~repro.obs.metrics.MetricsRegistry` behind a single
+``enabled`` flag.  Every instrumented component (`Simulator`,
+`DistributedResolver`, `PrefixCache`, `FailureInjector`, the async
+protocol) holds one and guards its emission with ``if obs.enabled:``
+— so an un-instrumented run (the :data:`NO_OBS` default) pays one
+attribute check per would-be emission and allocates nothing.
+
+Usage::
+
+    from repro.obs import Instrumentation
+    obs = Instrumentation()
+    sim = Simulator(seed=0, obs=obs)
+    ...
+    print(obs.metrics.snapshot())
+    print(len(obs.tracer.spans), "spans")
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+__all__ = ["Instrumentation", "NO_OBS"]
+
+
+class Instrumentation:
+    """A tracer + metrics registry pair, enabled or inert.
+
+    Args:
+        enabled: When False the object is a pure sentinel — holders
+            must skip emission (every built-in component does).
+        max_spans: Ring-buffer bound forwarded to the tracer.
+    """
+
+    __slots__ = ("enabled", "tracer", "metrics")
+
+    def __init__(self, enabled: bool = True,
+                 max_spans: Optional[int] = None):
+        self.enabled = enabled
+        self.tracer = Tracer(max_spans=max_spans)
+        self.metrics = MetricsRegistry()
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return (f"<Instrumentation {state}: {len(self.tracer)} spans, "
+                f"{len(self.metrics)} series>")
+
+
+#: The shared inert sentinel used when no instrumentation is wired in.
+#: Never emit into it and never flip its flag — construct a fresh
+#: :class:`Instrumentation` to observe a run.
+NO_OBS = Instrumentation(enabled=False)

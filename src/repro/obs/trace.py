@@ -1,0 +1,205 @@
+"""Typed spans over virtual time: the tracing half of `repro.obs`.
+
+A :class:`Span` is one timed, attributed unit of work — a resolution,
+one message hop, a cache probe — linked into a tree by
+``parent_id`` and grouped into a *trace* by ``trace_id``.  The
+:class:`Tracer` mints ids (deterministically, from counters, so runs
+with the same seed produce identical traces), keeps an activation
+stack so nested work parents itself automatically, and stores every
+span for export (`repro.obs.export`) and inspection
+(`repro.obs.inspect`).
+
+Span taxonomy (see docs/observability.md for the catalog):
+
+========== ==========================================================
+kind       meaning
+========== ==========================================================
+batch      one :meth:`DistributedResolver.resolve_many` call
+resolution one compound name's walk (root span in single resolves)
+hop        one message leg (named referral/query/forward/answer/…)
+step       one component consumed at a server (instant)
+cache      a prefix-cache probe outcome (instant: ``prefix.hit``,
+           ``prefix.miss``, ``prefix.expired``)
+rebind     one write through the resolver's write discipline
+deliver    kernel delivery of a trace-carrying message (instant)
+drop       kernel drop of a trace-carrying message (instant)
+lookup     one async-protocol lookup (`repro.nameservice.protocol`)
+failure    an injected failure/reconfiguration event (instant)
+========== ==========================================================
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["Span", "Tracer"]
+
+#: Sentinel distinguishing "parent omitted → use the active span" from
+#: an explicit ``parent=None`` (→ start a new root/trace).
+_CURRENT = object()
+
+
+@dataclass
+class Span:
+    """One timed, attributed unit of work in a trace tree."""
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    kind: str
+    name: str
+    start: float
+    end: Optional[float] = None
+    status: str = "ok"          #: ``"ok"`` or ``"failed"``
+    reason: str = ""            #: failure detail when status is failed
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Elapsed virtual time (0.0 while open or for instants)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    def fail(self, reason: str) -> "Span":
+        """Mark the span failed; returns self for chaining."""
+        self.status = "failed"
+        self.reason = reason
+        return self
+
+    def __repr__(self) -> str:
+        flag = "" if self.status == "ok" else f" FAILED({self.reason})"
+        return (f"<span {self.span_id} {self.kind}:{self.name} "
+                f"t={self.start:g}..{self.end if self.end is not None else '…'}"
+                f"{flag}>")
+
+
+class Tracer:
+    """Mints, activates and stores spans.
+
+    Args:
+        max_spans: Optional ring-buffer bound — the oldest spans are
+            evicted once the store is full (``dropped_spans`` counts
+            them), so long benchmark runs cannot grow without bound.
+    """
+
+    def __init__(self, max_spans: Optional[int] = None):
+        self.max_spans = max_spans
+        self._spans: deque[Span] = deque(maxlen=max_spans)
+        self._stack: list[Span] = []
+        self._trace_ids = itertools.count(1)
+        self._span_ids = itertools.count(1)
+        self.dropped_spans = 0
+
+    # -- minting -----------------------------------------------------------
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost active span (automatic parent), if any."""
+        return self._stack[-1] if self._stack else None
+
+    def new_trace_id(self) -> str:
+        return f"t{next(self._trace_ids)}"
+
+    def _store(self, span: Span) -> Span:
+        if (self.max_spans is not None
+                and len(self._spans) == self.max_spans):
+            self.dropped_spans += 1
+        self._spans.append(span)
+        return span
+
+    def begin(self, kind: str, name: str, time: float, *,
+              parent: Any = _CURRENT,
+              trace_id: Optional[str] = None,
+              attrs: Optional[dict] = None,
+              activate: bool = True) -> Span:
+        """Open a span starting at virtual *time*.
+
+        With *parent* omitted the span nests under :attr:`current`;
+        pass ``parent=None`` to root a **new trace** (unless an
+        explicit *trace_id* joins an existing one).  Activated spans
+        become :attr:`current` until :meth:`end`.
+        """
+        parent_span: Optional[Span] = (self.current
+                                       if parent is _CURRENT else parent)
+        if trace_id is None:
+            trace_id = (parent_span.trace_id if parent_span is not None
+                        else self.new_trace_id())
+        span = Span(trace_id=trace_id,
+                    span_id=f"s{next(self._span_ids)}",
+                    parent_id=(parent_span.span_id
+                               if parent_span is not None else None),
+                    kind=kind, name=name, start=time,
+                    attrs=dict(attrs) if attrs else {})
+        self._store(span)
+        if activate:
+            self._stack.append(span)
+        return span
+
+    def end(self, span: Span, time: float) -> Span:
+        """Close *span* at virtual *time* and deactivate it."""
+        span.end = time
+        if span in self._stack:
+            # Pop through to the span (defensive: tolerates a child
+            # left open by an aborted walk).
+            while self._stack:
+                if self._stack.pop() is span:
+                    break
+        return span
+
+    def event(self, kind: str, name: str, time: float, *,
+              trace_id: Optional[str] = None,
+              parent_span_id: Optional[str] = None,
+              attrs: Optional[dict] = None) -> Span:
+        """Record an instant (zero-duration) span.
+
+        Unlike :meth:`begin`, the parent may be given as a raw span
+        id — that is how trace context carried by a kernel
+        :class:`~repro.sim.messages.Message` re-enters the tracer at
+        delivery time without holding a :class:`Span` object.
+        """
+        active = self.current
+        if trace_id is None and active is not None:
+            trace_id = active.trace_id
+        if parent_span_id is None and active is not None:
+            parent_span_id = active.span_id
+        span = Span(trace_id=trace_id or self.new_trace_id(),
+                    span_id=f"s{next(self._span_ids)}",
+                    parent_id=parent_span_id,
+                    kind=kind, name=name, start=time, end=time,
+                    attrs=dict(attrs) if attrs else {})
+        return self._store(span)
+
+    # -- reading -----------------------------------------------------------
+
+    @property
+    def spans(self) -> list[Span]:
+        """Every stored span, in start order (a copy)."""
+        return list(self._spans)
+
+    def of_trace(self, trace_id: str) -> list[Span]:
+        """All spans of one trace, in start order."""
+        return [s for s in self._spans if s.trace_id == trace_id]
+
+    def of_kind(self, kind: str) -> list[Span]:
+        """All spans of one kind, in start order."""
+        return [s for s in self._spans if s.kind == kind]
+
+    def trace_ids(self) -> list[str]:
+        """Distinct trace ids, in first-seen order."""
+        seen: dict[str, None] = {}
+        for span in self._spans:
+            seen.setdefault(span.trace_id, None)
+        return list(seen)
+
+    def clear(self) -> None:
+        """Drop all stored spans (the activation stack survives)."""
+        self._spans.clear()
+
+    def __len__(self) -> int:
+        return len(self._spans)

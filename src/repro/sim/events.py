@@ -70,5 +70,10 @@ class EventQueue:
     def __len__(self) -> int:
         return sum(1 for e in self._heap if not e.cancelled)
 
+    def approx_len(self) -> int:
+        """Heap size including cancelled events — the O(1) depth
+        reading instrumentation samples (exact ``len`` scans)."""
+        return len(self._heap)
+
     def __bool__(self) -> bool:
         return self.peek_time() is not None

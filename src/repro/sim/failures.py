@@ -7,6 +7,11 @@ processes within the renamed machine or network remain valid".  The
 injector provides exactly those reconfigurations — machine and network
 renumbering — plus the ordinary failure vocabulary (crash, restart,
 partition, heal) used by robustness tests.
+
+Every injected event is observable (`repro.obs`): an instrumented
+simulator records a ``failure`` span instant and bumps the
+``failures_injected_total{kind=...}`` counter, so traces show exactly
+where a walk crossed an injected fault.
 """
 
 from __future__ import annotations
@@ -24,6 +29,16 @@ class FailureInjector:
     def __init__(self, simulator: Simulator):
         self._sim = simulator
 
+    def _observe(self, kind: str, name: str, **attrs) -> None:
+        obs = self._sim.obs
+        if not obs.enabled:
+            return
+        obs.metrics.counter("failures_injected_total",
+                            {"kind": kind}).inc()
+        obs.tracer.event("failure", name, self._sim.clock.now,
+                         trace_id=None, parent_span_id=None,
+                         attrs={"injected": kind, **attrs})
+
     # -- reconfiguration (the §6 Example 1 events) -----------------------
 
     def renumber_machine(self, machine: Machine, new_maddr: int) -> None:
@@ -38,6 +53,8 @@ class FailureInjector:
         self._sim.trace.record(self._sim.clock.now, "renumber",
                                f"machine {machine.label}: "
                                f"maddr {old} → {new_maddr}")
+        self._observe("renumber_machine", machine.label,
+                      old=old, new=new_maddr)
 
     def renumber_network(self, network: Network, new_naddr: int) -> None:
         """Change a network's address in the internetwork."""
@@ -46,6 +63,8 @@ class FailureInjector:
         self._sim.trace.record(self._sim.clock.now, "renumber",
                                f"network {network.label}: "
                                f"naddr {old} → {new_naddr}")
+        self._observe("renumber_network", network.label,
+                      old=old, new=new_naddr)
 
     # -- failures -----------------------------------------------------------
 
@@ -58,17 +77,21 @@ class FailureInjector:
             process.alive = False
         self._sim.trace.record(self._sim.clock.now, "failure",
                                f"crash {machine.label}")
+        self._observe("crash", machine.label)
 
     def restart_machine(self, machine: Machine) -> None:
         """Bring a machine back up (dead processes stay dead)."""
         machine.alive = True
         self._sim.trace.record(self._sim.clock.now, "repair",
                                f"restart {machine.label}")
+        self._observe("restart", machine.label)
 
     def partition(self, first: Network, second: Network) -> None:
         """Partition two networks (delegates to the kernel)."""
         self._sim.partition(first, second)
+        self._observe("partition", f"{first.label}⇹{second.label}")
 
     def heal(self, first: Network, second: Network) -> None:
         """Heal a partition (delegates to the kernel)."""
         self._sim.heal(first, second)
+        self._observe("heal", f"{first.label}⇄{second.label}")

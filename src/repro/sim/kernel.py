@@ -20,6 +20,7 @@ from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
 from repro.model.state import GlobalState
+from repro.obs.instrument import NO_OBS, Instrumentation
 from repro.sim.clock import VirtualClock
 from repro.sim.events import EventQueue, ScheduledEvent
 from repro.sim.messages import Message
@@ -37,6 +38,10 @@ class Simulator:
         seed: Seed for the kernel RNG; identical seeds yield identical
             runs (event order, latencies, workload draws).
         default_latency: Message latency when the sender passes none.
+        obs: Optional :class:`~repro.obs.Instrumentation` the kernel
+            (and everything built on it) publishes spans and metrics
+            into; defaults to the inert :data:`~repro.obs.NO_OBS`, so
+            un-instrumented runs pay ~zero observability cost.
 
     >>> sim = Simulator(seed=7)
     >>> net = sim.network("lan")
@@ -48,7 +53,9 @@ class Simulator:
     'ping'
     """
 
-    def __init__(self, seed: int = 0, default_latency: float = 1.0):
+    def __init__(self, seed: int = 0, default_latency: float = 1.0,
+                 obs: Optional[Instrumentation] = None):
+        self.obs = obs if obs is not None else NO_OBS
         self.clock = VirtualClock()
         self.queue = EventQueue()
         self.rng = random.Random(seed)
@@ -65,6 +72,18 @@ class Simulator:
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
+        if self.obs.enabled:
+            # Instrument handles are resolved once — the hot paths
+            # below never pay a registry lookup.
+            metrics = self.obs.metrics
+            self._m_sent = metrics.counter("sim_messages_sent_total")
+            self._m_delivered = metrics.counter(
+                "sim_messages_delivered_total")
+            self._m_dropped = metrics.counter(
+                "sim_messages_dropped_total")
+            self._m_events = metrics.counter(
+                "sim_events_processed_total")
+            self._g_queue = metrics.gauge("sim_event_queue_depth")
 
     # -- topology --------------------------------------------------------
 
@@ -141,6 +160,9 @@ class Simulator:
         self.trace.record(now, "send",
                           f"{sender.label} → {receiver.label} "
                           f"msg#{message.msg_id}")
+        if self.obs.enabled:
+            self._m_sent.inc()
+            self._g_queue.set(self.queue.approx_len())
         return message
 
     def _deliver(self, message: Message) -> None:
@@ -156,6 +178,15 @@ class Simulator:
             self.messages_dropped += 1
             self.trace.record(self.clock.now, "drop",
                               f"msg#{message.msg_id}: {message.drop_reason}")
+            if self.obs.enabled:
+                self._m_dropped.inc()
+                if message.trace_id is not None:
+                    self.obs.tracer.event(
+                        "drop", f"msg#{message.msg_id}", self.clock.now,
+                        trace_id=message.trace_id,
+                        parent_span_id=message.parent_span_id,
+                        attrs={"receiver": message.receiver.label,
+                               "reason": message.drop_reason})
             return
         self.messages_delivered += 1
         message.delivered = True
@@ -164,6 +195,18 @@ class Simulator:
         self.trace.record(self.clock.now, "deliver",
                           f"msg#{message.msg_id} at {message.receiver.label}")
         message.receiver.deliver(message)
+        if self.obs.enabled:
+            self._m_delivered.inc()
+            if message.trace_id is not None:
+                self.obs.tracer.event(
+                    "deliver", f"msg#{message.msg_id}", self.clock.now,
+                    trace_id=message.trace_id,
+                    parent_span_id=message.parent_span_id,
+                    attrs={"receiver": message.receiver.label})
+            self.obs.metrics.gauge(
+                "process_mailbox_depth",
+                {"process": message.receiver.label},
+            ).set(len(message.receiver.mailbox))
 
     def add_gateway(self, gateway: Any) -> None:
         """Install a boundary gateway; its ``process(message)`` hook
@@ -211,6 +254,8 @@ class Simulator:
             return False
         self.clock.advance_to(event.time)
         event.action()
+        if self.obs.enabled:
+            self._m_events.inc()
         return True
 
     def run_until_settled(self, messages, max_events: int = 1_000_000) -> int:
@@ -277,6 +322,9 @@ class Simulator:
                 f"run exceeded max_events={max_events}; likely a livelock")
         if until is not None and self.clock.now < until:
             self.clock.advance_to(until)
+        if self.obs.enabled and processed:
+            self._m_events.inc(processed)
+            self._g_queue.set(self.queue.approx_len())
         return processed
 
     def __repr__(self) -> str:

@@ -75,6 +75,11 @@ class Message:
     delivered: bool = False
     dropped: bool = False
     drop_reason: str = ""
+    #: Trace context (repro.obs): set by instrumented senders so the
+    #: kernel can parent its delivery/drop events into the right
+    #: span tree.  ``None`` on un-instrumented traffic.
+    trace_id: Optional[str] = None
+    parent_span_id: Optional[str] = None
 
     @property
     def settled(self) -> bool:

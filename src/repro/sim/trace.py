@@ -3,12 +3,20 @@
 Experiments use traces two ways: to assert causality in tests (message
 m was delivered after it was sent, renumbering happened between sends)
 and to print run digests in benchmark output.
+
+The log keeps a per-kind index so :meth:`TraceLog.of_kind` costs
+O(matches) rather than a scan of every entry, and supports an optional
+``max_entries`` ring-buffer mode for long benchmark runs: once full,
+the oldest entries are evicted (and counted in
+:attr:`TraceLog.evicted`) instead of growing without bound.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any
+from collections import deque
+from dataclasses import dataclass
+from itertools import islice
+from typing import Any, Iterator, Optional
 
 __all__ = ["TraceEntry", "TraceLog"]
 
@@ -25,29 +33,85 @@ class TraceEntry:
     def __repr__(self) -> str:
         return f"[t={self.time:g}] {self.kind}: {self.detail}"
 
+    def to_dict(self) -> dict:
+        """A JSON-serialisable view of the entry.
 
-@dataclass
+        The ``data`` payload may hold arbitrary simulation objects
+        (entities, processes); anything that is not a JSON scalar is
+        summarized as its ``repr`` so exporters never crash on it.
+        """
+        data = self.data
+        if not (data is None or isinstance(data, (bool, int, float, str))):
+            data = repr(data)
+        return {"time": self.time, "kind": self.kind,
+                "detail": self.detail, "data": data}
+
+
 class TraceLog:
-    """An append-only log of :class:`TraceEntry` records."""
+    """An append-only (optionally ring-buffered) log of
+    :class:`TraceEntry` records.
 
-    entries: list[TraceEntry] = field(default_factory=list)
+    Args:
+        max_entries: When set, the log keeps only the newest
+            *max_entries* records, evicting the oldest on overflow.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._entries: deque[TraceEntry] = deque()
+        self._by_kind: dict[str, deque[TraceEntry]] = {}
+        #: Entries dropped by the ring buffer since creation.
+        self.evicted = 0
+
+    @property
+    def entries(self) -> deque[TraceEntry]:
+        """The live entry store, oldest first (treat as read-only)."""
+        return self._entries
 
     def record(self, time: float, kind: str, detail: str,
                data: Any = None) -> TraceEntry:
         entry = TraceEntry(time, kind, detail, data)
-        self.entries.append(entry)
+        if (self.max_entries is not None
+                and len(self._entries) >= self.max_entries):
+            oldest = self._entries.popleft()
+            # The oldest entry overall is also the oldest of its kind,
+            # so the index eviction is O(1).
+            kind_queue = self._by_kind[oldest.kind]
+            kind_queue.popleft()
+            if not kind_queue:
+                del self._by_kind[oldest.kind]
+            self.evicted += 1
+        self._entries.append(entry)
+        index = self._by_kind.get(kind)
+        if index is None:
+            index = self._by_kind[kind] = deque()
+        index.append(entry)
         return entry
 
     def of_kind(self, kind: str) -> list[TraceEntry]:
-        """All entries with the given kind, in order."""
-        return [e for e in self.entries if e.kind == kind]
+        """All entries with the given kind, in order (O(matches))."""
+        return list(self._by_kind.get(kind, ()))
+
+    def kinds(self) -> list[str]:
+        """The distinct kinds recorded, in first-seen order."""
+        return list(self._by_kind)
 
     def __len__(self) -> int:
-        return len(self.entries)
+        return len(self._entries)
 
-    def __iter__(self):
-        return iter(self.entries)
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return iter(self._entries)
 
     def tail(self, count: int = 10) -> list[TraceEntry]:
         """The most recent *count* entries."""
-        return self.entries[-count:]
+        if count <= 0:
+            return []
+        start = max(0, len(self._entries) - count)
+        return list(islice(self._entries, start, None))
+
+    def to_dicts(self) -> list[dict]:
+        """Every entry as a JSON-safe dict (see
+        :meth:`TraceEntry.to_dict`)."""
+        return [entry.to_dict() for entry in self._entries]

@@ -39,6 +39,7 @@ class TestTopLevelExports:
         import repro.model
         import repro.namespaces
         import repro.nameservice
+        import repro.obs
         import repro.pqid
         import repro.remote
         import repro.replication
@@ -49,7 +50,7 @@ class TestTopLevelExports:
                        repro.sim, repro.namespaces, repro.pqid,
                        repro.embedded, repro.replication, repro.remote,
                        repro.federation, repro.workloads,
-                       repro.nameservice):
+                       repro.nameservice, repro.obs):
             for name_ in module.__all__:
                 assert hasattr(module, name_), \
                     f"{module.__name__}.{name_} missing"

@@ -1,0 +1,150 @@
+"""Exporter tests: Chrome trace JSON, Prometheus text, run summary,
+and export safety for arbitrary simulation payloads."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import (
+    Instrumentation,
+    MetricsRegistry,
+    Tracer,
+    json_safe,
+    run_summary,
+    to_chrome_trace,
+    to_prometheus_text,
+)
+from repro.sim.trace import TraceLog
+
+
+def small_trace() -> Tracer:
+    tracer = Tracer()
+    root = tracer.begin("resolution", "/a/b", 0.0, parent=None,
+                        attrs={"style": "iterative"})
+    hop = tracer.begin("hop", "query", 0.0, attrs={"messages": 1})
+    tracer.event("deliver", "msg#1", 1.0)
+    tracer.end(hop, 1.0)
+    tracer.event("step", "b", 1.0)
+    tracer.end(root, 2.0)
+    return tracer
+
+
+class TestJsonSafe:
+    def test_scalars_pass_through(self):
+        for value in (None, True, 3, 2.5, "x"):
+            assert json_safe(value) == value
+
+    def test_containers_convert_recursively(self):
+        out = json_safe({"a": [1, (2, 3)], 4: {5, 6}})
+        assert out == {"a": [1, [2, 3]], "4": [5, 6]}
+        json.dumps(out)
+
+    def test_non_serialisable_becomes_repr(self):
+        class Payload:
+            def __repr__(self):
+                return "<payload>"
+
+        assert json_safe(Payload()) == "<payload>"
+        assert json_safe({"deep": Payload()}) == {"deep": "<payload>"}
+
+    def test_long_reprs_truncate(self):
+        class Huge:
+            def __repr__(self):
+                return "x" * 10_000
+
+        assert len(json_safe(Huge())) <= 120
+
+    def test_cyclic_payload_terminates(self):
+        cycle: dict = {}
+        cycle["self"] = cycle
+        json.dumps(json_safe(cycle))
+
+
+class TestChromeTrace:
+    def test_document_is_valid_json_with_complete_tree(self):
+        document = to_chrome_trace(small_trace().spans, label="test")
+        reloaded = json.loads(json.dumps(document))
+        events = reloaded["traceEvents"]
+        assert reloaded["displayTimeUnit"] == "ms"
+        # Metadata names the process and the trace's thread row.
+        meta = [e for e in events if e["ph"] == "M"]
+        assert {e["name"] for e in meta} == {"process_name",
+                                            "thread_name"}
+        durations = [e for e in events if e["ph"] == "X"]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert len(durations) == 2  # resolution + hop
+        assert len(instants) == 2   # deliver + step
+        # One complete resolution tree: the root X event spans the
+        # whole walk and children link back via parent_span_id.
+        root = next(e for e in durations
+                    if e["args"].get("parent_span_id") is None)
+        assert root["cat"] == "resolution"
+        assert root["dur"] == 2000.0  # 2 virtual units -> 2 ms
+        child = next(e for e in durations if e is not root)
+        assert child["args"]["parent_span_id"] == \
+            root["args"]["span_id"]
+
+    def test_failed_span_carries_reason(self):
+        tracer = Tracer()
+        span = tracer.begin("hop", "query", 0.0, parent=None)
+        span.fail("receiver machine down")
+        tracer.end(span, 1.0)
+        [_meta1, _meta2, event] = to_chrome_trace(
+            tracer.spans)["traceEvents"]
+        assert event["args"]["status"] == "failed"
+        assert event["args"]["reason"] == "receiver machine down"
+
+    def test_attrs_are_export_safe(self):
+        tracer = Tracer()
+        span = tracer.begin("hop", "query", 0.0, parent=None,
+                            attrs={"payload": object()})
+        tracer.end(span, 1.0)
+        json.dumps(to_chrome_trace(tracer.spans))
+
+
+class TestPrometheusText:
+    def test_exposition_format(self):
+        registry = MetricsRegistry()
+        registry.counter("messages_total",
+                         {"server": "s1"}).inc(3)
+        registry.gauge("depth").set(2)
+        registry.histogram("latency", buckets=(1.0, 5.0)).observe(0.5)
+        text = to_prometheus_text(registry)
+        assert "# TYPE messages_total counter" in text
+        assert 'messages_total{server="s1"} 3' in text
+        assert "# TYPE depth gauge" in text
+        assert "depth 2" in text
+        assert 'latency_bucket{le="1"} 1' in text
+        assert 'latency_bucket{le="+Inf"} 1' in text
+        assert "latency_sum 0.5" in text
+        assert "latency_count 1" in text
+        assert text.endswith("\n")
+
+
+class TestRunSummary:
+    def test_summary_shape(self):
+        obs = Instrumentation()
+        obs.metrics.counter("c").inc()
+        tracer = small_trace()
+        log = TraceLog()
+        log.record(0.0, "send", "msg#1", data=object())
+        document = run_summary(tracer.spans, obs.metrics,
+                               trace_log=log, clock=2.0,
+                               notes={"seed": 0})
+        json.dumps(document)
+        assert document["clock"] == 2.0
+        assert document["span_count"] == 4
+        assert document["failed_span_count"] == 0
+        assert set(document["traces"]) == {"t1"}
+        assert len(document["traces"]["t1"]) == 4
+        assert document["metrics"]["counters"]["c"] == 1.0
+        assert document["kernel_trace"][0]["kind"] == "send"
+        assert isinstance(document["kernel_trace"][0]["data"], str)
+        assert document["notes"] == {"seed": 0}
+
+    def test_failed_spans_counted(self):
+        tracer = Tracer()
+        span = tracer.begin("hop", "q", 0.0, parent=None)
+        span.fail("down")
+        tracer.end(span, 1.0)
+        assert run_summary(tracer.spans)["failed_span_count"] == 1

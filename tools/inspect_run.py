@@ -1,0 +1,228 @@
+#!/usr/bin/env python
+"""Replay an instrumented scenario and inspect what it did.
+
+Usage::
+
+    python tools/inspect_run.py                         # hop trees
+    python tools/inspect_run.py --scenario hot --policy invalidate
+    python tools/inspect_run.py --format chrome-trace --out trace.json
+    python tools/inspect_run.py --format prometheus
+    python tools/inspect_run.py --format summary --out summary.json
+    python tools/inspect_run.py --scenario failure --style recursive
+
+Each scenario builds a small multi-server deployment, runs a batch of
+resolutions through :class:`~repro.nameservice.resolver.
+DistributedResolver` with `repro.obs` instrumentation enabled, and
+emits one of:
+
+* ``tree`` (default) — per-resolution hop trees plus the top-N
+  hottest servers/directories and a metrics headline;
+* ``chrome-trace`` — Chrome ``trace_event`` JSON for Perfetto /
+  ``chrome://tracing``;
+* ``prometheus`` — the metrics registry as Prometheus text;
+* ``summary`` — the full JSON run summary (spans + metrics + kernel
+  trace tail).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.model.resolution import resolve as local_resolve
+from repro.namespaces.base import ProcessContext
+from repro.namespaces.tree import NamingTree
+from repro.nameservice.cache import CachePolicy
+from repro.nameservice.placement import DirectoryPlacement
+from repro.nameservice.resolver import (
+    DistributedResolver,
+    ResolutionCost,
+    ResolutionStyle,
+)
+from repro.obs import (
+    Instrumentation,
+    format_hop_tree,
+    hottest_directories,
+    hottest_servers,
+    run_summary,
+    to_chrome_trace,
+    to_prometheus_text,
+)
+from repro.sim.failures import FailureInjector
+from repro.sim.kernel import Simulator
+
+SCENARIOS = {}
+
+
+def scenario(name):
+    def install(fn):
+        SCENARIOS[name] = fn
+        return fn
+    return install
+
+
+def _deployment(seed: int, policy: CachePolicy, obs: Instrumentation,
+                depth: int = 3, fanout: int = 4):
+    """One client machine + one server machine per directory level."""
+    simulator = Simulator(seed=seed, obs=obs)
+    network = simulator.network("lan")
+    client_machine = simulator.machine(network, "client-m")
+    levels = [f"lvl{i}" for i in range(depth)]
+    tree = NamingTree("root", sigma=simulator.sigma, parent_links=True)
+    tree.mkdir("/".join(levels))
+    names = []
+    for index in range(fanout):
+        tree.mkfile("/".join(levels) + f"/f{index}")
+        names.append("/" + "/".join(levels) + f"/f{index}")
+    placement = DirectoryPlacement()
+    placement.place(tree.root, client_machine)
+    machines = []
+    for level in range(depth):
+        machine = simulator.machine(network, f"server{level}")
+        machines.append(machine)
+        placement.place(tree.directory("/".join(levels[:level + 1])),
+                        machine)
+    client = simulator.spawn(client_machine, "client")
+    context = ProcessContext(tree.root)
+    resolver = DistributedResolver(simulator, placement,
+                                   cache_policy=policy, cache_ttl=50.0)
+    return {"simulator": simulator, "resolver": resolver,
+            "client": client, "context": context, "names": names,
+            "tree": tree, "levels": levels, "machines": machines,
+            "network": network}
+
+
+@scenario("basic")
+def run_basic(seed: int, style: ResolutionStyle, policy: CachePolicy,
+              obs: Instrumentation) -> dict:
+    """One batched resolution over a 3-server placement."""
+    world = _deployment(seed, policy, obs)
+    results = world["resolver"].resolve_many(
+        world["client"], world["context"], world["names"], style)
+    cost = ResolutionCost.merge(c for _entity, c in results)
+    ok = all(entity is local_resolve(world["context"], name_)
+             for name_, (entity, _c) in zip(world["names"], results))
+    return {"simulator": world["simulator"],
+            "notes": {"scenario": "basic", "names": len(world["names"]),
+                      "messages": cost.messages, "coherent": ok}}
+
+
+@scenario("hot")
+def run_hot(seed: int, style: ResolutionStyle, policy: CachePolicy,
+            obs: Instrumentation) -> dict:
+    """Three rounds over a hot directory, with a rebind in between."""
+    world = _deployment(seed, policy, obs, depth=3, fanout=6)
+    resolver = world["resolver"]
+    costs = []
+    for _round in range(2):
+        costs.extend(c for _e, c in resolver.resolve_many(
+            world["client"], world["context"], world["names"], style))
+    # Rebind one leaf so INVALIDATE traces show the fan-out.
+    hot_dir = world["tree"].directory("/".join(world["levels"]))
+    target = world["context"](world["levels"][0])
+    resolver.rebind(hot_dir, "f0", target)
+    costs.extend(c for _e, c in resolver.resolve_many(
+        world["client"], world["context"], world["names"], style))
+    cost = ResolutionCost.merge(costs)
+    return {"simulator": world["simulator"],
+            "notes": {"scenario": "hot", "rounds": 3,
+                      "messages": cost.messages,
+                      "cached_steps": cost.cached_steps,
+                      "cache": resolver.cache_stats()}}
+
+
+@scenario("failure")
+def run_failure(seed: int, style: ResolutionStyle, policy: CachePolicy,
+                obs: Instrumentation) -> dict:
+    """A walk that crosses a crashed server: failed spans on display."""
+    world = _deployment(seed, policy, obs)
+    injector = FailureInjector(world["simulator"])
+    resolver = world["resolver"]
+    resolver.resolve(world["client"], world["context"],
+                     world["names"][0], style)
+    injector.crash_machine(world["machines"][-1])
+    _entity, cost = resolver.resolve(world["client"], world["context"],
+                                     world["names"][1], style)
+    return {"simulator": world["simulator"],
+            "notes": {"scenario": "failure",
+                      "crashed": world["machines"][-1].label,
+                      "messages": cost.messages}}
+
+
+def render_tree(obs: Instrumentation, notes: dict, top: int) -> str:
+    lines = [format_hop_tree(obs.tracer.spans), ""]
+    lines.append(f"hottest servers (top {top}):")
+    for label, count in hottest_servers(obs.tracer.spans, top):
+        lines.append(f"  {count:6d} steps  {label}")
+    lines.append(f"hottest directories (top {top}):")
+    for label, count in hottest_directories(obs.tracer.spans, top):
+        lines.append(f"  {count:6d} reads  {label}")
+    snapshot = obs.metrics.snapshot()
+    lines.append("metrics headline:")
+    for key in sorted(snapshot["counters"]):
+        lines.append(f"  {key} = {snapshot['counters'][key]:g}")
+    lines.append(f"scenario notes: {json.dumps(notes, default=repr)}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python tools/inspect_run.py",
+        description="Replay an instrumented scenario and inspect it.")
+    parser.add_argument("--scenario", choices=sorted(SCENARIOS),
+                        default="basic")
+    parser.add_argument("--style", choices=[s.value for s in
+                                            ResolutionStyle],
+                        default="iterative")
+    parser.add_argument("--policy", choices=[p.value for p in CachePolicy],
+                        default="ttl")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--format", dest="fmt", default="tree",
+                        choices=["tree", "chrome-trace", "prometheus",
+                                 "summary"])
+    parser.add_argument("--top", type=int, default=5,
+                        help="rows in the hot-spot rankings")
+    parser.add_argument("--max-spans", type=int, default=None,
+                        help="ring-buffer bound on stored spans")
+    parser.add_argument("--out", default=None,
+                        help="write to this file instead of stdout")
+    args = parser.parse_args(argv)
+
+    obs = Instrumentation(max_spans=args.max_spans)
+    outcome = SCENARIOS[args.scenario](
+        args.seed, ResolutionStyle(args.style), CachePolicy(args.policy),
+        obs)
+    simulator = outcome["simulator"]
+    notes = outcome["notes"]
+
+    if args.fmt == "tree":
+        text = render_tree(obs, notes, args.top)
+    elif args.fmt == "chrome-trace":
+        text = json.dumps(
+            to_chrome_trace(obs.tracer.spans,
+                            label=f"repro · {args.scenario}"),
+            indent=2)
+    elif args.fmt == "prometheus":
+        text = to_prometheus_text(obs.metrics)
+    else:
+        text = json.dumps(
+            run_summary(obs.tracer.spans, obs.metrics,
+                        trace_log=simulator.trace.tail(200),
+                        clock=simulator.clock.now, notes=notes),
+            indent=2)
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.fmt} to {args.out}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        sys.exit(0)
