@@ -1,0 +1,15 @@
+"""Bench a8_availability: name-service availability under a scripted
+fault schedule (primary crash + restart, flaky-link window, full
+partition) — fail-fast baseline vs replicated failover with
+retry/backoff vs degraded weak-coherence stale reads.
+
+Prints the reproduced table and asserts the qualitative claims.
+"""
+
+from repro.bench.experiments_availability import run_a8_availability
+
+from conftest import run_and_report
+
+
+def test_a8_availability(benchmark):
+    run_and_report(benchmark, run_a8_availability, seed=0)

@@ -29,6 +29,7 @@ from repro.bench.experiments_solutions import (
     run_e11_perprocess,
     run_e9_pqid,
 )
+from repro.bench.experiments_availability import run_a8_availability
 from repro.bench.experiments_batch import run_a7_batch_resolution
 from repro.bench.experiments_boundary import run_a3_boundary_mapping
 from repro.bench.experiments_cache import run_a5_cache_coherence
@@ -57,6 +58,7 @@ ALL_EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "A5": run_a5_cache_coherence,
     "A6": run_a6_scope_enlargement,
     "A7": run_a7_batch_resolution,
+    "A8": run_a8_availability,
 }
 
 
@@ -76,6 +78,7 @@ __all__ = [
     "run_a5_cache_coherence",
     "run_a6_scope_enlargement",
     "run_a7_batch_resolution",
+    "run_a8_availability",
     "run_all",
     "run_e10_algol_scope",
     "run_e11_perprocess",

@@ -3,7 +3,10 @@
 Extends the formal model with the operational layer a distributed
 environment adds — directories hosted on machines, resolution traffic
 through the simulator — so the *cost* of each section-5 design is
-measurable alongside its coherence (experiment A4).
+measurable alongside its coherence (experiment A4).  A fault-tolerance
+layer (replicated placement, retry/backoff with circuit breakers,
+failover, policy-gated weak-coherence stale reads) keeps names
+resolving across crashes and partitions (experiment A8).
 """
 
 from repro.nameservice.cache import (
@@ -26,13 +29,20 @@ from repro.nameservice.resolver import (
     ResolutionStyle,
     check_semantics_preserved,
 )
+from repro.nameservice.retry import (
+    BreakerState,
+    CircuitBreaker,
+    RetryPolicy,
+)
 
 __all__ = [
     "AsyncNameClient",
     "BindingCache",
+    "BreakerState",
     "CacheEntry",
     "CachePolicy",
     "CachingDirectoryService",
+    "CircuitBreaker",
     "DirectoryPlacement",
     "DistributedResolver",
     "LookupOutcome",
@@ -41,5 +51,6 @@ __all__ = [
     "PrefixEntry",
     "ResolutionCost",
     "ResolutionStyle",
+    "RetryPolicy",
     "check_semantics_preserved",
 ]

@@ -155,6 +155,9 @@ class PrefixEntry:
     cached_at: float
     expires_at: Optional[float] = None
     epoch: int = 0
+    #: Set once the entry's expiry has been counted (an entry retained
+    #: for stale serving is probed repeatedly but expires only once).
+    expiry_counted: bool = False
 
     def live(self, now: float, epoch: int) -> bool:
         return (self.epoch == epoch
@@ -173,12 +176,21 @@ class PrefixCache:
     the binding cache, and every entry records the bindings its walk
     consumed so a ``rebind`` can invalidate exactly the prefixes that
     pass through the changed binding.
+
+    With ``keep_expired`` (the resolver sets it in ``serve_stale``
+    mode) entries past their TTL or epoch are *retained* instead of
+    dropped — never served as live, but available to
+    :meth:`lookup_stale`, the policy-gated degraded-read path that
+    answers from possibly-stale bindings when no authoritative replica
+    is reachable (the paper's weak coherence made operational).
     """
 
     def __init__(self, machine: Machine,
-                 obs: Optional[Instrumentation] = None):
+                 obs: Optional[Instrumentation] = None,
+                 keep_expired: bool = False):
         self.machine = machine
         self._obs = obs if obs is not None else NO_OBS
+        self.keep_expired = keep_expired
         self._entries: dict[PrefixKey, PrefixEntry] = {}
         # Reverse index: consumed binding → prefix keys through it.
         self._through: dict[DepKey, set[PrefixKey]] = {}
@@ -186,6 +198,7 @@ class PrefixCache:
         self.misses = 0
         self.invalidations = 0
         self.expirations = 0
+        self.stale_hits = 0
         if self._obs.enabled:
             labels = {"machine": machine.label}
             metrics = self._obs.metrics
@@ -216,7 +229,13 @@ class PrefixCache:
             if entry.context is not context:
                 continue  # stale id() alias — never served
             if not entry.live(now, epoch):
-                self._drop(key, entry)
+                if self.keep_expired:
+                    # Retained for lookup_stale; count the expiry once.
+                    if entry.expiry_counted:
+                        continue
+                    entry.expiry_counted = True
+                else:
+                    self._drop(key, entry)
                 self.expirations += 1
                 if self._obs.enabled:
                     self._m_expirations.inc()
@@ -233,6 +252,28 @@ class PrefixCache:
         if self._obs.enabled:
             self._m_misses.inc()
         return None
+
+    def lookup_stale(self, context: Context, rooted: bool,
+                     consumed: tuple[str, ...]) -> Optional[PrefixEntry]:
+        """The memoized prefix for *consumed*, **ignoring** TTL expiry
+        and placement epoch — the degraded-read path.
+
+        Only meaningful in ``keep_expired`` mode; the caller must tag
+        any answer derived from the result as weakly coherent (the
+        entry may predate rebinds or re-placements).  Returns None if
+        the prefix was never cached (or was invalidated — an
+        INVALIDATE drop is an *observed* write, not mere staleness, so
+        it is never resurrected).
+        """
+        entry = self._entries.get((id(context), rooted, consumed))
+        if entry is None or entry.context is not context:
+            return None
+        self.stale_hits += 1
+        if self._obs.enabled:
+            self._obs.metrics.counter(
+                "cache_prefix_stale_served_total",
+                {"machine": self.machine.label}).inc()
+        return entry
 
     def fill(self, context: Context, rooted: bool,
              comps_prefix: tuple[str, ...], directory: ObjectEntity,
@@ -284,7 +325,8 @@ class PrefixCache:
     def stats(self) -> dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
                 "invalidations": self.invalidations,
-                "expirations": self.expirations}
+                "expirations": self.expirations,
+                "stale_hits": self.stale_hits}
 
 
 class CachingDirectoryService:

@@ -1,4 +1,4 @@
-"""Directory placement: which machine serves which context object.
+"""Directory placement: which machines serve which context object.
 
 Section 2's model is location-free — a context object is just an
 object whose state is a context.  In a *distributed computing
@@ -10,8 +10,15 @@ remark that the shared-naming-graph approach "leads to more
 loosely-coupled distributed systems than the single naming graph
 approach".)
 
-:class:`DirectoryPlacement` records the hosting machine of every
-directory, with helpers to place whole subtrees at once.
+:class:`DirectoryPlacement` records the hosting machines of every
+directory.  A directory may be placed on a single machine or on a
+**replica set** — a primary plus k secondaries — so resolution can
+fail over to a live replica when the primary is down (the paper's
+weak-coherence reality: names keep resolving while hosts fail).
+Replica-set membership changes bump the placement *epoch*; writes
+that could not reach a replica mark it **stale** until anti-entropy
+on restart clears the mark (see :meth:`~repro.nameservice.resolver.
+DistributedResolver.handle_restart`).
 """
 
 from __future__ import annotations
@@ -31,28 +38,83 @@ class DirectoryPlacement:
     """Maps directories (context objects) to hosting machines."""
 
     def __init__(self) -> None:
-        self._host_of: dict[int, Machine] = {}
+        # uid → ordered replica machines, primary first.
+        self._replicas_of: dict[int, list[Machine]] = {}
+        # (uid, id(machine)) pairs that missed a propagated write.
+        self._stale: set[tuple[int, int]] = set()
         self._epoch = 0
 
     @property
     def epoch(self) -> int:
-        """A counter bumped on every placement change.
+        """A counter bumped on every placement/membership change.
 
         Cached resolution state (e.g. prefix-cache entries, which
         memoize *which server* hosts a directory) records the epoch it
         was derived under and treats entries from an older epoch as
         dead — re-placing a directory can never serve a lookup from
-        the wrong server.
+        the wrong server.  Stale marks do *not* bump the epoch (they
+        change a replica's freshness, not the membership).
         """
         return self._epoch
 
-    def place(self, directory: Entity, machine: Machine) -> None:
-        """Host *directory* on *machine* (replacing any previous
-        placement)."""
+    @staticmethod
+    def _require_directory(directory: Entity) -> None:
         if not directory.is_context_object():
             raise SchemeError(
                 f"only directories are placed on servers: {directory!r}")
-        self._host_of[directory.uid] = machine
+
+    def place(self, directory: Entity, machine: Machine) -> None:
+        """Host *directory* on *machine* alone (replacing any previous
+        placement, including a replica set)."""
+        self._require_directory(directory)
+        self._replicas_of[directory.uid] = [machine]
+        self._epoch += 1
+
+    def place_replicated(self, directory: Entity, primary: Machine,
+                         *secondaries: Machine) -> None:
+        """Host *directory* on a replica set: *primary* + secondaries.
+
+        The primary is the write target (:meth:`~repro.nameservice.
+        resolver.DistributedResolver.rebind` propagates from it);
+        resolution tries replicas in order and fails over past dead or
+        stale ones.  Replaces any previous placement and bumps the
+        epoch.
+        """
+        self._require_directory(directory)
+        replicas = [primary]
+        for machine in secondaries:
+            if machine not in replicas:
+                replicas.append(machine)
+        self._replicas_of[directory.uid] = replicas
+        self._epoch += 1
+
+    def add_replica(self, directory: Entity, machine: Machine) -> None:
+        """Add a secondary replica (no-op if already a member)."""
+        self._require_directory(directory)
+        replicas = self._replicas_of.get(directory.uid)
+        if replicas is None:
+            raise SchemeError(
+                f"directory {directory.label!r} is not placed")
+        if machine in replicas:
+            return
+        replicas.append(machine)
+        self._epoch += 1
+
+    def remove_replica(self, directory: Entity, machine: Machine) -> None:
+        """Remove a replica from the set (membership change).
+
+        Removing the primary promotes the next secondary; removing the
+        last replica un-places the directory.  Bumps the epoch.
+        """
+        self._require_directory(directory)
+        replicas = self._replicas_of.get(directory.uid)
+        if replicas is None or machine not in replicas:
+            raise SchemeError(
+                f"{machine.label} does not host {directory.label!r}")
+        replicas.remove(machine)
+        self._stale.discard((directory.uid, id(machine)))
+        if not replicas:
+            del self._replicas_of[directory.uid]
         self._epoch += 1
 
     def place_subtree(self, root: ObjectEntity, machine: Machine,
@@ -73,10 +135,10 @@ class DirectoryPlacement:
             if node.uid in seen:
                 continue
             seen.add(node.uid)
-            if node.uid in self._host_of and \
-                    self._host_of[node.uid] is not machine:
+            existing = self._replicas_of.get(node.uid)
+            if existing is not None and existing[0] is not machine:
                 continue
-            self._host_of[node.uid] = machine
+            self._replicas_of[node.uid] = [machine]
             self._epoch += 1
             placed += 1
             context: Context = node.state
@@ -89,11 +151,16 @@ class DirectoryPlacement:
         return placed
 
     def host_of(self, directory: Entity) -> Optional[Machine]:
-        """The hosting machine, or None if unplaced."""
-        return self._host_of.get(directory.uid)
+        """The primary hosting machine, or None if unplaced."""
+        replicas = self._replicas_of.get(directory.uid)
+        return replicas[0] if replicas else None
+
+    def replicas_of(self, directory: Entity) -> tuple[Machine, ...]:
+        """All hosting machines, primary first (empty if unplaced)."""
+        return tuple(self._replicas_of.get(directory.uid, ()))
 
     def require_host(self, directory: Entity) -> Machine:
-        host = self._host_of.get(directory.uid)
+        host = self.host_of(directory)
         if host is None:
             raise SchemeError(
                 f"directory {directory.label!r} has no hosting machine")
@@ -101,7 +168,49 @@ class DirectoryPlacement:
 
     def placed_count(self) -> int:
         """Number of directories with a placement."""
-        return len(self._host_of)
+        return len(self._replicas_of)
+
+    # -- stale marks (anti-entropy bookkeeping) ------------------------------
+
+    def mark_stale(self, directory: Entity, machine: Machine) -> None:
+        """Record that *machine*'s copy of *directory* missed a write.
+
+        A stale replica is skipped by failover resolution (it could
+        answer with pre-write state) until anti-entropy on restart
+        clears the mark.  Raises if *machine* is not a replica.
+        """
+        if machine not in self._replicas_of.get(directory.uid, []):
+            raise SchemeError(
+                f"{machine.label} does not host {directory.label!r}")
+        self._stale.add((directory.uid, id(machine)))
+
+    def is_stale(self, directory: Entity, machine: Machine) -> bool:
+        """True if *machine*'s copy of *directory* missed a write."""
+        return (directory.uid, id(machine)) in self._stale
+
+    def stale_uids_of(self, machine: Machine) -> list[int]:
+        """Uids of directories whose copy on *machine* is stale."""
+        mid = id(machine)
+        return sorted(uid for uid, m in self._stale if m == mid)
+
+    def clear_stale(self, directory_uid: int, machine: Machine) -> bool:
+        """Drop one stale mark (anti-entropy synced that directory)."""
+        key = (directory_uid, id(machine))
+        if key in self._stale:
+            self._stale.discard(key)
+            return True
+        return False
+
+    def primary_of_uid(self, directory_uid: int) -> Optional[Machine]:
+        """The primary machine for a directory uid (anti-entropy's
+        sync source), or None if the directory is no longer placed."""
+        replicas = self._replicas_of.get(directory_uid)
+        return replicas[0] if replicas else None
+
+    def stale_count(self) -> int:
+        """Total stale (directory, replica) marks outstanding."""
+        return len(self._stale)
 
     def __repr__(self) -> str:
-        return f"<DirectoryPlacement {len(self._host_of)} directories>"
+        return (f"<DirectoryPlacement {len(self._replicas_of)} directories, "
+                f"{len(self._stale)} stale marks>")

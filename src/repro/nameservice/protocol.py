@@ -15,6 +15,18 @@ locally.  Under a crashed server or a partition, the lookup fails
 cleanly after its retries instead of returning a wrong entity —
 incoherence is never silently introduced by the transport.
 
+Retries follow the same :class:`~repro.nameservice.retry.RetryPolicy`
+discipline as the synchronous walk: pass one and timed-out steps are
+re-sent after exponential backoff with seeded jitter instead of
+immediately (``retry_policy=None`` keeps the legacy immediate
+re-send).  Replies that arrive after their step already timed out are
+counted (``async_late_replies_total`` / :attr:`AsyncNameClient.
+late_replies`) rather than silently dropped — a reply racing its own
+retry is normal under latency spikes, and the counter makes the race
+visible.  After a machine restart, :meth:`NameLookupServer.respawn`
+re-registers the dead server process with its handler (wire it as a
+:meth:`~repro.sim.failures.FailureInjector.on_restart` hook).
+
 On an instrumented simulator (`repro.obs`), each lookup is one
 ``lookup`` span; its request and reply messages carry the span's
 trace context, so kernel deliveries/drops land in the right trace
@@ -34,6 +46,7 @@ from repro.model.context import Context
 from repro.model.entities import Entity, ObjectEntity, UNDEFINED_ENTITY
 from repro.model.names import ROOT_NAME, CompoundName, NameLike
 from repro.nameservice.placement import DirectoryPlacement
+from repro.nameservice.retry import RetryPolicy
 from repro.sim.events import ScheduledEvent
 from repro.sim.kernel import Simulator
 from repro.sim.messages import Message
@@ -108,6 +121,30 @@ class NameLookupServer:
         reply.trace_id = message.trace_id
         reply.parent_span_id = message.parent_span_id
 
+    def respawn(self) -> bool:
+        """Re-register the server after its machine restarts.
+
+        A machine crash kills the server process; a bare
+        ``restart_machine`` used to leave the name service permanently
+        dead on that host.  Called after the machine is back up (wire
+        it as ``injector.on_restart(lambda _m: server.respawn(),
+        machine=machine)``), this spawns a fresh process under the
+        same label and re-installs the lookup handler, so in-flight
+        clients fail over to the revived server on their next retry.
+        Idempotent: a living server (or a still-down machine) is left
+        alone.  Returns True if a fresh process was spawned.
+        """
+        if self.process.alive or not self.machine.alive:
+            return False
+        self.process = self.simulator.spawn(self.machine,
+                                            label=self.process.label)
+        self.process.on_message(self._handle)
+        if self._obs.enabled:
+            self._obs.metrics.counter(
+                "lookup_server_respawns_total",
+                {"server": self.process.label}).inc()
+        return True
+
 
 @dataclass
 class _Pending:
@@ -136,6 +173,19 @@ class AsyncNameClient:
         process: The client's own simulator process (handler installed).
         timeout: Virtual time to wait for each step's reply.
         max_retries: Re-sends per step before failing the lookup.
+        retry_policy: When set, each re-send waits out an exponential
+            backoff with seeded jitter (drawn from the kernel RNG, so
+            schedules are deterministic per seed) instead of going out
+            the instant the timeout fires.  ``None`` keeps the legacy
+            immediate re-send.  :attr:`RetryPolicy.max_attempts` is
+            ignored here — *max_retries* stays the attempt bound.
+
+    Attributes:
+        late_replies: Replies that arrived for an already-settled or
+            already-retried step (mirrored in the
+            ``async_late_replies_total`` metric).  They are discarded
+            — the step's outcome is decided by timeout/retry — but
+            counted, never silently dropped.
     """
 
     def __init__(self, simulator: Simulator,
@@ -143,7 +193,8 @@ class AsyncNameClient:
                  servers: dict[int, NameLookupServer],
                  process: SimProcess,
                  timeout: float = 5.0, max_retries: int = 2,
-                 latency: float = 1.0):
+                 latency: float = 1.0,
+                 retry_policy: Optional[RetryPolicy] = None):
         self.simulator = simulator
         self.placement = placement
         self.servers = servers
@@ -151,6 +202,8 @@ class AsyncNameClient:
         self.timeout = timeout
         self.max_retries = max_retries
         self.latency = latency
+        self.retry_policy = retry_policy
+        self.late_replies = 0
         self._pending: dict[int, _Pending] = {}
         self._ids = itertools.count(1)
         self._obs = simulator.obs
@@ -300,9 +353,16 @@ class AsyncNameClient:
         reply = payload["reply"]
         pending = self._pending.get(reply["request_id"])
         if pending is None:
-            return  # late reply after timeout-failure — ignored
+            # Late reply: the lookup already settled (typically a
+            # timeout-failure) before the answer made it back.
+            self._count_late_reply("settled")
+            return
         if reply.get("seq") != pending.attempts:
-            return  # stale duplicate from a retried attempt — ignored
+            # Late reply: a retry already superseded this attempt, so
+            # this is the slow original (or a duplicate) finally
+            # arriving.
+            self._count_late_reply("superseded")
+            return
         if pending.timer is not None:
             pending.timer.cancel()
         entity = reply["entity"]
@@ -310,6 +370,12 @@ class AsyncNameClient:
                       entity if entity is not None else UNDEFINED_ENTITY)
         if pending.request_id in self._pending:
             self._advance(pending)
+
+    def _count_late_reply(self, kind: str) -> None:
+        self.late_replies += 1
+        if self._obs.enabled:
+            self._obs.metrics.counter("async_late_replies_total",
+                                      {"kind": kind}).inc()
 
     def _on_timeout(self, request_id: int) -> None:
         pending = self._pending.get(request_id)
@@ -321,6 +387,26 @@ class AsyncNameClient:
         if pending.attempts > self.max_retries:
             self._fail(pending, "timeout")
             return
+        if self.retry_policy is None:
+            self._resend(pending)
+            return
+        # Backoff before the re-send; the guard lets a late reply (or
+        # any other settlement) that lands during the wait win the
+        # race — a stale resend must not fire for a superseded seq.
+        seq = pending.attempts
+        delay = self.retry_policy.backoff(pending.attempts,
+                                          self.simulator.rng)
+
+        def resend() -> None:
+            current = self._pending.get(request_id)
+            if current is None or current.attempts != seq:
+                return
+            self._resend(current)
+
+        self.simulator.schedule(
+            delay, resend, note=f"lookup-backoff req#{request_id}")
+
+    def _resend(self, pending: _Pending) -> None:
         host = self.placement.host_of(pending.directory)
         self._send_request(pending, pending.directory,  # type: ignore
                            pending.component, host)     # type: ignore

@@ -24,22 +24,36 @@ DNS/AFS-style, measured by ablations A5 and A7):
   sorts names by shared prefix, dedupes common steps within the batch,
   and coalesces queries to the same server into one round trip.
 
+A third mechanism makes resolution *survive faults* (ablation A8):
+with a :class:`~repro.nameservice.retry.RetryPolicy` the walk retries
+dropped hops with exponential backoff and seeded jitter over virtual
+time, keeps a per-server :class:`~repro.nameservice.retry.
+CircuitBreaker`, and **fails over** to the next live replica of a
+directory (:meth:`~repro.nameservice.placement.DirectoryPlacement.
+place_replicated`) instead of failing the resolution.  When *no*
+authoritative replica is reachable, the policy-gated ``serve_stale``
+mode answers from the client's possibly-stale prefix cache and tags
+the result **weakly coherent** (``cost.weak``) — degraded answers are
+never silently passed off as coherent.
+
 The resolver is semantics-preserving: with caching off its result is
 always identical to :func:`repro.model.resolution.resolve` on the same
 context — the distribution changes *cost*, never *meaning*.  With
 caching on, coherence is weakened only in the bounded way the cache
 policy allows (TTL staleness windows; nothing after an INVALIDATE
-delivery).  (Property-tested.)
+delivery; explicitly-tagged weak answers in ``serve_stale`` mode).
+(Property-tested.)
 
 When the simulator carries an :class:`~repro.obs.Instrumentation`,
 every resolution becomes a typed span tree (`repro.obs`): a
 ``resolution`` (or ``batch``) root, one ``hop`` span per message leg
 carrying trace context into the kernel, ``step`` instants per
-component consumed, ``cache`` instants per prefix probe, and
-``rebind`` spans whose invalidation fan-out parents the INVALIDATE
-deliveries.  Span message/step counts reconcile exactly with the
-returned :class:`ResolutionCost` (tested), so the trace *is* the cost
-accounting, hop by hop.
+component consumed, ``cache`` instants per prefix probe, ``retry`` /
+``failover`` / ``circuit`` / ``stale`` instants for the
+fault-tolerance layer, and ``rebind`` spans whose replication and
+invalidation fan-outs parent their deliveries.  Span message/step
+counts reconcile exactly with the returned :class:`ResolutionCost`
+(tested), so the trace *is* the cost accounting, hop by hop.
 """
 
 from __future__ import annotations
@@ -58,6 +72,7 @@ from repro.nameservice.cache import (
     context_dep,
 )
 from repro.nameservice.placement import DirectoryPlacement
+from repro.nameservice.retry import CircuitBreaker, RetryPolicy
 from repro.sim.kernel import Simulator
 from repro.sim.network import Machine
 from repro.sim.process import SimProcess
@@ -85,8 +100,27 @@ class ResolutionCost:
     remote_steps: int = 0     #: steps that needed another machine
     cached_steps: int = 0     #: steps skipped via a cached/deduped prefix
     messages: int = 0         #: simulator messages exchanged
-    latency: float = 0.0      #: virtual time spent
+    latency: float = 0.0      #: virtual time spent (incl. backoff waits)
+    failed_hops: int = 0      #: unrecovered lost legs / unreachable dirs
+    retries: int = 0          #: hop re-sends under the retry policy
+    failovers: int = 0        #: replicas abandoned for the next one
+    stale_steps: int = 0      #: directory steps served from stale cache
+    weak: bool = False        #: True if any step was answered degraded
     servers_touched: set[str] = field(default_factory=set)
+
+    @property
+    def failed(self) -> bool:
+        """True if the walk lost a leg it could not recover — the
+        answer is not authoritative (fail-fast resolutions under a
+        crash/partition land here; failover resolutions only when
+        every replica was unreachable and no stale serve applied)."""
+        return self.failed_hops > 0
+
+    @property
+    def coherence(self) -> str:
+        """``"weak"`` for degraded (stale-served) answers, else
+        ``"coherent"`` — the paper's §3 distinction, operational."""
+        return "weak" if self.weak else "coherent"
 
     def __add__(self, other: "ResolutionCost") -> "ResolutionCost":
         if not isinstance(other, ResolutionCost):
@@ -98,6 +132,11 @@ class ResolutionCost:
             cached_steps=self.cached_steps + other.cached_steps,
             messages=self.messages + other.messages,
             latency=self.latency + other.latency,
+            failed_hops=self.failed_hops + other.failed_hops,
+            retries=self.retries + other.retries,
+            failovers=self.failovers + other.failovers,
+            stale_steps=self.stale_steps + other.stale_steps,
+            weak=self.weak or other.weak,
             servers_touched=self.servers_touched | other.servers_touched)
 
     def __radd__(self, other) -> "ResolutionCost":
@@ -116,13 +155,25 @@ class ResolutionCost:
             total.cached_steps += cost.cached_steps
             total.messages += cost.messages
             total.latency += cost.latency
+            total.failed_hops += cost.failed_hops
+            total.retries += cost.retries
+            total.failovers += cost.failovers
+            total.stale_steps += cost.stale_steps
+            total.weak = total.weak or cost.weak
             total.servers_touched |= cost.servers_touched
         return total
 
     def __str__(self) -> str:
+        extra = ""
+        if self.failed_hops or self.retries or self.failovers:
+            extra = (f" failed={self.failed_hops} retries={self.retries} "
+                     f"failovers={self.failovers}")
+        if self.weak:
+            extra += " WEAK"
         return (f"steps={self.steps} remote={self.remote_steps} "
                 f"cached={self.cached_steps} "
-                f"messages={self.messages} latency={self.latency:g}")
+                f"messages={self.messages} latency={self.latency:g}"
+                f"{extra}")
 
 
 class DistributedResolver:
@@ -130,19 +181,36 @@ class DistributedResolver:
 
     Args:
         simulator: The kernel carrying the resolution traffic.
-        placement: Directory → machine placement.
+        placement: Directory → machine placement (possibly replicated).
         latency: One-way message latency for server hops.
         cache_policy: Coherence policy for the per-machine prefix
             caches (``NONE`` disables prefix caching entirely).
         cache_ttl: Expiry window for ``TTL`` prefix entries, in
             virtual time.
+        retry_policy: When set, dropped hops are retried with backoff
+            and seeded jitter, a per-server circuit breaker skips
+            servers that keep dropping, and the walk fails over across
+            a directory's replica set.  ``None`` (the default) keeps
+            the seed fail-fast behaviour: a lost leg fails the walk.
+        serve_stale: Policy gate for degraded reads — when no
+            authoritative replica of a directory is reachable, answer
+            the step from the client's possibly-stale prefix cache and
+            tag the resolution weakly coherent.  Requires a cache
+            policy other than ``NONE`` and a retry policy.
+        breaker_threshold / breaker_cooldown: Circuit-breaker tuning
+            (consecutive drops to trip; virtual-time cooldown before
+            half-opening).
     """
 
     def __init__(self, simulator: Simulator,
                  placement: DirectoryPlacement,
                  latency: float = 1.0,
                  cache_policy: CachePolicy = CachePolicy.NONE,
-                 cache_ttl: float = 10.0):
+                 cache_ttl: float = 10.0,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 serve_stale: bool = False,
+                 breaker_threshold: int = 3,
+                 breaker_cooldown: float = 30.0):
         self._sim = simulator
         self._placement = placement
         self._latency = latency
@@ -150,6 +218,10 @@ class DistributedResolver:
         self._servers: dict[int, SimProcess] = {}
         self.cache_policy = cache_policy
         self.cache_ttl = cache_ttl
+        self.retry_policy = retry_policy
+        self.serve_stale = serve_stale
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
         if self._obs.enabled:
             metrics = self._obs.metrics
             self._m_messages = metrics.counter("resolver_messages_total")
@@ -162,6 +234,8 @@ class DistributedResolver:
                 buckets=(0.0, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0))
         self._prefix_caches: dict[int, PrefixCache] = {}
         self._machines_by_id: dict[int, Machine] = {}
+        # Per-server-process circuit breakers, keyed by process uid.
+        self._breakers: dict[int, CircuitBreaker] = {}
         # INVALIDATE bookkeeping: consumed binding → caching machines.
         self._holders: dict[tuple, set[int]] = {}
         # Per-server load, keyed by process uid — labels are not
@@ -171,16 +245,39 @@ class DistributedResolver:
         self._server_labels: dict[int, str] = {}
         self.invalidation_messages = 0
         self.invalidation_latency = 0.0
+        self.replication_messages = 0
+        self.anti_entropy_messages = 0
 
     def server_for(self, machine: Machine) -> SimProcess:
-        """The (lazily spawned) directory-server process of a machine."""
+        """The (lazily spawned) directory-server process of a machine.
+
+        A server whose process died with a machine crash is respawned
+        here once the machine is back up — the lazy half of the
+        restart story (:meth:`handle_restart` is the eager half, wired
+        as a :meth:`~repro.sim.failures.FailureInjector.on_restart`
+        hook, which also runs anti-entropy).
+        """
         server = self._servers.get(id(machine))
-        if server is None:
+        if server is None or (not server.alive and machine.alive):
             server = self._sim.spawn(machine,
                                      label=f"dirserver@{machine.label}")
             self._servers[id(machine)] = server
             self._server_labels[server.uid] = server.label
         return server
+
+    def _breaker_for(self, server: SimProcess) -> CircuitBreaker:
+        breaker = self._breakers.get(server.uid)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                failure_threshold=self.breaker_threshold,
+                cooldown=self.breaker_cooldown,
+                label=server.label, obs=self._obs)
+            self._breakers[server.uid] = breaker
+        return breaker
+
+    def breaker_of(self, machine: Machine) -> CircuitBreaker:
+        """The circuit breaker guarding a machine's current server."""
+        return self._breaker_for(self.server_for(machine))
 
     # -- load reporting ----------------------------------------------------
 
@@ -207,22 +304,30 @@ class DistributedResolver:
         """Clear the per-server load counters."""
         self._load.clear()
 
+    def _charge(self, server: SimProcess) -> None:
+        """Account one directory step served by *server*."""
+        self._load[server.uid] = self._load.get(server.uid, 0) + 1
+        if self._obs.enabled:
+            self._obs.metrics.counter("resolver_server_load_total",
+                                      {"server": server.label}).inc()
+
     # -- prefix caching ----------------------------------------------------
 
     def prefix_cache_of(self, machine: Machine) -> PrefixCache:
         """The (lazily created) prefix cache of a client machine."""
         cache = self._prefix_caches.get(id(machine))
         if cache is None:
-            cache = PrefixCache(machine, obs=self._obs)
+            cache = PrefixCache(machine, obs=self._obs,
+                                keep_expired=self.serve_stale)
             self._prefix_caches[id(machine)] = cache
             self._machines_by_id[id(machine)] = machine
         return cache
 
     def cache_stats(self) -> dict[str, int]:
-        """Aggregate hit/miss/invalidation/expiry counts over every
-        machine's prefix cache."""
+        """Aggregate hit/miss/invalidation/expiry/stale counts over
+        every machine's prefix cache."""
         totals = {"hits": 0, "misses": 0, "invalidations": 0,
-                  "expirations": 0}
+                  "expirations": 0, "stale_hits": 0}
         for cache in self._prefix_caches.values():
             for key, value in cache.stats().items():
                 totals[key] += value
@@ -231,17 +336,26 @@ class DistributedResolver:
     # -- messaging helpers -------------------------------------------------
 
     def _hop(self, sender: SimProcess, receiver: SimProcess,
-             cost: ResolutionCost, what: str) -> None:
+             cost: ResolutionCost, what: str,
+             count_failure: bool = True) -> bool:
         """One message leg, pumped through the kernel only as far as
-        its own delivery (a hop no longer drains unrelated events)."""
+        its own delivery (a hop no longer drains unrelated events).
+
+        Returns True if the leg was delivered.  With *count_failure*
+        a lost leg is terminal: it bumps ``cost.failed_hops`` and
+        fails the enclosing span.  The failover path passes False and
+        does its own recovery accounting (retries / failovers).
+        """
         if sender is receiver:
-            return
+            return True
         obs = self._obs
         before = self._sim.clock.now
         if not sender.alive:
             # A downed server answers/refers nothing: no message ever
             # leaves it, so the walk records a failed zero-message hop
             # instead of raising out of the resolution.
+            if count_failure:
+                cost.failed_hops += 1
             if obs.enabled:
                 span = obs.tracer.begin(
                     "hop", what, before,
@@ -249,10 +363,10 @@ class DistributedResolver:
                            "messages": 0})
                 span.fail(f"sender {sender.label} down")
                 obs.tracer.end(span, before)
-                if obs.tracer.current is not None:
+                if count_failure and obs.tracer.current is not None:
                     obs.tracer.current.fail(
                         f"hop {what} lost: sender {sender.label} down")
-            return
+            return False
         span = None
         if obs.enabled:
             span = obs.tracer.begin(
@@ -267,16 +381,20 @@ class DistributedResolver:
         self._sim.run_until_settled(message)
         cost.messages += 1
         cost.latency += self._sim.clock.now - before
+        if message.dropped and count_failure:
+            cost.failed_hops += 1
         if span is not None:
             if message.dropped:
                 span.fail(message.drop_reason)
             obs.tracer.end(span, self._sim.clock.now)
-            if message.dropped and obs.tracer.current is not None:
+            if message.dropped and count_failure \
+                    and obs.tracer.current is not None:
                 # The walk lost a leg — surface it on the enclosing
                 # resolution/batch span too.
                 obs.tracer.current.fail(
                     f"hop {what} dropped: {message.drop_reason}")
             self._m_messages.inc()
+        return not message.dropped
 
     def _walk_to(self, client_server: SimProcess, at: SimProcess,
                  target: SimProcess, cost: ResolutionCost,
@@ -292,11 +410,44 @@ class DistributedResolver:
             self._hop(at, target, cost, "forward")
         return target
 
+    def _hop_retried(self, sender: SimProcess, receiver: SimProcess,
+                     cost: ResolutionCost, what: str) -> bool:
+        """A hop that honours the retry policy (no failover — the
+        endpoints are fixed, e.g. the answer leg home).  Without a
+        policy it is exactly :meth:`_hop`."""
+        policy = self.retry_policy
+        if policy is None:
+            return self._hop(sender, receiver, cost, what)
+        obs = self._obs
+        for attempt in range(1, policy.max_attempts + 1):
+            if self._hop(sender, receiver, cost, what,
+                         count_failure=False):
+                return True
+            if attempt >= policy.max_attempts:
+                break
+            cost.retries += 1
+            delay = policy.backoff(attempt, self._sim.rng)
+            if obs.enabled:
+                obs.metrics.counter("resolver_retries_total").inc()
+                obs.tracer.event(
+                    "retry", f"{what}→{receiver.label}",
+                    self._sim.clock.now,
+                    attrs={"attempt": attempt, "backoff": delay,
+                           "server": receiver.label})
+            before = self._sim.clock.now
+            self._sim.run(until=before + delay)
+            cost.latency += self._sim.clock.now - before
+        cost.failed_hops += 1
+        if obs.enabled and obs.tracer.current is not None:
+            obs.tracer.current.fail(f"hop {what} lost after "
+                                    f"{policy.max_attempts} attempts")
+        return False
+
     def _return_home(self, client_server: SimProcess, at: SimProcess,
                      cost: ResolutionCost,
                      style: ResolutionStyle) -> None:
         if at is not client_server:
-            self._hop(at, client_server, cost, "answer")
+            self._hop_retried(at, client_server, cost, "answer")
 
     @staticmethod
     def _count_locality(client_server: SimProcess, at: SimProcess,
@@ -313,11 +464,177 @@ class DistributedResolver:
             # are wherever the walk already is.
             return at
         server = self.server_for(host)
-        self._load[server.uid] = self._load.get(server.uid, 0) + 1
-        if self._obs.enabled:
-            self._obs.metrics.counter("resolver_server_load_total",
-                                      {"server": server.label}).inc()
+        self._charge(server)
         return server
+
+    # -- failover ----------------------------------------------------------
+
+    def _enter_directory(self, client_server: SimProcess,
+                         directory: ObjectEntity, at: SimProcess,
+                         cost: ResolutionCost,
+                         style: ResolutionStyle) -> Optional[SimProcess]:
+        """Move the walk into *directory*'s serving machine.
+
+        Without a retry policy this is the seed fail-fast path: one
+        attempt against the primary, lost legs fail the walk.  With
+        one, candidates are tried in replica order (preferring the
+        server the walk already parks at), each with bounded backoff
+        retries and a circuit breaker; stale replicas are skipped.
+        Returns the server now serving the walk, or None when *every*
+        replica was unreachable (the caller degrades or fails).
+        """
+        if self.retry_policy is None:
+            return self._walk_to(client_server, at,
+                                 self._step_into(directory, at), cost,
+                                 style)
+        return self._enter_with_failover(client_server, directory, at,
+                                         cost, style)
+
+    def _enter_with_failover(self, client_server: SimProcess,
+                             directory: ObjectEntity, at: SimProcess,
+                             cost: ResolutionCost,
+                             style: ResolutionStyle,
+                             ) -> Optional[SimProcess]:
+        replicas = list(self._placement.replicas_of(directory))
+        if not replicas:
+            return at  # unplaced — local state, nothing to reach
+        # Prefer the replica the walk is already parked at: entering
+        # it is free (batch coalescing depends on this).
+        if at.machine in replicas:
+            replicas.remove(at.machine)
+            replicas.insert(0, at.machine)
+        policy = self.retry_policy
+        obs = self._obs
+        iterative = style is ResolutionStyle.ITERATIVE
+        origin = at if at.alive else client_server
+        referred = False
+        # Candidates passed over (stale-skipped, breaker-skipped, or
+        # attempt-exhausted) before one answered: serving from any
+        # later replica is a failover.
+        passed_over = 0
+        for machine in replicas:
+            if self._placement.is_stale(directory, machine):
+                # A replica that missed a write must not serve reads
+                # until anti-entropy catches it up.
+                passed_over += 1
+                if obs.enabled:
+                    obs.metrics.counter(
+                        "resolver_stale_replica_skips_total").inc()
+                    obs.tracer.event(
+                        "failover", "replica.stale-skip",
+                        self._sim.clock.now,
+                        attrs={"directory": directory.label,
+                               "replica": machine.label})
+                continue
+            if not machine.alive and id(machine) not in self._servers:
+                # The machine is down and no server process ever ran
+                # there — there is nothing to address a message to, so
+                # the candidate is unreachable without spending a hop.
+                passed_over += 1
+                if obs.enabled:
+                    obs.tracer.event(
+                        "failover", "replica.down-skip",
+                        self._sim.clock.now,
+                        attrs={"directory": directory.label,
+                               "replica": machine.label})
+                continue
+            server = self.server_for(machine)
+            if server is at:
+                self._charge(server)
+                return at
+            now = self._sim.clock.now
+            breaker = self._breaker_for(server)
+            if not breaker.allow(now):
+                passed_over += 1
+                if obs.enabled:
+                    obs.metrics.counter(
+                        "resolver_circuit_open_skips_total").inc()
+                    obs.tracer.event(
+                        "circuit", "skip", now,
+                        attrs={"server": server.label,
+                               "directory": directory.label})
+                continue
+            cost.servers_touched.add(server.label)
+            if iterative and not referred and at is not client_server:
+                # One referral leaves the current server, however many
+                # candidate queries follow.
+                self._hop_retried(at, client_server, cost, "referral")
+                referred = True
+            sender = client_server if iterative else origin
+            what = "query" if iterative else "forward"
+            for attempt in range(1, policy.max_attempts + 1):
+                if self._hop(sender, server, cost, what,
+                             count_failure=False):
+                    breaker.record_success(self._sim.clock.now)
+                    self._charge(server)
+                    if passed_over:
+                        cost.failovers += 1
+                        if obs.enabled:
+                            obs.metrics.counter(
+                                "resolver_failovers_total").inc()
+                            obs.tracer.event(
+                                "failover", directory.label,
+                                self._sim.clock.now,
+                                attrs={"directory": directory.label,
+                                       "to": server.label,
+                                       "passed_over": passed_over})
+                    return server
+                breaker.record_failure(self._sim.clock.now)
+                if attempt >= policy.max_attempts or \
+                        not breaker.allow(self._sim.clock.now):
+                    break
+                cost.retries += 1
+                delay = policy.backoff(attempt, self._sim.rng)
+                if obs.enabled:
+                    obs.metrics.counter("resolver_retries_total").inc()
+                    obs.tracer.event(
+                        "retry", f"{what}→{server.label}",
+                        self._sim.clock.now,
+                        attrs={"attempt": attempt, "backoff": delay,
+                               "server": server.label})
+                before = self._sim.clock.now
+                self._sim.run(until=before + delay)
+                cost.latency += self._sim.clock.now - before
+            passed_over += 1
+        return None
+
+    def _degraded_step(self, client_server: SimProcess, context: Context,
+                       rooted: bool, consumed: tuple[str, ...],
+                       directory: ObjectEntity,
+                       cost: ResolutionCost) -> SimProcess:
+        """Every replica of *directory* was unreachable: serve the
+        step from the client's stale prefix cache (tagging the answer
+        weakly coherent) if the ``serve_stale`` gate allows, else mark
+        the walk failed.  Either way the walk continues at the client.
+        """
+        obs = self._obs
+        now = self._sim.clock.now
+        if self.serve_stale and self.cache_policy is not CachePolicy.NONE:
+            cache = self.prefix_cache_of(client_server.machine)
+            entry = cache.lookup_stale(context, rooted, consumed)
+            if entry is not None and entry.directory is directory:
+                cost.stale_steps += 1
+                cost.weak = True
+                if obs.enabled:
+                    obs.metrics.counter(
+                        "resolver_stale_served_total").inc()
+                    obs.tracer.event(
+                        "stale", "serve.degraded", now,
+                        attrs={"directory": directory.label,
+                               "prefix": "/".join(consumed),
+                               "machine": client_server.machine.label})
+                return client_server
+        cost.failed_hops += 1
+        if obs.enabled:
+            obs.metrics.counter("resolver_unreachable_total").inc()
+            obs.tracer.event(
+                "failover", "exhausted", now,
+                attrs={"directory": directory.label,
+                       "prefix": "/".join(consumed)})
+            if obs.tracer.current is not None:
+                obs.tracer.current.fail(
+                    f"directory {directory.label} unreachable")
+        return client_server
 
     # -- the walk ----------------------------------------------------------
 
@@ -390,6 +707,9 @@ class DistributedResolver:
         deps: list = []
         start = 0
         obs = self._obs
+        # Once a step is served degraded (or unreachable) the walk's
+        # remaining prefixes must not be memoized as coherent.
+        tainted = False
 
         hit = self._deepest_prefix(client_server.machine, context,
                                    rooted, comps, memo)
@@ -406,8 +726,15 @@ class DistributedResolver:
             entered = directory
             current = directory.state
             deps = list(hit_deps)
-            at = self._walk_to(client_server, at,
-                               self._step_into(directory, at), cost, style)
+            nxt = self._enter_directory(client_server, directory, at,
+                                        cost, style)
+            if nxt is None:
+                at = self._degraded_step(client_server, context, rooted,
+                                         tuple(comps[:start]), directory,
+                                         cost)
+                tainted = True
+            else:
+                at = nxt
             self._count_locality(client_server, at, cost)
         elif obs.enabled and (memo is not None
                               or self.cache_policy is not CachePolicy.NONE):
@@ -439,12 +766,20 @@ class DistributedResolver:
                         else context_dep(context, component))
             entered = entity  # type: ignore[assignment]
             current = state
-            at = self._walk_to(client_server, at,
-                               self._step_into(entity, at), cost, style)
+            nxt = self._enter_directory(client_server, entered, at,
+                                        cost, style)
+            if nxt is None:
+                at = self._degraded_step(client_server, context, rooted,
+                                         tuple(comps[:index + 1]),
+                                         entered, cost)
+                tainted = True
+            else:
+                at = nxt
             self._count_locality(client_server, at, cost)
-            self._remember_prefix(client_server.machine, context, rooted,
-                                  tuple(comps[:index + 1]), entered,
-                                  tuple(deps), memo)
+            if not tainted:
+                self._remember_prefix(client_server.machine, context,
+                                      rooted, tuple(comps[:index + 1]),
+                                      entered, tuple(deps), memo)
         return UNDEFINED_ENTITY, at  # pragma: no cover - loop returns
 
     # -- observability -----------------------------------------------------
@@ -463,11 +798,15 @@ class DistributedResolver:
         """Close a ``resolution`` span and publish its metrics."""
         span.attrs.update(messages=cost.messages, steps=cost.steps,
                           cached_steps=cost.cached_steps,
-                          resolved=entity.is_defined())
+                          resolved=entity.is_defined(),
+                          coherence=cost.coherence)
         self._obs.tracer.end(span, self._sim.clock.now)
         metrics = self._obs.metrics
         metrics.counter("resolver_resolutions_total",
                         {"style": str(style)}).inc()
+        metrics.counter("resolver_resolution_outcomes_total",
+                        {"outcome": ("failed" if cost.failed
+                                     else cost.coherence)}).inc()
         self._m_latency.observe(cost.latency)
         self._m_res_messages.observe(cost.messages)
         for kind, amount in (("local", cost.local_steps),
@@ -490,6 +829,11 @@ class DistributedResolver:
         own machine; only steps into *placed* directories can be
         remote.  With a cache policy active, the walk starts at the
         deepest live cached prefix instead of the root.
+
+        Check ``cost.failed`` before trusting the answer under
+        faults: a fail-fast walk that lost a leg (or a failover walk
+        that exhausted every replica) is flagged there, and a
+        stale-served answer carries ``cost.weak``.
         """
         name_ = CompoundName.coerce(name_)
         cost = ResolutionCost()
@@ -567,21 +911,32 @@ class DistributedResolver:
         """Change ``σ(directory)(name_)`` under the write discipline.
 
         All binding writes to placed directories must come through
-        here for prefix caching to stay coherent: under INVALIDATE,
-        every prefix entry whose walk consumed the changed binding is
-        dropped on every caching machine, with the invalidation
-        messages sent as one batched fan-out and a single bounded
-        drain (latency accumulated in :attr:`invalidation_latency`).
-        Under TTL, stale prefixes live out their window; under NONE
-        there is nothing to keep coherent.
+        here.  Two fan-outs happen, both traced under one ``rebind``
+        span:
+
+        * **Replication** — the write is propagated from the primary
+          to every secondary replica (one message each); a secondary
+          the propagation cannot reach (dead primary, dropped message)
+          is marked **stale** in the placement so failover skips it
+          until anti-entropy on restart (:meth:`handle_restart`).
+        * **Invalidation** (policy ``INVALIDATE``) — every prefix
+          entry whose walk consumed the changed binding is dropped on
+          every caching machine, with the invalidation messages sent
+          as one batched fan-out and a single bounded drain (latency
+          accumulated in :attr:`invalidation_latency`).  Under TTL,
+          stale prefixes live out their window; under NONE there is
+          nothing to keep coherent.
 
         Returns the number of invalidation messages sent.
         """
         context: Context = directory.state
         context.bind(name_, entity)
-        if self.cache_policy is not CachePolicy.INVALIDATE:
-            return 0
         obs = self._obs
+        replicas = self._placement.replicas_of(directory)
+        secondaries = replicas[1:] if len(replicas) > 1 else ()
+        if self.cache_policy is not CachePolicy.INVALIDATE \
+                and not secondaries:
+            return 0
         span = None
         if obs.enabled:
             span = obs.tracer.begin(
@@ -589,40 +944,156 @@ class DistributedResolver:
                 self._sim.clock.now, parent=None,
                 attrs={"directory": directory.label,
                        "component": name_})
-        dep = binding_dep(directory, name_)
-        holders = self._holders.pop(dep, set())
-        host = self._placement.host_of(directory)
-        fanout = []
-        for machine_id in holders:
-            machine = self._machines_by_id[machine_id]
-            cache = self._prefix_caches.get(machine_id)
-            if cache is not None:
-                dropped = cache.invalidate_through(dep)
-                if span is not None and dropped:
-                    obs.tracer.event(
-                        "cache", "prefix.invalidated",
-                        self._sim.clock.now,
-                        attrs={"machine": machine.label,
-                               "count": dropped})
-            if host is not None and machine is not host:
-                message = self.server_for(host).send(
+        # -- replica propagation ------------------------------------------
+        replicated = 0
+        stale_marked = 0
+        if secondaries:
+            primary_machine = replicas[0]
+            primary_server = (self.server_for(primary_machine)
+                              if primary_machine.alive
+                              else self._servers.get(id(primary_machine)))
+            for machine in secondaries:
+                if primary_server is None or not primary_server.alive:
+                    # The write cannot be propagated at all; every
+                    # secondary missed it.
+                    self._placement.mark_stale(directory, machine)
+                    stale_marked += 1
+                    continue
+                if not machine.alive \
+                        and id(machine) not in self._servers:
+                    # No process on the downed secondary to deliver
+                    # to — the write is lost on this replica.
+                    self._placement.mark_stale(directory, machine)
+                    stale_marked += 1
+                    continue
+                message = primary_server.send(
                     self.server_for(machine),
-                    payload={"ns": "invalidate"},
-                    latency=self._latency)
+                    payload={"ns": "replicate"}, latency=self._latency)
                 if span is not None:
                     message.trace_id = span.trace_id
                     message.parent_span_id = span.span_id
-                fanout.append(message)
-        self.invalidation_messages += len(fanout)
-        if fanout:
-            before = self._sim.clock.now
-            self._sim.run_until_settled(fanout)
-            self.invalidation_latency += self._sim.clock.now - before
+                self._sim.run_until_settled(message)
+                self.replication_messages += 1
+                if message.dropped:
+                    self._placement.mark_stale(directory, machine)
+                    stale_marked += 1
+                else:
+                    replicated += 1
+            if obs.enabled:
+                if replicated:
+                    obs.metrics.counter(
+                        "resolver_replication_messages_total",
+                    ).inc(replicated)
+                if stale_marked:
+                    obs.metrics.counter(
+                        "resolver_replica_stale_marked_total",
+                    ).inc(stale_marked)
+                    obs.tracer.event(
+                        "failover", "replica.marked-stale",
+                        self._sim.clock.now,
+                        attrs={"directory": directory.label,
+                               "count": stale_marked})
+        # -- cache invalidation -------------------------------------------
+        fanout = []
+        if self.cache_policy is CachePolicy.INVALIDATE:
+            dep = binding_dep(directory, name_)
+            holders = self._holders.pop(dep, set())
+            host = self._placement.host_of(directory)
+            for machine_id in holders:
+                machine = self._machines_by_id[machine_id]
+                cache = self._prefix_caches.get(machine_id)
+                if cache is not None:
+                    dropped = cache.invalidate_through(dep)
+                    if span is not None and dropped:
+                        obs.tracer.event(
+                            "cache", "prefix.invalidated",
+                            self._sim.clock.now,
+                            attrs={"machine": machine.label,
+                                   "count": dropped})
+                if host is not None and machine is not host:
+                    message = self.server_for(host).send(
+                        self.server_for(machine),
+                        payload={"ns": "invalidate"},
+                        latency=self._latency)
+                    if span is not None:
+                        message.trace_id = span.trace_id
+                        message.parent_span_id = span.span_id
+                    fanout.append(message)
+            self.invalidation_messages += len(fanout)
+            if fanout:
+                before = self._sim.clock.now
+                self._sim.run_until_settled(fanout)
+                self.invalidation_latency += self._sim.clock.now - before
         if span is not None:
             self._m_invalidation_msgs.inc(len(fanout))
             span.attrs["messages"] = len(fanout)
+            span.attrs["replicated"] = replicated
+            span.attrs["stale_marked"] = stale_marked
             obs.tracer.end(span, self._sim.clock.now)
         return len(fanout)
+
+    # -- restart / anti-entropy --------------------------------------------
+
+    def handle_restart(self, machine: Machine) -> int:
+        """Respawn hook: bring a restarted machine's server back and
+        anti-entropy its stale replicas.
+
+        Wire as ``injector.on_restart(resolver.handle_restart)`` so
+        :meth:`~repro.sim.failures.FailureInjector.restart_machine`
+        calls it.  The machine's dead directory-server process is
+        re-registered (fresh process, fresh circuit breaker), and each
+        directory whose copy here missed a write is synced from its
+        primary (one message per directory, counted in
+        :attr:`anti_entropy_messages`); a sync that cannot reach the
+        primary leaves the mark in place.  Returns the number of
+        directories synced.
+        """
+        server = self._servers.get(id(machine))
+        if server is not None and not server.alive and machine.alive:
+            del self._servers[id(machine)]
+            server = self.server_for(machine)
+        stale = self._placement.stale_uids_of(machine)
+        if not stale:
+            return 0
+        obs = self._obs
+        span = None
+        if obs.enabled:
+            span = obs.tracer.begin(
+                "anti_entropy", machine.label, self._sim.clock.now,
+                parent=None, attrs={"machine": machine.label,
+                                    "stale": len(stale)})
+        synced = 0
+        messages = 0
+        for uid in stale:
+            primary = self._placement.primary_of_uid(uid)
+            if primary is not None and primary is not machine:
+                primary_server = (self.server_for(primary)
+                                  if primary.alive
+                                  else self._servers.get(id(primary)))
+                if primary_server is None or not primary_server.alive:
+                    continue  # stays stale; a later restart retries
+                message = primary_server.send(
+                    self.server_for(machine),
+                    payload={"ns": "anti-entropy"}, latency=self._latency)
+                if span is not None:
+                    message.trace_id = span.trace_id
+                    message.parent_span_id = span.span_id
+                self._sim.run_until_settled(message)
+                self.anti_entropy_messages += 1
+                messages += 1
+                if message.dropped:
+                    continue  # unreachable primary — stays stale
+            if self._placement.clear_stale(uid, machine):
+                synced += 1
+        if obs.enabled:
+            if synced:
+                obs.metrics.counter(
+                    "resolver_anti_entropy_syncs_total").inc(synced)
+            if span is not None:
+                span.attrs["synced"] = synced
+                span.attrs["messages"] = messages
+                obs.tracer.end(span, self._sim.clock.now)
+        return synced
 
 
 def check_semantics_preserved(resolver: DistributedResolver,

@@ -9,7 +9,8 @@ arbitrary actions, and run.
 
 Message delivery honours the failure state maintained by
 :class:`~repro.sim.failures.FailureInjector` (crashed machines,
-network partitions).
+network partitions, flaky links with seeded drop probability and
+latency spikes).
 """
 
 from __future__ import annotations
@@ -64,6 +65,9 @@ class Simulator:
         self.trace = TraceLog()
         self.default_latency = float(default_latency)
         self._partitions: set[frozenset[int]] = set()
+        # Link pair → (drop probability, max extra latency); seeded
+        # draws happen at send/deliver time (see FailureInjector).
+        self._flaky_links: dict[frozenset[int], tuple[float, float]] = {}
         # Per-simulator message ids keep traces reproducible run-to-run.
         self._message_ids = itertools.count(1)
         # Boundary gateways (see repro.closure.boundary): each gets to
@@ -117,21 +121,80 @@ class Simulator:
 
     # -- partitions (used by FailureInjector) ------------------------------
 
-    def partition(self, first: Network, second: Network) -> None:
-        """Sever message delivery between two networks."""
-        self._partitions.add(frozenset((id(first), id(second))))
+    def partition(self, first: Network, second: Network) -> bool:
+        """Sever message delivery between two networks.
+
+        Idempotent: partitioning an already-severed pair changes
+        nothing.  Returns True if the link state changed.
+        """
+        key = frozenset((id(first), id(second)))
+        if key in self._partitions:
+            return False
+        self._partitions.add(key)
         self.trace.record(self.clock.now, "failure",
                           f"partition {first.label} ⇹ {second.label}")
+        return True
 
-    def heal(self, first: Network, second: Network) -> None:
-        """Restore delivery between two networks."""
-        self._partitions.discard(frozenset((id(first), id(second))))
+    def heal(self, first: Network, second: Network) -> bool:
+        """Restore delivery between two networks.
+
+        Idempotent: healing an unpartitioned pair changes nothing.
+        Returns True if the link state changed.
+        """
+        key = frozenset((id(first), id(second)))
+        if key not in self._partitions:
+            return False
+        self._partitions.discard(key)
         self.trace.record(self.clock.now, "repair",
                           f"heal {first.label} ⇄ {second.label}")
+        return True
 
     def partitioned(self, first: Network, second: Network) -> bool:
         """True if the two networks are currently partitioned."""
         return frozenset((id(first), id(second))) in self._partitions
+
+    # -- flaky links (used by FailureInjector) -----------------------------
+
+    def set_flaky_link(self, first: Network, second: Network,
+                       drop_prob: float,
+                       extra_latency: float = 0.0) -> None:
+        """Degrade the link between two networks (lossy, slow).
+
+        Every message crossing the link is dropped with probability
+        *drop_prob* (drawn from the kernel's seeded RNG — deterministic
+        per seed) and, when delivered, delayed by up to
+        *extra_latency* additional virtual time (also a seeded draw).
+        Pass the same network twice to degrade intra-network traffic.
+        Replaces any previous flakiness on the pair.
+        """
+        if not 0.0 <= drop_prob <= 1.0:
+            raise SimulationError("drop_prob must be in [0, 1]")
+        if extra_latency < 0:
+            raise SimulationError("extra_latency must be nonnegative")
+        self._flaky_links[frozenset((id(first), id(second)))] = (
+            drop_prob, extra_latency)
+        self.trace.record(self.clock.now, "failure",
+                          f"flaky link {first.label} ~ {second.label} "
+                          f"p={drop_prob:g} +{extra_latency:g}")
+
+    def clear_flaky_link(self, first: Network, second: Network) -> bool:
+        """Restore the link to lossless/no-spike (idempotent).
+
+        Returns True if the link was flaky before.
+        """
+        key = frozenset((id(first), id(second)))
+        if self._flaky_links.pop(key, None) is None:
+            return False
+        self.trace.record(self.clock.now, "repair",
+                          f"steady link {first.label} ~ {second.label}")
+        return True
+
+    def link_flakiness(self, first: Network,
+                       second: Network) -> tuple[float, float]:
+        """Current ``(drop_prob, extra_latency)`` of a link pair
+        (``(0.0, 0.0)`` when the link is healthy)."""
+        return self._flaky_links.get(
+            frozenset((id(first), id(second))), (0.0, 0.0))
 
     # -- messaging ---------------------------------------------------------
 
@@ -149,6 +212,11 @@ class Simulator:
             latency = self.default_latency
         if latency < 0:
             raise SimulationError("latency must be nonnegative")
+        if self._flaky_links:
+            _prob, spike = self.link_flakiness(
+                sender.machine.network, receiver.machine.network)
+            if spike > 0:
+                latency += self.rng.random() * spike
         now = self.clock.now
         message = Message(sender=sender, receiver=receiver, payload=payload,
                           send_time=now, deliver_time=now + latency,
@@ -174,6 +242,12 @@ class Simulator:
         elif self.partitioned(sender_net, receiver_net):
             message.dropped = True
             message.drop_reason = "network partition"
+        elif self._flaky_links:
+            drop_prob, _spike = self.link_flakiness(sender_net,
+                                                    receiver_net)
+            if drop_prob > 0 and self.rng.random() < drop_prob:
+                message.dropped = True
+                message.drop_reason = "flaky link"
         if message.dropped:
             self.messages_dropped += 1
             self.trace.record(self.clock.now, "drop",

@@ -9,8 +9,40 @@ from repro.namespaces.base import ProcessContext
 from repro.namespaces.tree import NamingTree
 from repro.nameservice.placement import DirectoryPlacement
 from repro.nameservice.protocol import AsyncNameClient, NameLookupServer
+from repro.nameservice.retry import RetryPolicy
+from repro.obs import Instrumentation
 from repro.sim.failures import FailureInjector
 from repro.sim.kernel import Simulator
+
+
+def make_world(timeout=5.0, max_retries=2, retry_policy=None,
+               instrument=False):
+    """The fixture deployment, with tunable client timing (and
+    optional instrumentation) for the late-reply/backoff tests."""
+    obs = Instrumentation() if instrument else None
+    simulator = (Simulator(seed=0, obs=obs) if obs is not None
+                 else Simulator(seed=0))
+    network = simulator.network("lan")
+    client_machine = simulator.machine(network, "client-m")
+    server1 = simulator.machine(network, "server1")
+    server2 = simulator.machine(network, "server2")
+    tree = NamingTree("root", sigma=simulator.sigma, parent_links=True)
+    tree.mkdir("a/b/c")
+    leaf = tree.mkfile("a/b/c/leaf")
+    placement = DirectoryPlacement()
+    placement.place(tree.root, client_machine)
+    placement.place(tree.directory("a"), client_machine)
+    placement.place(tree.directory("a/b"), server1)
+    placement.place(tree.directory("a/b/c"), server2)
+    servers = {id(machine): NameLookupServer(simulator, machine)
+               for machine in (client_machine, server1, server2)}
+    client_process = simulator.spawn(client_machine, "client")
+    client = AsyncNameClient(simulator, placement, servers,
+                             client_process, timeout=timeout,
+                             max_retries=max_retries,
+                             retry_policy=retry_policy)
+    context = ProcessContext(tree.root)
+    return simulator, client, context, leaf, server1
 
 
 @pytest.fixture
@@ -188,6 +220,111 @@ class TestFailures:
         FailureInjector(simulator).crash_machine(server1)
         outcome = run_lookup(simulator, client, context, "/a/b/c/leaf")
         assert not outcome.entity.is_defined()
+
+
+class TestLateReplies:
+    """Satellite (c): replies racing their own retries are counted."""
+
+    def test_late_replies_counted_not_silently_dropped(self):
+        # timeout (1.5) < round trip (2.0): every attempt's reply
+        # arrives after its retry superseded it, and the reply to the
+        # final attempt lands after the lookup settled as failed.
+        simulator, client, context, _leaf, _s1 = make_world(timeout=1.5)
+        outcomes = []
+        client.resolve(context, "/a/b/c/leaf", outcomes.append)
+        simulator.run()
+        outcome = outcomes[0]
+        assert outcome.failed and outcome.reason == "timeout"
+        assert outcome.retries == 3
+        assert client.late_replies == 3  # 2 superseded + 1 settled
+
+    def test_late_reply_metric_split_by_kind(self):
+        simulator, client, context, *_ = make_world(timeout=1.5,
+                                                    instrument=True)
+        outcomes = []
+        client.resolve(context, "/a/b/c/leaf", outcomes.append)
+        simulator.run()
+        metrics = simulator.obs.metrics
+        assert metrics.value_of("async_late_replies_total",
+                                {"kind": "superseded"}) == 2.0
+        assert metrics.value_of("async_late_replies_total",
+                                {"kind": "settled"}) == 1.0
+        assert metrics.total_of("async_late_replies_total") == \
+            client.late_replies
+
+    def test_no_late_replies_when_timing_is_healthy(self):
+        simulator, client, context, leaf, _s1 = make_world(timeout=5.0)
+        outcomes = []
+        client.resolve(context, "/a/b/c/leaf", outcomes.append)
+        simulator.run()
+        assert outcomes[0].entity is leaf
+        assert client.late_replies == 0
+
+
+class TestBackoffResend:
+    def test_slow_reply_wins_the_race_against_its_resend(self):
+        # With a 2.0 backoff the re-send is still pending when the
+        # slow original reply (t=2.0) arrives; the reply is consumed
+        # and the stale resend closure must then be a no-op.
+        policy = RetryPolicy(max_attempts=3, base_backoff=2.0,
+                             jitter=0.0)
+        simulator, client, context, leaf, _s1 = make_world(
+            timeout=1.5, retry_policy=policy)
+        outcomes = []
+        client.resolve(context, "/a/b/c/leaf", outcomes.append)
+        simulator.run()
+        outcome = outcomes[0]
+        assert outcome.ok and outcome.entity is leaf
+        assert outcome.retries >= 1  # timeouts fired, lookup still won
+        assert client.late_replies == 0
+        assert client.outstanding() == 0
+
+    def test_backoff_resend_recovers_from_real_loss(self):
+        # Crash the server, let the first attempt time out, revive the
+        # server during the backoff window: the delayed resend lands
+        # on the respawned server and the lookup completes.
+        policy = RetryPolicy(max_attempts=3, base_backoff=4.0,
+                             jitter=0.0)
+        simulator, client, context, leaf, server1 = make_world(
+            timeout=2.0, retry_policy=policy)
+        injector = FailureInjector(simulator)
+        server = client.servers[id(server1)]
+        injector.on_restart(lambda _m: server.respawn(),
+                            machine=server1)
+        injector.schedule_timeline([(1.5, "crash", server1),
+                                    (4.0, "restart", server1)])
+        outcomes = []
+        client.resolve(context, "/a/b/c/leaf", outcomes.append)
+        simulator.run()
+        assert outcomes[0].ok and outcomes[0].entity is leaf
+        assert outcomes[0].retries >= 1
+
+
+class TestServerRespawn:
+    def test_respawn_revives_the_lookup_service(self):
+        simulator, client, context, leaf, server1 = make_world()
+        injector = FailureInjector(simulator)
+        server = client.servers[id(server1)]
+        injector.crash_machine(server1)
+        first = run_lookup(simulator, client, context, "/a/b/c/leaf")
+        assert first.failed
+        injector.on_restart(lambda _m: server.respawn(),
+                            machine=server1)
+        injector.restart_machine(server1)
+        assert server.process.alive
+        second = run_lookup(simulator, client, context, "/a/b/c/leaf")
+        assert second.ok and second.entity is leaf
+
+    def test_respawn_is_idempotent(self):
+        simulator, client, context, _leaf, server1 = make_world()
+        injector = FailureInjector(simulator)
+        server = client.servers[id(server1)]
+        assert not server.respawn()  # alive: left alone
+        injector.crash_machine(server1)
+        assert not server.respawn()  # machine still down
+        injector.restart_machine(server1)
+        assert server.respawn()
+        assert not server.respawn()  # fresh process already installed
 
 
 class TestServer:

@@ -112,6 +112,156 @@ class TestFailureInjector:
         injector.heal(net1, net2)
         assert not simulator.partitioned(net1, net2)
 
+    def test_partition_and_heal_are_idempotent(self, simulator):
+        net1, net2 = simulator.network(), simulator.network()
+        injector = FailureInjector(simulator)
+        assert injector.partition(net1, net2)
+        assert not injector.partition(net1, net2)  # no-op, nothing new
+        assert simulator.partitioned(net1, net2)
+        assert injector.heal(net1, net2)
+        assert not injector.heal(net1, net2)
+
+    def test_restart_is_idempotent(self, simulator):
+        machine = simulator.machine(simulator.network())
+        injector = FailureInjector(simulator)
+        fired = []
+        injector.on_restart(fired.append)
+        injector.restart_machine(machine)  # already alive: no hooks
+        assert fired == []
+        injector.crash_machine(machine)
+        injector.restart_machine(machine)
+        assert fired == [machine]
+
+    def test_restart_hooks_scoped_and_ordered(self, simulator):
+        network = simulator.network()
+        mine = simulator.machine(network, "mine")
+        other = simulator.machine(network, "other")
+        injector = FailureInjector(simulator)
+        fired = []
+        injector.on_restart(lambda m: fired.append(("any", m.label)))
+        injector.on_restart(lambda m: fired.append(("other", m.label)),
+                            machine=other)
+        injector.on_restart(lambda m: fired.append(("mine", m.label)),
+                            machine=mine)
+        injector.crash_machine(mine)
+        injector.restart_machine(mine)
+        assert fired == [("any", "mine"), ("mine", "mine")]
+
+
+class TestFlakyLinks:
+    def make_pair(self, simulator):
+        lan, wan = simulator.network("lan"), simulator.network("wan")
+        a = simulator.spawn(simulator.machine(lan, "a-m"), "a")
+        b = simulator.spawn(simulator.machine(wan, "b-m"), "b")
+        return lan, wan, a, b
+
+    def test_lossy_link_drops_with_reason(self):
+        simulator = Simulator(seed=0)
+        lan, wan, a, b = self.make_pair(simulator)
+        FailureInjector(simulator).flaky_link(lan, wan, drop_prob=1.0)
+        message = a.send(b, payload="ping")
+        simulator.run()
+        assert message.dropped
+        assert message.drop_reason == "flaky link"
+
+    def test_steady_link_restores_delivery(self):
+        simulator = Simulator(seed=0)
+        lan, wan, a, b = self.make_pair(simulator)
+        injector = FailureInjector(simulator)
+        injector.flaky_link(lan, wan, drop_prob=1.0)
+        assert injector.steady_link(lan, wan)
+        assert not injector.steady_link(lan, wan)  # idempotent
+        message = a.send(b, payload="ping")
+        simulator.run()
+        assert message.delivered
+
+    def test_latency_spike_delays_delivery(self):
+        simulator = Simulator(seed=0)
+        lan, wan, a, b = self.make_pair(simulator)
+        FailureInjector(simulator).flaky_link(lan, wan, drop_prob=0.0,
+                                              extra_latency=5.0)
+        message = a.send(b, payload="ping", latency=1.0)
+        simulator.run()
+        assert message.delivered
+        assert 1.0 < simulator.clock.now <= 6.0
+
+    def test_flakiness_reported_and_validated(self):
+        simulator = Simulator(seed=0)
+        lan, wan, *_ = self.make_pair(simulator)
+        simulator.set_flaky_link(lan, wan, 0.3, 1.5)
+        assert simulator.link_flakiness(lan, wan) == (0.3, 1.5)
+        assert simulator.link_flakiness(wan, lan) == (0.3, 1.5)
+        simulator.clear_flaky_link(lan, wan)
+        assert simulator.link_flakiness(lan, wan) == (0.0, 0.0)
+        with pytest.raises(SimulationError):
+            simulator.set_flaky_link(lan, wan, 1.5)
+        with pytest.raises(SimulationError):
+            simulator.set_flaky_link(lan, wan, 0.5, -1.0)
+
+    def test_drops_are_deterministic_per_seed(self):
+        def outcomes(seed):
+            simulator = Simulator(seed=seed)
+            lan, wan, a, b = self.make_pair(simulator)
+            FailureInjector(simulator).flaky_link(lan, wan,
+                                                  drop_prob=0.5)
+            dropped = []
+            for _ in range(12):
+                message = a.send(b, payload="ping")
+                simulator.run()
+                dropped.append(message.dropped)
+            return dropped
+
+        assert outcomes(5) == outcomes(5)
+        assert True in outcomes(5) and False in outcomes(5)
+
+
+class TestScriptedTimelines:
+    def test_schedule_validates_kind_and_time(self):
+        simulator = Simulator(seed=0)
+        machine = simulator.machine(simulator.network())
+        injector = FailureInjector(simulator)
+        with pytest.raises(SimulationError):
+            injector.schedule(5.0, "meteor", machine)
+        simulator.run(until=10.0)
+        with pytest.raises(SimulationError):
+            injector.schedule(5.0, "crash", machine)  # in the past
+
+    def test_timeline_fires_in_order(self):
+        simulator = Simulator(seed=0)
+        lan, wan = simulator.network("lan"), simulator.network("wan")
+        machine = simulator.machine(lan, "m")
+        injector = FailureInjector(simulator)
+        booked = injector.schedule_timeline([
+            (5.0, "crash", machine),
+            (15.0, "restart", machine),
+            (20.0, "partition", lan, wan),
+            (30.0, "heal", lan, wan),
+            (35.0, "flaky_link", lan, wan, 0.4, 1.0),
+            (45.0, "steady_link", lan, wan),
+        ])
+        assert booked == 6
+        simulator.run(until=10.0)
+        assert not machine.alive
+        simulator.run(until=25.0)
+        assert machine.alive
+        assert simulator.partitioned(lan, wan)
+        simulator.run(until=40.0)
+        assert not simulator.partitioned(lan, wan)
+        assert simulator.link_flakiness(lan, wan) == (0.4, 1.0)
+        simulator.run(until=50.0)
+        assert simulator.link_flakiness(lan, wan) == (0.0, 0.0)
+
+    def test_timeline_restart_runs_hooks(self):
+        simulator = Simulator(seed=0)
+        machine = simulator.machine(simulator.network(), "m")
+        injector = FailureInjector(simulator)
+        revived = []
+        injector.on_restart(lambda m: revived.append(m.label))
+        injector.schedule_timeline([(2.0, "crash", machine),
+                                    (4.0, "restart", machine)])
+        simulator.run(until=5.0)
+        assert revived == ["m"]
+
 
 class TestTraceLog:
     def test_record_and_filter(self):

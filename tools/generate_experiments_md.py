@@ -65,6 +65,16 @@ PAPER_ANCHORS = {
            "one merged scope removes both the mapping burden and the "
            "R(receiver) incoherence the federated configuration "
            "suffers."),
+    "A7": ("extension (modern relevance)", "Amortized resolution: "
+           "prefix caching and batched resolution pay the shared walk "
+           "once, preserving semantics in every style × policy cell "
+           "(rebinds included)."),
+    "A8": ("§3 weak coherence (extension)", "Availability under "
+           "faults: replicated directories with retry/backoff and "
+           "failover keep names resolving through crashes and flaky "
+           "links, and policy-gated stale reads answer through "
+           "partitions — always tagged weakly coherent, never "
+           "silently passed off as coherent."),
 }
 
 

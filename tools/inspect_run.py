@@ -40,6 +40,7 @@ from repro.nameservice.resolver import (
     ResolutionCost,
     ResolutionStyle,
 )
+from repro.nameservice.retry import RetryPolicy
 from repro.obs import (
     Instrumentation,
     format_hop_tree,
@@ -147,6 +148,68 @@ def run_failure(seed: int, style: ResolutionStyle, policy: CachePolicy,
     return {"simulator": world["simulator"],
             "notes": {"scenario": "failure",
                       "crashed": world["machines"][-1].label,
+                      "messages": cost.messages}}
+
+
+@scenario("chaos")
+def run_chaos(seed: int, style: ResolutionStyle, policy: CachePolicy,
+              obs: Instrumentation) -> dict:
+    """A scripted fault schedule against a replicated directory: crash
+    + restart with anti-entropy, a flaky-link window, and a partition
+    answered by weak-coherence stale reads.  The trace shows retry /
+    failover / circuit / stale spans; the metrics show their counters.
+    """
+    simulator = Simulator(seed=seed, obs=obs)
+    lan = simulator.network("lan")
+    srv = simulator.network("srv")
+    client_machine = simulator.machine(lan, "client-m")
+    primary = simulator.machine(srv, "m1")
+    secondary = simulator.machine(srv, "m2")
+    tree = NamingTree("root", sigma=simulator.sigma, parent_links=True)
+    tree.mkdir("svc")
+    names = []
+    for index in range(4):
+        tree.mkfile(f"svc/f{index}")
+        names.append(f"/svc/f{index}")
+    placement = DirectoryPlacement()
+    placement.place(tree.root, client_machine)
+    placement.place_replicated(tree.directory("svc"), primary, secondary)
+    client = simulator.spawn(client_machine, "client")
+    context = ProcessContext(tree.root)
+    resolver = DistributedResolver(
+        simulator, placement, cache_policy=policy, cache_ttl=50.0,
+        retry_policy=RetryPolicy(max_attempts=3, base_backoff=0.3,
+                                 max_backoff=2.0),
+        serve_stale=True, breaker_threshold=3, breaker_cooldown=10.0)
+    injector = FailureInjector(simulator)
+    injector.on_restart(resolver.handle_restart)
+    injector.schedule_timeline([
+        (10.0, "crash", primary),
+        (30.0, "restart", primary),
+        (40.0, "flaky_link", lan, srv, 0.3, 1.5),
+        (55.0, "steady_link", lan, srv),
+        (60.0, "partition", lan, srv),
+        (80.0, "heal", lan, srv),
+    ])
+    outcomes = {"ok": 0, "weak": 0, "failed": 0}
+    costs = []
+    for start in range(2, 100, 7):
+        simulator.run(until=float(start))
+        for name_ in names[:2]:
+            entity, cost = resolver.resolve(client, context, name_,
+                                            style)
+            costs.append(cost)
+            if entity.is_defined() and not cost.failed:
+                outcomes["weak" if cost.weak else "ok"] += 1
+            else:
+                outcomes["failed"] += 1
+    simulator.run()
+    cost = ResolutionCost.merge(costs)
+    return {"simulator": simulator,
+            "notes": {"scenario": "chaos", "outcomes": outcomes,
+                      "retries": cost.retries,
+                      "failovers": cost.failovers,
+                      "stale_steps": cost.stale_steps,
                       "messages": cost.messages}}
 
 
