@@ -1,0 +1,15 @@
+"""Bench a9_leases: lease-based cache coherence under partitions —
+TTL expiry vs invalidation callbacks vs leases with grace mode, on a
+surgical partition blip (lost coherence message) and the full A8
+fault schedule with a mid-partition rebind.
+
+Prints the reproduced table and asserts the qualitative claims.
+"""
+
+from repro.bench.experiments_leases import run_a9_leases
+
+from conftest import run_and_report
+
+
+def test_a9_leases(benchmark):
+    run_and_report(benchmark, run_a9_leases, seed=0)

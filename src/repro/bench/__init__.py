@@ -35,6 +35,7 @@ from repro.bench.experiments_boundary import run_a3_boundary_mapping
 from repro.bench.experiments_cache import run_a5_cache_coherence
 from repro.bench.experiments_cost import run_a4_resolution_cost
 from repro.bench.experiments_federation import run_e12_federation
+from repro.bench.experiments_leases import run_a9_leases
 from repro.bench.experiments_scope_size import run_a6_scope_enlargement
 
 #: Experiment id → runner, in paper order.
@@ -59,6 +60,7 @@ ALL_EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "A6": run_a6_scope_enlargement,
     "A7": run_a7_batch_resolution,
     "A8": run_a8_availability,
+    "A9": run_a9_leases,
 }
 
 
@@ -79,6 +81,7 @@ __all__ = [
     "run_a6_scope_enlargement",
     "run_a7_batch_resolution",
     "run_a8_availability",
+    "run_a9_leases",
     "run_all",
     "run_e10_algol_scope",
     "run_e11_perprocess",

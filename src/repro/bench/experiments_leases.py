@@ -1,0 +1,388 @@
+"""Ablation A9 (coherence): lease callbacks bound cache staleness.
+
+The paper's §3 coherence discussion separates *strong* schemes (every
+answer reflects the latest binding) from *weak* ones (answers may lag,
+but the service says so).  Invalidation callbacks look strong — until
+a callback is lost in a partition, after which the stale copy lives
+forever.  A9 measures the lease subsystem's central claim: a lease is
+a *promise with an expiry*, so even a lost callback leaves the holder
+stale for at most one lease term plus one delivery delay.
+
+Two instruments, three cache policies (TTL / INVALIDATE / LEASE):
+
+* **Blip** — a short, surgical partition.  A binding is rebound while
+  the only caching client is unreachable, so the coherence message
+  (invalidation or lease-break callback) is provably lost; the client
+  then heals quickly, while its cached state is still live, and keeps
+  resolving.  The window during which it *claims coherent* answers
+  that are in fact stale is the staleness bound made operational:
+  TTL's window ends when the entry times out, INVALIDATE's never ends
+  (the loss is silent), LEASE's ends by ``rebind + term + delay``.
+* **Fault schedule** — the A8 crash / flaky-link / partition timeline
+  with the rebind issued mid-partition.  This exercises the lease
+  grace mode: the partition outlives the lease term, so the client
+  serves from *expired* leases — every such answer tagged weakly
+  coherent, never memoized as fresh — and revalidates its cached
+  epochs against the servers once the partition heals.
+
+Both instruments run on virtual time only and are deterministic per
+seed (the rerun check pins this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.bench.harness import ExperimentResult
+from repro.model.context import Context
+from repro.model.entities import Entity, ObjectEntity
+from repro.namespaces.base import ProcessContext
+from repro.namespaces.tree import NamingTree
+from repro.nameservice.cache import CachePolicy
+from repro.nameservice.placement import DirectoryPlacement
+from repro.nameservice.resolver import DistributedResolver
+from repro.nameservice.retry import RetryPolicy
+from repro.obs.instrument import Instrumentation
+from repro.sim.failures import FailureInjector
+from repro.sim.kernel import Machine, Simulator
+
+__all__ = ["run_a9_leases"]
+
+_TERM = 30.0           #: lease term (LEASE policy)
+_TTL = 60.0            #: prefix/binding TTL (TTL policy)
+#: TTL given to the policies whose coherence does not come from entry
+#: expiry — large enough that any staleness bound they exhibit is
+#: their own doing, not the cache timing out underneath them.
+_UNBOUNDED_TTL = 10_000.0
+#: Staleness-bound slack: one callback delivery plus the virtual time
+#: a healing walk can burn in retry backoffs before its answer lands.
+_SLACK = 6.0
+_RETRY = dict(max_attempts=2, base_backoff=0.5, max_backoff=1.0)
+_BREAKER_THRESHOLD, _BREAKER_COOLDOWN = 5, 5.0
+
+# Blip timeline: the partition opens, the binding is rebound inside
+# it (coherence message lost), and the heal lands *before* the
+# client's leases expire — the claimed-coherent stale window this
+# leaves is exactly what each policy's bound must contain.
+_BLIP_PARTITION_AT, _BLIP_HEAL_AT = 10.0, 18.0
+_BLIP_REBIND_AT = 11.0
+_BLIP_PRE = (2.0, 6.0)
+_BLIP_POST = tuple(float(t) for t in range(12, 92, 6))
+
+# Fault-schedule timeline (the A8 windows, §robustness), plus a
+# rebind mid-partition; the partition outlives the lease term so the
+# grace mode is exercised.
+_ROUNDS = tuple(float(t) for t in range(2, 240, 10))
+_CRASH_AT, _RESTART_AT = 30.0, 78.0
+_FLAKY_AT, _STEADY_AT = 95.0, 118.0
+_PARTITION_AT, _HEAL_AT = 130.0, 185.0
+_SCHED_REBIND_AT = 140.0
+_SETTLED = (250.0, 258.0, 266.0)
+_DROP_PROB, _SPIKE = 0.25, 1.5
+
+_POLICIES = (CachePolicy.TTL, CachePolicy.INVALIDATE, CachePolicy.LEASE)
+
+
+def _phase(time: float) -> str:
+    if _CRASH_AT <= time < _RESTART_AT:
+        return "crash"
+    if _FLAKY_AT <= time < _STEADY_AT:
+        return "flaky"
+    if _PARTITION_AT <= time < _HEAL_AT:
+        return "partition"
+    return "healthy"
+
+
+@dataclass
+class _Probe:
+    time: float        #: virtual time the resolution actually began
+    phase: str
+    ok: bool
+    weak: bool
+    stale_steps: int
+    stale: bool        #: answered the pre-rebind entity post-rebind
+    claimed: bool      #: stale, yet presented as coherent
+
+
+@dataclass
+class _Scenario:
+    """One client machine, one replica pair, one rebindable binding."""
+
+    simulator: Simulator
+    client: object
+    context: Context
+    resolver: DistributedResolver
+    injector: FailureInjector
+    svc: ObjectEntity
+    new_dir: ObjectEntity
+    old_leaf: Entity
+    new_leaf: Entity
+    client_machine: Machine
+    rebound_at: Optional[float] = None
+
+    def rebind(self) -> None:
+        self.rebound_at = self.simulator.clock.now
+        self.resolver.rebind(self.svc, "app", self.new_dir)
+
+    def probe(self, start: float) -> _Probe:
+        self.simulator.run(until=start)
+        began = self.simulator.clock.now
+        entity, cost = self.resolver.resolve(
+            self.client, self.context, "/svc/app/cfg")
+        stale = (self.rebound_at is not None
+                 and began >= self.rebound_at
+                 and entity is self.old_leaf)
+        return _Probe(
+            time=began, phase=_phase(began),
+            ok=entity.is_defined() and not cost.failed,
+            weak=cost.weak, stale_steps=cost.stale_steps,
+            stale=stale,
+            claimed=stale and not cost.weak and not cost.failed)
+
+
+def _build(seed: int, policy: CachePolicy, schedule: str,
+           obs: Optional[Instrumentation]) -> _Scenario:
+    simulator = Simulator(seed=seed, obs=obs)
+    lan = simulator.network("lan")
+    srv = simulator.network("srv")
+    client_machine = simulator.machine(lan, "client-m")
+    primary = simulator.machine(srv, "m1")
+    secondary = simulator.machine(srv, "m2")
+    tree = NamingTree("root", sigma=simulator.sigma, parent_links=True)
+    tree.mkdir("svc")
+    old_dir = tree.mkdir("svc/app")
+    old_leaf = tree.mkfile("svc/app/cfg")
+    new_dir = tree.mkdir("spare")
+    new_leaf = tree.mkfile("spare/cfg")
+    placement = DirectoryPlacement()
+    placement.place(tree.root, client_machine)
+    svc = tree.directory("svc")
+    for directory in (svc, old_dir, new_dir):
+        placement.place_replicated(directory, primary, secondary)
+    client = simulator.spawn(client_machine, "client")
+    context: Context = ProcessContext(tree.root)
+    ttl = _TTL if policy is CachePolicy.TTL else _UNBOUNDED_TTL
+    resolver = DistributedResolver(
+        simulator, placement,
+        cache_policy=policy, cache_ttl=ttl,
+        retry_policy=RetryPolicy(**_RETRY),
+        # LEASE availability under partition comes from the grace
+        # mode alone; the other policies get the explicit stale gate
+        # so the comparison is about *coherence*, not availability.
+        serve_stale=policy is not CachePolicy.LEASE,
+        breaker_threshold=_BREAKER_THRESHOLD,
+        breaker_cooldown=_BREAKER_COOLDOWN,
+        lease_term=_TERM)
+    injector = FailureInjector(simulator)
+    injector.on_restart(resolver.handle_restart)
+    if schedule == "blip":
+        injector.schedule_timeline([
+            (_BLIP_PARTITION_AT, "partition", lan, srv),
+            (_BLIP_HEAL_AT, "heal", lan, srv),
+        ])
+    else:
+        injector.schedule_timeline([
+            (_CRASH_AT, "crash", primary),
+            (_RESTART_AT, "restart", primary),
+            (_FLAKY_AT, "flaky_link", lan, srv, _DROP_PROB, _SPIKE),
+            (_STEADY_AT, "steady_link", lan, srv),
+            (_PARTITION_AT, "partition", lan, srv),
+            (_HEAL_AT, "heal", lan, srv),
+        ])
+    return _Scenario(
+        simulator=simulator, client=client, context=context,
+        resolver=resolver, injector=injector, svc=svc,
+        new_dir=new_dir, old_leaf=old_leaf, new_leaf=new_leaf,
+        client_machine=client_machine)
+
+
+def _stats(scenario: _Scenario, probes: list[_Probe]) -> dict:
+    resolver = scenario.resolver
+    cache = resolver.cache_stats()
+    lookups = cache["hits"] + cache["misses"]
+    successes = [probe for probe in probes if probe.ok]
+    claimed = [probe.time for probe in probes if probe.claimed]
+    return {
+        "probes": probes,
+        "success_rate": (len(successes) / len(probes)) if probes else 0.0,
+        "weak_fraction": (sum(probe.weak for probe in successes)
+                          / len(successes)) if successes else 0.0,
+        "claimed_times": claimed,
+        "max_claimed": max(claimed) if claimed else None,
+        "weak_stale_times": [probe.time for probe in probes
+                             if probe.stale and probe.weak],
+        "losses": resolver.invalidation_losses,
+        "coherence_messages": resolver.invalidation_messages,
+        "hit_rate": (cache["hits"] / lookups) if lookups else 0.0,
+        "lease": (resolver.lease_stats()
+                  if resolver.leases is not None else {}),
+        "rebound_at": scenario.rebound_at,
+        "signature": tuple((probe.phase, probe.ok, probe.weak,
+                            probe.stale) for probe in probes),
+    }
+
+
+def _run_blip(seed: int, policy: CachePolicy,
+              obs: Optional[Instrumentation] = None) -> dict:
+    scenario = _build(seed, policy, "blip", obs)
+    probes = [scenario.probe(start) for start in _BLIP_PRE]
+    scenario.simulator.run(until=_BLIP_REBIND_AT)
+    scenario.rebind()
+    probes += [scenario.probe(start) for start in _BLIP_POST]
+    scenario.simulator.run()
+    return _stats(scenario, probes)
+
+
+def _run_schedule(seed: int, policy: CachePolicy,
+                  obs: Optional[Instrumentation] = None) -> dict:
+    scenario = _build(seed, policy, "faults", obs)
+    probes: list[_Probe] = []
+    for start in _ROUNDS:
+        if (scenario.rebound_at is None
+                and start >= _SCHED_REBIND_AT):
+            scenario.simulator.run(until=_SCHED_REBIND_AT)
+            scenario.rebind()
+        probes.append(scenario.probe(start))
+    scenario.simulator.run()
+    settled = [scenario.probe(start) for start in _SETTLED]
+    stats = _stats(scenario, probes + settled)
+    stats["settled"] = settled
+    return stats
+
+
+def run_a9_leases(seed: int = 0) -> ExperimentResult:
+    """A9: lease callbacks bound staleness; lost invalidations don't."""
+    blip = {policy: _run_blip(seed, policy) for policy in _POLICIES}
+    sched = {policy: _run_schedule(seed, policy) for policy in _POLICIES}
+    ttl_b, inv_b, lease_b = (blip[policy] for policy in _POLICIES)
+    ttl_s, inv_s, lease_s = (sched[policy] for policy in _POLICIES)
+
+    result = ExperimentResult(
+        exp_id="A9",
+        title="Lease callbacks: bounded staleness under partitions",
+        headers=["policy", "blip stale window end", "schedule success",
+                 "weak fraction", "hit rate", "coherence msgs",
+                 "lost msgs"])
+    for policy in _POLICIES:
+        b, s = blip[policy], sched[policy]
+        result.rows.append([
+            policy.value,
+            "unbounded" if b["max_claimed"] is not None
+            and b["max_claimed"] >= _BLIP_POST[-1]
+            else (f"{b['max_claimed']:.1f}" if b["max_claimed"]
+                  else "none"),
+            s["success_rate"], s["weak_fraction"], s["hit_rate"],
+            b["coherence_messages"] + s["coherence_messages"],
+            b["losses"] + s["losses"]])
+
+    # -- blip: the staleness bound, operational -----------------------
+    result.check(
+        "the blip rebind loses the coherence message under both "
+        "INVALIDATE and LEASE (and TTL sends none)",
+        inv_b["losses"] == 1 and lease_b["losses"] == 1
+        and ttl_b["losses"] == 0 and ttl_b["coherence_messages"] == 0)
+    result.check(
+        "INVALIDATE staleness is unbounded: the client still claims "
+        "the stale binding coherently at the final probe",
+        inv_b["probes"][-1].claimed)
+    result.check(
+        "LEASE staleness is positive but bounded by rebind + term + "
+        "one delivery delay",
+        len(lease_b["claimed_times"]) > 0
+        and lease_b["max_claimed"]
+        <= _BLIP_REBIND_AT + _TERM + _SLACK)
+    result.check(
+        "TTL staleness is bounded only by the (longer) entry TTL",
+        len(ttl_b["claimed_times"]) > 0
+        and lease_b["max_claimed"] < ttl_b["max_claimed"]
+        <= _BLIP_REBIND_AT + _TTL + _SLACK
+        and not ttl_b["probes"][-1].claimed)
+    result.check(
+        "after its lease lapses the client re-walks and answers the "
+        "new binding coherently",
+        all(probe.ok and not probe.weak and not probe.stale
+            for probe in lease_b["probes"][-3:]))
+    result.check(
+        "the lost lease callback is escalated to a server-side break",
+        lease_b["lease"].get("server_breaks", 0) == 1
+        and lease_b["lease"].get("server_acks", 0) == 0)
+
+    # -- schedule: grace mode, weak tagging, recovery -----------------
+    result.check(
+        "grace mode keeps the lease client answering through every "
+        "fault phase, never worse than the TTL baseline (whose "
+        "entries may expire mid-partition, unrefillable)",
+        lease_s["success_rate"] == 1.0
+        and inv_s["success_rate"] == 1.0
+        and ttl_s["success_rate"] <= lease_s["success_rate"])
+    result.check(
+        "an answer is tagged weakly coherent iff a step was served "
+        "stale — grace answers are never memoized as fresh",
+        all(probe.weak == (probe.stale_steps > 0)
+            for policy in _POLICIES
+            for probe in sched[policy]["probes"]))
+    result.check(
+        "the partition outlives the lease term: expired leases serve "
+        "in grace mode (weak), and every lease-fresh claim stays "
+        "inside the staleness bound",
+        lease_s["lease"]["grace_hits"] > 0
+        and lease_s["lease"]["expirations"] > 0
+        and (lease_s["max_claimed"] is None
+             or lease_s["max_claimed"]
+             <= _SCHED_REBIND_AT + _TERM + _SLACK))
+    result.check(
+        "after the heal the lease client revalidates cached epochs "
+        "and answers the new binding coherently",
+        lease_s["lease"]["revalidations"] > 0
+        and all(probe.ok and not probe.weak and not probe.stale
+                for probe in lease_s["settled"]))
+    result.check(
+        "INVALIDATE never recovers in the schedule either: its "
+        "settled post-heal answers are still claimed-coherent stale",
+        inv_s["losses"] >= 1
+        and all(probe.claimed for probe in inv_s["settled"]))
+    rerun = _run_schedule(seed, CachePolicy.LEASE)
+    result.check(
+        "results are deterministic for a fixed seed",
+        rerun["signature"] == lease_s["signature"]
+        and rerun["lease"] == lease_s["lease"])
+
+    result.notes.append(
+        f"seed={seed} blip: partition [{_BLIP_PARTITION_AT:g},"
+        f"{_BLIP_HEAL_AT:g}) rebind@{_BLIP_REBIND_AT:g}, term={_TERM:g} "
+        f"ttl={_TTL:g}; schedule: crash [{_CRASH_AT:g},{_RESTART_AT:g}) "
+        f"flaky p={_DROP_PROB} [{_FLAKY_AT:g},{_STEADY_AT:g}) partition "
+        f"[{_PARTITION_AT:g},{_HEAL_AT:g}) rebind@{_SCHED_REBIND_AT:g}")
+    result.notes.append(
+        "blip claimed-stale windows — "
+        + "; ".join(
+            f"{policy.value}: "
+            + (f"[{min(blip[policy]['claimed_times']):.1f}.."
+               f"{max(blip[policy]['claimed_times']):.1f}]"
+               if blip[policy]["claimed_times"] else "[]")
+            for policy in _POLICIES))
+    result.notes.append(
+        "lease schedule stats: "
+        + " ".join(f"{key}={value}"
+                   for key, value in sorted(lease_s["lease"].items())))
+
+    # Instrumented replay of the LEASE runs: grants, renewals,
+    # callbacks, breaks, grace serves and revalidations all land in
+    # the metrics snapshot.
+    obs = Instrumentation(max_spans=16384)
+    _run_blip(seed, CachePolicy.LEASE, obs=obs)
+    _run_schedule(seed, CachePolicy.LEASE, obs=obs)
+    result.metrics = obs.metrics.snapshot()
+    result.metrics["spans_recorded"] = len(obs.tracer)
+    result.metrics["spans_dropped"] = obs.tracer.dropped_spans
+    result.figures = {
+        "lease|blip_stale_window_end": lease_b["max_claimed"] or 0.0,
+        "ttl|blip_stale_window_end": ttl_b["max_claimed"] or 0.0,
+        "invalidate|blip_stale_at_end": float(
+            inv_b["probes"][-1].claimed),
+        "lease|schedule_weak_fraction": lease_s["weak_fraction"],
+        "lease|schedule_hit_rate": lease_s["hit_rate"],
+        "lease|grace_hits": float(lease_s["lease"]["grace_hits"]),
+    }
+    return result

@@ -6,7 +6,10 @@ through the simulator — so the *cost* of each section-5 design is
 measurable alongside its coherence (experiment A4).  A fault-tolerance
 layer (replicated placement, retry/backoff with circuit breakers,
 failover, policy-gated weak-coherence stale reads) keeps names
-resolving across crashes and partitions (experiment A8).
+resolving across crashes and partitions (experiment A8), and a lease
+subsystem (server-granted promises with expiry, callback breaking,
+grace mode) bounds cache staleness even when callbacks are lost
+(experiment A9).
 """
 
 from repro.nameservice.cache import (
@@ -16,6 +19,14 @@ from repro.nameservice.cache import (
     CachingDirectoryService,
     PrefixCache,
     PrefixEntry,
+)
+from repro.nameservice.leases import (
+    FanoutReport,
+    Lease,
+    LeaseManager,
+    LeaseState,
+    LeaseTable,
+    callback_fanout,
 )
 from repro.nameservice.placement import DirectoryPlacement
 from repro.nameservice.protocol import (
@@ -45,6 +56,11 @@ __all__ = [
     "CircuitBreaker",
     "DirectoryPlacement",
     "DistributedResolver",
+    "FanoutReport",
+    "Lease",
+    "LeaseManager",
+    "LeaseState",
+    "LeaseTable",
     "LookupOutcome",
     "NameLookupServer",
     "PrefixCache",
@@ -52,5 +68,6 @@ __all__ = [
     "ResolutionCost",
     "ResolutionStyle",
     "RetryPolicy",
+    "callback_fanout",
     "check_semantics_preserved",
 ]

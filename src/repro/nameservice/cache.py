@@ -17,7 +17,11 @@ Three policies:
   visible only when the entry times out (bounded staleness);
 * ``INVALIDATE`` — the directory service tracks which machines cached
   each entry and sends invalidations on rebind (no staleness after
-  the invalidation is delivered, at the cost of extra messages).
+  the invalidation is delivered, at the cost of extra messages);
+* ``LEASE`` — invalidation callbacks *with an expiry promise*
+  (:mod:`repro.nameservice.leases`): entries are fresh only while a
+  covering lease is unexpired, so even a dropped callback bounds
+  staleness by the lease term plus one delivery delay.
 """
 
 from __future__ import annotations
@@ -29,7 +33,13 @@ from typing import Optional
 from repro.errors import SchemeError
 from repro.model.context import Context
 from repro.model.entities import Entity, ObjectEntity
+from repro.nameservice.leases import (
+    LeaseManager,
+    LeaseTable,
+    callback_fanout,
+)
 from repro.nameservice.placement import DirectoryPlacement
+from repro.nameservice.retry import RetryPolicy
 from repro.obs.instrument import NO_OBS, Instrumentation
 from repro.sim.kernel import Simulator
 from repro.sim.network import Machine
@@ -45,6 +55,7 @@ class CachePolicy(enum.Enum):
     NONE = "none"
     TTL = "ttl"
     INVALIDATE = "invalidate"
+    LEASE = "lease"
 
     def __str__(self) -> str:
         return self.value
@@ -100,6 +111,11 @@ class BindingCache:
         """Drop a cached binding (invalidation protocol)."""
         if self._entries.pop((directory.uid, name_), None) is not None:
             self.invalidations += 1
+
+    def expire(self, directory: ObjectEntity, name_: str) -> None:
+        """Drop a cached binding whose covering lease ran out."""
+        if self._entries.pop((directory.uid, name_), None) is not None:
+            self.expirations += 1
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -187,10 +203,14 @@ class PrefixCache:
 
     def __init__(self, machine: Machine,
                  obs: Optional[Instrumentation] = None,
-                 keep_expired: bool = False):
+                 keep_expired: bool = False,
+                 lease_table: Optional["LeaseTable"] = None):
         self.machine = machine
         self._obs = obs if obs is not None else NO_OBS
         self.keep_expired = keep_expired
+        #: Under ``CachePolicy.LEASE`` entries carry no TTL; they are
+        #: fresh iff every dependency holds an unexpired lease here.
+        self.lease_table = lease_table
         self._entries: dict[PrefixKey, PrefixEntry] = {}
         # Reverse index: consumed binding → prefix keys through it.
         self._through: dict[DepKey, set[PrefixKey]] = {}
@@ -228,7 +248,9 @@ class PrefixCache:
                 continue
             if entry.context is not context:
                 continue  # stale id() alias — never served
-            if not entry.live(now, epoch):
+            leased = (self.lease_table is None
+                      or self.lease_table.covers_all(entry.deps, now))
+            if not entry.live(now, epoch) or not leased:
                 if self.keep_expired:
                     # Retained for lookup_stale; count the expiry once.
                     if entry.expiry_counted:
@@ -344,20 +366,33 @@ class CachingDirectoryService:
     def __init__(self, simulator: Simulator,
                  placement: DirectoryPlacement,
                  policy: CachePolicy = CachePolicy.NONE,
-                 ttl: float = 10.0, latency: float = 1.0):
+                 ttl: float = 10.0, latency: float = 1.0,
+                 retry_policy: Optional[RetryPolicy] = None):
         self._sim = simulator
         self._placement = placement
         self.policy = policy
         self.ttl = ttl
         self._latency = latency
+        self.retry_policy = retry_policy
         self._caches: dict[int, BindingCache] = {}
         # (directory uid, name) -> machines holding a cached copy.
-        self._copies: dict[tuple[int, str], set[int]] = {}
+        # Under LEASE the same information lives in the LeaseManager's
+        # holder index (with expiry), so _copies is INVALIDATE-only.
+        self._copies: dict[tuple[int, str], dict[int, None]] = {}
         self._machines_by_id: dict[int, Machine] = {}
         self._agents: dict[int, object] = {}
         self.remote_reads = 0
         self.invalidation_messages = 0
         self.invalidation_latency = 0.0
+        self.invalidation_losses = 0
+        # LEASE policy state: one server-side manager, per-machine
+        # client tables.  ``ttl`` doubles as the lease term.
+        self.leases: Optional[LeaseManager] = None
+        self._lease_tables: dict[int, LeaseTable] = {}
+        if policy is CachePolicy.LEASE:
+            self.leases = LeaseManager(term=ttl,
+                                       retry_policy=retry_policy,
+                                       obs=simulator.obs)
 
     # -- cache plumbing -----------------------------------------------------
 
@@ -368,6 +403,14 @@ class CachingDirectoryService:
             self._caches[id(machine)] = cache
             self._machines_by_id[id(machine)] = machine
         return cache
+
+    def lease_table_of(self, machine: Machine) -> LeaseTable:
+        """The LEASE policy's client-side table for *machine*."""
+        table = self._lease_tables.get(id(machine))
+        if table is None:
+            table = LeaseTable(machine.label, obs=self._sim.obs)
+            self._lease_tables[id(machine)] = table
+        return table
 
     def _agent(self, machine: Machine):
         """A per-machine process carrying cache/invalidation traffic."""
@@ -406,28 +449,43 @@ class CachingDirectoryService:
         context: Context = directory.state
         if host is None or host is client_machine:
             return context(name_)
+        now = self._sim.clock.now
         if self.policy is not CachePolicy.NONE:
             cache = self.cache_of(client_machine)
-            cached = cache.lookup(directory, name_, self._sim.clock.now)
+            if self.policy is CachePolicy.LEASE:
+                # Leased entries carry no TTL; the covering lease is
+                # the freshness gate (expired lease = expired entry).
+                table = self.lease_table_of(client_machine)
+                if not table.fresh(binding_dep(directory, name_), now):
+                    cache.expire(directory, name_)
+            cached = cache.lookup(directory, name_, now)
             if cached is not None:
                 return cached
         # Miss: fetch from the hosting server.
         self._round_trip(client_machine, host)
+        now = self._sim.clock.now
         entity = context(name_)
         if self.policy is not CachePolicy.NONE and entity.is_defined():
             ttl = self.ttl if self.policy is CachePolicy.TTL else None
             self.cache_of(client_machine).fill(
-                directory, name_, entity, self._sim.clock.now, ttl)
+                directory, name_, entity, now, ttl)
             if self.policy is CachePolicy.INVALIDATE:
                 self._copies.setdefault(
-                    (directory.uid, name_), set()).add(id(client_machine))
+                    (directory.uid, name_), {})[id(client_machine)] = None
+            elif self.policy is CachePolicy.LEASE:
+                dep = binding_dep(directory, name_)
+                epoch = self._placement.epoch
+                self.leases.grant(id(client_machine), dep, now, epoch,
+                                  machine_label=client_machine.label)
+                self.lease_table_of(client_machine).grant(
+                    dep, now, self.ttl, epoch)
         return entity
 
     # -- writes --------------------------------------------------------------------
 
     def rebind(self, directory: ObjectEntity, name_: str,
                entity: Entity) -> None:
-        """Change a binding; under INVALIDATE, notify cached copies.
+        """Change a binding; under INVALIDATE/LEASE, notify copies.
 
         Invalidations are messages (one per caching machine) sent from
         the hosting server's agent as one batched fan-out: all sends
@@ -437,27 +495,126 @@ class CachingDirectoryService:
         :attr:`invalidation_latency`, so the INVALIDATE policy's write
         cost is measured alongside its message count.  Under TTL,
         stale copies simply live out their window.
+
+        Crucially, a holder's cache is only invalidated when its
+        invalidation message was actually *delivered*.  A dropped
+        message (partition, downed client, flaky link) leaves the
+        holder's stale copy in place and is counted in
+        :attr:`invalidation_losses` — under INVALIDATE that holder is
+        now weakly coherent for an unbounded time (the holder is
+        re-registered so a later rebind retries); under LEASE the
+        undeliverable callback *breaks the lease* instead, so the
+        stale copy expires by the lease term (bounded staleness).
         """
         context: Context = directory.state
         context.bind(name_, entity)
-        if self.policy is not CachePolicy.INVALIDATE:
-            return
+        if self.policy is CachePolicy.INVALIDATE:
+            self._invalidate_copies(directory, name_)
+        elif self.policy is CachePolicy.LEASE:
+            self._lease_callbacks(directory, name_)
+
+    def _invalidate_copies(self, directory: ObjectEntity,
+                           name_: str) -> None:
         host = self._placement.host_of(directory)
-        holders = self._copies.pop((directory.uid, name_), set())
-        fanout = []
+        holders = self._copies.pop((directory.uid, name_), {})
+        fanout: list[tuple[int, object]] = []
         for machine_id in holders:
             machine = self._machines_by_id[machine_id]
-            if host is not None and machine is not host:
-                fanout.append(self._agent(host).send(
-                    self._agent(machine),
-                    payload={"cache": "invalidate"},
-                    latency=self._latency))
-                self.invalidation_messages += 1
-            self._caches[machine_id].invalidate(directory, name_)
-        if fanout:
-            before = self._sim.clock.now
-            self._sim.run_until_settled(fanout)
-            self.invalidation_latency += self._sim.clock.now - before
+            if host is None or machine is host:
+                # Local copy: no message needed, drop it directly.
+                self._caches[machine_id].invalidate(directory, name_)
+                continue
+            message = self._agent(host).send(
+                self._agent(machine),
+                payload={"cache": "invalidate"},
+                latency=self._latency)
+            self.invalidation_messages += 1
+            fanout.append((machine_id, message))
+        if not fanout:
+            return
+        before = self._sim.clock.now
+        self._sim.run_until_settled([msg for _mid, msg in fanout])
+        self.invalidation_latency += self._sim.clock.now - before
+        for machine_id, message in fanout:
+            if message.dropped:
+                # Silent loss made loud: the holder still has a stale
+                # copy; keep it registered so a later rebind retries.
+                self.invalidation_losses += 1
+                self._copies.setdefault(
+                    (directory.uid, name_), {})[machine_id] = None
+            else:
+                self._caches[machine_id].invalidate(directory, name_)
+
+    def _lease_callbacks(self, directory: ObjectEntity,
+                         name_: str) -> None:
+        """Break the promise: call back every live lease holder."""
+        dep = binding_dep(directory, name_)
+        host = self._placement.host_of(directory)
+        now = self._sim.clock.now
+        holders = self.leases.holders_of(dep, now)
+        if not holders:
+            return
+        before = self._sim.clock.now
+
+        def deliver(lease, attempt: int) -> bool:
+            machine = self._machines_by_id.get(lease.machine_id)
+            if machine is None:
+                return False
+            if host is None or machine is host:
+                self._on_callback(lease, directory, name_)
+                return True
+            message = self._agent(host).send(
+                self._agent(machine),
+                payload={"lease": {"op": "break", "dep": dep}},
+                latency=self._latency)
+            self.invalidation_messages += 1
+            self._sim.run_until_settled(message)
+            if message.dropped:
+                return False
+            self._on_callback(lease, directory, name_)
+            ack = self._agent(machine).send(
+                self._agent(host),
+                payload={"lease": {"op": "ack", "dep": dep}},
+                latency=self._latency)
+            self.invalidation_messages += 1
+            self._sim.run_until_settled(ack)
+            if not ack.dropped:
+                self.leases.record_ack(lease.machine_id, dep,
+                                       self._sim.clock.now)
+            return True
+
+        def wait(delay: float) -> None:
+            self._sim.run(until=self._sim.clock.now + delay)
+
+        report = callback_fanout(
+            holders,
+            now=lambda: self._sim.clock.now,
+            rng=self._sim.rng,
+            deliver=deliver,
+            wait=wait,
+            retry_policy=self.retry_policy,
+            breaker_for=lambda lease: self.leases.breaker_for_machine(
+                lease.machine_id,
+                label=self._machine_label(lease.machine_id)),
+            on_broken=lambda lease: self.leases.break_lease(
+                lease, self._sim.clock.now))
+        self.invalidation_losses += report.broken
+        self.invalidation_latency += self._sim.clock.now - before
+
+    def _on_callback(self, lease, directory: ObjectEntity,
+                     name_: str) -> None:
+        """A break callback reached its holder: drop the leased copy."""
+        now = self._sim.clock.now
+        table = self._lease_tables.get(lease.machine_id)
+        if table is not None:
+            table.revoke(lease.dep, now)
+        cache = self._caches.get(lease.machine_id)
+        if cache is not None:
+            cache.invalidate(directory, name_)
+
+    def _machine_label(self, machine_id: int) -> str:
+        machine = self._machines_by_id.get(machine_id)
+        return machine.label if machine is not None else str(machine_id)
 
     # -- reporting --------------------------------------------------------------------
 
@@ -465,9 +622,13 @@ class CachingDirectoryService:
         totals = {"remote_reads": self.remote_reads,
                   "invalidation_messages": self.invalidation_messages,
                   "invalidation_latency": self.invalidation_latency,
+                  "invalidation_losses": self.invalidation_losses,
                   "hits": 0, "misses": 0, "invalidations": 0,
                   "expirations": 0}
         for cache in self._caches.values():
             for key, value in cache.stats().items():
                 totals[key] += value
+        if self.leases is not None:
+            for key, value in self.leases.stats().items():
+                totals[f"lease_{key}"] = value
         return totals

@@ -45,6 +45,7 @@ from repro.errors import SchemeError
 from repro.model.context import Context
 from repro.model.entities import Entity, ObjectEntity, UNDEFINED_ENTITY
 from repro.model.names import ROOT_NAME, CompoundName, NameLike
+from repro.nameservice.leases import LeaseTable
 from repro.nameservice.placement import DirectoryPlacement
 from repro.nameservice.retry import RetryPolicy
 from repro.sim.events import ScheduledEvent
@@ -179,6 +180,13 @@ class AsyncNameClient:
             the instant the timeout fires.  ``None`` keeps the legacy
             immediate re-send.  :attr:`RetryPolicy.max_attempts` is
             ignored here — *max_retries* stays the attempt bound.
+        lease_table: When set, the client participates in the lease
+            callback protocol (:mod:`repro.nameservice.leases`): an
+            incoming ``{"lease": {"op": "break", ...}}`` message
+            revokes the named dependency from the table and is acked
+            back to the sender (the ack continues the callback's
+            trace context), counted in
+            ``async_lease_callbacks_total``.
 
     Attributes:
         late_replies: Replies that arrived for an already-settled or
@@ -194,7 +202,8 @@ class AsyncNameClient:
                  process: SimProcess,
                  timeout: float = 5.0, max_retries: int = 2,
                  latency: float = 1.0,
-                 retry_policy: Optional[RetryPolicy] = None):
+                 retry_policy: Optional[RetryPolicy] = None,
+                 lease_table: Optional[LeaseTable] = None):
         self.simulator = simulator
         self.placement = placement
         self.servers = servers
@@ -203,6 +212,8 @@ class AsyncNameClient:
         self.max_retries = max_retries
         self.latency = latency
         self.retry_policy = retry_policy
+        self.lease_table = lease_table
+        self.lease_callbacks = 0
         self.late_replies = 0
         self._pending: dict[int, _Pending] = {}
         self._ids = itertools.count(1)
@@ -348,6 +359,9 @@ class AsyncNameClient:
     def _on_message(self, _process: SimProcess,
                     message: Message) -> None:
         payload = message.payload
+        if isinstance(payload, dict) and "lease" in payload:
+            self._on_lease_message(message, payload["lease"])
+            return
         if not isinstance(payload, dict) or "reply" not in payload:
             return
         reply = payload["reply"]
@@ -370,6 +384,25 @@ class AsyncNameClient:
                       entity if entity is not None else UNDEFINED_ENTITY)
         if pending.request_id in self._pending:
             self._advance(pending)
+
+    def _on_lease_message(self, message: Message, body: dict) -> None:
+        """Handle a server-initiated lease callback (break)."""
+        if body.get("op") != "break" or self.lease_table is None:
+            return
+        now = self.simulator.clock.now
+        dep = body.get("dep")
+        held = self.lease_table.revoke(dep, now)
+        self.lease_callbacks += 1
+        if self._obs.enabled:
+            self._obs.metrics.counter(
+                "async_lease_callbacks_total",
+                {"held": str(held).lower()}).inc()
+        ack = self.process.send(message.sender, payload={"lease": {
+            "op": "ack", "dep": dep, "held": held,
+        }}, latency=self.latency)
+        # The ack continues the callback's trace.
+        ack.trace_id = message.trace_id
+        ack.parent_span_id = message.parent_span_id
 
     def _count_late_reply(self, kind: str) -> None:
         self.late_replies += 1

@@ -68,8 +68,14 @@ from repro.model.names import ROOT_NAME, CompoundName, NameLike
 from repro.nameservice.cache import (
     CachePolicy,
     PrefixCache,
+    PrefixEntry,
     binding_dep,
     context_dep,
+)
+from repro.nameservice.leases import (
+    LeaseManager,
+    LeaseTable,
+    callback_fanout,
 )
 from repro.nameservice.placement import DirectoryPlacement
 from repro.nameservice.retry import CircuitBreaker, RetryPolicy
@@ -196,10 +202,14 @@ class DistributedResolver:
             authoritative replica of a directory is reachable, answer
             the step from the client's possibly-stale prefix cache and
             tag the resolution weakly coherent.  Requires a cache
-            policy other than ``NONE`` and a retry policy.
+            policy other than ``NONE`` and a retry policy.  The
+            ``LEASE`` policy implies this gate (its *grace mode*).
         breaker_threshold / breaker_cooldown: Circuit-breaker tuning
             (consecutive drops to trip; virtual-time cooldown before
             half-opening).
+        lease_term: Virtual-time term of ``LEASE``-policy grants; the
+            bound on claimed-coherent staleness is this term plus one
+            delivery delay.
     """
 
     def __init__(self, simulator: Simulator,
@@ -210,7 +220,8 @@ class DistributedResolver:
                  retry_policy: Optional[RetryPolicy] = None,
                  serve_stale: bool = False,
                  breaker_threshold: int = 3,
-                 breaker_cooldown: float = 30.0):
+                 breaker_cooldown: float = 30.0,
+                 lease_term: float = 30.0):
         self._sim = simulator
         self._placement = placement
         self._latency = latency
@@ -222,6 +233,17 @@ class DistributedResolver:
         self.serve_stale = serve_stale
         self.breaker_threshold = breaker_threshold
         self.breaker_cooldown = breaker_cooldown
+        self.lease_term = lease_term
+        # LEASE policy: one server-side manager for the deployment,
+        # one client-side table per machine (created lazily alongside
+        # its prefix cache).
+        self.leases: Optional[LeaseManager] = None
+        self._lease_tables: dict[int, LeaseTable] = {}
+        if cache_policy is CachePolicy.LEASE:
+            self.leases = LeaseManager(
+                term=lease_term, retry_policy=retry_policy,
+                breaker_threshold=breaker_threshold,
+                breaker_cooldown=breaker_cooldown, obs=self._obs)
         if self._obs.enabled:
             metrics = self._obs.metrics
             self._m_messages = metrics.counter("resolver_messages_total")
@@ -236,8 +258,9 @@ class DistributedResolver:
         self._machines_by_id: dict[int, Machine] = {}
         # Per-server-process circuit breakers, keyed by process uid.
         self._breakers: dict[int, CircuitBreaker] = {}
-        # INVALIDATE bookkeeping: consumed binding → caching machines.
-        self._holders: dict[tuple, set[int]] = {}
+        # INVALIDATE bookkeeping: consumed binding → caching machines
+        # (insertion-ordered so fan-outs are deterministic per seed).
+        self._holders: dict[tuple, dict[int, None]] = {}
         # Per-server load, keyed by process uid — labels are not
         # identities (two machines may share one), so counters never
         # collide; `load` aggregates by label for reporting only.
@@ -245,6 +268,7 @@ class DistributedResolver:
         self._server_labels: dict[int, str] = {}
         self.invalidation_messages = 0
         self.invalidation_latency = 0.0
+        self.invalidation_losses = 0
         self.replication_messages = 0
         self.anti_entropy_messages = 0
 
@@ -317,11 +341,39 @@ class DistributedResolver:
         """The (lazily created) prefix cache of a client machine."""
         cache = self._prefix_caches.get(id(machine))
         if cache is None:
-            cache = PrefixCache(machine, obs=self._obs,
-                                keep_expired=self.serve_stale)
+            leased = self.cache_policy is CachePolicy.LEASE
+            cache = PrefixCache(
+                machine, obs=self._obs,
+                # LEASE keeps expired entries for grace-mode serving
+                # even without the explicit serve_stale gate.
+                keep_expired=self.serve_stale or leased,
+                lease_table=(self.lease_table_of(machine)
+                             if leased else None))
             self._prefix_caches[id(machine)] = cache
             self._machines_by_id[id(machine)] = machine
         return cache
+
+    def lease_table_of(self, machine: Machine) -> LeaseTable:
+        """The (lazily created) client-side lease table of a machine."""
+        table = self._lease_tables.get(id(machine))
+        if table is None:
+            table = LeaseTable(machine.label, obs=self._obs)
+            self._lease_tables[id(machine)] = table
+            self._machines_by_id[id(machine)] = machine
+        return table
+
+    def lease_stats(self) -> dict[str, int]:
+        """Server-side plus aggregated client-side lease counters."""
+        totals = {"grants": 0, "renewals": 0, "revocations": 0,
+                  "expirations": 0, "grace_hits": 0, "revalidations": 0}
+        for table in self._lease_tables.values():
+            for key, value in table.stats().items():
+                if key in totals:
+                    totals[key] += value
+        if self.leases is not None:
+            for key, value in self.leases.stats().items():
+                totals[f"server_{key}"] = value
+        return totals
 
     def cache_stats(self) -> dict[str, int]:
         """Aggregate hit/miss/invalidation/expiry/stale counts over
@@ -600,30 +652,58 @@ class DistributedResolver:
 
     def _degraded_step(self, client_server: SimProcess, context: Context,
                        rooted: bool, consumed: tuple[str, ...],
-                       directory: ObjectEntity,
-                       cost: ResolutionCost) -> SimProcess:
+                       directory: ObjectEntity, cost: ResolutionCost,
+                       ) -> tuple[SimProcess, Optional[PrefixEntry]]:
         """Every replica of *directory* was unreachable: serve the
         step from the client's stale prefix cache (tagging the answer
         weakly coherent) if the ``serve_stale`` gate allows, else mark
         the walk failed.  Either way the walk continues at the client.
+
+        Under ``LEASE`` this is *grace mode*: the client enters grace
+        (it cannot renew) and keeps answering from its expired leased
+        entries — returning the **cached** directory, which may predate
+        a rebind it never heard about, so the caller must continue the
+        walk in the returned entry's state.  The grace answer is
+        always tagged weak; on heal, :meth:`LeaseTable.exit_grace`
+        revalidates before anything is promoted back to fresh.
+
+        Returns ``(server the walk continues at, stale entry or
+        None)``; a non-None entry means the step was served degraded.
         """
         obs = self._obs
         now = self._sim.clock.now
-        if self.serve_stale and self.cache_policy is not CachePolicy.NONE:
+        leased = self.cache_policy is CachePolicy.LEASE
+        if (self.serve_stale or leased) \
+                and self.cache_policy is not CachePolicy.NONE:
             cache = self.prefix_cache_of(client_server.machine)
             entry = cache.lookup_stale(context, rooted, consumed)
-            if entry is not None and entry.directory is directory:
+            if leased:
+                # Grace mode: the cached entry may point at an *older*
+                # directory than the true σ does (a rebind we never
+                # heard about) — serve the promise we still hold,
+                # weak-tagged.  A *revoked* promise (delivered break
+                # callback) was dropped from the cache, so it can
+                # never be resurrected here.
+                if entry is not None:
+                    self.lease_table_of(
+                        client_server.machine).enter_grace(now)
+            elif entry is not None and entry.directory is not directory:
+                entry = None
+            if entry is not None:
                 cost.stale_steps += 1
                 cost.weak = True
+                if leased:
+                    self.lease_table_of(
+                        client_server.machine).served_in_grace(now)
                 if obs.enabled:
                     obs.metrics.counter(
                         "resolver_stale_served_total").inc()
                     obs.tracer.event(
                         "stale", "serve.degraded", now,
-                        attrs={"directory": directory.label,
+                        attrs={"directory": entry.directory.label,
                                "prefix": "/".join(consumed),
                                "machine": client_server.machine.label})
-                return client_server
+                return client_server, entry
         cost.failed_hops += 1
         if obs.enabled:
             obs.metrics.counter("resolver_unreachable_total").inc()
@@ -634,7 +714,7 @@ class DistributedResolver:
             if obs.tracer.current is not None:
                 obs.tracer.current.fail(
                     f"directory {directory.label} unreachable")
-        return client_server
+        return client_server, None
 
     # -- the walk ----------------------------------------------------------
 
@@ -678,11 +758,31 @@ class DistributedResolver:
             return  # local state — there is no walk to skip
         cache = self.prefix_cache_of(client_machine)
         ttl = self.cache_ttl if self.cache_policy is CachePolicy.TTL else None
+        now = self._sim.clock.now
+        epoch = self._placement.epoch
         cache.fill(context, rooted, consumed, directory, deps,
-                   self._sim.clock.now, ttl, self._placement.epoch)
+                   now, ttl, epoch)
         if self.cache_policy is CachePolicy.INVALIDATE:
             for dep in deps:
-                self._holders.setdefault(dep, set()).add(id(client_machine))
+                self._holders.setdefault(
+                    dep, {})[id(client_machine)] = None
+        elif self.cache_policy is CachePolicy.LEASE:
+            # Grants piggyback on the fill — the walk just talked to
+            # the serving machines, so no extra grant messages are
+            # modelled; renewals are re-walks.
+            table = self.lease_table_of(client_machine)
+            if table.in_grace \
+                    and self._placement.host_of(directory) \
+                    is not client_machine:
+                # A *remote* authoritative step succeeded again: the
+                # partition healed.  Revalidate before promoting
+                # anything back to fresh.  (Locally-placed directories
+                # answer through any partition, so they prove nothing.)
+                table.exit_grace(now, epoch)
+            for dep in deps:
+                self.leases.grant(id(client_machine), dep, now, epoch,
+                                  machine_label=client_machine.label)
+                table.grant(dep, now, self.lease_term, epoch)
 
     def _walk_one(self, client_server: SimProcess, context: Context,
                   name_: CompoundName, style: ResolutionStyle,
@@ -729,9 +829,12 @@ class DistributedResolver:
             nxt = self._enter_directory(client_server, directory, at,
                                         cost, style)
             if nxt is None:
-                at = self._degraded_step(client_server, context, rooted,
-                                         tuple(comps[:start]), directory,
-                                         cost)
+                at, stale_entry = self._degraded_step(
+                    client_server, context, rooted,
+                    tuple(comps[:start]), directory, cost)
+                if stale_entry is not None:
+                    entered = stale_entry.directory
+                    current = entered.state
                 tainted = True
             else:
                 at = nxt
@@ -769,9 +872,15 @@ class DistributedResolver:
             nxt = self._enter_directory(client_server, entered, at,
                                         cost, style)
             if nxt is None:
-                at = self._degraded_step(client_server, context, rooted,
-                                         tuple(comps[:index + 1]),
-                                         entered, cost)
+                at, stale_entry = self._degraded_step(
+                    client_server, context, rooted,
+                    tuple(comps[:index + 1]), entered, cost)
+                if stale_entry is not None:
+                    # Continue in the *cached* (possibly older)
+                    # directory — the degraded walk must not read
+                    # through true state it could never have reached.
+                    entered = stale_entry.directory
+                    current = entered.state
                 tainted = True
             else:
                 at = nxt
@@ -921,20 +1030,27 @@ class DistributedResolver:
           until anti-entropy on restart (:meth:`handle_restart`).
         * **Invalidation** (policy ``INVALIDATE``) — every prefix
           entry whose walk consumed the changed binding is dropped on
-          every caching machine, with the invalidation messages sent
-          as one batched fan-out and a single bounded drain (latency
-          accumulated in :attr:`invalidation_latency`).  Under TTL,
+          every caching machine *whose invalidation message arrived*,
+          with the messages sent as one batched fan-out and a single
+          bounded drain (latency accumulated in
+          :attr:`invalidation_latency`); undeliverable invalidations
+          are counted in :attr:`invalidation_losses` — that holder is
+          stale for an unbounded time.  Under ``LEASE`` the fan-out is
+          a *callback break* instead: retried per holder, acked on
+          delivery, and escalated to a lease break when undeliverable,
+          so the stale copy expires by the lease term.  Under TTL,
           stale prefixes live out their window; under NONE there is
           nothing to keep coherent.
 
-        Returns the number of invalidation messages sent.
+        Returns the number of invalidation/callback messages sent.
         """
         context: Context = directory.state
         context.bind(name_, entity)
         obs = self._obs
         replicas = self._placement.replicas_of(directory)
         secondaries = replicas[1:] if len(replicas) > 1 else ()
-        if self.cache_policy is not CachePolicy.INVALIDATE \
+        if self.cache_policy not in (CachePolicy.INVALIDATE,
+                                     CachePolicy.LEASE) \
                 and not secondaries:
             return 0
         span = None
@@ -994,43 +1110,190 @@ class DistributedResolver:
                         attrs={"directory": directory.label,
                                "count": stale_marked})
         # -- cache invalidation -------------------------------------------
-        fanout = []
+        sent = 0
         if self.cache_policy is CachePolicy.INVALIDATE:
-            dep = binding_dep(directory, name_)
-            holders = self._holders.pop(dep, set())
-            host = self._placement.host_of(directory)
-            for machine_id in holders:
-                machine = self._machines_by_id[machine_id]
-                cache = self._prefix_caches.get(machine_id)
-                if cache is not None:
-                    dropped = cache.invalidate_through(dep)
-                    if span is not None and dropped:
-                        obs.tracer.event(
-                            "cache", "prefix.invalidated",
-                            self._sim.clock.now,
-                            attrs={"machine": machine.label,
-                                   "count": dropped})
-                if host is not None and machine is not host:
-                    message = self.server_for(host).send(
-                        self.server_for(machine),
-                        payload={"ns": "invalidate"},
-                        latency=self._latency)
-                    if span is not None:
-                        message.trace_id = span.trace_id
-                        message.parent_span_id = span.span_id
-                    fanout.append(message)
-            self.invalidation_messages += len(fanout)
-            if fanout:
-                before = self._sim.clock.now
-                self._sim.run_until_settled(fanout)
-                self.invalidation_latency += self._sim.clock.now - before
+            sent = self._invalidate_holders(directory, name_, span)
+        elif self.cache_policy is CachePolicy.LEASE:
+            sent = self._lease_callbacks(directory, name_, span)
         if span is not None:
-            self._m_invalidation_msgs.inc(len(fanout))
-            span.attrs["messages"] = len(fanout)
+            self._m_invalidation_msgs.inc(sent)
+            span.attrs["messages"] = sent
             span.attrs["replicated"] = replicated
             span.attrs["stale_marked"] = stale_marked
             obs.tracer.end(span, self._sim.clock.now)
-        return len(fanout)
+        return sent
+
+    def _invalidate_holders(self, directory: ObjectEntity, name_: str,
+                            span) -> int:
+        """INVALIDATE fan-out: drop each holder's cached prefixes —
+        but only where the invalidation message actually *arrived*.
+
+        A dropped message (partition, downed client, flaky link) used
+        to be silently ignored, leaving that holder stale forever with
+        no record; it is now counted in :attr:`invalidation_losses`
+        (and ``resolver_invalidation_losses_total``) and the holder
+        stays registered so a later rebind of the same binding retries.
+        """
+        obs = self._obs
+        dep = binding_dep(directory, name_)
+        holders = self._holders.pop(dep, {})
+        host = self._placement.host_of(directory)
+        fanout: list[tuple[int, object]] = []
+        sent = 0
+        for machine_id in holders:
+            machine = self._machines_by_id[machine_id]
+            if host is None or machine is host:
+                # Local holder: no message needed, drop directly.
+                self._drop_holder_prefixes(machine_id, dep, span)
+                continue
+            message = self.server_for(host).send(
+                self.server_for(machine),
+                payload={"ns": "invalidate"},
+                latency=self._latency)
+            if span is not None:
+                message.trace_id = span.trace_id
+                message.parent_span_id = span.span_id
+            fanout.append((machine_id, message))
+            sent += 1
+        self.invalidation_messages += sent
+        if fanout:
+            before = self._sim.clock.now
+            self._sim.run_until_settled([m for _mid, m in fanout])
+            self.invalidation_latency += self._sim.clock.now - before
+        for machine_id, message in fanout:
+            if message.dropped:
+                self.invalidation_losses += 1
+                self._holders.setdefault(dep, {})[machine_id] = None
+                if obs.enabled:
+                    obs.metrics.counter(
+                        "resolver_invalidation_losses_total").inc()
+                    obs.tracer.event(
+                        "cache", "invalidation.lost",
+                        self._sim.clock.now,
+                        attrs={"machine":
+                               self._machines_by_id[machine_id].label,
+                               "reason": message.drop_reason})
+            else:
+                self._drop_holder_prefixes(machine_id, dep, span)
+        return sent
+
+    def _drop_holder_prefixes(self, machine_id: int, dep, span) -> None:
+        cache = self._prefix_caches.get(machine_id)
+        if cache is None:
+            return
+        dropped = cache.invalidate_through(dep)
+        if span is not None and dropped:
+            self._obs.tracer.event(
+                "cache", "prefix.invalidated", self._sim.clock.now,
+                attrs={"machine": self._machines_by_id[machine_id].label,
+                       "count": dropped})
+
+    def _lease_callbacks(self, directory: ObjectEntity, name_: str,
+                         span) -> int:
+        """LEASE fan-out: break the promise at every live holder.
+
+        Each callback is one message with bounded retries (the shared
+        :class:`RetryPolicy`/:class:`CircuitBreaker` machinery via
+        :func:`callback_fanout`); a delivered callback revokes the
+        holder's lease, drops its cached prefixes and is acked back; a
+        holder that stays unreachable has its lease *broken* — the
+        stale copy then expires by the lease term, which is what
+        bounds staleness where INVALIDATE would silently lose.
+        """
+        obs = self._obs
+        dep = binding_dep(directory, name_)
+        now = self._sim.clock.now
+        holders = self.leases.holders_of(dep, now)
+        if not holders:
+            return 0
+        host = self._placement.host_of(directory)
+        host_server = None
+        if host is not None:
+            host_server = (self.server_for(host) if host.alive
+                           else self._servers.get(id(host)))
+        counters = {"sent": 0}
+        before = self._sim.clock.now
+
+        def deliver(lease, attempt: int) -> bool:
+            machine = self._machines_by_id.get(lease.machine_id)
+            if machine is None:
+                return False
+            if host is None or machine is host:
+                self._on_lease_callback(lease.machine_id, dep, span)
+                return True
+            if host_server is None or not host_server.alive:
+                return False  # nobody left to send the callback
+            message = host_server.send(
+                self.server_for(machine),
+                payload={"lease": {"op": "break", "dep": dep}},
+                latency=self._latency)
+            if span is not None:
+                message.trace_id = span.trace_id
+                message.parent_span_id = span.span_id
+            counters["sent"] += 1
+            self.invalidation_messages += 1
+            self._sim.run_until_settled(message)
+            if obs.enabled:
+                obs.tracer.event(
+                    "lease", "lease.callback", self._sim.clock.now,
+                    attrs={"machine": machine.label, "dep": repr(dep),
+                           "attempt": attempt,
+                           "delivered": not message.dropped})
+                obs.metrics.counter(
+                    "lease_callbacks_total",
+                    {"delivered": str(not message.dropped).lower()}
+                ).inc()
+            if message.dropped:
+                return False
+            self._on_lease_callback(lease.machine_id, dep, span)
+            ack = self.server_for(machine).send(
+                host_server,
+                payload={"lease": {"op": "ack", "dep": dep}},
+                latency=self._latency)
+            if span is not None:
+                ack.trace_id = span.trace_id
+                ack.parent_span_id = span.span_id
+            counters["sent"] += 1
+            self.invalidation_messages += 1
+            self._sim.run_until_settled(ack)
+            if not ack.dropped:
+                self.leases.record_ack(lease.machine_id, dep,
+                                       self._sim.clock.now)
+            return True
+
+        def wait(delay: float) -> None:
+            start = self._sim.clock.now
+            self._sim.run(until=start + delay)
+
+        report = callback_fanout(
+            holders,
+            now=lambda: self._sim.clock.now,
+            rng=self._sim.rng,
+            deliver=deliver,
+            wait=wait,
+            retry_policy=self.retry_policy,
+            breaker_for=lambda lease: self.leases.breaker_for_machine(
+                lease.machine_id,
+                label="lease-cb:" + (
+                    self._machines_by_id[lease.machine_id].label
+                    if lease.machine_id in self._machines_by_id
+                    else str(lease.machine_id))),
+            on_broken=lambda lease: self.leases.break_lease(
+                lease, self._sim.clock.now))
+        self.invalidation_losses += report.broken
+        self.invalidation_latency += self._sim.clock.now - before
+        if obs.enabled and report.broken:
+            obs.metrics.counter(
+                "resolver_invalidation_losses_total").inc(report.broken)
+        return counters["sent"]
+
+    def _on_lease_callback(self, machine_id: int, dep, span) -> None:
+        """A break callback reached its holder: revoke + drop."""
+        now = self._sim.clock.now
+        table = self._lease_tables.get(machine_id)
+        if table is not None:
+            table.revoke(dep, now)
+        self._drop_holder_prefixes(machine_id, dep, span)
 
     # -- restart / anti-entropy --------------------------------------------
 

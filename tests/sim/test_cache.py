@@ -11,6 +11,8 @@ from repro.nameservice.cache import (
     BindingCache,
     CachePolicy,
     CachingDirectoryService,
+    PrefixCache,
+    binding_dep,
 )
 from repro.nameservice.placement import DirectoryPlacement
 from repro.sim.kernel import Simulator
@@ -228,3 +230,135 @@ class TestInvalidatePolicy:
         assert stats["hits"] == 1
         assert stats["misses"] == 1
         assert stats["remote_reads"] == 1
+
+
+class TestInvalidationLoss:
+    """Regression: an invalidation the network drops used to vanish
+    silently — the holder kept serving stale reads and nothing was
+    counted.  A lost message must be counted in `invalidation_losses`
+    and leave the holder registered for the next rebind's fan-out."""
+
+    def _partitioned_world(self):
+        simulator = Simulator(seed=0)
+        lan = simulator.network("lan")
+        srv = simulator.network("srv")
+        server = simulator.machine(srv, "server")
+        client = simulator.machine(lan, "c0")
+        directory = context_object("registry")
+        simulator.sigma.add(directory)
+        v1 = ObjectEntity("svc-v1")
+        simulator.sigma.add(v1)
+        directory.state.bind("svc", v1)
+        placement = DirectoryPlacement()
+        placement.place(directory, server)
+        service = CachingDirectoryService(
+            simulator, placement, policy=CachePolicy.INVALIDATE)
+        return simulator, lan, srv, client, directory, v1, service
+
+    def test_lost_invalidation_is_counted_and_read_goes_stale(self):
+        (simulator, lan, srv, client, directory, v1,
+         service) = self._partitioned_world()
+        assert service.lookup(client, directory, "svc") is v1
+        simulator.partition(lan, srv)
+        v2 = ObjectEntity("svc-v2")
+        service.rebind(directory, "svc", v2)
+        assert service.invalidation_losses == 1
+        assert service.stats()["invalidation_losses"] == 1
+        # The message was paid for and lost — and the holder now
+        # observably serves the stale binding (heal first: the cache,
+        # not the partition, is what answers).
+        simulator.heal(lan, srv)
+        assert service.lookup(client, directory, "svc") is v1
+
+    def test_lost_holder_is_reregistered_for_the_next_rebind(self):
+        (simulator, lan, srv, client, directory, v1,
+         service) = self._partitioned_world()
+        service.lookup(client, directory, "svc")
+        simulator.partition(lan, srv)
+        service.rebind(directory, "svc", ObjectEntity("svc-v2"))
+        simulator.heal(lan, srv)
+        v3 = ObjectEntity("svc-v3")
+        service.rebind(directory, "svc", v3)
+        # The retried fan-out reaches the holder this time.
+        assert service.invalidation_losses == 1
+        assert service.lookup(client, directory, "svc") is v3
+
+    def test_delivered_invalidations_count_no_losses(self, deployment):
+        simulator, server, clients, directory, v1, _ = deployment
+        service = service_for(deployment, CachePolicy.INVALIDATE)
+        service.lookup(clients[0], directory, "svc")
+        service.rebind(directory, "svc", ObjectEntity("svc-v2"))
+        assert service.invalidation_losses == 0
+
+
+class TestPrefixExpiryCounting:
+    """Pin the `expires only once` discipline of PrefixCache's
+    keep_expired / lookup_stale pair."""
+
+    def _cache(self, keep_expired):
+        simulator = Simulator(seed=0)
+        machine = simulator.machine(simulator.network(), "c0")
+        return PrefixCache(machine, keep_expired=keep_expired)
+
+    def _fill(self, cache, ttl=5.0):
+        root = context_object("root")
+        directory = context_object("svc")
+        dep = binding_dep(root, "svc")
+        cache.fill(root.state, True, ("svc",), directory, (dep,),
+                   now=0.0, ttl=ttl, epoch=0)
+        return root.state, directory, dep
+
+    def test_expiry_counted_once_despite_repeated_probes(self):
+        cache = self._cache(keep_expired=True)
+        context, directory, _dep = self._fill(cache)
+        for _ in range(3):
+            assert cache.lookup_longest(context, True,
+                                        ["svc", "cfg"], now=9.0,
+                                        epoch=0) is None
+        assert cache.expirations == 1
+        assert cache.misses == 3
+
+    def test_repeated_stale_probes_serve_without_recounting_expiry(self):
+        cache = self._cache(keep_expired=True)
+        context, directory, _dep = self._fill(cache)
+        cache.lookup_longest(context, True, ["svc", "cfg"], now=9.0,
+                             epoch=0)
+        for _ in range(3):
+            entry = cache.lookup_stale(context, True, ("svc",))
+            assert entry is not None and entry.directory is directory
+        assert cache.expirations == 1
+        assert cache.stale_hits == 3
+
+    def test_without_keep_expired_entry_drops_on_first_expiry(self):
+        cache = self._cache(keep_expired=False)
+        context, _directory, _dep = self._fill(cache)
+        assert cache.lookup_longest(context, True, ["svc", "cfg"],
+                                    now=9.0, epoch=0) is None
+        assert cache.expirations == 1 and len(cache) == 0
+        # Later probes are plain misses on an absent entry.
+        assert cache.lookup_longest(context, True, ["svc", "cfg"],
+                                    now=10.0, epoch=0) is None
+        assert cache.expirations == 1
+        assert cache.lookup_stale(context, True, ("svc",)) is None
+
+    def test_lookup_stale_never_resurrects_an_invalidated_prefix(self):
+        cache = self._cache(keep_expired=True)
+        context, _directory, dep = self._fill(cache, ttl=None)
+        assert cache.invalidate_through(dep) == 1
+        # An INVALIDATE drop is an observed write, not staleness.
+        assert cache.lookup_stale(context, True, ("svc",)) is None
+
+    def test_refill_rearms_the_expiry_counter(self):
+        cache = self._cache(keep_expired=True)
+        context, directory, dep = self._fill(cache)
+        cache.lookup_longest(context, True, ["svc", "cfg"], now=9.0,
+                             epoch=0)
+        assert cache.expirations == 1
+        cache.fill(context, True, ("svc",), directory, (dep,),
+                   now=10.0, ttl=5.0, epoch=0)
+        hit = cache.lookup_longest(context, True, ["svc", "cfg"],
+                                   now=12.0, epoch=0)
+        assert hit is not None and hit[0] == 1
+        cache.lookup_longest(context, True, ["svc", "cfg"], now=20.0,
+                             epoch=0)
+        assert cache.expirations == 2

@@ -1,0 +1,162 @@
+"""RetryPolicy / CircuitBreaker reuse outside the resolver's hop path.
+
+The lease callback fan-out (`repro.nameservice.leases.callback_fanout`)
+drives the *same* RetryPolicy backoff schedule and CircuitBreaker
+transition hooks the resolver's `_hop_retried` path uses — these tests
+pin that the behaviour is identical for both callers."""
+
+from __future__ import annotations
+
+import random
+
+from repro.nameservice.leases import Lease, callback_fanout
+from repro.nameservice.retry import (
+    BreakerState,
+    CircuitBreaker,
+    RetryPolicy,
+)
+
+DEP = ("d", 1, "svc")
+
+
+def _lease(machine_id=1):
+    return Lease(dep=DEP, machine_id=machine_id, granted_at=0.0,
+                 expires_at=10.0, epoch=0,
+                 machine_label=f"c{machine_id}")
+
+
+def _fanout(holders, deliver, *, policy, breaker=None, now=None):
+    clock = {"now": 0.0}
+    waits = []
+    broken = []
+
+    def wait(delay):
+        waits.append(delay)
+        clock["now"] += delay
+
+    report = callback_fanout(
+        holders,
+        now=(now or (lambda: clock["now"])),
+        rng=random.Random(0),
+        deliver=deliver,
+        wait=wait,
+        retry_policy=policy,
+        breaker_for=lambda lease: breaker,
+        on_broken=broken.append)
+    return report, waits, broken
+
+
+class TestRetryPolicyReuse:
+    def test_attempts_follow_the_policy_budget(self):
+        policy = RetryPolicy(max_attempts=3, base_backoff=0.5,
+                             max_backoff=2.0)
+        report, waits, broken = _fanout(
+            [_lease()], lambda lease, attempt: False, policy=policy)
+        assert report.attempts == 3
+        assert report.broken == 1 and report.notified == 0
+        assert len(waits) == 2            # no backoff after the last try
+        assert [lease.machine_id for lease in broken] == [1]
+
+    def test_backoff_schedule_matches_the_resolver_arithmetic(self):
+        policy = RetryPolicy(max_attempts=3, base_backoff=0.5,
+                             max_backoff=2.0)
+        _report, waits, _broken = _fanout(
+            [_lease()], lambda lease, attempt: False, policy=policy)
+        expected_rng = random.Random(0)
+        expected = [policy.backoff(attempt, expected_rng)
+                    for attempt in (1, 2)]
+        assert waits == expected
+
+    def test_success_stops_retrying(self):
+        policy = RetryPolicy(max_attempts=4, base_backoff=0.5,
+                             max_backoff=2.0)
+        report, waits, broken = _fanout(
+            [_lease()], lambda lease, attempt: attempt == 2,
+            policy=policy)
+        assert report.attempts == 2 and report.notified == 1
+        assert not broken and len(waits) == 1
+
+    def test_no_policy_means_single_attempt(self):
+        report, waits, _broken = _fanout(
+            [_lease()], lambda lease, attempt: False, policy=None)
+        assert report.attempts == 1 and waits == []
+
+
+class TestBreakerReuse:
+    def test_fanout_failures_trip_the_breaker_like_hop_failures(self):
+        """Feeding the same failure sequence through callback_fanout
+        and through direct record_failure calls (the resolver's hop
+        path) must leave two breakers in identical states."""
+        policy = RetryPolicy(max_attempts=2, base_backoff=0.5,
+                             max_backoff=1.0)
+        via_fanout = CircuitBreaker(failure_threshold=2, cooldown=30.0)
+        report, _waits, broken = _fanout(
+            [_lease(1)], lambda lease, attempt: False, policy=policy,
+            breaker=via_fanout)
+        assert report.attempts == 2 and len(broken) == 1
+
+        via_hops = CircuitBreaker(failure_threshold=2, cooldown=30.0)
+        for _ in range(report.attempts):
+            via_hops.record_failure(0.0)
+
+        assert via_fanout.state is via_hops.state is BreakerState.OPEN
+        assert via_fanout.transitions == via_hops.transitions
+        assert (via_fanout.consecutive_failures
+                == via_hops.consecutive_failures)
+
+    def test_open_breaker_skips_holders_and_breaks_outright(self):
+        policy = RetryPolicy(max_attempts=3, base_backoff=0.5,
+                             max_backoff=1.0)
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=30.0)
+        breaker.record_failure(0.0)           # already open
+        assert breaker.state is BreakerState.OPEN
+        report, waits, broken = _fanout(
+            [_lease(1), _lease(2)], lambda lease, attempt: False,
+            policy=policy, breaker=breaker)
+        # No delivery attempts at all: both holders skipped, both
+        # leases broken — the escalation an exhausted budget produces.
+        assert report.attempts == 0 and report.skipped == 2
+        assert report.broken == 2 and len(broken) == 2
+        assert waits == []
+
+    def test_breaker_tripping_mid_holder_stops_the_attempt_loop(self):
+        policy = RetryPolicy(max_attempts=5, base_backoff=0.5,
+                             max_backoff=1.0)
+        breaker = CircuitBreaker(failure_threshold=2, cooldown=30.0)
+        report, _waits, broken = _fanout(
+            [_lease(1)], lambda lease, attempt: False, policy=policy,
+            breaker=breaker)
+        # The budget allowed 5 attempts but the breaker opened after
+        # failure 2 — the loop must not keep burning attempts.
+        assert report.attempts == 2
+        assert breaker.state is BreakerState.OPEN
+        assert len(broken) == 1
+
+    def test_delivery_success_resets_the_breaker(self):
+        policy = RetryPolicy(max_attempts=3, base_backoff=0.5,
+                             max_backoff=1.0)
+        breaker = CircuitBreaker(failure_threshold=3, cooldown=30.0)
+        report, _waits, broken = _fanout(
+            [_lease(1)], lambda lease, attempt: attempt == 2,
+            policy=policy, breaker=breaker)
+        assert report.notified == 1 and not broken
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.consecutive_failures == 0
+
+    def test_half_open_probe_recovers_after_cooldown(self):
+        """The cooldown → half-open → closed arc behaves exactly as it
+        does for the resolver's per-server breakers."""
+        policy = RetryPolicy(max_attempts=1, base_backoff=0.5,
+                             max_backoff=1.0)
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=5.0)
+        clock = {"now": 0.0}
+        report, _waits, broken = _fanout(
+            [_lease(1)], lambda lease, attempt: False, policy=policy,
+            breaker=breaker, now=lambda: clock["now"])
+        assert breaker.state is BreakerState.OPEN and len(broken) == 1
+        clock["now"] = 6.0                     # past the cooldown
+        report, _waits, broken = _fanout(
+            [_lease(2)], lambda lease, attempt: True, policy=policy,
+            breaker=breaker, now=lambda: clock["now"])
+        assert report.notified == 1 and not broken
+        assert breaker.state is BreakerState.CLOSED

@@ -75,6 +75,13 @@ PAPER_ANCHORS = {
            "links, and policy-gated stale reads answer through "
            "partitions — always tagged weakly coherent, never "
            "silently passed off as coherent."),
+    "A9": ("§3 coherence (extension)", "Leases bound staleness: a "
+           "lost invalidation callback leaves a stale copy forever, "
+           "but a lease is a promise with an expiry — even when the "
+           "break callback is lost in a partition the holder is stale "
+           "for at most one lease term plus one delivery delay, and "
+           "grace-mode answers from expired leases are always tagged "
+           "weakly coherent."),
 }
 
 

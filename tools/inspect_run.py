@@ -213,6 +213,77 @@ def run_chaos(seed: int, style: ResolutionStyle, policy: CachePolicy,
                       "messages": cost.messages}}
 
 
+@scenario("leases")
+def run_leases(seed: int, style: ResolutionStyle, policy: CachePolicy,
+               obs: Instrumentation) -> dict:
+    """The lease coherence protocol end to end (always LEASE policy,
+    whatever ``--policy`` says): a binding is rebound while the only
+    caching client is partitioned away — the break callback is lost
+    and the lease is broken server-side — then the partition outlives
+    the lease term, so the client serves grace-mode answers from its
+    expired leases until the heal lets it revalidate.  The trace shows
+    grant / renew / callback / break / expire / grace spans; the
+    metrics show the ``lease_*`` counters.
+    """
+    simulator = Simulator(seed=seed, obs=obs)
+    lan = simulator.network("lan")
+    srv = simulator.network("srv")
+    client_machine = simulator.machine(lan, "client-m")
+    primary = simulator.machine(srv, "m1")
+    secondary = simulator.machine(srv, "m2")
+    tree = NamingTree("root", sigma=simulator.sigma, parent_links=True)
+    tree.mkdir("svc")
+    old_dir = tree.mkdir("svc/app")
+    tree.mkfile("svc/app/cfg")
+    new_dir = tree.mkdir("spare")
+    tree.mkfile("spare/cfg")
+    placement = DirectoryPlacement()
+    placement.place(tree.root, client_machine)
+    svc = tree.directory("svc")
+    for directory in (svc, old_dir, new_dir):
+        placement.place_replicated(directory, primary, secondary)
+    client = simulator.spawn(client_machine, "client")
+    context = ProcessContext(tree.root)
+    resolver = DistributedResolver(
+        simulator, placement, cache_policy=CachePolicy.LEASE,
+        cache_ttl=10_000.0,
+        retry_policy=RetryPolicy(max_attempts=2, base_backoff=0.5,
+                                 max_backoff=1.0),
+        breaker_threshold=5, breaker_cooldown=5.0, lease_term=12.0)
+    injector = FailureInjector(simulator)
+    injector.on_restart(resolver.handle_restart)
+    injector.schedule_timeline([
+        (10.0, "partition", lan, srv),
+        (40.0, "heal", lan, srv),
+    ])
+    outcomes = {"ok": 0, "weak": 0, "failed": 0}
+    costs = []
+
+    def probe(start):
+        simulator.run(until=float(start))
+        entity, cost = resolver.resolve(client, context,
+                                        "/svc/app/cfg", style)
+        costs.append(cost)
+        if entity.is_defined() and not cost.failed:
+            outcomes["weak" if cost.weak else "ok"] += 1
+        else:
+            outcomes["failed"] += 1
+
+    for start in (2, 6):
+        probe(start)
+    simulator.run(until=11.0)
+    resolver.rebind(svc, "app", new_dir)   # callback lost → break
+    for start in range(12, 62, 6):
+        probe(start)
+    simulator.run()
+    cost = ResolutionCost.merge(costs)
+    return {"simulator": simulator,
+            "notes": {"scenario": "leases", "outcomes": outcomes,
+                      "messages": cost.messages,
+                      "losses": resolver.invalidation_losses,
+                      "lease_stats": resolver.lease_stats()}}
+
+
 def render_tree(obs: Instrumentation, notes: dict, top: int) -> str:
     lines = [format_hop_tree(obs.tracer.spans), ""]
     lines.append(f"hottest servers (top {top}):")
