@@ -1,0 +1,245 @@
+"""Wall-clock performance harness for the simulator hot path.
+
+Unlike the pytest-benchmark micro benches (``bench_micro_core.py``),
+which measure *relative* per-call cost inside one pytest run, this
+harness produces a **persistent perf trajectory**: named scenarios are
+timed under ``time.perf_counter`` and written to ``BENCH_<pr>.json``
+at the repo root (schema: bench name -> ``{wall_s, events_per_s,
+messages_per_s, peak_heap_depth}``), so speedups and regressions are
+visible *across* PRs, not just within one.
+
+Scenarios come in two flavours:
+
+* **kernel scenarios** drive the :class:`~repro.sim.kernel.Simulator`
+  directly and report exact event/message counts and the peak event
+  heap depth;
+* **experiment scenarios** wrap the A7/A8/A9 reproduction experiments
+  and report wall time only (their kernels are internal), with the
+  rate fields null.
+
+Every scenario is deterministic (fixed seeds); wall time is the only
+non-deterministic output.  Use ``tools/bench_perf.py`` to run the
+suite from the command line and manage baselines/regression gates.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.sim.kernel import Simulator
+
+__all__ = ["ScenarioStats", "SCENARIOS", "SMOKE_SCENARIOS",
+           "run_scenario", "run_suite", "calibrate"]
+
+
+@dataclass
+class ScenarioStats:
+    """Counts one scenario run reports back to the timer."""
+
+    events: Optional[int] = None
+    messages: Optional[int] = None
+    peak_heap_depth: Optional[int] = None
+
+
+#: name -> scenario callable ``(scale: float) -> ScenarioStats``.
+SCENARIOS: dict[str, Callable[[float], ScenarioStats]] = {}
+
+#: The cheap subset CI smoke runs (kernel paths + one experiment).
+SMOKE_SCENARIOS = ("kernel_message_throughput", "kernel_same_instant_fanout",
+                   "kernel_timers_with_cancellation", "a7_batch_resolution")
+
+
+def scenario(name: str):
+    def register(fn: Callable[[float], ScenarioStats]):
+        SCENARIOS[name] = fn
+        return fn
+    return register
+
+
+def _scaled(base: int, scale: float, floor: int = 10) -> int:
+    return max(floor, int(base * scale))
+
+
+# -- kernel scenarios ------------------------------------------------------
+
+@scenario("kernel_message_throughput")
+def kernel_message_throughput(scale: float = 1.0) -> ScenarioStats:
+    """The ``bench_micro_core.test_kernel_message_throughput`` loop at
+    harness scale: 8 processes round-robining messages, drained in one
+    :meth:`Simulator.run`."""
+    count = _scaled(20_000, scale)
+    simulator = Simulator(seed=1)
+    network = simulator.network("lan")
+    processes = [simulator.spawn(simulator.machine(network), f"p{i}")
+                 for i in range(8)]
+    for index in range(count):
+        sender = processes[index % 8]
+        receiver = processes[(index + 3) % 8]
+        sender.send(receiver, payload=index)
+    peak = simulator.queue.approx_len()
+    processed = simulator.run(max_events=count + 1)
+    assert simulator.messages_delivered == count
+    return ScenarioStats(events=processed,
+                         messages=simulator.messages_delivered,
+                         peak_heap_depth=peak)
+
+
+@scenario("kernel_same_instant_fanout")
+def kernel_same_instant_fanout(scale: float = 1.0) -> ScenarioStats:
+    """A broadcast burst: every message lands at the same instant, so
+    the whole run is one giant same-time dispatch batch."""
+    fanout = _scaled(64, scale, floor=8)
+    rounds = _scaled(200, scale)
+    simulator = Simulator(seed=2)
+    network = simulator.network("lan")
+    machine = simulator.machine(network)
+    root = simulator.spawn(machine, "root")
+    sinks = [simulator.spawn(machine, f"sink{i}") for i in range(fanout)]
+    peak = 0
+    for _ in range(rounds):
+        for sink in sinks:
+            root.send(sink, payload="tick", latency=1.0)
+        peak = max(peak, simulator.queue.approx_len())
+        simulator.run()
+    expected = fanout * rounds
+    assert simulator.messages_delivered == expected
+    return ScenarioStats(events=expected, messages=expected,
+                         peak_heap_depth=peak)
+
+
+@scenario("kernel_timers_with_cancellation")
+def kernel_timers_with_cancellation(scale: float = 1.0) -> ScenarioStats:
+    """Schedule a dense timer wheel and cancel half of it, exercising
+    the cancelled-event bookkeeping (and, post-optimization, heap
+    compaction) rather than message delivery."""
+    count = _scaled(20_000, scale)
+    simulator = Simulator(seed=3)
+    fired = [0]
+
+    def tick() -> None:
+        fired[0] += 1
+
+    events = [simulator.schedule(1.0 + (index % 97) * 0.25, tick)
+              for index in range(count)]
+    peak = simulator.queue.approx_len()
+    for index, event in enumerate(events):
+        if index % 2:
+            event.cancel()
+    processed = simulator.run()
+    live = count - count // 2
+    assert fired[0] == live, (fired[0], live)
+    return ScenarioStats(events=processed, messages=0,
+                         peak_heap_depth=peak)
+
+
+@scenario("kernel_request_reply")
+def kernel_request_reply(scale: float = 1.0) -> ScenarioStats:
+    """A synchronous request/reply protocol over
+    :meth:`Simulator.run_until_settled` — the resolver-style bounded
+    pump, one round trip at a time."""
+    rounds = _scaled(4_000, scale)
+    simulator = Simulator(seed=4)
+    network = simulator.network("lan")
+    client = simulator.spawn(simulator.machine(network), "client")
+    server = simulator.spawn(simulator.machine(network), "server")
+
+    def reply(process, message) -> None:
+        process.send(message.sender, payload=("re", message.payload))
+
+    server.on_message(reply)
+    processed = 0
+    peak = 0
+    for index in range(rounds):
+        request = client.send(server, payload=index)
+        processed += simulator.run_until_settled(request)
+        peak = max(peak, simulator.queue.approx_len())
+    simulator.run()  # drain replies still in flight
+    assert simulator.messages_delivered == 2 * rounds
+    return ScenarioStats(events=2 * rounds, messages=2 * rounds,
+                         peak_heap_depth=peak)
+
+
+# -- experiment scenarios --------------------------------------------------
+
+@scenario("a7_batch_resolution")
+def a7_batch_resolution(scale: float = 1.0) -> ScenarioStats:
+    from repro.bench.experiments_batch import run_a7_batch_resolution
+    result = run_a7_batch_resolution(seed=0)
+    assert result.all_checks_pass(), result.failed_checks()
+    return ScenarioStats()
+
+
+@scenario("a8_availability")
+def a8_availability(scale: float = 1.0) -> ScenarioStats:
+    from repro.bench.experiments_availability import run_a8_availability
+    result = run_a8_availability(seed=0)
+    assert result.all_checks_pass(), result.failed_checks()
+    return ScenarioStats()
+
+
+@scenario("a9_leases")
+def a9_leases(scale: float = 1.0) -> ScenarioStats:
+    from repro.bench.experiments_leases import run_a9_leases
+    result = run_a9_leases(seed=0)
+    assert result.all_checks_pass(), result.failed_checks()
+    return ScenarioStats()
+
+
+# -- timing ----------------------------------------------------------------
+
+def calibrate(loops: int = 5) -> float:
+    """A machine-speed yardstick: iterations/s of a fixed pure-python
+    loop.  Recording it beside every bench lets the regression gate
+    normalise rates measured on different machines (laptop vs CI
+    runner) to first order."""
+    best = float("inf")
+    for _ in range(loops):
+        start = time.perf_counter()
+        total = 0
+        for index in range(200_000):
+            total += index % 7
+        best = min(best, time.perf_counter() - start)
+    assert total >= 0
+    return 200_000 / best
+
+
+def run_scenario(name: str, scale: float = 1.0,
+                 repeats: int = 3) -> dict:
+    """Time one scenario; the *best* of *repeats* runs is reported
+    (least-noise estimator for a deterministic workload)."""
+    fn = SCENARIOS[name]
+    best_wall = float("inf")
+    stats = ScenarioStats()
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        stats = fn(scale)
+        wall = time.perf_counter() - start
+        best_wall = min(best_wall, wall)
+    record = {
+        "wall_s": round(best_wall, 6),
+        "events_per_s": (round(stats.events / best_wall, 1)
+                         if stats.events else None),
+        "messages_per_s": (round(stats.messages / best_wall, 1)
+                           if stats.messages else None),
+        "peak_heap_depth": stats.peak_heap_depth,
+    }
+    return record
+
+
+def run_suite(names=None, scale: float = 1.0, repeats: int = 3,
+              verbose: bool = False) -> dict:
+    """Run scenarios (all by default) and return name -> record."""
+    results: dict[str, dict] = {}
+    for name in (names or SCENARIOS):
+        if name not in SCENARIOS:
+            raise KeyError(f"unknown scenario {name!r}; "
+                           f"known: {', '.join(SCENARIOS)}")
+        results[name] = run_scenario(name, scale=scale, repeats=repeats)
+        if verbose:
+            record = results[name]
+            rate = record["events_per_s"]
+            rate_text = f"{rate:,.0f} events/s" if rate else "wall only"
+            print(f"  {name:34} {record['wall_s']*1e3:9.2f} ms  {rate_text}")
+    return results

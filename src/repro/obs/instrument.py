@@ -45,6 +45,14 @@ class Instrumentation:
         self.tracer = Tracer(max_spans=max_spans)
         self.metrics = MetricsRegistry()
 
+    def __bool__(self) -> bool:
+        """Truthiness mirrors ``enabled`` so hot paths can guard with
+        ``if obs:`` — one C-level truth test instead of an attribute
+        chain.  Components on the kernel's hottest paths go further
+        and snapshot ``enabled`` into a local once at construction
+        (the flag is fixed for an instrumentation's lifetime)."""
+        return self.enabled
+
     def __repr__(self) -> str:
         state = "enabled" if self.enabled else "disabled"
         return (f"<Instrumentation {state}: {len(self.tracer)} spans, "

@@ -70,9 +70,10 @@ class FailureInjector:
         """
         old = machine.maddr
         machine.network.renumber_machine(machine, new_maddr)
-        self._sim.trace.record(self._sim.clock.now, "renumber",
-                               f"machine {machine.label}: "
-                               f"maddr {old} → {new_maddr}")
+        self._sim.trace.record(
+            self._sim.clock.now, "renumber",
+            lambda label=machine.label, old=old, new=new_maddr:
+                f"machine {label}: maddr {old} → {new}")
         self._observe("renumber_machine", machine.label,
                       old=old, new=new_maddr)
 
@@ -80,9 +81,10 @@ class FailureInjector:
         """Change a network's address in the internetwork."""
         old = network.naddr
         self._sim.internet.renumber(network, new_naddr)
-        self._sim.trace.record(self._sim.clock.now, "renumber",
-                               f"network {network.label}: "
-                               f"naddr {old} → {new_naddr}")
+        self._sim.trace.record(
+            self._sim.clock.now, "renumber",
+            lambda label=network.label, old=old, new=new_naddr:
+                f"network {label}: naddr {old} → {new}")
         self._observe("renumber_network", network.label,
                       old=old, new=new_naddr)
 
@@ -103,7 +105,8 @@ class FailureInjector:
         for process in machine.processes():
             process.alive = False
         self._sim.trace.record(self._sim.clock.now, "failure",
-                               f"crash {machine.label}")
+                               lambda label=machine.label:
+                                   f"crash {label}")
         self._observe("crash", machine.label)
 
     def on_restart(self, hook: Callable[[Machine], None],
@@ -134,7 +137,8 @@ class FailureInjector:
             return
         machine.alive = True
         self._sim.trace.record(self._sim.clock.now, "repair",
-                               f"restart {machine.label}")
+                               lambda label=machine.label:
+                                   f"restart {label}")
         self._observe("restart", machine.label)
         for scope, hook in self._restart_hooks:
             if scope is None or scope is machine:

@@ -11,12 +11,21 @@ Message delivery honours the failure state maintained by
 :class:`~repro.sim.failures.FailureInjector` (crashed machines,
 network partitions, flaky links with seeded drop probability and
 latency spikes).
+
+Hot-path notes (PR 6, see ``docs/performance.md``): deliveries are
+enqueued via the allocation-free :meth:`EventQueue.defer` fast path,
+trace records pass lazy detail callables instead of eager f-strings,
+the run pump dispatches same-instant batches without re-checking
+bounds per event, and every event order — and therefore every seeded
+run — is bit-for-bit identical to the unoptimized kernel (pinned by
+``tests/sim/test_determinism_golden.py``).
 """
 
 from __future__ import annotations
 
 import itertools
 import random
+from heapq import heappop, heappush
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
@@ -32,6 +41,25 @@ from repro.sim.trace import TraceLog
 __all__ = ["Simulator"]
 
 
+# Lazy trace-detail formatters for the per-message records.  The hot
+# path records ``(formatter, message)`` tuples — one small tuple
+# instead of a closure per record — and TraceEntry.detail calls the
+# formatter on first read.  They only touch fields that are fixed by
+# the time the record is made (labels, msg_id, drop_reason), so a
+# lazily-read detail is identical to the eagerly formatted one.
+
+def _fmt_send(m: Message) -> str:
+    return f"{m.sender.label} → {m.receiver.label} msg#{m.msg_id}"
+
+
+def _fmt_drop(m: Message) -> str:
+    return f"msg#{m.msg_id}: {m.drop_reason}"
+
+
+def _fmt_deliver(m: Message) -> str:
+    return f"msg#{m.msg_id} at {m.receiver.label}"
+
+
 class Simulator:
     """A deterministic message-passing distributed-system simulator.
 
@@ -43,6 +71,9 @@ class Simulator:
             (and everything built on it) publishes spans and metrics
             into; defaults to the inert :data:`~repro.obs.NO_OBS`, so
             un-instrumented runs pay ~zero observability cost.
+        trace: Optional pre-configured :class:`TraceLog` (e.g.
+            ring-buffered or kind-filtered for long benchmark runs);
+            defaults to an unbounded log recording every kind.
 
     >>> sim = Simulator(seed=7)
     >>> net = sim.network("lan")
@@ -50,19 +81,28 @@ class Simulator:
     >>> b = sim.spawn(sim.machine(net, label="beta"), label="server")
     >>> _ = a.send(b, payload="ping")
     >>> sim.run()
+    1
     >>> b.receive().payload
     'ping'
     """
 
     def __init__(self, seed: int = 0, default_latency: float = 1.0,
-                 obs: Optional[Instrumentation] = None):
+                 obs: Optional[Instrumentation] = None,
+                 trace: Optional[TraceLog] = None):
         self.obs = obs if obs is not None else NO_OBS
+        # Resolved once: the kernel's NO_OBS guard is a single local
+        # attribute load instead of two chained ones per emission.
+        self._obs_on = self.obs.enabled
         self.clock = VirtualClock()
         self.queue = EventQueue()
         self.rng = random.Random(seed)
         self.sigma = GlobalState()
         self.internet = Internetwork()
-        self.trace = TraceLog()
+        # Callers may pass a pre-configured log (ring-buffered or
+        # kind-filtered) for long benchmark runs.  The recorder is
+        # bound once — replacing ``sim.trace`` mid-run is unsupported.
+        self.trace = trace if trace is not None else TraceLog()
+        self._record = self.trace.record
         self.default_latency = float(default_latency)
         self._partitions: set[frozenset[int]] = set()
         # Link pair → (drop probability, max extra latency); seeded
@@ -76,7 +116,7 @@ class Simulator:
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
-        if self.obs.enabled:
+        if self._obs_on:
             # Instrument handles are resolved once — the hot paths
             # below never pay a registry lookup.
             metrics = self.obs.metrics
@@ -95,16 +135,20 @@ class Simulator:
                 naddr: Optional[int] = None) -> Network:
         """Create a network."""
         network = Network(self.internet, naddr=naddr, label=label)
-        self.trace.record(self.clock.now, "topology",
-                          f"network {network.label} naddr={network.naddr}")
+        self.trace.record(
+            self.clock.now, "topology",
+            lambda label=network.label, naddr=network.naddr:
+                f"network {label} naddr={naddr}")
         return network
 
     def machine(self, network: Network, label: str = "",
                 maddr: Optional[int] = None) -> Machine:
         """Create a machine on *network*."""
         machine = Machine(network, maddr=maddr, label=label)
-        self.trace.record(self.clock.now, "topology",
-                          f"machine {machine.label} maddr={machine.maddr}")
+        self.trace.record(
+            self.clock.now, "topology",
+            lambda label=machine.label, maddr=machine.maddr:
+                f"machine {label} maddr={maddr}")
         return machine
 
     def spawn(self, machine: Machine, label: str = "",
@@ -114,9 +158,12 @@ class Simulator:
             raise SimulationError(f"machine {machine.label} is down")
         process = SimProcess(self, machine, label=label, parent=parent)
         self.sigma.add(process)
-        self.trace.record(self.clock.now, "spawn",
-                          f"{process.label} @{process.full_address}"
-                          + (f" child-of {parent.label}" if parent else ""))
+        self.trace.record(
+            self.clock.now, "spawn",
+            lambda label=process.label, addr=process.full_address,
+                   parent_label=parent.label if parent else None:
+                f"{label} @{addr}"
+                + (f" child-of {parent_label}" if parent_label else ""))
         return process
 
     # -- partitions (used by FailureInjector) ------------------------------
@@ -131,8 +178,9 @@ class Simulator:
         if key in self._partitions:
             return False
         self._partitions.add(key)
-        self.trace.record(self.clock.now, "failure",
-                          f"partition {first.label} ⇹ {second.label}")
+        self.trace.record(
+            self.clock.now, "failure",
+            lambda a=first, b=second: f"partition {a.label} ⇹ {b.label}")
         return True
 
     def heal(self, first: Network, second: Network) -> bool:
@@ -145,8 +193,9 @@ class Simulator:
         if key not in self._partitions:
             return False
         self._partitions.discard(key)
-        self.trace.record(self.clock.now, "repair",
-                          f"heal {first.label} ⇄ {second.label}")
+        self.trace.record(
+            self.clock.now, "repair",
+            lambda a=first, b=second: f"heal {a.label} ⇄ {b.label}")
         return True
 
     def partitioned(self, first: Network, second: Network) -> bool:
@@ -173,9 +222,10 @@ class Simulator:
             raise SimulationError("extra_latency must be nonnegative")
         self._flaky_links[frozenset((id(first), id(second)))] = (
             drop_prob, extra_latency)
-        self.trace.record(self.clock.now, "failure",
-                          f"flaky link {first.label} ~ {second.label} "
-                          f"p={drop_prob:g} +{extra_latency:g}")
+        self.trace.record(
+            self.clock.now, "failure",
+            lambda a=first, b=second, p=drop_prob, x=extra_latency:
+                f"flaky link {a.label} ~ {b.label} p={p:g} +{x:g}")
 
     def clear_flaky_link(self, first: Network, second: Network) -> bool:
         """Restore the link to lossless/no-spike (idempotent).
@@ -185,8 +235,9 @@ class Simulator:
         key = frozenset((id(first), id(second)))
         if self._flaky_links.pop(key, None) is None:
             return False
-        self.trace.record(self.clock.now, "repair",
-                          f"steady link {first.label} ~ {second.label}")
+        self.trace.record(
+            self.clock.now, "repair",
+            lambda a=first, b=second: f"steady link {a.label} ~ {b.label}")
         return True
 
     def link_flakiness(self, first: Network,
@@ -217,42 +268,63 @@ class Simulator:
                 sender.machine.network, receiver.machine.network)
             if spike > 0:
                 latency += self.rng.random() * spike
-        now = self.clock.now
-        message = Message(sender=sender, receiver=receiver, payload=payload,
-                          send_time=now, deliver_time=now + latency,
-                          msg_id=next(self._message_ids))
+        now = self.clock._now
+        deliver_time = now + latency
+        # Field-for-field inline of ``Message(sender, receiver, ...)``
+        # — the kernel's hottest allocation skips the constructor
+        # frame and its default-argument branches.  Keep in sync with
+        # Message.__init__.
+        message = Message.__new__(Message)
+        message.sender = sender
+        message.receiver = receiver
+        message.payload = payload
+        message.attachments = []
+        message.send_time = now
+        message.deliver_time = deliver_time
+        message.msg_id = next(self._message_ids)
+        message.delivered = False
+        message.dropped = False
+        message.drop_reason = ""
+        message.trace_id = None
+        message.parent_span_id = None
         self.messages_sent += 1
-        self.queue.push(message.deliver_time,
-                        lambda: self._deliver(message),
-                        note=f"deliver msg#{message.msg_id}")
-        self.trace.record(now, "send",
-                          f"{sender.label} → {receiver.label} "
-                          f"msg#{message.msg_id}")
-        if self.obs.enabled:
+        # Inlined EventQueue.defer with the message itself as the
+        # queue payload: no delivery closure, no handle, no extra
+        # frame — the run pump dispatches Message entries straight to
+        # _deliver.
+        queue = self.queue
+        fifo = queue._fifo
+        if not fifo or deliver_time >= fifo[-1][0]:
+            fifo.append((deliver_time, next(queue._seq), message))
+        else:
+            heappush(queue._heap, (deliver_time, next(queue._seq), message))
+        queue._live += 1
+        self._record(now, "send", (_fmt_send, message))
+        if self._obs_on:
             self._m_sent.inc()
             self._g_queue.set(self.queue.approx_len())
         return message
 
     def _deliver(self, message: Message) -> None:
-        sender_net = message.sender.machine.network
-        receiver_net = message.receiver.machine.network
         if not message.receiver.machine.alive:
             message.dropped = True
             message.drop_reason = "receiver machine down"
-        elif self.partitioned(sender_net, receiver_net):
+        elif self._partitions and self.partitioned(
+                message.sender.machine.network,
+                message.receiver.machine.network):
             message.dropped = True
             message.drop_reason = "network partition"
         elif self._flaky_links:
-            drop_prob, _spike = self.link_flakiness(sender_net,
-                                                    receiver_net)
+            drop_prob, _spike = self.link_flakiness(
+                message.sender.machine.network,
+                message.receiver.machine.network)
             if drop_prob > 0 and self.rng.random() < drop_prob:
                 message.dropped = True
                 message.drop_reason = "flaky link"
         if message.dropped:
             self.messages_dropped += 1
-            self.trace.record(self.clock.now, "drop",
-                              f"msg#{message.msg_id}: {message.drop_reason}")
-            if self.obs.enabled:
+            self._record(self.clock._now, "drop", (_fmt_drop, message))
+            if self._obs_on:
                 self._m_dropped.inc()
                 if message.trace_id is not None:
                     self.obs.tracer.event(
@@ -264,12 +336,12 @@ class Simulator:
             return
         self.messages_delivered += 1
         message.delivered = True
-        for gateway in self._gateways:
-            gateway.process(message)
-        self.trace.record(self.clock.now, "deliver",
-                          f"msg#{message.msg_id} at {message.receiver.label}")
+        if self._gateways:
+            for gateway in self._gateways:
+                gateway.process(message)
+        self._record(self.clock._now, "deliver", (_fmt_deliver, message))
         message.receiver.deliver(message)
-        if self.obs.enabled:
+        if self._obs_on:
             self._m_delivered.inc()
             if message.trace_id is not None:
                 self.obs.tracer.event(
@@ -287,9 +359,10 @@ class Simulator:
         runs on every delivered message, in installation order (see
         :class:`repro.closure.boundary.BoundaryGateway`)."""
         self._gateways.append(gateway)
-        self.trace.record(self.clock.now, "topology",
-                          f"gateway {getattr(gateway, 'label', '?')} "
-                          f"installed")
+        self.trace.record(
+            self.clock.now, "topology",
+            lambda g=gateway:
+                f"gateway {getattr(g, 'label', '?')} installed")
 
     def remove_gateway(self, gateway: Any) -> None:
         """Uninstall a boundary gateway (no error if absent)."""
@@ -303,7 +376,7 @@ class Simulator:
         """Run *action* after *delay* time units."""
         if delay < 0:
             raise SimulationError("cannot schedule in the past")
-        return self.queue.push(self.clock.now + delay, action, note=note)
+        return self.queue.push(self.clock._now + delay, action, note=note)
 
     def latency_jitter(self, base: float = 1.0, spread: float = 0.5) -> float:
         """A deterministic (seeded) latency draw in [base, base+spread]."""
@@ -323,12 +396,18 @@ class Simulator:
             True if an event was processed, False if the queue was
             empty.
         """
-        event = self.queue.pop()
-        if event is None:
+        entry = self.queue._pop_entry()
+        if entry is None:
             return False
-        self.clock.advance_to(event.time)
-        event.action()
-        if self.obs.enabled:
+        self.clock.advance_to(entry[0])
+        item = entry[2]
+        if type(item) is Message:
+            self._deliver(item)
+        elif type(item) is ScheduledEvent:
+            item.action()
+        else:
+            item()
+        if self._obs_on:
             self._m_events.inc()
         return True
 
@@ -353,22 +432,43 @@ class Simulator:
             The number of events processed.
         """
         if isinstance(messages, Message):
-            messages = (messages,)
-        pending = list(messages)
+            pending = (messages,)
+        else:
+            pending = tuple(messages)
         processed = 0
-        while not all(message.settled for message in pending):
+        pop_entry = self.queue._pop_entry
+        advance_to = self.clock.advance_to
+        deliver = self._deliver
+        while not all(message.delivered or message.dropped
+                      for message in pending):
             if processed >= max_events:
                 raise SimulationError(
                     f"run_until_settled exceeded max_events="
                     f"{max_events}; likely a livelock")
-            if not self.run_next():
+            entry = pop_entry()
+            if entry is None:
                 break  # queue exhausted; undeliverable messages stay unsettled
+            advance_to(entry[0])
+            item = entry[2]
+            if type(item) is Message:
+                deliver(item)
+            elif type(item) is ScheduledEvent:
+                item.action()
+            else:
+                item()
             processed += 1
+        if self._obs_on and processed:
+            self._m_events.inc(processed)
         return processed
 
     def run(self, until: Optional[float] = None,
             max_events: int = 1_000_000) -> int:
         """Process events until the queue empties (or bounds are hit).
+
+        Same-instant events are dispatched as one batch: the clock
+        advances once per distinct timestamp and the ``until`` bound
+        is checked once per batch head, while per-event order (and so
+        determinism) stays identical to one-at-a-time pumping.
 
         Args:
             until: Stop before events later than this time (they stay
@@ -379,26 +479,96 @@ class Simulator:
             The number of events processed.
         """
         processed = 0
+        queue = self.queue
+        # The pump works on the raw lanes (EventQueue._pop_entry /
+        # _pop_entry_at inlined): compact() rebuilds both lanes in
+        # place, so these aliases stay valid even if a dispatched
+        # action cancels enough timers to trigger a mid-batch
+        # compaction.
+        heap = queue._heap
+        fifo = queue._fifo
+        advance_to = self.clock.advance_to
+        deliver = self._deliver
         while processed < max_events:
-            next_time = self.queue.peek_time()
-            if next_time is None:
+            # Inline _pop_entry: smaller of the two lane heads, skip
+            # cancelled.
+            entry = None
+            while True:
+                if fifo:
+                    if heap and heap[0] < fifo[0]:
+                        entry = heappop(heap)
+                    else:
+                        entry = fifo.popleft()
+                elif heap:
+                    entry = heappop(heap)
+                else:
+                    entry = None
+                    break
+                item = entry[2]
+                if type(item) is ScheduledEvent:
+                    if item.cancelled:
+                        queue._cancelled -= 1
+                        continue
+                    item._queue = None
+                queue._live -= 1
                 break
-            if until is not None and next_time > until:
+            if entry is None:
                 break
-            event = self.queue.pop()
-            if event is None:  # pragma: no cover - peek guaranteed one
+            event_time = entry[0]
+            if until is not None and event_time > until:
+                queue._unpop(entry)
                 break
-            self.clock.advance_to(event.time)
-            event.action()
-            processed += 1
+            advance_to(event_time)
+            # Same-instant batch: keep dispatching while the merged
+            # head stays at this timestamp.  Actions may enqueue
+            # further same-instant work (picked up here, in seq order)
+            # or cancel queued events (skipped by the pop).
+            while True:
+                item = entry[2]
+                if type(item) is Message:
+                    deliver(item)
+                elif type(item) is ScheduledEvent:
+                    item.action()
+                else:
+                    item()
+                processed += 1
+                if processed >= max_events:
+                    break
+                # Inline _pop_entry_at(event_time).
+                entry = None
+                while True:
+                    if fifo:
+                        source = (heap if heap and heap[0] < fifo[0]
+                                  else fifo)
+                    elif heap:
+                        source = heap
+                    else:
+                        break
+                    if source[0][0] != event_time:
+                        break
+                    if source is heap:
+                        candidate = heappop(heap)
+                    else:
+                        candidate = fifo.popleft()
+                    item = candidate[2]
+                    if type(item) is ScheduledEvent:
+                        if item.cancelled:
+                            queue._cancelled -= 1
+                            continue
+                        item._queue = None
+                    queue._live -= 1
+                    entry = candidate
+                    break
+                if entry is None:
+                    break
         else:
             raise SimulationError(
                 f"run exceeded max_events={max_events}; likely a livelock")
-        if until is not None and self.clock.now < until:
-            self.clock.advance_to(until)
-        if self.obs.enabled and processed:
+        if until is not None and self.clock._now < until:
+            advance_to(until)
+        if self._obs_on and processed:
             self._m_events.inc(processed)
-            self._g_queue.set(self.queue.approx_len())
+            self._g_queue.set(queue.approx_len())
         return processed
 
     def __repr__(self) -> str:

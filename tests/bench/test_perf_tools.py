@@ -1,0 +1,115 @@
+"""Tests for the perf harness and the BENCH_*.json trajectory tool."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+sys.path.insert(0, os.path.join(REPO_ROOT, "benchmarks"))
+sys.path.insert(0, os.path.join(REPO_ROOT, "tools"))
+
+from bench_perf import _normalised_rates, check_regression  # noqa: E402
+from perf_harness import (SCENARIOS, SMOKE_SCENARIOS,  # noqa: E402
+                          run_scenario, run_suite)
+
+
+class TestHarness:
+    def test_smoke_scenarios_are_registered(self):
+        for name in SMOKE_SCENARIOS:
+            assert name in SCENARIOS
+
+    def test_kernel_scenario_record_shape(self):
+        record = run_scenario("kernel_message_throughput",
+                              scale=0.01, repeats=1)
+        assert record["wall_s"] > 0
+        assert record["events_per_s"] > 0
+        assert record["messages_per_s"] > 0
+        assert record["peak_heap_depth"] >= 10  # scaled floor
+
+    def test_timer_scenario_counts_only_live_events(self):
+        record = run_scenario("kernel_timers_with_cancellation",
+                              scale=0.01, repeats=1)
+        assert record["events_per_s"] > 0
+        assert record["messages_per_s"] is None  # no messages fired
+
+    def test_run_suite_unknown_scenario(self):
+        with pytest.raises(KeyError):
+            run_suite(["no_such_scenario"])
+
+
+class TestRegressionGate:
+    @staticmethod
+    def doc(rate: float, calibration: float = 1e6,
+            wall_only: float | None = None) -> dict:
+        benches = {"kernel_message_throughput": {
+            "wall_s": 0.1, "events_per_s": rate}}
+        if wall_only is not None:
+            benches["a7_batch_resolution"] = {"wall_s": wall_only,
+                                              "events_per_s": None}
+        return {"calibration_ops_per_s": calibration, "benches": benches}
+
+    def test_normalisation_divides_by_calibration(self):
+        rates = _normalised_rates(self.doc(200_000.0, calibration=2e6))
+        assert rates["kernel_message_throughput"] == pytest.approx(0.1)
+
+    def test_wall_only_scenarios_use_inverse_wall(self):
+        rates = _normalised_rates(self.doc(1.0, calibration=1.0,
+                                           wall_only=0.5))
+        assert rates["a7_batch_resolution"] == pytest.approx(2.0)
+
+    def test_no_failure_within_gate(self):
+        current = self.doc(80_000.0)
+        committed = self.doc(100_000.0)
+        assert check_regression(current, committed, 0.25) == []
+
+    def test_failure_beyond_gate(self):
+        current = self.doc(50_000.0)
+        committed = self.doc(100_000.0)
+        failures = check_regression(current, committed, 0.25)
+        assert len(failures) == 1
+        assert "kernel_message_throughput" in failures[0]
+
+    def test_faster_machine_is_not_a_regression(self):
+        # Same kernel speed relative to the machine: CI runner is 4x
+        # slower overall, rates 4x lower — normalisation cancels it.
+        current = self.doc(25_000.0, calibration=0.25e6)
+        committed = self.doc(100_000.0, calibration=1e6)
+        assert check_regression(current, committed, 0.25) == []
+
+    def test_missing_scenario_in_smoke_run_is_skipped(self):
+        current = self.doc(100_000.0)
+        committed = self.doc(100_000.0, wall_only=0.5)
+        assert check_regression(current, committed, 0.25) == []
+
+
+class TestCli:
+    def test_smoke_run_against_committed_file(self, tmp_path):
+        out = tmp_path / "bench.json"
+        result = subprocess.run(
+            [sys.executable, os.path.join(REPO_ROOT, "tools",
+                                          "bench_perf.py"),
+             "--scenario", "kernel_message_throughput",
+             "--scale", "0.01", "--repeats", "1",
+             "--out", str(out),
+             "--against", os.path.join(REPO_ROOT, "BENCH_6.json"),
+             # Tiny scale is noisy; only the plumbing is under test.
+             "--max-regression", "0.99"],
+            capture_output=True, text=True, timeout=120)
+        assert result.returncode == 0, result.stderr
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == "repro-perf/1"
+        assert "kernel_message_throughput" in doc["benches"]
+
+    def test_list_scenarios(self):
+        result = subprocess.run(
+            [sys.executable, os.path.join(REPO_ROOT, "tools",
+                                          "bench_perf.py"), "--list"],
+            capture_output=True, text=True, timeout=60)
+        assert result.returncode == 0
+        assert "kernel_message_throughput" in result.stdout

@@ -1,0 +1,168 @@
+"""Determinism regression goldens for the optimized kernel.
+
+The PR-6 hot-path optimization (slotted events/messages, tuple-ordered
+heap, batched same-instant dispatch, lazy trace formatting) must be
+*observationally invisible*: for a fixed seed the kernel has to
+produce a byte-identical trace log and identical experiment outputs.
+These tests pin sha256 digests captured on the pre-optimization seed
+kernel; any event reordering, trace rewording, or RNG-draw shuffle
+shows up as a digest mismatch.
+
+Regenerate (only when a change is *intended* to alter observable
+behaviour)::
+
+    PYTHONPATH=src python tests/sim/test_determinism_golden.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro.sim.kernel import Simulator
+
+SEEDS = (0, 1, 7, 42)
+
+#: sha256 of the canonical kernel scenario's formatted trace log.
+TRACE_GOLDENS = {
+    0: "051e0bcaf40c092a3f9fd526a08a36acc2179d1fa27bb3519610561bfa86ffb8",
+    1: "f5b4bb57bc9041e65ee12397907b5254270b8b31dd427c488dbdffafaca71765",
+    7: "fab31dd8c828be5d6d7b77e3e6bd895ed5fa4df1c9da642994dda20518a8b379",
+    42: "2f514fd5c30e29b22cbb4e80cbd14bcdaee2e3617269a61471e260834b81ae73",
+}
+
+#: sha256 of each experiment's full ``ExperimentResult.to_dict()``.
+EXPERIMENT_GOLDENS = {
+    ("A7", 0): "60e749c48835a2f66d92fc7a43698fc10acf5b21e9e37b33d7e209d355af5cea",
+    ("A7", 1): "e4a3c306a173232c91ab9ebcf51cdc303c975a6931b6cda036ea482451013f81",
+    ("A7", 7): "0ad512b67ccbadb2b2b7f5ee23b51c80023342a275da45b72fba1f04ab1fd372",
+    ("A7", 42): "4e878e88dd08f551ec13fd6395cea3aee26efe1f040e23489ed6b7a340990238",
+    ("A8", 0): "61ce5c50f5efed76453a1cfbe104fac0748fbfe67c27833218e667227131a220",
+    ("A8", 1): "89699668fbc442a9830c92e02fb42bf752c36fa5d50a80b37fae930c4228ed56",
+    ("A8", 7): "b0b05851b64a654d4fffabba0ba9e7510216fa1efa9b22f635f65743cacb1fff",
+    ("A8", 42): "d5065d5581ed3606716b539c30eee9aeaa2ace13dfd74bc0df842272f24cfd5d",
+    ("A9", 0): "75d0236d15dcd4056d0409cdfba76852761464016ad44d39935188823c86437f",
+    ("A9", 1): "c878caa95fda0504f814d4d0cebfbc575e9e9cf2becbd6142b64962bcaf7d0c3",
+    ("A9", 7): "bdb837d819c6b3e2b353f9616c461b5fce6dd7a9d22cab22b0ec90e16941e920",
+    ("A9", 42): "7a9e80a81affe1bc02c16fa48bc2736dd0be6325cb520a5796e473879d2b89b2",
+}
+
+
+def run_canonical_scenario(seed: int) -> Simulator:
+    """A fixed kernel workload touching every trace-producing path:
+    topology, spawns, same-instant bursts, flaky links (seeded drops
+    and latency spikes), partitions with healing, timers and
+    cancellations, and a crashed machine."""
+    simulator = Simulator(seed=seed, default_latency=1.0)
+    lan = simulator.network("lan")
+    wan = simulator.network("wan")
+    m1 = simulator.machine(lan, label="m1")
+    m2 = simulator.machine(lan, label="m2")
+    m3 = simulator.machine(wan, label="m3")
+    processes = [simulator.spawn(machine, label=f"p{index}")
+                 for index, machine in enumerate(
+                     (m1, m1, m2, m2, m3, m3))]
+    child = processes[0].spawn_child(label="child")
+    simulator.set_flaky_link(lan, wan, drop_prob=0.3, extra_latency=0.75)
+
+    # Same-instant burst across both networks (flaky draws included).
+    for index in range(60):
+        sender = processes[index % 6]
+        receiver = processes[(index + 2) % 6]
+        sender.send(receiver, payload=index)
+    child.send(processes[4], payload="hello")
+
+    # Timers, half cancelled, one of them re-arming.
+    ticks = []
+    timers = [simulator.schedule(2.0 + 0.5 * index,
+                                 lambda i=index: ticks.append(i),
+                                 note=f"tick{index}")
+              for index in range(10)]
+    for index, timer in enumerate(timers):
+        if index % 2:
+            timer.cancel()
+
+    # Mid-run partition + heal, a crash, and traffic through both.
+    simulator.schedule(3.0, lambda: simulator.partition(lan, wan))
+    simulator.schedule(3.5, lambda: processes[0].send(processes[5],
+                                                      payload="blocked"))
+    simulator.schedule(6.0, lambda: simulator.heal(lan, wan))
+    simulator.schedule(6.5, lambda: processes[1].send(processes[4],
+                                                      payload="after-heal"))
+
+    def crash_m2() -> None:
+        m2.alive = False
+        processes[0].send(processes[2], payload="to-downed")
+
+    simulator.schedule(7.0, crash_m2)
+    simulator.run()
+    return simulator
+
+
+def trace_digest(simulator: Simulator) -> str:
+    lines = [f"{entry.time:g}|{entry.kind}|{entry.detail}"
+             for entry in simulator.trace]
+    lines.append(f"sent={simulator.messages_sent}"
+                 f"|delivered={simulator.messages_delivered}"
+                 f"|dropped={simulator.messages_dropped}"
+                 f"|t={simulator.clock.now:g}")
+    return hashlib.sha256("\n".join(lines).encode()).hexdigest()
+
+
+def experiment_digest(result) -> str:
+    payload = json.dumps(result.to_dict(), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _experiment_runners():
+    from repro.bench.experiments_availability import run_a8_availability
+    from repro.bench.experiments_batch import run_a7_batch_resolution
+    from repro.bench.experiments_leases import run_a9_leases
+    return {"A7": run_a7_batch_resolution,
+            "A8": run_a8_availability,
+            "A9": run_a9_leases}
+
+
+class TestTraceGoldens:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_trace_log_matches_pinned_digest(self, seed):
+        assert trace_digest(run_canonical_scenario(seed)) == \
+            TRACE_GOLDENS[seed]
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_repeated_runs_are_bit_identical(self, seed):
+        first = run_canonical_scenario(seed)
+        second = run_canonical_scenario(seed)
+        assert [entry.detail for entry in first.trace] == \
+            [entry.detail for entry in second.trace]
+        assert trace_digest(first) == trace_digest(second)
+
+
+class TestExperimentGoldens:
+    @pytest.mark.parametrize("exp_id,seed",
+                             sorted(EXPERIMENT_GOLDENS))
+    def test_experiment_rows_match_pinned_digest(self, exp_id, seed):
+        runner = _experiment_runners()[exp_id]
+        result = runner(seed=seed)
+        assert result.all_checks_pass(), result.failed_checks()
+        assert experiment_digest(result) == \
+            EXPERIMENT_GOLDENS[(exp_id, seed)]
+
+
+def _regenerate() -> None:  # pragma: no cover - maintenance helper
+    print("TRACE_GOLDENS = {")
+    for seed in SEEDS:
+        print(f'    {seed}: "{trace_digest(run_canonical_scenario(seed))}",')
+    print("}")
+    print("EXPERIMENT_GOLDENS = {")
+    for exp_id, runner in _experiment_runners().items():
+        for seed in SEEDS:
+            digest = experiment_digest(runner(seed=seed))
+            print(f'    ("{exp_id}", {seed}): "{digest}",')
+    print("}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    _regenerate()

@@ -1,0 +1,234 @@
+"""Tests for the two-lane event queue and the kernel fast paths
+introduced by the PR 6 performance work: FIFO/heap lane merging,
+message payloads on the queue, cancellation bookkeeping with
+compaction, and the pure ``next_time`` peek."""
+
+from __future__ import annotations
+
+import random
+
+from repro.sim.events import EventQueue, ScheduledEvent
+from repro.sim.kernel import Simulator
+
+
+def _noop() -> None:
+    pass
+
+
+class TestLaneMerging:
+    def test_monotone_pushes_stay_in_fifo_lane(self):
+        queue = EventQueue()
+        for time in (1.0, 2.0, 2.0, 3.0):
+            queue.push(time, _noop)
+        assert len(queue._fifo) == 4
+        assert queue._heap == []
+
+    def test_out_of_order_push_goes_to_heap_lane(self):
+        queue = EventQueue()
+        queue.push(5.0, _noop)
+        queue.push(2.0, _noop)  # before the FIFO tail -> heap
+        assert len(queue._fifo) == 1
+        assert len(queue._heap) == 1
+
+    def test_pop_merges_lanes_in_time_seq_order(self):
+        queue = EventQueue()
+        times = [3.0, 1.0, 2.0, 1.0, 5.0, 4.0, 2.0]
+        for time in times:
+            queue.push(time, _noop)
+        popped = []
+        while queue:
+            popped.append(queue.pop())
+        assert [e.time for e in popped] == sorted(times)
+        # Equal times dequeue in scheduling (seq) order.
+        seqs_at_1 = [e.seq for e in popped if e.time == 1.0]
+        assert seqs_at_1 == sorted(seqs_at_1)
+
+    def test_random_interleaving_matches_sorted_order(self):
+        rng = random.Random(11)
+        queue = EventQueue()
+        keys = []
+        for _ in range(500):
+            time = rng.choice([0.5, 1.0, 1.5, 2.0, 4.0, 8.0])
+            event = queue.push(time, _noop)
+            keys.append((time, event.seq))
+        popped = []
+        while queue:
+            event = queue.pop()
+            popped.append((event.time, event.seq))
+        assert popped == sorted(keys)
+
+    def test_interleaved_push_and_pop(self):
+        queue = EventQueue()
+        queue.push(2.0, _noop)
+        queue.push(1.0, _noop)
+        assert queue.pop().time == 1.0
+        queue.push(0.5, _noop)  # earlier than everything queued
+        assert queue.pop().time == 0.5
+        assert queue.pop().time == 2.0
+        assert queue.pop() is None
+
+
+class TestDeferredMessages:
+    def test_kernel_send_enqueues_message_payload(self):
+        simulator = Simulator(seed=0)
+        network = simulator.network("lan")
+        a = simulator.spawn(simulator.machine(network), "a")
+        b = simulator.spawn(simulator.machine(network), "b")
+        message = a.send(b, payload="hi")
+        entry = simulator.queue._fifo[0]
+        assert entry[2] is message
+
+    def test_pop_wraps_message_into_firing_event(self):
+        # External consumers popping the queue still see the one
+        # ScheduledEvent API; firing the wrapped action delivers.
+        simulator = Simulator(seed=0)
+        network = simulator.network("lan")
+        a = simulator.spawn(simulator.machine(network), "a")
+        b = simulator.spawn(simulator.machine(network), "b")
+        message = a.send(b, payload="hi")
+        event = simulator.queue.pop()
+        assert isinstance(event, ScheduledEvent)
+        assert event.time == message.deliver_time
+        event.action()
+        assert message.delivered
+        assert b.receive() is message
+
+    def test_defer_callable_still_supported(self):
+        queue = EventQueue()
+        fired = []
+        queue.defer(1.0, lambda: fired.append(True))
+        event = queue.pop()
+        event.action()
+        assert fired == [True]
+
+
+class TestCancellationBookkeeping:
+    def test_len_is_live_count(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), _noop) for i in range(10)]
+        assert len(queue) == 10
+        events[3].cancel()
+        events[7].cancel()
+        assert len(queue) == 8
+        assert queue.cancelled_len() <= 2  # compaction may have run
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        keep = queue.push(1.0, _noop)
+        drop = queue.push(2.0, _noop)
+        last = queue.push(3.0, _noop)
+        drop.cancel()
+        assert queue.pop() is keep
+        assert queue.pop() is last
+        assert queue.pop() is None
+
+    def test_compaction_triggers_past_half_cancelled(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), _noop) for i in range(20)]
+        for event in events[:11]:
+            event.cancel()
+        # More than half cancelled -> automatic compact() dropped them.
+        assert queue.cancelled_len() == 0
+        assert queue.approx_len() == len(queue) == 9
+
+    def test_compaction_covers_both_lanes(self):
+        queue = EventQueue()
+        fifo_events = [queue.push(float(i + 10), _noop) for i in range(6)]
+        heap_events = [queue.push(float(i), _noop) for i in range(6)]
+        for event in fifo_events[:4] + heap_events[:4]:
+            event.cancel()
+        queue.compact()
+        assert queue.cancelled_len() == 0
+        popped = []
+        while queue:
+            popped.append(queue.pop().time)
+        assert popped == sorted(
+            e.time for e in fifo_events[4:] + heap_events[4:])
+
+    def test_cancel_after_pop_is_harmless(self):
+        queue = EventQueue()
+        event = queue.push(1.0, _noop)
+        queue.push(2.0, _noop)
+        assert queue.pop() is event
+        live_before = len(queue)
+        event.cancel()  # already popped: only the flag flips
+        assert event.cancelled
+        assert len(queue) == live_before
+        assert queue.cancelled_len() == 0
+
+
+class TestPurePeek:
+    def test_next_time_does_not_mutate(self):
+        queue = EventQueue()
+        first = queue.push(1.0, _noop)
+        queue.push(2.0, _noop)
+        first.cancel()
+        depth = queue.approx_len()
+        assert queue.next_time() == 2.0
+        # The cancelled head is still parked in the queue: a pure read.
+        assert queue.approx_len() == depth
+        assert queue.cancelled_len() == 1
+
+    def test_next_time_scans_both_lanes(self):
+        queue = EventQueue()
+        tail = queue.push(5.0, _noop)
+        queue.push(2.0, _noop)  # heap lane
+        assert queue.next_time() == 2.0
+        assert tail.time == 5.0
+
+    def test_next_time_empty(self):
+        assert EventQueue().next_time() is None
+
+    def test_peek_time_discards_cancelled_heads(self):
+        queue = EventQueue()
+        first = queue.push(1.0, _noop)
+        queue.push(2.0, _noop)
+        first.cancel()
+        depth = queue.approx_len()
+        assert queue.peek_time() == 2.0
+        assert queue.approx_len() == depth - 1  # head lazily dropped
+        assert queue.cancelled_len() == 0
+
+
+class TestRunPumpIntegration:
+    def test_run_until_bound_pushes_head_back(self):
+        simulator = Simulator(seed=0)
+        fired = []
+        simulator.schedule(1.0, lambda: fired.append(1))
+        simulator.schedule(5.0, lambda: fired.append(5))
+        assert simulator.run(until=2.0) == 1
+        assert fired == [1]
+        assert len(simulator.queue) == 1
+        assert simulator.run() == 1
+        assert fired == [1, 5]
+
+    def test_same_instant_batch_preserves_seq_order(self):
+        simulator = Simulator(seed=0)
+        order = []
+        for index in range(50):
+            simulator.schedule(1.0, lambda i=index: order.append(i))
+        simulator.run()
+        assert order == list(range(50))
+
+    def test_mid_batch_cancellation_and_compaction(self):
+        # An action cancels most of the still-queued same-instant
+        # events, pushing the queue past the compaction threshold mid
+        # batch; the in-place rebuild must stay visible to the pump.
+        simulator = Simulator(seed=0)
+        fired = []
+        events = []
+
+        def cancel_rest() -> None:
+            fired.append("cancel")
+            for event in events:
+                event.cancel()
+
+        simulator.schedule(1.0, cancel_rest)
+        events.extend(
+            simulator.schedule(1.0, lambda i=i: fired.append(i))
+            for i in range(40))
+        survivor = simulator.schedule(2.0, lambda: fired.append("end"))
+        assert survivor.cancelled is False
+        simulator.run()
+        assert fired == ["cancel", "end"]
+        assert len(simulator.queue) == 0

@@ -1,0 +1,207 @@
+#!/usr/bin/env python
+"""Run the perf harness and maintain the ``BENCH_<pr>.json`` trajectory.
+
+Usage::
+
+    # Full run, writing the committed trajectory file (keeps whatever
+    # baseline the file already carries):
+    PYTHONPATH=src python tools/bench_perf.py --out BENCH_6.json
+
+    # Record the current tree as the *baseline* (run before an
+    # optimization lands, then pass the file to --baseline):
+    PYTHONPATH=src python tools/bench_perf.py --out /tmp/pre.json \
+        --label pre-optimization
+
+    # Full run embedding an explicit baseline:
+    PYTHONPATH=src python tools/bench_perf.py --out BENCH_6.json \
+        --baseline /tmp/pre.json
+
+    # CI smoke: cheap subset, compared against the committed file,
+    # nonzero exit on >25%% normalised regression:
+    PYTHONPATH=src python tools/bench_perf.py --smoke \
+        --against BENCH_6.json --out artifacts/BENCH_6.smoke.json
+
+The JSON schema (``repro-perf/1``)::
+
+    {
+      "schema": "repro-perf/1",
+      "pr": 6,
+      "label": "...",
+      "python": "3.11.7",
+      "scale": 1.0,
+      "calibration_ops_per_s": 31400000.0,
+      "benches": {
+        "<scenario>": {"wall_s": ..., "events_per_s": ...,
+                        "messages_per_s": ..., "peak_heap_depth": ...},
+        ...
+      },
+      "baseline": { ... same shape, pre-optimization ... },
+      "speedup_vs_baseline": {"<scenario>": 3.4, ...}
+    }
+
+Regression checks normalise ``events_per_s`` by each file's
+``calibration_ops_per_s`` (a fixed pure-python loop timed on the same
+machine), so a slower CI runner does not read as a kernel regression.
+Wall-only scenarios (the A7/A8/A9 experiments) are compared on
+normalised wall time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "benchmarks"))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from perf_harness import (SCENARIOS, SMOKE_SCENARIOS, calibrate,  # noqa: E402
+                          run_suite)
+
+
+def _normalised_rates(doc: dict) -> dict[str, float]:
+    """scenario -> machine-normalised throughput figure (higher is
+    better).  Rate scenarios use events/s; wall-only scenarios use
+    1/wall_s.  Everything is divided by the doc's calibration."""
+    cal = doc.get("calibration_ops_per_s") or 1.0
+    rates: dict[str, float] = {}
+    for name, record in doc.get("benches", {}).items():
+        rate = record.get("events_per_s")
+        if rate is None:
+            wall = record.get("wall_s")
+            if not wall:
+                continue
+            rate = 1.0 / wall
+        rates[name] = rate / cal
+    return rates
+
+
+def check_regression(current: dict, committed: dict,
+                     max_regression: float) -> list[str]:
+    """Names of scenarios whose normalised rate dropped more than
+    *max_regression* (fraction) below the committed trajectory."""
+    current_rates = _normalised_rates(current)
+    committed_rates = _normalised_rates(committed)
+    failures = []
+    for name, committed_rate in committed_rates.items():
+        rate = current_rates.get(name)
+        if rate is None:
+            continue  # scenario not in this (smoke) run
+        if rate < committed_rate * (1.0 - max_regression):
+            failures.append(
+                f"{name}: normalised rate {rate:.3g} is "
+                f"{(1 - rate / committed_rate) * 100:.1f}% below the "
+                f"committed {committed_rate:.3g} "
+                f"(gate {max_regression * 100:.0f}%)")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Kernel perf harness / BENCH_*.json trajectory")
+    parser.add_argument("--out", help="write the result JSON here")
+    parser.add_argument("--baseline",
+                        help="JSON file recorded pre-optimization; "
+                             "embedded as the 'baseline' block")
+    parser.add_argument("--against",
+                        help="committed BENCH_*.json to gate regressions "
+                             "against")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="allowed fractional drop in normalised "
+                             "throughput (default 0.25)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="cheap subset at reduced scale (CI)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="workload scale factor (default 1.0, "
+                             "smoke default 0.25)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timing repeats, best-of (default 3, "
+                             "smoke default 2)")
+    parser.add_argument("--scenario", action="append", default=None,
+                        help="run only this scenario (repeatable)")
+    parser.add_argument("--pr", type=int, default=6,
+                        help="PR number stamped into the file")
+    parser.add_argument("--label", default="current",
+                        help="free-form label for this measurement")
+    parser.add_argument("--list", action="store_true",
+                        help="list scenarios and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in SCENARIOS:
+            print(name)
+        return 0
+
+    names = args.scenario or (list(SMOKE_SCENARIOS) if args.smoke
+                              else list(SCENARIOS))
+    scale = args.scale if args.scale is not None else (
+        0.25 if args.smoke else 1.0)
+    repeats = args.repeats if args.repeats is not None else (
+        2 if args.smoke else 3)
+
+    print("calibrating machine speed ...", flush=True)
+    calibration = calibrate()
+    print(f"calibration: {calibration:,.0f} ops/s")
+    print(f"running {len(names)} scenario(s) at scale {scale:g}, "
+          f"best of {repeats}:")
+    benches = run_suite(names, scale=scale, repeats=repeats, verbose=True)
+
+    doc = {
+        "schema": "repro-perf/1",
+        "pr": args.pr,
+        "label": args.label,
+        "python": platform.python_version(),
+        "scale": scale,
+        "calibration_ops_per_s": round(calibration, 1),
+        "benches": benches,
+    }
+
+    if args.baseline:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+        baseline.pop("baseline", None)
+        baseline.pop("speedup_vs_baseline", None)
+        doc["baseline"] = baseline
+    elif args.out and os.path.exists(args.out):
+        with open(args.out) as handle:
+            previous = json.load(handle)
+        if "baseline" in previous:
+            doc["baseline"] = previous["baseline"]
+
+    if "baseline" in doc:
+        base_rates = _normalised_rates(doc["baseline"])
+        rates = _normalised_rates(doc)
+        speedups = {name: round(rates[name] / base_rates[name], 3)
+                    for name in rates if base_rates.get(name)}
+        doc["speedup_vs_baseline"] = speedups
+        for name, speedup in speedups.items():
+            print(f"  speedup vs baseline  {name:34} {speedup:6.2f}x")
+
+    if args.out:
+        out_dir = os.path.dirname(args.out)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+        with open(args.out, "w") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+
+    if args.against:
+        with open(args.against) as handle:
+            committed = json.load(handle)
+        failures = check_regression(doc, committed, args.max_regression)
+        if failures:
+            print("PERF REGRESSION:", file=sys.stderr)
+            for line in failures:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print("no regression beyond "
+              f"{args.max_regression * 100:.0f}% vs {args.against}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
