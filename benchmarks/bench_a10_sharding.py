@@ -1,0 +1,19 @@
+"""Bench a10_sharding: live hot-shard splitting vs single placement
+under an open-loop Zipf workload — the saturation curve the sharded
+placement layer exists to flatten, with migration as simulated
+messages and the exactly-one-owner invariant checked at the end.
+
+Runs at a reduced size (the comparison's shape is scale-invariant;
+the full 10^6-name / 10^5-resolution run is the perf harness's
+``a10_sharding`` scenario at scale 1.0).  Prints the reproduced table
+and asserts the qualitative claims.
+"""
+
+from repro.bench.experiments_sharding import run_a10_sharding
+
+from conftest import run_and_report
+
+
+def test_a10_sharding(benchmark):
+    run_and_report(benchmark, run_a10_sharding, seed=0,
+                   names=100_000, resolutions=10_000)

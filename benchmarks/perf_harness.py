@@ -48,7 +48,8 @@ SCENARIOS: dict[str, Callable[[float], ScenarioStats]] = {}
 
 #: The cheap subset CI smoke runs (kernel paths + one experiment).
 SMOKE_SCENARIOS = ("kernel_message_throughput", "kernel_same_instant_fanout",
-                   "kernel_timers_with_cancellation", "a7_batch_resolution")
+                   "kernel_timers_with_cancellation", "a7_batch_resolution",
+                   "a10_sharding")
 
 
 def scenario(name: str):
@@ -183,6 +184,20 @@ def a8_availability(scale: float = 1.0) -> ScenarioStats:
 def a9_leases(scale: float = 1.0) -> ScenarioStats:
     from repro.bench.experiments_leases import run_a9_leases
     result = run_a9_leases(seed=0)
+    assert result.all_checks_pass(), result.failed_checks()
+    return ScenarioStats()
+
+
+@scenario("a10_sharding")
+def a10_sharding(scale: float = 1.0) -> ScenarioStats:
+    """The million-name sharding run: scale 1.0 is the full ROADMAP
+    floor (10^6 names, 10^5 open-loop resolutions); smoke scales it
+    down — the saturation-vs-flat comparison is scale-invariant."""
+    from repro.bench.experiments_sharding import run_a10_sharding
+    result = run_a10_sharding(
+        seed=0,
+        names=_scaled(1_000_000, scale, floor=20_000),
+        resolutions=_scaled(100_000, scale, floor=2_000))
     assert result.all_checks_pass(), result.failed_checks()
     return ScenarioStats()
 

@@ -37,6 +37,10 @@ from repro.bench.experiments_cost import run_a4_resolution_cost
 from repro.bench.experiments_federation import run_e12_federation
 from repro.bench.experiments_leases import run_a9_leases
 from repro.bench.experiments_scope_size import run_a6_scope_enlargement
+from repro.bench.experiments_sharding import (
+    run_a10_sharding,
+    run_a10_sharding_suite,
+)
 
 #: Experiment id → runner, in paper order.
 ALL_EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
@@ -61,6 +65,7 @@ ALL_EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "A7": run_a7_batch_resolution,
     "A8": run_a8_availability,
     "A9": run_a9_leases,
+    "A10": run_a10_sharding_suite,
 }
 
 
@@ -82,6 +87,8 @@ __all__ = [
     "run_a7_batch_resolution",
     "run_a8_availability",
     "run_a9_leases",
+    "run_a10_sharding",
+    "run_a10_sharding_suite",
     "run_all",
     "run_e10_algol_scope",
     "run_e11_perprocess",

@@ -9,7 +9,9 @@ failover, policy-gated weak-coherence stale reads) keeps names
 resolving across crashes and partitions (experiment A8), and a lease
 subsystem (server-granted promises with expiry, callback breaking,
 grace mode) bounds cache staleness even when callbacks are lost
-(experiment A9).
+(experiment A9).  Hot directories can be *sharded* — bindings split
+across shard servers by consistent hashing, with live load-driven
+splits migrating bindings as simulated messages (experiment A10).
 """
 
 from repro.nameservice.cache import (
@@ -45,6 +47,13 @@ from repro.nameservice.retry import (
     CircuitBreaker,
     RetryPolicy,
 )
+from repro.nameservice.sharding import (
+    Shard,
+    ShardManager,
+    ShardMap,
+    SplitPlan,
+    binding_hash,
+)
 
 __all__ = [
     "AsyncNameClient",
@@ -68,6 +77,11 @@ __all__ = [
     "ResolutionCost",
     "ResolutionStyle",
     "RetryPolicy",
+    "Shard",
+    "ShardManager",
+    "ShardMap",
+    "SplitPlan",
+    "binding_hash",
     "callback_fanout",
     "check_semantics_preserved",
 ]

@@ -445,7 +445,11 @@ class CachingDirectoryService:
         """
         if not directory.is_context_object():
             raise SchemeError(f"not a directory: {directory!r}")
-        host = self._placement.host_of(directory)
+        # Per-binding routing: a sharded directory serves each binding
+        # from its owning shard's machine, so locality (and therefore
+        # whether this read goes through the cache) is decided against
+        # that machine, not a directory-wide primary.
+        host = self._placement.host_of_binding(directory, name_)
         context: Context = directory.state
         if host is None or host is client_machine:
             return context(name_)
@@ -508,6 +512,9 @@ class CachingDirectoryService:
         """
         context: Context = directory.state
         context.bind(name_, entity)
+        # New bindings in a sharded directory belong to exactly one
+        # shard; record membership so later splits migrate them.
+        self._placement.note_binding(directory, name_)
         if self.policy is CachePolicy.INVALIDATE:
             self._invalidate_copies(directory, name_)
         elif self.policy is CachePolicy.LEASE:
@@ -515,7 +522,7 @@ class CachingDirectoryService:
 
     def _invalidate_copies(self, directory: ObjectEntity,
                            name_: str) -> None:
-        host = self._placement.host_of(directory)
+        host = self._placement.host_of_binding(directory, name_)
         holders = self._copies.pop((directory.uid, name_), {})
         fanout: list[tuple[int, object]] = []
         for machine_id in holders:
@@ -549,7 +556,7 @@ class CachingDirectoryService:
                          name_: str) -> None:
         """Break the promise: call back every live lease holder."""
         dep = binding_dep(directory, name_)
-        host = self._placement.host_of(directory)
+        host = self._placement.host_of_binding(directory, name_)
         now = self._sim.clock.now
         holders = self.leases.holders_of(dep, now)
         if not holders:

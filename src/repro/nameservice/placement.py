@@ -19,16 +19,28 @@ Replica-set membership changes bump the placement *epoch*; writes
 that could not reach a replica mark it **stale** until anti-entropy
 on restart clears the mark (see :meth:`~repro.nameservice.resolver.
 DistributedResolver.handle_restart`).
+
+Directories too hot for any single machine can instead be **sharded**
+(:meth:`DirectoryPlacement.place_sharded`): their bindings split
+across shard servers by consistent hashing of the binding name, with
+a :class:`~repro.nameservice.sharding.ShardMap` carried under the
+same epoch protocol — a shard split bumps the epoch exactly once, the
+same signal a membership change sends, so every cached route dies
+with the map that produced it.  Binding-aware callers route through
+:meth:`~DirectoryPlacement.host_of_binding` /
+:meth:`~DirectoryPlacement.replicas_for_binding`, which collapse to
+the classic per-directory answer for unsharded placements.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.errors import SchemeError
 from repro.model.context import Context
 from repro.model.entities import Entity, ObjectEntity
 from repro.model.names import PARENT
+from repro.nameservice.sharding import Shard, ShardMap, SplitPlan
 from repro.sim.network import Machine
 
 __all__ = ["DirectoryPlacement"]
@@ -40,6 +52,8 @@ class DirectoryPlacement:
     def __init__(self) -> None:
         # uid → ordered replica machines, primary first.
         self._replicas_of: dict[int, list[Machine]] = {}
+        # uid → ShardMap (mutually exclusive with a replica set).
+        self._shard_maps: dict[int, ShardMap] = {}
         # (uid, id(machine)) pairs that missed a propagated write.
         self._stale: set[tuple[int, int]] = set()
         self._epoch = 0
@@ -63,11 +77,26 @@ class DirectoryPlacement:
             raise SchemeError(
                 f"only directories are placed on servers: {directory!r}")
 
+    def _prune_stale(self, uid: int, keep: Iterable[Machine]) -> None:
+        """Drop stale marks for machines no longer hosting *uid*.
+
+        A stale mark is a property of a *replica's copy*; when a
+        placement change drops the machine from the set, the mark must
+        go with it — otherwise re-adding the machine later (via
+        :meth:`add_replica`) resurrects a mark about a copy that no
+        longer exists, and failover skips a perfectly fresh replica.
+        """
+        kept = {id(machine) for machine in keep}
+        self._stale = {(u, m) for u, m in self._stale
+                       if u != uid or m in kept}
+
     def place(self, directory: Entity, machine: Machine) -> None:
         """Host *directory* on *machine* alone (replacing any previous
-        placement, including a replica set)."""
+        placement, including a replica set or shard map)."""
         self._require_directory(directory)
+        self._shard_maps.pop(directory.uid, None)
         self._replicas_of[directory.uid] = [machine]
+        self._prune_stale(directory.uid, (machine,))
         self._epoch += 1
 
     def place_replicated(self, directory: Entity, primary: Machine,
@@ -78,14 +107,16 @@ class DirectoryPlacement:
         resolver.DistributedResolver.rebind` propagates from it);
         resolution tries replicas in order and fails over past dead or
         stale ones.  Replaces any previous placement and bumps the
-        epoch.
+        epoch; stale marks for machines leaving the set are dropped.
         """
         self._require_directory(directory)
         replicas = [primary]
         for machine in secondaries:
             if machine not in replicas:
                 replicas.append(machine)
+        self._shard_maps.pop(directory.uid, None)
         self._replicas_of[directory.uid] = replicas
+        self._prune_stale(directory.uid, replicas)
         self._epoch += 1
 
     def add_replica(self, directory: Entity, machine: Machine) -> None:
@@ -122,8 +153,13 @@ class DirectoryPlacement:
         """Host *root* and every directory below it on *machine*.
 
         Stops at directories already placed elsewhere (so a mounted
-        foreign subtree keeps its own placement).  Returns the number
-        of directories placed.
+        foreign subtree keeps its own placement) and at sharded
+        directories (their bindings have per-shard owners).  Returns
+        the number of directories placed.  The epoch is bumped exactly
+        **once** per call that changes any placement — re-placing a
+        subtree is one membership change, not one per directory, so
+        caches built mid-walk under epoch N stay valid for the final
+        placement rather than dying N-at-a-time.
         """
         if not root.is_context_object():
             raise SchemeError(f"not a directory: {root!r}")
@@ -135,11 +171,13 @@ class DirectoryPlacement:
             if node.uid in seen:
                 continue
             seen.add(node.uid)
+            if node.uid in self._shard_maps:
+                continue
             existing = self._replicas_of.get(node.uid)
             if existing is not None and existing[0] is not machine:
                 continue
             self._replicas_of[node.uid] = [machine]
-            self._epoch += 1
+            self._prune_stale(node.uid, (machine,))
             placed += 1
             context: Context = node.state
             for name_ in context.names():
@@ -148,16 +186,144 @@ class DirectoryPlacement:
                 child = context(name_)
                 if child.is_context_object():
                     stack.append(child)  # type: ignore[arg-type]
+        if placed:
+            self._epoch += 1
         return placed
 
+    # -- sharded placement ---------------------------------------------------
+
+    def place_sharded(self, directory: Entity,
+                      *machines: Machine) -> ShardMap:
+        """Split *directory*'s bindings across *machines* by consistent
+        hashing of the binding name.
+
+        Replaces any replica-set placement (and its stale marks — a
+        sharded directory has per-binding owners, not replica copies)
+        and bumps the epoch once.  Returns the live :class:`ShardMap`.
+        """
+        self._require_directory(directory)
+        shard_map = ShardMap(directory, machines)  # type: ignore[arg-type]
+        self._replicas_of.pop(directory.uid, None)
+        self._prune_stale(directory.uid, ())
+        self._shard_maps[directory.uid] = shard_map
+        self._epoch += 1
+        return shard_map
+
+    def is_sharded(self, directory: Entity) -> bool:
+        return directory.uid in self._shard_maps
+
+    @property
+    def has_sharding(self) -> bool:
+        """True if *any* directory is sharded — the resolver's hot
+        path uses this to skip all per-binding routing bookkeeping on
+        deployments that never shard."""
+        return bool(self._shard_maps)
+
+    def shard_map_of(self, directory: Entity) -> Optional[ShardMap]:
+        return self._shard_maps.get(directory.uid)
+
+    def shard_maps(self) -> list[ShardMap]:
+        """Every live shard map, in directory-uid order (deterministic
+        iteration for the split-policy scan)."""
+        return [self._shard_maps[uid]
+                for uid in sorted(self._shard_maps)]
+
+    def apply_split(self, plan: SplitPlan) -> Shard:
+        """Commit a planned shard split and bump the epoch exactly
+        once — the same signal a replica-membership change sends, so
+        prefix-cache entries routed under the pre-split map die.
+
+        Callers that migrate state (:meth:`~repro.nameservice.resolver.
+        DistributedResolver.split_shard`) must move the bindings
+        *before* committing; an aborted migration never reaches this
+        point and the epoch stays put.
+        """
+        for shard_map in self._shard_maps.values():
+            if plan.shard in shard_map.shards:
+                new = shard_map.apply_split(plan)
+                self._epoch += 1
+                return new
+        raise SchemeError("split plan does not match a live shard map")
+
+    # -- routing -------------------------------------------------------------
+
     def host_of(self, directory: Entity) -> Optional[Machine]:
-        """The primary hosting machine, or None if unplaced."""
+        """The primary hosting machine, or None if unplaced.
+
+        For a *sharded* directory there is no single host; this
+        returns the first shard's machine as a documented
+        representative (directory-level operations like answer hops
+        need *a* server).  Binding routing must use
+        :meth:`host_of_binding`.
+        """
         replicas = self._replicas_of.get(directory.uid)
-        return replicas[0] if replicas else None
+        if replicas:
+            return replicas[0]
+        shard_map = self._shard_maps.get(directory.uid)
+        if shard_map is not None:
+            return shard_map.shards[0].machine
+        return None
 
     def replicas_of(self, directory: Entity) -> tuple[Machine, ...]:
-        """All hosting machines, primary first (empty if unplaced)."""
+        """All hosting machines, primary first (empty if unplaced).
+
+        Empty for sharded directories — there is no replica set to
+        fail over across; callers must route per binding.
+        """
         return tuple(self._replicas_of.get(directory.uid, ()))
+
+    def host_of_binding(self, directory: Entity,
+                        component: Optional[str]) -> Optional[Machine]:
+        """The machine serving *component*'s binding in *directory*.
+
+        Sharded directory → the owning shard's machine (and the
+        routing hit is recorded for the split policy); replica set →
+        the primary; unplaced → None.  A ``None`` component (no
+        binding in play, e.g. a bare enter) falls back to
+        :meth:`host_of`.
+        """
+        if not self._shard_maps:
+            replicas = self._replicas_of.get(directory.uid)
+            return replicas[0] if replicas else None
+        shard_map = self._shard_maps.get(directory.uid)
+        if shard_map is not None and component is not None:
+            shard = shard_map.owner_of(component)
+            shard.load += 1
+            return shard.machine
+        return self.host_of(directory)
+
+    def replicas_for_binding(self, directory: Entity,
+                             component: Optional[str]
+                             ) -> tuple[Machine, ...]:
+        """Candidate machines for *component*'s binding, preferred
+        first.  Sharded → exactly the owning shard's machine (shards
+        are not replicated; there is nothing to fail over to);
+        replicated → the replica set; unplaced → empty."""
+        if not self._shard_maps:
+            return tuple(self._replicas_of.get(directory.uid, ()))
+        shard_map = self._shard_maps.get(directory.uid)
+        if shard_map is not None:
+            if component is None:
+                return (shard_map.shards[0].machine,)
+            shard = shard_map.owner_of(component)
+            shard.load += 1
+            return (shard.machine,)
+        return tuple(self._replicas_of.get(directory.uid, ()))
+
+    def note_binding(self, directory: Entity, component: str) -> None:
+        """Track a binding created in a sharded directory after its
+        map was built (the rebind write discipline calls this)."""
+        shard_map = self._shard_maps.get(directory.uid)
+        if shard_map is not None:
+            shard_map.add_member(component)
+
+    def note_binding_load(self, directory: Entity,
+                          component: Optional[str]) -> None:
+        """Record one routing hit against *component*'s owning shard
+        without re-resolving the host (memoized-route bookkeeping)."""
+        shard_map = self._shard_maps.get(directory.uid)
+        if shard_map is not None and component is not None:
+            shard_map.note_load(component)
 
     def require_host(self, directory: Entity) -> Machine:
         host = self.host_of(directory)
@@ -167,8 +333,8 @@ class DirectoryPlacement:
         return host
 
     def placed_count(self) -> int:
-        """Number of directories with a placement."""
-        return len(self._replicas_of)
+        """Number of directories with a placement (sharded included)."""
+        return len(self._replicas_of) + len(self._shard_maps)
 
     # -- stale marks (anti-entropy bookkeeping) ------------------------------
 
@@ -213,4 +379,5 @@ class DirectoryPlacement:
 
     def __repr__(self) -> str:
         return (f"<DirectoryPlacement {len(self._replicas_of)} directories, "
+                f"{len(self._shard_maps)} sharded, "
                 f"{len(self._stale)} stale marks>")

@@ -303,7 +303,9 @@ class AsyncNameClient:
         while pending.remaining:
             component = pending.remaining[0]
             directory = pending.directory
-            host = (self.placement.host_of(directory)
+            # Per-binding routing: for a sharded directory the next
+            # component decides which shard server answers.
+            host = (self.placement.host_of_binding(directory, component)
                     if directory is not None else None)
             if host is not None and host is not self.process.machine:
                 self._send_request(pending, directory, component, host)
@@ -440,7 +442,10 @@ class AsyncNameClient:
             delay, resend, note=f"lookup-backoff req#{request_id}")
 
     def _resend(self, pending: _Pending) -> None:
-        host = self.placement.host_of(pending.directory)
+        # Re-route against the *live* placement: the shard owning this
+        # component may have split/migrated during the backoff.
+        host = self.placement.host_of_binding(
+            pending.directory, pending.component)  # type: ignore[arg-type]
         self._send_request(pending, pending.directory,  # type: ignore
                            pending.component, host)     # type: ignore
 

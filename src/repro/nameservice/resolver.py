@@ -62,6 +62,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
+from repro.errors import SchemeError
 from repro.model.context import Context
 from repro.model.entities import Entity, ObjectEntity, UNDEFINED_ENTITY
 from repro.model.names import ROOT_NAME, CompoundName, NameLike
@@ -79,6 +80,7 @@ from repro.nameservice.leases import (
 )
 from repro.nameservice.placement import DirectoryPlacement
 from repro.nameservice.retry import CircuitBreaker, RetryPolicy
+from repro.nameservice.sharding import Shard
 from repro.sim.kernel import Simulator
 from repro.sim.network import Machine
 from repro.sim.process import SimProcess
@@ -221,7 +223,8 @@ class DistributedResolver:
                  serve_stale: bool = False,
                  breaker_threshold: int = 3,
                  breaker_cooldown: float = 30.0,
-                 lease_term: float = 30.0):
+                 lease_term: float = 30.0,
+                 migration_batch: int = 100_000):
         self._sim = simulator
         self._placement = placement
         self._latency = latency
@@ -271,6 +274,21 @@ class DistributedResolver:
         self.invalidation_losses = 0
         self.replication_messages = 0
         self.anti_entropy_messages = 0
+        # Sharding: bindings moved per migration message, the live
+        # split policy (wired by the deployment as
+        # ``resolver.shard_manager = ShardManager(resolver, pool=…)``)
+        # and migration accounting.
+        self.migration_batch = migration_batch
+        self.shard_manager = None
+        self.migration_messages = 0
+        self.migration_latency = 0.0
+        self.shard_splits = 0
+        self.shard_split_aborts = 0
+
+    @property
+    def placement(self) -> DirectoryPlacement:
+        """The placement this resolver routes against."""
+        return self._placement
 
     def server_for(self, machine: Machine) -> SimProcess:
         """The (lazily spawned) directory-server process of a machine.
@@ -307,12 +325,16 @@ class DistributedResolver:
 
     @property
     def load(self) -> dict[str, int]:
-        """Per-server load report, keyed by server label.
+        """Per-server load report, keyed by server label — for
+        **reporting only**.
 
-        Counters are kept per server *process* (labels are exposed
-        only here, in reporting); two servers that happen to share a
-        label have their counts summed in this view — use
-        :meth:`load_of` for exact per-server counts.
+        Counters are kept per server *process*; labels are not
+        identities (two servers may share one, and a respawned server
+        is a new process under the old label), so this label-summed
+        view is ambiguous.  Anything that *decides* off load — shard
+        splitting, queue models, failover scoring — must key on uid
+        via :meth:`load_by_uid`, :meth:`load_of` or
+        :meth:`load_of_machine`.
         """
         report: dict[str, int] = {}
         for uid, count in self._load.items():
@@ -320,8 +342,23 @@ class DistributedResolver:
             report[label] = report.get(label, 0) + count
         return report
 
+    def load_by_uid(self) -> dict[int, int]:
+        """Per-server load keyed by server-process uid — the
+        collision-free view placement decisions must use (a snapshot;
+        diff two snapshots for a window)."""
+        return dict(self._load)
+
     def load_of(self, server: SimProcess) -> int:
         """Steps served by one specific server process."""
+        return self._load.get(server.uid, 0)
+
+    def load_of_machine(self, machine: Machine) -> int:
+        """Steps served by *machine*'s current server process (0 if
+        no server ever ran there; a crashed-and-respawned server
+        counts only its current incarnation)."""
+        server = self._servers.get(id(machine))
+        if server is None:
+            return 0
         return self._load.get(server.uid, 0)
 
     def reset_load(self) -> None:
@@ -509,8 +546,50 @@ class DistributedResolver:
         else:
             cost.remote_steps += 1
 
-    def _step_into(self, directory: Entity, at: SimProcess) -> SimProcess:
-        host = self._placement.host_of(directory)
+    def _route_host(self, directory: Entity, component: Optional[str],
+                    routes: Optional[dict]) -> Optional[Machine]:
+        """The machine serving *component*'s binding in *directory*,
+        through the batch route memo when one is active.
+
+        The memo saves re-hashing shared prefixes across a sorted
+        batch, but a route is only as good as the placement epoch it
+        was computed under: a shard split landing **mid-batch** bumps
+        the epoch, and serving later names from pre-split routes would
+        send them to a server whose bindings just migrated away.  The
+        memo therefore records its epoch and self-clears on any bump —
+        later batch items re-route against the live shard map.
+
+        With no sharded placements at all there is nothing to hash and
+        nothing for the memo to save, so the whole apparatus is
+        skipped — an unsharded deployment pays one boolean check over
+        the classic per-directory lookup.
+        """
+        if routes is None or not self._placement.has_sharding:
+            return self._placement.host_of_binding(directory, component)
+        epoch = self._placement.epoch
+        if routes.get("epoch") != epoch:
+            routes.clear()
+            routes["epoch"] = epoch
+        key = (directory.uid, component)
+        if key in routes:
+            # Memo hit — still record the routing hit against the
+            # owning shard, or the split policy would go blind to
+            # exactly the hot repeated lookups it exists to catch.
+            self._placement.note_binding_load(directory, component)
+            return routes[key]
+        host = self._placement.host_of_binding(directory, component)
+        routes[key] = host
+        return host
+
+    def _step_into(self, directory: Entity, at: SimProcess,
+                   component: Optional[str],
+                   routes: Optional[dict]) -> SimProcess:
+        # Inlined no-sharding fast path (hot: once per walk step).
+        placement = self._placement
+        if routes is None or not placement.has_sharding:
+            host = placement.host_of_binding(directory, component)
+        else:
+            host = self._route_host(directory, component, routes)
         if host is None:
             # Unplaced directories (e.g. per-process private roots)
             # are wherever the walk already is.
@@ -524,8 +603,17 @@ class DistributedResolver:
     def _enter_directory(self, client_server: SimProcess,
                          directory: ObjectEntity, at: SimProcess,
                          cost: ResolutionCost,
-                         style: ResolutionStyle) -> Optional[SimProcess]:
-        """Move the walk into *directory*'s serving machine.
+                         style: ResolutionStyle,
+                         component: Optional[str] = None,
+                         routes: Optional[dict] = None,
+                         ) -> Optional[SimProcess]:
+        """Move the walk to the server answering the next lookup.
+
+        *component* is the binding about to be consulted in
+        *directory*: for sharded directories the serving machine is
+        per-binding (the owning shard), not per-directory, so routing
+        needs to know what will be asked.  ``None`` (no next lookup)
+        routes to the directory's representative host.
 
         Without a retry policy this is the seed fail-fast path: one
         attempt against the primary, lost legs fail the walk.  With
@@ -537,17 +625,20 @@ class DistributedResolver:
         """
         if self.retry_policy is None:
             return self._walk_to(client_server, at,
-                                 self._step_into(directory, at), cost,
-                                 style)
+                                 self._step_into(directory, at,
+                                                 component, routes),
+                                 cost, style)
         return self._enter_with_failover(client_server, directory, at,
-                                         cost, style)
+                                         cost, style, component)
 
     def _enter_with_failover(self, client_server: SimProcess,
                              directory: ObjectEntity, at: SimProcess,
                              cost: ResolutionCost,
                              style: ResolutionStyle,
+                             component: Optional[str] = None,
                              ) -> Optional[SimProcess]:
-        replicas = list(self._placement.replicas_of(directory))
+        replicas = list(self._placement.replicas_for_binding(directory,
+                                                             component))
         if not replicas:
             return at  # unplaced — local state, nothing to reach
         # Prefer the replica the walk is already parked at: entering
@@ -787,7 +878,9 @@ class DistributedResolver:
     def _walk_one(self, client_server: SimProcess, context: Context,
                   name_: CompoundName, style: ResolutionStyle,
                   cost: ResolutionCost, at: SimProcess,
-                  memo: Optional[dict]) -> tuple[Entity, SimProcess]:
+                  memo: Optional[dict],
+                  routes: Optional[dict] = None,
+                  ) -> tuple[Entity, SimProcess]:
         """Resolve one coerced name; mirrors the section-2 recursion of
         :func:`repro.model.resolution.resolve_traced` exactly.
 
@@ -827,7 +920,8 @@ class DistributedResolver:
             current = directory.state
             deps = list(hit_deps)
             nxt = self._enter_directory(client_server, directory, at,
-                                        cost, style)
+                                        cost, style, comps[start],
+                                        routes)
             if nxt is None:
                 at, stale_entry = self._degraded_step(
                     client_server, context, rooted,
@@ -870,7 +964,8 @@ class DistributedResolver:
             entered = entity  # type: ignore[assignment]
             current = state
             nxt = self._enter_directory(client_server, entered, at,
-                                        cost, style)
+                                        cost, style, comps[index + 1],
+                                        routes)
             if nxt is None:
                 at, stale_entry = self._degraded_step(
                     client_server, context, rooted,
@@ -954,6 +1049,8 @@ class DistributedResolver:
         self._return_home(client_server, at, cost, style)
         if span is not None:
             self._finish_resolution(span, cost, entity, style)
+        if self.shard_manager is not None:
+            self.shard_manager.on_resolution()
         return entity, cost
 
     def resolve_many(self, client: SimProcess, context: Context,
@@ -993,6 +1090,10 @@ class DistributedResolver:
                        "client": client.label})
         results: list = [None] * len(coerced)
         memo: dict = {}
+        # Batch route memo (see _route_host): epoch-guarded so a
+        # shard split landing mid-batch re-routes the rest of the
+        # batch instead of serving pre-split routes.
+        routes: dict = {"epoch": self._placement.epoch}
         at = client_server
         for i in order:
             cost = ResolutionCost()
@@ -1000,10 +1101,15 @@ class DistributedResolver:
                                            root=False)
                     if obs.enabled else None)
             entity, at = self._walk_one(client_server, context,
-                                        coerced[i], style, cost, at, memo)
+                                        coerced[i], style, cost, at,
+                                        memo, routes)
             results[i] = (entity, cost)
             if span is not None:
                 self._finish_resolution(span, cost, entity, style)
+            if self.shard_manager is not None:
+                # Per-walk, not per-batch: a hot batch must be able to
+                # trigger a split while it is still running.
+                self.shard_manager.on_resolution()
         # One answer hop closes the whole batch, charged to the last
         # name processed (its span parents under the batch span).
         self._return_home(client_server, at, results[order[-1]][1], style)
@@ -1046,7 +1152,13 @@ class DistributedResolver:
         """
         context: Context = directory.state
         context.bind(name_, entity)
+        # Sharded directory: the new binding belongs to exactly one
+        # shard; record it so a later split migrates it.
+        self._placement.note_binding(directory, name_)
         obs = self._obs
+        # Sharded directories have no replica set (replicas_of is
+        # empty): the write lands on the owning shard alone, so there
+        # is no propagation fan-out and nothing to mark stale.
         replicas = self._placement.replicas_of(directory)
         secondaries = replicas[1:] if len(replicas) > 1 else ()
         if self.cache_policy not in (CachePolicy.INVALIDATE,
@@ -1137,7 +1249,11 @@ class DistributedResolver:
         obs = self._obs
         dep = binding_dep(directory, name_)
         holders = self._holders.pop(dep, {})
-        host = self._placement.host_of(directory)
+        # Per-binding routing: the invalidation originates at the
+        # server that owns the changed binding (for a sharded
+        # directory, its shard's machine — not some directory-wide
+        # primary).
+        host = self._placement.host_of_binding(directory, name_)
         fanout: list[tuple[int, object]] = []
         sent = 0
         for machine_id in holders:
@@ -1206,7 +1322,9 @@ class DistributedResolver:
         holders = self.leases.holders_of(dep, now)
         if not holders:
             return 0
-        host = self._placement.host_of(directory)
+        # Break callbacks fan out from the owning shard's machine for
+        # sharded directories (per-binding routing, as in rebind).
+        host = self._placement.host_of_binding(directory, name_)
         host_server = None
         if host is not None:
             host_server = (self.server_for(host) if host.alive
@@ -1294,6 +1412,90 @@ class DistributedResolver:
         if table is not None:
             table.revoke(dep, now)
         self._drop_holder_prefixes(machine_id, dep, span)
+
+    # -- shard splits / migration ------------------------------------------
+
+    def split_shard(self, directory: ObjectEntity, shard: Shard,
+                    machine: Machine) -> bool:
+        """Split *shard* of a sharded directory, migrating the upper
+        half-range of its bindings to *machine* — as simulated
+        messages, so traces, failure injection and the retry/breaker
+        machinery all apply to rebalancing traffic.
+
+        The migration is **commit-last**: binding batches stream from
+        the source shard's server to the target first (⌈moved /
+        :attr:`migration_batch`⌉ messages, minimum one — an empty
+        range still hands off ownership), each leg going through the
+        retried-hop path; only when every batch lands does
+        :meth:`~repro.nameservice.placement.DirectoryPlacement.
+        apply_split` commit the new map and bump the placement epoch
+        exactly once.  An undeliverable batch (or a dead source)
+        aborts the split with the old map — and the old epoch —
+        intact, so no route ever points at a half-migrated shard.
+
+        Returns True if the split committed.
+        """
+        shard_map = self._placement.shard_map_of(directory)
+        if shard_map is None:
+            raise SchemeError(
+                f"directory {directory.label!r} is not sharded")
+        plan = shard_map.plan_split(shard, machine)
+        obs = self._obs
+        span = None
+        if obs.enabled:
+            span = obs.tracer.begin(
+                "shard", f"split:{directory.label}", self._sim.clock.now,
+                parent=None,
+                attrs={"directory": directory.label,
+                       "source": shard.machine.label,
+                       "target": machine.label,
+                       "split_at": plan.split_at,
+                       "moved": len(plan.moved)})
+        source_machine = shard.machine
+        committed = False
+        cost = ResolutionCost()  # migration accounting only
+        # A migration endpoint that is down and has never had a server
+        # cannot even be addressed — abort without sending anything
+        # (a dead machine with an existing server still gets messages
+        # sent at it, which fail and abort through the hop path).
+        if ((source_machine.alive or id(source_machine) in self._servers)
+                and (machine.alive or id(machine) in self._servers)):
+            source = self.server_for(source_machine)
+            target = self.server_for(machine)
+            batches = max(
+                1, -(-len(plan.moved) // max(1, self.migration_batch)))
+            delivered = 0
+            for _index in range(batches):
+                if not self._hop_retried(source, target, cost,
+                                         "migrate"):
+                    break
+                delivered += 1
+            if delivered == batches:
+                self._placement.apply_split(plan)
+                committed = True
+        self.migration_messages += cost.messages
+        self.migration_latency += cost.latency
+        if committed:
+            self.shard_splits += 1
+        else:
+            self.shard_split_aborts += 1
+        if obs.enabled:
+            obs.metrics.counter(
+                "resolver_shard_splits_total",
+                {"outcome": "committed" if committed else "aborted"}
+            ).inc()
+            if cost.messages:
+                obs.metrics.counter(
+                    "resolver_migration_messages_total"
+                ).inc(cost.messages)
+            if span is not None:
+                span.attrs["messages"] = cost.messages
+                span.attrs["committed"] = committed
+                span.attrs["shards"] = len(shard_map)
+                if not committed:
+                    span.fail("migration undeliverable — split aborted")
+                obs.tracer.end(span, self._sim.clock.now)
+        return committed
 
     # -- restart / anti-entropy --------------------------------------------
 

@@ -1,0 +1,350 @@
+"""Consistent-hash sharding of directory bindings (extension).
+
+At production scale a hot directory stops fitting on one machine — not
+in bytes but in *load*: §6's cost analysis charges every resolution
+step to the directory's hosting server, so a directory of a million
+names under a Zipf workload saturates whichever single server hosts
+it.  This module splits a directory's **bindings** (not the directory
+object — σ stays one context, the paper's semantics are untouched)
+across shard servers by consistent hashing of the binding name:
+
+* a :class:`ShardMap` partitions the 32-bit hash space into contiguous
+  ranges, one :class:`Shard` per range, each owned by one machine —
+  every binding name hashes into *exactly one* range, so exactly one
+  shard owns it (property-tested);
+* :meth:`ShardMap.plan_split` / :meth:`~repro.nameservice.placement.
+  DirectoryPlacement.apply_split` split a hot shard's range in two,
+  handing the upper half to a new machine — the migration itself is
+  driven by :meth:`~repro.nameservice.resolver.DistributedResolver.
+  split_shard` as *simulated messages*, so traces, failure injection
+  and the retry/breaker machinery all apply to rebalancing traffic;
+* a :class:`ShardManager` watches the per-shard routing load the
+  resolver records (:meth:`ShardMap.note_load`) and splits any shard
+  whose share of a check window crosses the split threshold — the
+  live feedback loop experiment A10 measures.
+
+Shard membership changes ride the existing placement-*epoch* protocol
+(:attr:`~repro.nameservice.placement.DirectoryPlacement.epoch`): a
+split bumps the epoch exactly once, so prefix-cache entries memoized
+under the pre-split map die instead of routing to the old owner.
+Splits move *placement*, never binding values, so leases stay valid
+across a migration (their cached entries die with the epoch and are
+re-leased on the next walk).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+from zlib import crc32
+
+from repro.errors import SchemeError
+from repro.model.context import Context
+from repro.model.entities import ObjectEntity
+from repro.sim.network import Machine
+
+__all__ = ["HASH_SPACE", "binding_hash", "Shard", "ShardMap",
+           "SplitPlan", "ShardManager"]
+
+#: The hash ring: binding names map into ``[0, HASH_SPACE)``.
+HASH_SPACE = 1 << 32
+
+
+def binding_hash(component: str) -> int:
+    """Deterministic 32-bit hash of a binding name.
+
+    ``zlib.crc32`` rather than :func:`hash`: python string hashing is
+    salted per process, which would make shard ownership — and with it
+    every trace and experiment row — nondeterministic across runs.
+    """
+    return crc32(component.encode("utf-8"))
+
+
+class Shard:
+    """One contiguous hash range ``[lo, hi)`` owned by one machine."""
+
+    __slots__ = ("lo", "hi", "machine", "load", "members")
+
+    def __init__(self, lo: int, hi: int, machine: Machine):
+        self.lo = lo
+        self.hi = hi
+        self.machine = machine
+        #: Routing hits recorded since the last manager check window.
+        self.load = 0
+        #: Binding names whose hash falls in this range (maintained so
+        #: a split knows how many bindings migrate without rescanning
+        #: the whole directory).
+        self.members: set[str] = set()
+
+    def owns(self, component: str) -> bool:
+        return self.lo <= binding_hash(component) < self.hi
+
+    @property
+    def span(self) -> int:
+        return self.hi - self.lo
+
+    def __repr__(self) -> str:
+        return (f"<Shard [{self.lo:#010x},{self.hi:#010x}) "
+                f"@{self.machine.label} load={self.load} "
+                f"members={len(self.members)}>")
+
+
+@dataclass(frozen=True)
+class SplitPlan:
+    """A pure description of one shard split, computed before any
+    migration message is sent and applied only if migration succeeds."""
+
+    shard: Shard
+    split_at: int
+    machine: Machine                 #: owner of the new upper range
+    moved: tuple[str, ...]           #: bindings migrating to *machine*
+
+
+class ShardMap:
+    """The sharded placement of one directory's bindings.
+
+    Ranges are kept sorted and contiguous over ``[0, HASH_SPACE)`` —
+    the representation *cannot* express an unowned or doubly-owned
+    hash, which is what makes the every-binding-has-exactly-one-owner
+    property structural rather than aspirational (still
+    property-tested over random split sequences).
+    """
+
+    def __init__(self, directory: ObjectEntity,
+                 machines: Iterable[Machine]):
+        machines = list(machines)
+        if not machines:
+            raise SchemeError("a shard map needs at least one machine")
+        self.directory = directory
+        count = len(machines)
+        bounds = [HASH_SPACE * index // count for index in range(count)]
+        bounds.append(HASH_SPACE)
+        self._shards = [Shard(bounds[i], bounds[i + 1], machines[i])
+                        for i in range(count)]
+        context: Context = directory.state
+        for name_ in context.names():
+            self._shard_for_hash(binding_hash(name_)).members.add(name_)
+
+    # -- routing ------------------------------------------------------------
+
+    def _shard_for_hash(self, value: int) -> Shard:
+        index = bisect_right(self._los(), value) - 1
+        return self._shards[index]
+
+    def _los(self) -> list[int]:
+        return [shard.lo for shard in self._shards]
+
+    def owner_of(self, component: str) -> Shard:
+        """The unique shard owning *component*."""
+        return self._shard_for_hash(binding_hash(component))
+
+    def machine_of(self, component: str) -> Machine:
+        return self.owner_of(component).machine
+
+    def note_load(self, component: str) -> None:
+        """Record one routing hit against the owning shard (the
+        signal :class:`ShardManager` splits on — counted per shard,
+        never aggregated by machine label)."""
+        self.owner_of(component).load += 1
+
+    def add_member(self, component: str) -> None:
+        """Track a binding created after the map was built (all writes
+        come through the resolver/service rebind discipline)."""
+        self.owner_of(component).members.add(component)
+
+    # -- splitting ----------------------------------------------------------
+
+    def plan_split(self, shard: Shard, machine: Machine,
+                   at: Optional[int] = None) -> SplitPlan:
+        """Describe splitting *shard* at *at* (default: range midpoint),
+        handing ``[at, hi)`` to *machine*.  Pure — nothing changes
+        until :meth:`apply_split`."""
+        if shard not in self._shards:
+            raise SchemeError(f"{shard!r} is not a shard of this map")
+        if shard.span < 2:
+            raise SchemeError(f"{shard!r} cannot split further")
+        split_at = shard.lo + shard.span // 2 if at is None else at
+        if not shard.lo < split_at < shard.hi:
+            raise SchemeError(
+                f"split point {split_at:#x} outside ({shard.lo:#x}, "
+                f"{shard.hi:#x})")
+        moved = tuple(sorted(
+            name_ for name_ in shard.members
+            if binding_hash(name_) >= split_at))
+        return SplitPlan(shard=shard, split_at=split_at,
+                         machine=machine, moved=moved)
+
+    def apply_split(self, plan: SplitPlan) -> Shard:
+        """Commit a planned split; returns the new shard.
+
+        Window loads of both halves reset — the post-split window
+        re-measures the true distribution instead of guessing how the
+        old count divides.
+        """
+        shard = plan.shard
+        index = self._shards.index(shard)
+        new = Shard(plan.split_at, shard.hi, plan.machine)
+        new.members.update(plan.moved)
+        shard.members.difference_update(plan.moved)
+        shard.hi = plan.split_at
+        shard.load = 0
+        self._shards.insert(index + 1, new)
+        return new
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def shards(self) -> tuple[Shard, ...]:
+        return tuple(self._shards)
+
+    def machines(self) -> list[Machine]:
+        """Owning machines, deduped, in ring order."""
+        seen: dict[int, Machine] = {}
+        for shard in self._shards:
+            seen.setdefault(id(shard.machine), shard.machine)
+        return list(seen.values())
+
+    def reset_window(self) -> None:
+        """Zero the per-shard load counters (end of a check window)."""
+        for shard in self._shards:
+            shard.load = 0
+
+    def is_partition(self) -> bool:
+        """True iff the ranges exactly tile ``[0, HASH_SPACE)`` — the
+        exactly-one-owner invariant, checked structurally."""
+        if not self._shards:
+            return False
+        if self._shards[0].lo != 0 or self._shards[-1].hi != HASH_SPACE:
+            return False
+        return all(self._shards[i].hi == self._shards[i + 1].lo
+                   and self._shards[i].span >= 1
+                   for i in range(len(self._shards) - 1))
+
+    def owners_of(self, component: str) -> list[Shard]:
+        """Every shard whose range contains *component*'s hash (the
+        property tests assert this is always exactly one, without
+        trusting the bisect fast path)."""
+        value = binding_hash(component)
+        return [shard for shard in self._shards
+                if shard.lo <= value < shard.hi]
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def stats(self) -> dict[str, object]:
+        return {
+            "shards": len(self._shards),
+            "machines": len(self.machines()),
+            "members": sum(len(s.members) for s in self._shards),
+            "window_load": sum(s.load for s in self._shards),
+        }
+
+    def __repr__(self) -> str:
+        return (f"<ShardMap {self.directory.label!r} "
+                f"{len(self._shards)} shards over "
+                f"{len(self.machines())} machines>")
+
+
+class ShardManager:
+    """The split policy: watch per-shard window load, split hot shards.
+
+    Wired as ``resolver.shard_manager = ShardManager(resolver, pool=…)``
+    the resolver pings :meth:`on_resolution` after every completed
+    walk (including each walk *inside* a batch — a split can land
+    mid-``resolve_many``, which is exactly the case the epoch protocol
+    has to survive).  Every *check_every* resolutions the manager
+    scans each sharded directory and splits any shard whose share of
+    the window's routing hits exceeds *split_fraction*, handing the
+    upper half-range to the least-burdened machine of *pool* (pool
+    machines may already host shards; counts are kept per machine
+    identity, never by label).  Splits are executed by
+    :meth:`~repro.nameservice.resolver.DistributedResolver.
+    split_shard`, i.e. migration runs as simulated messages and an
+    unreachable target aborts the split (retried next window).
+    """
+
+    def __init__(self, resolver, *, pool: Iterable[Machine],
+                 split_fraction: float = 0.25,
+                 check_every: int = 1000,
+                 min_window: int = 100,
+                 max_shards: int = 64,
+                 on_split: Optional[Callable[..., None]] = None):
+        self.resolver = resolver
+        self.placement = resolver.placement
+        self.pool = list(pool)
+        self.split_fraction = split_fraction
+        self.check_every = check_every
+        self.min_window = min_window
+        self.max_shards = max_shards
+        self.on_split = on_split
+        self.resolutions = 0
+        self.splits = 0
+        self.aborted_splits = 0
+
+    # -- the feedback loop --------------------------------------------------
+
+    def on_resolution(self) -> None:
+        """One walk finished; maybe run a check window."""
+        self.resolutions += 1
+        if self.resolutions % self.check_every == 0:
+            self.check()
+
+    def check(self) -> int:
+        """Scan every sharded directory once; returns splits done."""
+        done = 0
+        for shard_map in self.placement.shard_maps():
+            done += self._check_map(shard_map)
+            shard_map.reset_window()
+        return done
+
+    def _check_map(self, shard_map: ShardMap) -> int:
+        done = 0
+        while len(shard_map) < self.max_shards:
+            window = sum(s.load for s in shard_map.shards)
+            if window < self.min_window:
+                break
+            hot = max(shard_map.shards,
+                      key=lambda s: (s.load, -s.lo))
+            if hot.load <= self.split_fraction * window:
+                break
+            if hot.span < 2:
+                break  # a single hash value cannot split further
+            target = self._pick_target(shard_map, hot)
+            if target is None:
+                break
+            if self.resolver.split_shard(shard_map.directory, hot,
+                                         target):
+                self.splits += 1
+                done += 1
+                if self.on_split is not None:
+                    self.on_split(shard_map, hot, target)
+            else:
+                self.aborted_splits += 1
+                break  # unreachable target — retry next window
+        return done
+
+    def _pick_target(self, shard_map: ShardMap,
+                     hot: Shard) -> Optional[Machine]:
+        """The live pool machine owning the fewest shards of this map
+        (ties broken by pool order — deterministic per seed).  The hot
+        shard's own machine is excluded unless it is the only live
+        candidate: splitting onto the same machine narrows the range
+        but sheds no load."""
+        best: Optional[Machine] = None
+        best_count = None
+        for machine in self.pool:
+            if not machine.alive or machine is hot.machine:
+                continue
+            count = sum(1 for s in shard_map.shards
+                        if s.machine is machine)
+            if best_count is None or count < best_count:
+                best, best_count = machine, count
+        if best is None and hot.machine.alive \
+                and hot.machine in self.pool:
+            return hot.machine
+        return best
+
+    def stats(self) -> dict[str, int]:
+        return {"resolutions": self.resolutions, "splits": self.splits,
+                "aborted_splits": self.aborted_splits}

@@ -20,6 +20,12 @@ from repro.workloads.scenarios import (
     build_pqid_population,
     build_rule_scenario,
 )
+from repro.workloads.zipf import (
+    ZipfNamespace,
+    ZipfSampler,
+    build_zipf_namespace,
+    open_loop_arrivals,
+)
 
 __all__ = [
     "BuiltOrg",
@@ -29,12 +35,16 @@ __all__ = [
     "RuleScenario",
     "ShellResult",
     "UserShell",
+    "ZipfNamespace",
+    "ZipfSampler",
     "build_campus",
     "build_federation",
     "build_pqid_population",
     "build_rule_scenario",
+    "build_zipf_namespace",
     "embedded_events",
     "exchange_events",
     "internal_events",
     "mixed_workload",
+    "open_loop_arrivals",
 ]

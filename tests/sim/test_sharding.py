@@ -1,0 +1,447 @@
+"""Sharded directory placement: routing, splits, migration, and the
+load/epoch bugfixes the million-name workload exposed.
+
+Pins, in one place:
+
+* the :class:`~repro.nameservice.sharding.ShardMap` invariants —
+  contiguous ranges, exactly-one-owner (property-tested over random
+  split sequences), member conservation across splits;
+* uid-keyed load accounting — label-summed ``resolver.load`` is
+  reporting-only; decisions key on :meth:`load_by_uid` /
+  :meth:`load_of_machine`, which label collisions cannot corrupt;
+* epoch discipline — ``place_subtree`` bumps the epoch exactly once
+  and re-placing never resurrects stale marks;
+* the mid-batch epoch bump — a shard split landing inside
+  ``resolve_many`` makes later batch items re-route instead of using
+  the pre-split map (the batch route memo is epoch-guarded);
+* commit-last migration — an unreachable target aborts the split
+  with the old map and the old epoch intact.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SchemeError
+from repro.model.resolution import resolve as local_resolve
+from repro.namespaces.base import ProcessContext
+from repro.namespaces.tree import NamingTree
+from repro.nameservice.placement import DirectoryPlacement
+from repro.nameservice.resolver import DistributedResolver
+from repro.nameservice.sharding import (
+    HASH_SPACE,
+    ShardManager,
+    ShardMap,
+    binding_hash,
+)
+from repro.sim.failures import FailureInjector
+from repro.sim.kernel import Simulator
+from repro.workloads.zipf import ZipfSampler, build_zipf_namespace
+
+
+def make_deployment(names=2000, pool_size=4, seed=0, sharded=True,
+                    shards=1, manager=False, check_every=100,
+                    min_window=50):
+    """A hot directory of *names* bindings under ``/hot``, either on a
+    single machine or sharded over the first *shards* pool machines,
+    optionally with the live split policy wired in."""
+    simulator = Simulator(seed=seed)
+    network = simulator.network("lan")
+    pool = [simulator.machine(network, f"s{i}") for i in range(pool_size)]
+    client_m = simulator.machine(network, "client-m")
+    tree = NamingTree("root", sigma=simulator.sigma)
+    namespace = build_zipf_namespace(tree, "hot", count=names,
+                                     distinct=64)
+    placement = DirectoryPlacement()
+    placement.place(tree.root, client_m)
+    if sharded:
+        shard_map = placement.place_sharded(namespace.directory,
+                                            *pool[:shards])
+    else:
+        placement.place(namespace.directory, pool[0])
+        shard_map = None
+    client = simulator.spawn(client_m, "client")
+    resolver = DistributedResolver(simulator, placement)
+    if manager:
+        resolver.shard_manager = ShardManager(
+            resolver, pool=pool, split_fraction=0.3,
+            check_every=check_every, min_window=min_window)
+    return {
+        "simulator": simulator, "resolver": resolver,
+        "placement": placement, "client": client,
+        "context": ProcessContext(tree.root), "tree": tree,
+        "namespace": namespace, "pool": pool, "client_m": client_m,
+        "shard_map": shard_map,
+    }
+
+
+class TestShardMap:
+    """Structural invariants of the hash-range partition."""
+
+    def test_initial_ranges_tile_the_space(self):
+        world = make_deployment(names=500, shards=3)
+        shard_map = world["shard_map"]
+        assert len(shard_map) == 3
+        assert shard_map.is_partition()
+        assert shard_map.shards[0].lo == 0
+        assert shard_map.shards[-1].hi == HASH_SPACE
+
+    def test_every_binding_is_a_member_of_its_owner(self):
+        world = make_deployment(names=500, shards=3)
+        shard_map = world["shard_map"]
+        names = world["namespace"].names
+        assert sum(len(s.members) for s in shard_map.shards) == 500
+        for name_ in names[:50]:
+            owner = shard_map.owner_of(name_)
+            assert name_ in owner.members
+            assert shard_map.owners_of(name_) == [owner]
+
+    def test_split_conserves_members_and_partition(self):
+        world = make_deployment(names=800, shards=1)
+        shard_map = world["shard_map"]
+        [shard] = shard_map.shards
+        before = set(shard.members)
+        plan = shard_map.plan_split(shard, world["pool"][1])
+        new = shard_map.apply_split(plan)
+        assert shard_map.is_partition()
+        assert shard.hi == new.lo == plan.split_at
+        assert all(binding_hash(n) >= plan.split_at for n in new.members)
+        assert all(binding_hash(n) < plan.split_at for n in shard.members)
+        assert shard.members | new.members == before
+        assert not shard.members & new.members
+
+    def test_plan_split_rejects_foreign_shard_and_bad_point(self):
+        world = make_deployment(names=100, shards=2)
+        other = make_deployment(names=100, shards=1)
+        shard_map = world["shard_map"]
+        shard = shard_map.shards[0]
+        with pytest.raises(SchemeError):
+            shard_map.plan_split(other["shard_map"].shards[0],
+                                 world["pool"][1])
+        with pytest.raises(SchemeError):
+            shard_map.plan_split(shard, world["pool"][1],
+                                 at=shard.hi + 1)
+        with pytest.raises(SchemeError):
+            shard_map.plan_split(shard, world["pool"][1], at=shard.lo)
+
+    def test_rebind_tracks_new_members(self):
+        world = make_deployment(names=100, shards=2)
+        world["resolver"].rebind(world["namespace"].directory, "fresh",
+                                 world["namespace"].shared_leaf)
+        shard_map = world["shard_map"]
+        assert "fresh" in shard_map.owner_of("fresh").members
+
+
+class TestUidKeyedLoad:
+    """Satellite: label-aggregated load is reporting-only; decisions
+    key on uid, which label collisions cannot corrupt."""
+
+    def _collide(self):
+        simulator = Simulator(seed=0)
+        network = simulator.network("lan")
+        # Two distinct machines with the SAME label: the label-keyed
+        # report lumps their servers into one bucket.
+        m_a = simulator.machine(network, "dup")
+        m_b = simulator.machine(network, "dup")
+        client_m = simulator.machine(network, "client-m")
+        tree = NamingTree("root", sigma=simulator.sigma)
+        tree.mkdir("a")
+        tree.mkdir("b")
+        tree.mkfile("a/x")
+        tree.mkfile("b/y")
+        placement = DirectoryPlacement()
+        placement.place(tree.root, client_m)
+        placement.place(tree.directory("a"), m_a)
+        placement.place(tree.directory("b"), m_b)
+        client = simulator.spawn(client_m, "client")
+        resolver = DistributedResolver(simulator, placement)
+        context = ProcessContext(tree.root)
+        return resolver, client, context, m_a, m_b
+
+    def test_label_collision_merges_report_but_not_uid_view(self):
+        resolver, client, context, m_a, m_b = self._collide()
+        for _ in range(3):
+            resolver.resolve(client, context, "/a/x")
+        resolver.resolve(client, context, "/b/y")
+        # The label view is ambiguous by construction...
+        assert resolver.load["dirserver@dup"] >= 4
+        # ...the uid views are not.
+        assert resolver.load_of_machine(m_a) == 3
+        assert resolver.load_of_machine(m_b) == 1
+        by_uid = resolver.load_by_uid()
+        assert sorted(
+            count for uid, count in by_uid.items()
+            if uid != resolver.server_for(client.machine).uid
+        ) == [1, 3]
+
+    def test_split_decisions_survive_label_collisions(self):
+        """A pool of same-labelled machines still splits correctly —
+        the policy counts shards per machine identity and loads per
+        shard, never per label."""
+        simulator = Simulator(seed=0)
+        network = simulator.network("lan")
+        pool = [simulator.machine(network, "shard") for _ in range(3)]
+        client_m = simulator.machine(network, "client-m")
+        tree = NamingTree("root", sigma=simulator.sigma)
+        namespace = build_zipf_namespace(tree, "hot", count=400,
+                                         distinct=16)
+        placement = DirectoryPlacement()
+        placement.place(tree.root, client_m)
+        shard_map = placement.place_sharded(namespace.directory, pool[0])
+        client = simulator.spawn(client_m, "client")
+        resolver = DistributedResolver(simulator, placement)
+        resolver.shard_manager = ShardManager(
+            resolver, pool=pool, split_fraction=0.3,
+            check_every=60, min_window=30)
+        context = ProcessContext(tree.root)
+        sampler = ZipfSampler(400, rng=__import__("random").Random(0))
+        for rank in sampler.sample_many(300):
+            resolver.resolve(client, context,
+                             "/hot/" + namespace.names[rank])
+        assert resolver.shard_splits > 0
+        assert shard_map.is_partition()
+        assert len(shard_map.machines()) >= 2
+
+
+class TestEpochDiscipline:
+    """Satellite: place_subtree bumps exactly once; re-placement
+    never resurrects stale marks."""
+
+    def _tree_world(self):
+        simulator = Simulator(seed=0)
+        network = simulator.network("lan")
+        m1 = simulator.machine(network, "m1")
+        m2 = simulator.machine(network, "m2")
+        tree = NamingTree("root", sigma=simulator.sigma)
+        tree.mkdir("a/b/c")
+        tree.mkdir("a/d")
+        placement = DirectoryPlacement()
+        return placement, tree, m1, m2
+
+    def test_place_subtree_bumps_epoch_exactly_once(self):
+        placement, tree, m1, _ = self._tree_world()
+        before = placement.epoch
+        placed = placement.place_subtree(tree.root, m1)
+        assert placed == 5  # root, a, a/b, a/b/c, a/d
+        assert placement.epoch == before + 1
+
+    def test_noop_place_subtree_leaves_epoch_alone(self):
+        placement, tree, m1, m2 = self._tree_world()
+        placement.place_subtree(tree.directory("a/b"), m2)
+        before = placement.epoch
+        # Every directory under a/b already belongs to m2: re-rooting
+        # the walk there for m1 places nothing and must not bump.
+        assert placement.place_subtree(tree.directory("a/b"), m1) == 0
+        assert placement.epoch == before
+
+    def test_replacement_prunes_stale_marks(self):
+        placement, tree, m1, m2 = self._tree_world()
+        a = tree.directory("a")
+        placement.place_replicated(a, m1, m2)
+        placement.mark_stale(a, m2)
+        assert placement.is_stale(a, m2)
+        placement.place(a, m1)  # m2 is no longer a replica
+        assert not placement.is_stale(a, m2)
+        # Re-adding m2 later must not resurrect the old mark.
+        placement.add_replica(a, m2)
+        assert not placement.is_stale(a, m2)
+        assert placement.stale_count() == 0
+
+    def test_place_subtree_prunes_stale_of_dropped_replicas(self):
+        placement, tree, m1, m2 = self._tree_world()
+        b = tree.directory("a/b")
+        placement.place_replicated(b, m1, m2)
+        placement.mark_stale(b, m2)
+        placement.place_subtree(tree.root, m1)
+        assert not placement.is_stale(b, m2)
+        assert placement.stale_count() == 0
+
+    def test_surviving_replica_keeps_its_stale_mark(self):
+        """Pruning removes marks of *dropped* replicas only — a stale
+        replica that stays placed stays stale until anti-entropy."""
+        placement, tree, m1, m2 = self._tree_world()
+        a = tree.directory("a")
+        placement.place_replicated(a, m1, m2)
+        placement.mark_stale(a, m2)
+        placement.add_replica(a, m2)  # no-op membership change
+        assert placement.is_stale(a, m2)
+
+    def test_place_sharded_clears_replica_state(self):
+        placement, tree, m1, m2 = self._tree_world()
+        a = tree.directory("a")
+        placement.place_replicated(a, m1, m2)
+        placement.mark_stale(a, m2)
+        before = placement.epoch
+        placement.place_sharded(a, m1, m2)
+        assert placement.epoch == before + 1
+        assert placement.is_sharded(a)
+        assert placement.replicas_of(a) == ()
+        assert not placement.is_stale(a, m2)
+
+
+class TestMidBatchEpochBump:
+    """Satellite: a split landing inside resolve_many re-routes the
+    rest of the batch instead of using the pre-split ShardMap."""
+
+    def test_route_memo_is_epoch_guarded(self):
+        """The precise pin: a memoized route dies with the epoch."""
+        world = make_deployment(names=600, shards=1)
+        resolver = world["resolver"]
+        placement = world["placement"]
+        directory = world["namespace"].directory
+        shard_map = world["shard_map"]
+        name_ = next(n for n in world["namespace"].names
+                     if 0 < binding_hash(n) < HASH_SPACE - 1)
+        routes = {"epoch": placement.epoch}
+        old_host = resolver._route_host(directory, name_, routes)
+        assert old_host is shard_map.owner_of(name_).machine
+        assert (directory.uid, name_) in routes  # memoized
+        # Split exactly at the name's hash: it moves to pool[1].
+        [shard] = shard_map.shards
+        plan = shard_map.plan_split(shard, world["pool"][1],
+                                    at=binding_hash(name_))
+        placement.apply_split(plan)
+        new_host = shard_map.owner_of(name_).machine
+        assert new_host is world["pool"][1]
+        assert new_host is not old_host
+        # The stale-epoch memo must NOT win: the guarded lookup drops
+        # the pre-split routes and re-consults live placement.
+        assert resolver._route_host(directory, name_, routes) is new_host
+        assert routes["epoch"] == placement.epoch
+
+    def test_split_mid_batch_reroutes_later_items(self):
+        world = make_deployment(names=1500, shards=1, manager=True,
+                                check_every=80, min_window=40)
+        resolver = world["resolver"]
+        namespace = world["namespace"]
+        shard_map = world["shard_map"]
+        sampler = ZipfSampler(1500, rng=__import__("random").Random(7))
+        names = ["/hot/" + namespace.names[rank]
+                 for rank in sampler.sample_many(600)]
+        epoch_before = world["placement"].epoch
+        results = resolver.resolve_many(world["client"],
+                                        world["context"], names)
+        # The split landed while the batch was running...
+        assert resolver.shard_splits > 0
+        assert world["placement"].epoch > epoch_before
+        # ...and every item, before and after the bump, is correct.
+        assert len(results) == len(names)
+        for name_, (entity, _cost) in zip(names, results):
+            assert entity is local_resolve(world["context"], name_)
+        # Later items were actually served by the new owners: machines
+        # that gained shards gained load (a stale pre-split memo would
+        # have kept charging pool[0]'s server).
+        gained = [m for m in shard_map.machines()
+                  if m is not world["pool"][0]]
+        assert gained
+        assert any(resolver.load_of_machine(m) > 0 for m in gained)
+
+    def test_sequential_resolves_see_splits_immediately(self):
+        world = make_deployment(names=1500, shards=1, manager=True,
+                                check_every=80, min_window=40)
+        resolver = world["resolver"]
+        namespace = world["namespace"]
+        sampler = ZipfSampler(1500, rng=__import__("random").Random(3))
+        for rank in sampler.sample_many(400):
+            entity, _ = resolver.resolve(
+                world["client"], world["context"],
+                "/hot/" + namespace.names[rank])
+            assert entity.is_defined()
+        assert resolver.shard_splits > 0
+        assert world["shard_map"].is_partition()
+
+
+class TestMigrationFailure:
+    """Commit-last: an undeliverable migration aborts the split with
+    the old map and old epoch intact."""
+
+    def test_dead_target_aborts_split(self):
+        world = make_deployment(names=400, shards=1)
+        resolver = world["resolver"]
+        placement = world["placement"]
+        shard_map = world["shard_map"]
+        target = world["pool"][1]
+        FailureInjector(world["simulator"]).crash_machine(target)
+        [shard] = shard_map.shards
+        epoch_before = placement.epoch
+        assert not resolver.split_shard(
+            world["namespace"].directory, shard, target)
+        assert resolver.shard_split_aborts == 1
+        assert resolver.shard_splits == 0
+        assert len(shard_map) == 1
+        assert placement.epoch == epoch_before
+        assert shard_map.is_partition()
+
+    def test_manager_survives_dead_pool_machines(self):
+        world = make_deployment(names=1200, shards=1, manager=True,
+                                check_every=80, min_window=40)
+        injector = FailureInjector(world["simulator"])
+        for machine in world["pool"][1:3]:
+            injector.crash_machine(machine)
+        resolver = world["resolver"]
+        namespace = world["namespace"]
+        sampler = ZipfSampler(1200, rng=__import__("random").Random(1))
+        for rank in sampler.sample_many(400):
+            resolver.resolve(world["client"], world["context"],
+                             "/hot/" + namespace.names[rank])
+        # Splits still happen, but only onto live machines.
+        assert resolver.shard_splits > 0
+        for shard in world["shard_map"].shards:
+            assert shard.machine.alive
+
+
+@st.composite
+def split_sequences(draw):
+    """(shard_count, [(shard_index_seed, fraction)]) split scripts."""
+    initial = draw(st.integers(min_value=1, max_value=4))
+    steps = draw(st.lists(
+        st.tuples(st.integers(min_value=0, max_value=10 ** 6),
+                  st.floats(min_value=0.01, max_value=0.99)),
+        max_size=12))
+    return initial, steps
+
+
+class TestOwnershipProperty:
+    """Property: after ANY split sequence, every binding is owned by
+    exactly one shard, and membership matches ownership."""
+
+    @given(script=split_sequences(),
+           probes=st.lists(st.text(min_size=1, max_size=12),
+                           max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_exactly_one_owner_after_any_split_sequence(self, script,
+                                                        probes):
+        initial, steps = script
+        simulator = Simulator(seed=0)
+        network = simulator.network("lan")
+        pool = [simulator.machine(network, f"s{i}") for i in range(4)]
+        tree = NamingTree("root", sigma=simulator.sigma)
+        namespace = build_zipf_namespace(tree, "hot", count=200,
+                                         distinct=8)
+        shard_map = ShardMap(namespace.directory, pool[:initial])
+        all_members = {name_ for shard in shard_map.shards
+                       for name_ in shard.members}
+        for index_seed, fraction in steps:
+            shard = shard_map.shards[index_seed % len(shard_map)]
+            if shard.span < 2:
+                continue
+            at = shard.lo + max(1, int(shard.span * fraction))
+            if not shard.lo < at < shard.hi:
+                continue
+            machine = pool[index_seed % len(pool)]
+            shard_map.apply_split(
+                shard_map.plan_split(shard, machine, at=at))
+        assert shard_map.is_partition()
+        member_union = set()
+        for shard in shard_map.shards:
+            assert not member_union & shard.members
+            member_union |= shard.members
+            for name_ in shard.members:
+                assert shard_map.owner_of(name_) is shard
+        assert member_union == all_members
+        for probe in probes + list(namespace.names[:5]):
+            assert len(shard_map.owners_of(probe)) == 1
+            assert shard_map.owners_of(probe)[0] is \
+                shard_map.owner_of(probe)

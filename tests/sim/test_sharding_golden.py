@@ -1,0 +1,149 @@
+"""Determinism goldens for shard splitting and migration.
+
+Live splits are placement mutations driven by observed load, with
+migrations travelling as simulated messages — so they must be exactly
+as deterministic as any other kernel workload: for a fixed seed, the
+same splits at the same points, the same migration traffic, and a
+byte-identical trace log.  These tests pin sha256 digests of a
+canonical split-and-migrate scenario (including an aborted split onto
+a crashed machine) and of the A10 experiment's full result dict at
+reduced scale, across seeds 0/1/7/42.
+
+Regenerate (only when a change is *intended* to alter observable
+behaviour)::
+
+    PYTHONPATH=src python tests/sim/test_sharding_golden.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+
+import pytest
+
+from repro.namespaces.base import ProcessContext
+from repro.namespaces.tree import NamingTree
+from repro.nameservice.placement import DirectoryPlacement
+from repro.nameservice.resolver import DistributedResolver
+from repro.nameservice.sharding import ShardManager
+from repro.sim.failures import FailureInjector
+from repro.sim.kernel import Simulator
+from repro.workloads.zipf import ZipfSampler, build_zipf_namespace
+
+SEEDS = (0, 1, 7, 42)
+
+#: sha256 of the canonical split scenario's formatted trace log.
+TRACE_GOLDENS = {
+    0: "922a609510d40aa830472410a4241052eea60e37b5baff1aa8af8907fd5a30c4",
+    1: "354395eab007f5da8f199eaeae5fdc4c48485674ff879a51fb541a66ff4fec57",
+    7: "c7122d3a7dcd670b917b3abe7ac1a46f42d9288d89deca5d022109d69d5d4b07",
+    42: "c239add344287e0a0ed7f1fb4224d58ecba3458f1e7ee0f0b007a31912840fb3",
+}
+
+#: sha256 of A10's full ``ExperimentResult.to_dict()`` (reduced scale).
+EXPERIMENT_GOLDENS = {
+    0: "4ea703c7d7c36633da22710647eea22a4738b88182eef55233ee4de042b9149b",
+    1: "ef50258dbce268fa0c5a053b9f228b4d5816fe67a9658380964ec16ab46d7154",
+    7: "96d3e5d61f0f22d8e7157fb16bf333f584083360a131a8c5efc399167be8b273",
+    42: "218c5ca70eb249adf56dc7fd403167ea5e76acba5d36353bc2545a6401ff1bba",
+}
+
+
+def run_split_scenario(seed: int) -> Simulator:
+    """A fixed sharding workload touching every migration path: a
+    Zipf run hot enough to trigger several live splits, a rebind into
+    a shard, and a split aborted against a crashed target."""
+    simulator = Simulator(seed=seed)
+    network = simulator.network("lan")
+    pool = [simulator.machine(network, f"s{i}") for i in range(4)]
+    client_m = simulator.machine(network, "client-m")
+    tree = NamingTree("root", sigma=simulator.sigma)
+    namespace = build_zipf_namespace(tree, "hot", count=3000,
+                                     distinct=64)
+    placement = DirectoryPlacement()
+    placement.place(tree.root, client_m)
+    shard_map = placement.place_sharded(namespace.directory, pool[0])
+    client = simulator.spawn(client_m, "client")
+    resolver = DistributedResolver(simulator, placement)
+    resolver.shard_manager = ShardManager(
+        resolver, pool=pool, split_fraction=0.3,
+        check_every=100, min_window=50)
+    context = ProcessContext(tree.root)
+    sampler = ZipfSampler(3000, rng=random.Random(seed))
+    for rank in sampler.sample_many(800):
+        resolver.resolve(client, context,
+                         "/hot/" + namespace.names[rank])
+    resolver.rebind(namespace.directory, "fresh",
+                    namespace.shared_leaf)
+    # One split against a crashed target: commit-last must abort it
+    # without disturbing the map (and the abort is itself traced).
+    victim = pool[3]
+    FailureInjector(simulator).crash_machine(victim)
+    widest = max(shard_map.shards, key=lambda s: (s.span, -s.lo))
+    committed = resolver.split_shard(namespace.directory, widest,
+                                     victim)
+    assert not committed
+    assert shard_map.is_partition()
+    assert resolver.shard_splits > 0
+    return simulator
+
+
+def trace_digest(simulator: Simulator) -> str:
+    lines = [f"{entry.time:g}|{entry.kind}|{entry.detail}"
+             for entry in simulator.trace]
+    lines.append(f"sent={simulator.messages_sent}"
+                 f"|delivered={simulator.messages_delivered}"
+                 f"|dropped={simulator.messages_dropped}"
+                 f"|t={simulator.clock.now:g}")
+    return hashlib.sha256("\n".join(lines).encode()).hexdigest()
+
+
+def run_a10_reduced(seed: int):
+    from repro.bench.experiments_sharding import run_a10_sharding
+    return run_a10_sharding(seed=seed, names=20_000,
+                            resolutions=3_000)
+
+
+def experiment_digest(result) -> str:
+    payload = json.dumps(result.to_dict(), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class TestSplitTraceGoldens:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_trace_log_matches_pinned_digest(self, seed):
+        assert trace_digest(run_split_scenario(seed)) == \
+            TRACE_GOLDENS[seed]
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_repeated_runs_are_bit_identical(self, seed):
+        first = run_split_scenario(seed)
+        second = run_split_scenario(seed)
+        assert [entry.detail for entry in first.trace] == \
+            [entry.detail for entry in second.trace]
+        assert trace_digest(first) == trace_digest(second)
+
+
+class TestA10Goldens:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_a10_matches_pinned_digest(self, seed):
+        result = run_a10_reduced(seed)
+        assert result.all_checks_pass(), result.failed_checks()
+        assert experiment_digest(result) == EXPERIMENT_GOLDENS[seed]
+
+
+def _regenerate() -> None:  # pragma: no cover - maintenance helper
+    print("TRACE_GOLDENS = {")
+    for seed in SEEDS:
+        print(f'    {seed}: "{trace_digest(run_split_scenario(seed))}",')
+    print("}")
+    print("EXPERIMENT_GOLDENS = {")
+    for seed in SEEDS:
+        print(f'    {seed}: "{experiment_digest(run_a10_reduced(seed))}",')
+    print("}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    _regenerate()

@@ -119,10 +119,12 @@ def main(argv=None) -> int:
                              "smoke default 0.25)")
     parser.add_argument("--repeats", type=int, default=None,
                         help="timing repeats, best-of (default 3, "
-                             "smoke default 2)")
+                             "smoke default 5 — smoke scenarios are "
+                             "tiny, so best-of-few is pure noise on a "
+                             "shared runner)")
     parser.add_argument("--scenario", action="append", default=None,
                         help="run only this scenario (repeatable)")
-    parser.add_argument("--pr", type=int, default=6,
+    parser.add_argument("--pr", type=int, default=7,
                         help="PR number stamped into the file")
     parser.add_argument("--label", default="current",
                         help="free-form label for this measurement")
@@ -140,7 +142,7 @@ def main(argv=None) -> int:
     scale = args.scale if args.scale is not None else (
         0.25 if args.smoke else 1.0)
     repeats = args.repeats if args.repeats is not None else (
-        2 if args.smoke else 3)
+        5 if args.smoke else 3)
 
     print("calibrating machine speed ...", flush=True)
     calibration = calibrate()

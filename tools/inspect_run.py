@@ -284,6 +284,63 @@ def run_leases(seed: int, style: ResolutionStyle, policy: CachePolicy,
                       "lease_stats": resolver.lease_stats()}}
 
 
+@scenario("shard")
+def run_shard(seed: int, style: ResolutionStyle, policy: CachePolicy,
+              obs: Instrumentation) -> dict:
+    """Live hot-shard splitting on display: a Zipf run over a sharded
+    directory triggers load-driven splits, each migrating bindings as
+    simulated messages.  The trace shows ``shard`` spans (source,
+    target, split point, bindings moved, committed/aborted — the last
+    split is aborted against a crashed target); the metrics show the
+    ``resolver_shard_splits_total`` / ``resolver_migration_messages_
+    total`` counters.
+    """
+    import random as _random
+
+    from repro.nameservice.sharding import ShardManager
+    from repro.workloads.zipf import ZipfSampler, build_zipf_namespace
+
+    simulator = Simulator(seed=seed, obs=obs)
+    network = simulator.network("lan")
+    pool = [simulator.machine(network, f"shard{i}") for i in range(4)]
+    client_machine = simulator.machine(network, "client-m")
+    tree = NamingTree("root", sigma=simulator.sigma)
+    namespace = build_zipf_namespace(tree, "hot", count=3000,
+                                     distinct=64)
+    placement = DirectoryPlacement()
+    placement.place(tree.root, client_machine)
+    shard_map = placement.place_sharded(namespace.directory, pool[0])
+    client = simulator.spawn(client_machine, "client")
+    resolver = DistributedResolver(simulator, placement,
+                                   cache_policy=policy, cache_ttl=50.0)
+    resolver.shard_manager = ShardManager(
+        resolver, pool=pool, split_fraction=0.3,
+        check_every=100, min_window=50)
+    context = ProcessContext(tree.root)
+    sampler = ZipfSampler(3000, rng=_random.Random(seed))
+    costs = []
+    for rank in sampler.sample_many(800):
+        _entity, cost = resolver.resolve(
+            client, context, "/hot/" + namespace.names[rank], style)
+        costs.append(cost)
+    # One deliberately-aborted split: crash the target first so the
+    # commit-last discipline shows up as a failed shard span.
+    victim = pool[3]
+    FailureInjector(simulator).crash_machine(victim)
+    widest = max(shard_map.shards, key=lambda s: (s.span, -s.lo))
+    resolver.split_shard(namespace.directory, widest, victim)
+    cost = ResolutionCost.merge(costs)
+    return {"simulator": simulator,
+            "notes": {"scenario": "shard",
+                      "messages": cost.messages,
+                      "splits": resolver.shard_splits,
+                      "split_aborts": resolver.shard_split_aborts,
+                      "migration_messages": resolver.migration_messages,
+                      "shards": len(shard_map),
+                      "machines": len(shard_map.machines()),
+                      "partition_ok": shard_map.is_partition()}}
+
+
 def render_tree(obs: Instrumentation, notes: dict, top: int) -> str:
     lines = [format_hop_tree(obs.tracer.spans), ""]
     lines.append(f"hottest servers (top {top}):")
