@@ -48,8 +48,9 @@ SCENARIOS: dict[str, Callable[[float], ScenarioStats]] = {}
 
 #: The cheap subset CI smoke runs (kernel paths + one experiment).
 SMOKE_SCENARIOS = ("kernel_message_throughput", "kernel_same_instant_fanout",
-                   "kernel_timers_with_cancellation", "a7_batch_resolution",
-                   "a10_sharding")
+                   "kernel_timers_with_cancellation", "obs_overhead_no_obs",
+                   "obs_overhead_sampled", "obs_overhead_full",
+                   "a7_batch_resolution", "a10_sharding")
 
 
 def scenario(name: str):
@@ -65,13 +66,12 @@ def _scaled(base: int, scale: float, floor: int = 10) -> int:
 
 # -- kernel scenarios ------------------------------------------------------
 
-@scenario("kernel_message_throughput")
-def kernel_message_throughput(scale: float = 1.0) -> ScenarioStats:
-    """The ``bench_micro_core.test_kernel_message_throughput`` loop at
-    harness scale: 8 processes round-robining messages, drained in one
-    :meth:`Simulator.run`."""
-    count = _scaled(20_000, scale)
-    simulator = Simulator(seed=1)
+def _message_workload(count: int, obs=None) -> ScenarioStats:
+    """The message-throughput loop: 8 processes round-robining *count*
+    messages, drained in one :meth:`Simulator.run` — shared by the
+    throughput scenario and the ``obs_overhead_*`` family so the
+    instrumentation comparison times byte-identical workloads."""
+    simulator = Simulator(seed=1, obs=obs)
     network = simulator.network("lan")
     processes = [simulator.spawn(simulator.machine(network), f"p{i}")
                  for i in range(8)]
@@ -85,6 +85,51 @@ def kernel_message_throughput(scale: float = 1.0) -> ScenarioStats:
     return ScenarioStats(events=processed,
                          messages=simulator.messages_delivered,
                          peak_heap_depth=peak)
+
+
+@scenario("kernel_message_throughput")
+def kernel_message_throughput(scale: float = 1.0) -> ScenarioStats:
+    """The ``bench_micro_core.test_kernel_message_throughput`` loop at
+    harness scale."""
+    return _message_workload(_scaled(20_000, scale))
+
+
+@scenario("obs_overhead_no_obs")
+def obs_overhead_no_obs(scale: float = 1.0) -> ScenarioStats:
+    """Instrumentation overhead baseline: the throughput workload on
+    the NO_OBS singleton (same numbers as
+    ``kernel_message_throughput``, recorded separately so the
+    ``obs_overhead_*`` triple is self-contained in the JSON)."""
+    return _message_workload(_scaled(20_000, scale))
+
+
+@scenario("obs_overhead_sampled")
+def obs_overhead_sampled(scale: float = 1.0) -> ScenarioStats:
+    """The throughput workload under *sampled* instrumentation: a
+    :class:`~repro.obs.trace.SpanSampler` keeps ~5% of traces, and the
+    kernel defers per-message counter emission to an end-of-run flush
+    (``_flush_message_counters``) — the configuration the 1.15×
+    overhead bound is asserted against."""
+    from repro.obs.instrument import Instrumentation
+    from repro.obs.trace import SpanSampler
+
+    obs = Instrumentation(max_spans=4096,
+                          sampler=SpanSampler(rate=0.05, seed=1))
+    stats = _message_workload(_scaled(20_000, scale), obs=obs)
+    sent = obs.metrics.counter("sim_messages_sent_total")
+    assert sent.value == stats.messages, (sent.value, stats.messages)
+    return stats
+
+
+@scenario("obs_overhead_full")
+def obs_overhead_full(scale: float = 1.0) -> ScenarioStats:
+    """The throughput workload under full (unsampled) instrumentation
+    — every message increments its counters inline; the historical
+    ~1.5× configuration the sampling seam exists to avoid."""
+    from repro.obs.instrument import Instrumentation
+
+    obs = Instrumentation(max_spans=4096)
+    return _message_workload(_scaled(20_000, scale), obs=obs)
 
 
 @scenario("kernel_same_instant_fanout")
@@ -223,14 +268,30 @@ def calibrate(loops: int = 5) -> float:
 def run_scenario(name: str, scale: float = 1.0,
                  repeats: int = 3) -> dict:
     """Time one scenario; the *best* of *repeats* runs is reported
-    (least-noise estimator for a deterministic workload)."""
+    (least-noise estimator for a deterministic workload).
+
+    Each repeat runs from a collected heap with the cyclic GC frozen:
+    earlier scenarios leave megabytes of dead Messages and trace
+    entries behind, and whether a gen-2 collection lands inside *this*
+    scenario's timed region otherwise depends on suite order — a ~1.5×
+    cross-contamination that used to be indistinguishable from real
+    overhead (refcounting still frees the workload's garbage; only
+    cycle detection is deferred to the inter-repeat collect).
+    """
+    import gc
+
     fn = SCENARIOS[name]
     best_wall = float("inf")
     stats = ScenarioStats()
     for _ in range(max(1, repeats)):
-        start = time.perf_counter()
-        stats = fn(scale)
-        wall = time.perf_counter() - start
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            stats = fn(scale)
+            wall = time.perf_counter() - start
+        finally:
+            gc.enable()
         best_wall = min(best_wall, wall)
     record = {
         "wall_s": round(best_wall, 6),

@@ -43,6 +43,7 @@ from repro.nameservice.cache import CachePolicy
 from repro.nameservice.placement import DirectoryPlacement
 from repro.nameservice.resolver import DistributedResolver
 from repro.nameservice.retry import RetryPolicy
+from repro.obs.audit import CoherenceAuditor, CoherenceContract
 from repro.obs.instrument import Instrumentation
 from repro.sim.failures import FailureInjector
 from repro.sim.kernel import Machine, Simulator
@@ -119,6 +120,7 @@ class _Scenario:
     old_leaf: Entity
     new_leaf: Entity
     client_machine: Machine
+    auditor: CoherenceAuditor
     rebound_at: Optional[float] = None
 
     def rebind(self) -> None:
@@ -143,6 +145,18 @@ class _Scenario:
 
 def _build(seed: int, policy: CachePolicy, schedule: str,
            obs: Optional[Instrumentation]) -> _Scenario:
+    # Every run is audited: ground-truth staleness measurement rides
+    # on a disabled Instrumentation (pure-python tallies, no metric
+    # emission) so the timed runs pay near-zero overhead; the
+    # instrumented replay swaps in a fresh auditor that also feeds
+    # the metrics registry.
+    auditor = CoherenceAuditor(
+        contract=CoherenceContract(slack=_SLACK))
+    if obs is None:
+        obs = Instrumentation(enabled=False, auditor=auditor)
+    else:
+        obs.auditor = auditor
+        auditor.bind_obs(obs)
     simulator = Simulator(seed=seed, obs=obs)
     lan = simulator.network("lan")
     srv = simulator.network("srv")
@@ -194,7 +208,7 @@ def _build(seed: int, policy: CachePolicy, schedule: str,
         simulator=simulator, client=client, context=context,
         resolver=resolver, injector=injector, svc=svc,
         new_dir=new_dir, old_leaf=old_leaf, new_leaf=new_leaf,
-        client_machine=client_machine)
+        client_machine=client_machine, auditor=auditor)
 
 
 def _stats(scenario: _Scenario, probes: list[_Probe]) -> dict:
@@ -218,6 +232,7 @@ def _stats(scenario: _Scenario, probes: list[_Probe]) -> dict:
         "lease": (resolver.lease_stats()
                   if resolver.leases is not None else {}),
         "rebound_at": scenario.rebound_at,
+        "audit": scenario.auditor.summary(),
         "signature": tuple((probe.phase, probe.ok, probe.weak,
                             probe.stale) for probe in probes),
     }
@@ -342,11 +357,44 @@ def run_a9_leases(seed: int = 0) -> ExperimentResult:
         "settled post-heal answers are still claimed-coherent stale",
         inv_s["losses"] >= 1
         and all(probe.claimed for probe in inv_s["settled"]))
+
+    # -- measured: the auditor's ground truth beside the claims -------
+    result.check(
+        "measured: LEASE claimed-coherent staleness never exceeds "
+        "term + slack and its contract is never violated",
+        lease_b["audit"]["violations"] == 0
+        and lease_s["audit"]["violations"] == 0
+        and max(lease_b["audit"]["max_claimed_staleness"],
+                lease_s["audit"]["max_claimed_staleness"])
+        <= _TERM + _SLACK)
+    result.check(
+        "measured: TTL claimed-coherent staleness stays within "
+        "ttl + slack with no violations",
+        ttl_b["audit"]["violations"] == 0
+        and ttl_s["audit"]["violations"] == 0
+        and max(ttl_b["audit"]["max_claimed_staleness"],
+                ttl_s["audit"]["max_claimed_staleness"])
+        <= _TTL + _SLACK)
+    result.check(
+        "measured: the lost INVALIDATE is detected — claimed-coherent "
+        "staleness beyond the delivery slack is flagged as a "
+        "contract violation in both instruments",
+        inv_b["audit"]["violations"] >= 1
+        and inv_s["audit"]["violations"] >= 1
+        and inv_b["audit"]["max_claimed_staleness"] > _SLACK)
+    result.check(
+        "measured: the auditor saw every probe and exactly the one "
+        "rebind write per run",
+        all(run["audit"]["observed"] >= len(run["probes"])
+            and run["audit"]["writes"] == 1
+            for policy in _POLICIES
+            for run in (blip[policy], sched[policy])))
     rerun = _run_schedule(seed, CachePolicy.LEASE)
     result.check(
         "results are deterministic for a fixed seed",
         rerun["signature"] == lease_s["signature"]
-        and rerun["lease"] == lease_s["lease"])
+        and rerun["lease"] == lease_s["lease"]
+        and rerun["audit"] == lease_s["audit"])
 
     result.notes.append(
         f"seed={seed} blip: partition [{_BLIP_PARTITION_AT:g},"
@@ -376,6 +424,23 @@ def run_a9_leases(seed: int = 0) -> ExperimentResult:
     result.metrics = obs.metrics.snapshot()
     result.metrics["spans_recorded"] = len(obs.tracer)
     result.metrics["spans_dropped"] = obs.tracer.dropped_spans
+    result.audit = {
+        "contract": {"slack": _SLACK, "ttl": _TTL,
+                     "lease_term": _TERM},
+        "blip": {policy.value: blip[policy]["audit"]
+                 for policy in _POLICIES},
+        "schedule": {policy.value: sched[policy]["audit"]
+                     for policy in _POLICIES},
+    }
+    result.notes.append(
+        "measured max claimed staleness (blip/schedule) — "
+        + "; ".join(
+            f"{policy.value}: "
+            f"{blip[policy]['audit']['max_claimed_staleness']:.1f}/"
+            f"{sched[policy]['audit']['max_claimed_staleness']:.1f}"
+            f" ({blip[policy]['audit']['violations']}"
+            f"+{sched[policy]['audit']['violations']} violations)"
+            for policy in _POLICIES))
     result.figures = {
         "lease|blip_stale_window_end": lease_b["max_claimed"] or 0.0,
         "ttl|blip_stale_window_end": ttl_b["max_claimed"] or 0.0,
@@ -384,5 +449,17 @@ def run_a9_leases(seed: int = 0) -> ExperimentResult:
         "lease|schedule_weak_fraction": lease_s["weak_fraction"],
         "lease|schedule_hit_rate": lease_s["hit_rate"],
         "lease|grace_hits": float(lease_s["lease"]["grace_hits"]),
+        "lease|measured_max_claimed_staleness": max(
+            lease_b["audit"]["max_claimed_staleness"],
+            lease_s["audit"]["max_claimed_staleness"]),
+        "ttl|measured_max_claimed_staleness": max(
+            ttl_b["audit"]["max_claimed_staleness"],
+            ttl_s["audit"]["max_claimed_staleness"]),
+        "invalidate|measured_max_staleness": max(
+            inv_b["audit"]["max_staleness"],
+            inv_s["audit"]["max_staleness"]),
+        "invalidate|measured_violations": float(
+            inv_b["audit"]["violations"]
+            + inv_s["audit"]["violations"]),
     }
     return result

@@ -49,6 +49,7 @@ from repro.namespaces.tree import NamingTree
 from repro.nameservice.placement import DirectoryPlacement
 from repro.nameservice.resolver import DistributedResolver
 from repro.nameservice.sharding import ShardManager
+from repro.obs.audit import CoherenceAuditor
 from repro.obs.instrument import Instrumentation
 from repro.sim.kernel import Simulator
 from repro.workloads.zipf import ZipfSampler, build_zipf_namespace
@@ -280,8 +281,13 @@ def run_a10_sharding(seed: int = 0, names: int = 1_000_000,
     }
     # Instrumented replay at reduced scale: captures shard/migration
     # spans + counters for the JSON record (and the inspect tooling)
-    # without instrumenting the timed runs above.
-    obs = Instrumentation(max_spans=4096)
+    # without instrumenting the timed runs above.  The coherence
+    # auditor rides along: its per-shard staleness histograms land in
+    # the same metrics snapshot, and its summary is the measured
+    # ground truth that no split or migration ever served a stale
+    # binding — placement changes must be coherence-invisible.
+    obs = Instrumentation(max_spans=4096,
+                          auditor=CoherenceAuditor())
     replay = _deploy(seed, min(names, 20_000), sharded=True, obs=obs)
     replay_sampler = ZipfSampler(min(names, 20_000), skew=_SKEW,
                                  rng=random.Random(seed))
@@ -294,6 +300,14 @@ def run_a10_sharding(seed: int = 0, names: int = 1_000_000,
     result.metrics["spans_recorded"] = len(obs.tracer)
     result.metrics["spans_dropped"] = obs.tracer.dropped_spans
     result.metrics["replay_splits"] = replay.resolver.shard_splits
+    audit = obs.auditor.summary()
+    result.audit = {"replay": audit}
+    result.check(
+        "measured: the audited sharded replay is violation-free — "
+        "splits and migrations never surface a stale binding",
+        audit["observed"] > 0 and audit["violations"] == 0
+        and audit["max_staleness"] == 0.0
+        and replay.resolver.shard_splits > 0)
     return result
 
 

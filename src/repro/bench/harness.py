@@ -37,6 +37,10 @@ class ExperimentResult:
     figures: dict[str, float] = field(default_factory=dict)
     #: Optional `repro.obs` metrics snapshot captured during the run.
     metrics: dict[str, Any] = field(default_factory=dict)
+    #: Optional measured-staleness summary from the coherence auditor
+    #: (:meth:`repro.obs.audit.CoherenceAuditor.summary` digests) —
+    #: ground truth beside the rows' claimed numbers.
+    audit: dict[str, Any] = field(default_factory=dict)
 
     def check(self, claim: str, ok: bool) -> bool:
         """Record a named shape check; returns *ok* for chaining."""
@@ -63,7 +67,7 @@ class ExperimentResult:
         ``tools/run_all_json.py`` script aggregates these across the
         suite so downstream analysis never has to scrape tables.
         """
-        return {
+        record = {
             "exp_id": self.exp_id,
             "title": self.title,
             "headers": list(self.headers),
@@ -76,6 +80,12 @@ class ExperimentResult:
             "figures": {str(k): v for k, v in self.figures.items()},
             "metrics": json_safe(self.metrics),
         }
+        # Only audited experiments carry the key: the schema of every
+        # unaudited experiment (and its pinned golden digest) is
+        # untouched.
+        if self.audit:
+            record["audit"] = json_safe(self.audit)
+        return record
 
     def render(self) -> str:
         """Table + check list + notes, ready to print."""

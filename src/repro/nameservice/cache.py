@@ -464,6 +464,15 @@ class CachingDirectoryService:
                     cache.expire(directory, name_)
             cached = cache.lookup(directory, name_, now)
             if cached is not None:
+                auditor = self._sim.obs.auditor
+                if auditor is not None:
+                    # Binding-level audit: is the cached copy still
+                    # what the authoritative history says it is?
+                    auditor.observe_lookup(
+                        directory, name_, cached, now=now,
+                        policy=self.policy.value, ttl=self.ttl,
+                        lease_term=self.ttl,
+                        placement=self._placement)
                 return cached
         # Miss: fetch from the hosting server.
         self._round_trip(client_machine, host)
@@ -511,10 +520,16 @@ class CachingDirectoryService:
         stale copy expires by the lease term (bounded staleness).
         """
         context: Context = directory.state
+        auditor = self._sim.obs.auditor
+        old = context(name_) if auditor is not None else None
         context.bind(name_, entity)
         # New bindings in a sharded directory belong to exactly one
         # shard; record membership so later splits migrate them.
         self._placement.note_binding(directory, name_)
+        if auditor is not None:
+            auditor.record_write(directory, name_, old, entity,
+                                 self._sim.clock.now,
+                                 self._placement.epoch)
         if self.policy is CachePolicy.INVALIDATE:
             self._invalidate_copies(directory, name_)
         elif self.policy is CachePolicy.LEASE:

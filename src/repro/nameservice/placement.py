@@ -310,6 +310,24 @@ class DirectoryPlacement:
             return (shard.machine,)
         return tuple(self._replicas_of.get(directory.uid, ()))
 
+    def shard_of_binding(self, directory: Entity,
+                         component: Optional[str]):
+        """The shard owning *component*'s binding — a **pure read**.
+
+        Unlike :meth:`host_of_binding` / :meth:`replicas_for_binding`
+        this never bumps the shard's window load counter, so observers
+        (the coherence auditor labels staleness samples per shard
+        through here) cannot perturb the split policy's decisions.
+        Returns ``None`` for unsharded directories or a ``None``
+        component.
+        """
+        if component is None:
+            return None
+        shard_map = self._shard_maps.get(directory.uid)
+        if shard_map is None:
+            return None
+        return shard_map.owner_of(component)
+
     def note_binding(self, directory: Entity, component: str) -> None:
         """Track a binding created in a sharded directory after its
         map was built (the rebind write discipline calls this)."""

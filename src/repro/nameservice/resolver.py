@@ -1049,6 +1049,14 @@ class DistributedResolver:
         self._return_home(client_server, at, cost, style)
         if span is not None:
             self._finish_resolution(span, cost, entity, style)
+        auditor = self._obs.auditor
+        if auditor is not None:
+            auditor.observe_resolution(
+                context, name_, entity, now=self._sim.clock.now,
+                policy=self.cache_policy.value, weak=cost.weak,
+                failed=cost.failed, latency=cost.latency,
+                ttl=self.cache_ttl, lease_term=self.lease_term,
+                placement=self._placement)
         if self.shard_manager is not None:
             self.shard_manager.on_resolution()
         return entity, cost
@@ -1089,6 +1097,7 @@ class DistributedResolver:
                        "policy": str(self.cache_policy),
                        "client": client.label})
         results: list = [None] * len(coerced)
+        auditor = obs.auditor
         memo: dict = {}
         # Batch route memo (see _route_host): epoch-guarded so a
         # shard split landing mid-batch re-routes the rest of the
@@ -1106,6 +1115,14 @@ class DistributedResolver:
             results[i] = (entity, cost)
             if span is not None:
                 self._finish_resolution(span, cost, entity, style)
+            if auditor is not None:
+                auditor.observe_resolution(
+                    context, coerced[i], entity,
+                    now=self._sim.clock.now,
+                    policy=self.cache_policy.value, weak=cost.weak,
+                    failed=cost.failed, latency=cost.latency,
+                    ttl=self.cache_ttl, lease_term=self.lease_term,
+                    placement=self._placement)
             if self.shard_manager is not None:
                 # Per-walk, not per-batch: a hot batch must be able to
                 # trigger a split while it is still running.
@@ -1151,10 +1168,18 @@ class DistributedResolver:
         Returns the number of invalidation/callback messages sent.
         """
         context: Context = directory.state
+        auditor = self._obs.auditor
+        old = context(name_) if auditor is not None else None
         context.bind(name_, entity)
         # Sharded directory: the new binding belongs to exactly one
         # shard; record it so a later split migrates it.
         self._placement.note_binding(directory, name_)
+        if auditor is not None:
+            # The authoritative history feed: commit time + placement
+            # epoch, captured the instant σ changed.
+            auditor.record_write(directory, name_, old, entity,
+                                 self._sim.clock.now,
+                                 self._placement.epoch)
         obs = self._obs
         # Sharded directories have no replica set (replicas_of is
         # empty): the write lands on the owning shard alone, so there

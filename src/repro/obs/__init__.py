@@ -15,12 +15,26 @@ than inferred from aggregate counters.  This package is that seam:
   text, and JSON run summaries (all export-safe for arbitrary
   simulation payloads);
 * :mod:`repro.obs.inspect` — hop-tree reconstruction and hot-spot
-  rankings, driven by ``tools/inspect_run.py``.
+  rankings, driven by ``tools/inspect_run.py``;
+* :mod:`repro.obs.audit` — the :class:`CoherenceAuditor` measuring
+  ground-truth staleness against the authoritative binding history,
+  with the violation-triggered :class:`FlightRecorder`;
+* :mod:`repro.obs.slo` — declared staleness/latency objectives with
+  burn counters over the audited stream.
 
-The package is a dependency leaf: it imports nothing from the rest of
-``repro``, so the kernel and name service can hook into it freely.
+The package is (almost) a dependency leaf: apart from the audit
+module consulting the *pure* naming model (:mod:`repro.model`, itself
+dependency-free) as its ground-truth oracle, it imports nothing from
+the rest of ``repro``, so the kernel and name service can hook into
+it freely.
 """
 
+from repro.obs.audit import (
+    BindingWrite,
+    CoherenceAuditor,
+    CoherenceContract,
+    FlightRecorder,
+)
 from repro.obs.export import (
     json_safe,
     run_summary,
@@ -36,16 +50,24 @@ from repro.obs.inspect import (
 )
 from repro.obs.instrument import NO_OBS, Instrumentation
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
-from repro.obs.trace import Span, Tracer
+from repro.obs.slo import SLObjective, SLOTracker
+from repro.obs.trace import Span, SpanSampler, Tracer
 
 __all__ = [
+    "BindingWrite",
+    "CoherenceAuditor",
+    "CoherenceContract",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "Instrumentation",
     "MetricsRegistry",
     "NO_OBS",
+    "SLObjective",
+    "SLOTracker",
     "Span",
+    "SpanSampler",
     "Tracer",
     "format_hop_tree",
     "hop_tree",

@@ -20,10 +20,10 @@ Usage::
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.trace import Tracer
+from repro.obs.trace import SpanSampler, Tracer
 
 __all__ = ["Instrumentation", "NO_OBS"]
 
@@ -35,15 +35,34 @@ class Instrumentation:
         enabled: When False the object is a pure sentinel — holders
             must skip emission (every built-in component does).
         max_spans: Ring-buffer bound forwarded to the tracer.
+        sampler: Optional :class:`~repro.obs.trace.SpanSampler` — the
+            always-on seam: sampled-out traces skip span storage, and
+            the kernel degrades per-message metric emission to
+            aggregate flushes at pump boundaries.  ``None`` (the
+            default) keeps behaviour byte-identical to full
+            instrumentation.
+        auditor: Optional
+            :class:`~repro.obs.audit.CoherenceAuditor`.  The
+            resolver/caching-service hooks fire whenever an auditor is
+            present — even on a *disabled* instrumentation, which is
+            how experiments audit timed runs without span or metric
+            overhead (the auditor only publishes metrics when the
+            instrumentation is enabled).
     """
 
-    __slots__ = ("enabled", "tracer", "metrics")
+    __slots__ = ("enabled", "tracer", "metrics", "sampler", "auditor")
 
     def __init__(self, enabled: bool = True,
-                 max_spans: Optional[int] = None):
+                 max_spans: Optional[int] = None,
+                 sampler: Optional[SpanSampler] = None,
+                 auditor: Any = None):
         self.enabled = enabled
-        self.tracer = Tracer(max_spans=max_spans)
+        self.sampler = sampler
+        self.tracer = Tracer(max_spans=max_spans, sampler=sampler)
         self.metrics = MetricsRegistry()
+        self.auditor = auditor
+        if auditor is not None:
+            auditor.bind_obs(self)
 
     def __bool__(self) -> bool:
         """Truthiness mirrors ``enabled`` so hot paths can guard with

@@ -35,11 +35,66 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-__all__ = ["Span", "Tracer"]
+__all__ = ["Span", "SpanSampler", "Tracer"]
 
 #: Sentinel distinguishing "parent omitted → use the active span" from
 #: an explicit ``parent=None`` (→ start a new root/trace).
 _CURRENT = object()
+
+
+class SpanSampler:
+    """Deterministic, seed-driven head sampling of whole traces.
+
+    The decision is a pure function of ``(seed, trace sequence
+    number)`` — no RNG state, so two runs with the same seed sample
+    the *same* traces regardless of what else executed, and the
+    kernel's virtual-time event order never shifts.  A sampled-out
+    trace still mints its ids and drives the activation stack (so
+    nesting and determinism are untouched); only storage in the
+    tracer's main span store is skipped.  Every span — kept or not —
+    additionally lands in a bounded ``recent`` ring sized by
+    *window*, which is what the flight recorder reads to reconstruct
+    the moments around a violation: violation windows are always
+    kept, whatever the sampling rate.
+
+    Args:
+        rate: Fraction of traces to keep in the main store
+            (``0.0`` → none, ``1.0`` → all).
+        seed: Decision seed; runs sharing it sample identically.
+        window: Size of the always-kept recent-span ring.
+    """
+
+    __slots__ = ("rate", "seed", "window")
+
+    def __init__(self, rate: float, seed: int = 0, window: int = 256):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be within [0, 1]")
+        if window < 1:
+            raise ValueError("window must be positive")
+        self.rate = rate
+        self.seed = seed
+        self.window = window
+
+    def keep_trace(self, trace_seq: int) -> bool:
+        """Whether trace number *trace_seq* goes to the main store.
+
+        A splitmix-style integer hash of (seed, sequence) compared
+        against the rate: deterministic, stateless, uniform enough for
+        sampling decisions.
+        """
+        x = (trace_seq * 0x9E3779B97F4A7C15
+             + self.seed * 0xBF58476D1CE4E5B9 + 0x94D049BB) \
+            & 0xFFFFFFFFFFFFFFFF
+        x ^= x >> 30
+        x = (x * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+        x ^= x >> 27
+        x = (x * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+        x ^= x >> 31
+        return (x & 0xFFFFFFFF) < self.rate * 4294967296.0
+
+    def __repr__(self) -> str:
+        return (f"<SpanSampler rate={self.rate:g} seed={self.seed} "
+                f"window={self.window}>")
 
 
 @dataclass
@@ -86,15 +141,26 @@ class Tracer:
         max_spans: Optional ring-buffer bound — the oldest spans are
             evicted once the store is full (``dropped_spans`` counts
             them), so long benchmark runs cannot grow without bound.
+        sampler: Optional :class:`SpanSampler`.  Sampled-out traces
+            skip the main store (counted in ``sampled_out``) but every
+            span still transits the bounded ``recent`` ring, which
+            :meth:`recent_window` serves to the flight recorder.
+            ``None`` keeps every span — byte-identical to the
+            pre-sampling tracer.
     """
 
-    def __init__(self, max_spans: Optional[int] = None):
+    def __init__(self, max_spans: Optional[int] = None,
+                 sampler: Optional[SpanSampler] = None):
         self.max_spans = max_spans
+        self.sampler = sampler
         self._spans: deque[Span] = deque(maxlen=max_spans)
+        self._recent: Optional[deque[Span]] = (
+            deque(maxlen=sampler.window) if sampler is not None else None)
         self._stack: list[Span] = []
         self._trace_ids = itertools.count(1)
         self._span_ids = itertools.count(1)
         self.dropped_spans = 0
+        self.sampled_out = 0
 
     # -- minting -----------------------------------------------------------
 
@@ -106,7 +172,29 @@ class Tracer:
     def new_trace_id(self) -> str:
         return f"t{next(self._trace_ids)}"
 
+    def _kept(self, trace_id: str) -> bool:
+        """Whether *trace_id*'s spans go to the main store.
+
+        A pure function of the id — minted ids are ``t<seq>``, so the
+        sampler's stateless hash decides without any per-trace state.
+        Foreign-format ids (never minted here) are always kept.
+        """
+        sampler = self.sampler
+        if sampler is None:
+            return True
+        try:
+            seq = int(trace_id[1:])
+        except (ValueError, IndexError):
+            return True
+        return sampler.keep_trace(seq)
+
     def _store(self, span: Span) -> Span:
+        recent = self._recent
+        if recent is not None:
+            recent.append(span)
+            if not self._kept(span.trace_id):
+                self.sampled_out += 1
+                return span
         if (self.max_spans is not None
                 and len(self._spans) == self.max_spans):
             self.dropped_spans += 1
@@ -189,6 +277,14 @@ class Tracer:
     def of_kind(self, kind: str) -> list[Span]:
         """All spans of one kind, in start order."""
         return [s for s in self._spans if s.kind == kind]
+
+    def recent_window(self, start: float, end: float) -> list[Span]:
+        """Spans whose start lies within ``[start, end]``, drawn from
+        the always-kept recent ring when sampling is active (so
+        sampled-out spans are still visible to the flight recorder),
+        falling back to the main store otherwise."""
+        source = self._recent if self._recent is not None else self._spans
+        return [s for s in source if start <= s.start <= end]
 
     def trace_ids(self) -> list[str]:
         """Distinct trace ids, in first-seen order."""

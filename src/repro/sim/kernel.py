@@ -116,6 +116,14 @@ class Simulator:
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
+        # Full mode emits per-message counters/gauges inline; with a
+        # SpanSampler installed the kernel instead reconciles the
+        # plain-int totals into the counters at pump boundaries
+        # (_flush_message_counters) — the always-on sampled mode costs
+        # one dead branch per message instead of two counter bumps and
+        # a labelled gauge lookup.
+        self._obs_full = self._obs_on and self.obs.sampler is None
+        self._flushed_msgs = [0, 0, 0]
         if self._obs_on:
             # Instrument handles are resolved once — the hot paths
             # below never pay a registry lookup.
@@ -300,7 +308,7 @@ class Simulator:
             heappush(queue._heap, (deliver_time, next(queue._seq), message))
         queue._live += 1
         self._record(now, "send", (_fmt_send, message))
-        if self._obs_on:
+        if self._obs_full:
             self._m_sent.inc()
             self._g_queue.set(self.queue.approx_len())
         return message
@@ -325,7 +333,8 @@ class Simulator:
             self.messages_dropped += 1
             self._record(self.clock._now, "drop", (_fmt_drop, message))
             if self._obs_on:
-                self._m_dropped.inc()
+                if self._obs_full:
+                    self._m_dropped.inc()
                 if message.trace_id is not None:
                     self.obs.tracer.event(
                         "drop", f"msg#{message.msg_id}", self.clock.now,
@@ -341,7 +350,7 @@ class Simulator:
                 gateway.process(message)
         self._record(self.clock._now, "deliver", (_fmt_deliver, message))
         message.receiver.deliver(message)
-        if self._obs_on:
+        if self._obs_full:
             self._m_delivered.inc()
             if message.trace_id is not None:
                 self.obs.tracer.event(
@@ -353,6 +362,16 @@ class Simulator:
                 "process_mailbox_depth",
                 {"process": message.receiver.label},
             ).set(len(message.receiver.mailbox))
+        elif self._obs_on and message.trace_id is not None:
+            # Sampled mode: keep the trace-context instant (the tracer
+            # itself decides whether its trace is stored) but skip the
+            # per-delivery counter and labelled-gauge registry lookup —
+            # those totals are reconciled at pump boundaries.
+            self.obs.tracer.event(
+                "deliver", f"msg#{message.msg_id}", self.clock.now,
+                trace_id=message.trace_id,
+                parent_span_id=message.parent_span_id,
+                attrs={"receiver": message.receiver.label})
 
     def add_gateway(self, gateway: Any) -> None:
         """Install a boundary gateway; its ``process(message)`` hook
@@ -459,6 +478,8 @@ class Simulator:
             processed += 1
         if self._obs_on and processed:
             self._m_events.inc(processed)
+            if not self._obs_full:
+                self._flush_message_counters()
         return processed
 
     def run(self, until: Optional[float] = None,
@@ -569,7 +590,28 @@ class Simulator:
         if self._obs_on and processed:
             self._m_events.inc(processed)
             self._g_queue.set(queue.approx_len())
+            if not self._obs_full:
+                self._flush_message_counters()
         return processed
+
+    def _flush_message_counters(self) -> None:
+        """Reconcile the per-message counters from the plain-int
+        totals (sampled mode's pump-boundary bookkeeping — the hot
+        paths skipped the inline ``inc()`` calls)."""
+        flushed = self._flushed_msgs
+        sent = self.messages_sent
+        delivered = self.messages_delivered
+        dropped = self.messages_dropped
+        if sent > flushed[0]:
+            self._m_sent.inc(sent - flushed[0])
+            flushed[0] = sent
+        if delivered > flushed[1]:
+            self._m_delivered.inc(delivered - flushed[1])
+            flushed[1] = delivered
+        if dropped > flushed[2]:
+            self._m_dropped.inc(dropped - flushed[2])
+            flushed[2] = dropped
+        self._g_queue.set(self.queue.approx_len())
 
     def __repr__(self) -> str:
         return (f"<Simulator t={self.clock.now:g} "

@@ -50,13 +50,22 @@ class TraceEntry:
 
     @property
     def detail(self) -> str:
-        """The formatted detail (resolved once, on first read)."""
+        """The formatted detail (resolved exactly once, on first read).
+
+        The resolved value is coerced to ``str`` before it is cached:
+        a formatter returning a non-string would otherwise never match
+        the "already resolved" check and be re-invoked on every read —
+        observable (and wrong) for formatters that close over mutable
+        simulation state.
+        """
         detail = self._detail
         if type(detail) is not str:
             if type(detail) is tuple:
                 detail = detail[0](detail[1])
             else:
                 detail = detail()
+            if type(detail) is not str:
+                detail = str(detail)
             self._detail = detail
         return detail
 
@@ -198,5 +207,23 @@ class TraceLog:
 
     def to_dicts(self) -> list[dict]:
         """Every entry as a JSON-safe dict (see
-        :meth:`TraceEntry.to_dict`)."""
-        return [entry.to_dict() for entry in self._entries]
+        :meth:`TraceEntry.to_dict`).
+
+        The entry store is snapshotted *before* any detail is
+        resolved: a lazy formatter that records into this very log (or
+        triggers a ring-buffer eviction) would otherwise mutate the
+        deque mid-iteration and raise — or silently skip entries.
+        """
+        return [entry.to_dict() for entry in tuple(self._entries)]
+
+    def window(self, start: float, end: float) -> list[dict]:
+        """Retained entries with ``start <= time <= end``, resolved to
+        JSON-safe dicts at call time.
+
+        This is the flight-recorder capture primitive: the returned
+        dicts are stable snapshots — later ring-buffer evictions
+        cannot invalidate them, and each lazy detail is resolved
+        exactly once (here, or earlier, never again).
+        """
+        return [entry.to_dict() for entry in tuple(self._entries)
+                if start <= entry.time <= end]

@@ -1,0 +1,200 @@
+"""Exporter label coverage on sharded and leased runs (PR 8).
+
+The Prometheus text and Chrome-trace exporters must carry the
+auditor's per-shard and per-policy labels consistently: every audited
+series names the policy the resolver actually ran, shard labels use
+the ``machine@0xlo`` routing format everywhere they appear, and span
+attributes agree with the metric labels.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import re
+
+from repro.namespaces.base import ProcessContext
+from repro.namespaces.tree import NamingTree
+from repro.nameservice.cache import CachePolicy
+from repro.nameservice.placement import DirectoryPlacement
+from repro.nameservice.resolver import DistributedResolver
+from repro.nameservice.retry import RetryPolicy
+from repro.nameservice.sharding import ShardManager
+from repro.obs import (
+    CoherenceAuditor,
+    Instrumentation,
+    to_chrome_trace,
+    to_prometheus_text,
+)
+from repro.sim.failures import FailureInjector
+from repro.sim.kernel import Simulator
+from repro.workloads.zipf import ZipfSampler, build_zipf_namespace
+
+SHARD_LABEL = re.compile(r'shard="([^"]+)@0x([0-9a-f]{8})"')
+POLICY_LABEL = re.compile(r'policy="([^"]+)"')
+
+
+def _sharded_run(seed: int = 0):
+    """A small Zipf run over a sharded directory with live splits,
+    audited and instrumented."""
+    obs = Instrumentation(max_spans=4096, auditor=CoherenceAuditor())
+    simulator = Simulator(seed=seed, obs=obs)
+    network = simulator.network("lan")
+    pool = [simulator.machine(network, f"shard{i}") for i in range(4)]
+    client_machine = simulator.machine(network, "client-m")
+    tree = NamingTree("root", sigma=simulator.sigma)
+    namespace = build_zipf_namespace(tree, "hot", count=2_000,
+                                     distinct=64)
+    placement = DirectoryPlacement()
+    placement.place(tree.root, client_machine)
+    placement.place_sharded(namespace.directory, pool[0])
+    client = simulator.spawn(client_machine, "client")
+    resolver = DistributedResolver(simulator, placement)
+    resolver.shard_manager = ShardManager(
+        resolver, pool=pool, split_fraction=0.3,
+        check_every=100, min_window=50)
+    context = ProcessContext(tree.root)
+    sampler = ZipfSampler(2_000, rng=random.Random(seed))
+    for rank in sampler.sample_many(600):
+        resolver.resolve(client, context,
+                         "/hot/" + namespace.names[rank])
+    assert resolver.shard_splits > 0, "workload must trigger a split"
+    return obs, resolver, placement.shard_map_of(namespace.directory)
+
+
+def _leased_run(seed: int = 0):
+    """The lost-lease-callback scenario, audited and instrumented."""
+    obs = Instrumentation(max_spans=4096, auditor=CoherenceAuditor())
+    simulator = Simulator(seed=seed, obs=obs)
+    lan = simulator.network("lan")
+    srv = simulator.network("srv")
+    client_machine = simulator.machine(lan, "client-m")
+    primary = simulator.machine(srv, "m1")
+    secondary = simulator.machine(srv, "m2")
+    tree = NamingTree("root", sigma=simulator.sigma, parent_links=True)
+    tree.mkdir("svc")
+    old_dir = tree.mkdir("svc/app")
+    tree.mkfile("svc/app/cfg")
+    new_dir = tree.mkdir("spare")
+    tree.mkfile("spare/cfg")
+    placement = DirectoryPlacement()
+    placement.place(tree.root, client_machine)
+    svc = tree.directory("svc")
+    for directory in (svc, old_dir, new_dir):
+        placement.place_replicated(directory, primary, secondary)
+    client = simulator.spawn(client_machine, "client")
+    context = ProcessContext(tree.root)
+    resolver = DistributedResolver(
+        simulator, placement, cache_policy=CachePolicy.LEASE,
+        cache_ttl=10_000.0,
+        retry_policy=RetryPolicy(max_attempts=2, base_backoff=0.5,
+                                 max_backoff=1.0),
+        breaker_threshold=5, breaker_cooldown=5.0, lease_term=12.0)
+    injector = FailureInjector(simulator)
+    injector.on_restart(resolver.handle_restart)
+    injector.schedule_timeline([
+        (10.0, "partition", lan, srv),
+        (40.0, "heal", lan, srv),
+    ])
+
+    def probe(start):
+        simulator.run(until=float(start))
+        resolver.resolve(client, context, "/svc/app/cfg")
+
+    for start in (2, 6):
+        probe(start)
+    simulator.run(until=11.0)
+    resolver.rebind(svc, "app", new_dir)
+    for start in range(12, 62, 6):
+        probe(start)
+    simulator.run()
+    return obs, resolver
+
+
+class TestShardedRunLabels:
+    def test_prometheus_staleness_series_span_multiple_shards(self):
+        obs, _resolver, _shard_map = _sharded_run()
+        text = to_prometheus_text(obs.metrics)
+        staleness_lines = [line for line in text.splitlines()
+                           if line.startswith("audit_staleness_bucket")]
+        assert staleness_lines
+        shards = {m.group(0) for line in staleness_lines
+                  for m in [SHARD_LABEL.search(line)] if m}
+        # The live splits spread the audit across several shards, and
+        # every shard label carries the machine@0xlo routing format.
+        assert len(shards) >= 3
+        for line in staleness_lines:
+            assert SHARD_LABEL.search(line), line
+
+    def test_prometheus_policy_label_matches_the_resolver(self):
+        obs, resolver, _shard_map = _sharded_run()
+        text = to_prometheus_text(obs.metrics)
+        audited = [line for line in text.splitlines()
+                   if line.startswith("audit_")
+                   and POLICY_LABEL.search(line)]
+        assert audited
+        policies = {POLICY_LABEL.search(line).group(1)
+                    for line in audited}
+        assert policies == {resolver.cache_policy.value}
+
+    def test_chrome_trace_shard_spans_name_pool_machines(self):
+        obs, _resolver, _shard_map = _sharded_run()
+        doc = to_chrome_trace(obs.tracer.spans)
+        json.dumps(doc)  # must be serialisable as-is
+        shard_events = [event for event in doc["traceEvents"]
+                        if event.get("args", {}).get("split_at")
+                        is not None]
+        assert shard_events
+        for event in shard_events:
+            assert event["args"]["source"].startswith("shard")
+            assert event["args"]["target"].startswith("shard")
+
+    def test_metric_shards_agree_with_the_shard_map(self):
+        obs, _resolver, shard_map = _sharded_run()
+        snapshot = obs.metrics.snapshot()
+        metric_shards = set()
+        for key in snapshot["histograms"]:
+            match = SHARD_LABEL.search(key)
+            if match:
+                metric_shards.add(
+                    f"{match.group(1)}@0x{match.group(2)}")
+        assert metric_shards, "no audited shard series found"
+        # Audited labels name real pool machines: shards split away
+        # mid-run keep their old lo-boundary in old series, but the
+        # machine half always belongs to the final map's pool.
+        machines = {s.machine.label for s in shard_map.shards}
+        for label in metric_shards:
+            assert label.split("@")[0] in machines
+        live = {f"{s.machine.label}@0x{s.lo:08x}"
+                for s in shard_map.shards}
+        assert metric_shards & live, "no live shard was ever audited"
+
+
+class TestLeasedRunLabels:
+    def test_prometheus_series_carry_the_lease_policy(self):
+        obs, _resolver = _leased_run()
+        text = to_prometheus_text(obs.metrics)
+        audit_lines = [line for line in text.splitlines()
+                       if line.startswith("audit_resolutions_total")]
+        assert audit_lines
+        for line in audit_lines:
+            assert 'policy="lease"' in line, line
+        # Lease protocol counters sit beside the audit series in the
+        # same exposition.
+        assert "lease_" in text
+
+    def test_chrome_trace_resolution_spans_carry_the_policy(self):
+        obs, _resolver = _leased_run()
+        doc = to_chrome_trace(obs.tracer.spans)
+        resolution_args = [event["args"] for event in
+                           doc["traceEvents"]
+                           if event.get("args", {}).get("policy")]
+        assert resolution_args
+        assert {args["policy"] for args in resolution_args} \
+            == {"lease"}
+
+    def test_audit_summary_is_json_safe_beside_the_exports(self):
+        obs, _resolver = _leased_run()
+        summary = obs.auditor.summary()
+        assert summary["observed"] > 0 and summary["writes"] == 1
+        json.dumps(summary)

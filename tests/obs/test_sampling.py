@@ -1,0 +1,187 @@
+"""Tests for the span-sampling seam: the deterministic
+:class:`SpanSampler`, the tracer's sampled storage + always-kept
+recent ring, and the kernel's deferred counter flush (PR 8)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import Instrumentation, SpanSampler, Tracer
+from repro.sim.kernel import Simulator
+
+
+def _traced_workload(tracer: Tracer, traces: int = 40):
+    """Mint *traces* root spans with one nested hop each."""
+    for index in range(traces):
+        root = tracer.begin("resolution", f"/n{index}", float(index),
+                            parent=None)
+        hop = tracer.begin("hop", "query", float(index) + 0.25)
+        tracer.end(hop, float(index) + 0.5)
+        tracer.end(root, float(index) + 1.0)
+
+
+class TestSpanSampler:
+    def test_decision_is_deterministic_and_stateless(self):
+        first = SpanSampler(rate=0.3, seed=7)
+        second = SpanSampler(rate=0.3, seed=7)
+        decisions = [first.keep_trace(seq) for seq in range(500)]
+        assert decisions == [second.keep_trace(seq)
+                             for seq in range(500)]
+        # Order of queries must not matter (no hidden RNG state).
+        assert [first.keep_trace(seq)
+                for seq in reversed(range(500))] == decisions[::-1]
+
+    def test_different_seeds_sample_different_traces(self):
+        a = SpanSampler(rate=0.3, seed=1)
+        b = SpanSampler(rate=0.3, seed=2)
+        assert [a.keep_trace(s) for s in range(200)] \
+            != [b.keep_trace(s) for s in range(200)]
+
+    def test_keep_fraction_tracks_the_rate(self):
+        for rate in (0.05, 0.5, 0.9):
+            sampler = SpanSampler(rate=rate, seed=3)
+            kept = sum(sampler.keep_trace(seq)
+                       for seq in range(10_000))
+            assert abs(kept / 10_000 - rate) < 0.03, (rate, kept)
+
+    def test_rate_bounds(self):
+        assert all(SpanSampler(rate=1.0).keep_trace(s)
+                   for s in range(100))
+        assert not any(SpanSampler(rate=0.0).keep_trace(s)
+                       for s in range(100))
+        with pytest.raises(ValueError):
+            SpanSampler(rate=1.5)
+        with pytest.raises(ValueError):
+            SpanSampler(rate=0.5, window=0)
+
+
+class TestTracerSampling:
+    def test_main_store_holds_a_deterministic_subset(self):
+        sampler = SpanSampler(rate=0.5, seed=11)
+        sampled = Tracer(sampler=sampler)
+        full = Tracer()
+        _traced_workload(sampled)
+        _traced_workload(full)
+        kept_ids = {span.span_id for span in sampled.spans}
+        expected = {span.span_id for span in full.spans
+                    if sampler.keep_trace(int(span.trace_id[1:]))}
+        assert kept_ids == expected
+        assert 0 < len(sampled) < len(full)
+        assert sampled.sampled_out == len(full) - len(sampled)
+
+    def test_sampled_out_traces_still_mint_identical_ids(self):
+        # Determinism invariant: installing a sampler must not shift
+        # a single id — sampled-out spans mint and nest exactly as in
+        # the unsampled run, only their storage is skipped.
+        sampled = Tracer(sampler=SpanSampler(rate=0.1, seed=5))
+        full = Tracer()
+        _traced_workload(sampled)
+        _traced_workload(full)
+        by_id = {span.span_id: span for span in full.spans}
+        for span in sampled.spans:
+            twin = by_id[span.span_id]
+            assert (span.trace_id, span.parent_id, span.kind) \
+                == (twin.trace_id, twin.parent_id, twin.kind)
+
+    def test_recent_ring_keeps_sampled_out_spans(self):
+        tracer = Tracer(sampler=SpanSampler(rate=0.0, seed=1,
+                                            window=512))
+        _traced_workload(tracer, traces=10)
+        assert len(tracer) == 0          # nothing in the main store
+        window = tracer.recent_window(0.0, 100.0)
+        assert len(window) == 20         # every span is in the ring
+        assert tracer.recent_window(3.0, 4.0)  # time-filtered view
+
+    def test_recent_ring_is_bounded_by_the_window(self):
+        tracer = Tracer(sampler=SpanSampler(rate=0.0, seed=1,
+                                            window=8))
+        _traced_workload(tracer, traces=30)
+        assert len(tracer.recent_window(0.0, 1e9)) == 8
+
+    def test_no_sampler_recent_window_reads_the_main_store(self):
+        tracer = Tracer()
+        _traced_workload(tracer, traces=4)
+        assert len(tracer.recent_window(0.0, 100.0)) == 8
+
+    def test_instrumentation_carries_the_sampler(self):
+        sampler = SpanSampler(rate=0.25, seed=9)
+        obs = Instrumentation(sampler=sampler)
+        assert obs.sampler is sampler
+        assert obs.tracer.sampler is sampler
+
+
+class TestKernelSampledMode:
+    def _messaging_run(self, obs, count=300):
+        simulator = Simulator(seed=1, obs=obs)
+        network = simulator.network("lan")
+        procs = [simulator.spawn(simulator.machine(network), f"p{i}")
+                 for i in range(4)]
+        for index in range(count):
+            procs[index % 4].send(procs[(index + 1) % 4],
+                                  payload=index)
+        simulator.run()
+        return simulator
+
+    def test_flushed_totals_equal_full_mode_counters(self):
+        sampled_obs = Instrumentation(
+            sampler=SpanSampler(rate=0.05, seed=1))
+        full_obs = Instrumentation()
+        sampled = self._messaging_run(sampled_obs)
+        full = self._messaging_run(full_obs)
+        for name in ("sim_messages_sent_total",
+                     "sim_messages_delivered_total",
+                     "sim_events_processed_total"):
+            assert sampled_obs.metrics.counter(name).value \
+                == full_obs.metrics.counter(name).value, name
+        assert sampled.messages_delivered == full.messages_delivered
+
+    def test_flush_covers_dropped_messages(self):
+        obs = Instrumentation(sampler=SpanSampler(rate=0.0, seed=1))
+        simulator = Simulator(seed=2, obs=obs)
+        network = simulator.network("lan")
+        alive = simulator.spawn(simulator.machine(network), "alive")
+        doomed_machine = simulator.machine(network)
+        doomed = simulator.spawn(doomed_machine, "doomed")
+        alive.send(doomed, payload="never arrives")
+        doomed_machine.alive = False
+        simulator.run()
+        assert simulator.messages_dropped == 1
+        assert obs.metrics.counter(
+            "sim_messages_dropped_total").value == 1
+
+    def test_repeated_runs_flush_incrementally(self):
+        obs = Instrumentation(sampler=SpanSampler(rate=0.5, seed=3))
+        simulator = Simulator(seed=3, obs=obs)
+        network = simulator.network("lan")
+        a = simulator.spawn(simulator.machine(network), "a")
+        b = simulator.spawn(simulator.machine(network), "b")
+        for round_ in range(3):
+            a.send(b, payload=round_)
+            simulator.run()
+            assert obs.metrics.counter(
+                "sim_messages_sent_total").value == round_ + 1
+
+    def test_run_until_settled_flushes_too(self):
+        obs = Instrumentation(sampler=SpanSampler(rate=0.5, seed=4))
+        simulator = Simulator(seed=4, obs=obs)
+        network = simulator.network("lan")
+        a = simulator.spawn(simulator.machine(network), "a")
+        b = simulator.spawn(simulator.machine(network), "b")
+        message = a.send(b, payload="ping")
+        simulator.run_until_settled(message)
+        assert obs.metrics.counter(
+            "sim_messages_delivered_total").value == 1
+
+    def test_sampling_never_perturbs_the_simulation(self):
+        # The hard determinism requirement: the kernel trace (event
+        # order, timestamps, payload routing) must be identical with
+        # and without a sampler installed.
+        def digest(obs):
+            simulator = self._messaging_run(obs, count=200)
+            return [(e.time, e.kind, e.detail)
+                    for e in simulator.trace.entries]
+
+        assert digest(None) \
+            == digest(Instrumentation(
+                sampler=SpanSampler(rate=0.05, seed=1))) \
+            == digest(Instrumentation())

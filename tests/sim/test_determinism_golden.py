@@ -43,10 +43,10 @@ EXPERIMENT_GOLDENS = {
     ("A8", 1): "89699668fbc442a9830c92e02fb42bf752c36fa5d50a80b37fae930c4228ed56",
     ("A8", 7): "b0b05851b64a654d4fffabba0ba9e7510216fa1efa9b22f635f65743cacb1fff",
     ("A8", 42): "d5065d5581ed3606716b539c30eee9aeaa2ace13dfd74bc0df842272f24cfd5d",
-    ("A9", 0): "75d0236d15dcd4056d0409cdfba76852761464016ad44d39935188823c86437f",
-    ("A9", 1): "c878caa95fda0504f814d4d0cebfbc575e9e9cf2becbd6142b64962bcaf7d0c3",
-    ("A9", 7): "bdb837d819c6b3e2b353f9616c461b5fce6dd7a9d22cab22b0ec90e16941e920",
-    ("A9", 42): "7a9e80a81affe1bc02c16fa48bc2736dd0be6325cb520a5796e473879d2b89b2",
+    ("A9", 0): "1deaf23655f65d74e49c9d9896ebbf9cb006c459a7a473476660facaf2b4a9dc",
+    ("A9", 1): "98adc6f3f114d68f8e22d03775782aa5c2feaf9035ce318cbafc1e54520433e7",
+    ("A9", 7): "ef34d2cb44e0b4a563be563850f4d1dc6f914f57dd47cb01dbade395d743ba75",
+    ("A9", 42): "9ce6d2ad6dc27bac9531af8de584e34b3a7d4cbdbbcd764eb714f56a9c3bb1f9",
 }
 
 

@@ -44,10 +44,10 @@ TRACE_GOLDENS = {
 
 #: sha256 of A10's full ``ExperimentResult.to_dict()`` (reduced scale).
 EXPERIMENT_GOLDENS = {
-    0: "4ea703c7d7c36633da22710647eea22a4738b88182eef55233ee4de042b9149b",
-    1: "ef50258dbce268fa0c5a053b9f228b4d5816fe67a9658380964ec16ab46d7154",
-    7: "96d3e5d61f0f22d8e7157fb16bf333f584083360a131a8c5efc399167be8b273",
-    42: "218c5ca70eb249adf56dc7fd403167ea5e76acba5d36353bc2545a6401ff1bba",
+    0: "f61fb49d5035a3bd75e7a0af1c4700ef21567ca4fc100fa3f6f4dab00d2f971a",
+    1: "d8402009bfaa9f44bd8e5079295512b0ccf5fafa9552d745f24b07e38e251461",
+    7: "26d40c97ae07137c40f48ac3471defbf5960c250902b94cf42d9ed37661edd4c",
+    42: "160d372730df68cbbc0b5cc5c48abf0890a5628c9d7076adf0bc4e1d943d20a4",
 }
 
 

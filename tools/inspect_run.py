@@ -284,6 +284,96 @@ def run_leases(seed: int, style: ResolutionStyle, policy: CachePolicy,
                       "lease_stats": resolver.lease_stats()}}
 
 
+@scenario("audit")
+def run_audit(seed: int, style: ResolutionStyle, policy: CachePolicy,
+              obs: Instrumentation) -> dict:
+    """The coherence auditor catching a lost INVALIDATE (always
+    INVALIDATE policy, whatever ``--policy`` says): a binding is
+    rebound while the only caching client is partitioned away, so the
+    invalidation callback is provably lost and the client keeps
+    serving the stale binding as *claimed-coherent* — past the
+    contract's delivery slack, which the auditor flags as violations,
+    burns the declared staleness SLO, and hands each event window to
+    the flight recorder.  ``--flight-out`` writes the recorder's
+    replayable JSON artifact.
+    """
+    from repro.obs.audit import (CoherenceAuditor, CoherenceContract,
+                                 FlightRecorder)
+    from repro.obs.slo import SLObjective, SLOTracker
+
+    recorder = FlightRecorder(window=25.0)
+    auditor = CoherenceAuditor(
+        contract=CoherenceContract(slack=6.0),
+        slo=SLOTracker([
+            SLObjective("fresh-reads", max_staleness=6.0),
+            SLObjective("violation-free", violation_free=True),
+        ], metrics=obs.metrics),
+        recorder=recorder)
+    obs.auditor = auditor
+    auditor.bind_obs(obs)
+    simulator = Simulator(seed=seed, obs=obs)
+    recorder.wire(trace_log=simulator.trace, tracer=obs.tracer)
+    lan = simulator.network("lan")
+    srv = simulator.network("srv")
+    client_machine = simulator.machine(lan, "client-m")
+    primary = simulator.machine(srv, "m1")
+    secondary = simulator.machine(srv, "m2")
+    tree = NamingTree("root", sigma=simulator.sigma, parent_links=True)
+    tree.mkdir("svc")
+    old_dir = tree.mkdir("svc/app")
+    tree.mkfile("svc/app/cfg")
+    new_dir = tree.mkdir("spare")
+    tree.mkfile("spare/cfg")
+    placement = DirectoryPlacement()
+    placement.place(tree.root, client_machine)
+    svc = tree.directory("svc")
+    for directory in (svc, old_dir, new_dir):
+        placement.place_replicated(directory, primary, secondary)
+    client = simulator.spawn(client_machine, "client")
+    context = ProcessContext(tree.root)
+    resolver = DistributedResolver(
+        simulator, placement, cache_policy=CachePolicy.INVALIDATE,
+        cache_ttl=10_000.0,
+        retry_policy=RetryPolicy(max_attempts=2, base_backoff=0.5,
+                                 max_backoff=1.0),
+        serve_stale=True, breaker_threshold=5, breaker_cooldown=5.0)
+    injector = FailureInjector(simulator)
+    injector.on_restart(resolver.handle_restart)
+    injector.schedule_timeline([
+        (10.0, "partition", lan, srv),
+        (40.0, "heal", lan, srv),
+    ])
+    outcomes = {"ok": 0, "weak": 0, "failed": 0}
+    costs = []
+
+    def probe(start):
+        simulator.run(until=float(start))
+        entity, cost = resolver.resolve(client, context,
+                                        "/svc/app/cfg", style)
+        costs.append(cost)
+        if entity.is_defined() and not cost.failed:
+            outcomes["weak" if cost.weak else "ok"] += 1
+        else:
+            outcomes["failed"] += 1
+
+    for start in (2, 6):
+        probe(start)
+    simulator.run(until=11.0)
+    resolver.rebind(svc, "app", new_dir)   # invalidation lost
+    for start in range(12, 62, 6):
+        probe(start)
+    simulator.run()
+    cost = ResolutionCost.merge(costs)
+    return {"simulator": simulator,
+            "recorder": recorder,
+            "notes": {"scenario": "audit", "outcomes": outcomes,
+                      "messages": cost.messages,
+                      "losses": resolver.invalidation_losses,
+                      "audit": auditor.summary(),
+                      "violations": auditor.violation_count,
+                      "flight_dumps": recorder.captured}}
+
+
 @scenario("shard")
 def run_shard(seed: int, style: ResolutionStyle, policy: CachePolicy,
               obs: Instrumentation) -> dict:
@@ -378,6 +468,10 @@ def main(argv=None) -> int:
                         help="ring-buffer bound on stored spans")
     parser.add_argument("--out", default=None,
                         help="write to this file instead of stdout")
+    parser.add_argument("--flight-out", default=None,
+                        help="write the flight recorder's replayable "
+                             "JSON artifact here (scenarios that carry "
+                             "one, e.g. `audit`)")
     args = parser.parse_args(argv)
 
     obs = Instrumentation(max_spans=args.max_spans)
@@ -386,6 +480,16 @@ def main(argv=None) -> int:
         obs)
     simulator = outcome["simulator"]
     notes = outcome["notes"]
+
+    if args.flight_out:
+        recorder = outcome.get("recorder")
+        if recorder is None:
+            print(f"scenario {args.scenario!r} has no flight recorder",
+                  file=sys.stderr)
+            return 2
+        recorder.dump_json(args.flight_out)
+        print(f"wrote flight recorder ({recorder.captured} dumps) "
+              f"to {args.flight_out}", file=sys.stderr)
 
     if args.fmt == "tree":
         text = render_tree(obs, notes, args.top)
