@@ -1,0 +1,20 @@
+"""Bench a11_shard_faults: replicated shards vs single-owner shards
+under a scripted crash/restart timeline — the availability contrast
+the per-shard replica sets exist to create, with failover, stale
+marks, and anti-entropy riding the same fault clock and the
+coherence auditor scoring every read.
+
+Runs at a reduced size (the contrast is scale-invariant as long as
+each outage window spans many arrivals; the full default scale is the
+perf harness's ``a11_shard_faults`` scenario at scale 1.0).  Prints
+the reproduced table and asserts the qualitative claims.
+"""
+
+from repro.bench.experiments_shard_faults import run_a11_shard_faults
+
+from conftest import run_and_report
+
+
+def test_a11_shard_faults(benchmark):
+    run_and_report(benchmark, run_a11_shard_faults, seed=0,
+                   names=100_000, resolutions=10_000)

@@ -50,7 +50,8 @@ SCENARIOS: dict[str, Callable[[float], ScenarioStats]] = {}
 SMOKE_SCENARIOS = ("kernel_message_throughput", "kernel_same_instant_fanout",
                    "kernel_timers_with_cancellation", "obs_overhead_no_obs",
                    "obs_overhead_sampled", "obs_overhead_full",
-                   "a7_batch_resolution", "a10_sharding")
+                   "a7_batch_resolution", "a10_sharding",
+                   "a11_shard_faults")
 
 
 def scenario(name: str):
@@ -243,6 +244,21 @@ def a10_sharding(scale: float = 1.0) -> ScenarioStats:
         seed=0,
         names=_scaled(1_000_000, scale, floor=20_000),
         resolutions=_scaled(100_000, scale, floor=2_000))
+    assert result.all_checks_pass(), result.failed_checks()
+    return ScenarioStats()
+
+
+@scenario("a11_shard_faults")
+def a11_shard_faults(scale: float = 1.0) -> ScenarioStats:
+    """Replicated shards under the scripted crash/restart timeline:
+    scale 1.0 is the experiment's full default (2·10^5 names, 2·10^4
+    resolutions); smoke scales it down — the availability contrast is
+    scale-invariant while the outage windows span many arrivals."""
+    from repro.bench.experiments_shard_faults import run_a11_shard_faults
+    result = run_a11_shard_faults(
+        seed=0,
+        names=_scaled(200_000, scale, floor=20_000),
+        resolutions=_scaled(20_000, scale, floor=2_000))
     assert result.all_checks_pass(), result.failed_checks()
     return ScenarioStats()
 

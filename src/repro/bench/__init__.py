@@ -37,6 +37,10 @@ from repro.bench.experiments_cost import run_a4_resolution_cost
 from repro.bench.experiments_federation import run_e12_federation
 from repro.bench.experiments_leases import run_a9_leases
 from repro.bench.experiments_scope_size import run_a6_scope_enlargement
+from repro.bench.experiments_shard_faults import (
+    run_a11_shard_faults,
+    run_a11_shard_faults_suite,
+)
 from repro.bench.experiments_sharding import (
     run_a10_sharding,
     run_a10_sharding_suite,
@@ -66,6 +70,7 @@ ALL_EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "A8": run_a8_availability,
     "A9": run_a9_leases,
     "A10": run_a10_sharding_suite,
+    "A11": run_a11_shard_faults_suite,
 }
 
 
@@ -89,6 +94,8 @@ __all__ = [
     "run_a9_leases",
     "run_a10_sharding",
     "run_a10_sharding_suite",
+    "run_a11_shard_faults",
+    "run_a11_shard_faults_suite",
     "run_all",
     "run_e10_algol_scope",
     "run_e11_perprocess",

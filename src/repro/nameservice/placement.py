@@ -40,7 +40,8 @@ from repro.errors import SchemeError
 from repro.model.context import Context
 from repro.model.entities import Entity, ObjectEntity
 from repro.model.names import PARENT
-from repro.nameservice.sharding import Shard, ShardMap, SplitPlan
+from repro.nameservice.sharding import (MergePlan, Shard, ShardMap,
+                                        SplitPlan)
 from repro.sim.network import Machine
 
 __all__ = ["DirectoryPlacement"]
@@ -192,17 +193,23 @@ class DirectoryPlacement:
 
     # -- sharded placement ---------------------------------------------------
 
-    def place_sharded(self, directory: Entity,
-                      *machines: Machine) -> ShardMap:
+    def place_sharded(self, directory: Entity, *machines: Machine,
+                      replicas: int = 1) -> ShardMap:
         """Split *directory*'s bindings across *machines* by consistent
         hashing of the binding name.
 
+        With ``replicas=N`` every shard carries a replica set of N
+        machines (ring neighbours of its primary), so the resolver's
+        failover/stale-mark/anti-entropy machinery applies per shard —
+        a crashed primary no longer takes its range dark.
+
         Replaces any replica-set placement (and its stale marks — a
-        sharded directory has per-binding owners, not replica copies)
+        sharded directory's freshness is tracked per shard replica)
         and bumps the epoch once.  Returns the live :class:`ShardMap`.
         """
         self._require_directory(directory)
-        shard_map = ShardMap(directory, machines)  # type: ignore[arg-type]
+        shard_map = ShardMap(directory, machines,  # type: ignore[arg-type]
+                             replicas=replicas)
         self._replicas_of.pop(directory.uid, None)
         self._prune_stale(directory.uid, ())
         self._shard_maps[directory.uid] = shard_map
@@ -228,10 +235,16 @@ class DirectoryPlacement:
         return [self._shard_maps[uid]
                 for uid in sorted(self._shard_maps)]
 
-    def apply_split(self, plan: SplitPlan) -> Shard:
+    def apply_split(self, plan: SplitPlan,
+                    targets: Optional[tuple[Machine, ...]] = None) -> Shard:
         """Commit a planned shard split and bump the epoch exactly
         once — the same signal a replica-membership change sends, so
         prefix-cache entries routed under the pre-split map die.
+
+        *targets* (when given) overrides the plan's replica set with
+        the machines that actually received the migrated bindings —
+        a planned replica that crashed mid-migration is excluded
+        instead of joining the new shard stale.
 
         Callers that migrate state (:meth:`~repro.nameservice.resolver.
         DistributedResolver.split_shard`) must move the bindings
@@ -240,10 +253,32 @@ class DirectoryPlacement:
         """
         for shard_map in self._shard_maps.values():
             if plan.shard in shard_map.shards:
-                new = shard_map.apply_split(plan)
+                new = shard_map.apply_split(plan, targets=targets)
                 self._epoch += 1
                 return new
         raise SchemeError("split plan does not match a live shard map")
+
+    def apply_merge(self, plan: MergePlan) -> Shard:
+        """Commit a planned shard merge and bump the epoch exactly
+        once (same discipline as :meth:`apply_split`).  Stale marks
+        for machines that leave the directory's replica population
+        with the merged-away shard are dropped — the copy they
+        described no longer hosts anything.
+        """
+        uid = None
+        for map_uid, shard_map in self._shard_maps.items():
+            if plan.right in shard_map.shards:
+                merged = shard_map.apply_merge(plan)
+                uid = map_uid
+                break
+        else:
+            raise SchemeError(
+                "merge plan does not match a live shard map")
+        keep = [machine for shard in self._shard_maps[uid].shards
+                for machine in shard.replicas]
+        self._prune_stale(uid, keep)
+        self._epoch += 1
+        return merged
 
     # -- routing -------------------------------------------------------------
 
@@ -296,18 +331,19 @@ class DirectoryPlacement:
                              component: Optional[str]
                              ) -> tuple[Machine, ...]:
         """Candidate machines for *component*'s binding, preferred
-        first.  Sharded → exactly the owning shard's machine (shards
-        are not replicated; there is nothing to fail over to);
-        replicated → the replica set; unplaced → empty."""
+        first.  Sharded → the owning shard's replica set (primary
+        first — failover hops along it exactly as it does for a
+        replicated directory); replicated → the replica set;
+        unplaced → empty."""
         if not self._shard_maps:
             return tuple(self._replicas_of.get(directory.uid, ()))
         shard_map = self._shard_maps.get(directory.uid)
         if shard_map is not None:
             if component is None:
-                return (shard_map.shards[0].machine,)
+                return shard_map.shards[0].replicas
             shard = shard_map.owner_of(component)
             shard.load += 1
-            return (shard.machine,)
+            return shard.replicas
         return tuple(self._replicas_of.get(directory.uid, ()))
 
     def shard_of_binding(self, directory: Entity,
@@ -361,11 +397,18 @@ class DirectoryPlacement:
 
         A stale replica is skipped by failover resolution (it could
         answer with pre-write state) until anti-entropy on restart
-        clears the mark.  Raises if *machine* is not a replica.
+        clears the mark.  *machine* may be a member of the directory's
+        replica set or of any of its shards' replica sets (a sharded
+        directory's freshness is tracked per shard replica under the
+        same marks).  Raises otherwise.
         """
         if machine not in self._replicas_of.get(directory.uid, []):
-            raise SchemeError(
-                f"{machine.label} does not host {directory.label!r}")
+            shard_map = self._shard_maps.get(directory.uid)
+            if shard_map is None or not any(
+                    machine in shard.replicas
+                    for shard in shard_map.shards):
+                raise SchemeError(
+                    f"{machine.label} does not host {directory.label!r}")
         self._stale.add((directory.uid, id(machine)))
 
     def is_stale(self, directory: Entity, machine: Machine) -> bool:
@@ -390,6 +433,42 @@ class DirectoryPlacement:
         sync source), or None if the directory is no longer placed."""
         replicas = self._replicas_of.get(directory_uid)
         return replicas[0] if replicas else None
+
+    def is_placed_uid(self, directory_uid: int) -> bool:
+        """True if *directory_uid* still has any placement (replica
+        set or shard map)."""
+        return (directory_uid in self._replicas_of
+                or directory_uid in self._shard_maps)
+
+    def sync_source_for(self, directory_uid: int,
+                        machine: Machine) -> Optional[Machine]:
+        """The machine anti-entropy should copy *directory_uid*'s
+        fresh state from, to resync a stale copy on *machine*.
+
+        Replicated directory → the primary (historical behaviour; may
+        be *machine* itself, in which case the caller clears the mark
+        for free).  Sharded directory → the first live, non-stale
+        fellow replica of a shard that has *machine* in its set —
+        there is no global primary, but any fresh shard replica holds
+        the range's state.  None if nothing can serve the sync (the
+        mark must stay).
+        """
+        replicas = self._replicas_of.get(directory_uid)
+        if replicas:
+            return replicas[0]
+        shard_map = self._shard_maps.get(directory_uid)
+        if shard_map is None:
+            return None
+        for shard in shard_map.shards:
+            if machine not in shard.replicas:
+                continue
+            for candidate in shard.replicas:
+                if candidate is machine or not candidate.alive:
+                    continue
+                if (directory_uid, id(candidate)) in self._stale:
+                    continue
+                return candidate
+        return None
 
     def stale_count(self) -> int:
         """Total stale (directory, replica) marks outstanding."""

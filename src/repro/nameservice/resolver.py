@@ -79,7 +79,8 @@ from repro.nameservice.leases import (
     callback_fanout,
 )
 from repro.nameservice.placement import DirectoryPlacement
-from repro.nameservice.retry import CircuitBreaker, RetryPolicy
+from repro.nameservice.retry import (BreakerState, CircuitBreaker,
+                                     RetryPolicy)
 from repro.nameservice.sharding import Shard
 from repro.sim.kernel import Simulator
 from repro.sim.network import Machine
@@ -284,6 +285,8 @@ class DistributedResolver:
         self.migration_latency = 0.0
         self.shard_splits = 0
         self.shard_split_aborts = 0
+        self.shard_merges = 0
+        self.shard_merge_aborts = 0
 
     @property
     def placement(self) -> DirectoryPlacement:
@@ -320,6 +323,25 @@ class DistributedResolver:
     def breaker_of(self, machine: Machine) -> CircuitBreaker:
         """The circuit breaker guarding a machine's current server."""
         return self._breaker_for(self.server_for(machine))
+
+    def breaker_allows(self, machine: Machine) -> bool:
+        """Whether *machine*'s breaker would admit a request — a
+        **pure read** for policy decisions (the split-target choice).
+
+        Unlike :meth:`breaker_of` this never spawns a server, and
+        unlike :meth:`CircuitBreaker.allow` it never flips an open
+        breaker to half-open — probing is the failover path's job, not
+        a placement scan's.  A machine with no server (or no breaker)
+        has no recorded failures, so it is allowed.
+        """
+        server = self._servers.get(id(machine))
+        if server is None:
+            return True
+        breaker = self._breakers.get(server.uid)
+        if breaker is None or breaker.state is not BreakerState.OPEN:
+            return True
+        return (self._sim.clock.now - breaker.opened_at
+                >= breaker.cooldown)
 
     # -- load reporting ----------------------------------------------------
 
@@ -1181,14 +1203,28 @@ class DistributedResolver:
                                  self._sim.clock.now,
                                  self._placement.epoch)
         obs = self._obs
-        # Sharded directories have no replica set (replicas_of is
-        # empty): the write lands on the owning shard alone, so there
-        # is no propagation fan-out and nothing to mark stale.
+        # Sharded directory: the write fans out across the owning
+        # *shard's* replica set (pure shard read — a write must not
+        # perturb the split policy's load window).  Unsharded: the
+        # directory's replica set as before.
         replicas = self._placement.replicas_of(directory)
+        forced_stale: tuple = ()
+        if not replicas:
+            shard = self._placement.shard_of_binding(directory, name_)
+            if shard is not None:
+                # A shard has no global primary: any live replica can
+                # originate the propagation, and every dead replica
+                # missed the write — including a dead ``replicas[0]``
+                # and the sole copy of a degree-1 shard (which then
+                # has no sync source: the range stays dark until the
+                # operator re-places it).
+                forced_stale = tuple(m for m in shard.replicas
+                                     if not m.alive)
+                replicas = tuple(m for m in shard.replicas if m.alive)
         secondaries = replicas[1:] if len(replicas) > 1 else ()
         if self.cache_policy not in (CachePolicy.INVALIDATE,
                                      CachePolicy.LEASE) \
-                and not secondaries:
+                and not secondaries and not forced_stale:
             return 0
         span = None
         if obs.enabled:
@@ -1200,6 +1236,9 @@ class DistributedResolver:
         # -- replica propagation ------------------------------------------
         replicated = 0
         stale_marked = 0
+        for machine in forced_stale:
+            self._placement.mark_stale(directory, machine)
+            stale_marked += 1
         if secondaries:
             primary_machine = replicas[0]
             primary_server = (self.server_for(primary_machine)
@@ -1232,20 +1271,20 @@ class DistributedResolver:
                     stale_marked += 1
                 else:
                     replicated += 1
-            if obs.enabled:
-                if replicated:
-                    obs.metrics.counter(
-                        "resolver_replication_messages_total",
-                    ).inc(replicated)
-                if stale_marked:
-                    obs.metrics.counter(
-                        "resolver_replica_stale_marked_total",
-                    ).inc(stale_marked)
-                    obs.tracer.event(
-                        "failover", "replica.marked-stale",
-                        self._sim.clock.now,
-                        attrs={"directory": directory.label,
-                               "count": stale_marked})
+        if obs.enabled:
+            if replicated:
+                obs.metrics.counter(
+                    "resolver_replication_messages_total",
+                ).inc(replicated)
+            if stale_marked:
+                obs.metrics.counter(
+                    "resolver_replica_stale_marked_total",
+                ).inc(stale_marked)
+                obs.tracer.event(
+                    "failover", "replica.marked-stale",
+                    self._sim.clock.now,
+                    attrs={"directory": directory.label,
+                           "count": stale_marked})
         # -- cache invalidation -------------------------------------------
         sent = 0
         if self.cache_policy is CachePolicy.INVALIDATE:
@@ -1456,7 +1495,18 @@ class DistributedResolver:
         apply_split` commit the new map and bump the placement epoch
         exactly once.  An undeliverable batch (or a dead source)
         aborts the split with the old map — and the old epoch —
-        intact, so no route ever points at a half-migrated shard.
+        intact, so no route ever points at a half-migrated shard; on a
+        replicated map the aborted range keeps being served by the old
+        shard's surviving replicas, so a crash at *any* fault point of
+        the migration leaves every binding with exactly one live
+        owner range.
+
+        On a replicated map the new shard's secondaries
+        (``plan.targets[1:]``) are drawn from the source shard's own
+        replica set — machines that already hold the migrating
+        bindings — so only the new primary receives migration traffic
+        and the replication degree carries over with zero extra
+        copies.
 
         Returns True if the split committed.
         """
@@ -1475,7 +1525,8 @@ class DistributedResolver:
                        "source": shard.machine.label,
                        "target": machine.label,
                        "split_at": plan.split_at,
-                       "moved": len(plan.moved)})
+                       "moved": len(plan.moved),
+                       "replicas": len(plan.targets)})
         source_machine = shard.machine
         committed = False
         cost = ResolutionCost()  # migration accounting only
@@ -1522,6 +1573,92 @@ class DistributedResolver:
                 obs.tracer.end(span, self._sim.clock.now)
         return committed
 
+    def merge_shards(self, directory: ObjectEntity, left: Shard,
+                     right: Shard) -> bool:
+        """Fold *right*'s range into *left* (adjacent shards of a
+        sharded directory) — the inverse of :meth:`split_shard`, under
+        the same commit-last discipline.
+
+        Binding batches stream from *right*'s primary to every *left*
+        replica that is not already a *right* replica (those already
+        hold the range's bindings); only when every receiver has every
+        batch does :meth:`~repro.nameservice.placement.
+        DirectoryPlacement.apply_merge` commit the widened map and
+        bump the epoch exactly once.  Any undeliverable batch — or an
+        unaddressable endpoint — aborts with the old map intact: a
+        left replica that missed the data must never become an owner
+        of the merged range.
+
+        Returns True if the merge committed.
+        """
+        shard_map = self._placement.shard_map_of(directory)
+        if shard_map is None:
+            raise SchemeError(
+                f"directory {directory.label!r} is not sharded")
+        plan = shard_map.plan_merge(left, right)
+        obs = self._obs
+        span = None
+        if obs.enabled:
+            span = obs.tracer.begin(
+                "shard", f"merge:{directory.label}", self._sim.clock.now,
+                parent=None,
+                attrs={"directory": directory.label,
+                       "source": right.machine.label,
+                       "target": left.machine.label,
+                       "merge_at": right.lo,
+                       "moved": len(plan.moved)})
+        source_machine = right.machine
+        receivers = [m for m in left.replicas
+                     if m not in right.replicas]
+        committed = False
+        cost = ResolutionCost()  # migration accounting only
+        addressable = (
+            (source_machine.alive or id(source_machine) in self._servers)
+            and all(m.alive or id(m) in self._servers
+                    for m in receivers))
+        if addressable:
+            source = self.server_for(source_machine)
+            batches = max(
+                1, -(-len(plan.moved) // max(1, self.migration_batch)))
+            delivered_all = True
+            for receiver in receivers:
+                target = self.server_for(receiver)
+                delivered = 0
+                for _index in range(batches):
+                    if not self._hop_retried(source, target, cost,
+                                             "migrate"):
+                        break
+                    delivered += 1
+                if delivered != batches:
+                    delivered_all = False
+                    break
+            if delivered_all:
+                self._placement.apply_merge(plan)
+                committed = True
+        self.migration_messages += cost.messages
+        self.migration_latency += cost.latency
+        if committed:
+            self.shard_merges += 1
+        else:
+            self.shard_merge_aborts += 1
+        if obs.enabled:
+            obs.metrics.counter(
+                "resolver_shard_merges_total",
+                {"outcome": "committed" if committed else "aborted"}
+            ).inc()
+            if cost.messages:
+                obs.metrics.counter(
+                    "resolver_migration_messages_total"
+                ).inc(cost.messages)
+            if span is not None:
+                span.attrs["messages"] = cost.messages
+                span.attrs["committed"] = committed
+                span.attrs["shards"] = len(shard_map)
+                if not committed:
+                    span.fail("migration undeliverable — merge aborted")
+                obs.tracer.end(span, self._sim.clock.now)
+        return committed
+
     # -- restart / anti-entropy --------------------------------------------
 
     def handle_restart(self, machine: Machine) -> int:
@@ -1533,10 +1670,13 @@ class DistributedResolver:
         calls it.  The machine's dead directory-server process is
         re-registered (fresh process, fresh circuit breaker), and each
         directory whose copy here missed a write is synced from its
-        primary (one message per directory, counted in
-        :attr:`anti_entropy_messages`); a sync that cannot reach the
-        primary leaves the mark in place.  Returns the number of
-        directories synced.
+        sync source — the directory's primary, or for a sharded
+        directory a live fresh fellow replica of the stale shard
+        (:meth:`~repro.nameservice.placement.DirectoryPlacement.
+        sync_source_for`) — one message per directory, counted in
+        :attr:`anti_entropy_messages`; a sync with no reachable source
+        leaves the mark in place.  Returns the number of directories
+        synced.
         """
         server = self._servers.get(id(machine))
         if server is not None and not server.alive and machine.alive:
@@ -1555,14 +1695,16 @@ class DistributedResolver:
         synced = 0
         messages = 0
         for uid in stale:
-            primary = self._placement.primary_of_uid(uid)
-            if primary is not None and primary is not machine:
-                primary_server = (self.server_for(primary)
-                                  if primary.alive
-                                  else self._servers.get(id(primary)))
-                if primary_server is None or not primary_server.alive:
+            source = self._placement.sync_source_for(uid, machine)
+            if source is None and self._placement.is_placed_uid(uid):
+                continue  # no live fresh source — stays stale
+            if source is not None and source is not machine:
+                source_server = (self.server_for(source)
+                                 if source.alive
+                                 else self._servers.get(id(source)))
+                if source_server is None or not source_server.alive:
                     continue  # stays stale; a later restart retries
-                message = primary_server.send(
+                message = source_server.send(
                     self.server_for(machine),
                     payload={"ns": "anti-entropy"}, latency=self._latency)
                 if span is not None:
@@ -1572,7 +1714,7 @@ class DistributedResolver:
                 self.anti_entropy_messages += 1
                 messages += 1
                 if message.dropped:
-                    continue  # unreachable primary — stays stale
+                    continue  # unreachable source — stays stale
             if self._placement.clear_stale(uid, machine):
                 synced += 1
         if obs.enabled:

@@ -9,19 +9,28 @@ object — σ stays one context, the paper's semantics are untouched)
 across shard servers by consistent hashing of the binding name:
 
 * a :class:`ShardMap` partitions the 32-bit hash space into contiguous
-  ranges, one :class:`Shard` per range, each owned by one machine —
-  every binding name hashes into *exactly one* range, so exactly one
-  shard owns it (property-tested);
+  ranges, one :class:`Shard` per range, each carrying a **replica set**
+  (``Shard.replicas`` — primary first; degree set by
+  ``place_sharded(..., replicas=N)``) — every binding name hashes into
+  *exactly one* range, so exactly one shard owns it (property-tested),
+  while the resolver's replica failover path can hop to a shard
+  secondary when the primary is down;
 * :meth:`ShardMap.plan_split` / :meth:`~repro.nameservice.placement.
   DirectoryPlacement.apply_split` split a hot shard's range in two,
   handing the upper half to a new machine — the migration itself is
   driven by :meth:`~repro.nameservice.resolver.DistributedResolver.
   split_shard` as *simulated messages*, so traces, failure injection
   and the retry/breaker machinery all apply to rebalancing traffic;
+* :meth:`ShardMap.plan_merge` / :meth:`~repro.nameservice.placement.
+  DirectoryPlacement.apply_merge` are the inverse: two *adjacent* cold
+  ranges collapse into one, so maps stop growing monotonically to
+  ``max_shards`` once load cools;
 * a :class:`ShardManager` watches the per-shard routing load the
-  resolver records (:meth:`ShardMap.note_load`) and splits any shard
+  resolver records (:meth:`ShardMap.note_load`), splits any shard
   whose share of a check window crosses the split threshold — the
-  live feedback loop experiment A10 measures.
+  live feedback loop experiment A10 measures — and (when
+  ``merge_fraction`` is set) merges the coldest adjacent pair back
+  together when its combined share falls below it.
 
 Shard membership changes ride the existing placement-*epoch* protocol
 (:attr:`~repro.nameservice.placement.DirectoryPlacement.epoch`): a
@@ -45,7 +54,7 @@ from repro.model.entities import ObjectEntity
 from repro.sim.network import Machine
 
 __all__ = ["HASH_SPACE", "binding_hash", "Shard", "ShardMap",
-           "SplitPlan", "ShardManager"]
+           "SplitPlan", "MergePlan", "ShardManager"]
 
 #: The hash ring: binding names map into ``[0, HASH_SPACE)``.
 HASH_SPACE = 1 << 32
@@ -62,20 +71,41 @@ def binding_hash(component: str) -> int:
 
 
 class Shard:
-    """One contiguous hash range ``[lo, hi)`` owned by one machine."""
+    """One contiguous hash range ``[lo, hi)`` held by a replica set.
 
-    __slots__ = ("lo", "hi", "machine", "load", "members")
+    ``replicas`` is (primary, *secondaries) — the primary serves
+    routing and hosts migrations; secondaries exist so the resolver's
+    failover path has somewhere to hop when the primary crashes.  The
+    degree-1 case (``replicas == (machine,)``) is byte-identical to
+    the historical single-owner shard.
+    """
 
-    def __init__(self, lo: int, hi: int, machine: Machine):
+    __slots__ = ("lo", "hi", "replicas", "load", "members")
+
+    def __init__(self, lo: int, hi: int, machine: Machine,
+                 *secondaries: Machine):
         self.lo = lo
         self.hi = hi
-        self.machine = machine
+        deduped: list[Machine] = []
+        seen: set[int] = set()
+        for candidate in (machine, *secondaries):
+            if id(candidate) not in seen:
+                seen.add(id(candidate))
+                deduped.append(candidate)
+        #: Replica set, primary first (deduped by machine identity).
+        self.replicas: tuple[Machine, ...] = tuple(deduped)
         #: Routing hits recorded since the last manager check window.
         self.load = 0
         #: Binding names whose hash falls in this range (maintained so
         #: a split knows how many bindings migrate without rescanning
         #: the whole directory).
         self.members: set[str] = set()
+
+    @property
+    def machine(self) -> Machine:
+        """The shard's primary (kept as a property so every historical
+        single-owner call site reads the head of the replica set)."""
+        return self.replicas[0]
 
     def owns(self, component: str) -> bool:
         return self.lo <= binding_hash(component) < self.hi
@@ -97,8 +127,24 @@ class SplitPlan:
 
     shard: Shard
     split_at: int
-    machine: Machine                 #: owner of the new upper range
+    machine: Machine                 #: primary of the new upper range
     moved: tuple[str, ...]           #: bindings migrating to *machine*
+    #: Full replica set of the new shard (primary first).  Beyond the
+    #: new primary these are drawn from the source shard's own
+    #: replicas — machines that already hold the range's data — so a
+    #: split keeps the map's replication degree without extra copies.
+    targets: tuple[Machine, ...] = ()
+
+
+@dataclass(frozen=True)
+class MergePlan:
+    """A pure description of one merge of two adjacent shards; the
+    right shard's range folds into the left, computed before any
+    migration message is sent and applied only if migration succeeds."""
+
+    left: Shard
+    right: Shard
+    moved: tuple[str, ...]           #: bindings migrating to the left
 
 
 class ShardMap:
@@ -112,16 +158,24 @@ class ShardMap:
     """
 
     def __init__(self, directory: ObjectEntity,
-                 machines: Iterable[Machine]):
+                 machines: Iterable[Machine], *, replicas: int = 1):
         machines = list(machines)
         if not machines:
             raise SchemeError("a shard map needs at least one machine")
         self.directory = directory
         count = len(machines)
+        #: Replication degree: each shard's replica set is the next
+        #: *replication* machines in ring order (clamped to the pool
+        #: size — replicating onto the same machine twice is not
+        #: replication).
+        self.replication = max(1, min(int(replicas), count))
         bounds = [HASH_SPACE * index // count for index in range(count)]
         bounds.append(HASH_SPACE)
-        self._shards = [Shard(bounds[i], bounds[i + 1], machines[i])
-                        for i in range(count)]
+        self._shards = [
+            Shard(bounds[i], bounds[i + 1],
+                  *(machines[(i + k) % count]
+                    for k in range(self.replication)))
+            for i in range(count)]
         context: Context = directory.state
         for name_ in context.names():
             self._shard_for_hash(binding_hash(name_)).members.add(name_)
@@ -172,11 +226,20 @@ class ShardMap:
         moved = tuple(sorted(
             name_ for name_ in shard.members
             if binding_hash(name_) >= split_at))
+        fill = tuple(m for m in shard.replicas
+                     if m is not machine)[:max(0, self.replication - 1)]
         return SplitPlan(shard=shard, split_at=split_at,
-                         machine=machine, moved=moved)
+                         machine=machine, moved=moved,
+                         targets=(machine,) + fill)
 
-    def apply_split(self, plan: SplitPlan) -> Shard:
+    def apply_split(self, plan: SplitPlan,
+                    targets: Optional[tuple[Machine, ...]] = None) -> Shard:
         """Commit a planned split; returns the new shard.
+
+        *targets* overrides the plan's replica set — the resolver
+        passes the subset of planned targets that actually received
+        the migrated bindings, so a target that crashed mid-migration
+        is excluded rather than recorded as a (stale) replica.
 
         Window loads of both halves reset — the post-split window
         re-measures the true distribution instead of guessing how the
@@ -184,13 +247,47 @@ class ShardMap:
         """
         shard = plan.shard
         index = self._shards.index(shard)
-        new = Shard(plan.split_at, shard.hi, plan.machine)
+        members = targets or plan.targets or (plan.machine,)
+        new = Shard(plan.split_at, shard.hi, *members)
         new.members.update(plan.moved)
         shard.members.difference_update(plan.moved)
         shard.hi = plan.split_at
         shard.load = 0
         self._shards.insert(index + 1, new)
         return new
+
+    # -- merging ------------------------------------------------------------
+
+    def plan_merge(self, left: Shard, right: Shard) -> MergePlan:
+        """Describe folding *right*'s range into *left* (they must be
+        adjacent: ``left.hi == right.lo``).  Pure — nothing changes
+        until :meth:`apply_merge`."""
+        if left not in self._shards or right not in self._shards:
+            raise SchemeError("both shards must belong to this map")
+        if left is right:
+            raise SchemeError("cannot merge a shard with itself")
+        if left.hi != right.lo:
+            raise SchemeError(
+                f"{left!r} and {right!r} are not adjacent")
+        return MergePlan(left=left, right=right,
+                         moved=tuple(sorted(right.members)))
+
+    def apply_merge(self, plan: MergePlan) -> Shard:
+        """Commit a planned merge; returns the surviving left shard.
+
+        The union is taken over *right*'s live member set rather than
+        the plan's snapshot, so bindings created in the right range
+        between plan and commit stay owned.  The merged window load
+        resets for the same reason a split's does.
+        """
+        left, right = plan.left, plan.right
+        if right not in self._shards:
+            raise SchemeError(f"{right!r} is not a shard of this map")
+        left.hi = right.hi
+        left.members.update(right.members)
+        left.load = 0
+        self._shards.remove(right)
+        return left
 
     # -- introspection ------------------------------------------------------
 
@@ -199,10 +296,12 @@ class ShardMap:
         return tuple(self._shards)
 
     def machines(self) -> list[Machine]:
-        """Owning machines, deduped, in ring order."""
+        """Machines holding any replica of any shard, deduped, in
+        ring order (primaries before the secondaries that follow)."""
         seen: dict[int, Machine] = {}
         for shard in self._shards:
-            seen.setdefault(id(shard.machine), shard.machine)
+            for machine in shard.replicas:
+                seen.setdefault(id(machine), machine)
         return list(seen.values())
 
     def reset_window(self) -> None:
@@ -236,6 +335,7 @@ class ShardMap:
         return {
             "shards": len(self._shards),
             "machines": len(self.machines()),
+            "replication": self.replication,
             "members": sum(len(s.members) for s in self._shards),
             "window_load": sum(s.load for s in self._shards),
         }
@@ -256,31 +356,47 @@ class ShardManager:
     has to survive).  Every *check_every* resolutions the manager
     scans each sharded directory and splits any shard whose share of
     the window's routing hits exceeds *split_fraction*, handing the
-    upper half-range to the least-burdened machine of *pool* (pool
-    machines may already host shards; counts are kept per machine
-    identity, never by label).  Splits are executed by
+    upper half-range to the pool machine with the lowest *measured*
+    load (``resolver.load_of_machine`` — work actually done, not shard
+    count), skipping machines that are down or whose circuit breaker
+    is open so a dead target is never re-picked window after window.
+    Splits are executed by
     :meth:`~repro.nameservice.resolver.DistributedResolver.
     split_shard`, i.e. migration runs as simulated messages and an
     unreachable target aborts the split (retried next window).
+
+    When *merge_fraction* > 0 the manager also runs the inverse
+    policy: the coldest adjacent shard pair whose combined share of
+    the window falls below *merge_fraction* is folded back into one
+    shard (at most one merge per map per window — merged loads reset,
+    so chaining merges inside one window would act on no data).  Keep
+    ``merge_fraction`` well below ``split_fraction`` for hysteresis,
+    or a shard could oscillate split/merge every other window.
     """
 
     def __init__(self, resolver, *, pool: Iterable[Machine],
                  split_fraction: float = 0.25,
+                 merge_fraction: float = 0.0,
                  check_every: int = 1000,
                  min_window: int = 100,
                  max_shards: int = 64,
-                 on_split: Optional[Callable[..., None]] = None):
+                 on_split: Optional[Callable[..., None]] = None,
+                 on_merge: Optional[Callable[..., None]] = None):
         self.resolver = resolver
         self.placement = resolver.placement
         self.pool = list(pool)
         self.split_fraction = split_fraction
+        self.merge_fraction = merge_fraction
         self.check_every = check_every
         self.min_window = min_window
         self.max_shards = max_shards
         self.on_split = on_split
+        self.on_merge = on_merge
         self.resolutions = 0
         self.splits = 0
         self.aborted_splits = 0
+        self.merges = 0
+        self.aborted_merges = 0
 
     # -- the feedback loop --------------------------------------------------
 
@@ -291,10 +407,13 @@ class ShardManager:
             self.check()
 
     def check(self) -> int:
-        """Scan every sharded directory once; returns splits done."""
+        """Scan every sharded directory once; returns splits + merges
+        done."""
         done = 0
         for shard_map in self.placement.shard_maps():
             done += self._check_map(shard_map)
+            if self.merge_fraction > 0:
+                done += self._check_merges(shard_map)
             shard_map.reset_window()
         return done
 
@@ -324,27 +443,67 @@ class ShardManager:
                 break  # unreachable target — retry next window
         return done
 
+    def _check_merges(self, shard_map: ShardMap) -> int:
+        """Fold the coldest adjacent pair if its combined share of the
+        window is below *merge_fraction*.  At most one merge per map
+        per window: the merged shard's load resets, so a second merge
+        in the same window would be deciding on zeroed data."""
+        if len(shard_map) < 2:
+            return 0
+        window = sum(s.load for s in shard_map.shards)
+        if window < self.min_window:
+            return 0
+        shards = shard_map.shards
+        coldest = min(range(len(shards) - 1),
+                      key=lambda i: (shards[i].load + shards[i + 1].load,
+                                     i))
+        left, right = shards[coldest], shards[coldest + 1]
+        if left.load + right.load > self.merge_fraction * window:
+            return 0
+        if self.resolver.merge_shards(shard_map.directory, left, right):
+            self.merges += 1
+            if self.on_merge is not None:
+                self.on_merge(shard_map, left, right)
+            return 1
+        self.aborted_merges += 1
+        return 0
+
     def _pick_target(self, shard_map: ShardMap,
                      hot: Shard) -> Optional[Machine]:
-        """The live pool machine owning the fewest shards of this map
-        (ties broken by pool order — deterministic per seed).  The hot
-        shard's own machine is excluded unless it is the only live
-        candidate: splitting onto the same machine narrows the range
-        but sheds no load."""
+        """The pool machine with the lowest *measured* load
+        (``resolver.load_of_machine`` — messages actually handled),
+        tie-broken by the number of shard primaries it already holds
+        and then by pool order (deterministic per seed).  The shard
+        count matters *within* a check window: several splits can land
+        before any new traffic runs, so measured load alone would pile
+        every split of the window onto the same idle machine.
+        Machines that are down or whose circuit breaker is open are
+        skipped, so the manager never re-picks a dead target window
+        after window only for ``split_shard`` to abort.  The hot
+        shard's own replicas are excluded unless the primary is the
+        only live candidate: splitting onto the same machine narrows
+        the range but sheds no load."""
+        resolver = self.resolver
         best: Optional[Machine] = None
-        best_count = None
+        best_key = None
         for machine in self.pool:
-            if not machine.alive or machine is hot.machine:
+            if not machine.alive or machine in hot.replicas:
                 continue
-            count = sum(1 for s in shard_map.shards
-                        if s.machine is machine)
-            if best_count is None or count < best_count:
-                best, best_count = machine, count
+            if not resolver.breaker_allows(machine):
+                continue
+            key = (resolver.load_of_machine(machine),
+                   sum(1 for s in shard_map.shards
+                       if s.machine is machine))
+            if best_key is None or key < best_key:
+                best, best_key = machine, key
         if best is None and hot.machine.alive \
-                and hot.machine in self.pool:
+                and hot.machine in self.pool \
+                and resolver.breaker_allows(hot.machine):
             return hot.machine
         return best
 
     def stats(self) -> dict[str, int]:
         return {"resolutions": self.resolutions, "splits": self.splits,
-                "aborted_splits": self.aborted_splits}
+                "aborted_splits": self.aborted_splits,
+                "merges": self.merges,
+                "aborted_merges": self.aborted_merges}

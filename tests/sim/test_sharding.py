@@ -15,7 +15,17 @@ Pins, in one place:
   ``resolve_many`` makes later batch items re-route instead of using
   the pre-split map (the batch route memo is epoch-guarded);
 * commit-last migration — an unreachable target aborts the split
-  with the old map and the old epoch intact.
+  with the old map and the old epoch intact;
+* replicated shards — ``place_sharded(..., replicas=N)`` gives every
+  shard a replica set, so resolution fails over past a crashed shard
+  primary, rebinds fan out to shard secondaries with missed writes
+  marked stale, and anti-entropy on restart resyncs from a fellow
+  shard replica;
+* shard merging — adjacent cold ranges fold back together under the
+  same commit-last/epoch discipline, inverse of a split;
+* the crash-during-migration fault-point sweep — killing source or
+  target at every batch boundary either aborts cleanly or commits,
+  never leaving a binding with other than exactly one owner range.
 """
 
 from __future__ import annotations
@@ -36,6 +46,7 @@ from repro.nameservice.sharding import (
     ShardMap,
     binding_hash,
 )
+from repro.nameservice.retry import RetryPolicy
 from repro.sim.failures import FailureInjector
 from repro.sim.kernel import Simulator
 from repro.workloads.zipf import ZipfSampler, build_zipf_namespace
@@ -43,10 +54,12 @@ from repro.workloads.zipf import ZipfSampler, build_zipf_namespace
 
 def make_deployment(names=2000, pool_size=4, seed=0, sharded=True,
                     shards=1, manager=False, check_every=100,
-                    min_window=50):
+                    min_window=50, replicas=1, migration_batch=100_000,
+                    retry=False):
     """A hot directory of *names* bindings under ``/hot``, either on a
-    single machine or sharded over the first *shards* pool machines,
-    optionally with the live split policy wired in."""
+    single machine or sharded over the first *shards* pool machines
+    (each shard replicated *replicas*-deep), optionally with the live
+    split policy wired in."""
     simulator = Simulator(seed=seed)
     network = simulator.network("lan")
     pool = [simulator.machine(network, f"s{i}") for i in range(pool_size)]
@@ -58,12 +71,16 @@ def make_deployment(names=2000, pool_size=4, seed=0, sharded=True,
     placement.place(tree.root, client_m)
     if sharded:
         shard_map = placement.place_sharded(namespace.directory,
-                                            *pool[:shards])
+                                            *pool[:shards],
+                                            replicas=replicas)
     else:
         placement.place(namespace.directory, pool[0])
         shard_map = None
     client = simulator.spawn(client_m, "client")
-    resolver = DistributedResolver(simulator, placement)
+    resolver = DistributedResolver(
+        simulator, placement, migration_batch=migration_batch,
+        retry_policy=(RetryPolicy(max_attempts=2, base_backoff=0.1,
+                                  jitter=0.0) if retry else None))
     if manager:
         resolver.shard_manager = ShardManager(
             resolver, pool=pool, split_fraction=0.3,
@@ -403,6 +420,20 @@ def split_sequences(draw):
     return initial, steps
 
 
+@st.composite
+def split_merge_sequences(draw):
+    """(shard_count, replicas, [(op, shard_index_seed, fraction)])
+    interleaved split/merge scripts."""
+    initial = draw(st.integers(min_value=1, max_value=4))
+    replicas = draw(st.integers(min_value=1, max_value=3))
+    steps = draw(st.lists(
+        st.tuples(st.sampled_from(["split", "merge"]),
+                  st.integers(min_value=0, max_value=10 ** 6),
+                  st.floats(min_value=0.01, max_value=0.99)),
+        max_size=12))
+    return initial, replicas, steps
+
+
 class TestOwnershipProperty:
     """Property: after ANY split sequence, every binding is owned by
     exactly one shard, and membership matches ownership."""
@@ -445,3 +476,488 @@ class TestOwnershipProperty:
             assert len(shard_map.owners_of(probe)) == 1
             assert shard_map.owners_of(probe)[0] is \
                 shard_map.owner_of(probe)
+
+    @given(script=split_merge_sequences(),
+           probes=st.lists(st.text(min_size=1, max_size=12),
+                           max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_exactly_one_owner_after_splits_and_merges(self, script,
+                                                       probes):
+        initial, replicas, steps = script
+        simulator = Simulator(seed=0)
+        network = simulator.network("lan")
+        pool = [simulator.machine(network, f"s{i}") for i in range(4)]
+        tree = NamingTree("root", sigma=simulator.sigma)
+        namespace = build_zipf_namespace(tree, "hot", count=200,
+                                         distinct=8)
+        shard_map = ShardMap(namespace.directory, pool[:initial],
+                             replicas=replicas)
+        all_members = {name_ for shard in shard_map.shards
+                       for name_ in shard.members}
+        for op, index_seed, fraction in steps:
+            if op == "merge":
+                if len(shard_map) < 2:
+                    continue
+                left = shard_map.shards[index_seed
+                                        % (len(shard_map) - 1)]
+                right = shard_map.shards[
+                    shard_map.shards.index(left) + 1]
+                shard_map.apply_merge(
+                    shard_map.plan_merge(left, right))
+                continue
+            shard = shard_map.shards[index_seed % len(shard_map)]
+            if shard.span < 2:
+                continue
+            at = shard.lo + max(1, int(shard.span * fraction))
+            if not shard.lo < at < shard.hi:
+                continue
+            machine = pool[index_seed % len(pool)]
+            shard_map.apply_split(
+                shard_map.plan_split(shard, machine, at=at))
+        assert shard_map.is_partition()
+        member_union = set()
+        for shard in shard_map.shards:
+            assert not member_union & shard.members
+            member_union |= shard.members
+            assert 1 <= len(shard.replicas) <= min(replicas, initial)
+            for name_ in shard.members:
+                assert shard_map.owner_of(name_) is shard
+        assert member_union == all_members
+        for probe in probes + list(namespace.names[:5]):
+            assert len(shard_map.owners_of(probe)) == 1
+
+
+class TestReplicatedShards:
+    """Tentpole: every shard carries a replica set, and the replica
+    failover / stale-mark / anti-entropy machinery works per shard."""
+
+    def test_ring_assignment_and_degree_clamp(self):
+        world = make_deployment(names=300, shards=3, replicas=2)
+        shard_map = world["shard_map"]
+        pool = world["pool"]
+        assert shard_map.replication == 2
+        for index, shard in enumerate(shard_map.shards):
+            assert shard.replicas == (pool[index],
+                                      pool[(index + 1) % 3])
+            assert shard.machine is shard.replicas[0]
+        # Degree is clamped to the pool size — the same machine twice
+        # is not replication.
+        clamped = make_deployment(names=100, shards=2, replicas=5)
+        assert clamped["shard_map"].replication == 2
+
+    def test_replicas_for_binding_returns_the_shard_set(self):
+        world = make_deployment(names=300, shards=3, replicas=2)
+        placement = world["placement"]
+        directory = world["namespace"].directory
+        name_ = world["namespace"].names[0]
+        shard = world["shard_map"].owner_of(name_)
+        assert placement.replicas_for_binding(directory, name_) == \
+            shard.replicas
+        assert placement.host_of_binding(directory, name_) is \
+            shard.machine
+
+    def test_resolution_fails_over_past_crashed_primary(self):
+        world = make_deployment(names=400, shards=2, replicas=2,
+                                retry=True)
+        resolver = world["resolver"]
+        shard_map = world["shard_map"]
+        namespace = world["namespace"]
+        # Warm the servers up, then crash one shard primary.
+        for name_ in namespace.names[:20]:
+            resolver.resolve(world["client"], world["context"],
+                             "/hot/" + name_)
+        victim = shard_map.shards[0].machine
+        FailureInjector(world["simulator"]).crash_machine(victim)
+        hit = 0
+        for name_ in namespace.names[:60]:
+            if shard_map.owner_of(name_).machine is not victim:
+                continue
+            hit += 1
+            entity, cost = resolver.resolve(
+                world["client"], world["context"], "/hot/" + name_)
+            assert entity is local_resolve(world["context"],
+                                           "/hot/" + name_)
+            assert not cost.failed
+            assert cost.failovers >= 1
+        assert hit > 0  # the dead range was actually exercised
+
+    def test_single_owner_shard_goes_dark_when_primary_dies(self):
+        """The contrast case the replica set exists to fix."""
+        world = make_deployment(names=400, shards=2, replicas=1,
+                                retry=True)
+        resolver = world["resolver"]
+        shard_map = world["shard_map"]
+        namespace = world["namespace"]
+        for name_ in namespace.names[:20]:
+            resolver.resolve(world["client"], world["context"],
+                             "/hot/" + name_)
+        victim = shard_map.shards[0].machine
+        FailureInjector(world["simulator"]).crash_machine(victim)
+        name_ = next(n for n in namespace.names
+                     if shard_map.owner_of(n).machine is victim)
+        _entity, cost = resolver.resolve(
+            world["client"], world["context"], "/hot/" + name_)
+        assert cost.failed
+
+    def test_rebind_fans_out_to_shard_secondaries(self):
+        world = make_deployment(names=300, shards=2, replicas=2)
+        resolver = world["resolver"]
+        directory = world["namespace"].directory
+        before = resolver.replication_messages
+        resolver.rebind(directory, "fresh",
+                        world["namespace"].shared_leaf)
+        assert resolver.replication_messages == before + 1
+        shard = world["shard_map"].owner_of("fresh")
+        assert "fresh" in shard.members
+        assert not world["placement"].is_stale(directory,
+                                               shard.replicas[1])
+
+    def test_rebind_marks_dead_secondary_stale_and_restart_resyncs(self):
+        world = make_deployment(names=300, shards=2, replicas=2)
+        resolver = world["resolver"]
+        placement = world["placement"]
+        directory = world["namespace"].directory
+        injector = FailureInjector(world["simulator"])
+        injector.on_restart(resolver.handle_restart)
+        shard = world["shard_map"].owner_of("fresh")
+        secondary = shard.replicas[1]
+        injector.crash_machine(secondary)
+        resolver.rebind(directory, "fresh",
+                        world["namespace"].shared_leaf)
+        assert placement.is_stale(directory, secondary)
+        # Restart: anti-entropy syncs from a live fellow shard replica
+        # (there is no directory-wide primary to sync from).
+        injector.restart_machine(secondary)
+        assert not placement.is_stale(directory, secondary)
+        assert placement.stale_count() == 0
+        assert resolver.anti_entropy_messages >= 1
+
+    def test_stale_shard_replica_stays_stale_without_live_source(self):
+        world = make_deployment(names=300, shards=2, replicas=2)
+        resolver = world["resolver"]
+        placement = world["placement"]
+        directory = world["namespace"].directory
+        injector = FailureInjector(world["simulator"])
+        injector.on_restart(resolver.handle_restart)
+        shard = world["shard_map"].owner_of("fresh")
+        primary, secondary = shard.replicas
+        injector.crash_machine(secondary)
+        resolver.rebind(directory, "fresh",
+                        world["namespace"].shared_leaf)
+        # Now the only fresh copy dies too.
+        injector.crash_machine(primary)
+        injector.restart_machine(secondary)
+        assert placement.is_stale(directory, secondary)
+        # Once the fresh replica is back, the next restart cycle syncs.
+        injector.restart_machine(primary)
+        injector.crash_machine(secondary)
+        injector.restart_machine(secondary)
+        assert not placement.is_stale(directory, secondary)
+
+    def test_mark_stale_rejects_non_hosting_machine(self):
+        world = make_deployment(names=100, shards=2, replicas=2)
+        with pytest.raises(SchemeError):
+            world["placement"].mark_stale(world["namespace"].directory,
+                                          world["client_m"])
+
+    def test_split_inherits_secondaries_from_source_replicas(self):
+        world = make_deployment(names=400, shards=2, replicas=2,
+                                pool_size=4)
+        shard_map = world["shard_map"]
+        resolver = world["resolver"]
+        shard = shard_map.shards[0]
+        target = world["pool"][2]
+        assert resolver.split_shard(world["namespace"].directory,
+                                    shard, target)
+        new = shard_map.shards[1]
+        assert new.replicas[0] is target
+        # The fill secondary already held the range's data as a source
+        # replica — replication degree carries over with no extra
+        # migration traffic.
+        assert new.replicas[1] in shard.replicas
+        assert len(new.replicas) == 2
+        assert shard_map.is_partition()
+
+
+class TestShardMerging:
+    """Satellite: adjacent cold ranges fold back together under the
+    same commit-last / epoch discipline as splits."""
+
+    def test_plan_and_apply_merge_conserve_members(self):
+        world = make_deployment(names=600, shards=3)
+        shard_map = world["shard_map"]
+        left, right = shard_map.shards[0], shard_map.shards[1]
+        before = set(left.members) | set(right.members)
+        hi_before = right.hi
+        plan = shard_map.plan_merge(left, right)
+        merged = shard_map.apply_merge(plan)
+        assert merged is left
+        assert len(shard_map) == 2
+        assert left.hi == hi_before
+        assert set(left.members) == before
+        assert shard_map.is_partition()
+        for name_ in list(before)[:20]:
+            assert shard_map.owner_of(name_) is left
+
+    def test_plan_merge_rejects_non_adjacent_and_foreign(self):
+        world = make_deployment(names=300, shards=3)
+        other = make_deployment(names=100, shards=1)
+        shard_map = world["shard_map"]
+        with pytest.raises(SchemeError):
+            shard_map.plan_merge(shard_map.shards[0],
+                                 shard_map.shards[2])
+        with pytest.raises(SchemeError):
+            shard_map.plan_merge(shard_map.shards[1],
+                                 shard_map.shards[0])
+        with pytest.raises(SchemeError):
+            shard_map.plan_merge(shard_map.shards[0],
+                                 other["shard_map"].shards[0])
+
+    def test_merge_shards_migrates_and_bumps_epoch_once(self):
+        world = make_deployment(names=600, shards=3)
+        resolver = world["resolver"]
+        placement = world["placement"]
+        shard_map = world["shard_map"]
+        left, right = shard_map.shards[1], shard_map.shards[2]
+        epoch_before = placement.epoch
+        messages_before = resolver.migration_messages
+        assert resolver.merge_shards(world["namespace"].directory,
+                                     left, right)
+        assert resolver.shard_merges == 1
+        assert placement.epoch == epoch_before + 1
+        assert resolver.migration_messages > messages_before
+        assert len(shard_map) == 2
+        assert shard_map.is_partition()
+
+    def test_merge_aborts_against_dead_receiver(self):
+        world = make_deployment(names=600, shards=3)
+        resolver = world["resolver"]
+        placement = world["placement"]
+        shard_map = world["shard_map"]
+        left, right = shard_map.shards[0], shard_map.shards[1]
+        FailureInjector(world["simulator"]).crash_machine(left.machine)
+        epoch_before = placement.epoch
+        assert not resolver.merge_shards(world["namespace"].directory,
+                                         left, right)
+        assert resolver.shard_merge_aborts == 1
+        assert placement.epoch == epoch_before
+        assert len(shard_map) == 3
+        assert shard_map.is_partition()
+
+    def test_merged_range_still_resolves(self):
+        world = make_deployment(names=600, shards=3)
+        resolver = world["resolver"]
+        shard_map = world["shard_map"]
+        namespace = world["namespace"]
+        right = shard_map.shards[1]
+        probe = next(iter(right.members))
+        assert resolver.merge_shards(namespace.directory,
+                                     shard_map.shards[0], right)
+        entity, cost = resolver.resolve(
+            world["client"], world["context"], "/hot/" + probe)
+        assert entity is local_resolve(world["context"],
+                                       "/hot/" + probe)
+        assert not cost.failed
+
+    def test_manager_merges_cold_adjacent_pair(self):
+        world = make_deployment(names=600, shards=4)
+        resolver = world["resolver"]
+        shard_map = world["shard_map"]
+        manager = ShardManager(resolver, pool=world["pool"],
+                               split_fraction=0.6, merge_fraction=0.1,
+                               check_every=10, min_window=50)
+        resolver.shard_manager = manager
+        # A window where the two upper ranges are nearly cold.
+        shard_map.shards[0].load = 60
+        shard_map.shards[1].load = 60
+        shard_map.shards[2].load = 5
+        shard_map.shards[3].load = 5
+        assert manager.check() == 1
+        assert manager.merges == 1
+        assert len(shard_map) == 3
+        assert shard_map.is_partition()
+        # Post-merge loads reset: a second check has no window yet.
+        assert manager.check() == 0
+        assert manager.merges == 1
+
+    def test_merge_fraction_zero_never_merges(self):
+        world = make_deployment(names=600, shards=4, manager=True)
+        manager = world["resolver"].shard_manager
+        shard_map = world["shard_map"]
+        for shard in shard_map.shards:
+            shard.load = 30
+        assert manager.check() == 0
+        assert manager.merges == 0
+        assert len(shard_map) == 4
+        assert "merges" in manager.stats()
+
+
+class TestPickTarget:
+    """Satellite: split targets are chosen by measured load and never
+    point at a down machine or an open breaker."""
+
+    def _manager(self, world, **kwargs):
+        manager = ShardManager(world["resolver"], pool=world["pool"],
+                               **kwargs)
+        world["resolver"].shard_manager = manager
+        return manager
+
+    def test_picks_least_loaded_live_machine(self):
+        world = make_deployment(names=400, shards=1, pool_size=4)
+        resolver = world["resolver"]
+        manager = self._manager(world)
+        # Drive measurable load onto pool[1] so pool[2] (untouched)
+        # is the least-loaded candidate.
+        tree = world["tree"]
+        tree.mkdir("warm")
+        tree.mkfile("warm/x")
+        world["placement"].place(tree.directory("warm"),
+                                 world["pool"][1])
+        for _ in range(5):
+            resolver.resolve(world["client"], world["context"],
+                             "/warm/x")
+        assert resolver.load_of_machine(world["pool"][1]) == 5
+        [hot] = world["shard_map"].shards
+        target = manager._pick_target(world["shard_map"], hot)
+        assert target is world["pool"][2]
+
+    def test_skips_down_machines(self):
+        world = make_deployment(names=400, shards=1, pool_size=3)
+        manager = self._manager(world)
+        FailureInjector(world["simulator"]).crash_machine(
+            world["pool"][1])
+        [hot] = world["shard_map"].shards
+        assert manager._pick_target(world["shard_map"], hot) is \
+            world["pool"][2]
+
+    def test_skips_open_breakers(self):
+        world = make_deployment(names=400, shards=1, pool_size=3)
+        resolver = world["resolver"]
+        manager = self._manager(world)
+        now = world["simulator"].clock.now
+        breaker = resolver.breaker_of(world["pool"][1])
+        for _ in range(resolver.breaker_threshold):
+            breaker.record_failure(now)
+        assert not resolver.breaker_allows(world["pool"][1])
+        [hot] = world["shard_map"].shards
+        assert manager._pick_target(world["shard_map"], hot) is \
+            world["pool"][2]
+
+    def test_breaker_allows_again_after_cooldown(self):
+        world = make_deployment(names=400, shards=1, pool_size=3)
+        resolver = world["resolver"]
+        simulator = world["simulator"]
+        breaker = resolver.breaker_of(world["pool"][1])
+        for _ in range(resolver.breaker_threshold):
+            breaker.record_failure(simulator.clock.now)
+        assert not resolver.breaker_allows(world["pool"][1])
+        simulator.run(until=simulator.clock.now
+                      + resolver.breaker_cooldown + 1)
+        # Pure read: eligible again, but the breaker state itself is
+        # untouched (no premature half-open transition).
+        assert resolver.breaker_allows(world["pool"][1])
+        assert breaker.state.value == "open"
+
+    def test_excludes_all_replicas_of_the_hot_shard(self):
+        world = make_deployment(names=400, shards=2, replicas=2,
+                                pool_size=2)
+        manager = self._manager(world)
+        hot = world["shard_map"].shards[0]
+        # Both pool machines are replicas of the hot shard; fallback
+        # is the hot primary itself (narrowing beats nothing).
+        assert manager._pick_target(world["shard_map"], hot) is \
+            hot.machine
+
+
+class TestMigrationFaultPoints:
+    """Tentpole: a crash of source or target at ANY fault point of
+    the commit-last migration either aborts cleanly (old map, old
+    epoch) or completes, and every binding keeps exactly one owner
+    range throughout — on a replicated map the affected range keeps
+    resolving either way."""
+
+    def _world(self):
+        return make_deployment(names=400, shards=2, replicas=2,
+                               pool_size=4, migration_batch=20,
+                               retry=True)
+
+    def _sample(self, shard_map, namespace, shard):
+        return [n for n in namespace.names
+                if shard_map.owner_of(n) is shard][:10]
+
+    @pytest.mark.parametrize("victim_role", ["source", "target"])
+    def test_crash_at_every_batch_boundary(self, victim_role):
+        # Discover the batch count once (pure plan, fresh world).
+        probe = self._world()
+        shard = probe["shard_map"].shards[0]
+        plan = probe["shard_map"].plan_split(shard, probe["pool"][2])
+        batches = -(-len(plan.moved) // 20)
+        assert batches >= 3  # the sweep must have interior points
+        for fault_point in range(batches + 1):
+            world = self._world()
+            simulator = world["simulator"]
+            resolver = world["resolver"]
+            placement = world["placement"]
+            shard_map = world["shard_map"]
+            shard = shard_map.shards[0]
+            target = world["pool"][2]
+            victim = (shard.machine if victim_role == "source"
+                      else target)
+            moved_probe = self._sample(shard_map,
+                                       world["namespace"], shard)
+            injector = FailureInjector(simulator)
+            # Each batch hop is one message at latency 1.0, streamed
+            # sequentially: batch k is in flight over (t0+k, t0+k+1).
+            # fault_point == batches crashes after the final delivery.
+            crash_at = simulator.clock.now + fault_point + 0.5
+            injector.schedule(crash_at, "crash", victim)
+            epoch_before = placement.epoch
+            committed = resolver.split_shard(
+                world["namespace"].directory, shard, target)
+            # A crashed *target* drops the in-flight batch, so the
+            # final fault point inside the stream still aborts; a
+            # crashed *source* cannot recall a batch already in
+            # flight, so a crash during the last batch commits.
+            commit_from = (batches - 1 if victim_role == "source"
+                           else batches)
+            if fault_point < commit_from:
+                assert not committed
+                assert placement.epoch == epoch_before
+                assert len(shard_map) == 2
+            else:
+                assert committed
+                assert placement.epoch == epoch_before + 1
+                assert len(shard_map) == 3
+            simulator.run()  # let a post-commit crash land
+            # Exactly-one-owner holds at every fault point...
+            assert shard_map.is_partition()
+            for name_ in moved_probe:
+                assert len(shard_map.owners_of(name_)) == 1
+            # ...and the replicated range never goes dark: aborted →
+            # the old shard's surviving replica serves it; committed →
+            # the new shard's set does.
+            for name_ in moved_probe[:3]:
+                entity, cost = resolver.resolve(
+                    world["client"], world["context"],
+                    "/hot/" + name_)
+                assert entity is local_resolve(world["context"],
+                                               "/hot/" + name_)
+                assert not cost.failed
+
+    def test_aborted_split_retries_after_restart(self):
+        world = self._world()
+        resolver = world["resolver"]
+        simulator = world["simulator"]
+        shard_map = world["shard_map"]
+        shard = shard_map.shards[0]
+        target = world["pool"][2]
+        injector = FailureInjector(simulator)
+        injector.on_restart(resolver.handle_restart)
+        injector.schedule(simulator.clock.now + 1.5, "crash", target)
+        assert not resolver.split_shard(world["namespace"].directory,
+                                        shard, target)
+        injector.restart_machine(target)
+        assert resolver.split_shard(world["namespace"].directory,
+                                    shard, target)
+        assert shard_map.is_partition()
+        assert len(shard_map) == 3

@@ -36,18 +36,18 @@ SEEDS = (0, 1, 7, 42)
 
 #: sha256 of the canonical split scenario's formatted trace log.
 TRACE_GOLDENS = {
-    0: "922a609510d40aa830472410a4241052eea60e37b5baff1aa8af8907fd5a30c4",
-    1: "354395eab007f5da8f199eaeae5fdc4c48485674ff879a51fb541a66ff4fec57",
-    7: "c7122d3a7dcd670b917b3abe7ac1a46f42d9288d89deca5d022109d69d5d4b07",
-    42: "c239add344287e0a0ed7f1fb4224d58ecba3458f1e7ee0f0b007a31912840fb3",
+    0: "4b80051d6b8c41865314a260139d6653d0721b1b555075af7b70b40775c0d2cc",
+    1: "a41b3a4ee27dc9f8eccd248c2d4cd3cd8b63c08dbe73c60c42cd03052ad48e15",
+    7: "2debda8461e8bd4e9d5e92d970c9b25c0ec2f93079629b3336629118307a935a",
+    42: "0b5b6ae2ca8b56b00dc229f49589ed339cec6e77364682ac75597603b52ced04",
 }
 
 #: sha256 of A10's full ``ExperimentResult.to_dict()`` (reduced scale).
 EXPERIMENT_GOLDENS = {
-    0: "f61fb49d5035a3bd75e7a0af1c4700ef21567ca4fc100fa3f6f4dab00d2f971a",
-    1: "d8402009bfaa9f44bd8e5079295512b0ccf5fafa9552d745f24b07e38e251461",
-    7: "26d40c97ae07137c40f48ac3471defbf5960c250902b94cf42d9ed37661edd4c",
-    42: "160d372730df68cbbc0b5cc5c48abf0890a5628c9d7076adf0bc4e1d943d20a4",
+    0: "db768d30b727a93a2f607b1c6d01b856b78edcd80335f397896b9d64047a1a9d",
+    1: "114db4f87d48bd03851525a58b0ee800bc58c44f875877b82c0061c2e26fb4f5",
+    7: "d9b0ef279612d30eab606948017258c9f92436ee7f620dd7cbf0c55a5d08c50e",
+    42: "cc90f2c9b14b741c3b70bdd22e593954caefdc5e01adc8b6c63d5a67df023996",
 }
 
 

@@ -89,6 +89,15 @@ PAPER_ANCHORS = {
             "load-driven shard splits hold steady-state p99 near the "
             "idle baseline, migrating bindings as simulated messages "
             "with exactly-one-owner preserved across every split."),
+    "A11": ("§3 weak coherence (extension)", "Replicated shards keep "
+            "every hash range available through shard-server crashes: "
+            "under an identical scripted crash/restart timeline, "
+            "degree-2 shards hold availability ≈ 1.0 via per-shard "
+            "failover and heal missed writes by anti-entropy on "
+            "restart, while single-owner shards lose the dead range's "
+            "lookups for the length of each crash window and are left "
+            "with a permanently dark (stale, sourceless) range — all "
+            "without a single coherence violation in either run."),
 }
 
 

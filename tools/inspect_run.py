@@ -431,6 +431,98 @@ def run_shard(seed: int, style: ResolutionStyle, policy: CachePolicy,
                       "partition_ok": shard_map.is_partition()}}
 
 
+@scenario("shard-faults")
+def run_shard_faults(seed: int, style: ResolutionStyle,
+                     policy: CachePolicy, obs: Instrumentation) -> dict:
+    """Replicated shards riding out a shard-server crash: a Zipf run
+    over a 4-shard directory with two-deep replica sets crosses a
+    scripted crash/restart of one shard machine.  Lookups into the
+    dead range fail over to the surviving replica (``failover``
+    trace events, ``resolver_failovers_total``), a rebind during the
+    outage marks the dead copy stale, and the restart hook's
+    anti-entropy resyncs it — while the coherence auditor scores
+    every read (``audit_violations_total`` stays absent/zero) and the
+    flight recorder captures a replayable window around the outage
+    for ``--flight-out``.
+    """
+    import random as _random
+
+    from repro.obs.audit import (CoherenceAuditor, CoherenceContract,
+                                 FlightRecorder)
+    from repro.obs.slo import SLObjective, SLOTracker
+    from repro.workloads.zipf import ZipfSampler, build_zipf_namespace
+
+    recorder = FlightRecorder(window=50.0)
+    auditor = CoherenceAuditor(
+        contract=CoherenceContract(slack=6.0),
+        slo=SLOTracker([
+            SLObjective("violation-free", violation_free=True),
+        ], metrics=obs.metrics),
+        recorder=recorder)
+    obs.auditor = auditor
+    auditor.bind_obs(obs)
+    simulator = Simulator(seed=seed, obs=obs)
+    recorder.wire(trace_log=simulator.trace, tracer=obs.tracer)
+    network = simulator.network("lan")
+    pool = [simulator.machine(network, f"shard{i}") for i in range(4)]
+    client_machine = simulator.machine(network, "client-m")
+    tree = NamingTree("root", sigma=simulator.sigma)
+    namespace = build_zipf_namespace(tree, "hot", count=3000,
+                                     distinct=64)
+    placement = DirectoryPlacement()
+    placement.place(tree.root, client_machine)
+    shard_map = placement.place_sharded(namespace.directory, *pool,
+                                        replicas=2)
+    client = simulator.spawn(client_machine, "client")
+    resolver = DistributedResolver(
+        simulator, placement,
+        retry_policy=RetryPolicy(max_attempts=2, base_backoff=0.1,
+                                 jitter=0.0))
+    injector = FailureInjector(simulator)
+    injector.on_restart(resolver.handle_restart)
+    victim = pool[0]
+    injector.schedule_timeline([
+        (300.0, "crash", victim),
+        (900.0, "restart", victim),
+    ])
+    context = ProcessContext(tree.root)
+    sampler = ZipfSampler(3000, rng=_random.Random(seed))
+    outcomes = {"ok": 0, "failed": 0}
+    failovers = 0
+    rebound = False
+    costs = []
+    for rank in sampler.sample_many(800):
+        simulator.run(until=simulator.clock.now)  # due faults land
+        if not victim.alive and not rebound:
+            # The outage write: fans out to the owning shard's
+            # replicas, marking the dead copy stale for anti-entropy.
+            resolver.rebind(namespace.directory, "spare0",
+                            namespace.shared_leaf)
+            rebound = True
+        _entity, cost = resolver.resolve(
+            client, context, "/hot/" + namespace.names[rank], style)
+        costs.append(cost)
+        failovers += cost.failovers
+        outcomes["failed" if cost.failed else "ok"] += 1
+    simulator.run()
+    recorder.capture(kind="final", time=simulator.clock.now,
+                     detail={"scenario": "shard-faults",
+                             "failovers": failovers})
+    cost = ResolutionCost.merge(costs)
+    return {"simulator": simulator,
+            "recorder": recorder,
+            "notes": {"scenario": "shard-faults",
+                      "outcomes": outcomes,
+                      "messages": cost.messages,
+                      "failovers": failovers,
+                      "anti_entropy": resolver.anti_entropy_messages,
+                      "stale_remaining": placement.stale_count(),
+                      "audit": auditor.summary(),
+                      "violations": auditor.violation_count,
+                      "partition_ok": shard_map.is_partition(),
+                      "flight_dumps": recorder.captured}}
+
+
 def render_tree(obs: Instrumentation, notes: dict, top: int) -> str:
     lines = [format_hop_tree(obs.tracer.spans), ""]
     lines.append(f"hottest servers (top {top}):")
