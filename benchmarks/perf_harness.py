@@ -208,6 +208,109 @@ def kernel_request_reply(scale: float = 1.0) -> ScenarioStats:
                          peak_heap_depth=peak)
 
 
+# -- transport scenarios (real seconds, localhost sockets) -----------------
+
+def _transport_lookup_workload(lookups: int, *, replicas: int = 1,
+                               closed_loop: bool = True) -> ScenarioStats:
+    """Lookups/s over real localhost TCP through ``NamingService`` /
+    ``RemoteNameClient`` — the same protocol code the simulator
+    drives, measured in wall seconds.
+
+    *closed_loop* issues one lookup at a time per client (latency
+    bound); open loop launches the whole batch concurrently
+    (pipelining bound).  *replicas* > 1 starts that many identical
+    services and splits the stream across one client per replica —
+    aggregate throughput at replication degree *replicas*.  Unlike the
+    kernel scenarios these numbers include real syscalls and scheduler
+    jitter; they are trajectory data, not a regression gate.
+    """
+    import asyncio
+
+    from repro.model.context import context_object
+    from repro.model.entities import ObjectEntity
+    from repro.transport.service import NamingService, RemoteNameClient
+
+    leaves = 64
+
+    def build_tree():
+        root = context_object("root")
+        svc = context_object("svc")
+        root.state.bind("svc", svc)
+        for index in range(leaves):
+            svc.state.bind(f"name-{index}", ObjectEntity(f"object-{index}"))
+        return root
+
+    names = [f"/svc/name-{index % leaves}" for index in range(lookups)]
+    shards = [names[start::replicas] for start in range(replicas)]
+
+    async def scenario() -> None:
+        services, clients = [], []
+        try:
+            for index in range(replicas):
+                service = NamingService(build_tree(), seed=index,
+                                        label=f"lookupd{index}")
+                address = await service.start()
+                services.append(service)
+                client = RemoteNameClient(
+                    [(address.host, address.port)], seed=index,
+                    timeout=30.0, label=f"bench-client-{index}")
+                await client.connect()
+                clients.append(client)
+
+            async def drive(client, todo):
+                if closed_loop:
+                    for name in todo:
+                        outcome = await client.resolve(name)
+                        assert outcome.ok, name
+                else:
+                    outcomes = await asyncio.gather(
+                        *(client.resolve(name) for name in todo))
+                    assert all(o.ok for o in outcomes)
+
+            await asyncio.gather(*(drive(client, shard)
+                                   for client, shard in
+                                   zip(clients, shards)))
+        finally:
+            for client in clients:
+                await client.aclose()
+            for service in services:
+                await service.aclose()
+
+    asyncio.run(scenario())
+    return ScenarioStats(events=lookups, messages=lookups)
+
+
+@scenario("transport_closed_loop_degree1")
+def transport_closed_loop_degree1(scale: float = 1.0) -> ScenarioStats:
+    """Serial lookups over one localhost service: ``events_per_s`` is
+    closed-loop lookups/s (per-lookup latency inverse)."""
+    return _transport_lookup_workload(_scaled(400, scale, floor=50))
+
+
+@scenario("transport_open_loop_degree1")
+def transport_open_loop_degree1(scale: float = 1.0) -> ScenarioStats:
+    """The whole lookup batch in flight at once against one service:
+    pipelined lookups/s."""
+    return _transport_lookup_workload(_scaled(1_000, scale, floor=100),
+                                      closed_loop=False)
+
+
+@scenario("transport_closed_loop_replicated")
+def transport_closed_loop_replicated(scale: float = 1.0) -> ScenarioStats:
+    """Closed-loop lookups split across two replicas (one client
+    each, running concurrently): aggregate lookups/s at degree 2."""
+    return _transport_lookup_workload(_scaled(400, scale, floor=50),
+                                      replicas=2)
+
+
+@scenario("transport_open_loop_replicated")
+def transport_open_loop_replicated(scale: float = 1.0) -> ScenarioStats:
+    """Open-loop batch split across two replicas: aggregate pipelined
+    lookups/s at degree 2."""
+    return _transport_lookup_workload(_scaled(1_000, scale, floor=100),
+                                      replicas=2, closed_loop=False)
+
+
 # -- experiment scenarios --------------------------------------------------
 
 @scenario("a7_batch_resolution")

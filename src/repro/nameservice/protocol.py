@@ -1,13 +1,23 @@
-"""An asynchronous name-lookup protocol over the simulator.
+"""An asynchronous name-lookup protocol over the transport seam.
 
 :class:`DistributedResolver` walks synchronously (it drives the kernel
 itself); this module is the *protocol* version: clients and servers
-are plain simulator processes exchanging request/reply messages
-through their ``on_message`` handlers, with request ids, per-step
-timeouts and bounded retries.  Nothing here runs the kernel — the
-caller pumps :meth:`Simulator.run`, so lookups interleave naturally
-with any other traffic, and failures (crashed servers, partitions)
-surface as timeouts rather than hangs.
+exchange request/reply messages through their message handlers, with
+request ids, per-step timeouts and bounded retries.  Since PR 10 the
+protocol speaks through :mod:`repro.transport` instead of calling the
+simulator kernel directly: constructed over a
+:class:`~repro.sim.kernel.Simulator` (the historical API, unchanged)
+it runs on :class:`~repro.transport.sim.SimTransport` with identical
+virtual-time semantics; constructed over an
+:class:`~repro.transport.aio.AsyncioTransport` (via
+:meth:`AsyncNameClient.over` / a transport-backed
+:class:`NameLookupServer`) the *identical* resolver/retry/lease code
+serves lookups over real TCP sockets with wall-clock timeouts.
+Nothing here runs the substrate — the caller pumps
+:meth:`Simulator.run` (or the asyncio loop), so lookups interleave
+naturally with any other traffic, and failures (crashed servers,
+partitions, refused connections) surface as timeouts rather than
+hangs.
 
 Correctness property (tested): with no failures, an async lookup
 completes with exactly the entity the section-2 recursion yields
@@ -19,19 +29,23 @@ Retries follow the same :class:`~repro.nameservice.retry.RetryPolicy`
 discipline as the synchronous walk: pass one and timed-out steps are
 re-sent after exponential backoff with seeded jitter instead of
 immediately (``retry_policy=None`` keeps the legacy immediate
-re-send).  Replies that arrive after their step already timed out are
-counted (``async_late_replies_total`` / :attr:`AsyncNameClient.
-late_replies`) rather than silently dropped — a reply racing its own
-retry is normal under latency spikes, and the counter makes the race
-visible.  After a machine restart, :meth:`NameLookupServer.respawn`
-re-registers the dead server process with its handler (wire it as a
+re-send).  Backoff waits are spent on the *transport's* clock —
+virtual time on the simulator, wall seconds on asyncio — with jitter
+drawn from the transport's seeded RNG either way.  Replies that
+arrive after their step already timed out are counted
+(``async_late_replies_total`` / :attr:`AsyncNameClient.late_replies`)
+rather than silently dropped — a reply racing its own retry is normal
+under latency spikes, and the counter makes the race visible.  After
+a machine restart, :meth:`NameLookupServer.respawn` re-registers the
+dead server process with its handler (wire it as a
 :meth:`~repro.sim.failures.FailureInjector.on_restart` hook).
 
-On an instrumented simulator (`repro.obs`), each lookup is one
-``lookup`` span; its request and reply messages carry the span's
-trace context, so kernel deliveries/drops land in the right trace
-even though many lookups interleave.  Completions, failures and
-retries are counted in ``async_lookups_total{outcome=...}`` and
+On an instrumented transport (`repro.obs`), each lookup is one
+``lookup`` span labelled with the transport kind (``sim`` /
+``asyncio``); its request and reply messages carry the span's trace
+context, so deliveries/drops land in the right trace even though many
+lookups interleave.  Completions, failures and retries are counted in
+``async_lookups_total{outcome=...}`` and
 ``async_lookup_retries_total``.
 """
 
@@ -39,7 +53,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 from repro.errors import SchemeError
 from repro.model.context import Context
@@ -48,13 +62,11 @@ from repro.model.names import ROOT_NAME, CompoundName, NameLike
 from repro.nameservice.leases import LeaseTable
 from repro.nameservice.placement import DirectoryPlacement
 from repro.nameservice.retry import RetryPolicy
-from repro.sim.events import ScheduledEvent
-from repro.sim.kernel import Simulator
-from repro.sim.messages import Message
 from repro.sim.network import Machine
-from repro.sim.process import SimProcess
+from repro.transport.base import Endpoint, Timer, Transport, as_transport
 
-__all__ = ["LookupOutcome", "NameLookupServer", "AsyncNameClient"]
+__all__ = ["LookupOutcome", "PlacementRouter", "NameLookupServer",
+           "AsyncNameClient"]
 
 #: Callback invoked at completion: (outcome).
 Completion = Callable[["LookupOutcome"], None]
@@ -76,30 +88,97 @@ class LookupOutcome:
         return not self.failed and self.entity.is_defined()
 
 
+class PlacementRouter:
+    """Routes lookup steps via :class:`DirectoryPlacement` (sim side).
+
+    The router seam answers two questions the client walk asks:
+    :meth:`target_for` at advance time — ``None`` means "this step is
+    local, read the context directly", anything else is a send target
+    for the request — and :meth:`retarget` at resend time, which
+    re-routes against the *live* placement (the shard owning a
+    component may have split/migrated during a backoff) and always
+    yields a target, exactly like the pre-seam resend path.
+    """
+
+    def __init__(self, placement: DirectoryPlacement,
+                 servers: dict[int, "NameLookupServer"],
+                 local_machine: Machine):
+        self.placement = placement
+        self.servers = servers
+        self.local_machine = local_machine
+
+    def _target_on(self, host: Machine) -> Any:
+        server = self.servers.get(id(host))
+        if server is None:
+            raise SchemeError(f"no lookup server on {host.label}")
+        return server.process
+
+    def target_for(self, directory: Optional[ObjectEntity],
+                   component: str) -> Any:
+        if directory is None:
+            return None
+        host = self.placement.host_of_binding(directory, component)
+        if host is None or host is self.local_machine:
+            return None
+        return self._target_on(host)
+
+    def retarget(self, directory: ObjectEntity, component: str) -> Any:
+        host = self.placement.host_of_binding(directory, component)
+        return self._target_on(host)
+
+
 class NameLookupServer:
     """A directory server: answers single-step lookup requests.
 
-    One per machine; installs an ``on_message`` handler on a dedicated
-    server process.  A request carries the directory object and the
+    One per machine; installs a message handler on a dedicated
+    endpoint.  A request carries the directory object and the
     component to look up; the reply carries the resulting entity (or
     ``None``) plus whether it is a further directory.
+
+    Args:
+        simulator: A :class:`~repro.sim.kernel.Simulator` (the
+            historical API — a server process is spawned on
+            *machine*) or any :class:`~repro.transport.base.Transport`
+            (an endpoint is created on *machine*, which a real
+            transport may ignore).
+        machine: The hosting node (sim: a
+            :class:`~repro.sim.network.Machine`).
+        label: Endpoint label; defaults to ``lookupd@<machine>``.
+
+    Attributes:
+        auditor: Optional :class:`~repro.obs.audit.CoherenceAuditor`;
+            when set, every served lookup is audited binding-level
+            (:meth:`~repro.obs.audit.CoherenceAuditor.observe_lookup`)
+            at the transport's clock under :attr:`audit_policy` — the
+            hook the transport parity suite uses to compare coherence
+            verdicts across substrates.
     """
 
-    def __init__(self, simulator: Simulator, machine: Machine,
+    #: See class docstring; set after construction when auditing.
+    auditor: Any = None
+    audit_policy: str = "invalidate"
+
+    def __init__(self, simulator: Any, machine: Any = None,
                  label: str = ""):
-        self.simulator = simulator
+        self.transport: Transport = as_transport(simulator)
+        self.simulator = getattr(self.transport, "simulator", None)
         self.machine = machine
-        self.process = simulator.spawn(
-            machine, label or f"lookupd@{machine.label}")
-        self.process.on_message(self._handle)
+        if not label:
+            node_label = getattr(machine, "label", None)
+            label = (f"lookupd@{node_label}" if node_label is not None
+                     else "lookupd")
+        self.endpoint: Endpoint = self.transport.endpoint(machine, label)
+        self.endpoint.on_message(self._handle)
+        #: The backing simulator process (sim transport only).
+        self.process = getattr(self.endpoint, "process", None)
         self.requests_served = 0
-        self._obs = simulator.obs
+        self._obs = self.transport.obs
         if self._obs.enabled:
             self._m_requests = self._obs.metrics.counter(
                 "lookup_server_requests_total",
-                {"server": self.process.label})
+                {"server": self.endpoint.label})
 
-    def _handle(self, _process: SimProcess, message: Message) -> None:
+    def _handle(self, _endpoint: Endpoint, message: Any) -> None:
         payload = message.payload
         if not isinstance(payload, dict) or "lookup" not in payload:
             return
@@ -113,7 +192,11 @@ class NameLookupServer:
         if directory.is_context_object():
             context: Context = directory.state
             entity = context(component)
-        reply = self.process.send(message.sender, payload={"reply": {
+        if self.auditor is not None and directory.is_defined():
+            self.auditor.observe_lookup(
+                directory, component, entity,
+                now=self.transport.now(), policy=self.audit_policy)
+        reply = self.endpoint.send(message.sender, payload={"reply": {
             "request_id": request["request_id"],
             "seq": request.get("seq", 0),
             "entity": entity if entity.is_defined() else None,
@@ -134,12 +217,17 @@ class NameLookupServer:
         clients fail over to the revived server on their next retry.
         Idempotent: a living server (or a still-down machine) is left
         alone.  Returns True if a fresh process was spawned.
+        (Simulator transport only — real servers restart by
+        reconnecting.)
         """
+        if self.process is None or self.simulator is None:
+            return False
         if self.process.alive or not self.machine.alive:
             return False
         self.process = self.simulator.spawn(self.machine,
                                             label=self.process.label)
-        self.process.on_message(self._handle)
+        self.endpoint = self.transport.adopt(self.process)
+        self.endpoint.on_message(self._handle)
         if self._obs.enabled:
             self._obs.metrics.counter(
                 "lookup_server_respawns_total",
@@ -155,11 +243,11 @@ class _Pending:
     current: Context
     completion: Completion
     outcome: LookupOutcome
-    server: Optional[SimProcess] = None
+    server: Any = None
     directory: Optional[ObjectEntity] = None
     component: str = ""
     attempts: int = 0
-    timer: Optional[ScheduledEvent] = None
+    timer: Optional[Timer] = None
     span: Optional[object] = None  #: the lookup's repro.obs span
 
 
@@ -167,19 +255,23 @@ class AsyncNameClient:
     """The client half: non-blocking compound-name resolution.
 
     Args:
-        simulator: The shared kernel (never run by the client).
+        simulator: The shared :class:`~repro.sim.kernel.Simulator`
+            (never run by the client) — or any transport, via
+            :meth:`over`.
         placement: Directory placements (who to ask for which step).
         servers: machine id → :class:`NameLookupServer` (share one
             mapping between all clients).
         process: The client's own simulator process (handler installed).
-        timeout: Virtual time to wait for each step's reply.
+        timeout: Transport time to wait for each step's reply
+            (virtual units on the simulator, wall seconds on asyncio).
         max_retries: Re-sends per step before failing the lookup.
         retry_policy: When set, each re-send waits out an exponential
-            backoff with seeded jitter (drawn from the kernel RNG, so
-            schedules are deterministic per seed) instead of going out
-            the instant the timeout fires.  ``None`` keeps the legacy
-            immediate re-send.  :attr:`RetryPolicy.max_attempts` is
-            ignored here — *max_retries* stays the attempt bound.
+            backoff with seeded jitter (drawn from the transport's
+            RNG — the kernel's on the simulator, so schedules stay
+            deterministic per seed) instead of going out the instant
+            the timeout fires.  ``None`` keeps the legacy immediate
+            re-send.  :attr:`RetryPolicy.max_attempts` is ignored
+            here — *max_retries* stays the attempt bound.
         lease_table: When set, the client participates in the lease
             callback protocol (:mod:`repro.nameservice.leases`): an
             incoming ``{"lease": {"op": "break", ...}}`` message
@@ -187,6 +279,8 @@ class AsyncNameClient:
             back to the sender (the ack continues the callback's
             trace context), counted in
             ``async_lease_callbacks_total``.
+        router: Optional routing override (defaults to a
+            :class:`PlacementRouter` over *placement*/*servers*).
 
     Attributes:
         late_replies: Replies that arrived for an already-settled or
@@ -196,18 +290,32 @@ class AsyncNameClient:
             counted, never silently dropped.
     """
 
-    def __init__(self, simulator: Simulator,
-                 placement: DirectoryPlacement,
-                 servers: dict[int, NameLookupServer],
-                 process: SimProcess,
+    def __init__(self, simulator: Any,
+                 placement: Optional[DirectoryPlacement],
+                 servers: Optional[dict[int, NameLookupServer]],
+                 process: Any,
                  timeout: float = 5.0, max_retries: int = 2,
                  latency: float = 1.0,
                  retry_policy: Optional[RetryPolicy] = None,
-                 lease_table: Optional[LeaseTable] = None):
-        self.simulator = simulator
+                 lease_table: Optional[LeaseTable] = None,
+                 router: Any = None):
+        self.transport: Transport = as_transport(simulator)
+        self.simulator = getattr(self.transport, "simulator", simulator)
         self.placement = placement
         self.servers = servers
-        self.process = process
+        if isinstance(process, Endpoint):
+            self.endpoint = process
+        else:
+            self.endpoint = self.transport.adopt(process)
+        #: The backing simulator process (sim transport only).
+        self.process = getattr(self.endpoint, "process", None)
+        if router is None:
+            if placement is None or servers is None:
+                raise SchemeError(
+                    "AsyncNameClient needs placement+servers or a router")
+            router = PlacementRouter(placement, servers,
+                                     self.endpoint.node)
+        self.router = router
         self.timeout = timeout
         self.max_retries = max_retries
         self.latency = latency
@@ -217,8 +325,23 @@ class AsyncNameClient:
         self.late_replies = 0
         self._pending: dict[int, _Pending] = {}
         self._ids = itertools.count(1)
-        self._obs = simulator.obs
-        process.on_message(self._on_message)
+        self._obs = self.transport.obs
+        self.endpoint.on_message(self._on_message)
+
+    @classmethod
+    def over(cls, transport: Transport, router: Any, endpoint: Endpoint,
+             *, timeout: float = 5.0, max_retries: int = 2,
+             latency: float = 1.0,
+             retry_policy: Optional[RetryPolicy] = None,
+             lease_table: Optional[LeaseTable] = None,
+             ) -> "AsyncNameClient":
+        """Construct over an explicit transport/router/endpoint — the
+        real-backend entry point (the positional API stays the
+        simulator's)."""
+        return cls(transport, None, None, endpoint, timeout=timeout,
+                   max_retries=max_retries, latency=latency,
+                   retry_policy=retry_policy, lease_table=lease_table,
+                   router=router)
 
     # -- API ---------------------------------------------------------------
 
@@ -226,8 +349,8 @@ class AsyncNameClient:
                 completion: Completion) -> int:
         """Begin resolving *name_* in *context*; returns a request id.
 
-        *completion* fires (from the kernel's event loop) exactly once
-        with the final :class:`LookupOutcome`.
+        *completion* fires (from the transport's event loop) exactly
+        once with the final :class:`LookupOutcome`.
         """
         name_ = CompoundName.coerce(name_)
         request_id = next(self._ids)
@@ -240,8 +363,9 @@ class AsyncNameClient:
             # an activation stack would cross-wire their traces.
             span = self._obs.tracer.begin(
                 "lookup", str(name_) or "<empty>",
-                self.simulator.clock.now, parent=None, activate=False,
-                attrs={"client": self.process.label})
+                self.transport.now(), parent=None, activate=False,
+                attrs={"client": self.endpoint.label,
+                       "transport": self.transport.kind})
         pending = _Pending(request_id=request_id, name=name_,
                            remaining=parts, current=current,
                            completion=completion, outcome=outcome,
@@ -271,10 +395,11 @@ class AsyncNameClient:
         """Begin resolving a batch of names concurrently.
 
         All lookups are issued immediately, so their request/reply
-        traffic interleaves in the kernel and the batch completes in
-        roughly one lookup's latency instead of the sum.  *completion*
-        fires exactly once, with one :class:`LookupOutcome` per input
-        name in input order, after the last lookup settles.
+        traffic interleaves in the transport and the batch completes
+        in roughly one lookup's latency instead of the sum.
+        *completion* fires exactly once, with one
+        :class:`LookupOutcome` per input name in input order, after
+        the last lookup settles.
 
         Returns the request ids, in input order.
         """
@@ -302,13 +427,12 @@ class AsyncNameClient:
         """Consume locally-resolvable steps; go remote when needed."""
         while pending.remaining:
             component = pending.remaining[0]
-            directory = pending.directory
             # Per-binding routing: for a sharded directory the next
             # component decides which shard server answers.
-            host = (self.placement.host_of_binding(directory, component)
-                    if directory is not None else None)
-            if host is not None and host is not self.process.machine:
-                self._send_request(pending, directory, component, host)
+            target = self.router.target_for(pending.directory, component)
+            if target is not None:
+                self._send_request(pending, pending.directory,
+                                   component, target)
                 return
             entity = pending.current(component)
             self._consume(pending, entity)
@@ -337,14 +461,11 @@ class AsyncNameClient:
 
     def _send_request(self, pending: _Pending,
                       directory: ObjectEntity, component: str,
-                      host: Machine) -> None:
-        server = self.servers.get(id(host))
-        if server is None:
-            raise SchemeError(f"no lookup server on {host.label}")
-        pending.server = server.process
+                      target: Any) -> None:
+        pending.server = target
         pending.component = component
         pending.attempts += 1
-        request = self.process.send(server.process, payload={"lookup": {
+        request = self.endpoint.send(target, payload={"lookup": {
             "request_id": pending.request_id,
             "seq": pending.attempts,
             "directory": directory,
@@ -354,12 +475,11 @@ class AsyncNameClient:
         if pending.span is not None:
             request.trace_id = pending.span.trace_id
             request.parent_span_id = pending.span.span_id
-        pending.timer = self.simulator.schedule(
+        pending.timer = self.transport.schedule(
             self.timeout, lambda: self._on_timeout(pending.request_id),
             note=f"lookup-timeout req#{pending.request_id}")
 
-    def _on_message(self, _process: SimProcess,
-                    message: Message) -> None:
+    def _on_message(self, _endpoint: Endpoint, message: Any) -> None:
         payload = message.payload
         if isinstance(payload, dict) and "lease" in payload:
             self._on_lease_message(message, payload["lease"])
@@ -387,11 +507,11 @@ class AsyncNameClient:
         if pending.request_id in self._pending:
             self._advance(pending)
 
-    def _on_lease_message(self, message: Message, body: dict) -> None:
+    def _on_lease_message(self, message: Any, body: dict) -> None:
         """Handle a server-initiated lease callback (break)."""
         if body.get("op") != "break" or self.lease_table is None:
             return
-        now = self.simulator.clock.now
+        now = self.transport.now()
         dep = body.get("dep")
         held = self.lease_table.revoke(dep, now)
         self.lease_callbacks += 1
@@ -399,7 +519,7 @@ class AsyncNameClient:
             self._obs.metrics.counter(
                 "async_lease_callbacks_total",
                 {"held": str(held).lower()}).inc()
-        ack = self.process.send(message.sender, payload={"lease": {
+        ack = self.endpoint.send(message.sender, payload={"lease": {
             "op": "ack", "dep": dep, "held": held,
         }}, latency=self.latency)
         # The ack continues the callback's trace.
@@ -430,7 +550,7 @@ class AsyncNameClient:
         # race — a stale resend must not fire for a superseded seq.
         seq = pending.attempts
         delay = self.retry_policy.backoff(pending.attempts,
-                                          self.simulator.rng)
+                                          self.transport.rng)
 
         def resend() -> None:
             current = self._pending.get(request_id)
@@ -438,16 +558,16 @@ class AsyncNameClient:
                 return
             self._resend(current)
 
-        self.simulator.schedule(
+        self.transport.schedule(
             delay, resend, note=f"lookup-backoff req#{request_id}")
 
     def _resend(self, pending: _Pending) -> None:
-        # Re-route against the *live* placement: the shard owning this
-        # component may have split/migrated during the backoff.
-        host = self.placement.host_of_binding(
+        # Re-route against the *live* routing state: the shard owning
+        # this component may have split/migrated during the backoff.
+        target = self.router.retarget(
             pending.directory, pending.component)  # type: ignore[arg-type]
         self._send_request(pending, pending.directory,  # type: ignore
-                           pending.component, host)     # type: ignore
+                           pending.component, target)
 
     # -- completion ------------------------------------------------------------------
 
@@ -473,7 +593,7 @@ class AsyncNameClient:
         if pending.span is not None:
             pending.span.attrs.update(steps=pending.outcome.steps,
                                       retries=pending.outcome.retries)
-            self._obs.tracer.end(pending.span, self.simulator.clock.now)
+            self._obs.tracer.end(pending.span, self.transport.now())
         self._obs.metrics.counter("async_lookups_total",
                                   {"outcome": outcome}).inc()
 

@@ -455,16 +455,51 @@ class Simulator:
         else:
             pending = tuple(messages)
         processed = 0
-        pop_entry = self.queue._pop_entry
+        queue = self.queue
+        # Same raw-lane pump as run() (EventQueue._pop_entry inlined);
+        # compact() rebuilds both lanes in place, so the aliases stay
+        # valid across mid-pump compactions.  Unlike run(), the
+        # settled predicate is re-checked per event — a timer action
+        # (e.g. a crash) can settle a message too, so batching
+        # same-instant dispatch past the settling event would overrun
+        # the stop point.
+        heap = queue._heap
+        fifo = queue._fifo
         advance_to = self.clock.advance_to
         deliver = self._deliver
-        while not all(message.delivered or message.dropped
-                      for message in pending):
+        single = pending[0] if len(pending) == 1 else None
+        while True:
+            if single is not None:
+                if single.delivered or single.dropped:
+                    break
+            elif all(message.delivered or message.dropped
+                     for message in pending):
+                break
             if processed >= max_events:
                 raise SimulationError(
                     f"run_until_settled exceeded max_events="
                     f"{max_events}; likely a livelock")
-            entry = pop_entry()
+            # Inline _pop_entry: smaller of the two lane heads, skip
+            # cancelled.
+            while True:
+                if fifo:
+                    if heap and heap[0] < fifo[0]:
+                        entry = heappop(heap)
+                    else:
+                        entry = fifo.popleft()
+                elif heap:
+                    entry = heappop(heap)
+                else:
+                    entry = None
+                    break
+                item = entry[2]
+                if type(item) is ScheduledEvent:
+                    if item.cancelled:
+                        queue._cancelled -= 1
+                        continue
+                    item._queue = None
+                queue._live -= 1
+                break
             if entry is None:
                 break  # queue exhausted; undeliverable messages stay unsettled
             advance_to(entry[0])

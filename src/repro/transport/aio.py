@@ -1,0 +1,418 @@
+"""AsyncioTransport: the naming protocol on real TCP sockets.
+
+The second implementation of the seam (:mod:`repro.transport.base`):
+endpoints are named mailboxes multiplexed over real asyncio TCP
+connections, frames are length-prefixed JSON
+(:mod:`repro.transport.framing`), payloads cross through a
+:class:`~repro.transport.wire.WireCodec`, and timers run on the wall
+clock — so the *identical* lookup/retry/lease client code backs off
+in real seconds.
+
+Topology model:
+
+* A **serving** transport calls :meth:`AsyncioTransport.listen`; each
+  accepted connection gets a reader task that reassembles frames and
+  dispatches them to the addressed endpoint.
+* A **connecting** transport sends to ``(host, port, label)``
+  addresses; connections are pooled per ``(host, port)`` and opened
+  lazily on first send (frames queue while the dial is in flight).
+* Replies travel back over the *same* connection: a received
+  envelope's ``sender`` is a :class:`ConnAddress` bound to the live
+  connection, so clients never need to listen.
+
+Failure semantics mirror the simulator's: a frame toward a dead or
+unreachable peer is *dropped* (counted in ``frames_dropped``), and
+the protocol's timeout/retry machinery — unchanged — turns the loss
+into a backoff and resend.  ``send`` never blocks and never raises
+for network reasons.
+
+Like the simulator, ``send`` returns the envelope before the bytes
+leave (serialization happens on the next loop tick), so callers
+attach trace context exactly as they do on the kernel.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import random
+import time
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.obs.instrument import NO_OBS, Instrumentation
+from repro.transport.base import Endpoint, Handler, Timer, Transport
+from repro.transport.framing import FrameDecoder, FrameError, encode_frame
+from repro.transport.wire import WireCodec
+
+__all__ = ["Address", "ConnAddress", "AsyncioEnvelope",
+           "AsyncioEndpoint", "AsyncioTransport"]
+
+
+class Address(tuple):
+    """A dialable endpoint address: ``(host, port, label)``."""
+
+    __slots__ = ()
+
+    def __new__(cls, host: str, port: int, label: str):
+        return super().__new__(cls, (host, int(port), label))
+
+    @property
+    def host(self) -> str:
+        return self[0]
+
+    @property
+    def port(self) -> int:
+        return self[1]
+
+    @property
+    def label(self) -> str:
+        return self[2]
+
+    def __repr__(self) -> str:
+        return f"{self[0]}:{self[1]}/{self[2]}"
+
+
+class ConnAddress:
+    """A reply address: an endpoint label reachable over a live
+    connection (how a server answers a non-listening client)."""
+
+    __slots__ = ("conn", "label")
+
+    def __init__(self, conn: "_Connection", label: str):
+        self.conn = conn
+        self.label = label
+
+    @property
+    def session_id(self) -> int:
+        """The connection's transport-unique id — a stable stand-in
+        for "which client machine" (e.g. lease holder identity)."""
+        return self.conn.session_id
+
+    def __repr__(self) -> str:
+        return f"<ConnAddress {self.label!r} via conn#{self.conn.session_id}>"
+
+
+class AsyncioEnvelope:
+    """One in-flight payload (see :class:`repro.transport.base.Envelope`)."""
+
+    __slots__ = ("payload", "sender", "trace_id", "parent_span_id")
+
+    def __init__(self, payload: Any, sender: Any = None):
+        self.payload = payload
+        self.sender = sender
+        self.trace_id: Optional[str] = None
+        self.parent_span_id: Optional[str] = None
+
+
+class _Connection:
+    """One TCP connection: reader task + framed writes."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, transport: "AsyncioTransport",
+                 reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter,
+                 peer_key: Optional[tuple[str, int]] = None):
+        self.transport = transport
+        self.reader = reader
+        self.writer = writer
+        self.peer_key = peer_key
+        self.session_id = next(_Connection._ids)
+        self.closed = False
+        self.decoder = FrameDecoder()
+        self.reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop())
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                data = await self.reader.read(65536)
+                if not data:
+                    break
+                for frame in self.decoder.feed(data):
+                    self.transport._dispatch(frame, self)
+        except (ConnectionError, FrameError, asyncio.CancelledError):
+            pass
+        finally:
+            self._mark_closed()
+
+    def send_frame(self, frame: dict) -> bool:
+        if self.closed or self.writer.is_closing():
+            return False
+        try:
+            self.writer.write(encode_frame(frame))
+        except (ConnectionError, RuntimeError):
+            self._mark_closed()
+            return False
+        return True
+
+    def _mark_closed(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self.transport._forget_connection(self)
+        try:
+            self.writer.close()
+        except RuntimeError:  # pragma: no cover - loop already gone
+            pass
+
+    async def aclose(self) -> None:
+        self._mark_closed()
+        self.reader_task.cancel()
+        try:
+            await self.reader_task
+        except asyncio.CancelledError:  # pragma: no cover
+            pass
+
+
+class _Peer:
+    """Outbound state toward one (host, port): a connection or a dial
+    in flight with frames queued behind it."""
+
+    __slots__ = ("conn", "queue", "dialing")
+
+    def __init__(self) -> None:
+        self.conn: Optional[_Connection] = None
+        self.queue: list[dict] = []
+        self.dialing = False
+
+
+class AsyncioEndpoint(Endpoint):
+    """A named mailbox on an :class:`AsyncioTransport`."""
+
+    def __init__(self, transport: "AsyncioTransport", label: str):
+        self.transport = transport
+        self.label = label
+        self._handler: Optional[Handler] = None
+
+    def on_message(self, handler: Handler) -> None:
+        self._handler = handler
+
+    def send(self, target: Any, payload: Any = None,
+             latency: Optional[float] = None) -> AsyncioEnvelope:
+        # latency is a simulator hint; the real network sets its own.
+        envelope = AsyncioEnvelope(payload)
+        self.transport._post(self, target, envelope)
+        return envelope
+
+    @property
+    def node(self) -> Any:
+        return (self.transport.host, self.transport.port)
+
+    @property
+    def address(self) -> Address:
+        """This endpoint's dialable address (listening transports)."""
+        if self.transport.port is None:
+            raise SimulationError(
+                f"endpoint {self.label!r}: transport is not listening")
+        return Address(self.transport.host, self.transport.port,
+                       self.label)
+
+    def _deliver(self, envelope: AsyncioEnvelope) -> None:
+        if self._handler is not None:
+            self._handler(self, envelope)
+
+    def __repr__(self) -> str:
+        return f"<AsyncioEndpoint {self.label!r}>"
+
+
+class AsyncioTransport(Transport):
+    """The real-socket substrate behind the transport seam.
+
+    Args:
+        seed: Seeds :attr:`rng` (backoff jitter) — schedules are
+            reproducible per seed even though delivery timing is not.
+        obs: Instrumentation; spans/metrics get wall-clock times.
+        codec: The :class:`~repro.transport.wire.WireCodec` applied to
+            every payload (default: pass-through for JSON-framable
+            payloads; servers pass one wired to their registry,
+            clients one wired to their proxy cache).
+
+    Counters (plain ints, mirroring the kernel's message totals):
+    ``frames_sent``, ``frames_delivered``, ``frames_dropped``.
+    """
+
+    kind = "asyncio"
+
+    def __init__(self, *, seed: int = 0,
+                 obs: Optional[Instrumentation] = None,
+                 codec: Optional[WireCodec] = None):
+        self.rng = random.Random(seed)
+        self.obs = obs if obs is not None else NO_OBS
+        self.codec = codec if codec is not None else WireCodec()
+        self.host: str = "127.0.0.1"
+        self.port: Optional[int] = None
+        self._endpoints: dict[str, AsyncioEndpoint] = {}
+        self._peers: dict[tuple[str, int], _Peer] = {}
+        self._accepted: list[_Connection] = []
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.frames_sent = 0
+        self.frames_delivered = 0
+        self.frames_dropped = 0
+
+    # -- Transport contract ------------------------------------------------
+
+    def now(self) -> float:
+        """Wall-clock seconds (monotonic — same clock asyncio timers
+        fire on, so deadlines and ``now()`` agree)."""
+        return time.monotonic()
+
+    def schedule(self, delay: float, action: Callable[[], None],
+                 note: str = "") -> Timer:
+        if delay < 0:
+            raise SimulationError("cannot schedule in the past")
+        return asyncio.get_running_loop().call_later(delay, action)
+
+    def endpoint(self, node: Any = None,
+                 label: str = "") -> AsyncioEndpoint:
+        if not label:
+            label = f"endpoint-{len(self._endpoints) + 1}"
+        existing = self._endpoints.get(label)
+        if existing is not None:
+            return existing
+        endpoint = AsyncioEndpoint(self, label)
+        self._endpoints[label] = endpoint
+        return endpoint
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def listen(self, host: str = "127.0.0.1",
+                     port: int = 0) -> Address:
+        """Start accepting connections; returns the bound address
+        (with the endpoint label left empty)."""
+        self._server = await asyncio.start_server(
+            self._on_accept, host, port)
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return Address(self.host, self.port, "")
+
+    async def aclose(self) -> None:
+        """Close the listener and every connection (both directions)."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        conns = [peer.conn for peer in self._peers.values()
+                 if peer.conn is not None]
+        conns.extend(self._accepted)
+        self._peers.clear()
+        self._accepted = []
+        for conn in conns:
+            await conn.aclose()
+
+    async def _on_accept(self, reader: asyncio.StreamReader,
+                         writer: asyncio.StreamWriter) -> None:
+        self._accepted.append(_Connection(self, reader, writer))
+
+    # -- outbound ----------------------------------------------------------
+
+    def _post(self, sender: AsyncioEndpoint, target: Any,
+              envelope: AsyncioEnvelope) -> None:
+        """Schedule the write for the next loop tick, so the caller
+        may attach trace context after ``send`` returns — the same
+        contract the simulator's ``send`` gives its callers."""
+        self.frames_sent += 1
+        asyncio.get_running_loop().call_soon(
+            self._write, sender, target, envelope)
+
+    def _write(self, sender: AsyncioEndpoint, target: Any,
+               envelope: AsyncioEnvelope) -> None:
+        frame = {"to": None, "frm": sender.label,
+                 "p": self.codec.encode(envelope.payload),
+                 "t": [envelope.trace_id, envelope.parent_span_id]}
+        if isinstance(target, AsyncioEndpoint):
+            # Loopback: still round-trip the codec, so in-process
+            # endpoints see exactly the wire's visible payloads.
+            frame["to"] = target.label
+            self._deliver_local(frame, conn=None)
+            return
+        if isinstance(target, ConnAddress):
+            frame["to"] = target.label
+            if not target.conn.send_frame(frame):
+                self.frames_dropped += 1
+            return
+        if isinstance(target, tuple) and len(target) == 3:
+            host, port, label = target
+            frame["to"] = label
+            self._send_dialed((host, int(port)), frame)
+            return
+        raise SimulationError(
+            f"AsyncioEndpoint cannot address {target!r}")
+
+    def _send_dialed(self, key: tuple[str, int], frame: dict) -> None:
+        peer = self._peers.get(key)
+        if peer is None:
+            peer = self._peers[key] = _Peer()
+        if peer.conn is not None:
+            if not peer.conn.send_frame(frame):
+                self.frames_dropped += 1
+            return
+        peer.queue.append(frame)
+        if not peer.dialing:
+            peer.dialing = True
+            asyncio.get_running_loop().create_task(self._dial(key, peer))
+
+    async def _dial(self, key: tuple[str, int], peer: _Peer) -> None:
+        try:
+            reader, writer = await asyncio.open_connection(*key)
+        except OSError:
+            # Unreachable peer: the queued frames are lost exactly as
+            # a partitioned simulator message would be — the caller's
+            # timeout/retry machinery owns recovery.
+            self.frames_dropped += len(peer.queue)
+            peer.queue = []
+            peer.dialing = False
+            return
+        peer.conn = _Connection(self, reader, writer, peer_key=key)
+        peer.dialing = False
+        queued, peer.queue = peer.queue, []
+        for frame in queued:
+            if not peer.conn.send_frame(frame):
+                self.frames_dropped += 1
+
+    def _forget_connection(self, conn: _Connection) -> None:
+        if conn.peer_key is not None:
+            peer = self._peers.get(conn.peer_key)
+            if peer is not None and peer.conn is conn:
+                peer.conn = None
+        if conn in self._accepted:
+            self._accepted.remove(conn)
+
+    # -- inbound -----------------------------------------------------------
+
+    def _dispatch(self, frame: dict, conn: _Connection) -> None:
+        endpoint = self._endpoints.get(frame.get("to"))
+        if endpoint is None:
+            self.frames_dropped += 1
+            return
+        envelope = AsyncioEnvelope(
+            self.codec.decode(frame.get("p")),
+            sender=ConnAddress(conn, frame.get("frm", "")))
+        trace = frame.get("t") or (None, None)
+        envelope.trace_id, envelope.parent_span_id = trace[0], trace[1]
+        self.frames_delivered += 1
+        endpoint._deliver(envelope)
+
+    def _deliver_local(self, frame: dict, conn: Optional[_Connection],
+                       ) -> None:
+        endpoint = self._endpoints.get(frame.get("to"))
+        if endpoint is None:
+            self.frames_dropped += 1
+            return
+        # Decode through the codec like any inbound frame; the sender
+        # address is the local endpoint itself.
+        envelope = AsyncioEnvelope(
+            self.codec.decode(frame.get("p")),
+            sender=self._endpoints.get(frame.get("frm")))
+        trace = frame.get("t") or (None, None)
+        envelope.trace_id, envelope.parent_span_id = trace[0], trace[1]
+        self.frames_delivered += 1
+        endpoint._deliver(envelope)
+
+    def __repr__(self) -> str:
+        where = (f"{self.host}:{self.port}" if self.port is not None
+                 else "not listening")
+        return (f"<AsyncioTransport {where} sent={self.frames_sent} "
+                f"delivered={self.frames_delivered} "
+                f"dropped={self.frames_dropped}>")

@@ -1,0 +1,127 @@
+"""Lease break-callback fan-out over the transport seam.
+
+:func:`repro.nameservice.leases.callback_fanout` is the simulator's
+bounded-retry delivery loop: it *blocks* between attempts by spending
+virtual time.  A real event loop cannot block, so
+:func:`callback_fanout_async` is the same control flow — same
+attempt bounds, same :class:`~repro.nameservice.retry.RetryPolicy`
+backoff draws, same :class:`~repro.nameservice.retry.CircuitBreaker`
+bookkeeping (skip-when-open, probe on half-open, trip mid-holder),
+same :class:`~repro.nameservice.leases.FanoutReport` accounting —
+with ``await`` at the two points the sim version waits.  The policy
+objects are *shared*, not reimplemented: a fan-out is driven by the
+identical ``RetryPolicy``/``CircuitBreaker`` instances whichever
+substrate delivers the callbacks, and
+``tests/transport/test_lease_fanout.py`` pins the two drivers to
+identical reports over scripted delivery schedules.
+
+:class:`AckWaiter` is the small matching table a real server needs:
+break callbacks are fire-and-forget frames, so the deliverer awaits
+the holder's ack (matched by ``(dep, session)``) under a wall-clock
+deadline — an unacked callback is a failed attempt, exactly like an
+undelivered simulator message.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable, Optional
+
+from repro.nameservice.leases import FanoutReport, Lease
+from repro.nameservice.retry import CircuitBreaker, RetryPolicy
+
+__all__ = ["callback_fanout_async", "AckWaiter"]
+
+
+async def callback_fanout_async(
+        holders: list[Lease], *,
+        now: Callable[[], float],
+        rng,
+        deliver: Callable[[Lease, int], Awaitable[bool]],
+        retry_policy: Optional[RetryPolicy],
+        breaker_for: Callable[[Lease], Optional[CircuitBreaker]],
+        on_broken: Callable[[Lease], None],
+        wait: Optional[Callable[[float], Awaitable[None]]] = None,
+) -> FanoutReport:
+    """Drive callback delivery to every lease holder, with retries.
+
+    The async twin of :func:`repro.nameservice.leases.callback_fanout`
+    — see there for the full semantics.  *deliver* is awaited (send
+    the callback, await its ack, return True on success); *wait*
+    defaults to :func:`asyncio.sleep`, i.e. real backoff seconds.
+    """
+    if wait is None:
+        wait = asyncio.sleep
+    report = FanoutReport()
+    attempts_per = 1 if retry_policy is None else retry_policy.max_attempts
+    for lease in holders:
+        breaker = breaker_for(lease)
+        if breaker is not None and not breaker.allow(now()):
+            report.skipped += 1
+            report.broken += 1
+            on_broken(lease)
+            continue
+        delivered = False
+        for attempt in range(1, attempts_per + 1):
+            report.attempts += 1
+            if await deliver(lease, attempt):
+                delivered = True
+                if breaker is not None:
+                    breaker.record_success(now())
+                break
+            if breaker is not None:
+                breaker.record_failure(now())
+            if attempt < attempts_per and retry_policy is not None:
+                await wait(retry_policy.backoff(attempt, rng))
+            if breaker is not None and not breaker.allow(now()):
+                break  # tripped mid-holder: stop burning attempts
+        if delivered:
+            report.notified += 1
+        else:
+            report.broken += 1
+            on_broken(lease)
+    return report
+
+
+class AckWaiter:
+    """Matches awaited acks to ``(key)`` under wall-clock deadlines.
+
+    The deliverer calls :meth:`expect` before sending, then awaits
+    :meth:`wait`; the receive path calls :meth:`resolve` when the ack
+    frame lands.  Unmatched acks (late, duplicate) are counted, never
+    raised — mirroring the protocol's late-reply discipline.
+    """
+
+    def __init__(self) -> None:
+        self._pending: dict[Any, asyncio.Future] = {}
+        self.late_acks = 0
+
+    def expect(self, key: Any) -> None:
+        loop = asyncio.get_running_loop()
+        self._pending[key] = loop.create_future()
+
+    async def wait(self, key: Any, timeout: float) -> bool:
+        """True if the ack for *key* arrives within *timeout* seconds."""
+        future = self._pending.get(key)
+        if future is None:  # pragma: no cover - defensive
+            return False
+        try:
+            await asyncio.wait_for(asyncio.shield(future), timeout)
+            return True
+        except asyncio.TimeoutError:
+            return False
+        finally:
+            self._pending.pop(key, None)
+
+    def resolve(self, key: Any) -> bool:
+        """Mark *key*'s ack as arrived; False (and counted) if nobody
+        is waiting for it."""
+        future = self._pending.get(key)
+        if future is None or future.done():
+            self.late_acks += 1
+            return False
+        future.set_result(True)
+        return True
+
+    def __len__(self) -> int:
+        return len(self._pending)

@@ -1,0 +1,396 @@
+"""Naming over real sockets: server host + remote client glue.
+
+:class:`NamingService` serves a namespace over an
+:class:`~repro.transport.aio.AsyncioTransport`: the *unchanged*
+:class:`~repro.nameservice.protocol.NameLookupServer` answers lookup
+steps, a small control endpoint (``ctl``) answers hello/lease/rebind
+requests, and rebinds fan break callbacks out to lease holders with
+:func:`~repro.transport.leases.callback_fanout_async` — driven by the
+same :class:`~repro.nameservice.leases.LeaseManager`,
+:class:`~repro.nameservice.retry.RetryPolicy` and wall-clock-bound
+:class:`~repro.nameservice.retry.CircuitBreaker` objects the
+simulator uses.
+
+:class:`RemoteNameClient` is the other half: it wraps the *unchanged*
+:class:`~repro.nameservice.protocol.AsyncNameClient` with a
+:class:`RemoteRouter` (every remote-directory step goes to a server
+address; resends fail over to the next replica), a proxy-cache codec,
+and awaitable conveniences (:meth:`RemoteNameClient.resolve` turns
+the completion-callback API into a coroutine).  Lease holders are
+identified by connection session, so a multi-process demo
+(``tools/serve_names.py``) gets real grant → rebind → break → ack
+round trips over localhost.
+
+The control vocabulary is plain JSON (the wire codec passes ``ctl``
+payloads through untouched):
+
+* ``{"ctl": {"op": "hello"}}`` → ``welcome`` with the root entity
+  descriptor and the lookup endpoint's label;
+* ``{"ctl": {"op": "lease-grant", "dep": [...]}}`` →
+  ``lease-granted`` with the term (holder = the sending connection);
+* ``{"ctl": {"op": "rebind", "path": [...], "label": ..,
+  "dir": bool}}`` → break callbacks fan out to holders, then
+  ``rebound`` reports the :class:`~repro.nameservice.leases.
+  FanoutReport` counts;
+* ``{"ctl": {"op": "stats"}}`` → server counters (requests served,
+  frames, leases) for smoke checks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Any, Optional
+
+from repro.errors import SchemeError
+from repro.model.context import Context, context_object
+from repro.model.entities import Entity, ObjectEntity
+from repro.model.names import ROOT_NAME
+from repro.nameservice.leases import LeaseManager, LeaseTable
+from repro.nameservice.protocol import AsyncNameClient, NameLookupServer
+from repro.nameservice.retry import CircuitBreaker, RetryPolicy
+from repro.obs.instrument import Instrumentation
+from repro.transport.aio import Address, AsyncioTransport
+from repro.transport.base import Endpoint
+from repro.transport.leases import AckWaiter, callback_fanout_async
+from repro.transport.wire import (DirectoryRegistry, EntityProxyCache,
+                                  RemoteEntity, WireCodec, describe_entity,
+                                  remote_uid_of)
+
+__all__ = ["RemoteRouter", "NamingService", "RemoteNameClient"]
+
+CTL_LABEL = "ctl"
+
+
+class RemoteRouter:
+    """Client-side routing: remote-directory steps go to a server.
+
+    Every step whose directory is a :class:`~repro.transport.wire.
+    RemoteEntity` proxy is sent to the current server address; steps
+    through local contexts stay local (so a client may mix local
+    bindings with the remote namespace).  :meth:`retarget` — the
+    resend path — fails over to the next address in the list, making
+    a replicated deployment survive a crashed replica exactly like
+    the simulator's placement failover.
+    """
+
+    def __init__(self, addresses: Optional[list[Address]] = None):
+        self.addresses: list[Address] = list(addresses or [])
+        self.cursor = 0
+        self.failovers = 0
+
+    def _current(self) -> Address:
+        if not self.addresses:
+            raise SchemeError("RemoteRouter has no server addresses")
+        return self.addresses[self.cursor % len(self.addresses)]
+
+    def target_for(self, directory: Optional[ObjectEntity],
+                   component: str) -> Any:
+        if isinstance(directory, RemoteEntity):
+            return self._current()
+        return None
+
+    def retarget(self, directory: ObjectEntity, component: str) -> Any:
+        if len(self.addresses) > 1:
+            self.cursor = (self.cursor + 1) % len(self.addresses)
+            self.failovers += 1
+        return self._current()
+
+
+class NamingService:
+    """Serve a namespace root over asyncio TCP.
+
+    Args:
+        root: The namespace root (a context object); the whole
+            reachable tree is registered for wire decoding.
+        seed: Seeds the transport RNG (fan-out backoff jitter).
+        obs: Instrumentation (spans/metrics on the wall clock).
+        lease_term: Server-side lease term, wall seconds.
+        retry_policy: Break-callback retry discipline (``None`` = one
+            attempt, no backoff).
+        ack_timeout: Wall seconds to await each break callback's ack.
+        label: The lookup endpoint's label.
+        auditor: Optional :class:`~repro.obs.audit.CoherenceAuditor`;
+            wired onto the lookup server (every served step audited)
+            and fed ``record_write`` on every control-plane rebind.
+    """
+
+    def __init__(self, root: Entity, *, seed: int = 0,
+                 obs: Optional[Instrumentation] = None,
+                 lease_term: float = 30.0,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 ack_timeout: float = 1.0,
+                 label: str = "lookupd",
+                 auditor: Any = None):
+        self.root = root
+        self.registry = DirectoryRegistry()
+        self.registry.register_tree(root)
+        self.transport = AsyncioTransport(
+            seed=seed, obs=obs, codec=WireCodec(registry=self.registry))
+        self.server = NameLookupServer(self.transport, None, label)
+        if auditor is not None:
+            self.server.auditor = auditor
+        self.auditor = auditor
+        self.leases = LeaseManager(term=lease_term,
+                                   retry_policy=retry_policy,
+                                   obs=obs)
+        self.retry_policy = retry_policy
+        self.ack_timeout = ack_timeout
+        self.acks = AckWaiter()
+        self.epoch = 0
+        self.rebinds = 0
+        self._holders: dict[int, Any] = {}  # session id → reply address
+        self.ctl = self.transport.endpoint(label=CTL_LABEL)
+        self.ctl.on_message(self._on_ctl)
+        self.address: Optional[Address] = None
+
+    async def start(self, host: str = "127.0.0.1",
+                    port: int = 0) -> Address:
+        """Bind and listen; returns the lookup endpoint's address."""
+        bound = await self.transport.listen(host, port)
+        self.address = Address(bound.host, bound.port,
+                               self.server.endpoint.label)
+        return self.address
+
+    async def aclose(self) -> None:
+        await self.transport.aclose()
+
+    # -- control plane -----------------------------------------------------
+
+    def _on_ctl(self, endpoint: Endpoint, message: Any) -> None:
+        payload = message.payload
+        if not isinstance(payload, dict):
+            return
+        if "lease" in payload:  # ack riding back on the ctl label
+            body = payload["lease"]
+            if body.get("op") == "ack":
+                self._on_ack(message.sender, body)
+            return
+        body = payload.get("ctl")
+        if not isinstance(body, dict):
+            return
+        op = body.get("op")
+        if op == "hello":
+            endpoint.send(message.sender, payload={"ctl": {
+                "op": "welcome",
+                "root": describe_entity(self.root),
+                "lookup": self.server.endpoint.label,
+            }})
+        elif op == "lease-grant":
+            self._grant(message.sender, body)
+        elif op == "rebind":
+            asyncio.get_running_loop().create_task(
+                self._rebind(message.sender, body))
+        elif op == "stats":
+            endpoint.send(message.sender, payload={"ctl": {
+                "op": "stats-reply",
+                "requests_served": self.server.requests_served,
+                "rebinds": self.rebinds,
+                "leases": self.leases.stats(),
+                "frames_delivered": self.transport.frames_delivered,
+                "frames_dropped": self.transport.frames_dropped,
+            }})
+
+    def _grant(self, sender: Any, body: dict) -> None:
+        dep = tuple(body["dep"])
+        session = sender.session_id
+        self._holders[session] = sender
+        now = self.transport.now()
+        lease = self.leases.grant(session, dep, now, self.epoch,
+                                  machine_label=f"conn#{session}")
+        self.ctl.send(sender, payload={"ctl": {
+            "op": "lease-granted", "dep": list(dep),
+            "term": self.leases.term, "epoch": lease.epoch,
+        }})
+
+    def _breaker_for(self, lease: Any) -> CircuitBreaker:
+        # Wall-clock-bound breakers (retry.CircuitBreaker clock=):
+        # the manager's cache keeps them per holder, we bind the
+        # transport clock on first creation.
+        breaker = self.leases.breaker_for_machine(
+            lease.machine_id, label=lease.machine_label)
+        if breaker.clock is None:
+            breaker.clock = self.transport.now
+        return breaker
+
+    async def _rebind(self, reply_to: Any, body: dict) -> None:
+        """Rebind a path server-side, then break holders' leases."""
+        path = list(body["path"])
+        now = self.transport.now()
+        parent: Entity = self.root
+        for component in path[:-1]:
+            parent = parent.state(component)
+            if not parent.is_context_object():
+                self.ctl.send(reply_to, payload={"ctl": {
+                    "op": "rebound", "path": path,
+                    "error": f"not a directory at {component!r}"}})
+                return
+        component = path[-1]
+        context: Context = parent.state
+        old = context(component)
+        if body.get("dir"):
+            new: Entity = context_object(body.get("label", component))
+        else:
+            new = ObjectEntity(body.get("label", component))
+        context.bind(component, new)
+        self.registry.register(new)
+        self.rebinds += 1
+        if self.auditor is not None:
+            self.auditor.record_write(parent, component, old, new,
+                                      now, self.epoch)
+        dep = ("binding", remote_uid_of(parent), component)
+        holders = self.leases.holders_of(dep, now)
+        report = await callback_fanout_async(
+            holders, now=self.transport.now, rng=self.transport.rng,
+            deliver=self._deliver_break,
+            retry_policy=self.retry_policy,
+            breaker_for=self._breaker_for,
+            on_broken=lambda lease: self.leases.break_lease(
+                lease, self.transport.now()))
+        self.ctl.send(reply_to, payload={"ctl": {
+            "op": "rebound", "path": path,
+            "notified": report.notified, "broken": report.broken,
+            "attempts": report.attempts, "skipped": report.skipped,
+        }})
+
+    async def _deliver_break(self, lease: Any, attempt: int) -> bool:
+        holder = self._holders.get(lease.machine_id)
+        if holder is None or holder.conn.closed:
+            return False
+        key = (lease.dep, lease.machine_id)
+        self.acks.expect(key)
+        self.ctl.send(holder, payload={"lease": {
+            "op": "break", "dep": lease.dep,
+        }})
+        return await self.acks.wait(key, self.ack_timeout)
+
+    def _on_ack(self, sender: Any, body: dict) -> None:
+        dep = body.get("dep")
+        dep = tuple(dep) if isinstance(dep, list) else dep
+        session = sender.session_id
+        if self.acks.resolve((dep, session)):
+            self.leases.record_ack(session, dep, self.transport.now())
+
+
+class RemoteNameClient:
+    """A socket-speaking name client around the unchanged protocol.
+
+    Args:
+        addresses: Server ``(host, port)`` pairs (or
+            :class:`~repro.transport.aio.Address`), primary first;
+            resends fail over down the list.
+        seed: Seeds the transport RNG (retry backoff jitter).
+        obs: Instrumentation.
+        timeout: Per-step reply timeout, wall seconds.
+        max_retries: Re-sends per step before a lookup fails.
+        retry_policy: Backoff discipline between resends.
+        label: This client's endpoint label.
+    """
+
+    def __init__(self, addresses: list, *, seed: int = 0,
+                 obs: Optional[Instrumentation] = None,
+                 timeout: float = 2.0, max_retries: int = 2,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 label: str = "client"):
+        self._server_hosts = [(address[0], int(address[1]))
+                              for address in addresses]
+        self.proxies = EntityProxyCache()
+        self.transport = AsyncioTransport(
+            seed=seed, obs=obs, codec=WireCodec(proxies=self.proxies))
+        self.endpoint = self.transport.endpoint(label=label)
+        self.lease_table = LeaseTable(label, obs=obs)
+        self.start = Context(label=f"{label}-start")
+        self.router = RemoteRouter()
+        self.client = AsyncNameClient.over(
+            self.transport, self.router, self.endpoint,
+            timeout=timeout, max_retries=max_retries,
+            retry_policy=retry_policy, lease_table=self.lease_table)
+        self.root: Optional[Entity] = None
+        self._ctl_waiters: dict[str, deque] = {}
+        # Route ctl replies to our futures; everything else to the
+        # protocol client's handler (installed by its constructor).
+        protocol_handler = self.endpoint._handler
+
+        def dispatch(endpoint: Endpoint, envelope: Any) -> None:
+            payload = envelope.payload
+            if isinstance(payload, dict) and "ctl" in payload:
+                self._on_ctl_reply(payload["ctl"])
+                return
+            protocol_handler(endpoint, envelope)
+
+        self.endpoint.on_message(dispatch)
+
+    # -- control-plane round trips ----------------------------------------
+
+    def _ctl_address(self, index: int = 0) -> Address:
+        host, port = self._server_hosts[index]
+        return Address(host, port, CTL_LABEL)
+
+    def _on_ctl_reply(self, body: dict) -> None:
+        waiters = self._ctl_waiters.get(body.get("op"))
+        if waiters:
+            future = waiters.popleft()
+            if not future.done():
+                future.set_result(body)
+
+    async def _ctl_call(self, request: dict, reply_op: str,
+                        timeout: float = 5.0, index: int = 0) -> dict:
+        future = asyncio.get_running_loop().create_future()
+        self._ctl_waiters.setdefault(reply_op, deque()).append(future)
+        self.endpoint.send(self._ctl_address(index),
+                           payload={"ctl": request})
+        return await asyncio.wait_for(future, timeout)
+
+    async def connect(self, timeout: float = 5.0) -> Entity:
+        """Hello every server; install the root proxy; returns it."""
+        addresses = []
+        for index in range(len(self._server_hosts)):
+            welcome = await self._ctl_call({"op": "hello"}, "welcome",
+                                           timeout, index=index)
+            host, port = self._server_hosts[index]
+            addresses.append(Address(host, port, welcome["lookup"]))
+            if self.root is None:
+                self.root = self.proxies.proxy(welcome["root"])
+        self.router.addresses = addresses
+        self.start.bind(ROOT_NAME, self.root)
+        return self.root
+
+    async def resolve(self, name: Any, timeout: float = 30.0):
+        """Awaitable resolution: returns the final
+        :class:`~repro.nameservice.protocol.LookupOutcome`."""
+        future = asyncio.get_running_loop().create_future()
+        self.client.resolve(
+            self.start, name,
+            lambda outcome: future.done() or future.set_result(outcome))
+        return await asyncio.wait_for(future, timeout)
+
+    async def lease(self, dep: tuple, timeout: float = 5.0) -> dict:
+        """Take a lease on *dep*; installs the client-side grant."""
+        granted = await self._ctl_call(
+            {"op": "lease-grant", "dep": list(dep)}, "lease-granted",
+            timeout)
+        self.lease_table.grant(tuple(granted["dep"]),
+                               self.transport.now(), granted["term"],
+                               granted["epoch"])
+        return granted
+
+    async def rebind(self, path: list, label: str = "",
+                     directory: bool = False,
+                     timeout: float = 30.0) -> dict:
+        """Ask the server to rebind *path*; returns the fan-out
+        counts after break callbacks settle."""
+        return await self._ctl_call(
+            {"op": "rebind", "path": list(path), "label": label,
+             "dir": directory}, "rebound", timeout)
+
+    async def stats(self, timeout: float = 5.0) -> dict:
+        return await self._ctl_call({"op": "stats"}, "stats-reply",
+                                    timeout)
+
+    async def aclose(self) -> None:
+        await self.transport.aclose()
+
+    def dep_for(self, directory: Entity, component: str) -> tuple:
+        """The lease dependency key for one binding, wire-identical
+        on both sides (uses the server's uid for proxies)."""
+        return ("binding", remote_uid_of(directory), component)

@@ -44,13 +44,14 @@ class TestTopLevelExports:
         import repro.remote
         import repro.replication
         import repro.sim
+        import repro.transport
         import repro.workloads
 
         for module in (repro.model, repro.closure, repro.coherence,
                        repro.sim, repro.namespaces, repro.pqid,
                        repro.embedded, repro.replication, repro.remote,
                        repro.federation, repro.workloads,
-                       repro.nameservice, repro.obs):
+                       repro.nameservice, repro.obs, repro.transport):
             for name_ in module.__all__:
                 assert hasattr(module, name_), \
                     f"{module.__name__}.{name_} missing"

@@ -1,0 +1,207 @@
+"""AsyncioTransport: real sockets behind the same seam.
+
+Covers the substrate mechanics (loopback, sockets, reply addresses,
+trace context, drop-on-unreachable, wall-clock timers); the protocol
+running over it end-to-end is ``test_service.py``/``test_parity.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.transport.aio import Address, AsyncioTransport
+from repro.transport.base import Transport, as_transport
+
+
+def free_port() -> int:
+    """A port nothing is listening on (bound once, then released)."""
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestBasics:
+    def test_is_a_transport(self):
+        transport = AsyncioTransport()
+        assert isinstance(transport, Transport)
+        assert transport.kind == "asyncio"
+        assert as_transport(transport) is transport
+
+    def test_now_is_wall_clock(self):
+        async def scenario():
+            transport = AsyncioTransport()
+            before = transport.now()
+            await asyncio.sleep(0.02)
+            return transport.now() - before
+        assert run(scenario()) >= 0.015
+
+    def test_endpoint_registry_by_label(self):
+        transport = AsyncioTransport()
+        a = transport.endpoint(label="a")
+        assert transport.endpoint(label="a") is a
+        assert transport.endpoint(label="b") is not a
+        anonymous = transport.endpoint()
+        assert anonymous.label  # auto-named
+
+    def test_address_requires_listening(self):
+        transport = AsyncioTransport()
+        endpoint = transport.endpoint(label="a")
+        with pytest.raises(SimulationError):
+            endpoint.address
+
+    def test_schedule_rejects_negative_delay(self):
+        async def scenario():
+            with pytest.raises(SimulationError):
+                AsyncioTransport().schedule(-1.0, lambda: None)
+        run(scenario())
+
+    def test_timers_fire_and_cancel_on_wall_clock(self):
+        async def scenario():
+            transport = AsyncioTransport()
+            fired = []
+            transport.schedule(0.01, lambda: fired.append("a"))
+            timer = transport.schedule(0.01, lambda: fired.append("b"))
+            timer.cancel()
+            await asyncio.sleep(0.05)
+            return fired
+        assert run(scenario()) == ["a"]
+
+
+class TestLoopback:
+    def test_local_send_round_trips_codec(self):
+        async def scenario():
+            transport = AsyncioTransport()
+            a = transport.endpoint(label="a")
+            b = transport.endpoint(label="b")
+            got = []
+            b.on_message(lambda _e, env: got.append(env))
+            envelope = a.send(b, payload={"n": 1})
+            envelope.trace_id = "T"       # attached after send returns
+            envelope.parent_span_id = "S"
+            await asyncio.sleep(0)        # one loop tick to deliver
+            await asyncio.sleep(0)
+            (env,) = got
+            assert env.payload == {"n": 1}
+            assert (env.trace_id, env.parent_span_id) == ("T", "S")
+            # The sender address is a valid reply target.
+            reply_got = []
+            a.on_message(lambda _e, env2: reply_got.append(env2.payload))
+            b.send(env.sender, payload="reply")
+            await asyncio.sleep(0)
+            await asyncio.sleep(0)
+            assert reply_got == ["reply"]
+        run(scenario())
+
+
+class TestSockets:
+    def test_request_reply_over_tcp(self):
+        async def scenario():
+            server = AsyncioTransport()
+            serving = server.endpoint(label="svc")
+
+            def answer(endpoint, envelope):
+                endpoint.send(envelope.sender,
+                              payload={"echo": envelope.payload,
+                                       "from": endpoint.label})
+            serving.on_message(answer)
+            bound = await server.listen()
+
+            client = AsyncioTransport()
+            asker = client.endpoint(label="asker")
+            replies = asyncio.Queue()
+            asker.on_message(
+                lambda _e, env: replies.put_nowait(env))
+            asker.send(Address(bound.host, bound.port, "svc"),
+                       payload=[1, 2])
+            env = await asyncio.wait_for(replies.get(), 5)
+            assert env.payload == {"echo": [1, 2], "from": "svc"}
+            # The server saw a ConnAddress sender with a session id.
+            assert env.sender.label == "svc"
+            assert server.frames_delivered == 1
+            assert client.frames_delivered == 1
+            await client.aclose()
+            await server.aclose()
+        run(scenario())
+
+    def test_trace_context_crosses_the_wire(self):
+        async def scenario():
+            server = AsyncioTransport()
+            seen = asyncio.Queue()
+            server.endpoint(label="svc").on_message(
+                lambda _e, env: seen.put_nowait(
+                    (env.trace_id, env.parent_span_id)))
+            bound = await server.listen()
+            client = AsyncioTransport()
+            sender = client.endpoint(label="c")
+            envelope = sender.send(
+                Address(bound.host, bound.port, "svc"), payload="x")
+            envelope.trace_id = "trace-9"
+            envelope.parent_span_id = "span-4"
+            assert await asyncio.wait_for(seen.get(), 5) == \
+                ("trace-9", "span-4")
+            await client.aclose()
+            await server.aclose()
+        run(scenario())
+
+    def test_unreachable_peer_drops_frames(self):
+        """Sends toward a dead port are dropped (counted), never
+        raised — the protocol's timeout owns recovery."""
+        async def scenario():
+            transport = AsyncioTransport()
+            endpoint = transport.endpoint(label="c")
+            dead = Address("127.0.0.1", free_port(), "svc")
+            endpoint.send(dead, payload="lost-1")
+            endpoint.send(dead, payload="lost-2")
+            for _ in range(50):
+                if transport.frames_dropped == 2:
+                    break
+                await asyncio.sleep(0.01)
+            assert transport.frames_dropped == 2
+            assert transport.frames_sent == 2
+            await transport.aclose()
+        run(scenario())
+
+    def test_unknown_endpoint_label_drops(self):
+        async def scenario():
+            server = AsyncioTransport()
+            server.endpoint(label="svc").on_message(lambda _e, _env: None)
+            bound = await server.listen()
+            client = AsyncioTransport()
+            client.endpoint(label="c").send(
+                Address(bound.host, bound.port, "no-such-label"),
+                payload="x")
+            for _ in range(50):
+                if server.frames_dropped:
+                    break
+                await asyncio.sleep(0.01)
+            assert server.frames_dropped == 1
+            await client.aclose()
+            await server.aclose()
+        run(scenario())
+
+    def test_connection_pooled_per_peer(self):
+        async def scenario():
+            server = AsyncioTransport()
+            hits = asyncio.Queue()
+            server.endpoint(label="svc").on_message(
+                lambda _e, env: hits.put_nowait(env.sender.session_id))
+            bound = await server.listen()
+            client = AsyncioTransport()
+            endpoint = client.endpoint(label="c")
+            target = Address(bound.host, bound.port, "svc")
+            for index in range(3):
+                endpoint.send(target, payload=index)
+            sessions = {await asyncio.wait_for(hits.get(), 5)
+                        for _ in range(3)}
+            assert len(sessions) == 1  # one connection, three frames
+            await client.aclose()
+            await server.aclose()
+        run(scenario())

@@ -1,0 +1,164 @@
+"""Async lease fan-out ≡ sync lease fan-out.
+
+``callback_fanout_async`` must mirror the simulator's
+``callback_fanout`` exactly — same attempt bounds, same backoff
+draws, same breaker transitions, same ``FanoutReport`` — driven by
+the *same* RetryPolicy/CircuitBreaker objects.  Both drivers run the
+same scripted delivery schedules and their visible behaviour is
+compared field by field.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+import pytest
+
+from repro.nameservice.leases import Lease, callback_fanout
+from repro.nameservice.retry import CircuitBreaker, RetryPolicy
+from repro.transport.leases import AckWaiter, callback_fanout_async
+
+POLICY = RetryPolicy(max_attempts=3, base_backoff=0.5, max_backoff=4.0)
+
+
+def make_holders(n):
+    return [Lease(dep=("binding", 1, f"c{i}"), machine_id=i,
+                  granted_at=0.0, expires_at=100.0, epoch=0)
+            for i in range(n)]
+
+
+def run_sync(schedule, *, policy=POLICY, breakers=None, seed=7):
+    """Drive the sync fan-out over a scripted delivery schedule:
+    ``schedule[(machine_id, attempt)]`` is True for success."""
+    holders = make_holders(len({m for m, _ in schedule}))
+    log = {"delivered": [], "waits": [], "broken": []}
+    breakers = breakers or {}
+    report = callback_fanout(
+        holders, now=lambda: 0.0, rng=random.Random(seed),
+        deliver=lambda lease, attempt: (
+            log["delivered"].append((lease.machine_id, attempt)),
+            schedule.get((lease.machine_id, attempt), False))[-1],
+        wait=log["waits"].append,
+        retry_policy=policy,
+        breaker_for=lambda lease: breakers.get(lease.machine_id),
+        on_broken=lambda lease: log["broken"].append(lease.machine_id))
+    return report, log
+
+
+def run_async(schedule, *, policy=POLICY, breakers=None, seed=7):
+    holders = make_holders(len({m for m, _ in schedule}))
+    log = {"delivered": [], "waits": [], "broken": []}
+    breakers = breakers or {}
+
+    async def deliver(lease, attempt):
+        log["delivered"].append((lease.machine_id, attempt))
+        return schedule.get((lease.machine_id, attempt), False)
+
+    async def wait(delay):
+        log["waits"].append(delay)
+
+    report = asyncio.run(callback_fanout_async(
+        holders, now=lambda: 0.0, rng=random.Random(seed),
+        deliver=deliver, retry_policy=policy,
+        breaker_for=lambda lease: breakers.get(lease.machine_id),
+        on_broken=lambda lease: log["broken"].append(lease.machine_id),
+        wait=wait))
+    return report, log
+
+
+SCHEDULES = [
+    # everyone answers first try
+    {(0, 1): True, (1, 1): True},
+    # holder 0 needs a retry; holder 1 never answers
+    {(0, 1): False, (0, 2): True, (1, 1): False},
+    # all fail every attempt
+    {(0, 1): False, (1, 1): False},
+    # mixed: late success on final attempt
+    {(0, 1): False, (0, 2): False, (0, 3): True,
+     (1, 1): True, (2, 1): False, (2, 2): True},
+]
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("schedule", SCHEDULES)
+    def test_reports_and_logs_match(self, schedule):
+        sync_report, sync_log = run_sync(dict(schedule))
+        async_report, async_log = run_async(dict(schedule))
+        assert async_report == sync_report
+        assert async_log == sync_log  # same attempts, backoffs, breaks
+
+    @pytest.mark.parametrize("schedule", SCHEDULES)
+    def test_breaker_transitions_match(self, schedule):
+        def breakers():
+            return {m: CircuitBreaker(failure_threshold=2, cooldown=10.0,
+                                      label=f"b{m}")
+                    for m, _ in schedule}
+        sync_breakers = breakers()
+        async_breakers = breakers()
+        sync_report, _ = run_sync(dict(schedule), breakers=sync_breakers)
+        async_report, _ = run_async(dict(schedule),
+                                    breakers=async_breakers)
+        assert async_report == sync_report
+        for machine_id, sync_breaker in sync_breakers.items():
+            async_breaker = async_breakers[machine_id]
+            assert async_breaker.state is sync_breaker.state
+            assert (async_breaker.transitions
+                    == sync_breaker.transitions)
+            assert (async_breaker.consecutive_failures
+                    == sync_breaker.consecutive_failures)
+
+    def test_open_breaker_skips_holder_in_both(self):
+        schedule = {(0, 1): True}
+        tripped = CircuitBreaker(failure_threshold=1, cooldown=100.0)
+        tripped.record_failure(0.0)   # open, cooldown not elapsed
+        assert tripped.state.value == "open"
+
+        def fresh_tripped():
+            b = CircuitBreaker(failure_threshold=1, cooldown=100.0)
+            b.record_failure(0.0)
+            return b
+
+        sync_report, sync_log = run_sync(
+            dict(schedule), breakers={0: fresh_tripped()})
+        async_report, async_log = run_async(
+            dict(schedule), breakers={0: fresh_tripped()})
+        assert sync_report.skipped == async_report.skipped == 1
+        assert sync_report.broken == async_report.broken == 1
+        assert sync_log["delivered"] == async_log["delivered"] == []
+
+    def test_no_policy_means_single_attempt(self):
+        schedule = {(0, 1): False, (0, 2): True}
+        sync_report, sync_log = run_sync(dict(schedule), policy=None)
+        async_report, async_log = run_async(dict(schedule), policy=None)
+        assert sync_report == async_report
+        assert sync_report.attempts == 1 and sync_report.broken == 1
+        assert sync_log == async_log
+
+
+class TestAckWaiter:
+    def test_ack_arrives_in_time(self):
+        async def scenario():
+            waiter = AckWaiter()
+            waiter.expect("k")
+            asyncio.get_running_loop().call_soon(waiter.resolve, "k")
+            assert await waiter.wait("k", timeout=1.0)
+            assert len(waiter) == 0
+        asyncio.run(scenario())
+
+    def test_timeout_is_false_not_raise(self):
+        async def scenario():
+            waiter = AckWaiter()
+            waiter.expect("k")
+            assert not await waiter.wait("k", timeout=0.01)
+        asyncio.run(scenario())
+
+    def test_late_and_unexpected_acks_counted(self):
+        async def scenario():
+            waiter = AckWaiter()
+            assert not waiter.resolve("never-expected")
+            waiter.expect("k")
+            assert not await waiter.wait("k", timeout=0.01)
+            assert not waiter.resolve("k")   # late: future already gone
+            assert waiter.late_acks == 2
+        asyncio.run(scenario())

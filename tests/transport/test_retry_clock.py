@@ -1,0 +1,131 @@
+"""Clock-parameterized retry machinery: regression + parity.
+
+PR 10 lets a :class:`CircuitBreaker` carry its own ``now()`` source
+(a transport clock) so real-backend callers need not thread time
+through every call.  These tests pin that (a) the legacy explicit-now
+API is bit-identical to before, (b) clock-bound and explicit driving
+produce identical state machines, and (c) the seeded jitter schedule
+of :class:`RetryPolicy` is unchanged (golden digests per seed).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.nameservice.retry import BreakerState, CircuitBreaker, RetryPolicy
+from repro.sim.kernel import Simulator
+from repro.transport.base import as_transport
+
+#: sha256 over 32 default-policy backoff draws, 16 hex chars — any
+#: change to the jitter math or draw order changes these.
+GOLDEN_BACKOFF_DIGESTS = {
+    0: "52f602d09e6e7ea7",
+    1: "d2f2da6acce2e333",
+    7: "b583b832c9380a04",
+    42: "396321c1aa3fecf4",
+}
+
+
+def backoff_digest(seed: int) -> str:
+    rng = random.Random(seed)
+    policy = RetryPolicy()
+    draws = [policy.backoff(attempt, rng)
+             for _ in range(4) for attempt in range(1, 9)]
+    return hashlib.sha256(
+        ",".join(f"{draw:.17g}" for draw in draws).encode()
+    ).hexdigest()[:16]
+
+
+class TestJitterDigests:
+    @pytest.mark.parametrize("seed", sorted(GOLDEN_BACKOFF_DIGESTS))
+    def test_seeded_schedule_unchanged(self, seed):
+        assert backoff_digest(seed) == GOLDEN_BACKOFF_DIGESTS[seed]
+
+    def test_kernel_rng_is_the_transport_rng(self):
+        """The seam hands the protocol the *kernel's* RNG, so sim
+        backoff schedules stay deterministic per kernel seed."""
+        simulator = Simulator(seed=3)
+        assert as_transport(simulator).rng is simulator.rng
+
+
+def drive(breaker, events):
+    """Apply (op, time) events; returns the visible outcomes."""
+    out = []
+    for op, time_ in events:
+        if op == "allow":
+            out.append(breaker.allow(time_))
+        elif op == "fail":
+            breaker.record_failure(time_)
+        elif op == "ok":
+            breaker.record_success(time_)
+    out.append((breaker.state, breaker.transitions,
+                breaker.consecutive_failures))
+    return out
+
+
+SCRIPT = [("fail", 1.0), ("fail", 2.0), ("allow", 3.0), ("fail", 4.0),
+          ("allow", 5.0), ("allow", 40.0), ("fail", 41.0),
+          ("allow", 80.0), ("ok", 81.0), ("allow", 82.0)]
+
+
+class TestClockBinding:
+    def test_explicit_now_still_works_without_clock(self):
+        breaker = CircuitBreaker(failure_threshold=3, cooldown=30.0)
+        outcome = drive(breaker, SCRIPT)
+        assert outcome[-1][0] is BreakerState.CLOSED
+
+    def test_no_clock_and_no_now_raises(self):
+        breaker = CircuitBreaker()
+        with pytest.raises(SimulationError):
+            breaker.allow()
+        with pytest.raises(SimulationError):
+            breaker.record_failure()
+
+    def test_clock_bound_matches_explicit_now(self):
+        """The same script driven two ways lands in the same states,
+        transition counts and allow decisions."""
+        current = {"t": 0.0}
+        bound = CircuitBreaker(failure_threshold=3, cooldown=30.0,
+                               clock=lambda: current["t"])
+        explicit = CircuitBreaker(failure_threshold=3, cooldown=30.0)
+        bound_out, explicit_out = [], []
+        for op, time_ in SCRIPT:
+            current["t"] = time_
+            if op == "allow":
+                bound_out.append(bound.allow())          # clock-driven
+                explicit_out.append(explicit.allow(time_))
+            elif op == "fail":
+                bound.record_failure()
+                explicit.record_failure(time_)
+            else:
+                bound.record_success()
+                explicit.record_success(time_)
+        assert bound_out == explicit_out
+        assert bound.state is explicit.state
+        assert bound.transitions == explicit.transitions
+        assert bound.consecutive_failures == explicit.consecutive_failures
+
+    def test_explicit_now_overrides_bound_clock(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=10.0,
+                                 clock=lambda: 0.0)
+        breaker.record_failure(5.0)       # explicit trip at t=5
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow(6.0)     # explicit: cooldown not over
+        assert breaker.allow(20.0)        # explicit: cooldown elapsed
+
+    def test_transport_clock_binds_directly(self):
+        simulator = Simulator(seed=0)
+        transport = as_transport(simulator)
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=5.0,
+                                 clock=transport.now)
+        breaker.record_failure()          # trips at virtual t=0
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+        simulator.schedule(6.0, lambda: None)
+        simulator.run()                   # virtual time passes
+        assert breaker.allow()            # half-open probe allowed
+        assert breaker.state is BreakerState.HALF_OPEN

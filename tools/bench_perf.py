@@ -124,7 +124,7 @@ def main(argv=None) -> int:
                              "shared runner)")
     parser.add_argument("--scenario", action="append", default=None,
                         help="run only this scenario (repeatable)")
-    parser.add_argument("--pr", type=int, default=9,
+    parser.add_argument("--pr", type=int, default=10,
                         help="PR number stamped into the file")
     parser.add_argument("--label", default="current",
                         help="free-form label for this measurement")
